@@ -1,0 +1,179 @@
+// Ablation: the imd pool allocator (§4.2).
+//
+// The paper chose first-fit with *periodic* coalescing and predicted that
+// fragmentation would not be a problem because regions are large and freed
+// rarely. This bench quantifies that: allocation throughput (real host
+// time, the one benchmark here that measures wall-clock), and external
+// fragmentation under region-sized vs small-object workloads, with and
+// without the periodic coalescing pass.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <type_traits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/buddy_allocator.hpp"
+#include "core/pool_allocator.hpp"
+
+namespace {
+
+using namespace dodo;
+using core::PoolAllocator;
+
+/// Steady-state churn: keep ~75% of the pool allocated, random free/alloc.
+struct ChurnResult {
+  double failure_rate;
+  double fragmentation;
+  std::size_t free_blocks;
+  Bytes64 internal_waste = 0;
+};
+
+template <typename Alloc>
+ChurnResult churn_with(Alloc& p, Bytes64 target_live, Bytes64 min_sz,
+                       Bytes64 max_sz, int steps, int coalesce_every,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Bytes64, Bytes64>> live;
+  Bytes64 live_bytes = 0;
+  int failures = 0, attempts = 0;
+  for (int i = 0; i < steps; ++i) {
+    const bool want_alloc =
+        live_bytes < target_live || (live.empty() || rng.chance(0.3));
+    if (want_alloc) {
+      const Bytes64 len = rng.range(min_sz, max_sz);
+      ++attempts;
+      if (auto off = p.alloc(len)) {
+        live.emplace_back(*off, len);
+        live_bytes += len;
+      } else {
+        ++failures;
+      }
+    } else {
+      const auto idx = static_cast<std::size_t>(rng.below(live.size()));
+      p.free(live[idx].first);
+      live_bytes -= live[idx].second;
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (coalesce_every > 0 && i % coalesce_every == 0) p.coalesce();
+  }
+  ChurnResult r{static_cast<double>(failures) / attempts,
+                p.external_fragmentation(), p.free_block_count()};
+  if constexpr (std::is_same_v<Alloc, core::BuddyAllocator>) {
+    r.internal_waste = p.internal_fragmentation_bytes();
+  }
+  return r;
+}
+
+// Both allocators get the same 128 MiB physical pool (a power of two, so
+// buddy wastes nothing at the top level) and the same requested-bytes
+// target, making failure rates directly comparable.
+constexpr Bytes64 kPool = 128 * 1024 * 1024;
+
+ChurnResult churn(Bytes64 target_live, Bytes64 min_sz, Bytes64 max_sz,
+                  int steps, int coalesce_every, std::uint64_t seed) {
+  PoolAllocator p(kPool);
+  return churn_with(p, target_live, min_sz, max_sz, steps, coalesce_every,
+                    seed);
+}
+
+ChurnResult churn_buddy(Bytes64 target_live, Bytes64 min_sz, Bytes64 max_sz,
+                        int steps, std::uint64_t seed) {
+  core::BuddyAllocator p(kPool, 4096);
+  return churn_with(p, target_live, min_sz, max_sz, steps, 0, seed);
+}
+
+void BM_AllocThroughput(benchmark::State& state) {
+  // Real time: how fast the imd's allocator handles a region-sized mix.
+  PoolAllocator p(100 * 1024 * 1024);
+  Rng rng(1);
+  std::vector<Bytes64> live;
+  for (auto _ : state) {
+    const Bytes64 len = rng.range(64 * 1024, 1024 * 1024);
+    if (auto off = p.alloc(len)) {
+      live.push_back(*off);
+    } else if (!live.empty()) {
+      const auto idx = static_cast<std::size_t>(rng.below(live.size()));
+      p.free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+      p.coalesce();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Fragmentation(benchmark::State& state) {
+  const bool region_sized = state.range(0) != 0;
+  const int coalesce_every = static_cast<int>(state.range(1));
+  const int pressure_pct = static_cast<int>(state.range(2));
+  const Bytes64 min_sz = region_sized ? 128 * 1024 : 256;
+  const Bytes64 max_sz = region_sized ? 4 * 1024 * 1024 : 64 * 1024;
+  ChurnResult r{};
+  for (auto _ : state) {
+    r = churn(kPool * pressure_pct / 100, min_sz, max_sz, 60000,
+              coalesce_every, 7);
+  }
+  state.counters["fail_rate"] = r.failure_rate;
+  state.counters["fragmentation"] = r.fragmentation;
+  state.counters["free_blocks"] = static_cast<double>(r.free_blocks);
+
+  static bool header = false;
+  if (!header) {
+    std::printf(
+        "\n=== Ablation: imd pool allocators under churn (128 MiB pool) "
+        "===\n"
+        "workload      allocator          load  fail-rate  fragmentation  "
+        "free-blocks\n");
+    header = true;
+  }
+  char name[32];
+  std::snprintf(name, sizeof(name), "first-fit/%s",
+                coalesce_every == 0  ? "never"
+                : coalesce_every == 1 ? "always"
+                                      : "periodic");
+  std::printf("%-13s %-17s %3d%% %9.3f%% %13.3f %12zu\n",
+              region_sized ? "region-sized" : "small-objects", name,
+              pressure_pct, 100.0 * r.failure_rate, r.fragmentation,
+              r.free_blocks);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+void BM_FragmentationBuddy(benchmark::State& state) {
+  // The paper's §4.2 fallback: "we plan to switch to a buddy-based
+  // allocation scheme" if first-fit fragmentation becomes a problem. Buddy
+  // eliminates external fragmentation but pays ~33% internal waste on
+  // uniformly-sized requests, which costs it dearly at high load.
+  const bool region_sized = state.range(0) != 0;
+  const int pressure_pct = static_cast<int>(state.range(1));
+  const Bytes64 min_sz = region_sized ? 128 * 1024 : 256;
+  const Bytes64 max_sz = region_sized ? 4 * 1024 * 1024 : 64 * 1024;
+  ChurnResult r{};
+  for (auto _ : state) {
+    r = churn_buddy(kPool * pressure_pct / 100, min_sz, max_sz, 60000, 7);
+  }
+  state.counters["fail_rate"] = r.failure_rate;
+  state.counters["fragmentation"] = r.fragmentation;
+  state.counters["internal_waste_mb"] =
+      static_cast<double>(r.internal_waste) / 1e6;
+  std::printf(
+      "%-13s %-17s %3d%% %9.3f%% %13.3f %12zu  (internal waste %.1f MB)\n",
+      region_sized ? "region-sized" : "small-objects", "buddy",
+      pressure_pct, 100.0 * r.failure_rate, r.fragmentation, r.free_blocks,
+      static_cast<double>(r.internal_waste) / 1e6);
+  std::fflush(stdout);
+}
+
+BENCHMARK(BM_AllocThroughput);
+BENCHMARK(BM_Fragmentation)
+    ->ArgsProduct({{1, 0}, {0, 64, 1}, {50, 75}})
+    ->Iterations(1);
+BENCHMARK(BM_FragmentationBuddy)
+    ->ArgsProduct({{1, 0}, {50, 75}})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Ablation: region-replacement policy (§4.5's motivation for first-in).
+//
+// Two workloads over the same Dodo cluster, three policies each:
+//   multi-scan sequential (dmine/lu-like): first-in should win — LRU evicts
+//       exactly the regions about to be re-used ("sequential flooding");
+//   hotcold (skewed working set): LRU should win — first-in pins whatever
+//       arrived first, hot or not.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dodo;
+using dodo::operator""_MiB;
+using dodo::operator""_KiB;
+using Pattern = apps::SyntheticConfig::Pattern;
+
+const char* policy_name(manage::Policy p) {
+  switch (p) {
+    case manage::Policy::kLru:
+      return "LRU";
+    case manage::Policy::kMru:
+      return "MRU";
+    case manage::Policy::kFirstIn:
+      return "first-in";
+  }
+  return "?";
+}
+
+void BM_Policy(benchmark::State& state) {
+  const auto pattern = static_cast<Pattern>(state.range(0));
+  const auto policy = static_cast<manage::Policy>(state.range(1));
+
+  apps::SyntheticConfig s;
+  s.pattern = pattern;
+  s.dataset = dodo::bench::scaled(512_MiB);
+  s.req_size = 64_KiB;
+  s.iterations = 4;
+  s.compute_per_req = 2 * kMillisecond;
+  s.seed = 77;
+
+  dodo::bench::SynthOutcome out;
+  for (auto _ : state) {
+    out = dodo::bench::run_synthetic_once(s, /*use_dodo=*/true,
+                                          /*unet=*/true, policy);
+  }
+  state.counters["total_s"] = out.total_s;
+  state.counters["steady_s"] = out.steady_s;
+
+  dodo::bench::print_header_once(
+      "Ablation: replacement policy",
+      "workload    policy    total(s)  steady-iter(s)");
+  std::printf("%-11s %-9s %8.1f %10.1f\n",
+              dodo::bench::pattern_name(pattern), policy_name(policy),
+              out.total_s, out.steady_s);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Policy)
+    ->ArgsProduct({{static_cast<long>(Pattern::kSequential),
+                    static_cast<long>(Pattern::kHotcold)},
+                   {static_cast<long>(manage::Policy::kLru),
+                    static_cast<long>(manage::Policy::kMru),
+                    static_cast<long>(manage::Policy::kFirstIn)}})
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+BENCHMARK_MAIN();

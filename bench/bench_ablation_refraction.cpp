@@ -1,0 +1,78 @@
+// Ablation: the refraction period (§3.1).
+//
+// When remote memory is exhausted, every further allocation attempt costs a
+// round trip to the central manager (and possibly several imds) just to
+// fail. The refraction period suppresses attempts after a failure. This
+// bench runs a random workload whose dataset is ~2x the aggregate remote
+// memory, sweeping the refraction length, and reports the allocation-RPC
+// load on the central manager versus the achieved runtime.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dodo;
+using dodo::operator""_GiB;
+using dodo::operator""_KiB;
+
+void BM_Refraction(benchmark::State& state) {
+  const Duration refraction = millis(state.range(0));
+
+  apps::SyntheticConfig s;
+  s.pattern = apps::SyntheticConfig::Pattern::kRandom;
+  s.dataset = dodo::bench::scaled(2_GiB);  // ~1.7x the 1.2 GB remote pool
+  s.req_size = 32_KiB;
+  s.iterations = 2;
+  s.compute_per_req = 5 * kMillisecond;
+  s.seed = 55;
+
+  auto cfg = dodo::bench::paper_config(true, true, manage::Policy::kLru);
+  cfg.client.refraction = refraction;
+  cfg.manage_overrides.clone_refraction = refraction;
+
+  double total_s = 0;
+  std::uint64_t cmd_mopens = 0;
+  std::uint64_t alloc_failures = 0;
+  std::uint64_t refraction_skips = 0;
+  for (auto _ : state) {
+    cluster::Cluster c(cfg);
+    const int fd = c.create_dataset("data", s.dataset);
+    apps::DodoBlockIo io(*c.manager(), fd, s.dataset, s.req_size);
+    apps::RunStats st;
+    c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+      co_await apps::run_synthetic(cl, io, s, &st);
+    });
+    total_s = to_seconds(st.total());
+    cmd_mopens = c.cmd().metrics().mopens;
+    alloc_failures = c.cmd().metrics().alloc_failures;
+    refraction_skips = c.dodo()->metrics().refraction_skips;
+  }
+  state.counters["total_s"] = total_s;
+  state.counters["cmd_mopens"] = static_cast<double>(cmd_mopens);
+  state.counters["refraction_skips"] = static_cast<double>(refraction_skips);
+
+  dodo::bench::print_header_once(
+      "Ablation: refraction period (dataset ~1.7x remote memory)",
+      "refraction  run(s)   cmd-mopen-RPCs  failed-RPCs  skipped-locally");
+  std::printf("%8.1fs %8.1f %15llu %12llu %16llu\n", to_seconds(refraction),
+              total_s, static_cast<unsigned long long>(cmd_mopens),
+              static_cast<unsigned long long>(alloc_failures),
+              static_cast<unsigned long long>(refraction_skips));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+// 0, 0.5 s, 5 s (the default), 30 s.
+BENCHMARK(BM_Refraction)
+    ->Arg(0)
+    ->Arg(500)
+    ->Arg(5000)
+    ->Arg(30000)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Ablation: transport comparison (the UDP vs U-Net design axis of §4.6).
+//
+// Measures one-way bulk-transfer time and effective bandwidth across
+// message sizes for the three transport profiles: UDP/IP, packet-level
+// U-Net, and the batched U-Net profile the paper-scale benchmarks use.
+// The batched profile must track packet-level U-Net closely — that is the
+// justification for using it at scale — so the delta is printed too.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "net/bulk.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace dodo;
+using sim::Co;
+
+SimTime bulk_time(const net::NetParams& params, Bytes64 len) {
+  sim::Simulator sim(1);
+  net::Network nw(sim, params, 2);
+  auto tx = nw.open_ephemeral(0);
+  auto rx = nw.open_ephemeral(1);
+  SimTime done = 0;
+  net::BulkRecvResult rr;
+  Status st;
+  sim.spawn([](net::Socket& s, net::BulkRecvResult& out, sim::Simulator& sm,
+               SimTime& t) -> Co<void> {
+    out = co_await net::bulk_recv(s, 1);
+    t = sm.now();
+  }(*rx, rr, sim, done));
+  sim.spawn([](net::Socket& s, net::Endpoint dst, Bytes64 n,
+               Status& out) -> Co<void> {
+    out = co_await net::bulk_send(s, dst, 1, net::BodyView{nullptr, n});
+  }(*tx, rx->local(), len, st));
+  sim.run(600_s);
+  return done;
+}
+
+void BM_Transport(benchmark::State& state) {
+  const Bytes64 len = state.range(0);
+  SimTime udp = 0, unet = 0, batched = 0;
+  for (auto _ : state) {
+    udp = bulk_time(net::NetParams::udp(), len);
+    unet = bulk_time(net::NetParams::unet(), len);
+    batched = bulk_time(net::NetParams::unet_batched(), len);
+  }
+  auto mbps = [len](SimTime t) {
+    return static_cast<double>(len) / to_seconds(t) / 1e6;
+  };
+  state.counters["udp_ms"] = to_millis(udp);
+  state.counters["unet_ms"] = to_millis(unet);
+  state.counters["batched_vs_unet"] =
+      static_cast<double>(batched) / static_cast<double>(unet);
+
+  static bool header = false;
+  if (!header) {
+    std::printf(
+        "\n=== Ablation: bulk transfer, UDP vs U-Net ===\n"
+        "size      udp(ms)  unet(ms)  udp(MB/s) unet(MB/s)  batched-err\n");
+    header = true;
+  }
+  std::printf("%7lldB %8.3f %9.3f %9.2f %10.2f %10.1f%%\n",
+              static_cast<long long>(len), to_millis(udp), to_millis(unet),
+              mbps(udp), mbps(unet),
+              100.0 * (static_cast<double>(batched - unet) /
+                       static_cast<double>(unet)));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Transport)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(8 * 1024)
+    ->Arg(32 * 1024)
+    ->Arg(128 * 1024)
+    ->Arg(1024 * 1024)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 1: average amount of memory used for different purposes, per host
+// memory class — mean (stddev) of kernel, file-cache, process, and available
+// memory in KB. Regenerated from the synthesized Section-2 traces and
+// printed next to the paper's published values.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "trace/memory_trace.hpp"
+
+namespace {
+
+using namespace dodo;
+using trace::HostClass;
+
+void BM_Table1(benchmark::State& state) {
+  const auto cls = static_cast<HostClass>(state.range(0));
+  const auto paper = trace::paper_stats(cls);
+  trace::TraceConfig cfg;
+  trace::Table1Row row;
+  for (auto _ : state) {
+    row = trace::summarize_class(cls, 24, cfg, 2024);
+  }
+  state.counters["avail_mean_kb"] = row.avail.mean();
+  state.counters["avail_sd_kb"] = row.avail.stddev();
+
+  static bool header = false;
+  if (!header) {
+    std::printf(
+        "\n=== Table 1: memory usage per host class, KB, mean (stddev) ===\n"
+        "%-10s %-22s %-22s %-22s %-22s\n",
+        "host", "kernel", "file-cache", "process", "available");
+    header = true;
+  }
+  auto cell = [](const RunningStats& s, double pm, double ps) {
+    static thread_local char buf[4][64];
+    static int slot = 0;
+    slot = (slot + 1) % 4;
+    std::snprintf(buf[slot], sizeof(buf[slot]), "%6.0f(%5.0f) p:%6.0f(%5.0f)",
+                  s.mean(), s.stddev(), pm, ps);
+    return buf[slot];
+  };
+  std::printf("%4lldMB     measured vs paper(p):\n",
+              static_cast<long long>(paper.total_kb / 1024));
+  std::printf("  kernel     %s\n",
+              cell(row.kernel, paper.kernel_mean, paper.kernel_sd));
+  std::printf("  file-cache %s\n",
+              cell(row.fcache, paper.fcache_mean, paper.fcache_sd));
+  std::printf("  process    %s\n",
+              cell(row.proc, paper.proc_mean, paper.proc_sd));
+  std::printf("  available  %s\n",
+              cell(row.avail, paper.avail_mean, paper.avail_sd));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Table1)
+    ->Arg(static_cast<long>(HostClass::k32))
+    ->Arg(static_cast<long>(HostClass::k64))
+    ->Arg(static_cast<long>(HostClass::k128))
+    ->Arg(static_cast<long>(HostClass::k256))
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

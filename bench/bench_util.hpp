@@ -1,0 +1,106 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every Figure-7/Figure-8/ablation benchmark runs a full simulated cluster
+// matching the paper's testbed (12 imd hosts x 100 MB, 80 MB local region
+// cache, 128 MB application node, UDP or U-Net transport). To keep default
+// runtimes reasonable on a laptop, the *sizes* (datasets, pools, caches) are
+// all multiplied by DODO_BENCH_SCALE (default 0.1); because every cache and
+// dataset shrinks together and per-request device times are absolute, hit
+// ratios and per-request cost ratios — and therefore speedups — are
+// preserved. Set DODO_BENCH_SCALE=1 to run at exact paper scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "apps/block_io.hpp"
+#include "apps/synthetic.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+
+namespace dodo::bench {
+
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("DODO_BENCH_SCALE");
+    double v = env != nullptr ? std::atof(env) : 0.1;
+    if (v <= 0.0 || v > 1.0) v = 0.1;
+    return v;
+  }();
+  return s;
+}
+
+inline Bytes64 scaled(Bytes64 bytes) {
+  return static_cast<Bytes64>(static_cast<double>(bytes) * scale());
+}
+
+/// The paper's testbed (§5.1), scaled.
+inline cluster::ClusterConfig paper_config(bool use_dodo, bool unet,
+                                           manage::Policy policy,
+                                           std::uint64_t seed = 1) {
+  cluster::ClusterConfig cfg;
+  cfg.imd_hosts = 12;
+  cfg.imd_pool = scaled(100_MiB);
+  cfg.local_cache = scaled(80_MiB);
+  cfg.page_cache_dodo = scaled(24_MiB);
+  cfg.page_cache_baseline = scaled(100_MiB);
+  cfg.net = unet ? net::NetParams::unet_batched() : net::NetParams::udp();
+  cfg.use_dodo = use_dodo;
+  cfg.materialize = false;  // phantom data: timing only
+  cfg.policy = policy;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct SynthOutcome {
+  apps::RunStats stats;
+  double total_s = 0.0;
+  double steady_s = 0.0;  // per-iteration, iterations 2+
+};
+
+/// Runs one synthetic configuration on a fresh cluster.
+inline SynthOutcome run_synthetic_once(apps::SyntheticConfig scfg,
+                                       bool use_dodo, bool unet,
+                                       manage::Policy policy) {
+  cluster::Cluster c(paper_config(use_dodo, unet, policy));
+  const int fd = c.create_dataset("data", scfg.dataset);
+  std::unique_ptr<apps::BlockIo> io;
+  if (use_dodo) {
+    io = std::make_unique<apps::DodoBlockIo>(*c.manager(), fd, scfg.dataset,
+                                             scfg.req_size);
+  } else {
+    io = std::make_unique<apps::FsBlockIo>(c.fs(), fd);
+  }
+  SynthOutcome out;
+  c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await apps::run_synthetic(cl, *io, scfg, &out.stats);
+  });
+  out.total_s = to_seconds(out.stats.total());
+  out.steady_s = out.stats.steady_seconds();
+  return out;
+}
+
+inline const char* pattern_name(apps::SyntheticConfig::Pattern p) {
+  switch (p) {
+    case apps::SyntheticConfig::Pattern::kSequential:
+      return "sequential";
+    case apps::SyntheticConfig::Pattern::kHotcold:
+      return "hotcold";
+    case apps::SyntheticConfig::Pattern::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+inline void print_header_once(const char* title, const char* columns) {
+  static bool printed = false;
+  if (!printed) {
+    std::printf("\n=== %s (DODO_BENCH_SCALE=%.2f) ===\n%s\n", title, scale(),
+                columns);
+    printed = true;
+  }
+}
+
+}  // namespace dodo::bench

@@ -1,0 +1,65 @@
+// Out-of-core LU factorization through the region-management library.
+//
+// The workload the paper calls `lu`: a dense matrix that does not fit in
+// local memory is factored slab by slab; each slab update re-reads every
+// earlier slab (a triangle scan), which Dodo turns into remote-memory hits
+// instead of disk seeks. The first-in replacement policy is the right one
+// for this pattern (§4.5). This example runs a real (small) factorization,
+// verifies L*U against the original matrix, and shows where the bytes came
+// from.
+//
+// Run:  ./examples/out_of_core_lu
+#include <cstdio>
+
+#include "apps/block_io.hpp"
+#include "apps/lu.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+
+using namespace dodo;
+
+int main() {
+  apps::LuConfig lu;
+  lu.n = 128;
+  lu.slab_cols = 16;
+  lu.files = 4;
+
+  cluster::ClusterConfig cfg;
+  cfg.imd_hosts = 4;
+  cfg.imd_pool = 4_MiB;
+  cfg.local_cache = 16_KiB;  // tiny on purpose: force the remote tier
+  cfg.policy = manage::Policy::kFirstIn;
+  cfg.seed = 3;
+  cluster::Cluster c(cfg);
+
+  const int fd = c.create_dataset("matrix.dat", lu.total_bytes());
+  auto* store = c.fs().store_of_inode(c.fs().inode_of(fd));
+  const auto a = apps::lu_make_matrix(lu);
+  apps::lu_store_matrix(*store, lu, a);
+  std::printf("matrix: %dx%d doubles (%lld KB), %d slabs x %d files\n", lu.n,
+              lu.n, static_cast<long long>(lu.total_bytes() / 1024),
+              lu.slabs(), lu.files);
+
+  apps::DodoBlockIo io(*c.manager(), fd, lu.total_bytes(), lu.chunk_bytes());
+  apps::RunStats stats;
+  const SimTime elapsed = c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await apps::run_lu_real(cl, io, lu, &stats);
+  });
+
+  const auto packed = apps::lu_load_matrix(*store, lu);
+  const double err = apps::lu_verify(packed, a, lu.n);
+  std::printf("factorized in %.2f simulated seconds, %llu chunk requests\n",
+              to_seconds(elapsed),
+              static_cast<unsigned long long>(stats.requests));
+  std::printf("max |L*U - A| = %.2e  (%s)\n", err,
+              err < 1e-8 ? "correct" : "WRONG");
+
+  const auto& m = c.manager()->metrics();
+  std::printf(
+      "bytes served: %.1f MB local cache, %.1f MB remote memory, %.1f MB "
+      "disk\n",
+      static_cast<double>(m.bytes_from_local) / 1e6,
+      static_cast<double>(m.bytes_from_remote) / 1e6,
+      static_cast<double>(m.bytes_from_disk) / 1e6);
+  return 0;
+}

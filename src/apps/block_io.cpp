@@ -1,0 +1,34 @@
+#include "apps/block_io.hpp"
+
+#include <cassert>
+
+namespace dodo::apps {
+
+int DodoBlockIo::region_of(Bytes64 off, Bytes64 len) {
+  (void)len;  // only used by the assertions below
+  assert(off >= 0 && off + len <= dataset_);
+  const auto idx = static_cast<std::size_t>(off / region_size_);
+  assert((off + len - 1) / region_size_ == static_cast<Bytes64>(idx) &&
+         "request spans regions");
+  if (cds_[idx] < 0) {
+    const Bytes64 start = static_cast<Bytes64>(idx) * region_size_;
+    const Bytes64 rlen = std::min(region_size_, dataset_ - start);
+    cds_[idx] = mgr_.copen(rlen, fd_, start);
+    assert(cds_[idx] >= 0);
+  }
+  return cds_[idx];
+}
+
+sim::Co<Bytes64> DodoBlockIo::read(Bytes64 off, std::uint8_t* buf,
+                                   Bytes64 len) {
+  const int cd = region_of(off, len);
+  co_return co_await mgr_.cread(cd, off % region_size_, buf, len);
+}
+
+sim::Co<Bytes64> DodoBlockIo::write(Bytes64 off, const std::uint8_t* buf,
+                                    Bytes64 len) {
+  const int cd = region_of(off, len);
+  co_return co_await mgr_.cwrite(cd, off % region_size_, buf, len);
+}
+
+}  // namespace dodo::apps

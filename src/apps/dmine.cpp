@@ -1,0 +1,269 @@
+#include "apps/dmine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace dodo::apps {
+
+namespace {
+
+/// Marker for "no more records in this block".
+constexpr std::uint16_t kEndOfBlock = 0xFFFF;
+
+/// Deterministic shuffled block order (the "partitioned" scan).
+std::vector<Bytes64> partition_order(Bytes64 nblocks, std::uint64_t seed) {
+  std::vector<Bytes64> order(static_cast<std::size_t>(nblocks));
+  for (Bytes64 i = 0; i < nblocks; ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  Rng rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<Transaction> generate_transactions(const DmineConfig& cfg) {
+  Rng rng(cfg.seed);
+  // Embedded patterns a la the IBM Quest generator: a pool of small itemsets
+  // that recur across transactions, plus uniform noise items.
+  std::vector<ItemSet> patterns;
+  for (int p = 0; p < cfg.num_patterns; ++p) {
+    std::set<std::uint32_t> s;
+    while (s.size() < static_cast<std::size_t>(cfg.pattern_len)) {
+      s.insert(static_cast<std::uint32_t>(rng.below(cfg.num_items)));
+    }
+    patterns.emplace_back(s.begin(), s.end());
+  }
+  std::vector<Transaction> txns;
+  txns.reserve(cfg.num_transactions);
+  for (std::uint32_t t = 0; t < cfg.num_transactions; ++t) {
+    std::set<std::uint32_t> items;
+    if (!patterns.empty() && rng.chance(cfg.pattern_prob)) {
+      const auto& pat = patterns[rng.below(patterns.size())];
+      items.insert(pat.begin(), pat.end());
+    }
+    const auto target = static_cast<std::size_t>(
+        std::max(1.0, rng.exponential(cfg.avg_items)));
+    while (items.size() < std::min<std::size_t>(target, cfg.num_items)) {
+      items.insert(static_cast<std::uint32_t>(rng.below(cfg.num_items)));
+    }
+    txns.emplace_back(items.begin(), items.end());
+  }
+  return txns;
+}
+
+std::vector<std::uint8_t> encode_transactions(
+    const std::vector<Transaction>& txns, Bytes64 block) {
+  std::vector<std::uint8_t> out;
+  auto put16 = [&out](std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  auto put32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  Bytes64 block_used = 0;
+  auto pad_block = [&] {
+    if (block_used > 0) {
+      // end-of-block marker + zero fill
+      put16(kEndOfBlock);
+      block_used += 2;
+      while (block_used < block) {
+        out.push_back(0);
+        ++block_used;
+      }
+      block_used = 0;
+    }
+  };
+  for (const auto& txn : txns) {
+    const Bytes64 rec = 2 + 4 * static_cast<Bytes64>(txn.size());
+    assert(rec + 2 <= block && "transaction larger than a block");
+    if (block_used + rec + 2 > block) pad_block();
+    put16(static_cast<std::uint16_t>(txn.size()));
+    for (const auto item : txn) put32(item);
+    block_used += rec;
+  }
+  pad_block();
+  return out;
+}
+
+std::vector<Transaction> decode_block(const std::uint8_t* data, Bytes64 len) {
+  std::vector<Transaction> txns;
+  Bytes64 pos = 0;
+  while (pos + 2 <= len) {
+    const std::uint16_t n = static_cast<std::uint16_t>(
+        data[pos] | (data[pos + 1] << 8));
+    pos += 2;
+    if (n == kEndOfBlock || pos + 4 * static_cast<Bytes64>(n) > len) break;
+    Transaction txn;
+    txn.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      std::uint32_t v = 0;
+      for (int b = 0; b < 4; ++b) {
+        v |= static_cast<std::uint32_t>(data[pos + b]) << (8 * b);
+      }
+      pos += 4;
+      txn.push_back(v);
+    }
+    txns.push_back(std::move(txn));
+  }
+  return txns;
+}
+
+namespace {
+
+bool contains_all(const Transaction& txn, const ItemSet& set) {
+  // Both sorted.
+  return std::includes(txn.begin(), txn.end(), set.begin(), set.end());
+}
+
+/// Apriori candidate generation: join Lk with itself, prune.
+std::vector<ItemSet> gen_candidates(const std::vector<ItemSet>& lk) {
+  std::vector<ItemSet> out;
+  const std::set<ItemSet> lk_set(lk.begin(), lk.end());
+  for (std::size_t i = 0; i < lk.size(); ++i) {
+    for (std::size_t j = i + 1; j < lk.size(); ++j) {
+      const auto& a = lk[i];
+      const auto& b = lk[j];
+      if (!std::equal(a.begin(), a.end() - 1, b.begin())) continue;
+      ItemSet cand(a);
+      cand.push_back(b.back());
+      if (cand[cand.size() - 2] > cand.back()) {
+        std::swap(cand[cand.size() - 2], cand.back());
+      }
+      // Prune: every (k-1)-subset must be frequent.
+      bool ok = true;
+      for (std::size_t drop = 0; ok && drop < cand.size(); ++drop) {
+        ItemSet sub;
+        for (std::size_t x = 0; x < cand.size(); ++x) {
+          if (x != drop) sub.push_back(cand[x]);
+        }
+        ok = lk_set.count(sub) != 0;
+      }
+      if (ok) out.push_back(std::move(cand));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<ItemSet>> apriori_reference(
+    const std::vector<Transaction>& txns, double min_support) {
+  const auto threshold = static_cast<std::uint64_t>(
+      min_support * static_cast<double>(txns.size()));
+  std::vector<std::vector<ItemSet>> levels;
+
+  // L1.
+  std::map<std::uint32_t, std::uint64_t> item_counts;
+  for (const auto& t : txns) {
+    for (const auto item : t) ++item_counts[item];
+  }
+  std::vector<ItemSet> lk;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= threshold) lk.push_back({item});
+  }
+  while (!lk.empty()) {
+    levels.push_back(lk);
+    auto candidates = gen_candidates(lk);
+    if (candidates.empty()) break;
+    std::map<ItemSet, std::uint64_t> counts;
+    for (const auto& t : txns) {
+      for (const auto& c : candidates) {
+        if (contains_all(t, c)) ++counts[c];
+      }
+    }
+    lk.clear();
+    for (const auto& [set, count] : counts) {
+      if (count >= threshold) lk.push_back(set);
+    }
+    std::sort(lk.begin(), lk.end());
+  }
+  return levels;
+}
+
+sim::Co<void> run_dmine_real(cluster::Cluster& cluster, BlockIo& io,
+                             const DmineConfig& cfg, Bytes64 dataset_bytes,
+                             RunStats* stats,
+                             std::vector<std::vector<ItemSet>>* levels) {
+  auto& sim = cluster.sim();
+  const Bytes64 nblocks = dataset_bytes / cfg.block;
+  const std::uint64_t total_txns = cfg.num_transactions;
+  const auto threshold = static_cast<std::uint64_t>(
+      cfg.min_support * static_cast<double>(total_txns));
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(cfg.block));
+  levels->clear();
+
+  // Level 1 candidates are implicit (all items); later levels generated.
+  std::vector<ItemSet> candidates;
+  int level = 1;
+  for (;;) {
+    const SimTime t0 = sim.now();
+    std::map<std::uint32_t, std::uint64_t> item_counts;
+    std::map<ItemSet, std::uint64_t> set_counts;
+    const auto order =
+        partition_order(nblocks, cfg.seed * 77 +
+                                     static_cast<std::uint64_t>(level));
+    for (const auto blk : order) {
+      const Bytes64 got =
+          co_await io.read(blk * cfg.block, buf.data(), cfg.block);
+      ++stats->requests;
+      const auto txns = decode_block(buf.data(), got);
+      for (const auto& t : txns) {
+        if (level == 1) {
+          for (const auto item : t) ++item_counts[item];
+        } else {
+          for (const auto& c : candidates) {
+            if (contains_all(t, c)) ++set_counts[c];
+          }
+        }
+      }
+    }
+    std::vector<ItemSet> lk;
+    if (level == 1) {
+      for (const auto& [item, count] : item_counts) {
+        if (count >= threshold) lk.push_back({item});
+      }
+    } else {
+      for (const auto& [set, count] : set_counts) {
+        if (count >= threshold) lk.push_back(set);
+      }
+      std::sort(lk.begin(), lk.end());
+    }
+    stats->iteration_time.push_back(sim.now() - t0);
+    if (lk.empty()) break;
+    levels->push_back(lk);
+    candidates = gen_candidates(lk);
+    ++level;
+    if (candidates.empty()) break;
+  }
+  // dmine keeps its regions cached for the next run.
+  co_await io.finish(/*keep_cached=*/true);
+}
+
+sim::Co<void> run_dmine_modeled(cluster::Cluster& cluster, BlockIo& io,
+                                Bytes64 dataset, Bytes64 block,
+                                Duration compute_per_block,
+                                std::uint64_t scan_seed, RunStats* stats) {
+  auto& sim = cluster.sim();
+  const Bytes64 nblocks = dataset / block;
+  const SimTime t0 = sim.now();
+  const auto order = partition_order(nblocks, scan_seed);
+  for (const auto blk : order) {
+    co_await io.read(blk * block, nullptr, block);
+    ++stats->requests;
+    co_await sim.sleep(compute_per_block);
+  }
+  stats->iteration_time.push_back(sim.now() - t0);
+  co_await io.finish(/*keep_cached=*/true);
+}
+
+}  // namespace dodo::apps

@@ -1,0 +1,82 @@
+// lu: out-of-core dense LU decomposition (§5.2.1).
+//
+// The paper factors an 8192x8192 double matrix (536 MB) with 64-column
+// slabs, the data striped over 8 files, giving a triangle-scan I/O pattern
+// with requests from 12 KB to 516 KB (average 330 KB), ~9% I/O time, and a
+// first-in replacement policy.
+//
+// Layout: slab j = columns [j*W, (j+1)*W); file f = rows
+// [f*N/F, (f+1)*N/F). Each (file, slab) pair is one contiguous chunk —
+// column-major within the chunk — and one caching region (512 KB at paper
+// scale, matching the paper's 516 KB maximum request).
+//
+// Left-looking factorization (Doolittle, no pivoting — test matrices are
+// made diagonally dominant): to factor slab j, slabs 0..j-1 are re-read
+// (the triangle scan), each contributing rank-W updates; then the slab's
+// own columns are factored and written back.
+//
+// run_lu_real does the actual arithmetic (verified against L*U
+// reconstruction in the tests); run_lu_modeled replays the same I/O pattern
+// with partial (below-diagonal) chunk reads and a flops/rate compute model
+// for the paper-scale benchmark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/block_io.hpp"
+#include "apps/synthetic.hpp"  // RunStats
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::apps {
+
+struct LuConfig {
+  int n = 8192;
+  int slab_cols = 64;
+  int files = 8;
+  double flop_rate = 9e6;  // calibrated so the Dodo run spends ~9% of its time in I/O (paper §5.3)
+  std::uint64_t seed = 5;
+
+  [[nodiscard]] int slabs() const { return n / slab_cols; }
+  [[nodiscard]] int rows_per_file() const { return n / files; }
+  [[nodiscard]] Bytes64 chunk_bytes() const {
+    return static_cast<Bytes64>(rows_per_file()) * slab_cols * 8;
+  }
+  /// Dataset offset of chunk (file f, slab j).
+  [[nodiscard]] Bytes64 chunk_offset(int f, int j) const {
+    return (static_cast<Bytes64>(f) * slabs() + j) * chunk_bytes();
+  }
+  [[nodiscard]] Bytes64 total_bytes() const {
+    return static_cast<Bytes64>(n) * n * 8;
+  }
+};
+
+/// Fills `a` (n*n column-major) with a random diagonally-dominant matrix.
+std::vector<double> lu_make_matrix(const LuConfig& cfg);
+
+/// Writes a column-major matrix into the dataset layout (direct store
+/// access, no simulated time — test/example setup).
+void lu_store_matrix(disk::DataStore& store, const LuConfig& cfg,
+                     const std::vector<double>& a);
+
+/// Reads the factored matrix back out of the dataset layout.
+std::vector<double> lu_load_matrix(const disk::DataStore& store,
+                                   const LuConfig& cfg);
+
+/// Reconstructs L*U from a packed factorization (unit lower diagonal) and
+/// returns the max abs error against `original`.
+double lu_verify(const std::vector<double>& packed_lu,
+                 const std::vector<double>& original, int n);
+
+/// Real out-of-core factorization through BlockIo.
+sim::Co<void> run_lu_real(cluster::Cluster& cluster, BlockIo& io,
+                          LuConfig cfg, RunStats* stats);
+
+/// Paper-scale modeled run: same triangle I/O (partial chunk reads below
+/// the diagonal), compute charged at cfg.flop_rate.
+sim::Co<void> run_lu_modeled(cluster::Cluster& cluster, BlockIo& io,
+                             LuConfig cfg, RunStats* stats);
+
+}  // namespace dodo::apps

@@ -1,0 +1,67 @@
+#include "apps/synthetic.hpp"
+
+#include <cassert>
+
+namespace dodo::apps {
+
+std::vector<Bytes64> synthetic_trace(const SyntheticConfig& cfg,
+                                     int iteration) {
+  const Bytes64 blocks = cfg.dataset / cfg.req_size;
+  assert(blocks > 0);
+  std::vector<Bytes64> trace;
+  trace.reserve(static_cast<std::size_t>(blocks));
+  Rng rng(cfg.seed * 1000003ULL + static_cast<std::uint64_t>(iteration));
+  const auto hot_blocks = static_cast<Bytes64>(
+      cfg.hot_fraction * static_cast<double>(blocks));
+  for (Bytes64 i = 0; i < blocks; ++i) {
+    switch (cfg.pattern) {
+      case SyntheticConfig::Pattern::kSequential:
+        trace.push_back(i);
+        break;
+      case SyntheticConfig::Pattern::kRandom:
+        trace.push_back(static_cast<Bytes64>(
+            rng.below(static_cast<std::uint64_t>(blocks))));
+        break;
+      case SyntheticConfig::Pattern::kHotcold:
+        if (hot_blocks > 0 && rng.chance(cfg.hot_prob)) {
+          trace.push_back(static_cast<Bytes64>(
+              rng.below(static_cast<std::uint64_t>(hot_blocks))));
+        } else {
+          trace.push_back(
+              hot_blocks +
+              static_cast<Bytes64>(rng.below(
+                  static_cast<std::uint64_t>(blocks - hot_blocks))));
+        }
+        break;
+    }
+  }
+  return trace;
+}
+
+sim::Co<void> run_synthetic(cluster::Cluster& cluster, BlockIo& io,
+                            SyntheticConfig cfg, RunStats* out) {
+  auto& sim = cluster.sim();
+  std::vector<std::uint8_t> buf;
+  std::uint8_t* bufp = nullptr;
+  if (cluster.config().materialize) {
+    buf.resize(static_cast<std::size_t>(cfg.req_size));
+    bufp = buf.data();
+  }
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    const SimTime t0 = sim.now();
+    const auto trace = synthetic_trace(cfg, iter);
+    for (const Bytes64 block : trace) {
+      const Bytes64 got =
+          co_await io.read(block * cfg.req_size, bufp, cfg.req_size);
+      assert(got == cfg.req_size);
+      (void)got;
+      ++out->requests;
+      co_await sim.sleep(cfg.compute_per_req);
+    }
+    out->iteration_time.push_back(sim.now() - t0);
+  }
+  // "All remote memory regions ... deleted at its completion."
+  co_await io.finish(/*keep_cached=*/false);
+}
+
+}  // namespace dodo::apps

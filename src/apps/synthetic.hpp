@@ -1,0 +1,72 @@
+// The three synthetic benchmarks of §5.2.2.
+//
+// Each performs num_iter iterations; in each iteration it reads its entire
+// dataset with req_size requests and a constant 10 ms of compute between
+// requests:
+//   sequential - reads the dataset in order
+//   hotcold    - 20% "hot" region takes 80% of (random) references
+//   random     - uniform random requests over the whole dataset
+// All remote memory regions are created during the first iteration and
+// deleted at completion, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/block_io.hpp"
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::apps {
+
+struct SyntheticConfig {
+  enum class Pattern { kSequential, kHotcold, kRandom };
+
+  Pattern pattern = Pattern::kRandom;
+  Bytes64 dataset = 1_GiB;
+  Bytes64 req_size = 8_KiB;
+  int iterations = 4;
+  Duration compute_per_req = 10 * kMillisecond;
+  double hot_fraction = 0.2;
+  double hot_prob = 0.8;
+  std::uint64_t seed = 7;
+};
+
+struct RunStats {
+  std::vector<SimTime> iteration_time;
+  std::uint64_t requests = 0;
+
+  [[nodiscard]] SimTime total() const {
+    SimTime t = 0;
+    for (const auto it : iteration_time) t += it;
+    return t;
+  }
+  /// Duration of the final iteration (fully steady regime).
+  [[nodiscard]] double last_iteration_seconds() const {
+    return iteration_time.empty() ? 0.0
+                                  : to_seconds(iteration_time.back());
+  }
+
+  /// Mean of iterations 2..n — the regime after remote regions exist.
+  [[nodiscard]] double steady_seconds() const {
+    if (iteration_time.size() < 2) return to_seconds(total());
+    SimTime t = 0;
+    for (std::size_t i = 1; i < iteration_time.size(); ++i) {
+      t += iteration_time[i];
+    }
+    return to_seconds(t) / static_cast<double>(iteration_time.size() - 1);
+  }
+};
+
+/// The block index sequence is a pure function of (config, iteration), so
+/// baseline and Dodo runs replay identical request streams.
+std::vector<Bytes64> synthetic_trace(const SyntheticConfig& cfg,
+                                     int iteration);
+
+/// Runs the benchmark over the given BlockIo (baseline or Dodo).
+sim::Co<void> run_synthetic(cluster::Cluster& cluster, BlockIo& io,
+                            SyntheticConfig cfg, RunStats* out);
+
+}  // namespace dodo::apps

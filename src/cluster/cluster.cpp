@@ -1,0 +1,112 @@
+#include "cluster/cluster.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "core/wire.hpp"
+
+namespace dodo::cluster {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)), sim_(config_.seed) {
+  const auto nodes = static_cast<std::size_t>(config_.imd_hosts) + 2;
+  net_ = std::make_unique<net::Network>(sim_, config_.net, nodes);
+
+  disk::FsParams fsp;
+  fsp.cache.capacity =
+      config_.use_dodo ? config_.page_cache_dodo : config_.page_cache_baseline;
+  fs_ = std::make_unique<disk::SimFilesystem>(sim_, fsp);
+
+  cmd_ = std::make_unique<core::CentralManager>(sim_, *net_, 0, config_.cmd);
+  cmd_->start();
+
+  if (config_.use_dodo) {
+    for (int i = 0; i < config_.imd_hosts; ++i) {
+      const auto node = static_cast<net::NodeId>(i + 2);
+      const core::ActivitySource* activity = nullptr;
+      core::RmdParams rp = config_.rmd;
+      if (static_cast<std::size_t>(i) < config_.host_activity.size() &&
+          config_.host_activity[static_cast<std::size_t>(i)] != nullptr) {
+        activity = config_.host_activity[static_cast<std::size_t>(i)];
+      } else {
+        // Dedicated Beowulf node: always idle, recruited immediately.
+        default_activity_.push_back(std::make_unique<core::AlwaysIdleActivity>(
+            128_MiB, 20_MiB));
+        activity = default_activity_.back().get();
+        rp.start_recruited = true;
+      }
+      core::ImdParams ip;
+      ip.pool_bytes = config_.imd_pool;
+      ip.materialize = config_.materialize;
+      rmds_.push_back(std::make_unique<core::ResourceMonitor>(
+          sim_, *net_, node, cmd_->endpoint(), *activity, rp, ip));
+      rmds_.back()->start();
+    }
+    restart_client();
+  }
+}
+
+Cluster::~Cluster() {
+  // Suspended daemon coroutine frames hold sockets and channel waiters that
+  // reference the network; tear the frames down while everything is alive.
+  manager_.reset();
+  sim_.destroy_detached();
+}
+
+void Cluster::restart_client() {
+  assert(config_.use_dodo);
+  manager_.reset();
+  client_.reset();
+  client_ = std::make_unique<runtime::DodoClient>(
+      sim_, *net_, app_node(), cmd_->endpoint(), *fs_, config_.client);
+  client_->start();
+  manage::ManageParams mp = config_.manage_overrides;
+  mp.local_cache_bytes = config_.local_cache;
+  mp.materialize = config_.materialize;
+  mp.policy = config_.policy;
+  manager_ =
+      std::make_unique<manage::RegionManager>(sim_, *client_, *fs_, mp);
+}
+
+int Cluster::create_dataset(const std::string& name, Bytes64 size,
+                            std::uint64_t content_seed) {
+  if (!fs_->exists(name)) {
+    std::unique_ptr<disk::DataStore> store;
+    if (config_.materialize) {
+      store = std::make_unique<disk::MaterializedStore>(size);
+    } else {
+      store = std::make_unique<disk::PatternStore>(size, content_seed);
+    }
+    fs_->create(name, size, std::move(store));
+  }
+  return fs_->open(name, disk::OpenMode::kReadWrite);
+}
+
+SimTime Cluster::run_app(std::function<sim::Co<void>(Cluster&)> app,
+                         Duration limit) {
+  const SimTime start = sim_.now();
+  bool finished = false;
+  sim_.spawn([](Cluster& c, std::function<sim::Co<void>(Cluster&)> fn,
+                bool& done) -> sim::Co<void> {
+    // Let freshly started daemons finish registering with the cmd before
+    // the application's first allocation (otherwise the first mopen fails
+    // and the refraction period suppresses remote memory for seconds).
+    co_await c.sim_.sleep(50_ms);
+    co_await fn(c);
+    done = true;
+    c.sim_.request_stop();
+  }(*this, std::move(app), finished));
+  sim_.run(start + limit);
+  if (!finished) {
+    std::fprintf(stderr,
+                 "dodo::cluster: application did not finish within the "
+                 "simulated time limit (%.1f s)\n",
+                 to_seconds(limit));
+    std::abort();
+  }
+  return sim_.now() - start;
+}
+
+}  // namespace dodo::cluster

@@ -1,0 +1,99 @@
+// Cluster harness: builds a complete simulated Dodo deployment matching the
+// paper's testbed (§5.1) and runs application coroutines on it.
+//
+// Node layout: node 0 runs the central manager daemon on a dedicated
+// machine; node 1 runs the application (with the only disk that matters);
+// nodes 2..1+imd_hosts are harvested workstations, each with a resource
+// monitor that recruits an idle memory daemon. The paper's configuration is
+// the default: 12 hosts x 100 MB pools (1.2 GB of remote memory), an 80 MB
+// local region cache, 128 MB application node.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/activity.hpp"
+#include "core/cmd.hpp"
+#include "core/rmd.hpp"
+#include "disk/filesystem.hpp"
+#include "manage/region_manager.hpp"
+#include "net/transport.hpp"
+#include "runtime/dodo_client.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo::cluster {
+
+struct ClusterConfig {
+  int imd_hosts = 12;
+  Bytes64 imd_pool = 100 * 1024 * 1024;   // 0 = derive from activity
+  Bytes64 local_cache = 80 * 1024 * 1024;  // libmanage pool on the app node
+  /// Page cache on the application node. With Dodo, the region cache takes
+  /// most of the app node's memory; without it, the OS uses that memory for
+  /// file pages. 128 MB node, ~12 MB kernel, app image ~8 MB.
+  Bytes64 page_cache_dodo = 24 * 1024 * 1024;
+  Bytes64 page_cache_baseline = 100 * 1024 * 1024;
+  net::NetParams net = net::NetParams::unet_batched();
+  bool use_dodo = true;
+  bool materialize = true;   // false: phantom data (paper-scale benches)
+  manage::Policy policy = manage::Policy::kLru;
+  std::uint64_t seed = 1;
+  /// Non-empty: per-host activity sources for non-dedicated (churn) runs;
+  /// otherwise hosts are dedicated (always idle, recruited at t=0).
+  std::vector<const core::ActivitySource*> host_activity;
+  core::RmdParams rmd{};
+  core::CmdParams cmd{};
+  runtime::ClientParams client{};
+  manage::ManageParams manage_overrides{};  // cache size/policy set from above
+};
+
+/// Owns the whole simulated deployment. Destruction tears down suspended
+/// daemon coroutines before the network/filesystem they reference.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] net::Network& network() { return *net_; }
+  [[nodiscard]] disk::SimFilesystem& fs() { return *fs_; }
+  [[nodiscard]] core::CentralManager& cmd() { return *cmd_; }
+  [[nodiscard]] runtime::DodoClient* dodo() { return client_.get(); }
+  [[nodiscard]] manage::RegionManager* manager() { return manager_.get(); }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] core::ResourceMonitor& rmd(int host) { return *rmds_.at(host); }
+
+  [[nodiscard]] net::NodeId app_node() const { return 1; }
+
+  /// Creates the application dataset file on the app node, materialized or
+  /// pattern-backed per the config. Returns the (writable) fd.
+  int create_dataset(const std::string& name, Bytes64 size,
+                     std::uint64_t content_seed = 0x64617461);
+
+  /// Runs an application coroutine to completion and returns its elapsed
+  /// simulated time. The simulation keeps daemons alive across calls, so
+  /// this can be called repeatedly (e.g. dmine run 1, run 2).
+  SimTime run_app(std::function<sim::Co<void>(Cluster&)> app,
+                  Duration limit = 400LL * 3600 * kSecond);
+
+  /// Replaces the client+manager with fresh instances (a "new process" for
+  /// persistent-data experiments). Same client id: region keys match.
+  void restart_client();
+
+ private:
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<disk::SimFilesystem> fs_;
+  std::unique_ptr<core::CentralManager> cmd_;
+  std::vector<std::unique_ptr<core::AlwaysIdleActivity>> default_activity_;
+  std::vector<std::unique_ptr<core::ResourceMonitor>> rmds_;
+  std::unique_ptr<runtime::DodoClient> client_;
+  std::unique_ptr<manage::RegionManager> manager_;
+};
+
+}  // namespace dodo::cluster

@@ -1,0 +1,57 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dodo {
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kWarn:
+      tag = "W";
+      break;
+    case LogLevel::kError:
+      tag = "E";
+      break;
+  }
+  if (now_fn_ != nullptr) {
+    const SimTime t = now_fn_(now_ctx_);
+    std::fprintf(stderr, "[%s %12.6fs %.*s] %.*s\n", tag, to_seconds(t),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  } else {
+    std::fprintf(stderr, "[%s %.*s] %.*s\n", tag,
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+}
+
+namespace detail {
+
+std::string format_log(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace dodo

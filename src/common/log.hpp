@@ -1,0 +1,70 @@
+// Minimal leveled logger.
+//
+// Daemons log protocol events at kDebug; tests and benches run at kWarn by
+// default so output stays readable. The logger is process-global and not
+// thread-safe by design: the simulator is single-threaded, and the only
+// multi-threaded component (rtnet) logs nothing on its hot path.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/units.hpp"
+
+namespace dodo {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Sets a callback that supplies the current simulated time for log
+  /// prefixes; pass nullptr to clear.
+  void set_clock(SimTime (*now_fn)(void*), void* ctx) {
+    now_fn_ = now_fn;
+    now_ctx_ = ctx;
+  }
+
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+
+  LogLevel level_ = LogLevel::kWarn;
+  SimTime (*now_fn_)(void*) = nullptr;
+  void* now_ctx_ = nullptr;
+};
+
+namespace detail {
+std::string format_log(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define DODO_LOG(level, component, ...)                                  \
+  do {                                                                   \
+    if (::dodo::Logger::instance().enabled(level)) {                     \
+      ::dodo::Logger::instance().write(                                  \
+          level, component, ::dodo::detail::format_log(__VA_ARGS__));    \
+    }                                                                    \
+  } while (0)
+
+#define DODO_DEBUG(component, ...) \
+  DODO_LOG(::dodo::LogLevel::kDebug, component, __VA_ARGS__)
+#define DODO_INFO(component, ...) \
+  DODO_LOG(::dodo::LogLevel::kInfo, component, __VA_ARGS__)
+#define DODO_WARN(component, ...) \
+  DODO_LOG(::dodo::LogLevel::kWarn, component, __VA_ARGS__)
+#define DODO_ERROR(component, ...) \
+  DODO_LOG(::dodo::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace dodo

@@ -1,0 +1,25 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace dodo {
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; guard against log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller. We discard the second variate to keep the generator
+  // stateless with respect to call parity (simpler reproducibility story).
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  return mean + stddev * r * std::cos(theta);
+}
+
+}  // namespace dodo

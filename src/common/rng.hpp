@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (seek distances, packet loss,
+// workload access patterns, trace synthesis) draws from explicitly seeded
+// generators so that every experiment is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dodo {
+
+/// SplitMix64: used to expand a single seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator. Satisfies
+/// std::uniform_random_bit_generator so it composes with <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill here; simple
+    // rejection keeps the distribution exact.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed double (Box-Muller, one value per call).
+  double normal(double mean, double stddev);
+
+  /// Derive an independent generator for a named substream.
+  Rng fork(std::uint64_t stream_id) const {
+    SplitMix64 sm(s_[0] ^ (stream_id * 0xd1342543de82ef95ULL));
+    return Rng(sm.next());
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace dodo

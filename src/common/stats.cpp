@@ -1,0 +1,22 @@
+#include "common/stats.hpp"
+
+namespace dodo {
+
+double Histogram::quantile(double q) const {
+  std::uint64_t total = 0;
+  for (const auto c : counts_) total += c;
+  if (total == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+      return lo_ + width * (static_cast<double>(i) + 0.5);
+    }
+  }
+  return hi_;
+}
+
+}  // namespace dodo

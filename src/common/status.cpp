@@ -1,0 +1,45 @@
+#include "common/status.hpp"
+
+namespace dodo {
+
+std::string_view err_name(Err e) {
+  switch (e) {
+    case Err::kOk:
+      return "OK";
+    case Err::kNoMem:
+      return "NOMEM";
+    case Err::kInval:
+      return "INVAL";
+    case Err::kIo:
+      return "IO";
+    case Err::kTimeout:
+      return "TIMEOUT";
+    case Err::kUnreachable:
+      return "UNREACHABLE";
+    case Err::kRefused:
+      return "REFUSED";
+    case Err::kExists:
+      return "EXISTS";
+    case Err::kNotFound:
+      return "NOT_FOUND";
+    case Err::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string s{err_name(code_)};
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+int& dodo_errno() {
+  thread_local int value = 0;
+  return value;
+}
+
+}  // namespace dodo

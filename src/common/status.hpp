@@ -1,0 +1,71 @@
+// Error model.
+//
+// Internals use a typed Status; the public mopen/mread/... API converts it to
+// the paper's errno-style convention (-1 + dodo_errno) in src/runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dodo {
+
+/// Error codes for Dodo operations. The first three mirror the errno values
+/// the paper's API contract names (ENOMEM, EINVAL, EIO); the rest are
+/// internal conditions that the runtime maps onto those before they reach
+/// the application.
+enum class Err : std::uint8_t {
+  kOk = 0,
+  kNoMem,        // no memory / region not active (paper: ENOMEM)
+  kInval,        // bad arguments / bad descriptor (paper: EINVAL)
+  kIo,           // backing-file I/O failed (paper: errno of write())
+  kTimeout,      // protocol timeout
+  kUnreachable,  // peer host gone / daemon exited
+  kRefused,      // daemon refused (e.g. shutting down)
+  kExists,       // region key already allocated
+  kNotFound,     // no such region / host
+  kShutdown,     // component is shutting down
+};
+
+std::string_view err_name(Err e);
+
+/// A result code with an optional human-readable detail message.
+/// Cheap to copy when ok (empty message).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  explicit Status(Err code) : code_(code) {}
+  Status(Err code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == Err::kOk; }
+  [[nodiscard]] Err code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  explicit operator bool() const { return is_ok(); }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Err code_ = Err::kOk;
+  std::string message_;
+};
+
+/// errno-style side channel for the paper-faithful C API surface.
+/// The runtime sets this before returning -1, mirroring §3.2 of the paper.
+int& dodo_errno();
+
+/// Values used with dodo_errno(); aliased to the host errno values so that
+/// application code written against the paper's contract reads naturally.
+inline constexpr int kDodoENOMEM = 12;  // ENOMEM
+inline constexpr int kDodoEINVAL = 22;  // EINVAL
+inline constexpr int kDodoEIO = 5;      // EIO
+
+}  // namespace dodo

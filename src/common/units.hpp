@@ -1,0 +1,87 @@
+// Byte-size and simulated-time units used throughout Dodo.
+//
+// Simulated time is a signed 64-bit count of nanoseconds. We deliberately do
+// not use std::chrono for the simulated clock: sim time is a dimension of the
+// model, never of the host, and keeping it a plain integer makes event
+// ordering, serialization, and arithmetic in timing models trivial.
+#pragma once
+
+#include <cstdint>
+
+namespace dodo {
+
+// ---------------------------------------------------------------------------
+// Byte sizes
+// ---------------------------------------------------------------------------
+
+using Bytes64 = std::int64_t;
+
+constexpr Bytes64 KiB = 1024;
+constexpr Bytes64 MiB = 1024 * KiB;
+constexpr Bytes64 GiB = 1024 * MiB;
+
+constexpr Bytes64 operator""_KiB(unsigned long long v) {
+  return static_cast<Bytes64>(v) * KiB;
+}
+constexpr Bytes64 operator""_MiB(unsigned long long v) {
+  return static_cast<Bytes64>(v) * MiB;
+}
+constexpr Bytes64 operator""_GiB(unsigned long long v) {
+  return static_cast<Bytes64>(v) * GiB;
+}
+
+// ---------------------------------------------------------------------------
+// Simulated time
+// ---------------------------------------------------------------------------
+
+/// A point on the simulated clock, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+/// A span of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration operator""_ns(unsigned long long v) {
+  return static_cast<Duration>(v);
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return static_cast<Duration>(v) * kMicrosecond;
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return static_cast<Duration>(v) * kMillisecond;
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return static_cast<Duration>(v) * kSecond;
+}
+
+/// Converts a duration expressed in (possibly fractional) seconds.
+constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+/// Converts a duration expressed in (possibly fractional) milliseconds.
+constexpr Duration millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+/// Converts a duration expressed in (possibly fractional) microseconds.
+constexpr Duration micros(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Time to move `bytes` at `bytes_per_second`, rounded up to whole ns.
+constexpr Duration transfer_time(Bytes64 bytes, double bytes_per_second) {
+  if (bytes <= 0 || bytes_per_second <= 0.0) return 0;
+  const double sec = static_cast<double>(bytes) / bytes_per_second;
+  return static_cast<Duration>(sec * static_cast<double>(kSecond)) + 1;
+}
+
+}  // namespace dodo

@@ -1,0 +1,100 @@
+// Workstation activity sources: what the resource monitor daemon samples.
+//
+// The paper's rmd checks mouse/keyboard device files and /proc/uptime load
+// once a second. In the simulator those signals come from an ActivitySource:
+// dedicated Beowulf nodes are AlwaysIdle; desktop-cluster experiments use
+// ScriptedActivity or the Section-2 trace synthesizer (src/trace).
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dodo::core {
+
+class ActivitySource {
+ public:
+  virtual ~ActivitySource() = default;
+
+  /// Keyboard/mouse activity at `t` (device-file access within last sample).
+  [[nodiscard]] virtual bool console_active(SimTime t) const = 0;
+
+  /// Load average (with screen saver / imd usage already subtracted, as the
+  /// paper's rmd does).
+  [[nodiscard]] virtual double load(SimTime t) const = 0;
+
+  /// Memory in active use by the owner (kernel + processes + live files).
+  [[nodiscard]] virtual Bytes64 active_memory(SimTime t) const = 0;
+
+  /// Total physical memory of the workstation.
+  [[nodiscard]] virtual Bytes64 total_memory() const = 0;
+};
+
+/// Dedicated-cluster node: never busy, fixed resident footprint.
+class AlwaysIdleActivity final : public ActivitySource {
+ public:
+  AlwaysIdleActivity(Bytes64 total, Bytes64 active)
+      : total_(total), active_(active) {}
+
+  [[nodiscard]] bool console_active(SimTime) const override { return false; }
+  [[nodiscard]] double load(SimTime) const override { return 0.0; }
+  [[nodiscard]] Bytes64 active_memory(SimTime) const override {
+    return active_;
+  }
+  [[nodiscard]] Bytes64 total_memory() const override { return total_; }
+
+ private:
+  Bytes64 total_;
+  Bytes64 active_;
+};
+
+/// Piecewise-scripted owner behaviour: a list of [start, end) busy windows
+/// during which the console is active and load is high.
+class ScriptedActivity final : public ActivitySource {
+ public:
+  ScriptedActivity(Bytes64 total, Bytes64 active_idle, Bytes64 active_busy,
+                   std::vector<std::pair<SimTime, SimTime>> busy_windows)
+      : total_(total),
+        active_idle_(active_idle),
+        active_busy_(active_busy),
+        windows_(std::move(busy_windows)) {}
+
+  [[nodiscard]] bool busy_at(SimTime t) const {
+    return std::any_of(windows_.begin(), windows_.end(), [t](const auto& w) {
+      return t >= w.first && t < w.second;
+    });
+  }
+
+  [[nodiscard]] bool console_active(SimTime t) const override {
+    return busy_at(t);
+  }
+  [[nodiscard]] double load(SimTime t) const override {
+    return busy_at(t) ? 1.0 : 0.05;
+  }
+  [[nodiscard]] Bytes64 active_memory(SimTime t) const override {
+    return busy_at(t) ? active_busy_ : active_idle_;
+  }
+  [[nodiscard]] Bytes64 total_memory() const override { return total_; }
+
+ private:
+  Bytes64 total_;
+  Bytes64 active_idle_;
+  Bytes64 active_busy_;
+  std::vector<std::pair<SimTime, SimTime>> windows_;
+};
+
+/// The paper's recruitment formula (§3.1): harvest everything except the
+/// memory in active use, the paging free-list reserve (lotsfree), and a 15%
+/// headroom for live file-cache pages.
+[[nodiscard]] inline Bytes64 recruit_pool_bytes(Bytes64 total, Bytes64 active,
+                                                Bytes64 lotsfree,
+                                                double headroom_frac) {
+  const auto headroom =
+      static_cast<Bytes64>(headroom_frac * static_cast<double>(total));
+  const Bytes64 pool = total - active - lotsfree - headroom;
+  return pool > 0 ? pool : 0;
+}
+
+}  // namespace dodo::core

@@ -1,0 +1,132 @@
+#include "core/buddy_allocator.hpp"
+
+#include <cassert>
+
+namespace dodo::core {
+
+BuddyAllocator::BuddyAllocator(Bytes64 pool_size, Bytes64 min_block)
+    : min_block_(min_block) {
+  assert(pool_size >= min_block && min_block > 0);
+  assert((min_block & (min_block - 1)) == 0 && "min_block: power of two");
+  // Largest power-of-two multiple of min_block that fits.
+  Bytes64 size = min_block_;
+  int order = 0;
+  while (size * 2 <= pool_size) {
+    size *= 2;
+    ++order;
+  }
+  pool_size_ = size;
+  max_order_ = order;
+  total_free_ = size;
+  free_lists_.resize(static_cast<std::size_t>(max_order_) + 1);
+  free_lists_[static_cast<std::size_t>(max_order_)][0] = true;
+}
+
+int BuddyAllocator::order_for(Bytes64 len) const {
+  Bytes64 size = min_block_;
+  int order = 0;
+  while (size < len && order < max_order_) {
+    size *= 2;
+    ++order;
+  }
+  return size >= len ? order : -1;
+}
+
+std::optional<Bytes64> BuddyAllocator::alloc(Bytes64 len) {
+  if (len <= 0 || len > pool_size_) return std::nullopt;
+  const int want = order_for(len);
+  if (want < 0) return std::nullopt;
+  // Find the smallest free block of order >= want.
+  int have = -1;
+  for (int o = want; o <= max_order_; ++o) {
+    if (!free_lists_[static_cast<std::size_t>(o)].empty()) {
+      have = o;
+      break;
+    }
+  }
+  if (have < 0) return std::nullopt;
+  auto& from = free_lists_[static_cast<std::size_t>(have)];
+  const Bytes64 offset = from.begin()->first;
+  from.erase(from.begin());
+  // Split down to the wanted order, freeing the upper buddies.
+  for (int o = have; o > want; --o) {
+    const Bytes64 buddy = offset + block_size(o - 1);
+    free_lists_[static_cast<std::size_t>(o - 1)][buddy] = true;
+  }
+  allocated_[offset] = {want, len};
+  total_free_ -= block_size(want);
+  internal_waste_ += block_size(want) - len;
+  return offset;
+}
+
+bool BuddyAllocator::free(Bytes64 offset) {
+  auto it = allocated_.find(offset);
+  if (it == allocated_.end()) return false;
+  int order = it->second.first;
+  internal_waste_ -= block_size(order) - it->second.second;
+  total_free_ += block_size(order);
+  allocated_.erase(it);
+
+  // Eager merge with the buddy while it is free too.
+  Bytes64 off = offset;
+  while (order < max_order_) {
+    const Bytes64 buddy = off ^ block_size(order);
+    auto& list = free_lists_[static_cast<std::size_t>(order)];
+    auto bit = list.find(buddy);
+    if (bit == list.end()) break;
+    list.erase(bit);
+    off = off < buddy ? off : buddy;
+    ++order;
+  }
+  free_lists_[static_cast<std::size_t>(order)][off] = true;
+  return true;
+}
+
+Bytes64 BuddyAllocator::largest_free() const {
+  for (int o = max_order_; o >= 0; --o) {
+    if (!free_lists_[static_cast<std::size_t>(o)].empty()) {
+      return block_size(o);
+    }
+  }
+  return 0;
+}
+
+std::size_t BuddyAllocator::free_block_count() const {
+  std::size_t n = 0;
+  for (const auto& list : free_lists_) n += list.size();
+  return n;
+}
+
+double BuddyAllocator::external_fragmentation() const {
+  if (total_free_ <= 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free()) /
+                   static_cast<double>(total_free_);
+}
+
+bool BuddyAllocator::check_invariants() const {
+  // Blocks (free per order + allocated) must tile the pool exactly.
+  std::map<Bytes64, Bytes64> blocks;  // offset -> len
+  Bytes64 free_sum = 0;
+  for (int o = 0; o <= max_order_; ++o) {
+    for (const auto& [off, _] : free_lists_[static_cast<std::size_t>(o)]) {
+      if (blocks.count(off) != 0) return false;
+      blocks[off] = block_size(o);
+      free_sum += block_size(o);
+      // Alignment: a block of order o starts on a multiple of its size.
+      if (off % block_size(o) != 0) return false;
+    }
+  }
+  for (const auto& [off, meta] : allocated_) {
+    if (blocks.count(off) != 0) return false;
+    blocks[off] = block_size(meta.first);
+    if (off % block_size(meta.first) != 0) return false;
+  }
+  Bytes64 cursor = 0;
+  for (const auto& [off, len] : blocks) {
+    if (off != cursor) return false;
+    cursor += len;
+  }
+  return cursor == pool_size_ && free_sum == total_free_;
+}
+
+}  // namespace dodo::core

@@ -1,0 +1,73 @@
+// Binary buddy allocator — the paper's named fallback (§4.2): "If
+// [fragmentation] becomes a problem at a later date, we plan to switch to a
+// buddy-based allocation scheme."
+//
+// Classic power-of-two buddy system over the imd pool: requests round up to
+// the next power of two (internal fragmentation), blocks split recursively
+// on allocation and merge eagerly with their buddy on free, bounding
+// external fragmentation. bench_ablation_allocator quantifies the tradeoff
+// against the paper's first-fit + periodic coalescing.
+//
+// Exposes the same surface as PoolAllocator so either can back an imd.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dodo::core {
+
+class BuddyAllocator {
+ public:
+  /// pool_size is rounded down to a power of two; min_block bounds split
+  /// depth (and metadata size).
+  explicit BuddyAllocator(Bytes64 pool_size, Bytes64 min_block = 4096);
+
+  std::optional<Bytes64> alloc(Bytes64 len);
+  bool free(Bytes64 offset);
+
+  /// No-op: buddies merge eagerly on free. Present for interface parity
+  /// with PoolAllocator.
+  void coalesce() {}
+
+  [[nodiscard]] Bytes64 pool_size() const { return pool_size_; }
+  /// Free bytes in block terms (includes internal fragmentation headroom).
+  [[nodiscard]] Bytes64 total_free() const { return total_free_; }
+  [[nodiscard]] Bytes64 largest_free() const;
+  [[nodiscard]] std::size_t free_block_count() const;
+  [[nodiscard]] std::size_t allocated_block_count() const {
+    return allocated_.size();
+  }
+
+  /// 0 = a maximal block is free; approaches 1 as free space shatters.
+  [[nodiscard]] double external_fragmentation() const;
+
+  /// Bytes lost to rounding (allocated block size - requested size), summed
+  /// over live allocations: the cost buddy pays to keep merging trivial.
+  [[nodiscard]] Bytes64 internal_fragmentation_bytes() const {
+    return internal_waste_;
+  }
+
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  [[nodiscard]] int order_for(Bytes64 len) const;
+  [[nodiscard]] Bytes64 block_size(int order) const {
+    return min_block_ << order;
+  }
+
+  Bytes64 pool_size_;
+  Bytes64 min_block_;
+  int max_order_ = 0;
+  Bytes64 total_free_;
+  Bytes64 internal_waste_ = 0;
+  // free_lists_[order] = offsets of free blocks of that order.
+  std::vector<std::map<Bytes64, bool>> free_lists_;
+  // offset -> (order, requested length)
+  std::map<Bytes64, std::pair<int, Bytes64>> allocated_;
+};
+
+}  // namespace dodo::core

@@ -1,0 +1,346 @@
+#include "core/cmd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace dodo::core {
+
+CentralManager::CentralManager(sim::Simulator& sim, net::Network& net,
+                               net::NodeId node, CmdParams params)
+    : sim_(sim),
+      net_(net),
+      node_(node),
+      params_(params),
+      rng_(sim.rng().fork(0x636d64u)),  // "cmd"
+      loops_(sim),
+      stop_ch_(sim) {}
+
+CentralManager::~CentralManager() = default;
+
+void CentralManager::start() {
+  assert(!running_);
+  running_ = true;
+  stopping_ = false;
+  sock_ = net_.open(node_, kCmdPort);
+  loops_.add(2);
+  sim_.spawn(serve_loop());
+  sim_.spawn(keepalive_loop());
+}
+
+sim::Co<void> CentralManager::stop() {
+  if (!running_) co_return;
+  stopping_ = true;
+  net::Message sentinel;
+  sentinel.header = make_header(MsgKind::kShutdownSentinel, 0);
+  sock_->inject(std::move(sentinel));
+  stop_ch_.send(1);
+  co_await loops_.wait();
+  sock_.reset();
+  running_ = false;
+}
+
+std::size_t CentralManager::idle_host_count() const {
+  std::size_t n = 0;
+  for (const auto& [node, info] : iwd_) {
+    if (info.idle) ++n;
+  }
+  return n;
+}
+
+void CentralManager::reply_cached(const net::Message& msg, std::uint64_t rid,
+                                  net::Buf rep) {
+  if (reply_cache_.size() > 8192) reply_cache_.clear();
+  reply_cache_[ReplyKey{msg.src, rid}] = rep;
+  sock_->send(msg.src, std::move(rep));
+}
+
+bool CentralManager::replay_if_duplicate(const net::Message& msg,
+                                         std::uint64_t rid) {
+  auto it = reply_cache_.find(ReplyKey{msg.src, rid});
+  if (it == reply_cache_.end()) return false;
+  sock_->send(msg.src, it->second);
+  return true;
+}
+
+sim::Co<void> CentralManager::serve_loop() {
+  for (;;) {
+    net::Message msg = co_await sock_->recv();
+    auto env = peek_envelope(msg);
+    if (!env) continue;
+    if (env->kind == MsgKind::kShutdownSentinel) break;
+    switch (env->kind) {
+      case MsgKind::kHostStatus:
+        handle_host_status(msg);
+        break;
+      case MsgKind::kImdRegister:
+        handle_imd_register(msg);
+        break;
+      case MsgKind::kMopenReq:
+        if (!replay_if_duplicate(msg, env->rid)) {
+          co_await handle_mopen(std::move(msg));
+        }
+        break;
+      case MsgKind::kCheckAllocReq:
+        if (!replay_if_duplicate(msg, env->rid)) {
+          handle_checkalloc(msg);
+        }
+        break;
+      case MsgKind::kMfreeReq:
+        if (!replay_if_duplicate(msg, env->rid)) {
+          co_await handle_mfree(std::move(msg));
+        }
+        break;
+      case MsgKind::kDetach: {
+        net::Reader r = body_reader(msg);
+        const std::uint32_t client = r.u32();
+        if (r.ok()) clients_.erase(client);
+        sock_->send(msg.src, make_header(MsgKind::kDetach, env->rid));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  loops_.done();
+}
+
+void CentralManager::handle_host_status(const net::Message& msg) {
+  net::Reader r = body_reader(msg);
+  const net::NodeId node = r.u32();
+  const bool idle = r.u8() != 0;
+  if (!r.ok()) return;
+  auto& info = iwd_[node];
+  info.idle = idle;
+  if (!idle) info.largest_free = 0;
+  DODO_DEBUG("cmd", "host %u now %s", node, idle ? "idle" : "busy");
+}
+
+void CentralManager::handle_imd_register(const net::Message& msg) {
+  net::Reader r = body_reader(msg);
+  const net::NodeId node = r.u32();
+  const std::uint64_t epoch = r.u64();
+  const Bytes64 pool = r.i64();
+  const Bytes64 largest = r.i64();
+  if (!r.ok()) return;
+  auto& info = iwd_[node];
+  info.idle = true;
+  info.epoch = epoch;
+  info.pool_total = pool;
+  info.largest_free = largest;
+  // Ack so the imd's registration RPC completes.
+  sock_->send(msg.src, make_header(MsgKind::kImdRegister,
+                                   peek_envelope(msg)->rid));
+  DODO_DEBUG("cmd", "imd registered: host %u epoch %llu pool %lld", node,
+             static_cast<unsigned long long>(epoch),
+             static_cast<long long>(pool));
+}
+
+RegionLoc* CentralManager::validate_region(const RegionKey& key) {
+  auto it = rd_.find(key);
+  if (it == rd_.end()) return nullptr;
+  auto host = iwd_.find(it->second.host);
+  if (host == iwd_.end() || !host->second.idle ||
+      host->second.epoch != it->second.epoch) {
+    // Stale: the workstation was reclaimed (or re-recruited under a new
+    // epoch) since the region was allocated. Delete, per §4.3 checkAlloc.
+    rd_.erase(it);
+    ++metrics_.stale_regions_dropped;
+    return nullptr;
+  }
+  return &it->second;
+}
+
+sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
+  const auto env = peek_envelope(msg);
+  net::Reader r = body_reader(msg);
+  const RegionKey key = get_key(r);
+  const Bytes64 len = r.i64();
+  const net::Endpoint client_ctl = get_endpoint(r);
+  ++metrics_.mopens;
+
+  auto reply_fail = [&] {
+    ++metrics_.alloc_failures;
+    net::Buf rep = make_header(MsgKind::kMopenRep, env->rid);
+    net::Writer w(rep);
+    w.u8(0);
+    w.u8(0);
+    put_loc(w, RegionLoc{});
+    reply_cached(msg, env->rid, std::move(rep));
+  };
+  if (!r.ok() || len <= 0) {
+    reply_fail();
+    co_return;
+  }
+
+  clients_[key.client] = ClientInfo{client_ctl, 0};
+
+  // Persistent-region path: a prior run left this key cached (dmine mode).
+  if (RegionLoc* existing = validate_region(key)) {
+    if (existing->len == len) {
+      ++metrics_.mopen_reuses;
+      net::Buf rep = make_header(MsgKind::kMopenRep, env->rid);
+      net::Writer w(rep);
+      w.u8(1);
+      w.u8(1);  // reused: remote copy still holds the previous run's data
+      put_loc(w, *existing);
+      reply_cached(msg, env->rid, std::move(rep));
+      co_return;
+    }
+    // Length changed: the old cache is useless; drop it and allocate fresh.
+    co_await rpc_free_region(key, *existing);
+    rd_.erase(key);
+  }
+
+  // Random host selection among those believed to have room, verifying with
+  // the imd and moving on when the hint was wrong (§4.3 alloc).
+  std::vector<net::NodeId> candidates;
+  for (const auto& [node, info] : iwd_) {
+    if (info.idle && info.largest_free >= len) candidates.push_back(node);
+  }
+  std::sort(candidates.begin(), candidates.end());  // determinism
+
+  while (!candidates.empty()) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng_.below(candidates.size()));
+    const net::NodeId host = candidates[pick];
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+
+    ++metrics_.alloc_attempts;
+    const std::uint64_t rid = rids_.next();
+    net::Buf req = make_header(MsgKind::kAllocReq, rid);
+    net::Writer w(req);
+    w.i64(len);
+    auto rep = co_await rpc_call(net_, node_,
+                                 net::Endpoint{host, kImdCtlPort},
+                                 std::move(req), rid, params_.imd_rpc);
+    if (!rep) {
+      // Host gone (shutdown/crash/reclaimed): drop it from the IWD.
+      iwd_[host].idle = false;
+      continue;
+    }
+    net::Reader rr = body_reader(*rep);
+    const bool ok = rr.u8() != 0;
+    const std::uint64_t region_id = rr.u64();
+    const std::uint64_t epoch = rr.u64();
+    const Bytes64 largest = rr.i64();
+    if (!rr.ok()) continue;
+    iwd_[host].epoch = epoch;
+    iwd_[host].largest_free = largest;  // piggybacked hint refresh
+    if (!ok) continue;
+
+    const RegionLoc loc{host, epoch, region_id, len};
+    rd_[key] = loc;
+    net::Buf out = make_header(MsgKind::kMopenRep, env->rid);
+    net::Writer ow(out);
+    ow.u8(1);
+    ow.u8(0);  // fresh allocation: contents undefined until written
+    put_loc(ow, loc);
+    reply_cached(msg, env->rid, std::move(out));
+    co_return;
+  }
+  reply_fail();
+}
+
+void CentralManager::handle_checkalloc(const net::Message& msg) {
+  const auto env = peek_envelope(msg);
+  net::Reader r = body_reader(msg);
+  const RegionKey key = get_key(r);
+  ++metrics_.checkallocs;
+  net::Buf rep = make_header(MsgKind::kCheckAllocRep, env->rid);
+  net::Writer w(rep);
+  if (RegionLoc* loc = r.ok() ? validate_region(key) : nullptr) {
+    w.u8(1);
+    put_loc(w, *loc);
+  } else {
+    w.u8(0);
+    put_loc(w, RegionLoc{});
+  }
+  reply_cached(msg, env->rid, std::move(rep));
+}
+
+sim::Co<bool> CentralManager::rpc_free_region(const RegionKey& key,
+                                              const RegionLoc& loc) {
+  (void)key;
+  const std::uint64_t rid = rids_.next();
+  net::Buf req = make_header(MsgKind::kFreeReq, rid);
+  net::Writer w(req);
+  w.u64(loc.imd_region);
+  auto rep = co_await rpc_call(net_, node_,
+                               net::Endpoint{loc.host, kImdCtlPort},
+                               std::move(req), rid, params_.imd_rpc);
+  if (!rep) co_return false;
+  net::Reader rr = body_reader(*rep);
+  const bool ok = rr.u8() != 0;
+  (void)rr.u64();  // epoch
+  const Bytes64 largest = rr.i64();
+  if (rr.ok()) iwd_[loc.host].largest_free = largest;
+  co_return ok;
+}
+
+sim::Co<void> CentralManager::handle_mfree(net::Message msg) {
+  const auto env = peek_envelope(msg);
+  net::Reader r = body_reader(msg);
+  const RegionKey key = get_key(r);
+  bool ok = false;
+  auto it = r.ok() ? rd_.find(key) : rd_.end();
+  if (it != rd_.end()) {
+    const RegionLoc loc = it->second;
+    rd_.erase(it);
+    ++metrics_.frees;
+    ok = true;
+    co_await rpc_free_region(key, loc);  // best effort; host may be gone
+  }
+  net::Buf rep = make_header(MsgKind::kMfreeRep, env->rid);
+  net::Writer w(rep);
+  w.u8(ok ? 1 : 0);
+  reply_cached(msg, env->rid, std::move(rep));
+}
+
+sim::Co<void> CentralManager::reclaim_client(std::uint32_t client) {
+  ++metrics_.clients_reclaimed;
+  std::vector<std::pair<RegionKey, RegionLoc>> victims;
+  for (const auto& [key, loc] : rd_) {
+    if (key.client == client) victims.emplace_back(key, loc);
+  }
+  for (const auto& [key, loc] : victims) {
+    rd_.erase(key);
+    ++metrics_.regions_reclaimed;
+    co_await rpc_free_region(key, loc);
+  }
+  clients_.erase(client);
+  DODO_INFO("cmd", "reclaimed %zu regions of dead client %u", victims.size(),
+            client);
+}
+
+sim::Co<void> CentralManager::keepalive_loop() {
+  for (;;) {
+    auto stop = co_await stop_ch_.recv_for(params_.keepalive_interval);
+    if (stop.has_value() || stopping_) break;
+    // Snapshot: reclaim_client mutates clients_.
+    std::vector<std::pair<std::uint32_t, net::Endpoint>> targets;
+    targets.reserve(clients_.size());
+    for (const auto& [id, info] : clients_) {
+      targets.emplace_back(id, info.control);
+    }
+    for (const auto& [id, control] : targets) {
+      const std::uint64_t rid = rids_.next();
+      ++metrics_.pings_sent;
+      auto rep = co_await rpc_call(net_, node_, control,
+                                   make_header(MsgKind::kPing, rid), rid,
+                                   params_.ping_rpc);
+      auto it = clients_.find(id);
+      if (it == clients_.end()) continue;
+      if (rep) {
+        it->second.missed = 0;
+      } else if (++it->second.missed > params_.keepalive_miss_limit) {
+        co_await reclaim_client(id);
+      }
+    }
+  }
+  loops_.done();
+}
+
+}  // namespace dodo::core

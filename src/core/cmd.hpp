@@ -1,0 +1,145 @@
+// The central manager daemon (cmd), paper §4.3.
+//
+// Runs on a dedicated machine. Maintains:
+//   IWD (idle-workstation directory): per host, last known epoch and largest
+//       free block — hints provided/piggybacked by the imds and rmds; the
+//       cmd always verifies with the imd before treating memory as real.
+//   RD (region directory): hash table keyed by (inode, offset[, client]) of
+//       every allocated region, each entry holding the hosting node, the
+//       offset/id within that imd, the length, and an epoch timestamp.
+// It exports checkAlloc / alloc / free to the runtime library and sends
+// periodic keep-alive echo requests so regions of dead applications can be
+// reclaimed. Allocation picks a host *at random* among those believed to
+// have a large-enough free block, retrying other hosts on failure, exactly
+// as §4.3 describes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/rpc.hpp"
+#include "core/wire.hpp"
+#include "net/transport.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::core {
+
+struct CmdParams {
+  Duration keepalive_interval = seconds(2.0);
+  int keepalive_miss_limit = 3;
+  RpcParams imd_rpc{};   // cmd -> imd alloc/free
+  RpcParams ping_rpc{millis(300), 0};
+};
+
+struct CmdMetrics {
+  std::uint64_t mopens = 0;
+  std::uint64_t mopen_reuses = 0;   // persistent region found in RD
+  std::uint64_t alloc_attempts = 0;  // imd RPCs issued
+  std::uint64_t alloc_failures = 0;  // mopen replies with no memory
+  std::uint64_t checkallocs = 0;
+  std::uint64_t stale_regions_dropped = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t pings_sent = 0;
+  std::uint64_t clients_reclaimed = 0;
+  std::uint64_t regions_reclaimed = 0;
+};
+
+class CentralManager {
+ public:
+  CentralManager(sim::Simulator& sim, net::Network& net, net::NodeId node,
+                 CmdParams params = {});
+  ~CentralManager();
+
+  CentralManager(const CentralManager&) = delete;
+  CentralManager& operator=(const CentralManager&) = delete;
+
+  void start();
+  sim::Co<void> stop();
+
+  [[nodiscard]] net::Endpoint endpoint() const {
+    return net::Endpoint{node_, kCmdPort};
+  }
+  [[nodiscard]] const CmdMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] std::size_t region_count() const { return rd_.size(); }
+  [[nodiscard]] std::size_t idle_host_count() const;
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+ private:
+  struct HostInfo {
+    bool idle = false;
+    std::uint64_t epoch = 0;
+    Bytes64 largest_free = 0;
+    Bytes64 pool_total = 0;
+  };
+  struct ClientInfo {
+    net::Endpoint control;
+    int missed = 0;
+  };
+
+  sim::Co<void> serve_loop();
+  sim::Co<void> keepalive_loop();
+
+  sim::Co<void> handle_mopen(net::Message msg);
+  sim::Co<void> handle_mfree(net::Message msg);
+  void handle_checkalloc(const net::Message& msg);
+  void handle_host_status(const net::Message& msg);
+  void handle_imd_register(const net::Message& msg);
+
+  /// checkAlloc core: validates a RD entry against the IWD epochs; deletes
+  /// and returns nullptr when stale.
+  RegionLoc* validate_region(const RegionKey& key);
+
+  sim::Co<bool> rpc_free_region(const RegionKey& key, const RegionLoc& loc);
+  sim::Co<void> reclaim_client(std::uint32_t client);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::NodeId node_;
+  CmdParams params_;
+  CmdMetrics metrics_;
+  Rng rng_;
+  RidSource rids_;
+
+  std::unordered_map<net::NodeId, HostInfo> iwd_;
+  std::unordered_map<RegionKey, RegionLoc, RegionKeyHash> rd_;
+  std::unordered_map<std::uint32_t, ClientInfo> clients_;
+
+  /// Duplicate-request suppression: a client retransmits an RPC whose reply
+  /// was lost; replaying the cached reply keeps non-idempotent operations
+  /// (mopen!) from executing twice — without it, a retried first-time mopen
+  /// hits the region-reuse path and reports a never-filled region as
+  /// "reused". Keyed by (caller endpoint, rid): the runtime uses a fresh
+  /// ephemeral socket per call, so retries alias and distinct calls do not.
+  struct ReplyKey {
+    net::Endpoint src;
+    std::uint64_t rid;
+    bool operator==(const ReplyKey&) const = default;
+  };
+  struct ReplyKeyHash {
+    std::size_t operator()(const ReplyKey& k) const {
+      return net::EndpointHash{}(k.src) ^
+             std::hash<std::uint64_t>{}(k.rid * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  std::unordered_map<ReplyKey, net::Buf, ReplyKeyHash> reply_cache_;
+
+  /// Sends `rep` to msg.src and remembers it for duplicate suppression.
+  void reply_cached(const net::Message& msg, std::uint64_t rid,
+                    net::Buf rep);
+  /// True (and replied) if this (src, rid) was already answered.
+  bool replay_if_duplicate(const net::Message& msg, std::uint64_t rid);
+
+  std::unique_ptr<net::Socket> sock_;
+  bool running_ = false;
+  bool stopping_ = false;
+  sim::WaitGroup loops_;
+  sim::Channel<int> stop_ch_;
+};
+
+}  // namespace dodo::core

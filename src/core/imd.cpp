@@ -1,0 +1,309 @@
+#include "core/imd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/log.hpp"
+#include "core/rpc.hpp"
+
+namespace dodo::core {
+
+namespace {
+net::Message make_sentinel() {
+  net::Message m;
+  m.header = make_header(MsgKind::kShutdownSentinel, 0);
+  return m;
+}
+}  // namespace
+
+IdleMemoryDaemon::IdleMemoryDaemon(sim::Simulator& sim, net::Network& net,
+                                   net::NodeId node, std::uint64_t epoch,
+                                   net::Endpoint cmd, ImdParams params)
+    : sim_(sim),
+      net_(net),
+      node_(node),
+      epoch_(epoch),
+      cmd_(cmd),
+      params_(params),
+      pool_(params.pool_bytes),
+      inflight_(sim),
+      stop_ch_(sim) {}
+
+IdleMemoryDaemon::~IdleMemoryDaemon() = default;
+
+void IdleMemoryDaemon::start() {
+  assert(!running_);
+  running_ = true;
+  stopping_ = false;
+  ctl_sock_ = net_.open(node_, kImdCtlPort);
+  data_sock_ = net_.open(node_, kImdDataPort);
+  inflight_.add(3);  // control loop, data loop, coalesce loop
+  sim_.spawn(control_loop());
+  sim_.spawn(data_loop());
+  sim_.spawn(coalesce_loop());
+}
+
+sim::Co<void> IdleMemoryDaemon::stop() {
+  if (!running_) co_return;
+  stopping_ = true;
+  // The paper's rmd sends a signal; the imd "handles the signal by
+  // completing the ongoing transfers and exiting".
+  ctl_sock_->inject(make_sentinel());
+  data_sock_->inject(make_sentinel());
+  stop_ch_.send(1);
+  co_await inflight_.wait();
+  ctl_sock_.reset();
+  data_sock_.reset();
+  regions_.clear();
+  reply_cache_.clear();
+  running_ = false;
+}
+
+const net::Buf* IdleMemoryDaemon::region_bytes(std::uint64_t region_id) const {
+  auto it = regions_.find(region_id);
+  return it == regions_.end() ? nullptr : &it->second.data;
+}
+
+sim::Co<void> IdleMemoryDaemon::control_loop() {
+  // Register with the central manager: pool size and epoch (§4.2). Sent as
+  // an RPC so a lost datagram does not leave the host invisible.
+  {
+    net::Buf h = make_header(MsgKind::kImdRegister, epoch_);
+    net::Writer w(h);
+    w.u32(node_);
+    w.u64(epoch_);
+    w.i64(pool_.pool_size());
+    w.i64(pool_.largest_free());
+    co_await rpc_call(net_, node_, cmd_, std::move(h), epoch_);
+  }
+
+  for (;;) {
+    net::Message msg = co_await ctl_sock_->recv();
+    auto env = peek_envelope(msg);
+    if (!env) continue;
+    if (env->kind == MsgKind::kShutdownSentinel) break;
+    switch (env->kind) {
+      case MsgKind::kAllocReq:
+        handle_alloc(msg, body_reader(msg));
+        break;
+      case MsgKind::kFreeReq:
+        handle_free(msg, body_reader(msg));
+        break;
+      default:
+        break;
+    }
+  }
+  inflight_.done();
+}
+
+void IdleMemoryDaemon::reply_cached_or(const net::Message& msg,
+                                       std::uint64_t rid, net::Buf reply) {
+  if (reply_cache_.size() > 4096) reply_cache_.clear();
+  reply_cache_[rid] = reply;
+  ctl_sock_->send(msg.src, std::move(reply));
+}
+
+void IdleMemoryDaemon::handle_alloc(const net::Message& msg, net::Reader r) {
+  const auto env = peek_envelope(msg);
+  if (auto it = reply_cache_.find(env->rid); it != reply_cache_.end()) {
+    ctl_sock_->send(msg.src, it->second);  // idempotent retry
+    return;
+  }
+  const Bytes64 len = r.i64();
+  net::Buf rep = make_header(MsgKind::kAllocRep, env->rid);
+  net::Writer w(rep);
+  if (!r.ok() || len <= 0 || stopping_) {
+    ++metrics_.alloc_failures;
+    w.u8(0);
+    w.u64(0);
+  } else if (auto offset = pool_.alloc(len)) {
+    ++metrics_.allocs;
+    const std::uint64_t id = next_region_id_++;
+    Region region;
+    region.pool_offset = *offset;
+    region.len = len;
+    if (params_.materialize) {
+      region.data.assign(static_cast<std::size_t>(len), 0);
+    }
+    regions_.emplace(id, std::move(region));
+    w.u8(1);
+    w.u64(id);
+  } else {
+    ++metrics_.alloc_failures;
+    w.u8(0);
+    w.u64(0);
+  }
+  w.u64(epoch_);
+  w.i64(pool_.largest_free());
+  reply_cached_or(msg, env->rid, std::move(rep));
+}
+
+void IdleMemoryDaemon::handle_free(const net::Message& msg, net::Reader r) {
+  const auto env = peek_envelope(msg);
+  if (auto it = reply_cache_.find(env->rid); it != reply_cache_.end()) {
+    ctl_sock_->send(msg.src, it->second);
+    return;
+  }
+  const std::uint64_t id = r.u64();
+  bool ok = false;
+  auto it = regions_.find(id);
+  if (r.ok() && it != regions_.end()) {
+    // Memory is marked free and reused, never returned to the OS (§3.1);
+    // coalescing happens periodically, not here (§4.2).
+    ok = pool_.free(it->second.pool_offset);
+    regions_.erase(it);
+    ++metrics_.frees;
+  }
+  net::Buf rep = make_header(MsgKind::kFreeRep, env->rid);
+  net::Writer w(rep);
+  w.u8(ok ? 1 : 0);
+  w.u64(epoch_);
+  w.i64(pool_.largest_free());
+  reply_cached_or(msg, env->rid, std::move(rep));
+}
+
+sim::Co<void> IdleMemoryDaemon::data_loop() {
+  for (;;) {
+    net::Message msg = co_await data_sock_->recv();
+    auto env = peek_envelope(msg);
+    if (!env) continue;
+    if (env->kind == MsgKind::kShutdownSentinel) break;
+    if (stopping_) continue;  // no new transfers while draining
+    switch (env->kind) {
+      case MsgKind::kReadReq:
+        inflight_.add();
+        sim_.spawn(handle_read(std::move(msg)));
+        break;
+      case MsgKind::kWriteReq:
+        inflight_.add();
+        sim_.spawn(handle_write(std::move(msg)));
+        break;
+      default:
+        break;
+    }
+  }
+  inflight_.done();
+}
+
+sim::Co<void> IdleMemoryDaemon::handle_read(net::Message req) {
+  const auto env = peek_envelope(req);
+  net::Reader r = body_reader(req);
+  const std::uint64_t region_id = r.u64();
+  const std::uint64_t epoch = r.u64();
+  const Bytes64 off = r.i64();
+  const Bytes64 len = r.i64();
+
+  auto hsock = net_.open_ephemeral(node_);
+  auto it = regions_.find(region_id);
+  const bool valid = r.ok() && it != regions_.end() && epoch == epoch_ &&
+                     off >= 0 && off < it->second.len && len >= 0;
+  net::Buf rep = make_header(MsgKind::kReadRep, env->rid);
+  net::Writer w(rep);
+  if (!valid) {
+    ++metrics_.bad_region_requests;
+    w.u8(static_cast<std::uint8_t>(Err::kNotFound));
+    w.i64(0);
+    hsock->send(req.src, std::move(rep));
+    inflight_.done();
+    co_return;
+  }
+  // "if len bytes are not available at the request offset, read as many
+  // bytes as are available" (§3.2)
+  const Bytes64 n = std::min(len, it->second.len - off);
+  const bool filled = off + n <= it->second.written_prefix;
+  w.u8(static_cast<std::uint8_t>(Err::kOk));
+  w.i64(n);
+  w.u8(filled ? 1 : 0);
+  hsock->send(req.src, std::move(rep));
+
+  // Copy the requested slice before suspending: the cmd may free this
+  // region while the bulk transfer is in flight, which would invalidate a
+  // pointer into the pool.
+  net::Buf slice;
+  net::BodyView body;
+  body.size = n;
+  if (params_.materialize && !it->second.data.empty()) {
+    slice.assign(it->second.data.begin() + static_cast<std::ptrdiff_t>(off),
+                 it->second.data.begin() +
+                     static_cast<std::ptrdiff_t>(off + n));
+    body.data = slice.data();
+  }
+  const Status st =
+      co_await net::bulk_send(*hsock, req.src, env->rid, body, params_.bulk);
+  if (st.is_ok()) {
+    ++metrics_.reads_served;
+    metrics_.bytes_read += n;
+  }
+  inflight_.done();
+}
+
+sim::Co<void> IdleMemoryDaemon::handle_write(net::Message req) {
+  const auto env = peek_envelope(req);
+  net::Reader r = body_reader(req);
+  const std::uint64_t region_id = r.u64();
+  const std::uint64_t epoch = r.u64();
+  const Bytes64 off = r.i64();
+  const Bytes64 len = r.i64();
+
+  auto hsock = net_.open_ephemeral(node_);
+  auto it = regions_.find(region_id);
+  const bool valid = r.ok() && it != regions_.end() && epoch == epoch_ &&
+                     off >= 0 && off < it->second.len && len >= 0;
+  if (!valid) {
+    ++metrics_.bad_region_requests;
+    net::Buf rep = make_header(MsgKind::kWriteRep, env->rid);
+    net::Writer w(rep);
+    w.u8(static_cast<std::uint8_t>(Err::kNotFound));
+    w.i64(0);
+    hsock->send(req.src, std::move(rep));
+    inflight_.done();
+    co_return;
+  }
+  const Bytes64 n = std::min(len, it->second.len - off);
+  hsock->send(req.src, make_header(MsgKind::kWriteGo, env->rid));
+
+  auto recv = co_await net::bulk_recv(*hsock, env->rid, params_.bulk);
+  Err code = recv.status.code();
+  if (recv.status.is_ok()) {
+    if (recv.size != n) {
+      code = Err::kInval;
+    } else {
+      // The region may have been freed by the cmd while the bulk transfer
+      // was in flight; re-resolve before touching pool memory.
+      auto it2 = regions_.find(region_id);
+      if (it2 == regions_.end()) {
+        code = Err::kNotFound;
+      } else {
+        if (params_.materialize && !recv.data.empty()) {
+          std::copy_n(recv.data.begin(), static_cast<std::size_t>(n),
+                      it2->second.data.begin() +
+                          static_cast<std::ptrdiff_t>(off));
+        }
+        if (off <= it2->second.written_prefix) {
+          it2->second.written_prefix =
+              std::max(it2->second.written_prefix, off + n);
+        }
+        ++metrics_.writes_served;
+        metrics_.bytes_written += n;
+      }
+    }
+  }
+  net::Buf rep = make_header(MsgKind::kWriteRep, env->rid);
+  net::Writer w(rep);
+  w.u8(static_cast<std::uint8_t>(code));
+  w.i64(code == Err::kOk ? n : 0);
+  hsock->send(req.src, std::move(rep));
+  inflight_.done();
+}
+
+sim::Co<void> IdleMemoryDaemon::coalesce_loop() {
+  for (;;) {
+    auto stop = co_await stop_ch_.recv_for(params_.coalesce_interval);
+    if (stop.has_value() || stopping_) break;
+    pool_.coalesce();
+  }
+  inflight_.done();
+}
+
+}  // namespace dodo::core

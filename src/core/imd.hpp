@@ -1,0 +1,123 @@
+// The idle memory daemon (imd), paper §4.2.
+//
+// Forked by the resource monitor when a workstation goes idle, killed (via
+// signal -> cooperative shutdown here) when the owner returns. On startup it
+// allocates its memory pool, initializes its epoch, registers with the
+// central manager, and then serves:
+//   - alloc/free requests from the cmd on the control port, and
+//   - region read/write requests from application runtimes on the data
+//     port, each handled by a spawned task that runs the §4.4 bulk protocol
+//     on an ephemeral socket.
+// Shutdown completes in-flight transfers before the daemon exits, exactly as
+// §4.1 specifies ("handles the signal by completing the ongoing transfers
+// and exiting").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "core/pool_allocator.hpp"
+#include "core/wire.hpp"
+#include "net/bulk.hpp"
+#include "net/transport.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::core {
+
+struct ImdParams {
+  Bytes64 pool_bytes = 100 * 1024 * 1024;
+  bool materialize = true;          // store real region bytes
+  Duration coalesce_interval = seconds(1.0);
+  net::BulkParams bulk{};
+  double copy_rate_Bps = 80e6;      // memcpy into/out of the pool
+};
+
+struct ImdMetrics {
+  std::uint64_t allocs = 0;
+  std::uint64_t alloc_failures = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t reads_served = 0;
+  std::uint64_t writes_served = 0;
+  std::uint64_t bad_region_requests = 0;
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+};
+
+class IdleMemoryDaemon {
+ public:
+  IdleMemoryDaemon(sim::Simulator& sim, net::Network& net, net::NodeId node,
+                   std::uint64_t epoch, net::Endpoint cmd, ImdParams params);
+  ~IdleMemoryDaemon();
+
+  IdleMemoryDaemon(const IdleMemoryDaemon&) = delete;
+  IdleMemoryDaemon& operator=(const IdleMemoryDaemon&) = delete;
+
+  /// Binds ports, registers with the cmd, spawns the serving loops.
+  void start();
+
+  /// Cooperative shutdown: stops accepting work, waits for in-flight
+  /// transfers, closes sockets. Awaitable by the rmd.
+  sim::Co<void> stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] const ImdMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const PoolAllocator& pool() const { return pool_; }
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+
+  /// Test hook: raw bytes of a region (materialized mode only).
+  [[nodiscard]] const net::Buf* region_bytes(std::uint64_t region_id) const;
+
+ private:
+  struct Region {
+    Bytes64 pool_offset = 0;
+    Bytes64 len = 0;
+    net::Buf data;  // empty in phantom mode
+    /// Contiguous bytes written from offset 0. Freshly allocated regions
+    /// hold nothing; reads are only trustworthy below this mark. The read
+    /// reply carries a "filled" flag so clients never mistake an allocated-
+    /// but-never-written region for cached data.
+    Bytes64 written_prefix = 0;
+  };
+
+  sim::Co<void> control_loop();
+  sim::Co<void> data_loop();
+  sim::Co<void> coalesce_loop();
+  sim::Co<void> handle_read(net::Message req);
+  sim::Co<void> handle_write(net::Message req);
+
+  void handle_alloc(const net::Message& msg, net::Reader r);
+  void handle_free(const net::Message& msg, net::Reader r);
+  void reply_cached_or(const net::Message& msg, std::uint64_t rid,
+                       net::Buf reply);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::NodeId node_;
+  std::uint64_t epoch_;
+  net::Endpoint cmd_;
+  ImdParams params_;
+  ImdMetrics metrics_;
+
+  PoolAllocator pool_;
+  std::unordered_map<std::uint64_t, Region> regions_;
+  std::uint64_t next_region_id_ = 1;
+
+  // Reply cache so rid-retries of alloc/free are idempotent.
+  std::unordered_map<std::uint64_t, net::Buf> reply_cache_;
+
+  std::unique_ptr<net::Socket> ctl_sock_;
+  std::unique_ptr<net::Socket> data_sock_;
+  bool running_ = false;
+  bool stopping_ = false;
+  sim::WaitGroup inflight_;
+  sim::Channel<int> stop_ch_;  // wakes the coalesce loop on shutdown
+};
+
+}  // namespace dodo::core

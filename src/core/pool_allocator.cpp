@@ -1,0 +1,87 @@
+#include "core/pool_allocator.hpp"
+
+#include <cassert>
+
+namespace dodo::core {
+
+PoolAllocator::PoolAllocator(Bytes64 pool_size)
+    : pool_size_(pool_size), total_free_(pool_size) {
+  assert(pool_size > 0);
+  free_[0] = pool_size;
+}
+
+std::optional<Bytes64> PoolAllocator::alloc(Bytes64 len) {
+  if (len <= 0 || len > total_free_) return std::nullopt;
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < len) continue;
+    const Bytes64 offset = it->first;
+    const Bytes64 remainder = it->second - len;
+    free_.erase(it);
+    if (remainder > 0) free_[offset + len] = remainder;
+    allocated_[offset] = len;
+    total_free_ -= len;
+    return offset;
+  }
+  return std::nullopt;
+}
+
+bool PoolAllocator::free(Bytes64 offset) {
+  auto it = allocated_.find(offset);
+  if (it == allocated_.end()) return false;
+  free_[offset] = it->second;
+  total_free_ += it->second;
+  allocated_.erase(it);
+  return true;
+}
+
+void PoolAllocator::coalesce() {
+  auto it = free_.begin();
+  while (it != free_.end()) {
+    auto next = std::next(it);
+    if (next != free_.end() && it->first + it->second == next->first) {
+      it->second += next->second;
+      free_.erase(next);
+    } else {
+      it = std::next(it);
+    }
+  }
+}
+
+Bytes64 PoolAllocator::largest_free() const {
+  Bytes64 best = 0;
+  for (const auto& [off, len] : free_) {
+    if (len > best) best = len;
+  }
+  return best;
+}
+
+double PoolAllocator::external_fragmentation() const {
+  if (total_free_ <= 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free()) /
+                   static_cast<double>(total_free_);
+}
+
+bool PoolAllocator::check_invariants() const {
+  // Walk both maps in offset order; blocks must tile [0, pool_size).
+  auto fi = free_.begin();
+  auto ai = allocated_.begin();
+  Bytes64 cursor = 0;
+  Bytes64 free_sum = 0;
+  while (fi != free_.end() || ai != allocated_.end()) {
+    const bool take_free =
+        ai == allocated_.end() ||
+        (fi != free_.end() && fi->first < ai->first);
+    const auto& [off, len] = take_free ? *fi : *ai;
+    if (off != cursor || len <= 0) return false;
+    cursor += len;
+    if (take_free) {
+      free_sum += len;
+      ++fi;
+    } else {
+      ++ai;
+    }
+  }
+  return cursor == pool_size_ && free_sum == total_free_;
+}
+
+}  // namespace dodo::core

@@ -1,0 +1,54 @@
+// First-fit pool allocator with periodic coalescing (paper §4.2).
+//
+// The idle memory daemon allocates one large pool at startup and never
+// returns memory to the operating system: freed blocks are marked free and
+// reused. Allocation is first-fit; adjacent free blocks are merged by a
+// coalescing pass that the imd runs periodically (not on every free), which
+// is exactly what the paper describes. bench_ablation_allocator measures the
+// fragmentation consequences of that choice.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/units.hpp"
+
+namespace dodo::core {
+
+class PoolAllocator {
+ public:
+  explicit PoolAllocator(Bytes64 pool_size);
+
+  /// First-fit allocation; returns the block's offset within the pool.
+  std::optional<Bytes64> alloc(Bytes64 len);
+
+  /// Marks the block at `offset` free (no merging). Returns false if the
+  /// offset is not an allocated block.
+  bool free(Bytes64 offset);
+
+  /// Merges adjacent free blocks (the imd's periodic pass).
+  void coalesce();
+
+  [[nodiscard]] Bytes64 pool_size() const { return pool_size_; }
+  [[nodiscard]] Bytes64 total_free() const { return total_free_; }
+  [[nodiscard]] Bytes64 largest_free() const;
+  [[nodiscard]] std::size_t free_block_count() const { return free_.size(); }
+  [[nodiscard]] std::size_t allocated_block_count() const {
+    return allocated_.size();
+  }
+
+  /// 0 = one contiguous free block; approaches 1 as free space shatters.
+  [[nodiscard]] double external_fragmentation() const;
+
+  /// Invariant check for property tests: blocks tile the pool, no overlap.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  Bytes64 pool_size_;
+  Bytes64 total_free_;
+  std::map<Bytes64, Bytes64> free_;       // offset -> len, offset-ordered
+  std::map<Bytes64, Bytes64> allocated_;  // offset -> len
+};
+
+}  // namespace dodo::core

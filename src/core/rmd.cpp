@@ -1,0 +1,117 @@
+#include "core/rmd.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace dodo::core {
+
+ResourceMonitor::ResourceMonitor(sim::Simulator& sim, net::Network& net,
+                                 net::NodeId node, net::Endpoint cmd,
+                                 const ActivitySource& activity,
+                                 RmdParams params, ImdParams imd_template)
+    : sim_(sim),
+      net_(net),
+      node_(node),
+      cmd_(cmd),
+      activity_(activity),
+      params_(params),
+      imd_template_(imd_template),
+      loops_(sim),
+      stop_ch_(sim) {}
+
+ResourceMonitor::~ResourceMonitor() = default;
+
+void ResourceMonitor::start() {
+  assert(!running_);
+  running_ = true;
+  stopping_ = false;
+  sock_ = net_.open_ephemeral(node_);
+  loops_.add(1);
+  sim_.spawn(monitor_loop());
+}
+
+sim::Co<void> ResourceMonitor::stop() {
+  if (!running_) co_return;
+  stopping_ = true;
+  stop_ch_.send(1);
+  co_await loops_.wait();
+  if (imd_) {
+    co_await imd_->stop();
+    imd_.reset();
+  }
+  sock_.reset();
+  running_ = false;
+}
+
+void ResourceMonitor::notify_cmd(bool idle) {
+  net::Buf h = make_header(MsgKind::kHostStatus, 0);
+  net::Writer w(h);
+  w.u32(node_);
+  w.u8(idle ? 1 : 0);
+  sock_->send(cmd_, std::move(h));
+}
+
+void ResourceMonitor::recruit() {
+  ++epoch_counter_;
+  const SimTime now = sim_.now();
+  const Bytes64 pool = imd_template_.pool_bytes > 0
+                           ? imd_template_.pool_bytes
+                           : recruit_pool_bytes(activity_.total_memory(),
+                                                activity_.active_memory(now),
+                                                params_.lotsfree,
+                                                params_.headroom_frac);
+  if (pool < params_.min_pool) return;
+  ++metrics_.recruitments;
+  notify_cmd(true);
+  ImdParams p = imd_template_;
+  p.pool_bytes = pool;
+  imd_ = std::make_unique<IdleMemoryDaemon>(sim_, net_, node_,
+                                            epoch_counter_, cmd_, p);
+  imd_->start();
+  DODO_DEBUG("rmd", "host %u recruited, epoch %llu pool %lld", node_,
+             static_cast<unsigned long long>(epoch_counter_),
+             static_cast<long long>(pool));
+}
+
+sim::Co<void> ResourceMonitor::evict() {
+  ++metrics_.evictions;
+  notify_cmd(false);
+  if (imd_) {
+    co_await imd_->stop();
+    imd_.reset();
+  }
+  DODO_DEBUG("rmd", "host %u reclaimed by owner", node_);
+}
+
+sim::Co<void> ResourceMonitor::monitor_loop() {
+  SimTime idle_since =
+      params_.start_recruited ? -params_.idle_threshold : sim_.now();
+  bool was_idle_sample = true;
+
+  if (params_.start_recruited) recruit();
+
+  for (;;) {
+    auto stop = co_await stop_ch_.recv_for(params_.sample_interval);
+    if (stop.has_value() || stopping_) break;
+    const SimTime now = sim_.now();
+    const bool console_quiet = !activity_.console_active(now);
+    const bool cpu_quiet = activity_.load(now) < params_.load_threshold;
+    const bool idle_sample = console_quiet && cpu_quiet;
+
+    if (idle_sample && !was_idle_sample) {
+      idle_since = now;  // quiet streak starts
+    }
+    was_idle_sample = idle_sample;
+
+    if (!idle_sample && recruited()) {
+      co_await evict();
+    } else if (idle_sample && !recruited() &&
+               now - idle_since >= params_.idle_threshold) {
+      recruit();
+    }
+  }
+  loops_.done();
+}
+
+}  // namespace dodo::core

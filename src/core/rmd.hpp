@@ -1,0 +1,85 @@
+// The resource monitor daemon (rmd), paper §4.1.
+//
+// Runs on every participating workstation. Once a second it samples console
+// (mouse/keyboard) activity and the process load — with the screen saver and
+// the imd's own usage already discounted by the ActivitySource. A machine is
+// idle when both console and processor have been quiet (load < 0.3) for five
+// minutes. On the busy->idle transition it notifies the cmd and forks the
+// idle memory daemon; on idle->busy it notifies the cmd and signals the imd,
+// which finishes in-flight transfers and exits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/units.hpp"
+#include "core/activity.hpp"
+#include "core/imd.hpp"
+#include "core/wire.hpp"
+#include "net/transport.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::core {
+
+struct RmdParams {
+  Duration sample_interval = seconds(1.0);
+  Duration idle_threshold = seconds(5.0 * 60.0);  // "five minutes or more"
+  double load_threshold = 0.3;
+  Bytes64 lotsfree = 4 * 1024 * 1024;  // paging free list reserve
+  double headroom_frac = 0.15;         // live file-cache headroom (§3.1)
+  Bytes64 min_pool = 4 * 1024 * 1024;  // don't bother recruiting less
+  /// Dedicated-cluster mode: the host counts as having been idle for the
+  /// full threshold already at t=0, so recruitment is immediate.
+  bool start_recruited = false;
+};
+
+struct RmdMetrics {
+  std::uint64_t recruitments = 0;
+  std::uint64_t evictions = 0;
+};
+
+class ResourceMonitor {
+ public:
+  ResourceMonitor(sim::Simulator& sim, net::Network& net, net::NodeId node,
+                  net::Endpoint cmd, const ActivitySource& activity,
+                  RmdParams params, ImdParams imd_template);
+  ~ResourceMonitor();
+
+  ResourceMonitor(const ResourceMonitor&) = delete;
+  ResourceMonitor& operator=(const ResourceMonitor&) = delete;
+
+  void start();
+  sim::Co<void> stop();
+
+  [[nodiscard]] bool recruited() const { return imd_ != nullptr; }
+  [[nodiscard]] IdleMemoryDaemon* imd() { return imd_.get(); }
+  [[nodiscard]] const RmdMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] std::uint64_t current_epoch() const { return epoch_counter_; }
+
+ private:
+  sim::Co<void> monitor_loop();
+  void notify_cmd(bool idle);
+  void recruit();
+  sim::Co<void> evict();
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::NodeId node_;
+  net::Endpoint cmd_;
+  const ActivitySource& activity_;
+  RmdParams params_;
+  ImdParams imd_template_;
+  RmdMetrics metrics_;
+
+  std::unique_ptr<net::Socket> sock_;
+  std::unique_ptr<IdleMemoryDaemon> imd_;
+  std::uint64_t epoch_counter_ = 0;
+  bool running_ = false;
+  bool stopping_ = false;
+  sim::WaitGroup loops_;
+  sim::Channel<int> stop_ch_;
+};
+
+}  // namespace dodo::core

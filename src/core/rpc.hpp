@@ -1,0 +1,55 @@
+// Tiny request/reply helper over an ephemeral socket.
+//
+// UDP semantics end-to-end: the request is retransmitted on timeout and the
+// reply is matched by rid. Servers keep a small reply cache keyed by rid so
+// retries of non-idempotent operations (alloc!) return the original answer
+// instead of executing twice.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/units.hpp"
+#include "core/wire.hpp"
+#include "net/transport.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::core {
+
+struct RpcParams {
+  Duration timeout = millis(200);
+  int retries = 3;  // total attempts = retries + 1
+};
+
+inline sim::Co<std::optional<net::Message>> rpc_call(net::Network& net,
+                                                     net::NodeId from,
+                                                     net::Endpoint dst,
+                                                     net::Buf header,
+                                                     std::uint64_t rid,
+                                                     RpcParams params = {}) {
+  auto sock = net.open_ephemeral(from);
+  for (int attempt = 0; attempt <= params.retries; ++attempt) {
+    sock->send(dst, header);
+    const SimTime deadline = net.simulator().now() + params.timeout;
+    while (net.simulator().now() < deadline) {
+      auto msg =
+          co_await sock->recv_for(deadline - net.simulator().now());
+      if (!msg) break;
+      auto env = peek_envelope(*msg);
+      if (env && env->rid == rid) co_return std::move(*msg);
+      // Stray datagram (stale retransmit answer): keep waiting.
+    }
+  }
+  co_return std::nullopt;
+}
+
+/// Monotonic rid source shared by all daemons in one simulation.
+class RidSource {
+ public:
+  std::uint64_t next() { return ++rid_; }
+
+ private:
+  std::uint64_t rid_ = 0;
+};
+
+}  // namespace dodo::core

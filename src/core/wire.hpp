@@ -1,0 +1,167 @@
+// Wire protocol for the Dodo control and data planes.
+//
+// Every control message is an envelope {u8 kind, u64 rid} followed by
+// kind-specific fields. Replies echo the rid of their request. Bulk region
+// payloads never travel in these messages; they move through the §4.4 bulk
+// protocol on per-transfer ephemeral sockets whose endpoints the control
+// messages carry.
+//
+// All imd->cmd replies piggyback the daemon's epoch and largest free block,
+// which is how the central manager's idle-workstation directory stays fresh
+// (paper §4.3: "this information is piggybacked on all communication
+// between the individual imds and the cmd").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/units.hpp"
+#include "net/address.hpp"
+#include "net/codec.hpp"
+#include "net/message.hpp"
+
+namespace dodo::core {
+
+// Well-known ports.
+inline constexpr net::Port kCmdPort = 700;      // central manager daemon
+inline constexpr net::Port kImdCtlPort = 701;   // imd: alloc/free from cmd
+inline constexpr net::Port kImdDataPort = 702;  // imd: read/write from apps
+inline constexpr net::Port kClientPort = 710;   // runtime lib: keep-alive
+
+enum class MsgKind : std::uint8_t {
+  // rmd -> cmd
+  kHostStatus = 1,  // node became idle/busy
+  // imd -> cmd
+  kImdRegister = 2,  // pool size + epoch on startup
+  // cmd -> imd and replies
+  kAllocReq = 10,
+  kAllocRep = 11,
+  kFreeReq = 12,
+  kFreeRep = 13,
+  // client -> cmd and replies
+  kMopenReq = 20,
+  kMopenRep = 21,
+  kCheckAllocReq = 22,
+  kCheckAllocRep = 23,
+  kMfreeReq = 24,
+  kMfreeRep = 25,
+  kDetach = 26,  // client exits but leaves its regions cached (dmine mode)
+  // cmd <-> client keep-alive
+  kPing = 30,
+  kPong = 31,
+  // client -> imd data plane and replies
+  kReadReq = 40,
+  kReadRep = 41,
+  kWriteReq = 42,
+  kWriteGo = 44,  // imd tells the client where to bulk-send the write data
+  kWriteRep = 43,
+  // never on the wire: injected locally to wake a daemon loop for shutdown
+  kShutdownSentinel = 255,
+};
+
+/// Region key in the central manager's region directory: (inode of backing
+/// file, offset within it), plus a client id for the multi-client extension
+/// (0 in the paper's single-client configuration; see §4.3 footnote).
+struct RegionKey {
+  std::uint32_t inode = 0;
+  std::int64_t offset = 0;
+  std::uint32_t client = 0;
+
+  friend bool operator==(const RegionKey&, const RegionKey&) = default;
+};
+
+struct RegionKeyHash {
+  std::size_t operator()(const RegionKey& k) const {
+    std::uint64_t h = k.inode * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(k.offset) + (h << 6) + (h >> 2);
+    h ^= k.client * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Where a region lives: host + the epoch it was allocated under + the
+/// region id within that imd's pool.
+struct RegionLoc {
+  net::NodeId host = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t imd_region = 0;
+  Bytes64 len = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Envelope helpers
+// ---------------------------------------------------------------------------
+
+struct Envelope {
+  MsgKind kind{};
+  std::uint64_t rid = 0;
+};
+
+inline net::Buf make_header(MsgKind kind, std::uint64_t rid) {
+  net::Buf h;
+  net::Writer w(h);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(rid);
+  return h;
+}
+
+inline std::optional<Envelope> peek_envelope(const net::Message& m) {
+  net::Reader r(m.header);
+  Envelope e;
+  e.kind = static_cast<MsgKind>(r.u8());
+  e.rid = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return e;
+}
+
+/// Reader positioned after the envelope.
+inline net::Reader body_reader(const net::Message& m) {
+  net::Reader r(m.header);
+  (void)r.u8();
+  (void)r.u64();
+  return r;
+}
+
+inline void put_key(net::Writer& w, const RegionKey& k) {
+  w.u32(k.inode);
+  w.i64(k.offset);
+  w.u32(k.client);
+}
+
+inline RegionKey get_key(net::Reader& r) {
+  RegionKey k;
+  k.inode = r.u32();
+  k.offset = r.i64();
+  k.client = r.u32();
+  return k;
+}
+
+inline void put_loc(net::Writer& w, const RegionLoc& loc) {
+  w.u32(loc.host);
+  w.u64(loc.epoch);
+  w.u64(loc.imd_region);
+  w.i64(loc.len);
+}
+
+inline RegionLoc get_loc(net::Reader& r) {
+  RegionLoc loc;
+  loc.host = r.u32();
+  loc.epoch = r.u64();
+  loc.imd_region = r.u64();
+  loc.len = r.i64();
+  return loc;
+}
+
+inline void put_endpoint(net::Writer& w, const net::Endpoint& e) {
+  w.u32(e.node);
+  w.u32(e.port);
+}
+
+inline net::Endpoint get_endpoint(net::Reader& r) {
+  net::Endpoint e;
+  e.node = r.u32();
+  e.port = r.u32();
+  return e;
+}
+
+}  // namespace dodo::core

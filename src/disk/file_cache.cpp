@@ -1,0 +1,155 @@
+#include "disk/file_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace dodo::disk {
+
+FileCache::FileCache(sim::Simulator& sim, DiskModel& disk,
+                     FileCacheParams params)
+    : sim_(sim), disk_(disk), params_(params) {
+  assert(params_.page_size > 0);
+}
+
+void FileCache::insert(
+    PageKey key, std::int64_t locus, bool dirty,
+    std::vector<std::pair<std::int64_t, Bytes64>>& writebacks) {
+  auto it = pages_.find(key);
+  if (it != pages_.end()) {
+    it->second->dirty = it->second->dirty || dirty;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  // Make room first.
+  while (!lru_.empty() &&
+         (static_cast<Bytes64>(lru_.size()) + 1) * params_.page_size >
+             params_.capacity) {
+    Page victim = lru_.back();
+    lru_.pop_back();
+    pages_.erase(victim.key);
+    ++metrics_.evicted_pages;
+    if (victim.dirty) {
+      ++metrics_.writeback_pages;
+      writebacks.emplace_back(victim.disk_locus, params_.page_size);
+    }
+  }
+  if (static_cast<Bytes64>(lru_.size() + 1) * params_.page_size >
+      params_.capacity) {
+    return;  // cache smaller than one page: uncached
+  }
+  lru_.push_front(Page{key, locus, dirty});
+  pages_[key] = lru_.begin();
+}
+
+sim::Co<void> FileCache::read(FileId file, std::int64_t base,
+                              Bytes64 file_size, Bytes64 off, Bytes64 len) {
+  if (len <= 0) co_return;
+  const Bytes64 ps = params_.page_size;
+
+  // Sequential stream detection drives readahead, as in the Linux VFS.
+  auto& last_end = last_read_end_[file];
+  const bool streaming = off == last_end;
+  last_end = off + len;
+
+  Bytes64 fetch_end = off + len;
+  if (streaming) {
+    fetch_end = std::max(fetch_end, off + params_.readahead);
+  }
+  fetch_end = std::min(fetch_end, file_size);
+
+  const std::int64_t p0 = off / ps;
+  const std::int64_t p1 = (std::max(fetch_end, off + 1) - 1) / ps;
+  const std::int64_t preq = (off + len - 1) / ps;
+
+  std::vector<std::pair<std::int64_t, Bytes64>> writebacks;
+  std::vector<std::pair<std::int64_t, std::int64_t>> runs;  // [first,last]
+  for (std::int64_t p = p0; p <= p1; ++p) {
+    const PageKey key{file, p};
+    auto it = pages_.find(key);
+    if (it != pages_.end()) {
+      if (p <= preq) ++metrics_.hit_pages;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      continue;
+    }
+    if (p <= preq) {
+      ++metrics_.miss_pages;
+    } else {
+      ++metrics_.readahead_pages;
+    }
+    if (!runs.empty() && runs.back().second == p - 1) {
+      runs.back().second = p;
+    } else {
+      runs.emplace_back(p, p);
+    }
+    insert(key, base + p * ps, /*dirty=*/false, writebacks);
+  }
+
+  for (const auto& [locus, wlen] : writebacks) {
+    co_await disk_.access(locus, wlen, /*is_write=*/true);
+  }
+  for (const auto& [first, last] : runs) {
+    co_await disk_.access(base + first * ps, (last - first + 1) * ps,
+                          /*is_write=*/false);
+  }
+  // Copy from the page cache to the caller's buffer.
+  co_await sim_.sleep(transfer_time(len, params_.copy_rate_Bps));
+}
+
+sim::Co<void> FileCache::write(FileId file, std::int64_t base,
+                               Bytes64 file_size, Bytes64 off, Bytes64 len) {
+  (void)file_size;
+  if (len <= 0) co_return;
+  const Bytes64 ps = params_.page_size;
+  const std::int64_t p0 = off / ps;
+  const std::int64_t p1 = (off + len - 1) / ps;
+  std::vector<std::pair<std::int64_t, Bytes64>> writebacks;
+  for (std::int64_t p = p0; p <= p1; ++p) {
+    insert(PageKey{file, p}, base + p * ps, /*dirty=*/true, writebacks);
+  }
+  for (const auto& [locus, wlen] : writebacks) {
+    co_await disk_.access(locus, wlen, /*is_write=*/true);
+  }
+  co_await sim_.sleep(transfer_time(len, params_.copy_rate_Bps));
+}
+
+sim::Co<void> FileCache::sync(FileId file) {
+  // Collect dirty extents, then write them in ascending order so contiguous
+  // pages coalesce into streaming transfers.
+  std::vector<std::int64_t> dirty_loci;
+  for (auto& page : lru_) {
+    if (page.key.file == file && page.dirty) {
+      dirty_loci.push_back(page.disk_locus);
+      page.dirty = false;
+    }
+  }
+  std::sort(dirty_loci.begin(), dirty_loci.end());
+  std::size_t i = 0;
+  while (i < dirty_loci.size()) {
+    std::size_t j = i;
+    while (j + 1 < dirty_loci.size() &&
+           dirty_loci[j + 1] == dirty_loci[j] + params_.page_size) {
+      ++j;
+    }
+    const Bytes64 len =
+        static_cast<Bytes64>(j - i + 1) * params_.page_size;
+    metrics_.writeback_pages += (j - i + 1);
+    co_await disk_.access(dirty_loci[i], len, /*is_write=*/true);
+    i = j + 1;
+  }
+}
+
+void FileCache::invalidate(FileId file) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file == file) {
+      pages_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  last_read_end_.erase(file);
+}
+
+}  // namespace dodo::disk

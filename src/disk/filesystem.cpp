@@ -1,0 +1,109 @@
+#include "disk/filesystem.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dodo::disk {
+
+namespace {
+constexpr std::int64_t kExtentAlign = 1 << 20;  // files start on 1 MiB edges
+}
+
+SimFilesystem::SimFilesystem(sim::Simulator& sim, FsParams params)
+    : sim_(sim),
+      params_(params),
+      disk_(sim, params.disk),
+      cache_(sim, disk_, params.cache) {}
+
+std::uint32_t SimFilesystem::create(const std::string& name, Bytes64 size,
+                                    std::unique_ptr<DataStore> store) {
+  assert(by_name_.find(name) == by_name_.end() && "file exists");
+  if (!store) store = std::make_unique<MaterializedStore>(size);
+  assert(store->size() >= size);
+  const std::uint32_t inode = next_inode_++;
+  File f{inode, name, size, next_base_, std::move(store)};
+  next_base_ += ((size + kExtentAlign - 1) / kExtentAlign) * kExtentAlign +
+                kExtentAlign;
+  by_name_[name] = inode;
+  files_.emplace(inode, std::move(f));
+  return inode;
+}
+
+bool SimFilesystem::exists(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+int SimFilesystem::open(const std::string& name, OpenMode mode) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    dodo_errno() = kDodoEINVAL;
+    return -1;
+  }
+  const int fd = next_fd_++;
+  fds_[fd] = OpenFile{it->second, mode};
+  return fd;
+}
+
+void SimFilesystem::close(int fd) { fds_.erase(fd); }
+
+bool SimFilesystem::fd_valid(int fd) const { return fds_.count(fd) != 0; }
+
+bool SimFilesystem::fd_writable(int fd) const {
+  auto it = fds_.find(fd);
+  return it != fds_.end() && it->second.mode == OpenMode::kReadWrite;
+}
+
+std::uint32_t SimFilesystem::inode_of(int fd) const {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? 0 : it->second.inode;
+}
+
+Bytes64 SimFilesystem::size_of(int fd) const {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return -1;
+  return files_.at(it->second.inode).size;
+}
+
+SimFilesystem::File* SimFilesystem::file_of(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return nullptr;
+  return &files_.at(it->second.inode);
+}
+
+sim::Co<Bytes64> SimFilesystem::pread(int fd, Bytes64 off, Bytes64 len,
+                                      std::uint8_t* out) {
+  File* f = file_of(fd);
+  if (f == nullptr || off < 0 || len < 0) co_return -1;
+  const Bytes64 n = std::min(len, std::max<Bytes64>(0, f->size - off));
+  if (n <= 0) co_return 0;
+  co_await sim_.sleep(params_.syscall_overhead);
+  co_await cache_.read(f->inode, f->base, f->size, off, n);
+  f->store->read(off, n, out);
+  co_return n;
+}
+
+sim::Co<Bytes64> SimFilesystem::pwrite(int fd, Bytes64 off, Bytes64 len,
+                                       const std::uint8_t* in) {
+  File* f = file_of(fd);
+  if (f == nullptr || off < 0 || len < 0 || !fd_writable(fd)) co_return -1;
+  const Bytes64 n = std::min(len, std::max<Bytes64>(0, f->size - off));
+  if (n <= 0) co_return 0;
+  co_await sim_.sleep(params_.syscall_overhead);
+  f->store->write(off, n, in);
+  co_await cache_.write(f->inode, f->base, f->size, off, n);
+  co_return n;
+}
+
+sim::Co<Status> SimFilesystem::fsync(int fd) {
+  File* f = file_of(fd);
+  if (f == nullptr) co_return Status(Err::kInval, "bad fd");
+  co_await cache_.sync(f->inode);
+  co_return Status::ok();
+}
+
+DataStore* SimFilesystem::store_of_inode(std::uint32_t inode) {
+  auto it = files_.find(inode);
+  return it == files_.end() ? nullptr : it->second.store.get();
+}
+
+}  // namespace dodo::disk

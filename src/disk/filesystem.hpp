@@ -1,0 +1,99 @@
+// Simulated per-node filesystem: files with stable inodes laid out on one
+// DiskModel, accessed through the FileCache, POSIX-ish pread/pwrite/fsync.
+//
+// This is the substrate both sides of every experiment run on: the baseline
+// reads its dataset through this filesystem, and Dodo uses it for backing
+// files (mwrite write-through, msync, and region reloads after failures).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "disk/disk_model.hpp"
+#include "disk/file_cache.hpp"
+#include "disk/store.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::disk {
+
+struct FsParams {
+  DiskParams disk{};
+  FileCacheParams cache{};
+  Duration syscall_overhead = micros(20);  // per pread/pwrite, 1999 kernel
+};
+
+enum class OpenMode : std::uint8_t { kRead, kReadWrite };
+
+class SimFilesystem {
+ public:
+  explicit SimFilesystem(sim::Simulator& sim, FsParams params = {});
+
+  /// Creates a file of fixed size with the given content store (defaults to
+  /// a zeroed MaterializedStore). Returns its inode number.
+  std::uint32_t create(const std::string& name, Bytes64 size,
+                       std::unique_ptr<DataStore> store = nullptr);
+
+  [[nodiscard]] bool exists(const std::string& name) const;
+
+  /// Opens a file; returns fd >= 3, or -1 (sets dodo_errno to EINVAL).
+  int open(const std::string& name, OpenMode mode);
+  void close(int fd);
+
+  [[nodiscard]] bool fd_valid(int fd) const;
+  [[nodiscard]] bool fd_writable(int fd) const;
+  /// inode of an open fd (0 if invalid). Region keys are built from this.
+  [[nodiscard]] std::uint32_t inode_of(int fd) const;
+  [[nodiscard]] Bytes64 size_of(int fd) const;
+
+  /// Reads up to len bytes; returns bytes read (clipped at EOF), -1 on bad
+  /// fd. `out` may be nullptr for phantom (accounting-only) reads.
+  sim::Co<Bytes64> pread(int fd, Bytes64 off, Bytes64 len, std::uint8_t* out);
+
+  /// Writes up to len bytes; returns bytes written (clipped at file size),
+  /// -1 on bad fd or read-only fd. `in` may be nullptr (phantom).
+  sim::Co<Bytes64> pwrite(int fd, Bytes64 off, Bytes64 len,
+                          const std::uint8_t* in);
+
+  /// Flushes dirty pages of the file behind fd.
+  sim::Co<Status> fsync(int fd);
+
+  /// Direct store access for test verification (no timing).
+  [[nodiscard]] DataStore* store_of_inode(std::uint32_t inode);
+
+  [[nodiscard]] DiskModel& disk() { return disk_; }
+  [[nodiscard]] FileCache& cache() { return cache_; }
+
+ private:
+  struct File {
+    std::uint32_t inode;
+    std::string name;
+    Bytes64 size;
+    std::int64_t base;  // absolute device offset
+    std::unique_ptr<DataStore> store;
+  };
+  struct OpenFile {
+    std::uint32_t inode;
+    OpenMode mode;
+  };
+
+  File* file_of(int fd);
+
+  sim::Simulator& sim_;
+  FsParams params_;
+  DiskModel disk_;
+  FileCache cache_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+  std::unordered_map<std::uint32_t, File> files_;
+  std::unordered_map<int, OpenFile> fds_;
+  std::uint32_t next_inode_ = 1;
+  int next_fd_ = 3;
+  std::int64_t next_base_ = 0;
+};
+
+}  // namespace dodo::disk

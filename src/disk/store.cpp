@@ -1,0 +1,32 @@
+#include "disk/store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dodo::disk {
+
+void MaterializedStore::read(Bytes64 off, Bytes64 len,
+                             std::uint8_t* out) const {
+  if (out == nullptr || len <= 0) return;
+  assert(off >= 0 && off + len <= size());
+  std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(off),
+              static_cast<std::size_t>(len), out);
+}
+
+void MaterializedStore::write(Bytes64 off, Bytes64 len,
+                              const std::uint8_t* in) {
+  if (len <= 0) return;
+  assert(off >= 0 && off + len <= size());
+  if (in == nullptr) return;  // phantom write: content unspecified
+  std::copy_n(in, static_cast<std::size_t>(len),
+              data_.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+void PatternStore::read(Bytes64 off, Bytes64 len, std::uint8_t* out) const {
+  if (out == nullptr || len <= 0) return;
+  for (Bytes64 i = 0; i < len; ++i) {
+    out[i] = byte_at(off + i);
+  }
+}
+
+}  // namespace dodo::disk

@@ -1,0 +1,84 @@
+// Content stores.
+//
+// Timing (what the simulator charges) and content (what bytes exist) are
+// deliberately decoupled: caches and disks model *time*, a DataStore holds
+// *bytes*. Correctness tests use MaterializedStore; paper-scale benchmarks
+// use PatternStore, whose content is a pure function of position, so a
+// 2 GB dataset costs no host memory yet reads can still be verified.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dodo::disk {
+
+class DataStore {
+ public:
+  virtual ~DataStore() = default;
+
+  [[nodiscard]] virtual Bytes64 size() const = 0;
+  [[nodiscard]] virtual bool materialized() const = 0;
+
+  /// Fills out[0..len) from content at `off`. `out` may be nullptr in
+  /// phantom flows (accounting only).
+  virtual void read(Bytes64 off, Bytes64 len, std::uint8_t* out) const = 0;
+
+  /// Stores in[0..len) at `off`. `in` may be nullptr in phantom flows.
+  virtual void write(Bytes64 off, Bytes64 len, const std::uint8_t* in) = 0;
+};
+
+/// Real bytes, zero-initialized.
+class MaterializedStore final : public DataStore {
+ public:
+  explicit MaterializedStore(Bytes64 size)
+      : data_(static_cast<std::size_t>(size), 0) {}
+
+  [[nodiscard]] Bytes64 size() const override {
+    return static_cast<Bytes64>(data_.size());
+  }
+  [[nodiscard]] bool materialized() const override { return true; }
+
+  void read(Bytes64 off, Bytes64 len, std::uint8_t* out) const override;
+  void write(Bytes64 off, Bytes64 len, const std::uint8_t* in) override;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return data_;
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// Deterministic synthetic content: byte(i) = mix(seed, i). Writes are
+/// accepted but not retained (read-mostly benchmark datasets).
+class PatternStore final : public DataStore {
+ public:
+  PatternStore(Bytes64 size, std::uint64_t seed) : size_(size), seed_(seed) {}
+
+  [[nodiscard]] Bytes64 size() const override { return size_; }
+  [[nodiscard]] bool materialized() const override { return false; }
+
+  void read(Bytes64 off, Bytes64 len, std::uint8_t* out) const override;
+  void write(Bytes64 off, Bytes64 len, const std::uint8_t* in) override {
+    (void)off;
+    (void)len;
+    (void)in;
+  }
+
+  /// The expected byte at a position (for verification in tests).
+  [[nodiscard]] std::uint8_t byte_at(Bytes64 i) const {
+    std::uint64_t x = seed_ ^ (static_cast<std::uint64_t>(i) >> 3);
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    return static_cast<std::uint8_t>(x >> ((i & 7) * 8));
+  }
+
+ private:
+  Bytes64 size_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dodo::disk

@@ -1,0 +1,404 @@
+#include "manage/region_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace dodo::manage {
+
+RegionManager::RegionManager(sim::Simulator& sim, runtime::DodoClient& dodo,
+                             disk::SimFilesystem& fs, ManageParams params)
+    : sim_(sim), dodo_(dodo), fs_(fs), params_(params) {}
+
+int RegionManager::copen(Bytes64 len, int fd, Bytes64 offset) {
+  if (len < 1 || offset < 0 || !fs_.fd_valid(fd) || !fs_.fd_writable(fd)) {
+    dodo_errno() = kDodoEINVAL;
+    return -1;
+  }
+  const int cd = next_cd_++;
+  Region r;
+  r.len = len;
+  r.fd = fd;
+  r.file_offset = offset;
+  regions_[cd] = std::move(r);
+  return cd;
+}
+
+RegionManager::Region* RegionManager::lookup(int cd) {
+  auto it = regions_.find(cd);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+bool RegionManager::resident(int cd) const {
+  auto it = regions_.find(cd);
+  return it != regions_.end() && it->second.resident;
+}
+
+bool RegionManager::has_remote(int cd) const {
+  auto it = regions_.find(cd);
+  return it != regions_.end() && it->second.rdesc >= 0 &&
+         dodo_.active(it->second.rdesc);
+}
+
+int RegionManager::csetPolicy(Policy policy) {
+  params_.policy = policy;
+  return 0;
+}
+
+int RegionManager::select_victim(int incoming_cd) const {
+  switch (params_.policy) {
+    case Policy::kFirstIn:
+      // First-in never displaces a cached region: the incoming region
+      // itself loses and bypasses the local cache.
+      return -1;
+    case Policy::kLru:
+    case Policy::kMru: {
+      int victim = -1;
+      std::uint64_t best = 0;
+      for (const auto& [cd, r] : regions_) {
+        if (!r.resident || cd == incoming_cd) continue;
+        const bool better =
+            victim < 0 || (params_.policy == Policy::kLru
+                               ? r.last_access < best
+                               : r.last_access > best);
+        if (better) {
+          victim = cd;
+          best = r.last_access;
+        }
+      }
+      return victim;
+    }
+  }
+  return -1;
+}
+
+sim::Co<void> RegionManager::write_to_disk(int cd, Region& r) {
+  (void)cd;
+  ++metrics_.dirty_writebacks;
+  const std::uint8_t* src = r.local.empty() ? nullptr : r.local.data();
+  co_await fs_.pwrite(r.fd, r.file_offset, r.len, src);
+  r.dirty = false;
+}
+
+sim::Co<bool> RegionManager::ensure_remote_desc(Region& r) {
+  if (r.rdesc >= 0 && dodo_.active(r.rdesc)) co_return true;
+  r.rdesc = -1;
+  r.remote_valid = false;
+  auto [rd, reused] = co_await dodo_.mopen_ex(r.len, r.fd, r.file_offset);
+  if (rd < 0) co_return false;
+  r.rdesc = rd;
+  // A reused region still holds the data a previous run (or a previous
+  // incarnation of this region) pushed; a fresh one holds nothing yet.
+  r.remote_valid = reused;
+  co_return true;
+}
+
+sim::Co<void> RegionManager::scrap_remote(Region& r) {
+  if (r.rdesc >= 0) {
+    co_await dodo_.mclose(r.rdesc);
+    r.rdesc = -1;
+  }
+  r.remote_valid = false;
+}
+
+sim::Co<bool> RegionManager::clone_remote(int cd, Region& r) {
+  (void)cd;
+  // Refraction: after a failed clone, skip clone attempts for a while
+  // (Figure 5's lastFailTime / refractionPeriod logic).
+  if (sim_.now() - last_clone_fail_ < params_.clone_refraction) {
+    ++metrics_.clone_refraction_skips;
+    co_return false;
+  }
+  if (!co_await ensure_remote_desc(r)) {
+    last_clone_fail_ = sim_.now();
+    ++metrics_.clone_failures;
+    co_return false;
+  }
+  if (r.remote_valid) co_return true;  // remote copy already current
+  const std::uint8_t* src = r.local.empty() ? nullptr : r.local.data();
+  const Status st = co_await dodo_.push_remote(r.rdesc, 0, src, r.len);
+  if (!st.is_ok()) {
+    last_clone_fail_ = sim_.now();
+    ++metrics_.clone_failures;
+    co_await scrap_remote(r);
+    co_return false;
+  }
+  r.remote_valid = true;
+  ++metrics_.clones;
+  co_return true;
+}
+
+sim::Co<void> RegionManager::drop_local(int cd, Region& r) {
+  (void)cd;
+  if (!r.resident) co_return;
+  if (r.dirty) co_await write_to_disk(cd, r);
+  r.local.clear();
+  r.local.shrink_to_fit();
+  r.resident = false;
+  resident_bytes_ -= r.len;
+  ++metrics_.evictions;
+}
+
+sim::Co<bool> RegionManager::grim_reaper(int incoming_cd, Bytes64 need) {
+  if (need > params_.local_cache_bytes) co_return false;  // can never fit
+  while (params_.local_cache_bytes - resident_bytes_ < need) {
+    const int victim_cd = select_victim(incoming_cd);
+    if (victim_cd < 0) co_return false;  // first-in: incoming loses
+    Region& victim = regions_.at(victim_cd);
+    if (victim.dirty) co_await write_to_disk(victim_cd, victim);
+    co_await clone_remote(victim_cd, victim);  // best effort migration
+    co_await drop_local(victim_cd, victim);
+  }
+  co_return true;
+}
+
+sim::Co<bool> RegionManager::fault_in(int cd, Region& r) {
+  if (r.resident) co_return true;
+  // Attach to remote memory on a fault with no usable descriptor. If the
+  // central manager still has this key cached (persistent datasets across
+  // runs), the attach comes back "reused" and the fill below comes from
+  // remote memory instead of disk. The runtime's refraction period makes
+  // repeated attempts after an allocation failure cheap (no RPC).
+  if (r.rdesc < 0 || !dodo_.active(r.rdesc)) {
+    co_await ensure_remote_desc(r);
+  }
+  if (!co_await grim_reaper(cd, r.len)) co_return false;
+
+  std::uint8_t* dst = nullptr;
+  if (params_.materialize) {
+    r.local.assign(static_cast<std::size_t>(r.len), 0);
+    dst = r.local.data();
+  }
+  bool filled = false;
+  if (r.rdesc >= 0 && dodo_.active(r.rdesc) && r.remote_valid) {
+    const auto got = co_await dodo_.mread_ex(r.rdesc, 0, dst, r.len);
+    if (got.n == r.len && got.filled) {
+      filled = true;
+      ++metrics_.remote_fills;
+      metrics_.bytes_from_remote += got.n;
+    } else if (got.n >= 0) {
+      // The remote region exists but was never (fully) written — the
+      // "reused" hint from mopen was about the allocation, not the data.
+      r.remote_valid = false;
+    }
+    // On failure libdodo has dropped the node's descriptors; fall to disk.
+  }
+  if (!filled) {
+    co_await fs_.pread(r.fd, r.file_offset, r.len, dst);
+    ++metrics_.disk_fills;
+    metrics_.bytes_from_disk += r.len;
+  }
+  r.resident = true;
+  r.dirty = false;
+  r.admitted_at = ++access_clock_;
+  resident_bytes_ += r.len;
+  co_return true;
+}
+
+sim::Co<Bytes64> RegionManager::cread(int cd, Bytes64 offset,
+                                      std::uint8_t* buf, Bytes64 len) {
+  Region* r = lookup(cd);
+  if (r == nullptr) {
+    dodo_errno() = kDodoEINVAL;
+    co_return -1;
+  }
+  if (offset < 0 || offset >= r->len || len < 0) {
+    dodo_errno() = kDodoEINVAL;
+    co_return -1;
+  }
+  const Bytes64 n = std::min(len, r->len - offset);
+  r->last_access = ++access_clock_;
+
+  if (!r->resident && !co_await fault_in(cd, *r)) {
+    co_await serve_bypass_read(*r, offset, buf, n);
+    co_return n;
+  }
+
+  // Serve from the local region cache.
+  if (buf != nullptr && !r->local.empty()) {
+    std::copy_n(r->local.begin() + static_cast<std::ptrdiff_t>(offset),
+                static_cast<std::size_t>(n), buf);
+  }
+  co_await sim_.sleep(transfer_time(n, params_.copy_rate_Bps));
+  ++metrics_.local_hits;
+  metrics_.bytes_from_local += n;
+  co_return n;
+}
+
+sim::Co<void> RegionManager::serve_bypass_read(Region& r, Bytes64 offset,
+                                               std::uint8_t* buf, Bytes64 n) {
+  // Serve without caching locally (the policy refused admission).
+  if (r.rdesc >= 0 && dodo_.active(r.rdesc) && r.remote_valid) {
+    const auto got = co_await dodo_.mread_ex(r.rdesc, offset, buf, n);
+    if (got.n == n && got.filled) {
+      ++metrics_.remote_passthrough;
+      metrics_.bytes_from_remote += n;
+      co_return;
+    }
+    if (got.n >= 0) r.remote_valid = false;  // allocated, never written
+  }
+  // Disk path. This is also where first-in pushes the overflow of the local
+  // cache into the remote tier: read the whole region once and clone it, so
+  // later scans hit remote memory (dmine's "entire dataset in remote memory
+  // during the first run").
+  const bool try_migrate =
+      !r.remote_valid &&
+      sim_.now() - last_clone_fail_ >= params_.clone_refraction;
+  if (try_migrate && co_await ensure_remote_desc(r) && !r.remote_valid) {
+    net::Buf whole;
+    std::uint8_t* dst = nullptr;
+    if (params_.materialize) {
+      whole.assign(static_cast<std::size_t>(r.len), 0);
+      dst = whole.data();
+    }
+    co_await fs_.pread(r.fd, r.file_offset, r.len, dst);
+    ++metrics_.disk_passthrough;
+    metrics_.bytes_from_disk += n;
+    const Status st = co_await dodo_.push_remote(
+        r.rdesc, 0, dst == nullptr ? nullptr : dst, r.len);
+    if (st.is_ok()) {
+      r.remote_valid = true;
+      ++metrics_.clones;
+    } else {
+      last_clone_fail_ = sim_.now();
+      ++metrics_.clone_failures;
+      co_await scrap_remote(r);
+    }
+    if (buf != nullptr && dst != nullptr) {
+      std::copy_n(whole.begin() + static_cast<std::ptrdiff_t>(offset),
+                  static_cast<std::size_t>(n), buf);
+    }
+    co_return;
+  }
+  if (try_migrate) {
+    last_clone_fail_ = sim_.now();
+  }
+  co_await fs_.pread(r.fd, r.file_offset + offset, n, buf);
+  ++metrics_.disk_passthrough;
+  metrics_.bytes_from_disk += n;
+}
+
+sim::Co<Bytes64> RegionManager::cwrite(int cd, Bytes64 offset,
+                                       const std::uint8_t* buf, Bytes64 len) {
+  Region* r = lookup(cd);
+  if (r == nullptr) {
+    dodo_errno() = kDodoEINVAL;
+    co_return -1;
+  }
+  if (offset < 0 || offset >= r->len || len < 0) {
+    dodo_errno() = kDodoEINVAL;
+    co_return -1;
+  }
+  const Bytes64 n = std::min(len, r->len - offset);
+  r->last_access = ++access_clock_;
+
+  if (!r->resident && !co_await fault_in(cd, *r)) {
+    // Bypass: write through to disk and, if a valid remote copy exists,
+    // keep it coherent too (libdodo's parallel write-through).
+    if (r->rdesc >= 0 && dodo_.active(r->rdesc) && r->remote_valid) {
+      const Bytes64 got = co_await dodo_.mwrite(r->rdesc, offset, buf, n);
+      if (got == n) co_return n;
+      r->remote_valid = false;
+    }
+    co_await fs_.pwrite(r->fd, r->file_offset + offset, n, buf);
+    co_return n;
+  }
+
+  if (buf != nullptr && !r->local.empty()) {
+    std::copy_n(buf, static_cast<std::size_t>(n),
+                r->local.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  co_await sim_.sleep(transfer_time(n, params_.copy_rate_Bps));
+  r->dirty = true;
+  r->remote_valid = false;  // local copy diverged from any remote clone
+  co_return n;
+}
+
+sim::Co<bool> RegionManager::flush_to_remote(Region& r) {
+  if (!co_await ensure_remote_desc(r)) co_return false;
+  if (r.remote_valid) co_return true;
+  net::Buf tmp;
+  const std::uint8_t* src = nullptr;
+  if (r.resident) {
+    src = r.local.empty() ? nullptr : r.local.data();
+  } else {
+    std::uint8_t* dst = nullptr;
+    if (params_.materialize) {
+      tmp.assign(static_cast<std::size_t>(r.len), 0);
+      dst = tmp.data();
+    }
+    co_await fs_.pread(r.fd, r.file_offset, r.len, dst);
+    src = dst;
+  }
+  const Status st = co_await dodo_.push_remote(r.rdesc, 0, src, r.len);
+  if (!st.is_ok()) {
+    ++metrics_.clone_failures;
+    co_await scrap_remote(r);
+    co_return false;
+  }
+  r.remote_valid = true;
+  ++metrics_.clones;
+  co_return true;
+}
+
+sim::Co<int> RegionManager::csync(int cd) {
+  Region* r = lookup(cd);
+  if (r == nullptr) {
+    dodo_errno() = kDodoEINVAL;
+    co_return -1;
+  }
+  // "Blocks till the region has been written to remote memory and to disk."
+  if (r->resident && r->dirty) {
+    co_await write_to_disk(cd, *r);
+  }
+  co_await fs_.fsync(r->fd);
+  co_await flush_to_remote(*r);
+  co_return 0;
+}
+
+sim::Co<int> RegionManager::cclose(int cd) {
+  Region* r = lookup(cd);
+  if (r == nullptr) {
+    dodo_errno() = kDodoEINVAL;
+    co_return -1;
+  }
+  if (r->resident && r->dirty) {
+    co_await write_to_disk(cd, *r);
+  }
+  if (r->resident) {
+    resident_bytes_ -= r->len;
+  }
+  if (r->rdesc >= 0 && dodo_.active(r->rdesc)) {
+    co_await dodo_.mclose(r->rdesc);
+  }
+  regions_.erase(cd);
+  co_return 0;
+}
+
+sim::Co<void> RegionManager::close_all(bool keep_remote) {
+  std::vector<int> cds;
+  cds.reserve(regions_.size());
+  for (const auto& [cd, r] : regions_) cds.push_back(cd);
+  std::sort(cds.begin(), cds.end());
+  for (const int cd : cds) {
+    if (keep_remote) {
+      Region& r = regions_.at(cd);
+      if (r.resident && r.dirty) co_await write_to_disk(cd, r);
+      // Persistence contract: a remote region left behind must hold the
+      // region's real content, otherwise the next run's mopen-reuse would
+      // serve garbage. Flush stragglers; release what cannot be flushed.
+      const bool remote_ok = co_await flush_to_remote(r);
+      if (!remote_ok && r.rdesc >= 0 && dodo_.active(r.rdesc)) {
+        co_await dodo_.mclose(r.rdesc);
+      }
+      if (r.resident) resident_bytes_ -= r.len;
+      regions_.erase(cd);  // leave the remote copy cached for the next run
+    } else {
+      co_await cclose(cd);
+    }
+  }
+}
+
+}  // namespace dodo::manage

@@ -1,0 +1,342 @@
+#include "net/bulk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/log.hpp"
+#include "net/codec.hpp"
+
+namespace dodo::net {
+
+namespace {
+
+enum class Kind : std::uint8_t {
+  kReq = 1,     // sender -> receiver: total length, asks for credit
+  kCredit = 2,  // receiver -> sender: window bytes
+  kData = 3,    // sender -> receiver: one chunk
+  kAck = 4,     // receiver -> sender: round complete, next base
+  kNack = 5,    // receiver -> sender: missing seqs in current round
+};
+
+// Header layout shared by all bulk messages:
+//   u8 kind, u64 xfer, then kind-specific fields.
+// kData: u64 seq, u64 nchunks, i64 offset, i64 chunk_len, i64 total_len
+// kReq:  i64 total_len
+// kCredit: i64 window
+// kAck:  u64 next_base
+// kNack: u32 count, count * u64 seq
+
+struct Decoded {
+  Kind kind{};
+  std::uint64_t xfer = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t nchunks = 0;
+  std::uint64_t next_base = 0;
+  Bytes64 offset = 0;
+  Bytes64 chunk_len = 0;
+  Bytes64 total_len = 0;
+  Bytes64 window = 0;
+  std::vector<std::uint64_t> missing;
+  bool ok = false;
+};
+
+Decoded decode(const Message& msg) {
+  Decoded d;
+  Reader r(msg.header);
+  d.kind = static_cast<Kind>(r.u8());
+  d.xfer = r.u64();
+  switch (d.kind) {
+    case Kind::kReq:
+      d.total_len = r.i64();
+      break;
+    case Kind::kCredit:
+      d.window = r.i64();
+      break;
+    case Kind::kData:
+      d.seq = r.u64();
+      d.nchunks = r.u64();
+      d.offset = r.i64();
+      d.chunk_len = r.i64();
+      d.total_len = r.i64();
+      break;
+    case Kind::kAck:
+      d.next_base = r.u64();
+      break;
+    case Kind::kNack: {
+      const auto n = r.u32();
+      d.missing.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        d.missing.push_back(r.u64());
+      }
+      break;
+    }
+    default:
+      return d;
+  }
+  d.ok = r.ok();
+  return d;
+}
+
+Buf encode_common(Kind kind, std::uint64_t xfer) {
+  Buf h;
+  Writer w(h);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(xfer);
+  return h;
+}
+
+/// Room left for chunk payload once the data header is accounted for.
+Bytes64 chunk_capacity(const NetParams& p) {
+  constexpr Bytes64 kDataHeaderBytes = 1 + 8 + 8 + 8 + 8 + 8 + 8;
+  const Bytes64 c = p.max_datagram - kDataHeaderBytes;
+  assert(c > 0);
+  return c;
+}
+
+}  // namespace
+
+sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
+                          BodyView body, BulkParams params) {
+  auto& net = sock.network();
+  const Bytes64 chunk = chunk_capacity(net.params());
+  const Bytes64 total = body.size;
+  const std::uint64_t nchunks = total <= 0
+                                    ? 1
+                                    : static_cast<std::uint64_t>(
+                                          (total + chunk - 1) / chunk);
+
+  auto send_data = [&](std::uint64_t seq) {
+    const Bytes64 off = static_cast<Bytes64>(seq) * chunk;
+    const Bytes64 len = std::min(chunk, total - off);
+    Buf h = encode_common(Kind::kData, xfer_id);
+    Writer w(h);
+    w.u64(seq);
+    w.u64(nchunks);
+    w.i64(off);
+    w.i64(len);
+    w.i64(total);
+    Buf payload;
+    if (body.data != nullptr && len > 0) {
+      payload.assign(body.data + off, body.data + off + len);
+    }
+    sock.send(dst, std::move(h), std::move(payload), len > 0 ? len : 0);
+  };
+
+  // Multi-chunk transfers negotiate the receiver's window first (§4.4);
+  // single-chunk transfers go straight to data.
+  Bytes64 window = chunk;
+  if (nchunks > 1) {
+    int tries = 0;
+    for (;;) {
+      Buf h = encode_common(Kind::kReq, xfer_id);
+      Writer w(h);
+      w.i64(total);
+      sock.send(dst, std::move(h));
+      auto reply = co_await sock.recv_for(params.ack_timeout);
+      if (reply) {
+        const Decoded d = decode(*reply);
+        if (d.ok && d.xfer == xfer_id && d.kind == Kind::kCredit &&
+            d.window >= chunk) {
+          window = d.window;
+          break;
+        }
+        continue;  // stray message; keep waiting within this try
+      }
+      if (++tries > params.max_retries) {
+        co_return Status(Err::kTimeout, "bulk: no credit from receiver");
+      }
+    }
+  }
+
+  const std::uint64_t win_chunks =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(window / chunk));
+
+  std::uint64_t base = 0;
+  std::vector<std::uint64_t> missing;
+  auto fill_round = [&](std::uint64_t from) {
+    missing.clear();
+    const std::uint64_t end = std::min(nchunks, from + win_chunks);
+    for (std::uint64_t s = from; s < end; ++s) missing.push_back(s);
+  };
+  fill_round(base);
+
+  int stalls = 0;
+  std::size_t last_missing = missing.size() + 1;
+  while (base < nchunks) {
+    for (const auto seq : missing) send_data(seq);
+    // The whole blast must clear the wire before the receiver can possibly
+    // acknowledge; a fixed timeout shorter than that would trigger
+    // spurious re-blasts of the entire round.
+    const Duration blast_time =
+        net.wire_time(chunk) * static_cast<Duration>(missing.size()) +
+        net.send_cpu_time(chunk) * static_cast<Duration>(missing.size());
+    auto reply = co_await sock.recv_for(params.ack_timeout + blast_time);
+    if (!reply) {
+      if (++stalls > params.max_retries) {
+        co_return Status(Err::kTimeout, "bulk: receiver stopped responding");
+      }
+      continue;  // re-blast the same missing set
+    }
+    const Decoded d = decode(*reply);
+    if (!d.ok || d.xfer != xfer_id) continue;
+    switch (d.kind) {
+      case Kind::kAck:
+        if (d.next_base > base) {
+          base = d.next_base;
+          fill_round(base);
+          stalls = 0;
+          last_missing = missing.size() + 1;
+        }
+        break;
+      case Kind::kNack:
+        missing = d.missing;
+        if (missing.empty()) {
+          // Defensive: an empty NACK would livelock the blast loop.
+          fill_round(base);
+        }
+        if (missing.size() < last_missing) {
+          last_missing = missing.size();
+          stalls = 0;
+        } else if (++stalls > params.max_retries) {
+          co_return Status(Err::kTimeout, "bulk: no forward progress");
+        }
+        break;
+      case Kind::kCredit:
+        break;  // duplicate credit; ignore
+      default:
+        break;
+    }
+  }
+  co_return Status::ok();
+}
+
+sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
+                                  BulkParams params) {
+  auto& net = sock.network();
+  const Bytes64 chunk = chunk_capacity(net.params());
+  (void)chunk;
+
+  BulkRecvResult result;
+  Bytes64 total = -1;
+  std::uint64_t nchunks = 0;
+  std::uint64_t base = 0;
+  std::uint64_t round_end = 0;
+  std::uint64_t win_chunks =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     params.window_bytes / chunk));
+  std::vector<bool> have;  // per-chunk received flags
+  bool materialized = true;
+  Endpoint peer{};
+  bool know_peer = false;
+
+  auto send_ack = [&] {
+    Buf h = encode_common(Kind::kAck, xfer_id);
+    Writer w(h);
+    w.u64(base);
+    sock.send(peer, std::move(h));
+  };
+  auto send_nack = [&] {
+    Buf h = encode_common(Kind::kNack, xfer_id);
+    Writer w(h);
+    std::vector<std::uint64_t> missing;
+    for (std::uint64_t s = base; s < round_end; ++s) {
+      if (!have[s]) missing.push_back(s);
+    }
+    w.u32(static_cast<std::uint32_t>(missing.size()));
+    for (const auto s : missing) w.u64(s);
+    sock.send(peer, std::move(h));
+  };
+  auto start_round = [&] {
+    round_end = std::min(nchunks, base + win_chunks);
+  };
+  auto round_complete = [&] {
+    for (std::uint64_t s = base; s < round_end; ++s) {
+      if (!have[s]) return false;
+    }
+    return true;
+  };
+
+  int idle = 0;
+  for (;;) {
+    auto msg = co_await sock.recv_for(params.recv_gap_timeout);
+    if (!msg) {
+      if (++idle > params.max_retries) {
+        result.status =
+            Status(Err::kTimeout, "bulk: sender stopped transmitting");
+        co_return result;
+      }
+      if (know_peer && nchunks > 0) send_nack();
+      continue;
+    }
+    idle = 0;
+    const Decoded d = decode(*msg);
+    if (!d.ok || d.xfer != xfer_id) continue;
+    peer = msg->src;
+    know_peer = true;
+
+    switch (d.kind) {
+      case Kind::kReq: {
+        if (total < 0) {
+          total = d.total_len;
+          nchunks = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>((total + chunk - 1) / chunk));
+          have.assign(nchunks, false);
+          start_round();
+        }
+        Buf h = encode_common(Kind::kCredit, xfer_id);
+        Writer w(h);
+        w.i64(static_cast<Bytes64>(win_chunks) * chunk);
+        sock.send(peer, std::move(h));
+        break;
+      }
+      case Kind::kData: {
+        if (total < 0) {
+          total = d.total_len;
+          nchunks = std::max<std::uint64_t>(1, d.nchunks);
+          have.assign(nchunks, false);
+          start_round();
+        }
+        if (d.seq >= nchunks) break;
+        if (d.seq < base) {
+          // Stale retransmit from an already-completed round: the sender
+          // missed our ACK. Re-acknowledge so it advances.
+          send_ack();
+          break;
+        }
+        if (d.seq >= round_end) break;  // beyond window; drop
+        if (!have[d.seq]) {
+          have[d.seq] = true;
+          if (msg->phantom_body()) {
+            materialized = false;
+          } else if (materialized && total > 0) {
+            if (result.data.empty()) {
+              result.data.assign(static_cast<std::size_t>(total), 0);
+            }
+            const auto off = static_cast<std::size_t>(d.offset);
+            const auto len =
+                std::min<std::size_t>(msg->body.size(),
+                                      static_cast<std::size_t>(total) - off);
+            std::copy_n(msg->body.begin(), len, result.data.begin() + off);
+          }
+        }
+        if (round_complete()) {
+          base = round_end;
+          send_ack();
+          if (base >= nchunks) {
+            result.size = total < 0 ? 0 : total;
+            if (!materialized) result.data.clear();
+            result.status = Status::ok();
+            co_return result;
+          }
+          start_round();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace dodo::net

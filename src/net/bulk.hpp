@@ -1,0 +1,59 @@
+// Bulk data transfer protocol (paper §4.4).
+//
+// Memory regions can be arbitrarily large while datagrams are bounded
+// (~1500 B for U-Net, ~60 KB for UDP), so transfers are packetized with
+// sequence numbers. The sender first negotiates the space available at the
+// receiver, then "blasts" as many packets as fit in that window and waits.
+// The receiver waits for that many packets or a timeout; on timeout it sends
+// a *selective NACK* listing the missing sequence numbers. ACKs advance the
+// window. Single-packet transfers skip the negotiation.
+//
+// Each bulk exchange runs on a dedicated ephemeral socket pair, so there is
+// no cross-transfer multiplexing; the xfer id is carried anyway as a
+// tripwire against misrouted datagrams.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "net/transport.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::net {
+
+struct BulkParams {
+  /// Receiver window ("the amount of space available at the receiver").
+  Bytes64 window_bytes = 1024 * 1024;
+  /// Receiver: max quiet time within a round before it NACKs.
+  Duration recv_gap_timeout = millis(20);
+  /// Sender: max wait for a CREDIT/ACK/NACK before re-blasting.
+  Duration ack_timeout = millis(40);
+  /// Rounds without forward progress before the transfer is abandoned.
+  int max_retries = 8;
+};
+
+/// A borrowed view of the bytes to send. `data == nullptr` sends a phantom
+/// body: timing and protocol behaviour are identical, but no bytes are
+/// materialized (used by paper-scale benchmarks).
+struct BodyView {
+  const std::uint8_t* data = nullptr;
+  Bytes64 size = 0;
+};
+
+struct BulkRecvResult {
+  Status status;
+  Buf data;        // empty when the sender used a phantom body
+  Bytes64 size = 0;  // logical size actually transferred
+};
+
+/// Sends `body` to `dst`. Returns kOk once the receiver has acknowledged
+/// every packet, kTimeout if progress stalls for max_retries rounds.
+sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
+                          BodyView body, BulkParams params = {});
+
+/// Receives one bulk transfer on `sock` (from whoever contacts it first).
+sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
+                                  BulkParams params = {});
+
+}  // namespace dodo::net

@@ -1,0 +1,94 @@
+// Fixed-width little-endian wire codec for protocol headers.
+//
+// Deliberately boring: explicit widths, no varints, no reflection. Decoding
+// is bounds-checked; running off the end marks the reader bad rather than
+// throwing, and callers check ok() once after decoding a struct.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "net/message.hpp"
+
+namespace dodo::net {
+
+class Writer {
+ public:
+  explicit Writer(Buf& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  void bytes(const std::uint8_t* data, std::size_t n) {
+    out_.insert(out_.end(), data, data + n);
+  }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Buf& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Buf& in) : in_(in) {}
+
+  std::uint8_t u8() { return get_le<std::uint8_t>(); }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  std::string str() {
+    const auto n = u32();
+    if (!check(n)) return {};
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T get_le() {
+    if (!check(sizeof(T))) return T{};
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<std::uint64_t>(in_[pos_ + i])
+                              << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool check(std::size_t n) {
+    if (pos_ + n > in_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return ok_;
+  }
+
+  const Buf& in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace dodo::net

@@ -1,0 +1,342 @@
+#include "runtime/dodo_client.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace dodo::runtime {
+
+using core::MsgKind;
+
+DodoClient::DodoClient(sim::Simulator& sim, net::Network& net,
+                       net::NodeId node, net::Endpoint cmd,
+                       disk::SimFilesystem& fs, ClientParams params)
+    : sim_(sim),
+      net_(net),
+      node_(node),
+      cmd_(cmd),
+      fs_(fs),
+      params_(params),
+      loops_(sim) {}
+
+DodoClient::~DodoClient() = default;
+
+void DodoClient::start() {
+  assert(!running_);
+  running_ = true;
+  ctl_sock_ = net_.open(node_, core::kClientPort);
+  loops_.add(1);
+  sim_.spawn(ping_loop());
+}
+
+sim::Co<void> DodoClient::ping_loop() {
+  for (;;) {
+    net::Message msg = co_await ctl_sock_->recv();
+    auto env = core::peek_envelope(msg);
+    if (!env) continue;
+    if (env->kind == MsgKind::kShutdownSentinel) break;
+    if (env->kind == MsgKind::kPing) {
+      ++metrics_.pings_answered;
+      ctl_sock_->send(msg.src, core::make_header(MsgKind::kPong, env->rid));
+    }
+  }
+  loops_.done();
+}
+
+sim::Co<void> DodoClient::halt() {
+  if (!running_) co_return;
+  net::Message sentinel;
+  sentinel.header = core::make_header(MsgKind::kShutdownSentinel, 0);
+  ctl_sock_->inject(std::move(sentinel));
+  co_await loops_.wait();
+  ctl_sock_.reset();
+  running_ = false;
+}
+
+sim::Co<void> DodoClient::detach() {
+  const std::uint64_t rid = rids_.next();
+  net::Buf h = core::make_header(MsgKind::kDetach, rid);
+  net::Writer w(h);
+  w.u32(params_.client_id);
+  co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
+                          params_.cmd_rpc);
+  co_await halt();
+}
+
+DodoClient::Entry* DodoClient::lookup_active(int rd) {
+  auto it = regions_.find(rd);
+  if (it == regions_.end() || !it->second.active) return nullptr;
+  return &it->second;
+}
+
+void DodoClient::drop_node(net::NodeId node) {
+  ++metrics_.nodes_dropped;
+  for (auto& [rd, entry] : regions_) {
+    if (entry.active && entry.loc.host == node) {
+      entry.active = false;
+      ++metrics_.descriptors_dropped;
+    }
+  }
+  DODO_DEBUG("libdodo", "dropped all descriptors on host %u", node);
+}
+
+sim::Co<int> DodoClient::mopen(Bytes64 len, int fd, Bytes64 offset) {
+  auto [rd, reused] = co_await mopen_ex(len, fd, offset);
+  (void)reused;
+  co_return rd;
+}
+
+sim::Co<std::pair<int, bool>> DodoClient::mopen_ex(Bytes64 len, int fd,
+                                                   Bytes64 offset) {
+  ++metrics_.mopens;
+  // §3.2 argument validation.
+  if (len < 1 || offset < 0) {
+    dodo_errno() = kDodoEINVAL;
+    co_return std::pair{-1, false};
+  }
+  if (!fs_.fd_valid(fd) || !fs_.fd_writable(fd)) {
+    dodo_errno() = kDodoEINVAL;
+    co_return std::pair{-1, false};
+  }
+  // Refraction period: after a failed allocation, don't even ask for a
+  // while (§3.1).
+  if (sim_.now() - last_alloc_fail_ < params_.refraction) {
+    ++metrics_.refraction_skips;
+    ++metrics_.mopen_failures;
+    dodo_errno() = kDodoENOMEM;
+    co_return std::pair{-1, false};
+  }
+
+  const core::RegionKey key{fs_.inode_of(fd), offset, params_.client_id};
+  const std::uint64_t rid = rids_.next();
+  net::Buf h = core::make_header(MsgKind::kMopenReq, rid);
+  net::Writer w(h);
+  core::put_key(w, key);
+  w.i64(len);
+  core::put_endpoint(w, net::Endpoint{node_, core::kClientPort});
+  auto rep =
+      co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
+                              params_.cmd_rpc);
+  bool ok = false;
+  bool reused = false;
+  core::RegionLoc loc;
+  if (rep) {
+    net::Reader r = core::body_reader(*rep);
+    ok = r.u8() != 0;
+    reused = r.u8() != 0;
+    loc = core::get_loc(r);
+    ok = ok && r.ok();
+  }
+  if (!ok) {
+    last_alloc_fail_ = sim_.now();
+    ++metrics_.mopen_failures;
+    dodo_errno() = kDodoENOMEM;
+    co_return std::pair{-1, false};
+  }
+  const int rd = next_desc_++;
+  regions_[rd] = Entry{key, fd, offset, len, loc, true};
+  co_return std::pair{rd, reused};
+}
+
+sim::Co<Bytes64> DodoClient::mread(int rd, Bytes64 offset, std::uint8_t* buf,
+                                   Bytes64 len) {
+  const ReadResult r = co_await mread_ex(rd, offset, buf, len);
+  co_return r.n;
+}
+
+sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
+                                                     std::uint8_t* buf,
+                                                     Bytes64 len) {
+  Entry* e = lookup_active(rd);
+  if (e == nullptr) {
+    dodo_errno() = kDodoENOMEM;  // §3.2: region not currently active
+    co_return ReadResult{};
+  }
+  if (offset < 0 || offset >= e->len || len < 0) {
+    dodo_errno() = kDodoEINVAL;
+    co_return ReadResult{};
+  }
+  const Bytes64 n = std::min(len, e->len - offset);
+
+  auto sock = net_.open_ephemeral(node_);
+  const std::uint64_t rid = rids_.next();
+  net::Buf h = core::make_header(MsgKind::kReadReq, rid);
+  net::Writer w(h);
+  w.u64(e->loc.imd_region);
+  w.u64(e->loc.epoch);
+  w.i64(offset);
+  w.i64(n);
+  sock->send(net::Endpoint{e->loc.host, core::kImdDataPort}, std::move(h));
+
+  auto fail = [&]() {
+    ++metrics_.access_failures;
+    drop_node(e->loc.host);
+    dodo_errno() = kDodoENOMEM;
+  };
+  auto rep = co_await sock->recv_for(params_.data_timeout);
+  if (!rep) {
+    fail();
+    co_return ReadResult{};
+  }
+  net::Reader r = core::body_reader(*rep);
+  const Err code = static_cast<Err>(r.u8());
+  const Bytes64 avail = r.i64();
+  const bool filled = r.u8() != 0;
+  if (!r.ok() || code != Err::kOk) {
+    fail();
+    co_return ReadResult{};
+  }
+  auto got = co_await net::bulk_recv(*sock, rid, params_.bulk);
+  if (!got.status.is_ok() || got.size != avail) {
+    fail();
+    co_return ReadResult{};
+  }
+  if (buf != nullptr && !got.data.empty()) {
+    std::copy_n(got.data.begin(), static_cast<std::size_t>(avail), buf);
+  }
+  ++metrics_.remote_reads;
+  metrics_.remote_read_bytes += avail;
+  co_return ReadResult{avail, filled};
+}
+
+sim::Co<Status> DodoClient::push_remote(int rd, Bytes64 offset,
+                                        const std::uint8_t* buf, Bytes64 len) {
+  Entry* e = lookup_active(rd);
+  if (e == nullptr) co_return Status(Err::kNoMem, "region not active");
+  if (offset < 0 || offset >= e->len || len < 0) {
+    co_return Status(Err::kInval, "bad offset/len");
+  }
+  const Bytes64 n = std::min(len, e->len - offset);
+
+  auto sock = net_.open_ephemeral(node_);
+  const std::uint64_t rid = rids_.next();
+  net::Buf h = core::make_header(MsgKind::kWriteReq, rid);
+  net::Writer w(h);
+  w.u64(e->loc.imd_region);
+  w.u64(e->loc.epoch);
+  w.i64(offset);
+  w.i64(n);
+  sock->send(net::Endpoint{e->loc.host, core::kImdDataPort}, std::move(h));
+
+  auto fail = [&](Err code, const char* what) {
+    ++metrics_.access_failures;
+    drop_node(e->loc.host);
+    return Status(code, what);
+  };
+  auto go = co_await sock->recv_for(params_.data_timeout);
+  if (!go) co_return fail(Err::kTimeout, "no WriteGo from imd");
+  auto genv = core::peek_envelope(*go);
+  if (!genv || genv->kind != MsgKind::kWriteGo) {
+    // The imd refused (stale epoch / unknown region): a WriteRep with an
+    // error code arrives instead of the go-ahead.
+    co_return fail(Err::kNotFound, "imd refused write");
+  }
+  const Status st = co_await net::bulk_send(*sock, go->src, rid,
+                                            net::BodyView{buf, n},
+                                            params_.bulk);
+  if (!st.is_ok()) co_return fail(st.code(), "bulk write failed");
+  auto rep = co_await sock->recv_for(params_.data_timeout);
+  if (!rep) co_return fail(Err::kTimeout, "no WriteRep from imd");
+  net::Reader r = core::body_reader(*rep);
+  const Err code = static_cast<Err>(r.u8());
+  if (!r.ok() || code != Err::kOk) co_return fail(code, "imd write error");
+  ++metrics_.remote_pushes;
+  metrics_.remote_write_bytes += n;
+  co_return Status::ok();
+}
+
+sim::Co<Bytes64> DodoClient::mwrite(int rd, Bytes64 offset,
+                                    const std::uint8_t* buf, Bytes64 len) {
+  Entry* e = lookup_active(rd);
+  if (e == nullptr) {
+    dodo_errno() = kDodoENOMEM;
+    co_return -1;
+  }
+  if (offset < 0 || offset >= e->len || len < 0) {
+    dodo_errno() = kDodoEINVAL;
+    co_return -1;
+  }
+  const Bytes64 n = std::min(len, e->len - offset);
+
+  // "Writes to remote memory are propagated to disk in parallel to being
+  // sent to the remote host." Launch both and join.
+  sim::WaitGroup wg(sim_);
+  wg.add(2);
+  Bytes64 disk_result = 0;
+  Status remote_result;
+  const int fd = e->fd;
+  const Bytes64 file_off = e->file_offset + offset;
+
+  sim_.spawn([](DodoClient& c, int f, Bytes64 off, const std::uint8_t* b,
+                Bytes64 nn, Bytes64& out, sim::WaitGroup& g) -> sim::Co<void> {
+    out = co_await c.fs_.pwrite(f, off, nn, b);
+    g.done();
+  }(*this, fd, file_off, buf, n, disk_result, wg));
+  sim_.spawn([](DodoClient& c, int rdesc, Bytes64 off, const std::uint8_t* b,
+                Bytes64 nn, Status& out, sim::WaitGroup& g) -> sim::Co<void> {
+    out = co_await c.push_remote(rdesc, off, b, nn);
+    g.done();
+  }(*this, rd, offset, buf, n, remote_result, wg));
+  co_await wg.wait();
+
+  if (disk_result < 0) {
+    // §3.2: pass through the backing write's errno.
+    dodo_errno() = kDodoEIO;
+    co_return -1;
+  }
+  if (!remote_result.is_ok()) {
+    dodo_errno() = kDodoENOMEM;  // region no longer active
+    co_return -1;
+  }
+  ++metrics_.remote_writes;
+  co_return n;
+}
+
+sim::Co<int> DodoClient::mclose(int rd) {
+  auto it = regions_.find(rd);
+  if (it == regions_.end()) {
+    dodo_errno() = kDodoEINVAL;
+    co_return -1;
+  }
+  const core::RegionKey key = it->second.key;
+  regions_.erase(it);
+
+  const std::uint64_t rid = rids_.next();
+  net::Buf h = core::make_header(MsgKind::kMfreeReq, rid);
+  net::Writer w(h);
+  core::put_key(w, key);
+  auto rep = co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
+                                     params_.cmd_rpc);
+  if (!rep) {
+    dodo_errno() = kDodoEINVAL;  // "not able to contact the central manager"
+    co_return -1;
+  }
+  net::Reader r = core::body_reader(*rep);
+  if (r.u8() == 0) {
+    dodo_errno() = kDodoEINVAL;  // already reclaimed
+    co_return -1;
+  }
+  co_return 0;
+}
+
+sim::Co<int> DodoClient::msync(int rd) {
+  auto it = regions_.find(rd);
+  if (it == regions_.end()) {
+    dodo_errno() = kDodoEINVAL;
+    co_return -1;
+  }
+  const Status st = co_await fs_.fsync(it->second.fd);
+  if (!st.is_ok()) {
+    dodo_errno() = kDodoEIO;
+    co_return -1;
+  }
+  co_return 0;
+}
+
+bool DodoClient::active(int rd) const {
+  auto it = regions_.find(rd);
+  return it != regions_.end() && it->second.active;
+}
+
+}  // namespace dodo::runtime

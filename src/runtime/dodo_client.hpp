@@ -1,0 +1,172 @@
+// The Dodo runtime library (libdodo), paper §3.2 and §4.4.
+//
+// Linked into the application; provides the explicit, synchronous remote
+// memory API:
+//   mopen(len, fd, offset)  - allocate (or re-attach to) a remote region
+//                             backed by [offset, offset+len) of an open file
+//   mread / mwrite          - move bytes; mwrite goes to the backing file
+//                             and the remote region *in parallel*
+//   mclose                  - deallocate via the central manager
+//   msync                   - block until the region's data is on disk
+// plus push_remote(), the remote-only store used by the region-management
+// library's cloneRemoteRegion (Figure 5 evicts clean regions to remote
+// memory without re-writing them to disk).
+//
+// Error model is the paper's: failures return -1 and set dodo_errno() to
+// ENOMEM (region not active / no memory), EINVAL (bad arguments), or the
+// backing write's errno. A failed access to any region on a node drops every
+// descriptor hosted on that node (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "core/rpc.hpp"
+#include "core/wire.hpp"
+#include "disk/filesystem.hpp"
+#include "net/bulk.hpp"
+#include "net/transport.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::runtime {
+
+struct ClientParams {
+  std::uint32_t client_id = 1;
+  core::RpcParams cmd_rpc{};             // mopen/mclose RPCs
+  Duration data_timeout = millis(500);   // waiting for imd Read/Write replies
+  Duration refraction = seconds(5.0);    // §3.1 refraction period
+  net::BulkParams bulk{};
+};
+
+struct ClientMetrics {
+  std::uint64_t mopens = 0;
+  std::uint64_t mopen_failures = 0;
+  std::uint64_t refraction_skips = 0;
+  std::uint64_t remote_reads = 0;
+  std::uint64_t remote_writes = 0;
+  std::uint64_t remote_pushes = 0;
+  std::int64_t remote_read_bytes = 0;
+  std::int64_t remote_write_bytes = 0;
+  std::uint64_t access_failures = 0;
+  std::uint64_t nodes_dropped = 0;
+  std::uint64_t descriptors_dropped = 0;
+  std::uint64_t pings_answered = 0;
+};
+
+class DodoClient {
+ public:
+  DodoClient(sim::Simulator& sim, net::Network& net, net::NodeId node,
+             net::Endpoint cmd, disk::SimFilesystem& fs,
+             ClientParams params = {});
+  ~DodoClient();
+
+  DodoClient(const DodoClient&) = delete;
+  DodoClient& operator=(const DodoClient&) = delete;
+
+  /// Binds the control port and starts answering keep-alive pings.
+  void start();
+
+  /// Clean exit that *leaves regions cached* for a later run (the dmine
+  /// persistent-data mode). Without this, the cmd's keep-alive sweep
+  /// eventually reclaims everything the client allocated.
+  sim::Co<void> detach();
+
+  /// Stops the ping responder without detaching (simulates a crash: the
+  /// cmd's keep-alive mechanism must clean up).
+  sim::Co<void> halt();
+
+  // -- the paper's API ------------------------------------------------------
+
+  /// Returns a region descriptor >= 0, or -1 with dodo_errno set.
+  sim::Co<int> mopen(Bytes64 len, int fd, Bytes64 offset);
+
+  /// mopen plus the central manager's "reused" flag: true when the region
+  /// was already cached from a previous run and still holds that data (the
+  /// dmine persistent-dataset path). {-1, false} on failure.
+  sim::Co<std::pair<int, bool>> mopen_ex(Bytes64 len, int fd, Bytes64 offset);
+
+  /// Returns bytes read, or -1 with dodo_errno set. buf may be nullptr in
+  /// phantom (accounting-only) runs.
+  sim::Co<Bytes64> mread(int rd, Bytes64 offset, std::uint8_t* buf,
+                         Bytes64 len);
+
+  struct ReadResult {
+    Bytes64 n = -1;      // bytes read, or -1
+    bool filled = false;  // range lies within the region's written prefix
+  };
+  /// mread plus the imd's "filled" flag: false means the remote region was
+  /// allocated but the requested range was never written (its content is
+  /// meaningless). The region-management library uses this to decide
+  /// whether a remote fill can be trusted over the backing file.
+  sim::Co<ReadResult> mread_ex(int rd, Bytes64 offset, std::uint8_t* buf,
+                               Bytes64 len);
+
+  /// Writes to the backing file and the remote region in parallel; returns
+  /// bytes written into the region, or -1 with dodo_errno set.
+  sim::Co<Bytes64> mwrite(int rd, Bytes64 offset, const std::uint8_t* buf,
+                          Bytes64 len);
+
+  /// Returns 0, or -1 with dodo_errno = EINVAL.
+  sim::Co<int> mclose(int rd);
+
+  /// Blocks until all data in the region is on disk. Returns 0 or -1.
+  sim::Co<int> msync(int rd);
+
+  // -- extension for the region-management library --------------------------
+
+  /// Stores bytes into the remote region only (no backing-file write).
+  sim::Co<Status> push_remote(int rd, Bytes64 offset, const std::uint8_t* buf,
+                              Bytes64 len);
+
+  /// True if the descriptor exists and has not been dropped.
+  [[nodiscard]] bool active(int rd) const;
+
+  [[nodiscard]] const ClientMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] std::uint32_t client_id() const {
+    return params_.client_id;
+  }
+  [[nodiscard]] std::size_t region_table_size() const {
+    return regions_.size();
+  }
+
+ private:
+  struct Entry {
+    core::RegionKey key;
+    int fd = -1;
+    Bytes64 file_offset = 0;
+    Bytes64 len = 0;
+    core::RegionLoc loc;
+    bool active = false;
+  };
+
+  sim::Co<void> ping_loop();
+
+  /// Marks every descriptor on `node` inactive (§3.1 failure handling).
+  void drop_node(net::NodeId node);
+
+  Entry* lookup_active(int rd);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::NodeId node_;
+  net::Endpoint cmd_;
+  disk::SimFilesystem& fs_;
+  ClientParams params_;
+  ClientMetrics metrics_;
+  core::RidSource rids_;
+
+  std::unordered_map<int, Entry> regions_;
+  int next_desc_ = 0;
+  SimTime last_alloc_fail_ = -(1LL << 62);
+
+  std::unique_ptr<net::Socket> ctl_sock_;
+  bool running_ = false;
+  sim::WaitGroup loops_;
+};
+
+}  // namespace dodo::runtime

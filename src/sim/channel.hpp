@@ -1,0 +1,160 @@
+// Awaitable message channels.
+//
+// A Channel<T> is an unbounded MPSC/MPMC queue on the simulated loop. send()
+// never blocks; recv() suspends the receiving coroutine until a value is
+// available; recv_for() additionally wakes with std::nullopt after a timeout.
+//
+// Implementation note on timeouts: events cannot be removed from the event
+// heap, so each pending receive holds a shared "armed" flag. Whichever of
+// {value delivery, timer} fires first disarms the flag; the loser sees the
+// disarmed flag and does nothing.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace dodo::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(&sim) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues a value; wakes one pending receiver if any (at current time).
+  void send(T value) {
+    while (!waiters_.empty()) {
+      Waiter w = std::move(waiters_.front());
+      waiters_.pop_front();
+      if (!*w.armed) continue;  // timed out already; skip the corpse
+      *w.armed = false;
+      *w.slot = std::move(value);
+      sim_->schedule_resume(sim_->now(), w.handle);
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t pending_receivers() const {
+    return waiters_.size();
+  }
+
+  /// Awaitable receive; resumes with the next value.
+  [[nodiscard]] auto recv() { return RecvAwaiter{*this}; }
+
+  /// Awaitable receive with timeout; resumes with std::nullopt on timeout.
+  [[nodiscard]] auto recv_for(Duration timeout) {
+    return RecvForAwaiter{*this, timeout};
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+    std::shared_ptr<bool> armed;
+  };
+
+  struct RecvAwaiter {
+    Channel& ch;
+    std::optional<T> slot{};
+    std::shared_ptr<bool> armed{};
+
+    bool await_ready() {
+      if (!ch.items_.empty()) {
+        slot = std::move(ch.items_.front());
+        ch.items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      armed = std::make_shared<bool>(true);
+      ch.waiters_.push_back(Waiter{h, &slot, armed});
+    }
+    T await_resume() { return std::move(*slot); }
+  };
+
+  struct RecvForAwaiter {
+    Channel& ch;
+    Duration timeout;
+    std::optional<T> slot{};
+    std::shared_ptr<bool> armed{};
+
+    bool await_ready() {
+      if (!ch.items_.empty()) {
+        slot = std::move(ch.items_.front());
+        ch.items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      armed = std::make_shared<bool>(true);
+      ch.waiters_.push_back(Waiter{h, &slot, armed});
+      auto flag = armed;
+      ch.sim_->schedule(ch.sim_->now() + timeout, [flag, h] {
+        if (!*flag) return;  // value arrived first
+        *flag = false;
+        h.resume();
+      });
+    }
+    std::optional<T> await_resume() { return std::move(slot); }
+  };
+
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+};
+
+/// Counts outstanding work; wait() suspends until the count reaches zero.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator& sim) : sim_(&sim) {}
+
+  void add(int n = 1) { count_ += n; }
+
+  void done() {
+    if (--count_ == 0) {
+      for (auto h : waiters_) sim_->schedule_resume(sim_->now(), h);
+      waiters_.clear();
+    }
+  }
+
+  [[nodiscard]] int count() const { return count_; }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      WaitGroup& wg;
+      bool await_ready() const { return wg.count_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        wg.waiters_.push_back(h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator* sim_;
+  int count_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace dodo::sim

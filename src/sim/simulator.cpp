@@ -1,0 +1,87 @@
+#include "sim/simulator.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace dodo::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+Simulator::~Simulator() { destroy_detached(); }
+
+void Simulator::destroy_detached() {
+  for (auto h : detached_) {
+    if (h) h.destroy();
+  }
+  detached_.clear();
+}
+
+void Simulator::schedule(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_resume(SimTime t, std::coroutine_handle<> h) {
+  schedule(t, [h] { h.resume(); });
+}
+
+void Simulator::spawn(Co<void> task) {
+  auto h = task.release();
+  if (!h) return;
+  detached_.push_back(h);
+  schedule(now_, [h] { h.resume(); });
+}
+
+void Simulator::reap_finished_tasks() {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < detached_.size(); ++i) {
+    auto h = detached_[i];
+    if (h.promise().finished) {
+      if (h.promise().exception) {
+        // A detached daemon died with an exception: that is a bug in the
+        // model, never a recoverable condition. Fail loudly.
+        try {
+          std::rethrow_exception(h.promise().exception);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr,
+                       "dodo::sim: detached task terminated with exception: "
+                       "%s\n",
+                       e.what());
+        } catch (...) {
+          std::fprintf(stderr,
+                       "dodo::sim: detached task terminated with unknown "
+                       "exception\n");
+        }
+        std::abort();
+      }
+      h.destroy();
+    } else {
+      detached_[out++] = h;
+    }
+  }
+  detached_.resize(out);
+}
+
+SimTime Simulator::run(SimTime limit) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    // priority_queue::top() is const; the event is copied out so the handler
+    // can schedule new events (which may reallocate the heap) safely.
+    Event ev = queue_.top();
+    if (ev.time > limit) {
+      now_ = limit;
+      break;
+    }
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++events_processed_;
+    if ((events_processed_ & 0x3ff) == 0) reap_finished_tasks();
+  }
+  reap_finished_tasks();
+  return now_;
+}
+
+}  // namespace dodo::sim

@@ -1,0 +1,105 @@
+// The discrete-event simulator.
+//
+// Single-threaded, deterministic: events fire in (time, insertion-sequence)
+// order, so two events scheduled for the same instant run in the order they
+// were scheduled. All Dodo daemons and applications execute as detached
+// Co<void> coroutines on this loop.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedules an arbitrary callback at absolute time `t` (clamped to now).
+  void schedule(SimTime t, std::function<void()> fn);
+
+  /// Schedules a coroutine resume at absolute time `t` (clamped to now).
+  void schedule_resume(SimTime t, std::coroutine_handle<> h);
+
+  /// Detaches a task onto the loop; its body starts at the current time.
+  /// Exceptions escaping a detached task abort the simulation (fail fast).
+  void spawn(Co<void> task);
+
+  /// Awaitable: suspends the calling coroutine for `d` simulated time.
+  [[nodiscard]] auto sleep(Duration d) {
+    return SleepAwaiter{*this, now_ + (d > 0 ? d : 0)};
+  }
+
+  /// Awaitable: suspends the calling coroutine until absolute time `t`.
+  [[nodiscard]] auto sleep_until(SimTime t) {
+    return SleepAwaiter{*this, t > now_ ? t : now_};
+  }
+
+  /// Runs until the event queue drains, a stop is requested, or the
+  /// simulated-time limit is hit. Returns the simulated time at exit.
+  SimTime run(SimTime limit = INT64_MAX);
+
+  /// Makes run() return after the event currently being processed.
+  void request_stop() { stop_requested_ = true; }
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+
+  /// Number of events processed so far (for budget checks in tests).
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+
+  /// Destroys all still-suspended detached tasks immediately. Call this
+  /// before tearing down objects (networks, filesystems) that suspended
+  /// coroutine frames may reference from their local variables; must not be
+  /// called while run() is executing.
+  void destroy_detached();
+
+ private:
+  struct SleepAwaiter {
+    Simulator& sim;
+    SimTime wake_at;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim.schedule_resume(wake_at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void reap_finished_tasks();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<Co<void>::promise_type>> detached_;
+};
+
+}  // namespace dodo::sim

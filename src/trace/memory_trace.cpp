@@ -1,0 +1,242 @@
+#include "trace/memory_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dodo::trace {
+
+HostClassStats paper_stats(HostClass cls) {
+  // Table 1 of the paper, verbatim (KB).
+  switch (cls) {
+    case HostClass::k32:
+      return {32 * 1024, 10310, 1133, 2402, 2257, 3746, 2686, 16310, 3844};
+    case HostClass::k64:
+      return {64 * 1024, 16347, 2081, 4093, 3776, 10017, 6982, 35079, 8030};
+    case HostClass::k128:
+      return {128 * 1024, 25512, 3257, 8216, 10271, 12583, 12621,
+              84761,      17623};
+    case HostClass::k256:
+      return {256 * 1024, 50109, 8625, 7384, 7821, 17606, 23335,
+              187045,     47535};
+  }
+  return {};
+}
+
+double HostTrace::mean_available_mb() const {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples) {
+    sum += static_cast<double>(s.available_kb(total_kb));
+  }
+  return sum / static_cast<double>(samples.size()) / 1024.0;
+}
+
+double HostTrace::idle_fraction() const {
+  if (samples.empty()) return 0.0;
+  double idle = 0.0;
+  for (const auto& s : samples) idle += s.idle ? 1.0 : 0.0;
+  return idle / static_cast<double>(samples.size());
+}
+
+int HostTrace::dips_below(double frac) const {
+  const auto threshold =
+      static_cast<Bytes64>(frac * static_cast<double>(total_kb));
+  int dips = 0;
+  bool in_dip = false;
+  for (const auto& s : samples) {
+    const bool low = s.available_kb(total_kb) < threshold;
+    if (low && !in_dip) ++dips;
+    in_dip = low;
+  }
+  return dips;
+}
+
+namespace {
+
+/// Mean-reverting AR(1) step with stationary (mean, sd).
+double ar1_step(double x, double mean, double sd, double phi, Rng& rng) {
+  const double innovation_sd = sd * std::sqrt(1.0 - phi * phi);
+  return mean + phi * (x - mean) + rng.normal(0.0, innovation_sd);
+}
+
+/// Hour-of-day from a SimTime (the trace clock starts at midnight).
+double hour_of_day(SimTime t) {
+  const double h = to_seconds(t) / 3600.0;
+  return h - 24.0 * std::floor(h / 24.0);
+}
+
+}  // namespace
+
+HostTrace synthesize_host(HostClass cls, const TraceConfig& cfg,
+                          std::uint64_t host_seed) {
+  const HostClassStats st = paper_stats(cls);
+  Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + host_seed);
+
+  HostTrace trace;
+  trace.cls = cls;
+  trace.total_kb = st.total_kb;
+
+  double kernel = st.kernel_mean;
+  double fcache = st.fcache_mean;
+  double proc = st.proc_mean;
+
+  bool busy = false;
+  SimTime state_until = 0;
+  bool surging = false;
+  SimTime surge_until = 0;
+
+  const auto n = static_cast<std::size_t>(cfg.duration / cfg.sample_interval);
+  trace.samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimTime t = static_cast<SimTime>(i) * cfg.sample_interval;
+
+    kernel = ar1_step(kernel, st.kernel_mean, st.kernel_sd, cfg.ar_phi, rng);
+    fcache = ar1_step(fcache, st.fcache_mean, st.fcache_sd, cfg.ar_phi, rng);
+    proc = ar1_step(proc, st.proc_mean, st.proc_sd, cfg.ar_phi, rng);
+
+    // Console activity: alternating renewal with a day-shaped busy rate.
+    if (t >= state_until) {
+      const double h = hour_of_day(t);
+      const bool working_hours = h >= 9.0 && h < 18.0;
+      const double busy_frac =
+          working_hours ? cfg.busy_frac_day : cfg.busy_frac_night;
+      busy = rng.chance(busy_frac);
+      const double mean_len = static_cast<double>(cfg.busy_mean_len);
+      state_until =
+          t + static_cast<Duration>(rng.exponential(mean_len)) + kSecond;
+    }
+    // Occasional surges: someone runs something big (Figure 2's dips).
+    if (!surging) {
+      const double p_per_sample =
+          cfg.surge_per_day * to_seconds(cfg.sample_interval) / 86400.0;
+      if (rng.chance(p_per_sample)) {
+        surging = true;
+        surge_until = t + static_cast<Duration>(rng.exponential(
+                              static_cast<double>(cfg.surge_mean_len)));
+      }
+    } else if (t >= surge_until) {
+      surging = false;
+    }
+
+    Sample s;
+    s.t = t;
+    s.kernel_kb = static_cast<Bytes64>(std::max(0.0, kernel));
+    s.fcache_kb = static_cast<Bytes64>(std::max(0.0, fcache));
+    double p = std::max(0.0, proc);
+    if (surging) {
+      // A surge consumes most of what was free.
+      const double free_kb = std::max(
+          0.0, static_cast<double>(st.total_kb) - kernel - fcache - p);
+      p += 0.85 * free_kb;
+    }
+    s.proc_kb = static_cast<Bytes64>(p);
+    // Cap the sum at physical memory.
+    const Bytes64 sum = s.kernel_kb + s.fcache_kb + s.proc_kb;
+    if (sum > st.total_kb) {
+      s.proc_kb -= (sum - st.total_kb);
+      if (s.proc_kb < 0) s.proc_kb = 0;
+    }
+    s.idle = !busy && !surging;
+    trace.samples.push_back(s);
+  }
+  return trace;
+}
+
+std::vector<HostClass> cluster_a_hosts() {
+  // 29 hosts; mix chosen so the expected aggregate availability lands on
+  // the paper's 3549 MB (all hosts): 13x256 + 13x128 + 3x64.
+  std::vector<HostClass> hosts;
+  for (int i = 0; i < 13; ++i) hosts.push_back(HostClass::k256);
+  for (int i = 0; i < 13; ++i) hosts.push_back(HostClass::k128);
+  for (int i = 0; i < 3; ++i) hosts.push_back(HostClass::k64);
+  return hosts;
+}
+
+std::vector<HostClass> cluster_b_hosts() {
+  // 23 hosts targeting 852 MB: 1x256 + 2x128 + 9x64 + 11x32.
+  std::vector<HostClass> hosts;
+  hosts.push_back(HostClass::k256);
+  for (int i = 0; i < 2; ++i) hosts.push_back(HostClass::k128);
+  for (int i = 0; i < 9; ++i) hosts.push_back(HostClass::k64);
+  for (int i = 0; i < 11; ++i) hosts.push_back(HostClass::k32);
+  return hosts;
+}
+
+double ClusterSeries::mean_all() const {
+  double s = 0.0;
+  for (const auto v : all_hosts_mb) s += v;
+  return all_hosts_mb.empty() ? 0.0
+                              : s / static_cast<double>(all_hosts_mb.size());
+}
+
+double ClusterSeries::mean_idle() const {
+  double s = 0.0;
+  for (const auto v : idle_hosts_mb) s += v;
+  return idle_hosts_mb.empty()
+             ? 0.0
+             : s / static_cast<double>(idle_hosts_mb.size());
+}
+
+ClusterSeries cluster_availability(const std::vector<HostClass>& hosts,
+                                   const TraceConfig& cfg,
+                                   std::uint64_t seed) {
+  std::vector<HostTrace> traces;
+  traces.reserve(hosts.size());
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    TraceConfig c = cfg;
+    c.seed = seed;
+    traces.push_back(synthesize_host(hosts[h], c, h + 1));
+  }
+  ClusterSeries series;
+  if (traces.empty()) return series;
+  const std::size_t n = traces[0].samples.size();
+  series.t.reserve(n);
+  series.all_hosts_mb.reserve(n);
+  series.idle_hosts_mb.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double all = 0.0;
+    double idle = 0.0;
+    for (const auto& tr : traces) {
+      const auto avail =
+          static_cast<double>(tr.samples[i].available_kb(tr.total_kb)) /
+          1024.0;
+      all += avail;
+      if (tr.samples[i].idle) idle += avail;
+    }
+    series.t.push_back(traces[0].samples[i].t);
+    series.all_hosts_mb.push_back(all);
+    series.idle_hosts_mb.push_back(idle);
+  }
+  return series;
+}
+
+Table1Row summarize_class(HostClass cls, int hosts, const TraceConfig& cfg,
+                          std::uint64_t seed) {
+  Table1Row row;
+  for (int h = 0; h < hosts; ++h) {
+    TraceConfig c = cfg;
+    c.seed = seed;
+    const HostTrace tr =
+        synthesize_host(cls, c, static_cast<std::uint64_t>(h) + 1000);
+    for (const auto& s : tr.samples) {
+      row.kernel.add(static_cast<double>(s.kernel_kb));
+      row.fcache.add(static_cast<double>(s.fcache_kb));
+      row.proc.add(static_cast<double>(s.proc_kb));
+      row.avail.add(static_cast<double>(s.available_kb(tr.total_kb)));
+    }
+  }
+  return row;
+}
+
+const Sample& TraceActivity::sample_at(SimTime t) const {
+  assert(!trace_.samples.empty());
+  const Duration interval = trace_.samples.size() > 1
+                                ? trace_.samples[1].t - trace_.samples[0].t
+                                : kSecond;
+  auto idx = static_cast<std::size_t>(t / interval);
+  if (idx >= trace_.samples.size()) idx = trace_.samples.size() - 1;
+  return trace_.samples[idx];
+}
+
+}  // namespace dodo::trace

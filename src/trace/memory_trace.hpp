@@ -1,0 +1,132 @@
+// Synthesis and analysis of workstation memory-usage traces (paper §2).
+//
+// The paper's design rests on a measurement study [2] of two production
+// Solaris clusters (clusterA: 29 hosts at UCSB, clusterB: 23 hosts at GMU)
+// traced for several weeks. The raw traces are long gone, so this module
+// synthesizes statistically equivalent ones: per host, the kernel,
+// file-cache and process-memory components follow mean-reverting AR(1)
+// processes pinned to the published Table 1 means and standard deviations,
+// available = total - kernel - fcache - proc (which reproduces Table 1's
+// "available" column exactly in expectation); console activity follows an
+// alternating idle/busy renewal process with day-shaped busy rates; and
+// occasional memory surges produce the availability "dips" of Figure 2.
+//
+// The TraceActivity adapter feeds these series to the resource monitor
+// daemon for non-dedicated-cluster (churn) experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "core/activity.hpp"
+
+namespace dodo::trace {
+
+enum class HostClass : int { k32 = 0, k64 = 1, k128 = 2, k256 = 3 };
+
+/// Table 1 statistics, in KB: mean (stddev) per memory component.
+struct HostClassStats {
+  Bytes64 total_kb;
+  double kernel_mean, kernel_sd;
+  double fcache_mean, fcache_sd;
+  double proc_mean, proc_sd;
+  double avail_mean, avail_sd;  // derived column, kept for comparison
+};
+
+/// The published Table 1 numbers.
+HostClassStats paper_stats(HostClass cls);
+
+struct TraceConfig {
+  Duration sample_interval = seconds(300.0);
+  Duration duration = 14LL * 24 * 3600 * kSecond;  // two weeks
+  double ar_phi = 0.98;            // AR(1) persistence per sample
+  double busy_frac_day = 0.45;     // busy probability, working hours
+  double busy_frac_night = 0.06;
+  Duration busy_mean_len = seconds(40.0 * 60);
+  double surge_per_day = 2.0;      // Figure 2's availability dips
+  Duration surge_mean_len = seconds(20.0 * 60);
+  std::uint64_t seed = 1;
+};
+
+struct Sample {
+  SimTime t;
+  Bytes64 kernel_kb;
+  Bytes64 fcache_kb;
+  Bytes64 proc_kb;
+  bool idle;  // console + load quiet
+
+  [[nodiscard]] Bytes64 available_kb(Bytes64 total_kb) const {
+    const Bytes64 a = total_kb - kernel_kb - fcache_kb - proc_kb;
+    return a > 0 ? a : 0;
+  }
+};
+
+struct HostTrace {
+  HostClass cls{};
+  Bytes64 total_kb = 0;
+  std::vector<Sample> samples;
+
+  [[nodiscard]] double mean_available_mb() const;
+  [[nodiscard]] double idle_fraction() const;
+  /// Number of availability dips below `frac` of total memory.
+  [[nodiscard]] int dips_below(double frac) const;
+};
+
+HostTrace synthesize_host(HostClass cls, const TraceConfig& cfg,
+                          std::uint64_t host_seed);
+
+/// Host mixes chosen so the synthesized cluster-wide availability matches
+/// the paper's Figure 1 averages (clusterA 3549/2747 MB, clusterB 852/742).
+std::vector<HostClass> cluster_a_hosts();  // 29 hosts
+std::vector<HostClass> cluster_b_hosts();  // 23 hosts
+
+struct ClusterSeries {
+  std::vector<SimTime> t;
+  std::vector<double> all_hosts_mb;
+  std::vector<double> idle_hosts_mb;
+
+  [[nodiscard]] double mean_all() const;
+  [[nodiscard]] double mean_idle() const;
+};
+
+ClusterSeries cluster_availability(const std::vector<HostClass>& hosts,
+                                   const TraceConfig& cfg,
+                                   std::uint64_t seed);
+
+/// Per-component summary over many hosts of one class (regenerates a Table 1
+/// row from synthesized traces).
+struct Table1Row {
+  RunningStats kernel, fcache, proc, avail;
+};
+Table1Row summarize_class(HostClass cls, int hosts, const TraceConfig& cfg,
+                          std::uint64_t seed);
+
+/// ActivitySource adapter: drives an rmd from a synthesized trace.
+class TraceActivity final : public core::ActivitySource {
+ public:
+  explicit TraceActivity(HostTrace trace) : trace_(std::move(trace)) {}
+
+  [[nodiscard]] bool console_active(SimTime t) const override {
+    return !sample_at(t).idle;
+  }
+  [[nodiscard]] double load(SimTime t) const override {
+    return sample_at(t).idle ? 0.05 : 1.0;
+  }
+  [[nodiscard]] Bytes64 active_memory(SimTime t) const override {
+    const Sample& s = sample_at(t);
+    return (s.kernel_kb + s.fcache_kb + s.proc_kb) * 1024;
+  }
+  [[nodiscard]] Bytes64 total_memory() const override {
+    return trace_.total_kb * 1024;
+  }
+
+ private:
+  [[nodiscard]] const Sample& sample_at(SimTime t) const;
+
+  HostTrace trace_;
+};
+
+}  // namespace dodo::trace

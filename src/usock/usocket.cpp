@@ -1,0 +1,152 @@
+#include "usock/usocket.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace dodo::usock {
+
+macaddr_t u_aton(const char* str_addr) {
+  macaddr_t mac{};
+  unsigned int b[6];
+  if (str_addr == nullptr ||
+      std::sscanf(str_addr, "%x:%x:%x:%x:%x:%x", &b[0], &b[1], &b[2], &b[3],
+                  &b[4], &b[5]) != 6) {
+    return macaddr_t{};
+  }
+  for (int i = 0; i < 6; ++i) {
+    if (b[i] > 0xff) return macaddr_t{};
+    mac[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(b[i]);
+  }
+  return mac;
+}
+
+char* u_ntoa(const macaddr_t& macaddr, char* str_addr) {
+  std::snprintf(str_addr, 18, "%02x:%02x:%02x:%02x:%02x:%02x", macaddr[0],
+                macaddr[1], macaddr[2], macaddr[3], macaddr[4], macaddr[5]);
+  return str_addr;
+}
+
+USocketStack::USocketStack(net::Network& net, net::NodeId node)
+    : net_(net), node_(node) {}
+
+macaddr_t USocketStack::mac_of(net::NodeId node) {
+  // Locally-administered OUI 02:0d:0d ("dodo"), node id in the low 24 bits.
+  return macaddr_t{0x02, 0x0d, 0x0d,
+                   static_cast<std::uint8_t>(node >> 16),
+                   static_cast<std::uint8_t>(node >> 8),
+                   static_cast<std::uint8_t>(node)};
+}
+
+std::optional<net::NodeId> USocketStack::node_of(const macaddr_t& mac) {
+  if (mac[0] != 0x02 || mac[1] != 0x0d || mac[2] != 0x0d) return std::nullopt;
+  return (static_cast<net::NodeId>(mac[3]) << 16) |
+         (static_cast<net::NodeId>(mac[4]) << 8) | mac[5];
+}
+
+USocketStack::USock* USocketStack::lookup(int fd) {
+  auto it = socks_.find(fd);
+  return it == socks_.end() ? nullptr : &it->second;
+}
+
+int USocketStack::u_socket(int sendbufsize, int recvbufsize) {
+  if (sendbufsize < 0 || recvbufsize < 0) return -1;
+  const int fd = next_fd_++;
+  socks_[fd] = USock{};
+  return fd;
+}
+
+int USocketStack::u_close(int usockfd) {
+  return socks_.erase(usockfd) > 0 ? 0 : -1;
+}
+
+int USocketStack::ensure_socket(USock& u) {
+  if (u.sock) return 0;
+  u.sock = u.bound ? net_.open(node_, kUsockPort)
+                   : net_.open_ephemeral(node_);
+  return 0;
+}
+
+int USocketStack::u_bind(int usockfd, const macaddr_t* macaddr, int nbaddr) {
+  USock* u = lookup(usockfd);
+  if (u == nullptr || macaddr == nullptr || nbaddr < 1) return -1;
+  // The bound address must name this host.
+  bool ours = false;
+  for (int i = 0; i < nbaddr; ++i) {
+    ours = ours || macaddr[i] == mac_of(node_);
+  }
+  if (!ours) return -1;
+  if (u->sock) return -1;  // already in use
+  u->bound = true;
+  ensure_socket(*u);
+  return 0;
+}
+
+int USocketStack::u_connect(int usockfd, const macaddr_t& macaddr) {
+  USock* u = lookup(usockfd);
+  if (u == nullptr || !node_of(macaddr).has_value()) return -1;
+  u->peer = macaddr;
+  u->connected = true;
+  return 0;
+}
+
+int USocketStack::u_send(int usockfd, const void* buff, std::size_t len) {
+  u_iovec iov{const_cast<void*>(buff), len};
+  return u_send_iovec(usockfd, &iov, 1);
+}
+
+int USocketStack::u_send_iovec(int usockfd, const u_iovec* iov, int iovc) {
+  USock* u = lookup(usockfd);
+  if (u == nullptr || !u->connected || iov == nullptr || iovc < 1) return -1;
+  ensure_socket(*u);
+  net::Buf payload;
+  for (int i = 0; i < iovc; ++i) {
+    const auto* p = static_cast<const std::uint8_t*>(iov[i].iov_base);
+    payload.insert(payload.end(), p, p + iov[i].iov_len);
+  }
+  if (static_cast<Bytes64>(payload.size()) >
+      net_.params().max_datagram) {
+    return -1;  // U-Net frames don't fragment; the bulk layer's job
+  }
+  const auto node = node_of(u->peer);
+  if (!node) return -1;
+  const auto n = static_cast<int>(payload.size());
+  u->sock->send(net::Endpoint{*node, kUsockPort}, {}, std::move(payload));
+  return n;
+}
+
+sim::Co<int> USocketStack::u_recv(int usockfd, void* buff, std::size_t len,
+                                  macaddr_t* macaddr, int timeout_ms) {
+  u_iovec iov{buff, len};
+  int iovc = 1;
+  co_return co_await u_recv_iovec(usockfd, &iov, &iovc, macaddr, timeout_ms);
+}
+
+sim::Co<int> USocketStack::u_recv_iovec(int usockfd, u_iovec* iov, int* iovc,
+                                        macaddr_t* macaddr, int timeout_ms) {
+  USock* u = lookup(usockfd);
+  if (u == nullptr || iov == nullptr || iovc == nullptr || *iovc < 1) {
+    co_return -1;
+  }
+  ensure_socket(*u);
+  std::optional<net::Message> msg;
+  if (timeout_ms < 0) {
+    msg = co_await u->sock->recv();
+  } else {
+    msg = co_await u->sock->recv_for(millis(timeout_ms));
+  }
+  if (!msg) co_return -1;
+  if (macaddr != nullptr) *macaddr = mac_of(msg->src.node);
+  // Scatter into the iovec array; truncate like a datagram socket.
+  std::size_t off = 0;
+  int used = 0;
+  for (int i = 0; i < *iovc && off < msg->body.size(); ++i) {
+    const std::size_t n = std::min(iov[i].iov_len, msg->body.size() - off);
+    std::memcpy(iov[i].iov_base, msg->body.data() + off, n);
+    off += n;
+    used = i + 1;
+  }
+  *iovc = used;
+  co_return static_cast<int>(off);
+}
+
+}  // namespace dodo::usock

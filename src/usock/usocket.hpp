@@ -1,0 +1,100 @@
+// The usocket library (paper §4.6, Figure 6).
+//
+// The paper's Dodo runs over either UDP sockets or U-Net; for programming
+// convenience the authors wrote libusocket.a, a UDP-socket-like veneer over
+// U-Net's raw MAC-addressed frames. This is that API over the simulated
+// U-Net transport: datagram sockets addressed by MAC address (no ports —
+// U-Net channels are per-host here), with send/recv, scatter-gather iovec
+// variants, and timeouts.
+//
+// API shape follows Figure 6; calls that block (u_recv*) are coroutines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/transport.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::usock {
+
+using macaddr_t = std::array<std::uint8_t, 6>;
+
+/// "xx:xx:xx:xx:xx:xx" -> address. Returns all-zero on parse error.
+macaddr_t u_aton(const char* str_addr);
+
+/// address -> "xx:xx:xx:xx:xx:xx"; writes into caller buffer (>= 18 bytes),
+/// returns it.
+char* u_ntoa(const macaddr_t& macaddr, char* str_addr);
+
+/// Scatter/gather element (mirrors struct iovec).
+struct u_iovec {
+  void* iov_base;
+  std::size_t iov_len;
+};
+
+/// One stack instance per simulated node (stands in for the per-process
+/// U-Net endpoint table).
+class USocketStack {
+ public:
+  USocketStack(net::Network& net, net::NodeId node);
+
+  /// The MAC address of a node in this simulated segment.
+  static macaddr_t mac_of(net::NodeId node);
+  static std::optional<net::NodeId> node_of(const macaddr_t& mac);
+
+  [[nodiscard]] macaddr_t local_mac() const { return mac_of(node_); }
+
+  // -- Figure 6 API ----------------------------------------------------------
+
+  /// Creates a socket; buffer sizes are accepted for fidelity (the sim
+  /// transport has no finite buffers). Returns usockfd >= 0, or -1.
+  int u_socket(int sendbufsize, int recvbufsize);
+  int u_close(int usockfd);
+
+  /// Binds the socket to this host's U-Net endpoint; only one bound socket
+  /// per stack (one U-Net channel per host pair in our configuration).
+  int u_bind(int usockfd, const macaddr_t* macaddr, int nbaddr);
+
+  /// Sets the default destination for u_send.
+  int u_connect(int usockfd, const macaddr_t& macaddr);
+
+  /// Sends to the connected peer. Returns bytes sent or -1.
+  int u_send(int usockfd, const void* buff, std::size_t len);
+  int u_send_iovec(int usockfd, const u_iovec* iov, int iovc);
+
+  /// Receives one datagram (truncating to len). timeout_ms < 0 blocks
+  /// forever; returns bytes received or -1 on timeout/bad fd. The sender's
+  /// address is stored through `macaddr` when non-null.
+  sim::Co<int> u_recv(int usockfd, void* buff, std::size_t len,
+                      macaddr_t* macaddr, int timeout_ms);
+  sim::Co<int> u_recv_iovec(int usockfd, u_iovec* iov, int* iovc,
+                            macaddr_t* macaddr, int timeout_ms);
+
+ private:
+  struct USock {
+    std::unique_ptr<net::Socket> sock;  // null until bound or first send
+    macaddr_t peer{};
+    bool connected = false;
+    bool bound = false;
+  };
+
+  USock* lookup(int fd);
+  int ensure_socket(USock& u);
+
+  net::Network& net_;
+  net::NodeId node_;
+  std::unordered_map<int, USock> socks_;
+  int next_fd_ = 0;
+};
+
+/// Well-known port the usocket layer claims on each node.
+inline constexpr net::Port kUsockPort = 900;
+
+}  // namespace dodo::usock

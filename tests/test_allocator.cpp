@@ -1,0 +1,154 @@
+// Tests for the imd's first-fit pool allocator (§4.2), including
+// property-style random alloc/free streams checking structural invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/pool_allocator.hpp"
+
+namespace dodo::core {
+namespace {
+
+TEST(PoolAllocator, FreshPoolIsOneFreeBlock) {
+  PoolAllocator p(1000);
+  EXPECT_EQ(p.total_free(), 1000);
+  EXPECT_EQ(p.largest_free(), 1000);
+  EXPECT_EQ(p.free_block_count(), 1u);
+  EXPECT_DOUBLE_EQ(p.external_fragmentation(), 0.0);
+  EXPECT_TRUE(p.check_invariants());
+}
+
+TEST(PoolAllocator, FirstFitTakesLowestOffset) {
+  PoolAllocator p(1000);
+  auto a = p.alloc(100);
+  auto b = p.alloc(100);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, 0);
+  EXPECT_EQ(*b, 100);
+}
+
+TEST(PoolAllocator, ExactFitConsumesBlock) {
+  PoolAllocator p(256);
+  auto a = p.alloc(256);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(p.total_free(), 0);
+  EXPECT_FALSE(p.alloc(1).has_value());
+  EXPECT_TRUE(p.check_invariants());
+}
+
+TEST(PoolAllocator, RejectsImpossibleRequests) {
+  PoolAllocator p(100);
+  EXPECT_FALSE(p.alloc(0).has_value());
+  EXPECT_FALSE(p.alloc(-5).has_value());
+  EXPECT_FALSE(p.alloc(101).has_value());
+}
+
+TEST(PoolAllocator, FreeWithoutCoalesceLeavesFragments) {
+  PoolAllocator p(300);
+  auto a = p.alloc(100);
+  auto b = p.alloc(100);
+  auto c = p.alloc(100);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_TRUE(p.free(*a));
+  EXPECT_TRUE(p.free(*b));
+  // 200 bytes free but in two blocks: a 200-byte request must fail until
+  // the periodic coalescing pass runs (paper: coalescing is periodic).
+  EXPECT_EQ(p.total_free(), 200);
+  EXPECT_EQ(p.free_block_count(), 2u);
+  EXPECT_FALSE(p.alloc(200).has_value());
+  p.coalesce();
+  EXPECT_EQ(p.free_block_count(), 1u);
+  EXPECT_TRUE(p.alloc(200).has_value());
+  EXPECT_TRUE(p.check_invariants());
+}
+
+TEST(PoolAllocator, DoubleFreeRejected) {
+  PoolAllocator p(100);
+  auto a = p.alloc(50);
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(p.free(*a));
+  EXPECT_FALSE(p.free(*a));
+  EXPECT_FALSE(p.free(9999));
+}
+
+TEST(PoolAllocator, SplitLeavesRemainderUsable) {
+  PoolAllocator p(100);
+  auto a = p.alloc(30);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(p.largest_free(), 70);
+  auto b = p.alloc(70);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(*b, 30);
+}
+
+TEST(PoolAllocator, FragmentationMetric) {
+  PoolAllocator p(400);
+  auto a = p.alloc(100);
+  auto b = p.alloc(100);
+  auto c = p.alloc(100);
+  (void)c;
+  ASSERT_TRUE(a && b);
+  p.free(*a);
+  // free: [0,100) and [300,400) => largest 100 of 200 free
+  EXPECT_NEAR(p.external_fragmentation(), 0.5, 1e-9);
+}
+
+class PoolAllocatorRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolAllocatorRandomized, InvariantsHoldUnderRandomWorkload) {
+  Rng rng(GetParam());
+  const Bytes64 pool_size = 1 << 20;
+  PoolAllocator p(pool_size);
+  std::vector<std::pair<Bytes64, Bytes64>> live;  // offset, len
+  Bytes64 live_bytes = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const bool do_alloc = live.empty() || rng.chance(0.6);
+    if (do_alloc) {
+      const Bytes64 len = rng.range(1, 32 * 1024);
+      if (auto off = p.alloc(len)) {
+        // New block must not overlap any live block.
+        for (const auto& [o, l] : live) {
+          EXPECT_FALSE(*off < o + l && o < *off + len)
+              << "overlap at step " << step;
+        }
+        live.emplace_back(*off, len);
+        live_bytes += len;
+      } else {
+        // Failure is only legitimate if no free block is big enough.
+        EXPECT_LT(p.largest_free(), len);
+      }
+    } else {
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.below(live.size()));
+      EXPECT_TRUE(p.free(live[idx].first));
+      live_bytes -= live[idx].second;
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (step % 64 == 0) p.coalesce();
+    if (step % 256 == 0) {
+      ASSERT_TRUE(p.check_invariants()) << "step " << step;
+      EXPECT_EQ(p.total_free(), pool_size - live_bytes);
+    }
+  }
+  p.coalesce();
+  ASSERT_TRUE(p.check_invariants());
+  // Free everything: pool must return to a single block after coalescing.
+  for (const auto& [o, l] : live) {
+    (void)l;
+    EXPECT_TRUE(p.free(o));
+  }
+  p.coalesce();
+  EXPECT_EQ(p.free_block_count(), 1u);
+  EXPECT_EQ(p.largest_free(), pool_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolAllocatorRandomized,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace dodo::core

@@ -1,0 +1,317 @@
+// End-to-end tests for the workloads on the full cluster harness:
+// data integrity across all cache tiers, synthetic benchmark speedups at
+// miniature scale, real Apriori mining through Dodo, and real out-of-core
+// LU factorization verified against L*U reconstruction.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/block_io.hpp"
+#include "apps/dmine.hpp"
+#include "apps/lu.hpp"
+#include "apps/synthetic.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+
+namespace dodo::apps {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using sim::Co;
+
+ClusterConfig tiny_config(bool use_dodo, std::uint64_t seed = 31) {
+  ClusterConfig cfg;
+  cfg.imd_hosts = 3;
+  cfg.imd_pool = 4_MiB;
+  cfg.local_cache = 1_MiB;
+  cfg.page_cache_dodo = 512_KiB;
+  cfg.page_cache_baseline = 2_MiB;
+  cfg.use_dodo = use_dodo;
+  cfg.materialize = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ClusterHarness, BootsAndRegistersImds) {
+  Cluster c(tiny_config(true));
+  c.run_app([](Cluster& cl) -> Co<void> {
+    co_await cl.sim().sleep(100_ms);
+  });
+  EXPECT_EQ(c.cmd().idle_host_count(), 3u);
+  EXPECT_NE(c.manager(), nullptr);
+  EXPECT_NE(c.dodo(), nullptr);
+}
+
+TEST(SyntheticTrace, PatternsAreSane) {
+  SyntheticConfig cfg;
+  cfg.dataset = 1_MiB;
+  cfg.req_size = 8_KiB;
+  const Bytes64 blocks = cfg.dataset / cfg.req_size;
+
+  cfg.pattern = SyntheticConfig::Pattern::kSequential;
+  auto seq = synthetic_trace(cfg, 0);
+  ASSERT_EQ(seq.size(), static_cast<std::size_t>(blocks));
+  for (Bytes64 i = 0; i < blocks; ++i) {
+    EXPECT_EQ(seq[static_cast<std::size_t>(i)], i);
+  }
+
+  cfg.pattern = SyntheticConfig::Pattern::kRandom;
+  auto rnd = synthetic_trace(cfg, 0);
+  auto rnd2 = synthetic_trace(cfg, 0);
+  EXPECT_EQ(rnd, rnd2);  // deterministic
+  EXPECT_NE(rnd, synthetic_trace(cfg, 1));
+  for (const auto b : rnd) {
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, blocks);
+  }
+
+  cfg.pattern = SyntheticConfig::Pattern::kHotcold;
+  auto hc = synthetic_trace(cfg, 0);
+  const auto hot_blocks = static_cast<Bytes64>(0.2 * static_cast<double>(blocks));
+  int hot_refs = 0;
+  for (const auto b : hc) hot_refs += (b < hot_blocks) ? 1 : 0;
+  // 80% of references to the 20% hot region.
+  EXPECT_NEAR(static_cast<double>(hot_refs) / static_cast<double>(hc.size()),
+              0.8, 0.05);
+}
+
+TEST(DodoBlockIo, ContentIntegrityAcrossAllTiers) {
+  // Dataset 4 MiB, local cache 1 MiB, so most regions live remotely after
+  // the first sweep. Every byte read must match what was written, whether
+  // it came from disk, local cache, or remote memory.
+  auto cfg = tiny_config(true);
+  Cluster c(cfg);
+  const int fd = c.create_dataset("data", 4_MiB);
+  auto* store = c.fs().store_of_inode(c.fs().inode_of(fd));
+  std::vector<std::uint8_t> expect(static_cast<std::size_t>(4_MiB));
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    expect[i] = static_cast<std::uint8_t>((i * 131 + 11) & 0xff);
+  }
+  store->write(0, 4_MiB, expect.data());
+
+  DodoBlockIo io(*c.manager(), fd, 4_MiB, 64_KiB);
+  c.run_app([&]([[maybe_unused]] Cluster& cl) -> Co<void> {
+    std::vector<std::uint8_t> buf(64_KiB);
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      for (Bytes64 off = 0; off < 4_MiB; off += 64_KiB) {
+        const Bytes64 got = co_await io.read(off, buf.data(), 64_KiB);
+        EXPECT_EQ(got, 64_KiB);
+        const bool same = std::equal(
+            buf.begin(), buf.end(),
+            expect.begin() + static_cast<std::ptrdiff_t>(off));
+        EXPECT_TRUE(same) << "sweep " << sweep << " off " << off;
+        if (!same) co_return;
+      }
+    }
+    co_await io.finish(false);
+  });
+  // The workload is bigger than the local cache: remote memory must have
+  // been exercised.
+  EXPECT_GT(c.manager()->metrics().remote_fills +
+                c.manager()->metrics().remote_passthrough,
+            0u);
+}
+
+struct SyntheticOutcome {
+  RunStats stats;
+  SimTime elapsed;
+};
+
+SyntheticOutcome run_tiny_synthetic(SyntheticConfig scfg, bool use_dodo,
+                                    manage::Policy policy) {
+  auto ccfg = tiny_config(use_dodo);
+  ccfg.policy = policy;
+  Cluster c(ccfg);
+  const int fd = c.create_dataset("data", scfg.dataset);
+  std::unique_ptr<BlockIo> io;
+  if (use_dodo) {
+    io = std::make_unique<DodoBlockIo>(*c.manager(), fd, scfg.dataset,
+                                       scfg.req_size);
+  } else {
+    io = std::make_unique<FsBlockIo>(c.fs(), fd);
+  }
+  SyntheticOutcome out;
+  out.elapsed = c.run_app([&]([[maybe_unused]] Cluster& cl) -> Co<void> {
+    co_await run_synthetic(cl, *io, scfg, &out.stats);
+  });
+  return out;
+}
+
+TEST(Synthetic, RandomBenefitsFromRemoteMemory) {
+  SyntheticConfig s;
+  s.pattern = SyntheticConfig::Pattern::kRandom;
+  s.dataset = 8_MiB;
+  s.req_size = 8_KiB;
+  s.iterations = 3;
+  s.compute_per_req = 1_ms;
+  auto base = run_tiny_synthetic(s, false, manage::Policy::kLru);
+  auto dodo = run_tiny_synthetic(s, true, manage::Policy::kLru);
+  ASSERT_EQ(base.stats.iteration_time.size(), 3u);
+  ASSERT_EQ(dodo.stats.iteration_time.size(), 3u);
+  // Steady state (iterations 2+) must be clearly faster with Dodo.
+  EXPECT_LT(dodo.stats.steady_seconds(), base.stats.steady_seconds() * 0.6);
+}
+
+TEST(Synthetic, SequentialGainsLittle) {
+  SyntheticConfig s;
+  s.pattern = SyntheticConfig::Pattern::kSequential;
+  s.dataset = 8_MiB;
+  s.req_size = 8_KiB;
+  s.iterations = 3;
+  s.compute_per_req = 1_ms;
+  auto base = run_tiny_synthetic(s, false, manage::Policy::kLru);
+  auto dodo = run_tiny_synthetic(s, true, manage::Policy::kLru);
+  const double speedup =
+      base.stats.steady_seconds() / dodo.stats.steady_seconds();
+  // The filesystem streams sequential reads; remote memory can't beat it
+  // by much (paper: "virtually no speedup for sequential").
+  EXPECT_LT(speedup, 1.45);
+  EXPECT_GT(speedup, 0.75);
+}
+
+TEST(Dmine, EncodeDecodeRoundTrip) {
+  DmineConfig cfg;
+  cfg.num_transactions = 500;
+  cfg.block = 4096;
+  auto txns = generate_transactions(cfg);
+  auto bytes = encode_transactions(txns, cfg.block);
+  ASSERT_EQ(static_cast<Bytes64>(bytes.size()) % cfg.block, 0);
+  std::vector<Transaction> decoded;
+  for (Bytes64 off = 0; off < static_cast<Bytes64>(bytes.size());
+       off += cfg.block) {
+    auto blk = decode_block(bytes.data() + off, cfg.block);
+    decoded.insert(decoded.end(), blk.begin(), blk.end());
+  }
+  ASSERT_EQ(decoded.size(), txns.size());
+  EXPECT_EQ(decoded, txns);
+}
+
+TEST(Dmine, ReferenceMinerFindsEmbeddedPatterns) {
+  DmineConfig cfg;
+  cfg.num_transactions = 4000;
+  cfg.num_items = 100;
+  cfg.avg_items = 8;
+  cfg.num_patterns = 4;
+  cfg.pattern_prob = 0.5;
+  cfg.min_support = 0.08;
+  auto txns = generate_transactions(cfg);
+  auto levels = apriori_reference(txns, cfg.min_support);
+  ASSERT_GE(levels.size(), 2u);     // frequent singletons and pairs at least
+  EXPECT_FALSE(levels[0].empty());
+  EXPECT_FALSE(levels[1].empty());
+}
+
+TEST(Dmine, RealMinerOverDodoMatchesReference) {
+  DmineConfig cfg;
+  cfg.num_transactions = 3000;
+  cfg.num_items = 80;
+  cfg.avg_items = 8;
+  cfg.num_patterns = 4;
+  cfg.pattern_prob = 0.5;
+  cfg.min_support = 0.1;
+  cfg.block = 16_KiB;
+  auto txns = generate_transactions(cfg);
+  auto bytes = encode_transactions(txns, cfg.block);
+  const auto dataset = static_cast<Bytes64>(bytes.size());
+  const auto expected = apriori_reference(txns, cfg.min_support);
+
+  auto ccfg = tiny_config(true);
+  ccfg.local_cache = 64_KiB;  // force remote traffic
+  ccfg.policy = manage::Policy::kFirstIn;
+  Cluster c(ccfg);
+  const int fd = c.create_dataset("txns", dataset);
+  c.fs().store_of_inode(c.fs().inode_of(fd))->write(0, dataset, bytes.data());
+
+  DodoBlockIo io(*c.manager(), fd, dataset, cfg.block);
+  RunStats stats;
+  std::vector<std::vector<ItemSet>> levels;
+  c.run_app([&]([[maybe_unused]] Cluster& cl) -> Co<void> {
+    co_await run_dmine_real(cl, io, cfg, dataset, &stats, &levels);
+  });
+  EXPECT_EQ(levels, expected);
+  EXPECT_GT(stats.requests, 0u);
+}
+
+TEST(Dmine, SecondRunAvoidsDisk) {
+  auto ccfg = tiny_config(true);
+  ccfg.local_cache = 64_KiB;
+  ccfg.policy = manage::Policy::kFirstIn;
+  Cluster c(ccfg);
+  const Bytes64 dataset = 1_MiB;
+  const int fd = c.create_dataset("txns", dataset);
+
+  RunStats run1, run2;
+  {
+    DodoBlockIo io(*c.manager(), fd, dataset, 64_KiB);
+    c.run_app([&]([[maybe_unused]] Cluster& cl) -> Co<void> {
+      co_await run_dmine_modeled(cl, io, dataset, 64_KiB, 1_ms, 3, &run1);
+    });
+    c.run_app([&]([[maybe_unused]] Cluster& cl) -> Co<void> {
+      co_await cl.dodo()->detach();
+    });
+  }
+  // "New process": fresh client + manager, same client id.
+  c.restart_client();
+  const auto disk_reads_before = c.fs().disk().metrics().reads;
+  {
+    DodoBlockIo io(*c.manager(), fd, dataset, 64_KiB);
+    c.run_app([&]([[maybe_unused]] Cluster& cl) -> Co<void> {
+      co_await run_dmine_modeled(cl, io, dataset, 64_KiB, 1_ms, 3, &run2);
+    });
+  }
+  // Run 2 is served from remote memory: no new disk reads, faster run.
+  EXPECT_EQ(c.fs().disk().metrics().reads, disk_reads_before);
+  EXPECT_LT(run2.total(), run1.total());
+}
+
+TEST(Lu, RealFactorizationIsCorrectViaBaselineIo) {
+  LuConfig cfg;
+  cfg.n = 64;
+  cfg.slab_cols = 8;
+  cfg.files = 2;
+  auto ccfg = tiny_config(false);
+  Cluster c(ccfg);
+  const int fd = c.create_dataset("matrix", cfg.total_bytes());
+  auto* store = c.fs().store_of_inode(c.fs().inode_of(fd));
+  const auto a = lu_make_matrix(cfg);
+  lu_store_matrix(*store, cfg, a);
+
+  FsBlockIo io(c.fs(), fd);
+  RunStats stats;
+  c.run_app([&]([[maybe_unused]] Cluster& cl) -> Co<void> {
+    co_await run_lu_real(cl, io, cfg, &stats);
+  });
+  const auto packed = lu_load_matrix(*store, cfg);
+  EXPECT_LT(lu_verify(packed, a, cfg.n), 1e-8);
+  // Triangle scan: loads of earlier slabs dominate the request count.
+  const auto s = static_cast<std::uint64_t>(cfg.slabs());
+  const auto f = static_cast<std::uint64_t>(cfg.files);
+  EXPECT_EQ(stats.requests, f * (2 * s + s * (s - 1) / 2));
+}
+
+TEST(Lu, RealFactorizationIsCorrectViaDodo) {
+  LuConfig cfg;
+  cfg.n = 64;
+  cfg.slab_cols = 8;
+  cfg.files = 2;
+  auto ccfg = tiny_config(true);
+  ccfg.local_cache = 8_KiB;  // a couple of chunks: forces remote traffic
+  ccfg.policy = manage::Policy::kFirstIn;
+  Cluster c(ccfg);
+  const int fd = c.create_dataset("matrix", cfg.total_bytes());
+  auto* store = c.fs().store_of_inode(c.fs().inode_of(fd));
+  const auto a = lu_make_matrix(cfg);
+  lu_store_matrix(*store, cfg, a);
+
+  DodoBlockIo io(*c.manager(), fd, cfg.total_bytes(), cfg.chunk_bytes());
+  RunStats stats;
+  c.run_app([&]([[maybe_unused]] Cluster& cl) -> Co<void> {
+    co_await run_lu_real(cl, io, cfg, &stats);
+  });
+  const auto packed = lu_load_matrix(*store, cfg);
+  EXPECT_LT(lu_verify(packed, a, cfg.n), 1e-8);
+}
+
+}  // namespace
+}  // namespace dodo::apps

@@ -1,0 +1,131 @@
+// Tests for the buddy allocator (the paper's §4.2 fallback design),
+// including randomized property sweeps mirroring the first-fit suite.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/buddy_allocator.hpp"
+
+namespace dodo::core {
+namespace {
+
+TEST(Buddy, PoolRoundsDownToPowerOfTwo) {
+  BuddyAllocator b(1000000, 4096);
+  EXPECT_EQ(b.pool_size(), 524288);  // 2^19
+  EXPECT_EQ(b.total_free(), 524288);
+  EXPECT_EQ(b.largest_free(), 524288);
+  EXPECT_TRUE(b.check_invariants());
+}
+
+TEST(Buddy, AllocationsRoundUpToPowerOfTwo) {
+  BuddyAllocator b(1 << 20, 4096);
+  auto a = b.alloc(5000);  // rounds to 8192
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(b.total_free(), (1 << 20) - 8192);
+  EXPECT_EQ(b.internal_fragmentation_bytes(), 8192 - 5000);
+  EXPECT_TRUE(b.check_invariants());
+}
+
+TEST(Buddy, SplitAndEagerMerge) {
+  BuddyAllocator b(1 << 16, 4096);
+  auto a1 = b.alloc(4096);
+  auto a2 = b.alloc(4096);
+  ASSERT_TRUE(a1 && a2);
+  // Splitting left a ladder of free buddies.
+  EXPECT_GT(b.free_block_count(), 1u);
+  EXPECT_TRUE(b.free(*a1));
+  EXPECT_TRUE(b.free(*a2));
+  // Everything merged back to a single maximal block, no coalesce() call.
+  EXPECT_EQ(b.free_block_count(), 1u);
+  EXPECT_EQ(b.largest_free(), 1 << 16);
+  EXPECT_TRUE(b.check_invariants());
+}
+
+TEST(Buddy, BuddiesAreAddressAligned) {
+  BuddyAllocator b(1 << 18, 4096);
+  std::vector<Bytes64> offs;
+  for (int i = 0; i < 16; ++i) {
+    auto a = b.alloc(16384);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a % 16384, 0) << "block " << i;
+    offs.push_back(*a);
+  }
+  EXPECT_FALSE(b.alloc(1).has_value());  // full
+  for (const auto o : offs) EXPECT_TRUE(b.free(o));
+  EXPECT_EQ(b.largest_free(), 1 << 18);
+}
+
+TEST(Buddy, RejectsBadRequestsAndDoubleFree) {
+  BuddyAllocator b(1 << 16, 4096);
+  EXPECT_FALSE(b.alloc(0).has_value());
+  EXPECT_FALSE(b.alloc(-3).has_value());
+  EXPECT_FALSE(b.alloc((1 << 16) + 1).has_value());
+  auto a = b.alloc(100);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(b.free(*a));
+  EXPECT_FALSE(b.free(*a));
+  EXPECT_FALSE(b.free(12345));
+}
+
+TEST(Buddy, NoExternalFragmentationAfterChurn) {
+  // The property that motivates buddy: free everything and the pool is
+  // whole again without any explicit coalescing pass.
+  BuddyAllocator b(1 << 20, 4096);
+  Rng rng(3);
+  std::vector<Bytes64> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.chance(0.55)) {
+      if (auto off = b.alloc(rng.range(1, 64 * 1024))) {
+        live.push_back(*off);
+      }
+    } else {
+      const auto idx = static_cast<std::size_t>(rng.below(live.size()));
+      EXPECT_TRUE(b.free(live[idx]));
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  for (const auto off : live) EXPECT_TRUE(b.free(off));
+  EXPECT_EQ(b.free_block_count(), 1u);
+  EXPECT_EQ(b.largest_free(), 1 << 20);
+  EXPECT_EQ(b.internal_fragmentation_bytes(), 0);
+}
+
+class BuddyRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuddyRandomized, InvariantsHoldUnderRandomWorkload) {
+  Rng rng(GetParam());
+  BuddyAllocator b(1 << 20, 1024);
+  std::vector<std::pair<Bytes64, Bytes64>> live;  // offset, rounded len
+  for (int step = 0; step < 2500; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      const Bytes64 len = rng.range(1, 32 * 1024);
+      if (auto off = b.alloc(len)) {
+        for (const auto& [o, l] : live) {
+          EXPECT_FALSE(*off < o + l && o < *off + len)
+              << "overlap at step " << step;
+        }
+        // Track the rounded size for overlap checking.
+        Bytes64 rounded = 1024;
+        while (rounded < len) rounded *= 2;
+        live.emplace_back(*off, rounded);
+      }
+    } else {
+      const auto idx = static_cast<std::size_t>(rng.below(live.size()));
+      EXPECT_TRUE(b.free(live[idx].first));
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE(b.check_invariants()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(b.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyRandomized,
+                         ::testing::Values(2, 4, 6, 10, 16, 26));
+
+}  // namespace
+}  // namespace dodo::core

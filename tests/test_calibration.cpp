@@ -1,0 +1,130 @@
+// Calibration pins: these tests tie the simulator's timing models to the
+// numbers the paper publishes for its testbed (§5.1). If a model constant
+// drifts, these fail before any benchmark silently changes shape.
+//
+//   disk, app-level through the filesystem (Quantum Fireball ST3.2A):
+//     sequential 8/32 KB reads : 7.75 MB/s
+//     random 8 KB reads        : 0.57 MB/s
+//     random 32 KB reads       : 1.56 MB/s
+//   network: U-Net strictly cheaper than UDP per message; both bounded by
+//   the 100 Mb/s wire.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "disk/filesystem.hpp"
+#include "net/bulk.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo {
+namespace {
+
+using disk::FsParams;
+using disk::OpenMode;
+using disk::SimFilesystem;
+using sim::Co;
+using sim::Simulator;
+
+/// Measures app-level bandwidth for `reqs` reads of `req_size`, random or
+/// sequential, over a file far larger than the page cache.
+double measure_fs_bandwidth(Bytes64 req_size, bool random, int reqs) {
+  Simulator sim(42);
+  FsParams p;
+  p.cache.capacity = 2_MiB;  // cold-cache regime
+  SimFilesystem fs(sim, p);
+  const Bytes64 file_size = 512_MiB;
+  fs.create("data", file_size,
+            std::make_unique<disk::PatternStore>(file_size, 1));
+  SimTime elapsed = 0;
+  sim.spawn([](Simulator& s, SimFilesystem& f, Bytes64 rs, bool rnd, int n,
+               SimTime& out) -> Co<void> {
+    const int fd = f.open("data", OpenMode::kRead);
+    const Bytes64 blocks = 512_MiB / rs;
+    Rng rng(99);
+    const SimTime start = s.now();
+    for (int i = 0; i < n; ++i) {
+      const Bytes64 block =
+          rnd ? static_cast<Bytes64>(rng.below(static_cast<std::uint64_t>(blocks)))
+              : static_cast<Bytes64>(i);
+      co_await f.pread(fd, block * rs, rs, nullptr);
+    }
+    out = s.now() - start;
+  }(sim, fs, req_size, random, reqs, elapsed));
+  sim.run();
+  return static_cast<double>(req_size) * reqs / to_seconds(elapsed);
+}
+
+TEST(Calibration, DiskSequential8K) {
+  const double bw = measure_fs_bandwidth(8_KiB, false, 4000);
+  EXPECT_NEAR(bw / 1e6, 7.75, 0.78);  // +-10%
+}
+
+TEST(Calibration, DiskSequential32K) {
+  const double bw = measure_fs_bandwidth(32_KiB, false, 2000);
+  EXPECT_NEAR(bw / 1e6, 7.75, 0.78);
+}
+
+TEST(Calibration, DiskRandom8K) {
+  const double bw = measure_fs_bandwidth(8_KiB, true, 4000);
+  EXPECT_NEAR(bw / 1e6, 0.57, 0.06);
+}
+
+TEST(Calibration, DiskRandom32K) {
+  const double bw = measure_fs_bandwidth(32_KiB, true, 2000);
+  EXPECT_NEAR(bw / 1e6, 1.56, 0.16);
+}
+
+/// One-way bulk-transfer time for `len` bytes under a transport.
+SimTime bulk_time(net::NetParams params, Bytes64 len) {
+  Simulator sim(1);
+  net::Network nw(sim, std::move(params), 2);
+  auto tx = nw.open_ephemeral(0);
+  auto rx = nw.open_ephemeral(1);
+  SimTime done = 0;
+  net::BulkRecvResult rr;
+  Status st;
+  sim.spawn([](net::Socket& s, net::BulkRecvResult& out, Simulator& sm,
+               SimTime& t) -> Co<void> {
+    out = co_await net::bulk_recv(s, 1);
+    t = sm.now();
+  }(*rx, rr, sim, done));
+  sim.spawn([](net::Socket& s, net::Endpoint dst, Bytes64 n,
+               Status& out) -> Co<void> {
+    out = co_await net::bulk_send(s, dst, 1, net::BodyView{nullptr, n});
+  }(*tx, rx->local(), len, st));
+  sim.run(60_s);
+  EXPECT_TRUE(rr.status.is_ok());
+  return done;
+}
+
+TEST(Calibration, UnetBeatsUdpAtEveryTransferSize) {
+  for (Bytes64 len : {1_KiB, 8_KiB, 32_KiB, 128_KiB, 1_MiB}) {
+    EXPECT_LT(bulk_time(net::NetParams::unet(), len),
+              bulk_time(net::NetParams::udp(), len))
+        << "len=" << len;
+  }
+}
+
+TEST(Calibration, BulkThroughputBoundedByWire) {
+  // 1 MiB transfers: both transports must land between 50% and 100% of the
+  // 12.5 MB/s wire.
+  for (auto params : {net::NetParams::unet(), net::NetParams::udp()}) {
+    const SimTime t = bulk_time(params, 1_MiB);
+    const double bw = static_cast<double>(1_MiB) / to_seconds(t);
+    EXPECT_LT(bw, 12.5e6);
+    EXPECT_GT(bw, 6.0e6) << params.name;
+  }
+}
+
+TEST(Calibration, RemoteMemoryBeatsDiskForRandomReads) {
+  // The paper's core premise: an 8 KiB random read from remote memory
+  // (~1 ms) is an order of magnitude faster than from local disk (~14 ms).
+  const SimTime net8k = bulk_time(net::NetParams::unet(), 8_KiB);
+  Simulator sim;
+  disk::DiskModel d(sim);
+  const Duration disk8k = d.service_time(1_GiB, 8_KiB, false, 0.5);
+  EXPECT_LT(net8k * 5, disk8k);
+}
+
+}  // namespace
+}  // namespace dodo

@@ -1,0 +1,157 @@
+// Tests for common utilities: units, status, RNG, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace dodo {
+namespace {
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024);
+  EXPECT_EQ(1_MiB, 1024 * 1024);
+  EXPECT_EQ(2_GiB, 2LL * 1024 * 1024 * 1024);
+}
+
+TEST(Units, TimeLiterals) {
+  EXPECT_EQ(1_us, 1000);
+  EXPECT_EQ(1_ms, 1000 * 1000);
+  EXPECT_EQ(1_s, 1000LL * 1000 * 1000);
+  EXPECT_EQ(millis(1.5), 1500000);
+  EXPECT_DOUBLE_EQ(to_seconds(1500_ms), 1.5);
+}
+
+TEST(Units, TransferTime) {
+  // 1 MiB at 1 MiB/s is one second (+1ns rounding guard).
+  EXPECT_NEAR(static_cast<double>(transfer_time(1_MiB, 1024.0 * 1024.0)),
+              static_cast<double>(1_s), 10.0);
+  EXPECT_EQ(transfer_time(0, 100.0), 0);
+  EXPECT_EQ(transfer_time(100, 0.0), 0);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Err::kOk);
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s(Err::kNoMem, "pool exhausted");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Err::kNoMem);
+  EXPECT_EQ(s.to_string(), "NOMEM: pool exhausted");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(Err::kShutdown); ++i) {
+    EXPECT_NE(err_name(static_cast<Err>(i)), "UNKNOWN");
+  }
+}
+
+TEST(Errno, ThreadLocalSideChannel) {
+  dodo_errno() = kDodoENOMEM;
+  EXPECT_EQ(dodo_errno(), 12);
+  dodo_errno() = 0;
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool differs = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.exponential(4.0));
+  EXPECT_NEAR(st.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(17);
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng base(21);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (f1.next() == f2.next());
+  EXPECT_EQ(same, 0);
+  // Forks are deterministic too.
+  Rng base2(21);
+  Rng f1b = base2.fork(1);
+  Rng f1a = Rng(21).fork(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(f1a.next(), f1b.next());
+}
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  RunningStats st;
+  for (int i = 1; i <= 5; ++i) st.add(i);
+  EXPECT_EQ(st.count(), 5);
+  EXPECT_DOUBLE_EQ(st.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 2.5);  // sample variance of 1..5
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 5.0);
+}
+
+TEST(Stats, HistogramQuantiles) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.counts().front(), 1u);
+  EXPECT_EQ(h.counts().back(), 1u);
+}
+
+}  // namespace
+}  // namespace dodo

@@ -1,0 +1,534 @@
+// Integration tests for the Dodo daemons: imd (pool + data plane), cmd
+// (IWD/RD, allocation, keep-alive reclamation), rmd (idleness detection and
+// recruit/evict), speaking the real wire protocol.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "common/units.hpp"
+#include "core/activity.hpp"
+#include "core/cmd.hpp"
+#include "core/imd.hpp"
+#include "core/rmd.hpp"
+#include "core/rpc.hpp"
+#include "core/wire.hpp"
+#include "net/bulk.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo::core {
+namespace {
+
+using sim::Co;
+using sim::Simulator;
+
+TEST(Recruitment, PoolFormulaMatchesPaper) {
+  // 256 MB host with ~50 MB kernel+process+live-files in use: the paper's
+  // Table 1 reports ~187 MB available. total - active - lotsfree - 15%.
+  const Bytes64 total = 256_MiB;
+  const Bytes64 active = 26_MiB;
+  const Bytes64 pool = recruit_pool_bytes(total, active, 4_MiB, 0.15);
+  EXPECT_EQ(pool, 256_MiB - 26_MiB - 4_MiB - static_cast<Bytes64>(0.15 * 256_MiB));
+  EXPECT_NEAR(static_cast<double>(pool) / 1_MiB, 187.6, 1.0);
+  // Overloaded machine: nothing to harvest.
+  EXPECT_EQ(recruit_pool_bytes(32_MiB, 30_MiB, 4_MiB, 0.15), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Client-side protocol helpers (what the runtime library does, in miniature)
+// ---------------------------------------------------------------------------
+
+struct MopenResult {
+  bool ok = false;
+  RegionLoc loc;
+};
+
+Co<MopenResult> do_mopen(net::Network& net, net::NodeId node,
+                         net::Endpoint cmd, RegionKey key, Bytes64 len,
+                         std::uint64_t rid) {
+  net::Buf h = make_header(MsgKind::kMopenReq, rid);
+  net::Writer w(h);
+  put_key(w, key);
+  w.i64(len);
+  put_endpoint(w, net::Endpoint{node, kClientPort});
+  auto rep = co_await rpc_call(net, node, cmd, std::move(h), rid);
+  MopenResult res;
+  if (!rep) co_return res;
+  net::Reader r = body_reader(*rep);
+  res.ok = r.u8() != 0;
+  (void)r.u8();  // reused flag
+  res.loc = get_loc(r);
+  co_return res;
+}
+
+Co<Status> do_region_write(net::Network& net, net::NodeId node,
+                           const RegionLoc& loc, Bytes64 off,
+                           const net::Buf& data, std::uint64_t rid) {
+  auto sock = net.open_ephemeral(node);
+  net::Buf h = make_header(MsgKind::kWriteReq, rid);
+  net::Writer w(h);
+  w.u64(loc.imd_region);
+  w.u64(loc.epoch);
+  w.i64(off);
+  w.i64(static_cast<Bytes64>(data.size()));
+  sock->send(net::Endpoint{loc.host, kImdDataPort}, std::move(h));
+  auto go = co_await sock->recv_for(millis(500));
+  if (!go) co_return Status(Err::kTimeout, "no WriteGo");
+  auto env = peek_envelope(*go);
+  if (!env || env->kind != MsgKind::kWriteGo) {
+    co_return Status(Err::kInval, "unexpected reply");
+  }
+  const Status st = co_await net::bulk_send(
+      *sock, go->src, rid,
+      net::BodyView{data.data(), static_cast<Bytes64>(data.size())});
+  if (!st.is_ok()) co_return st;
+  auto rep = co_await sock->recv_for(millis(500));
+  if (!rep) co_return Status(Err::kTimeout, "no WriteRep");
+  net::Reader r = body_reader(*rep);
+  co_return Status(static_cast<Err>(r.u8()));
+}
+
+struct ReadResult {
+  Status status;
+  net::Buf data;
+};
+
+Co<ReadResult> do_region_read(net::Network& net, net::NodeId node,
+                              const RegionLoc& loc, Bytes64 off, Bytes64 len,
+                              std::uint64_t rid) {
+  auto sock = net.open_ephemeral(node);
+  net::Buf h = make_header(MsgKind::kReadReq, rid);
+  net::Writer w(h);
+  w.u64(loc.imd_region);
+  w.u64(loc.epoch);
+  w.i64(off);
+  w.i64(len);
+  sock->send(net::Endpoint{loc.host, kImdDataPort}, std::move(h));
+  ReadResult res;
+  auto rep = co_await sock->recv_for(millis(500));
+  if (!rep) {
+    res.status = Status(Err::kTimeout, "no ReadRep");
+    co_return res;
+  }
+  net::Reader r = body_reader(*rep);
+  const Err code = static_cast<Err>(r.u8());
+  if (code != Err::kOk) {
+    res.status = Status(code);
+    co_return res;
+  }
+  auto got = co_await net::bulk_recv(*sock, rid);
+  res.status = got.status;
+  res.data = std::move(got.data);
+  co_return res;
+}
+
+// ---------------------------------------------------------------------------
+
+struct ImdFixture {
+  Simulator sim{11};
+  net::Network net{sim, net::NetParams::unet(), 4};
+  // A bare cmd endpoint that just absorbs the registration.
+  std::unique_ptr<net::Socket> cmd_sock;
+  IdleMemoryDaemon imd;
+
+  ImdFixture(ImdParams p = {})
+      : cmd_sock(net.open(0, kCmdPort)),
+        imd(sim, net, 1, /*epoch=*/7, net::Endpoint{0, kCmdPort}, p) {
+    sim.spawn([](net::Socket& s) -> Co<void> {
+      for (;;) {
+        auto m = co_await s.recv();
+        auto env = peek_envelope(m);
+        if (env && env->kind == MsgKind::kImdRegister) {
+          s.send(m.src, make_header(MsgKind::kImdRegister, env->rid));
+        }
+      }
+    }(*cmd_sock));
+    imd.start();
+  }
+
+  Co<std::optional<std::uint64_t>> alloc(Bytes64 len, std::uint64_t rid) {
+    net::Buf h = make_header(MsgKind::kAllocReq, rid);
+    net::Writer w(h);
+    w.i64(len);
+    auto rep = co_await rpc_call(net, 0, net::Endpoint{1, kImdCtlPort},
+                                 std::move(h), rid);
+    if (!rep) co_return std::nullopt;
+    net::Reader r = body_reader(*rep);
+    if (r.u8() == 0) co_return std::nullopt;
+    co_return r.u64();
+  }
+};
+
+TEST(Imd, AllocWriteReadRoundTrip) {
+  ImdFixture fx;
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    auto region = co_await f.alloc(100000, 1);
+    EXPECT_TRUE(region.has_value());
+    if (!region) co_return;
+    RegionLoc loc{1, 7, *region, 100000};
+    net::Buf data(100000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 31);
+    }
+    const Status st = co_await do_region_write(f.net, 0, loc, 0, data, 2);
+    EXPECT_TRUE(st.is_ok()) << st.to_string();
+    auto rd = co_await do_region_read(f.net, 0, loc, 0, 100000, 3);
+    EXPECT_TRUE(rd.status.is_ok()) << rd.status.to_string();
+    EXPECT_EQ(rd.data, data);
+    // Partial read from the middle.
+    auto rd2 = co_await do_region_read(f.net, 0, loc, 5000, 64, 4);
+    EXPECT_TRUE(rd2.status.is_ok());
+    EXPECT_EQ(rd2.data, net::Buf(data.begin() + 5000, data.begin() + 5064));
+    ok = true;
+  }(fx, done));
+  fx.sim.run(30_s);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fx.imd.metrics().writes_served, 1u);
+  EXPECT_EQ(fx.imd.metrics().reads_served, 2u);
+}
+
+TEST(Imd, ReadClipsAtRegionEnd) {
+  ImdFixture fx;
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    auto region = co_await f.alloc(1000, 1);
+    EXPECT_TRUE(region.has_value());
+    if (!region) co_return;
+    RegionLoc loc{1, 7, *region, 1000};
+    auto rd = co_await do_region_read(f.net, 0, loc, 900, 500, 2);
+    EXPECT_TRUE(rd.status.is_ok());
+    EXPECT_EQ(rd.data.size(), 100u);  // only 100 bytes available
+    ok = true;
+  }(fx, done));
+  fx.sim.run(30_s);
+  EXPECT_TRUE(done);
+}
+
+TEST(Imd, WrongEpochRejected) {
+  ImdFixture fx;
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    auto region = co_await f.alloc(1000, 1);
+    EXPECT_TRUE(region.has_value());
+    if (!region) co_return;
+    RegionLoc stale{1, /*epoch=*/6, *region, 1000};
+    auto rd = co_await do_region_read(f.net, 0, stale, 0, 100, 2);
+    EXPECT_EQ(rd.status.code(), Err::kNotFound);
+    ok = true;
+  }(fx, done));
+  fx.sim.run(30_s);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fx.imd.metrics().bad_region_requests, 1u);
+}
+
+TEST(Imd, UnknownRegionRejected) {
+  ImdFixture fx;
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    RegionLoc bogus{1, 7, 424242, 1000};
+    auto rd = co_await do_region_read(f.net, 0, bogus, 0, 100, 2);
+    EXPECT_EQ(rd.status.code(), Err::kNotFound);
+    ok = true;
+  }(fx, done));
+  fx.sim.run(30_s);
+  EXPECT_TRUE(done);
+}
+
+TEST(Imd, AllocRetryWithSameRidIsIdempotent) {
+  ImdFixture fx;
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    auto r1 = co_await f.alloc(1000, 42);
+    auto r2 = co_await f.alloc(1000, 42);  // same rid: a "retry"
+    EXPECT_TRUE(r1 && r2);
+    if (!r1 || !r2) co_return;
+    EXPECT_EQ(*r1, *r2);
+    ok = true;
+  }(fx, done));
+  fx.sim.run(30_s);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fx.imd.metrics().allocs, 1u);
+  EXPECT_EQ(fx.imd.region_count(), 1u);
+}
+
+TEST(Imd, PoolExhaustionFailsAlloc) {
+  ImdParams p;
+  p.pool_bytes = 1_MiB;
+  ImdFixture fx(p);
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    auto r1 = co_await f.alloc(800 * 1024, 1);
+    EXPECT_TRUE(r1.has_value());
+    auto r2 = co_await f.alloc(800 * 1024, 2);
+    EXPECT_FALSE(r2.has_value());
+    ok = true;
+  }(fx, done));
+  fx.sim.run(30_s);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fx.imd.metrics().alloc_failures, 1u);
+}
+
+TEST(Imd, StopCompletesInFlightTransfer) {
+  ImdFixture fx;
+  bool read_ok = false;
+  bool stopped = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    auto region = co_await f.alloc(2_MiB, 1);
+    EXPECT_TRUE(region.has_value());
+    if (!region) co_return;
+    RegionLoc loc{1, 7, *region, 2_MiB};
+    auto rd = co_await do_region_read(f.net, 0, loc, 0, 2_MiB, 2);
+    // The transfer started before the stop: it must complete correctly.
+    EXPECT_TRUE(rd.status.is_ok()) << rd.status.to_string();
+    EXPECT_EQ(rd.data.size(), static_cast<std::size_t>(2_MiB));
+    ok = true;
+  }(fx, read_ok));
+  // Request the stop shortly after the transfer begins.
+  fx.sim.schedule(40_ms, [&] {
+    fx.sim.spawn([](ImdFixture& f, bool& s) -> Co<void> {
+      co_await f.imd.stop();
+      s = true;
+    }(fx, stopped));
+  });
+  fx.sim.run(60_s);
+  EXPECT_TRUE(read_ok);
+  EXPECT_TRUE(stopped);
+  EXPECT_FALSE(fx.imd.running());
+}
+
+// ---------------------------------------------------------------------------
+// cmd
+// ---------------------------------------------------------------------------
+
+struct ClusterFixture {
+  Simulator sim{13};
+  net::Network net{sim, net::NetParams::unet(), 8};
+  CentralManager cmd{sim, net, 0};
+  std::vector<std::unique_ptr<IdleMemoryDaemon>> imds;
+
+  explicit ClusterFixture(int hosts = 2, Bytes64 pool = 8_MiB) {
+    cmd.start();
+    for (int i = 0; i < hosts; ++i) {
+      ImdParams p;
+      p.pool_bytes = pool;
+      imds.push_back(std::make_unique<IdleMemoryDaemon>(
+          sim, net, static_cast<net::NodeId>(i + 1), /*epoch=*/1,
+          cmd.endpoint(), p));
+      imds.back()->start();
+    }
+  }
+};
+
+TEST(Cmd, MopenAllocatesOnSomeIdleHost) {
+  ClusterFixture fx;
+  MopenResult res;
+  fx.sim.spawn([](ClusterFixture& f, MopenResult& out) -> Co<void> {
+    co_await f.sim.sleep(10_ms);  // let imds register
+    out = co_await do_mopen(f.net, 7, f.cmd.endpoint(),
+                            RegionKey{100, 0, 1}, 1_MiB, 1);
+  }(fx, res));
+  // Stop before the keep-alive reclaimer notices this fixture client never
+  // answers pings (that behaviour has its own test below).
+  fx.sim.run(1_s);
+  ASSERT_TRUE(res.ok);
+  EXPECT_GE(res.loc.host, 1u);
+  EXPECT_LE(res.loc.host, 2u);
+  EXPECT_EQ(res.loc.len, 1_MiB);
+  EXPECT_EQ(fx.cmd.region_count(), 1u);
+}
+
+TEST(Cmd, MopenReusesPersistentRegion) {
+  ClusterFixture fx;
+  MopenResult first, second;
+  fx.sim.spawn([](ClusterFixture& f, MopenResult& a, MopenResult& b) -> Co<void> {
+    co_await f.sim.sleep(10_ms);
+    a = co_await do_mopen(f.net, 7, f.cmd.endpoint(), RegionKey{100, 4096, 1},
+                          64_KiB, 1);
+    b = co_await do_mopen(f.net, 7, f.cmd.endpoint(), RegionKey{100, 4096, 1},
+                          64_KiB, 2);
+  }(fx, first, second));
+  fx.sim.run(1_s);
+  ASSERT_TRUE(first.ok && second.ok);
+  EXPECT_EQ(first.loc.host, second.loc.host);
+  EXPECT_EQ(first.loc.imd_region, second.loc.imd_region);
+  EXPECT_EQ(fx.cmd.metrics().mopen_reuses, 1u);
+  EXPECT_EQ(fx.cmd.region_count(), 1u);
+}
+
+TEST(Cmd, AllocationFailsOverToHostWithSpace) {
+  // Host 1 pool is tiny; host 2 can hold the region. The cmd's random pick
+  // must end up on host 2 regardless of order, since host 1 refuses.
+  ClusterFixture fx(1, 64_KiB);
+  {
+    ImdParams p;
+    p.pool_bytes = 8_MiB;
+    fx.imds.push_back(std::make_unique<IdleMemoryDaemon>(
+        fx.sim, fx.net, 2, 1, fx.cmd.endpoint(), p));
+    fx.imds.back()->start();
+  }
+  MopenResult res;
+  fx.sim.spawn([](ClusterFixture& f, MopenResult& out) -> Co<void> {
+    co_await f.sim.sleep(10_ms);
+    out = co_await do_mopen(f.net, 7, f.cmd.endpoint(), RegionKey{1, 0, 1},
+                            1_MiB, 1);
+  }(fx, res));
+  fx.sim.run(30_s);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.loc.host, 2u);
+}
+
+TEST(Cmd, MopenFailsWhenNoHostHasSpace) {
+  ClusterFixture fx(2, 64_KiB);
+  MopenResult res;
+  res.ok = true;
+  fx.sim.spawn([](ClusterFixture& f, MopenResult& out) -> Co<void> {
+    co_await f.sim.sleep(10_ms);
+    out = co_await do_mopen(f.net, 7, f.cmd.endpoint(), RegionKey{1, 0, 1},
+                            1_MiB, 1);
+  }(fx, res));
+  fx.sim.run(30_s);
+  EXPECT_FALSE(res.ok);
+  EXPECT_GE(fx.cmd.metrics().alloc_failures, 1u);
+}
+
+TEST(Cmd, BusyHostInvalidatesItsRegions) {
+  ClusterFixture fx(1);
+  MopenResult res, recheck;
+  bool checked = false;
+  fx.sim.spawn([](ClusterFixture& f, MopenResult& a, MopenResult& c,
+                  bool& done) -> Co<void> {
+    co_await f.sim.sleep(10_ms);
+    a = co_await do_mopen(f.net, 7, f.cmd.endpoint(), RegionKey{5, 0, 1},
+                          64_KiB, 1);
+    // rmd reports the host busy (owner came back).
+    auto s = f.net.open_ephemeral(7);
+    net::Buf h = make_header(MsgKind::kHostStatus, 0);
+    net::Writer w(h);
+    w.u32(1);
+    w.u8(0);
+    s->send(f.cmd.endpoint(), std::move(h));
+    co_await f.sim.sleep(10_ms);
+    // checkAlloc must now fail and drop the region from the RD.
+    net::Buf h2 = make_header(MsgKind::kCheckAllocReq, 9);
+    net::Writer w2(h2);
+    put_key(w2, RegionKey{5, 0, 1});
+    auto rep = co_await rpc_call(f.net, 7, f.cmd.endpoint(), std::move(h2), 9);
+    EXPECT_TRUE(rep.has_value());
+    if (!rep) co_return;
+    net::Reader r = body_reader(*rep);
+    c.ok = r.u8() != 0;
+    done = true;
+  }(fx, res, recheck, checked));
+  fx.sim.run(30_s);
+  ASSERT_TRUE(checked);
+  EXPECT_TRUE(res.ok);
+  EXPECT_FALSE(recheck.ok);
+  EXPECT_EQ(fx.cmd.region_count(), 0u);
+  EXPECT_EQ(fx.cmd.metrics().stale_regions_dropped, 1u);
+}
+
+TEST(Cmd, KeepaliveReclaimsDeadClientRegions) {
+  ClusterFixture fx(1);
+  bool opened = false;
+  // A client that answers no pings: mopen from a node with no listener on
+  // kClientPort (the rpc reply socket is ephemeral and closes right away).
+  fx.sim.spawn([](ClusterFixture& f, bool& ok) -> Co<void> {
+    co_await f.sim.sleep(10_ms);
+    auto res = co_await do_mopen(f.net, 7, f.cmd.endpoint(),
+                                 RegionKey{8, 0, 33}, 64_KiB, 1);
+    ok = res.ok;
+  }(fx, opened));
+  fx.sim.run(60_s);
+  EXPECT_TRUE(opened);
+  // After several missed keep-alives the cmd reclaims everything client 33
+  // owned, and the imd's pool is whole again.
+  EXPECT_EQ(fx.cmd.region_count(), 0u);
+  EXPECT_GE(fx.cmd.metrics().clients_reclaimed, 1u);
+  EXPECT_EQ(fx.cmd.metrics().regions_reclaimed, 1u);
+  EXPECT_EQ(fx.imds[0]->region_count(), 0u);
+}
+
+TEST(Cmd, PingPongKeepsClientAlive) {
+  ClusterFixture fx(1);
+  bool opened = false;
+  // A live client: responds to pings on its control port.
+  auto ctl = fx.net.open(7, kClientPort);
+  fx.sim.spawn([](net::Socket& s) -> Co<void> {
+    for (;;) {
+      auto m = co_await s.recv();
+      auto env = peek_envelope(m);
+      if (env && env->kind == MsgKind::kPing) {
+        s.send(m.src, make_header(MsgKind::kPong, env->rid));
+      }
+    }
+  }(*ctl));
+  fx.sim.spawn([](ClusterFixture& f, bool& ok) -> Co<void> {
+    co_await f.sim.sleep(10_ms);
+    auto res = co_await do_mopen(f.net, 7, f.cmd.endpoint(),
+                                 RegionKey{8, 0, 44}, 64_KiB, 1);
+    ok = res.ok;
+  }(fx, opened));
+  fx.sim.run(60_s);
+  EXPECT_TRUE(opened);
+  EXPECT_EQ(fx.cmd.region_count(), 1u);
+  EXPECT_EQ(fx.cmd.metrics().clients_reclaimed, 0u);
+  EXPECT_GT(fx.cmd.metrics().pings_sent, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// rmd
+// ---------------------------------------------------------------------------
+
+TEST(Rmd, RecruitsAfterFiveIdleMinutes) {
+  Simulator sim(17);
+  net::Network net(sim, net::NetParams::unet(), 3);
+  CentralManager cmd(sim, net, 0);
+  cmd.start();
+  AlwaysIdleActivity activity(128_MiB, 20_MiB);
+  ImdParams imd_p;
+  imd_p.pool_bytes = 0;  // derive from activity
+  ResourceMonitor rmd(sim, net, 1, cmd.endpoint(), activity, RmdParams{},
+                      imd_p);
+  rmd.start();
+  sim.run(4 * 60_s);
+  EXPECT_FALSE(rmd.recruited());  // not yet: threshold is 5 minutes
+  sim.run(6 * 60_s);
+  ASSERT_TRUE(rmd.recruited());
+  EXPECT_EQ(rmd.metrics().recruitments, 1u);
+  // Pool follows the §3.1 formula.
+  EXPECT_EQ(rmd.imd()->pool().pool_size(),
+            recruit_pool_bytes(128_MiB, 20_MiB, 4_MiB, 0.15));
+  EXPECT_EQ(cmd.idle_host_count(), 1u);
+}
+
+TEST(Rmd, EvictsWhenOwnerReturnsAndRerecruitsWithNewEpoch) {
+  Simulator sim(19);
+  net::Network net(sim, net::NetParams::unet(), 3);
+  CentralManager cmd(sim, net, 0);
+  cmd.start();
+  // Busy window from t=60s to t=120s.
+  ScriptedActivity activity(128_MiB, 20_MiB, 64_MiB,
+                            {{60_s, 120_s}});
+  RmdParams rp;
+  rp.start_recruited = true;
+  ResourceMonitor rmd(sim, net, 1, cmd.endpoint(), activity, rp, ImdParams{});
+  rmd.start();
+
+  sim.run(30_s);
+  ASSERT_TRUE(rmd.recruited());
+  const std::uint64_t epoch1 = rmd.imd()->epoch();
+
+  sim.run(90_s);  // inside the busy window
+  EXPECT_FALSE(rmd.recruited());
+  EXPECT_EQ(rmd.metrics().evictions, 1u);
+  EXPECT_EQ(cmd.idle_host_count(), 0u);
+
+  sim.run(120_s + 5 * 60_s + 10_s);  // busy ends at 120s; idle threshold
+  ASSERT_TRUE(rmd.recruited());
+  EXPECT_GT(rmd.imd()->epoch(), epoch1);
+  EXPECT_EQ(cmd.idle_host_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dodo::core

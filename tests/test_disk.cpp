@@ -1,0 +1,254 @@
+// Tests for the disk substrate: service-time model, page cache + readahead,
+// stores, and the simulated filesystem.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "disk/disk_model.hpp"
+#include "disk/file_cache.hpp"
+#include "disk/filesystem.hpp"
+#include "disk/store.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo::disk {
+namespace {
+
+using sim::Co;
+using sim::Simulator;
+
+TEST(DiskModel, SequentialIsTransferOnly) {
+  Simulator sim;
+  DiskModel d(sim);
+  // Prime head position at 0 with a first access, then contiguous.
+  SimTime t1 = 0, t2 = 0;
+  sim.spawn([](Simulator& s, DiskModel& dm, SimTime& a, SimTime& b) -> Co<void> {
+    co_await dm.access(0, 64_KiB, false);
+    a = s.now();
+    co_await dm.access(64_KiB, 64_KiB, false);
+    b = s.now();
+  }(sim, d, t1, t2));
+  sim.run();
+  const Duration second = t2 - t1;
+  EXPECT_NEAR(static_cast<double>(second),
+              static_cast<double>(transfer_time(64_KiB, d.params().seq_rate_Bps)),
+              1000.0);
+  EXPECT_EQ(d.metrics().seq_ops, 1u);
+  EXPECT_EQ(d.metrics().rand_ops, 1u);
+}
+
+TEST(DiskModel, RandomPaysSeekAndRotation) {
+  Simulator sim;
+  DiskModel d(sim);
+  SimTime total = 0;
+  const int n = 2000;
+  sim.spawn([](Simulator& s, DiskModel& dm, SimTime& t, int reps) -> Co<void> {
+    for (int i = 0; i < reps; ++i) {
+      // Alternate far-apart loci so nothing is contiguous.
+      co_await dm.access((i % 2 == 0 ? 0 : 1_GiB) + i * 1_MiB, 8_KiB, false);
+    }
+    t = s.now();
+  }(sim, d, total, n));
+  sim.run();
+  const double per_req_ms = to_millis(total) / n;
+  // seek 6.46 + rot 5.56 + 8 KiB / 4.31 MB/s (1.9 ms) ~= 13.9 ms
+  EXPECT_NEAR(per_req_ms, 13.9, 0.8);
+}
+
+TEST(DiskModel, WritesSeekSlowerThanReads) {
+  Simulator sim;
+  DiskModel d(sim);
+  const Duration r = d.service_time(1_GiB, 8_KiB, false, 0.5);
+  const Duration w = d.service_time(1_GiB, 8_KiB, true, 0.5);
+  EXPECT_GT(w, r);
+  EXPECT_NEAR(to_millis(w - r), 1.0, 0.05);
+}
+
+TEST(DiskModel, DeviceSerializesConcurrentRequests) {
+  Simulator sim;
+  DiskModel d(sim);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](DiskModel& dm, Simulator& s, std::vector<SimTime>& ts,
+                 int idx) -> Co<void> {
+      co_await dm.access(static_cast<std::int64_t>(idx) * 1_GiB, 8_KiB, false);
+      ts.push_back(s.now());
+    }(d, sim, done, i));
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  // Completions strictly ordered: no overlap on one spindle.
+  EXPECT_LT(done[0], done[1]);
+  EXPECT_LT(done[1], done[2]);
+}
+
+TEST(Store, MaterializedRoundTrip) {
+  MaterializedStore s(1024);
+  std::vector<std::uint8_t> in{1, 2, 3, 4, 5};
+  s.write(100, 5, in.data());
+  std::vector<std::uint8_t> out(5, 0);
+  s.read(100, 5, out.data());
+  EXPECT_EQ(in, out);
+  EXPECT_TRUE(s.materialized());
+}
+
+TEST(Store, PatternIsDeterministicAndSeedDependent) {
+  PatternStore a(1_MiB, 42), b(1_MiB, 42), c(1_MiB, 43);
+  std::vector<std::uint8_t> x(64), y(64), z(64);
+  a.read(12345, 64, x.data());
+  b.read(12345, 64, y.data());
+  c.read(12345, 64, z.data());
+  EXPECT_EQ(x, y);
+  EXPECT_NE(x, z);
+  EXPECT_EQ(x[0], a.byte_at(12345));
+  EXPECT_FALSE(a.materialized());
+}
+
+TEST(Store, NullBufferReadsAreAccountingOnly) {
+  MaterializedStore s(128);
+  s.read(0, 64, nullptr);  // must not crash
+  s.write(0, 64, nullptr);
+}
+
+struct FsFixture {
+  Simulator sim;
+  SimFilesystem fs;
+  explicit FsFixture(FsParams p = {}) : sim(7), fs(sim, p) {}
+
+  template <typename F>
+  void run(F&& body) {
+    sim.spawn(std::forward<F>(body)(fs));
+    sim.run(3600_s);
+  }
+};
+
+TEST(FileCache, RepeatAccessHits) {
+  FsFixture fx;
+  fx.fs.create("f", 1_MiB);
+  fx.run([](SimFilesystem& fs) -> Co<void> {
+    const int fd = fs.open("f", OpenMode::kRead);
+    co_await fs.pread(fd, 0, 8192, nullptr);
+    co_await fs.pread(fd, 0, 8192, nullptr);
+  });
+  EXPECT_GT(fx.fs.cache().metrics().miss_pages, 0u);
+  EXPECT_GE(fx.fs.cache().metrics().hit_pages, 2u);
+}
+
+TEST(FileCache, SequentialStreamTriggersReadahead) {
+  FsFixture fx;
+  fx.fs.create("f", 4_MiB);
+  fx.run([](SimFilesystem& fs) -> Co<void> {
+    const int fd = fs.open("f", OpenMode::kRead);
+    for (int i = 0; i < 16; ++i) {
+      co_await fs.pread(fd, i * 8192, 8192, nullptr);
+    }
+  });
+  EXPECT_GT(fx.fs.cache().metrics().readahead_pages, 0u);
+  // Most requested pages after the first request should be readahead hits.
+  EXPECT_GT(fx.fs.cache().metrics().hit_pages,
+            fx.fs.cache().metrics().miss_pages);
+}
+
+TEST(FileCache, EvictsWhenOverCapacity) {
+  FsParams p;
+  p.cache.capacity = 64 * 1024;
+  FsFixture fx(p);
+  fx.fs.create("f", 4_MiB);
+  fx.run([](SimFilesystem& fs) -> Co<void> {
+    const int fd = fs.open("f", OpenMode::kRead);
+    for (int i = 0; i < 64; ++i) {
+      co_await fs.pread(fd, i * 32768, 8192, nullptr);
+    }
+  });
+  EXPECT_GT(fx.fs.cache().metrics().evicted_pages, 0u);
+  EXPECT_LE(fx.fs.cache().resident_bytes(), 64 * 1024);
+}
+
+TEST(FileCache, DirtyPagesWriteBackOnSync) {
+  FsFixture fx;
+  fx.fs.create("f", 1_MiB);
+  fx.run([](SimFilesystem& fs) -> Co<void> {
+    const int fd = fs.open("f", OpenMode::kReadWrite);
+    std::vector<std::uint8_t> buf(32768, 0xAA);
+    co_await fs.pwrite(fd, 0, 32768, buf.data());
+    co_await fs.fsync(fd);
+  });
+  EXPECT_EQ(fx.fs.cache().metrics().writeback_pages, 8u);
+  EXPECT_GT(fx.fs.disk().metrics().writes, 0u);
+}
+
+TEST(Filesystem, PreadReturnsContent) {
+  FsFixture fx;
+  auto store = std::make_unique<PatternStore>(1_MiB, 5);
+  const PatternStore* raw = store.get();
+  fx.fs.create("data", 1_MiB, std::move(store));
+  std::vector<std::uint8_t> buf(100);
+  fx.run([&buf](SimFilesystem& fs) -> Co<void> {
+    const int fd = fs.open("data", OpenMode::kRead);
+    const Bytes64 n = co_await fs.pread(fd, 5000, 100, buf.data());
+    EXPECT_EQ(n, 100);
+  });
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(buf[static_cast<size_t>(i)], raw->byte_at(5000 + i));
+  }
+}
+
+TEST(Filesystem, WriteThenReadRoundTrips) {
+  FsFixture fx;
+  fx.fs.create("f", 64_KiB);
+  std::vector<std::uint8_t> out(10, 0);
+  fx.run([&out](SimFilesystem& fs) -> Co<void> {
+    const int fd = fs.open("f", OpenMode::kReadWrite);
+    std::vector<std::uint8_t> in{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+    co_await fs.pwrite(fd, 1000, 10, in.data());
+    co_await fs.pread(fd, 1000, 10, out.data());
+  });
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(Filesystem, ReadsClipAtEof) {
+  FsFixture fx;
+  fx.fs.create("f", 100);
+  fx.run([](SimFilesystem& fs) -> Co<void> {
+    const int fd = fs.open("f", OpenMode::kRead);
+    EXPECT_EQ(co_await fs.pread(fd, 90, 50, nullptr), 10);
+    EXPECT_EQ(co_await fs.pread(fd, 100, 10, nullptr), 0);
+    EXPECT_EQ(co_await fs.pread(fd, 200, 10, nullptr), 0);
+  });
+}
+
+TEST(Filesystem, WriteToReadOnlyFdFails) {
+  FsFixture fx;
+  fx.fs.create("f", 100);
+  fx.run([](SimFilesystem& fs) -> Co<void> {
+    const int fd = fs.open("f", OpenMode::kRead);
+    EXPECT_EQ(co_await fs.pwrite(fd, 0, 10, nullptr), -1);
+  });
+}
+
+TEST(Filesystem, BadFdAndBadName) {
+  FsFixture fx;
+  EXPECT_EQ(fx.fs.open("missing", OpenMode::kRead), -1);
+  EXPECT_FALSE(fx.fs.fd_valid(77));
+  fx.run([](SimFilesystem& fs) -> Co<void> {
+    EXPECT_EQ(co_await fs.pread(99, 0, 10, nullptr), -1);
+  });
+}
+
+TEST(Filesystem, InodesAreStableAndDistinct) {
+  FsFixture fx;
+  fx.fs.create("a", 10);
+  fx.fs.create("b", 10);
+  const int fa = fx.fs.open("a", OpenMode::kRead);
+  const int fb = fx.fs.open("b", OpenMode::kRead);
+  const int fa2 = fx.fs.open("a", OpenMode::kRead);
+  EXPECT_NE(fx.fs.inode_of(fa), fx.fs.inode_of(fb));
+  EXPECT_EQ(fx.fs.inode_of(fa), fx.fs.inode_of(fa2));
+  fx.fs.close(fa);
+  EXPECT_FALSE(fx.fs.fd_valid(fa));
+  EXPECT_TRUE(fx.fs.fd_valid(fa2));
+}
+
+}  // namespace
+}  // namespace dodo::disk

@@ -1,0 +1,371 @@
+// Tests for the simulated network: codec, transport timing model, socket
+// lifecycle, and the bulk blast + selective-NACK protocol of §4.4.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+
+#include "common/units.hpp"
+#include "net/bulk.hpp"
+#include "net/codec.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo::net {
+namespace {
+
+using sim::Co;
+using sim::Simulator;
+
+TEST(Codec, RoundTripsAllWidths) {
+  Buf buf;
+  Writer w(buf);
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.str("dodo");
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.str(), "dodo");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Codec, TruncatedInputMarksReaderBad) {
+  Buf buf;
+  Writer w(buf);
+  w.u16(7);
+  Reader r(buf);
+  (void)r.u64();  // wider than available
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, StringWithBogusLengthIsRejected) {
+  Buf buf;
+  Writer w(buf);
+  w.u32(1000000);  // claims a megabyte that isn't there
+  Reader r(buf);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NetParams, FragmentMath) {
+  auto udp = NetParams::udp();
+  EXPECT_EQ(udp.fragments_of(0), 1);
+  EXPECT_EQ(udp.fragments_of(1), 1);
+  EXPECT_EQ(udp.fragments_of(1500), 1);
+  EXPECT_EQ(udp.fragments_of(1501), 2);
+  EXPECT_EQ(udp.fragments_of(8192), 6);
+}
+
+TEST(NetParams, UnetHasLowerSmallMessageOverheadThanUdp) {
+  Simulator sim;
+  Network udp(sim, NetParams::udp(), 2);
+  Network unet(sim, NetParams::unet(), 2);
+  const Bytes64 small = 64;
+  const Duration udp_cost = udp.send_cpu_time(small) + udp.wire_time(small) +
+                            udp.recv_cpu_time(small);
+  const Duration unet_cost = unet.send_cpu_time(small) +
+                             unet.wire_time(small) + unet.recv_cpu_time(small);
+  EXPECT_LT(unet_cost, udp_cost / 2);
+}
+
+Co<void> echo_server(Socket& sock) {
+  for (;;) {
+    Message m = co_await sock.recv();
+    sock.send(m.src, m.header);
+  }
+}
+
+TEST(Transport, RoundTripDeliversPayload) {
+  Simulator sim;
+  Network net(sim, NetParams::unet(), 3);
+  auto server = net.open(1, 100);
+  auto client = net.open(2, 100);
+  sim.spawn(echo_server(*server));
+  std::optional<Message> got;
+  sim.spawn([](Simulator&, Socket& c, std::optional<Message>& g) -> Co<void> {
+    c.send(Endpoint{1, 100}, Buf{1, 2, 3});
+    g = co_await c.recv();
+  }(sim, *client, got));
+  sim.run(1_s);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->header, (Buf{1, 2, 3}));
+  EXPECT_EQ(got->src, (Endpoint{1, 100}));
+}
+
+TEST(Transport, DeliveryTakesModeledTime) {
+  Simulator sim;
+  Network net(sim, NetParams::udp(), 2);
+  auto a = net.open(0, 10);
+  auto b = net.open(1, 10);
+  SimTime arrived = -1;
+  sim.spawn([](Simulator& s, Socket& sock, SimTime& t) -> Co<void> {
+    (void)co_await sock.recv();
+    t = s.now();
+  }(sim, *b, arrived));
+  Buf big(8192, 0xCC);
+  a->send(Endpoint{1, 10}, Buf{}, big);
+  sim.run(1_s);
+  ASSERT_GT(arrived, 0);
+  const Duration expected = net.send_cpu_time(8192) + net.wire_time(8192) +
+                            net.params().propagation +
+                            net.recv_cpu_time(8192);
+  EXPECT_EQ(arrived, expected);
+}
+
+TEST(Transport, BackToBackSendsSerializeOnTxLink) {
+  Simulator sim;
+  Network net(sim, NetParams::unet(), 2);
+  auto a = net.open(0, 10);
+  auto b = net.open(1, 10);
+  std::vector<SimTime> arrivals;
+  sim.spawn([](Simulator& s, Socket& sock, std::vector<SimTime>& ts) -> Co<void> {
+    for (int i = 0; i < 2; ++i) {
+      (void)co_await sock.recv();
+      ts.push_back(s.now());
+    }
+  }(sim, *b, arrivals));
+  Buf pkt(1400, 0);
+  a->send(Endpoint{1, 10}, Buf{}, pkt);
+  a->send(Endpoint{1, 10}, Buf{}, pkt);
+  sim.run(1_s);
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Second packet waits for the first to clear the wire: the gap must be at
+  // least the wire time of one packet.
+  EXPECT_GE(arrivals[1] - arrivals[0], net.wire_time(1400));
+}
+
+TEST(Transport, ClosedPortDropsDatagrams) {
+  Simulator sim;
+  Network net(sim, NetParams::unet(), 2);
+  auto a = net.open(0, 10);
+  { auto b = net.open(1, 10); }  // bound then closed
+  a->send(Endpoint{1, 10}, Buf{9});
+  sim.run(1_s);
+  EXPECT_EQ(net.metrics().datagrams_dropped, 1u);
+  EXPECT_EQ(net.metrics().datagrams_delivered, 0u);
+}
+
+TEST(Transport, DownNodeEatsTraffic) {
+  Simulator sim;
+  Network net(sim, NetParams::unet(), 2);
+  auto a = net.open(0, 10);
+  auto b = net.open(1, 10);
+  net.set_node_up(1, false);
+  a->send(Endpoint{1, 10}, Buf{1});
+  sim.run(1_s);
+  EXPECT_EQ(net.metrics().datagrams_delivered, 0u);
+  EXPECT_EQ(net.metrics().datagrams_dropped, 1u);
+}
+
+TEST(Transport, EphemeralPortsAreUnique) {
+  Simulator sim;
+  Network net(sim, NetParams::unet(), 2);
+  auto s1 = net.open_ephemeral(0);
+  auto s2 = net.open_ephemeral(0);
+  auto s3 = net.open_ephemeral(1);
+  EXPECT_NE(s1->local().port, s2->local().port);
+  EXPECT_EQ(s1->local().node, 0u);
+  EXPECT_EQ(s3->local().node, 1u);
+}
+
+TEST(Transport, LossInjectionDropsRoughlyTheConfiguredFraction) {
+  Simulator sim;
+  auto params = NetParams::unet();
+  params.loss_rate = 0.25;
+  Network net(sim, params, 2);
+  auto a = net.open(0, 10);
+  auto b = net.open(1, 10);
+  for (int i = 0; i < 4000; ++i) a->send(Endpoint{1, 10}, Buf{1});
+  sim.run(100_s);
+  const double lost = static_cast<double>(net.metrics().datagrams_lost);
+  EXPECT_NEAR(lost / 4000.0, 0.25, 0.05);
+}
+
+// --------------------------------------------------------------------------
+// Bulk protocol
+// --------------------------------------------------------------------------
+
+Buf make_pattern(std::size_t n) {
+  Buf b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>((i * 2654435761u) >> 13);
+  }
+  return b;
+}
+
+struct BulkFixtureResult {
+  Status send_status;
+  BulkRecvResult recv;
+};
+
+BulkFixtureResult run_bulk(NetParams params, std::size_t len,
+                           BulkParams bulk = {}, bool phantom = false,
+                           std::uint64_t seed = 1) {
+  Simulator sim(seed);
+  Network net(sim, std::move(params), 2);
+  auto tx = net.open_ephemeral(0);
+  auto rx = net.open_ephemeral(1);
+  Buf data = phantom ? Buf{} : make_pattern(len);
+  BulkFixtureResult out;
+  sim.spawn([](Socket& rxs, BulkParams bp, BulkRecvResult& r) -> Co<void> {
+    r = co_await bulk_recv(rxs, 77, bp);
+  }(*rx, bulk, out.recv));
+  sim.spawn([](Socket& txs, Endpoint dst, BodyView body, BulkParams bp,
+               Status& st) -> Co<void> {
+    st = co_await bulk_send(txs, dst, 77, body, bp);
+  }(*tx, rx->local(),
+    BodyView{phantom ? nullptr : data.data(), static_cast<Bytes64>(len)},
+    bulk, out.send_status));
+  sim.run(300_s);
+  if (!phantom) {
+    EXPECT_EQ(out.recv.data.size(), out.recv.status.is_ok() ? len : 0u);
+    if (out.recv.status.is_ok()) {
+      EXPECT_EQ(out.recv.data, data);
+    }
+  }
+  return out;
+}
+
+TEST(Bulk, SingleChunkTransfer) {
+  auto r = run_bulk(NetParams::unet(), 512);
+  EXPECT_TRUE(r.send_status.is_ok()) << r.send_status.to_string();
+  EXPECT_TRUE(r.recv.status.is_ok()) << r.recv.status.to_string();
+  EXPECT_EQ(r.recv.size, 512);
+}
+
+TEST(Bulk, ZeroLengthTransfer) {
+  auto r = run_bulk(NetParams::unet(), 0);
+  EXPECT_TRUE(r.send_status.is_ok());
+  EXPECT_TRUE(r.recv.status.is_ok());
+  EXPECT_EQ(r.recv.size, 0);
+}
+
+TEST(Bulk, MultiWindowTransferUnet) {
+  // 1 MiB over 1472-byte packets with a 256 KiB window: many rounds.
+  auto r = run_bulk(NetParams::unet(), 1024 * 1024);
+  EXPECT_TRUE(r.send_status.is_ok()) << r.send_status.to_string();
+  EXPECT_TRUE(r.recv.status.is_ok()) << r.recv.status.to_string();
+}
+
+TEST(Bulk, MultiWindowTransferUdp) {
+  auto r = run_bulk(NetParams::udp(), 1024 * 1024);
+  EXPECT_TRUE(r.send_status.is_ok()) << r.send_status.to_string();
+  EXPECT_TRUE(r.recv.status.is_ok()) << r.recv.status.to_string();
+}
+
+TEST(Bulk, PhantomBodyKeepsLogicalSize) {
+  auto r = run_bulk(NetParams::unet(), 300000, {}, /*phantom=*/true);
+  EXPECT_TRUE(r.send_status.is_ok());
+  EXPECT_TRUE(r.recv.status.is_ok());
+  EXPECT_EQ(r.recv.size, 300000);
+  EXPECT_TRUE(r.recv.data.empty());
+}
+
+TEST(Bulk, SurvivesHeavyPacketLoss) {
+  auto params = NetParams::unet();
+  params.loss_rate = 0.10;
+  BulkParams bp;
+  bp.max_retries = 50;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto r = run_bulk(params, 200000, bp, false, seed);
+    EXPECT_TRUE(r.send_status.is_ok()) << r.send_status.to_string();
+    EXPECT_TRUE(r.recv.status.is_ok()) << r.recv.status.to_string();
+  }
+}
+
+TEST(Bulk, SurvivesLossOnUdpToo) {
+  auto params = NetParams::udp();
+  params.loss_rate = 0.05;
+  BulkParams bp;
+  bp.max_retries = 50;
+  auto r = run_bulk(params, 500000, bp, false, 7);
+  EXPECT_TRUE(r.send_status.is_ok()) << r.send_status.to_string();
+  EXPECT_TRUE(r.recv.status.is_ok()) << r.recv.status.to_string();
+}
+
+TEST(Bulk, SenderTimesOutWhenReceiverAbsent) {
+  Simulator sim;
+  Network net(sim, NetParams::unet(), 2);
+  auto tx = net.open_ephemeral(0);
+  Buf data = make_pattern(100000);
+  Status st;
+  sim.spawn([](Socket& txs, BodyView body, Status& s) -> Co<void> {
+    s = co_await bulk_send(txs, Endpoint{1, 999}, 5, body);
+  }(*tx, BodyView{data.data(), static_cast<Bytes64>(data.size())}, st));
+  sim.run(300_s);
+  EXPECT_EQ(st.code(), Err::kTimeout);
+}
+
+TEST(Bulk, ReceiverTimesOutWhenSenderAbsent) {
+  Simulator sim;
+  Network net(sim, NetParams::unet(), 2);
+  auto rx = net.open_ephemeral(1);
+  BulkRecvResult r;
+  sim.spawn([](Socket& rxs, BulkRecvResult& out) -> Co<void> {
+    out = co_await bulk_recv(rxs, 5);
+  }(*rx, r));
+  sim.run(300_s);
+  EXPECT_EQ(r.status.code(), Err::kTimeout);
+}
+
+TEST(Bulk, ReceiverDeathMidTransferTimesOutSender) {
+  Simulator sim;
+  Network net(sim, NetParams::unet(), 2);
+  auto tx = net.open_ephemeral(0);
+  auto rx = net.open_ephemeral(1);
+  Buf data = make_pattern(2 * 1024 * 1024);
+  Status st;
+  BulkRecvResult rr;
+  sim.spawn([](Socket& rxs, BulkRecvResult& out) -> Co<void> {
+    out = co_await bulk_recv(rxs, 5);
+  }(*rx, rr));
+  sim.spawn([](Socket& txs, Endpoint dst, BodyView body, Status& s) -> Co<void> {
+    s = co_await bulk_send(txs, dst, 5, body);
+  }(*tx, rx->local(), BodyView{data.data(), static_cast<Bytes64>(data.size())},
+    st));
+  // Kill the receiving node partway through the transfer.
+  sim.schedule(100_ms, [&] { net.set_node_up(1, false); });
+  sim.run(300_s);
+  EXPECT_EQ(st.code(), Err::kTimeout);
+}
+
+TEST(Bulk, UnetFasterThanUdpForLargeTransfer) {
+  auto time_one = [](NetParams params) {
+    Simulator sim;
+    Network net(sim, std::move(params), 2);
+    auto tx = net.open_ephemeral(0);
+    auto rx = net.open_ephemeral(1);
+    Buf data = make_pattern(256 * 1024);
+    SimTime done = 0;
+    BulkRecvResult rr;
+    Status st;
+    sim.spawn([](Socket& rxs, BulkRecvResult& out, Simulator& s,
+                 SimTime& t) -> Co<void> {
+      out = co_await bulk_recv(rxs, 5);
+      t = s.now();
+    }(*rx, rr, sim, done));
+    sim.spawn([](Socket& txs, Endpoint dst, BodyView body, Status& s) -> Co<void> {
+      s = co_await bulk_send(txs, dst, 5, body);
+    }(*tx, rx->local(),
+      BodyView{data.data(), static_cast<Bytes64>(data.size())}, st));
+    sim.run(300_s);
+    EXPECT_TRUE(rr.status.is_ok());
+    return done;
+  };
+  const SimTime unet = time_one(NetParams::unet());
+  const SimTime udp = time_one(NetParams::udp());
+  EXPECT_LT(unet, udp);
+  // Both should still be within a factor of ~3 (same wire).
+  EXPECT_LT(udp, unet * 3);
+}
+
+}  // namespace
+}  // namespace dodo::net

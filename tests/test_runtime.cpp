@@ -1,0 +1,286 @@
+// Tests for the Dodo runtime library (libdodo): the paper's §3.2 API
+// semantics, write-through, failure handling, refraction, and the
+// keep-alive / detach lifecycle — all against real cmd/imd daemons.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/cmd.hpp"
+#include "core/imd.hpp"
+#include "disk/filesystem.hpp"
+#include "runtime/dodo_client.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo::runtime {
+namespace {
+
+using sim::Co;
+using sim::Simulator;
+
+// Node 0: cmd. Node 1: application. Nodes 2..1+hosts: imds.
+struct Fixture {
+  Simulator sim{23};
+  net::Network net;
+  core::CentralManager cmd;
+  disk::SimFilesystem fs;
+  std::vector<std::unique_ptr<core::IdleMemoryDaemon>> imds;
+  DodoClient client;
+  int fd = -1;
+
+  explicit Fixture(int hosts = 1, Bytes64 pool = 16_MiB,
+                   ClientParams cp = {})
+      : net(sim, net::NetParams::unet(),
+            static_cast<std::size_t>(hosts) + 2),
+        cmd(sim, net, 0),
+        fs(sim),
+        client(sim, net, 1, net::Endpoint{0, core::kCmdPort}, fs, cp) {
+    cmd.start();
+    for (int i = 0; i < hosts; ++i) {
+      core::ImdParams p;
+      p.pool_bytes = pool;
+      imds.push_back(std::make_unique<core::IdleMemoryDaemon>(
+          sim, net, static_cast<net::NodeId>(i + 2), 1,
+          net::Endpoint{0, core::kCmdPort}, p));
+      imds.back()->start();
+    }
+    fs.create("backing", 8_MiB);
+    fd = fs.open("backing", disk::OpenMode::kReadWrite);
+    client.start();
+  }
+
+  template <typename F>
+  void run(F&& body, SimTime limit = 60_s) {
+    bool finished = false;
+    sim.spawn([](Fixture& f, F fn, bool& done) -> Co<void> {
+      co_await f.sim.sleep(5_ms);  // let daemons register
+      co_await fn(f);
+      done = true;
+    }(*this, std::forward<F>(body), finished));
+    sim.run(limit);
+    EXPECT_TRUE(finished) << "test body did not complete";
+  }
+};
+
+net::Buf pattern(std::size_t n, std::uint8_t salt = 0) {
+  net::Buf b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>((i * 131 + salt) & 0xff);
+  }
+  return b;
+}
+
+TEST(Runtime, MopenValidatesArguments) {
+  Fixture fx;
+  fx.run([](Fixture& f) -> Co<void> {
+    // len < 1
+    EXPECT_EQ(co_await f.client.mopen(0, f.fd, 0), -1);
+    EXPECT_EQ(dodo_errno(), kDodoEINVAL);
+    // negative offset
+    EXPECT_EQ(co_await f.client.mopen(100, f.fd, -1), -1);
+    EXPECT_EQ(dodo_errno(), kDodoEINVAL);
+    // invalid fd
+    EXPECT_EQ(co_await f.client.mopen(100, 999, 0), -1);
+    EXPECT_EQ(dodo_errno(), kDodoEINVAL);
+    // fd not opened for writing (§3.2: backing file must be writable)
+    const int ro = f.fs.open("backing", disk::OpenMode::kRead);
+    EXPECT_EQ(co_await f.client.mopen(100, ro, 0), -1);
+    EXPECT_EQ(dodo_errno(), kDodoEINVAL);
+  });
+}
+
+TEST(Runtime, WriteReadRoundTripAndDiskWriteThrough) {
+  Fixture fx;
+  fx.run([](Fixture& f) -> Co<void> {
+    const int rd = co_await f.client.mopen(256_KiB, f.fd, 64_KiB);
+    EXPECT_GE(rd, 0);
+    net::Buf data = pattern(100000, 7);
+    const Bytes64 wrote =
+        co_await f.client.mwrite(rd, 500, data.data(), 100000);
+    EXPECT_EQ(wrote, 100000);
+
+    // Remote copy readable.
+    net::Buf back(100000, 0);
+    const Bytes64 got = co_await f.client.mread(rd, 500, back.data(), 100000);
+    EXPECT_EQ(got, 100000);
+    EXPECT_EQ(back, data);
+
+    // Backing file also updated, at file_offset + region offset.
+    auto* store = f.fs.store_of_inode(f.fs.inode_of(f.fd));
+    net::Buf disk_bytes(100000, 0);
+    store->read(64_KiB + 500, 100000, disk_bytes.data());
+    EXPECT_EQ(disk_bytes, data);
+  });
+  EXPECT_EQ(fx.client.metrics().remote_writes, 1u);
+  EXPECT_EQ(fx.client.metrics().remote_reads, 1u);
+}
+
+TEST(Runtime, ReadClipsAndValidates) {
+  Fixture fx;
+  fx.run([](Fixture& f) -> Co<void> {
+    const int rd = co_await f.client.mopen(1000, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    net::Buf buf(2000, 0);
+    // Clip at region end.
+    EXPECT_EQ(co_await f.client.mread(rd, 900, buf.data(), 500), 100);
+    // Offset beyond end: EINVAL.
+    EXPECT_EQ(co_await f.client.mread(rd, 1000, buf.data(), 1), -1);
+    EXPECT_EQ(dodo_errno(), kDodoEINVAL);
+    EXPECT_EQ(co_await f.client.mread(rd, -1, buf.data(), 1), -1);
+    EXPECT_EQ(dodo_errno(), kDodoEINVAL);
+    // Unknown descriptor: ENOMEM per §3.2.
+    EXPECT_EQ(co_await f.client.mread(12345, 0, buf.data(), 1), -1);
+    EXPECT_EQ(dodo_errno(), kDodoENOMEM);
+  });
+}
+
+TEST(Runtime, McloseFreesEverywhere) {
+  Fixture fx;
+  fx.run([](Fixture& f) -> Co<void> {
+    const int rd = co_await f.client.mopen(1_MiB, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    co_await f.sim.sleep(10_ms);
+    EXPECT_EQ(f.cmd.region_count(), 1u);
+    EXPECT_EQ(f.imds[0]->region_count(), 1u);
+    EXPECT_EQ(co_await f.client.mclose(rd), 0);
+    co_await f.sim.sleep(10_ms);
+    EXPECT_EQ(f.cmd.region_count(), 0u);
+    EXPECT_EQ(f.imds[0]->region_count(), 0u);
+    // Double close: EINVAL.
+    EXPECT_EQ(co_await f.client.mclose(rd), -1);
+    EXPECT_EQ(dodo_errno(), kDodoEINVAL);
+  });
+}
+
+TEST(Runtime, MsyncFlushesBackingFile) {
+  Fixture fx;
+  fx.run([](Fixture& f) -> Co<void> {
+    const int rd = co_await f.client.mopen(64_KiB, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    net::Buf data = pattern(64_KiB);
+    co_await f.client.mwrite(rd, 0, data.data(), 64_KiB);
+    const auto writes_before = f.fs.disk().metrics().writes;
+    EXPECT_EQ(co_await f.client.msync(rd), 0);
+    EXPECT_GT(f.fs.disk().metrics().writes, writes_before);
+  });
+}
+
+TEST(Runtime, AllocationFailureTriggersRefraction) {
+  Fixture fx(1, 1_MiB);  // tiny pool
+  fx.run([](Fixture& f) -> Co<void> {
+    EXPECT_EQ(co_await f.client.mopen(4_MiB, f.fd, 0), -1);
+    EXPECT_EQ(dodo_errno(), kDodoENOMEM);
+    const auto cmd_mopens = f.cmd.metrics().mopens;
+    // Within the refraction period the library fails fast, no RPC.
+    EXPECT_EQ(co_await f.client.mopen(4_MiB, f.fd, 0), -1);
+    EXPECT_EQ(dodo_errno(), kDodoENOMEM);
+    EXPECT_EQ(f.cmd.metrics().mopens, cmd_mopens);
+    EXPECT_EQ(f.client.metrics().refraction_skips, 1u);
+    // After the refraction period the library asks again.
+    co_await f.sim.sleep(6_s);
+    EXPECT_EQ(co_await f.client.mopen(4_MiB, f.fd, 0), -1);
+    EXPECT_EQ(f.cmd.metrics().mopens, cmd_mopens + 1);
+  }, 120_s);
+}
+
+TEST(Runtime, HostFailureDropsAllDescriptorsOnThatNode) {
+  Fixture fx(1);
+  fx.run([](Fixture& f) -> Co<void> {
+    const int r1 = co_await f.client.mopen(64_KiB, f.fd, 0);
+    const int r2 = co_await f.client.mopen(64_KiB, f.fd, 128_KiB);
+    EXPECT_GE(r1, 0);
+    EXPECT_GE(r2, 0);
+    // The only imd host dies.
+    f.net.set_node_up(2, false);
+    net::Buf buf(16, 0);
+    EXPECT_EQ(co_await f.client.mread(r1, 0, buf.data(), 16), -1);
+    EXPECT_EQ(dodo_errno(), kDodoENOMEM);
+    // §3.1: *all* descriptors on that node are dropped, so r2 fails
+    // immediately without touching the network.
+    EXPECT_FALSE(f.client.active(r2));
+    EXPECT_EQ(co_await f.client.mread(r2, 0, buf.data(), 16), -1);
+    EXPECT_EQ(dodo_errno(), kDodoENOMEM);
+  }, 120_s);
+  EXPECT_EQ(fx.client.metrics().nodes_dropped, 1u);
+  EXPECT_EQ(fx.client.metrics().descriptors_dropped, 2u);
+}
+
+TEST(Runtime, CrashedClientIsReclaimedDetachedClientIsNot) {
+  // Client A writes a region and detaches: the region must survive.
+  {
+    Fixture fx;
+    fx.run([](Fixture& f) -> Co<void> {
+      const int rd = co_await f.client.mopen(64_KiB, f.fd, 0);
+      EXPECT_GE(rd, 0);
+      co_await f.client.detach();
+    });
+    fx.sim.run(60_s);  // many keep-alive rounds
+    EXPECT_EQ(fx.cmd.region_count(), 1u);
+    EXPECT_EQ(fx.cmd.metrics().clients_reclaimed, 0u);
+  }
+  // Client B halts without detaching (crash): keep-alive reclaims.
+  {
+    Fixture fx;
+    fx.run([](Fixture& f) -> Co<void> {
+      const int rd = co_await f.client.mopen(64_KiB, f.fd, 0);
+      EXPECT_GE(rd, 0);
+      co_await f.client.halt();
+    });
+    fx.sim.run(120_s);
+    EXPECT_EQ(fx.cmd.region_count(), 0u);
+    EXPECT_GE(fx.cmd.metrics().clients_reclaimed, 1u);
+    EXPECT_EQ(fx.imds[0]->region_count(), 0u);
+  }
+}
+
+TEST(Runtime, PersistentRegionSurvivesAcrossRuns) {
+  Fixture fx;
+  net::Buf data = pattern(32_KiB, 3);
+  // Run 1: write, detach (dmine mode).
+  fx.run([&data](Fixture& f) -> Co<void> {
+    const int rd = co_await f.client.mopen(32_KiB, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    co_await f.client.mwrite(rd, 0, data.data(), 32_KiB);
+    co_await f.client.detach();
+  });
+  // Run 2: a fresh client instance with the same client id re-attaches and
+  // reads the cached data back from remote memory.
+  DodoClient second(fx.sim, fx.net, 1, net::Endpoint{0, core::kCmdPort},
+                    fx.fs, ClientParams{});
+  second.start();
+  bool finished = false;
+  fx.sim.spawn([](Fixture& f, DodoClient& c, net::Buf& expect,
+                  bool& done) -> Co<void> {
+    auto [rd, reused] = co_await c.mopen_ex(32_KiB, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    EXPECT_TRUE(reused);
+    net::Buf back(32_KiB, 0);
+    EXPECT_EQ(co_await c.mread(rd, 0, back.data(), 32_KiB), 32_KiB);
+    EXPECT_EQ(back, expect);
+    done = true;
+  }(fx, second, data, finished));
+  fx.sim.run(120_s);
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(fx.cmd.metrics().mopen_reuses, 1u);
+}
+
+TEST(Runtime, SpreadsRegionsAcrossHosts) {
+  Fixture fx(4, 2_MiB);
+  fx.run([](Fixture& f) -> Co<void> {
+    for (int i = 0; i < 6; ++i) {
+      const int rd =
+          co_await f.client.mopen(1_MiB, f.fd, static_cast<Bytes64>(i) * 1_MiB);
+      EXPECT_GE(rd, 0) << "allocation " << i;
+    }
+  }, 120_s);
+  // 6 MiB of regions cannot fit on fewer than 3 of the 2 MiB hosts.
+  int hosts_used = 0;
+  for (const auto& imd : fx.imds) {
+    if (imd->region_count() > 0) ++hosts_used;
+  }
+  EXPECT_GE(hosts_used, 3);
+}
+
+}  // namespace
+}  // namespace dodo::runtime

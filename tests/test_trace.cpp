@@ -1,0 +1,112 @@
+// Tests for the Section-2 trace synthesizer: the synthesized statistics
+// must land on the paper's published Table 1 / Figure 1 numbers.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "trace/memory_trace.hpp"
+
+namespace dodo::trace {
+namespace {
+
+TraceConfig short_cfg() {
+  TraceConfig cfg;
+  cfg.duration = 4LL * 24 * 3600 * kSecond;  // 4 days is plenty for stats
+  return cfg;
+}
+
+TEST(Trace, PaperStatsAreTable1Verbatim) {
+  const auto s128 = paper_stats(HostClass::k128);
+  EXPECT_EQ(s128.total_kb, 128 * 1024);
+  EXPECT_EQ(s128.kernel_mean, 25512);
+  EXPECT_EQ(s128.avail_mean, 84761);
+  // available == total - kernel - fcache - proc in expectation, which is
+  // exactly how Table 1's columns relate.
+  for (const auto cls :
+       {HostClass::k32, HostClass::k64, HostClass::k128, HostClass::k256}) {
+    const auto st = paper_stats(cls);
+    EXPECT_NEAR(st.avail_mean,
+                static_cast<double>(st.total_kb) - st.kernel_mean -
+                    st.fcache_mean - st.proc_mean,
+                0.5);
+  }
+}
+
+class TraceClassParam : public ::testing::TestWithParam<HostClass> {};
+
+TEST_P(TraceClassParam, SynthesizedStatsMatchTable1) {
+  const HostClass cls = GetParam();
+  const auto st = paper_stats(cls);
+  const Table1Row row = summarize_class(cls, 12, short_cfg(), 99);
+  // Means within 10% (available gets its tolerance from the components).
+  EXPECT_NEAR(row.kernel.mean(), st.kernel_mean, 0.10 * st.kernel_mean);
+  EXPECT_NEAR(row.fcache.mean(), st.fcache_mean, 0.15 * st.fcache_mean);
+  // Process memory is inflated slightly by surges; allow more headroom.
+  EXPECT_NEAR(row.proc.mean(), st.proc_mean, 0.35 * st.proc_mean + 2048);
+  EXPECT_NEAR(row.avail.mean(), st.avail_mean, 0.12 * st.avail_mean);
+  // Standard deviations at least in the right regime (within 2.5x).
+  EXPECT_GT(row.kernel.stddev(), st.kernel_sd / 2.5);
+  EXPECT_LT(row.kernel.stddev(), st.kernel_sd * 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, TraceClassParam,
+                         ::testing::Values(HostClass::k32, HostClass::k64,
+                                           HostClass::k128, HostClass::k256));
+
+TEST(Trace, Deterministic) {
+  const auto a = synthesize_host(HostClass::k128, short_cfg(), 5);
+  const auto b = synthesize_host(HostClass::k128, short_cfg(), 5);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].proc_kb, b.samples[i].proc_kb);
+    EXPECT_EQ(a.samples[i].idle, b.samples[i].idle);
+  }
+  const auto c = synthesize_host(HostClass::k128, short_cfg(), 6);
+  EXPECT_NE(a.samples[100].proc_kb, c.samples[100].proc_kb);
+}
+
+TEST(Trace, HostsHaveDipsButAreMostlyAvailable) {
+  const auto tr = synthesize_host(HostClass::k128, short_cfg(), 7);
+  // Figure 2: "while there are dips ... large fractions of a workstation's
+  // memory is available most of the time."
+  EXPECT_GT(tr.dips_below(0.25), 0);
+  int high = 0;
+  for (const auto& s : tr.samples) {
+    if (s.available_kb(tr.total_kb) >
+        tr.total_kb / 2) {
+      ++high;
+    }
+  }
+  EXPECT_GT(static_cast<double>(high) /
+                static_cast<double>(tr.samples.size()),
+            0.5);
+}
+
+TEST(Trace, ClusterAveragesMatchFigure1) {
+  const auto a = cluster_availability(cluster_a_hosts(), short_cfg(), 3);
+  const auto b = cluster_availability(cluster_b_hosts(), short_cfg(), 4);
+  // clusterA: 3549 MB all hosts / 2747 MB idle hosts; clusterB: 852 / 742.
+  EXPECT_NEAR(a.mean_all(), 3549, 0.15 * 3549);
+  EXPECT_NEAR(b.mean_all(), 852, 0.15 * 852);
+  EXPECT_LT(a.mean_idle(), a.mean_all());
+  EXPECT_LT(b.mean_idle(), b.mean_all());
+  EXPECT_GT(a.mean_idle(), 0.6 * a.mean_all());
+  EXPECT_GT(b.mean_idle(), 0.6 * b.mean_all());
+}
+
+TEST(Trace, ActivityAdapterTracksTrace) {
+  auto tr = synthesize_host(HostClass::k64, short_cfg(), 9);
+  const auto samples = tr.samples;  // copy: tr is moved into the adapter
+  const Bytes64 total = tr.total_kb * 1024;
+  TraceActivity act(std::move(tr));
+  EXPECT_EQ(act.total_memory(), total);
+  // Spot-check several sample points.
+  for (std::size_t i = 0; i < samples.size(); i += 97) {
+    const SimTime t = samples[i].t;
+    EXPECT_EQ(act.console_active(t), !samples[i].idle) << i;
+    EXPECT_GT(act.active_memory(t), 0);
+    EXPECT_LE(act.active_memory(t), total);
+  }
+}
+
+}  // namespace
+}  // namespace dodo::trace

@@ -1,0 +1,137 @@
+// Tests for the Figure-6 usocket library over the simulated U-Net.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+#include "usock/usocket.hpp"
+
+namespace dodo::usock {
+namespace {
+
+using sim::Co;
+using sim::Simulator;
+
+TEST(Usock, AtonNtoaRoundTrip) {
+  const macaddr_t mac = u_aton("02:0d:0d:00:00:2a");
+  EXPECT_EQ(mac[0], 0x02);
+  EXPECT_EQ(mac[5], 0x2a);
+  char buf[18];
+  EXPECT_STREQ(u_ntoa(mac, buf), "02:0d:0d:00:00:2a");
+  EXPECT_EQ(u_aton("garbage"), macaddr_t{});
+  EXPECT_EQ(u_aton(nullptr), macaddr_t{});
+}
+
+TEST(Usock, MacNodeMapping) {
+  const auto mac = USocketStack::mac_of(42);
+  const auto node = USocketStack::node_of(mac);
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(*node, 42u);
+  EXPECT_FALSE(USocketStack::node_of(macaddr_t{1, 2, 3, 4, 5, 6}).has_value());
+}
+
+struct Fixture {
+  Simulator sim{41};
+  net::Network net{sim, net::NetParams::unet(), 4};
+  USocketStack a{net, 1};
+  USocketStack b{net, 2};
+};
+
+TEST(Usock, SendRecvRoundTrip) {
+  Fixture fx;
+  bool done = false;
+  fx.sim.spawn([](Fixture& f, bool& ok) -> Co<void> {
+    const int srv = f.b.u_socket(8192, 8192);
+    const macaddr_t self = f.b.local_mac();
+    EXPECT_EQ(f.b.u_bind(srv, &self, 1), 0);
+
+    const int cli = f.a.u_socket(8192, 8192);
+    EXPECT_EQ(f.a.u_connect(cli, USocketStack::mac_of(2)), 0);
+    const char msg[] = "hello unet";
+    EXPECT_EQ(f.a.u_send(cli, msg, sizeof(msg)),
+              static_cast<int>(sizeof(msg)));
+
+    char buf[64] = {};
+    macaddr_t from{};
+    const int n = co_await f.b.u_recv(srv, buf, sizeof(buf), &from, 1000);
+    EXPECT_EQ(n, static_cast<int>(sizeof(msg)));
+    EXPECT_STREQ(buf, "hello unet");
+    EXPECT_EQ(from, USocketStack::mac_of(1));
+    ok = true;
+  }(fx, done));
+  fx.sim.run(10_s);
+  EXPECT_TRUE(done);
+}
+
+TEST(Usock, IovecGatherScatter) {
+  Fixture fx;
+  bool done = false;
+  fx.sim.spawn([](Fixture& f, bool& ok) -> Co<void> {
+    const int srv = f.b.u_socket(0, 0);
+    const macaddr_t self = f.b.local_mac();
+    EXPECT_EQ(f.b.u_bind(srv, &self, 1), 0);
+    const int cli = f.a.u_socket(0, 0);
+    f.a.u_connect(cli, USocketStack::mac_of(2));
+
+    char p1[] = "abc";
+    char p2[] = "defgh";
+    u_iovec out[2] = {{p1, 3}, {p2, 5}};
+    EXPECT_EQ(f.a.u_send_iovec(cli, out, 2), 8);
+
+    char q1[4] = {};
+    char q2[16] = {};
+    u_iovec in[2] = {{q1, 4}, {q2, 16}};
+    int iovc = 2;
+    const int n = co_await f.b.u_recv_iovec(srv, in, &iovc, nullptr, 1000);
+    EXPECT_EQ(n, 8);
+    EXPECT_EQ(iovc, 2);
+    EXPECT_EQ(std::string(q1, 4), "abcd");
+    EXPECT_EQ(std::string(q2, 4), "efgh");
+    ok = true;
+  }(fx, done));
+  fx.sim.run(10_s);
+  EXPECT_TRUE(done);
+}
+
+TEST(Usock, RecvTimesOut) {
+  Fixture fx;
+  bool done = false;
+  fx.sim.spawn([](Fixture& f, bool& ok) -> Co<void> {
+    const int srv = f.b.u_socket(0, 0);
+    const macaddr_t self = f.b.local_mac();
+    f.b.u_bind(srv, &self, 1);
+    char buf[8];
+    const SimTime t0 = f.sim.now();
+    EXPECT_EQ(co_await f.b.u_recv(srv, buf, sizeof(buf), nullptr, 50), -1);
+    EXPECT_EQ(f.sim.now() - t0, 50_ms);
+    ok = true;
+  }(fx, done));
+  fx.sim.run(10_s);
+  EXPECT_TRUE(done);
+}
+
+TEST(Usock, ErrorPaths) {
+  Fixture fx;
+  // bad fd
+  EXPECT_EQ(fx.a.u_close(99), -1);
+  EXPECT_EQ(fx.a.u_send(99, "x", 1), -1);
+  // bind to someone else's address
+  const int s = fx.a.u_socket(0, 0);
+  const macaddr_t other = USocketStack::mac_of(2);
+  EXPECT_EQ(fx.a.u_bind(s, &other, 1), -1);
+  // send without connect
+  EXPECT_EQ(fx.a.u_send(s, "x", 1), -1);
+  // oversize frame (U-Net MTU)
+  const int c = fx.a.u_socket(0, 0);
+  fx.a.u_connect(c, USocketStack::mac_of(2));
+  std::vector<char> big(4096, 'x');
+  EXPECT_EQ(fx.a.u_send(c, big.data(), big.size()), -1);
+  // close then use
+  EXPECT_EQ(fx.a.u_close(s), 0);
+  EXPECT_EQ(fx.a.u_send(s, "x", 1), -1);
+}
+
+}  // namespace
+}  // namespace dodo::usock
