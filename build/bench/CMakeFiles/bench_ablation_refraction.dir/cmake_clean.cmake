@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_refraction.dir/bench_ablation_refraction.cpp.o"
+  "CMakeFiles/bench_ablation_refraction.dir/bench_ablation_refraction.cpp.o.d"
+  "bench_ablation_refraction"
+  "bench_ablation_refraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_refraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

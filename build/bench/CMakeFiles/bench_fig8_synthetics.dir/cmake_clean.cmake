@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_synthetics.dir/bench_fig8_synthetics.cpp.o"
+  "CMakeFiles/bench_fig8_synthetics.dir/bench_fig8_synthetics.cpp.o.d"
+  "bench_fig8_synthetics"
+  "bench_fig8_synthetics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_synthetics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

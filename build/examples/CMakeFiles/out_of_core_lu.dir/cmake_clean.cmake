@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_lu.dir/out_of_core_lu.cpp.o"
+  "CMakeFiles/out_of_core_lu.dir/out_of_core_lu.cpp.o.d"
+  "out_of_core_lu"
+  "out_of_core_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

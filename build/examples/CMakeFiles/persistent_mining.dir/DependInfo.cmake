@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/persistent_mining.cpp" "examples/CMakeFiles/persistent_mining.dir/persistent_mining.cpp.o" "gcc" "examples/CMakeFiles/persistent_mining.dir/persistent_mining.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dodo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dodo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/manage/CMakeFiles/dodo_manage.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dodo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dodo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/dodo_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dodo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dodo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dodo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_mining.dir/persistent_mining.cpp.o"
+  "CMakeFiles/persistent_mining.dir/persistent_mining.cpp.o.d"
+  "persistent_mining"
+  "persistent_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

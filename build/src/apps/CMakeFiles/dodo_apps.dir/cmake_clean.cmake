@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_apps.dir/block_io.cpp.o"
+  "CMakeFiles/dodo_apps.dir/block_io.cpp.o.d"
+  "CMakeFiles/dodo_apps.dir/dmine.cpp.o"
+  "CMakeFiles/dodo_apps.dir/dmine.cpp.o.d"
+  "CMakeFiles/dodo_apps.dir/lu.cpp.o"
+  "CMakeFiles/dodo_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/dodo_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/dodo_apps.dir/synthetic.cpp.o.d"
+  "libdodo_apps.a"
+  "libdodo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/dodo_cluster.dir/cluster.cpp.o.d"
+  "libdodo_cluster.a"
+  "libdodo_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

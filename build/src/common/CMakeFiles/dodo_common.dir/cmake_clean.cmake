@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_common.dir/log.cpp.o"
+  "CMakeFiles/dodo_common.dir/log.cpp.o.d"
+  "CMakeFiles/dodo_common.dir/rng.cpp.o"
+  "CMakeFiles/dodo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dodo_common.dir/stats.cpp.o"
+  "CMakeFiles/dodo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dodo_common.dir/status.cpp.o"
+  "CMakeFiles/dodo_common.dir/status.cpp.o.d"
+  "libdodo_common.a"
+  "libdodo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buddy_allocator.cpp" "src/core/CMakeFiles/dodo_core.dir/buddy_allocator.cpp.o" "gcc" "src/core/CMakeFiles/dodo_core.dir/buddy_allocator.cpp.o.d"
+  "/root/repo/src/core/cmd.cpp" "src/core/CMakeFiles/dodo_core.dir/cmd.cpp.o" "gcc" "src/core/CMakeFiles/dodo_core.dir/cmd.cpp.o.d"
+  "/root/repo/src/core/imd.cpp" "src/core/CMakeFiles/dodo_core.dir/imd.cpp.o" "gcc" "src/core/CMakeFiles/dodo_core.dir/imd.cpp.o.d"
+  "/root/repo/src/core/pool_allocator.cpp" "src/core/CMakeFiles/dodo_core.dir/pool_allocator.cpp.o" "gcc" "src/core/CMakeFiles/dodo_core.dir/pool_allocator.cpp.o.d"
+  "/root/repo/src/core/rmd.cpp" "src/core/CMakeFiles/dodo_core.dir/rmd.cpp.o" "gcc" "src/core/CMakeFiles/dodo_core.dir/rmd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dodo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dodo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dodo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_core.dir/buddy_allocator.cpp.o"
+  "CMakeFiles/dodo_core.dir/buddy_allocator.cpp.o.d"
+  "CMakeFiles/dodo_core.dir/cmd.cpp.o"
+  "CMakeFiles/dodo_core.dir/cmd.cpp.o.d"
+  "CMakeFiles/dodo_core.dir/imd.cpp.o"
+  "CMakeFiles/dodo_core.dir/imd.cpp.o.d"
+  "CMakeFiles/dodo_core.dir/pool_allocator.cpp.o"
+  "CMakeFiles/dodo_core.dir/pool_allocator.cpp.o.d"
+  "CMakeFiles/dodo_core.dir/rmd.cpp.o"
+  "CMakeFiles/dodo_core.dir/rmd.cpp.o.d"
+  "libdodo_core.a"
+  "libdodo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

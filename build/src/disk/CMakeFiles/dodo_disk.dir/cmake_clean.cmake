@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_disk.dir/disk_model.cpp.o"
+  "CMakeFiles/dodo_disk.dir/disk_model.cpp.o.d"
+  "CMakeFiles/dodo_disk.dir/file_cache.cpp.o"
+  "CMakeFiles/dodo_disk.dir/file_cache.cpp.o.d"
+  "CMakeFiles/dodo_disk.dir/filesystem.cpp.o"
+  "CMakeFiles/dodo_disk.dir/filesystem.cpp.o.d"
+  "CMakeFiles/dodo_disk.dir/store.cpp.o"
+  "CMakeFiles/dodo_disk.dir/store.cpp.o.d"
+  "libdodo_disk.a"
+  "libdodo_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_manage.dir/region_manager.cpp.o"
+  "CMakeFiles/dodo_manage.dir/region_manager.cpp.o.d"
+  "libdodo_manage.a"
+  "libdodo_manage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_manage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

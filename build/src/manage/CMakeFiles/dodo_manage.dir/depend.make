@@ -1,0 +1,2 @@
+# Empty dependencies file for dodo_manage.
+# This may be replaced when dependencies are built.

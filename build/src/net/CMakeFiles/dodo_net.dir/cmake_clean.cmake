@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_net.dir/bulk.cpp.o"
+  "CMakeFiles/dodo_net.dir/bulk.cpp.o.d"
+  "CMakeFiles/dodo_net.dir/transport.cpp.o"
+  "CMakeFiles/dodo_net.dir/transport.cpp.o.d"
+  "libdodo_net.a"
+  "libdodo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_rtnet.dir/rt_udp.cpp.o"
+  "CMakeFiles/dodo_rtnet.dir/rt_udp.cpp.o.d"
+  "libdodo_rtnet.a"
+  "libdodo_rtnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_rtnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_runtime.dir/dodo_client.cpp.o"
+  "CMakeFiles/dodo_runtime.dir/dodo_client.cpp.o.d"
+  "libdodo_runtime.a"
+  "libdodo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

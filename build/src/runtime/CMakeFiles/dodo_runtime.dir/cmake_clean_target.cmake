@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdodo_runtime.a"
+)

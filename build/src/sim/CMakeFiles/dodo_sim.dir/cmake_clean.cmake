@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dodo_sim.dir/simulator.cpp.o.d"
+  "libdodo_sim.a"
+  "libdodo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_trace.dir/memory_trace.cpp.o"
+  "CMakeFiles/dodo_trace.dir/memory_trace.cpp.o.d"
+  "libdodo_trace.a"
+  "libdodo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodo_usock.dir/usocket.cpp.o"
+  "CMakeFiles/dodo_usock.dir/usocket.cpp.o.d"
+  "libdodo_usock.a"
+  "libdodo_usock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodo_usock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dodo_usock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manage.dir/test_manage.cpp.o"
+  "CMakeFiles/test_manage.dir/test_manage.cpp.o.d"
+  "test_manage"
+  "test_manage.pdb"
+  "test_manage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtnet.dir/test_rtnet.cpp.o"
+  "CMakeFiles/test_rtnet.dir/test_rtnet.cpp.o.d"
+  "test_rtnet"
+  "test_rtnet.pdb"
+  "test_rtnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usock.dir/test_usock.cpp.o"
+  "CMakeFiles/test_usock.dir/test_usock.cpp.o.d"
+  "test_usock"
+  "test_usock.pdb"
+  "test_usock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_usock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_usock.
+# This may be replaced when dependencies are built.

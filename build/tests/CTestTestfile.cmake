@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_disk[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_allocator[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_manage[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_usock[1]_include.cmake")
+include("/root/repo/build/tests/test_rtnet[1]_include.cmake")
+include("/root/repo/build/tests/test_buddy[1]_include.cmake")
+include("/root/repo/build/tests/test_failure[1]_include.cmake")
