@@ -55,6 +55,22 @@ Cluster::~Cluster() {
   sim_.destroy_detached();
 }
 
+sim::Co<void> Cluster::restart_host(int host) {
+  net_->set_node_up(host_node(host), true);
+  auto& rmd = *rmds_.at(static_cast<std::size_t>(host));
+  co_await rmd.force_evict();
+  rmd.force_recruit();
+}
+
+sim::Co<void> Cluster::evict_host(int host) {
+  co_await rmds_.at(static_cast<std::size_t>(host))->force_evict();
+}
+
+sim::Co<void> Cluster::restart_cmd() {
+  co_await cmd_->stop();
+  cmd_->start();
+}
+
 void Cluster::restart_client() {
   assert(config_.use_dodo);
   manager_.reset();

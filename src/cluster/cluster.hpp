@@ -68,6 +68,38 @@ class Cluster {
   [[nodiscard]] core::ResourceMonitor& rmd(int host) { return *rmds_.at(host); }
 
   [[nodiscard]] net::NodeId app_node() const { return 1; }
+  [[nodiscard]] net::NodeId cmd_node() const { return 0; }
+  /// Network node id of harvested host index `host` (0..imd_hosts-1).
+  [[nodiscard]] net::NodeId host_node(int host) const {
+    return static_cast<net::NodeId>(host + 2);
+  }
+
+  // -- fault-injection hooks (driven by fault::FaultInjector) ---------------
+
+  /// Crash: the host drops off the network mid-whatever-it-was-doing. Its
+  /// daemons keep running as zombies whose datagrams all vanish — exactly a
+  /// kernel panic as seen from the rest of the cluster.
+  void crash_host(int host) {
+    net_->set_node_up(host_node(host), false);
+  }
+
+  /// Recovery from crash_host: network back, the zombie imd torn down, and
+  /// a fresh imd recruited under a bumped epoch. Any state the old imd held
+  /// is gone — stale directory entries must be caught by epoch validation.
+  sim::Co<void> restart_host(int host);
+
+  /// Graceful owner-return reclaim: the rmd signals the imd, which finishes
+  /// in-flight transfers and exits. The host stays out of service until
+  /// recruit_host().
+  sim::Co<void> evict_host(int host);
+
+  /// Re-recruits an evicted host (epoch bump, fresh registration).
+  void recruit_host(int host) { rmds_.at(static_cast<std::size_t>(host))->force_recruit(); }
+
+  /// Cold-stops and immediately restarts the central manager. Directory
+  /// state survives (a warm restart from its in-memory image); in-flight
+  /// client RPCs ride it out via retransmits.
+  sim::Co<void> restart_cmd();
 
   /// Creates the application dataset file on the app node, materialized or
   /// pattern-backed per the config. Returns the (writable) fd.

@@ -41,6 +41,14 @@ sim::Co<void> CentralManager::stop() {
   running_ = false;
 }
 
+std::vector<std::pair<RegionKey, RegionLoc>> CentralManager::rd_snapshot()
+    const {
+  std::vector<std::pair<RegionKey, RegionLoc>> out;
+  out.reserve(rd_.size());
+  for (const auto& [key, loc] : rd_) out.emplace_back(key, loc);
+  return out;
+}
+
 std::size_t CentralManager::idle_host_count() const {
   std::size_t n = 0;
   for (const auto& [node, info] : iwd_) {
@@ -51,8 +59,17 @@ std::size_t CentralManager::idle_host_count() const {
 
 void CentralManager::reply_cached(const net::Message& msg, std::uint64_t rid,
                                   net::Buf rep) {
-  if (reply_cache_.size() > 8192) reply_cache_.clear();
-  reply_cache_[ReplyKey{msg.src, rid}] = rep;
+  // Bounded FIFO, never clear-all — a clear would re-execute a retried
+  // mopen/mfree whose reply is still in flight (see the imd's reply cache).
+  const ReplyKey key{msg.src, rid};
+  if (reply_cache_.emplace(key, rep).second) {
+    reply_order_.push_back(key);
+    while (reply_cache_.size() > params_.reply_cache_capacity &&
+           !reply_order_.empty()) {
+      reply_cache_.erase(reply_order_.front());
+      reply_order_.pop_front();
+    }
+  }
   sock_->send(msg.src, std::move(rep));
 }
 
@@ -189,7 +206,15 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
       co_return;
     }
     // Length changed: the old cache is useless; drop it and allocate fresh.
-    co_await rpc_free_region(key, *existing);
+    const RegionLoc old = *existing;  // validate_region's pointer may dangle
+    const auto freed = co_await rpc_free_region(key, old);
+    if (!freed.has_value() && region_may_survive(old)) {
+      // Unacknowledged free against a live same-epoch host: forgetting the
+      // entry would orphan the old region. Keep it and fail this mopen —
+      // the client degrades to disk and may retry later.
+      reply_fail();
+      co_return;
+    }
     rd_.erase(key);
   }
 
@@ -210,15 +235,25 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
 
     ++metrics_.alloc_attempts;
     const std::uint64_t rid = rids_.next();
+    const std::uint64_t want_epoch = iwd_[host].epoch;
     net::Buf req = make_header(MsgKind::kAllocReq, rid);
     net::Writer w(req);
     w.i64(len);
+    // Epoch guard: a retransmit of this request that straddles an imd
+    // restart must not allocate under the new epoch — we would book the
+    // region under state the imd no longer has, orphaning it.
+    w.u64(want_epoch);
     auto rep = co_await rpc_call(net_, node_,
                                  net::Endpoint{host, kImdCtlPort},
                                  std::move(req), rid, params_.imd_rpc);
     if (!rep) {
-      // Host gone (shutdown/crash/reclaimed): drop it from the IWD.
+      // Host gone (shutdown/crash/reclaimed): drop it from the IWD. The
+      // request may still have executed with every reply lost — remember
+      // it so scrub_suspect_allocs can release the unnamed region.
+      DODO_DEBUG("cmd", "alloc rpc to host %u got no reply", host);
       iwd_[host].idle = false;
+      ++metrics_.alloc_suspects;
+      suspect_allocs_.push_back(SuspectAlloc{host, want_epoch, rid});
       continue;
     }
     net::Reader rr = body_reader(*rep);
@@ -261,8 +296,8 @@ void CentralManager::handle_checkalloc(const net::Message& msg) {
   reply_cached(msg, env->rid, std::move(rep));
 }
 
-sim::Co<bool> CentralManager::rpc_free_region(const RegionKey& key,
-                                              const RegionLoc& loc) {
+sim::Co<std::optional<bool>> CentralManager::rpc_free_region(
+    const RegionKey& key, const RegionLoc& loc) {
   (void)key;
   const std::uint64_t rid = rids_.next();
   net::Buf req = make_header(MsgKind::kFreeReq, rid);
@@ -271,13 +306,22 @@ sim::Co<bool> CentralManager::rpc_free_region(const RegionKey& key,
   auto rep = co_await rpc_call(net_, node_,
                                net::Endpoint{loc.host, kImdCtlPort},
                                std::move(req), rid, params_.imd_rpc);
-  if (!rep) co_return false;
+  if (!rep) {
+    DODO_DEBUG("cmd", "free rpc to host %u region %llu got no reply", loc.host,
+               static_cast<unsigned long long>(loc.imd_region));
+    co_return std::nullopt;
+  }
   net::Reader rr = body_reader(*rep);
   const bool ok = rr.u8() != 0;
   (void)rr.u64();  // epoch
   const Bytes64 largest = rr.i64();
   if (rr.ok()) iwd_[loc.host].largest_free = largest;
   co_return ok;
+}
+
+bool CentralManager::region_may_survive(const RegionLoc& loc) const {
+  auto it = iwd_.find(loc.host);
+  return it != iwd_.end() && it->second.epoch == loc.epoch;
 }
 
 sim::Co<void> CentralManager::handle_mfree(net::Message msg) {
@@ -291,12 +335,57 @@ sim::Co<void> CentralManager::handle_mfree(net::Message msg) {
     rd_.erase(it);
     ++metrics_.frees;
     ok = true;
-    co_await rpc_free_region(key, loc);  // best effort; host may be gone
+    const auto freed = co_await rpc_free_region(key, loc);
+    if (!freed.has_value() && region_may_survive(loc)) {
+      // No reply from a host still registered under this epoch: the imd may
+      // still hold the region. Keep the directory entry so the bytes remain
+      // reclaimable (revalidated, reused, or re-freed) instead of stranding
+      // them in the pool for the rest of the epoch. The client still gets
+      // ok=1 — its contract is "this key is gone", which holds either way.
+      rd_.emplace(key, loc);
+    }
   }
   net::Buf rep = make_header(MsgKind::kMfreeRep, env->rid);
   net::Writer w(rep);
   w.u8(ok ? 1 : 0);
   reply_cached(msg, env->rid, std::move(rep));
+}
+
+sim::Co<void> CentralManager::scrub_suspect_allocs() {
+  std::vector<SuspectAlloc> pending = std::move(suspect_allocs_);
+  suspect_allocs_.clear();
+  std::vector<SuspectAlloc> keep;
+  for (const auto& s : pending) {
+    auto it = iwd_.find(s.host);
+    if (it == iwd_.end() || it->second.epoch != s.epoch) {
+      // The host restarted (or was never seen again under that epoch): the
+      // pool of that incarnation is gone, nothing to scrub.
+      continue;
+    }
+    const std::uint64_t rid = rids_.next();
+    net::Buf req = make_header(MsgKind::kAllocCancel, rid);
+    net::Writer w(req);
+    w.u64(s.rid);
+    auto rep = co_await rpc_call(net_, node_,
+                                 net::Endpoint{s.host, kImdCtlPort},
+                                 std::move(req), rid, params_.imd_rpc);
+    if (!rep) {
+      keep.push_back(s);  // still unreachable; retry next keepalive tick
+      continue;
+    }
+    net::Reader rr = body_reader(*rep);
+    const bool freed = rr.u8() != 0;
+    (void)rr.u64();  // epoch
+    const Bytes64 largest = rr.i64();
+    if (rr.ok()) iwd_[s.host].largest_free = largest;
+    ++metrics_.alloc_cancels_acked;
+    if (freed) {
+      DODO_DEBUG("cmd", "scrubbed orphaned alloc rid %llu at host %u",
+                 static_cast<unsigned long long>(s.rid), s.host);
+    }
+  }
+  // handle_mopen may have appended new suspects while we were awaiting.
+  suspect_allocs_.insert(suspect_allocs_.end(), keep.begin(), keep.end());
 }
 
 sim::Co<void> CentralManager::reclaim_client(std::uint32_t client) {
@@ -306,9 +395,13 @@ sim::Co<void> CentralManager::reclaim_client(std::uint32_t client) {
     if (key.client == client) victims.emplace_back(key, loc);
   }
   for (const auto& [key, loc] : victims) {
-    rd_.erase(key);
-    ++metrics_.regions_reclaimed;
-    co_await rpc_free_region(key, loc);
+    const auto freed = co_await rpc_free_region(key, loc);
+    if (freed.has_value() || !region_may_survive(loc)) {
+      rd_.erase(key);
+      ++metrics_.regions_reclaimed;
+    }
+    // else: unacknowledged free against a live same-epoch host — keep the
+    // entry; a later reclaim or epoch bump will release it.
   }
   clients_.erase(client);
   DODO_INFO("cmd", "reclaimed %zu regions of dead client %u", victims.size(),
@@ -319,6 +412,7 @@ sim::Co<void> CentralManager::keepalive_loop() {
   for (;;) {
     auto stop = co_await stop_ch_.recv_for(params_.keepalive_interval);
     if (stop.has_value() || stopping_) break;
+    if (!suspect_allocs_.empty()) co_await scrub_suspect_allocs();
     // Snapshot: reclaim_client mutates clients_.
     std::vector<std::pair<std::uint32_t, net::Endpoint>> targets;
     targets.reserve(clients_.size());

@@ -15,8 +15,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -35,6 +38,9 @@ struct CmdParams {
   int keepalive_miss_limit = 3;
   RpcParams imd_rpc{};   // cmd -> imd alloc/free
   RpcParams ping_rpc{millis(300), 0};
+  /// Duplicate-suppression cache bound; FIFO eviction of the oldest entry
+  /// (see ImdParams::reply_cache_capacity for why clear-all is wrong).
+  std::size_t reply_cache_capacity = 8192;
 };
 
 struct CmdMetrics {
@@ -42,6 +48,10 @@ struct CmdMetrics {
   std::uint64_t mopen_reuses = 0;   // persistent region found in RD
   std::uint64_t alloc_attempts = 0;  // imd RPCs issued
   std::uint64_t alloc_failures = 0;  // mopen replies with no memory
+  /// Alloc RPCs abandoned with no reply — the imd may hold a region we
+  /// never learned the id of; each is remembered and scrubbed later.
+  std::uint64_t alloc_suspects = 0;
+  std::uint64_t alloc_cancels_acked = 0;  // suspects confirmed scrubbed
   std::uint64_t checkallocs = 0;
   std::uint64_t stale_regions_dropped = 0;
   std::uint64_t frees = 0;
@@ -70,6 +80,12 @@ class CentralManager {
   [[nodiscard]] std::size_t idle_host_count() const;
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
 
+  /// Fault/leak-audit hook: snapshot of the region directory. Every region
+  /// an imd holds must appear here (matching host/epoch/id), or nobody can
+  /// ever free it — the definition of a leaked pool block.
+  [[nodiscard]] std::vector<std::pair<RegionKey, RegionLoc>> rd_snapshot()
+      const;
+
  private:
   struct HostInfo {
     bool idle = false;
@@ -95,8 +111,29 @@ class CentralManager {
   /// and returns nullptr when stale.
   RegionLoc* validate_region(const RegionKey& key);
 
-  sim::Co<bool> rpc_free_region(const RegionKey& key, const RegionLoc& loc);
+  /// Frees a region at its imd. Returns the imd's ok flag, or nullopt when
+  /// no reply arrived — in which case the imd may still hold the region and
+  /// the caller must not forget the directory entry while the host is alive
+  /// under that epoch (see region_may_survive).
+  sim::Co<std::optional<bool>> rpc_free_region(const RegionKey& key,
+                                               const RegionLoc& loc);
+
+  /// True if `loc`'s host is still registered under `loc`'s epoch, i.e. an
+  /// unacknowledged free may have left the region allocated in its pool.
+  [[nodiscard]] bool region_may_survive(const RegionLoc& loc) const;
   sim::Co<void> reclaim_client(std::uint32_t client);
+
+  /// An alloc RPC that exhausted its retries with no reply. If the host was
+  /// alive the whole time, it may have allocated a region whose id we never
+  /// saw; kAllocCancel releases it once the host answers again. If the host
+  /// restarted (epoch moved on), the pool was rebuilt and there is nothing
+  /// to scrub.
+  struct SuspectAlloc {
+    net::NodeId host = 0;
+    std::uint64_t epoch = 0;  // epoch named in the abandoned request
+    std::uint64_t rid = 0;
+  };
+  sim::Co<void> scrub_suspect_allocs();
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -109,6 +146,7 @@ class CentralManager {
   std::unordered_map<net::NodeId, HostInfo> iwd_;
   std::unordered_map<RegionKey, RegionLoc, RegionKeyHash> rd_;
   std::unordered_map<std::uint32_t, ClientInfo> clients_;
+  std::vector<SuspectAlloc> suspect_allocs_;
 
   /// Duplicate-request suppression: a client retransmits an RPC whose reply
   /// was lost; replaying the cached reply keeps non-idempotent operations
@@ -128,6 +166,7 @@ class CentralManager {
     }
   };
   std::unordered_map<ReplyKey, net::Buf, ReplyKeyHash> reply_cache_;
+  std::deque<ReplyKey> reply_order_;  // FIFO eviction order
 
   /// Sends `rep` to msg.src and remembers it for duplicate suppression.
   void reply_cached(const net::Message& msg, std::uint64_t rid,

@@ -57,12 +57,23 @@ sim::Co<void> IdleMemoryDaemon::stop() {
   data_sock_.reset();
   regions_.clear();
   reply_cache_.clear();
+  reply_order_.clear();
   running_ = false;
 }
 
 const net::Buf* IdleMemoryDaemon::region_bytes(std::uint64_t region_id) const {
   auto it = regions_.find(region_id);
   return it == regions_.end() ? nullptr : &it->second.data;
+}
+
+std::vector<std::pair<std::uint64_t, Bytes64>> IdleMemoryDaemon::region_list()
+    const {
+  std::vector<std::pair<std::uint64_t, Bytes64>> out;
+  out.reserve(regions_.size());
+  for (const auto& [id, region] : regions_) {
+    out.emplace_back(id, region.len);
+  }
+  return out;
 }
 
 sim::Co<void> IdleMemoryDaemon::control_loop() {
@@ -87,6 +98,9 @@ sim::Co<void> IdleMemoryDaemon::control_loop() {
       case MsgKind::kAllocReq:
         handle_alloc(msg, body_reader(msg));
         break;
+      case MsgKind::kAllocCancel:
+        handle_alloc_cancel(msg, body_reader(msg));
+        break;
       case MsgKind::kFreeReq:
         handle_free(msg, body_reader(msg));
         break;
@@ -99,8 +113,19 @@ sim::Co<void> IdleMemoryDaemon::control_loop() {
 
 void IdleMemoryDaemon::reply_cached_or(const net::Message& msg,
                                        std::uint64_t rid, net::Buf reply) {
-  if (reply_cache_.size() > 4096) reply_cache_.clear();
-  reply_cache_[rid] = reply;
+  // Bounded FIFO, never clear-all: evicting only the oldest rids preserves
+  // the idempotent-retry contract for every recent request. A clear here
+  // would let a late kFreeReq/kAllocReq retransmit re-execute — re-running
+  // an alloc orphans a region (pool bytes leak with no owner), and
+  // re-running a free reports failure for an operation that succeeded.
+  if (reply_cache_.emplace(rid, reply).second) {
+    reply_order_.push_back(rid);
+    while (reply_cache_.size() > params_.reply_cache_capacity &&
+           !reply_order_.empty()) {
+      reply_cache_.erase(reply_order_.front());
+      reply_order_.pop_front();
+    }
+  }
   ctl_sock_->send(msg.src, std::move(reply));
 }
 
@@ -111,9 +136,18 @@ void IdleMemoryDaemon::handle_alloc(const net::Message& msg, net::Reader r) {
     return;
   }
   const Bytes64 len = r.i64();
+  const std::uint64_t want_epoch = r.u64();
   net::Buf rep = make_header(MsgKind::kAllocRep, env->rid);
   net::Writer w(rep);
-  if (!r.ok() || len <= 0 || stopping_) {
+  if (r.ok() && want_epoch != epoch_) {
+    // A retransmit that straddled a restart: the caller issued this against
+    // a different incarnation of the pool. Allocating would create a region
+    // the caller books under the wrong epoch — an unreclaimable orphan.
+    ++metrics_.alloc_failures;
+    ++metrics_.stale_alloc_rejects;
+    w.u8(0);
+    w.u64(0);
+  } else if (!r.ok() || len <= 0 || stopping_) {
     ++metrics_.alloc_failures;
     w.u8(0);
     w.u64(0);
@@ -123,6 +157,7 @@ void IdleMemoryDaemon::handle_alloc(const net::Message& msg, net::Reader r) {
     Region region;
     region.pool_offset = *offset;
     region.len = len;
+    region.alloc_rid = env->rid;
     if (params_.materialize) {
       region.data.assign(static_cast<std::size_t>(len), 0);
     }
@@ -137,6 +172,50 @@ void IdleMemoryDaemon::handle_alloc(const net::Message& msg, net::Reader r) {
   w.u64(epoch_);
   w.i64(pool_.largest_free());
   reply_cached_or(msg, env->rid, std::move(rep));
+}
+
+void IdleMemoryDaemon::handle_alloc_cancel(const net::Message& msg,
+                                           net::Reader r) {
+  const auto env = peek_envelope(msg);
+  const std::uint64_t target_rid = r.u64();
+  bool freed = false;
+  if (r.ok()) {
+    for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+      if (it->second.alloc_rid == target_rid) {
+        pool_.free(it->second.pool_offset);
+        regions_.erase(it);
+        ++metrics_.allocs_cancelled;
+        freed = true;
+        break;
+      }
+    }
+    // Poison the rid: a retransmitted kAllocReq still in flight must replay
+    // a failure instead of re-executing after the cancel. If a success reply
+    // is cached it is overwritten — its caller has already given up.
+    net::Buf poison = make_header(MsgKind::kAllocRep, target_rid);
+    net::Writer pw(poison);
+    pw.u8(0);
+    pw.u64(0);
+    pw.u64(epoch_);
+    pw.i64(pool_.largest_free());
+    if (auto it = reply_cache_.find(target_rid); it != reply_cache_.end()) {
+      it->second = std::move(poison);
+    } else {
+      reply_cache_.emplace(target_rid, std::move(poison));
+      reply_order_.push_back(target_rid);
+      while (reply_cache_.size() > params_.reply_cache_capacity &&
+             !reply_order_.empty()) {
+        reply_cache_.erase(reply_order_.front());
+        reply_order_.pop_front();
+      }
+    }
+  }
+  net::Buf rep = make_header(MsgKind::kAllocCancelRep, env->rid);
+  net::Writer w(rep);
+  w.u8(freed ? 1 : 0);
+  w.u64(epoch_);
+  w.i64(pool_.largest_free());
+  ctl_sock_->send(msg.src, std::move(rep));
 }
 
 void IdleMemoryDaemon::handle_free(const net::Message& msg, net::Reader r) {

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.hpp"
 #include "common/units.hpp"
@@ -35,11 +37,23 @@ struct ImdParams {
   Duration coalesce_interval = seconds(1.0);
   net::BulkParams bulk{};
   double copy_rate_Bps = 80e6;      // memcpy into/out of the pool
+  /// Reply-cache bound. Eviction is FIFO on oldest rid, never clear-all: a
+  /// wholesale clear forgets recent replies too, so a late retransmit of an
+  /// already-executed alloc/free re-executes (orphaning a region or failing
+  /// a free that succeeded). Must exceed the number of alloc/free RPCs that
+  /// can be outstanding within one retransmit horizon.
+  std::size_t reply_cache_capacity = 4096;
 };
 
 struct ImdMetrics {
   std::uint64_t allocs = 0;
   std::uint64_t alloc_failures = 0;
+  /// Allocs refused because the request named a different epoch — a
+  /// retransmit from before a crash/restart must not create state the
+  /// caller would book under the old epoch (it could never free it).
+  std::uint64_t stale_alloc_rejects = 0;
+  /// Regions released by kAllocCancel (the cmd abandoned the alloc RPC).
+  std::uint64_t allocs_cancelled = 0;
   std::uint64_t frees = 0;
   std::uint64_t reads_served = 0;
   std::uint64_t writes_served = 0;
@@ -70,9 +84,23 @@ class IdleMemoryDaemon {
   [[nodiscard]] const ImdMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const PoolAllocator& pool() const { return pool_; }
   [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+  [[nodiscard]] const ImdParams& params() const { return params_; }
+  /// Test hook: current reply-cache occupancy (bounded by the capacity).
+  [[nodiscard]] std::size_t reply_cache_size() const {
+    return reply_cache_.size();
+  }
 
   /// Test hook: raw bytes of a region (materialized mode only).
   [[nodiscard]] const net::Buf* region_bytes(std::uint64_t region_id) const;
+
+  /// Pool bytes currently backing regions (leak accounting in chaos tests).
+  [[nodiscard]] Bytes64 allocated_bytes() const {
+    return pool_.pool_size() - pool_.total_free();
+  }
+
+  /// Fault/leak-audit hook: ids and lengths of all live regions.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, Bytes64>> region_list()
+      const;
 
  private:
   struct Region {
@@ -84,6 +112,9 @@ class IdleMemoryDaemon {
     /// reply carries a "filled" flag so clients never mistake an allocated-
     /// but-never-written region for cached data.
     Bytes64 written_prefix = 0;
+    /// Rid of the kAllocReq that created this region, so kAllocCancel can
+    /// release a region whose alloc reply never reached the cmd.
+    std::uint64_t alloc_rid = 0;
   };
 
   sim::Co<void> control_loop();
@@ -93,6 +124,7 @@ class IdleMemoryDaemon {
   sim::Co<void> handle_write(net::Message req);
 
   void handle_alloc(const net::Message& msg, net::Reader r);
+  void handle_alloc_cancel(const net::Message& msg, net::Reader r);
   void handle_free(const net::Message& msg, net::Reader r);
   void reply_cached_or(const net::Message& msg, std::uint64_t rid,
                        net::Buf reply);
@@ -109,8 +141,11 @@ class IdleMemoryDaemon {
   std::unordered_map<std::uint64_t, Region> regions_;
   std::uint64_t next_region_id_ = 1;
 
-  // Reply cache so rid-retries of alloc/free are idempotent.
+  // Reply cache so rid-retries of alloc/free are idempotent. Bounded by
+  // params_.reply_cache_capacity with FIFO eviction of the oldest rid;
+  // reply_order_ tracks insertion order.
   std::unordered_map<std::uint64_t, net::Buf> reply_cache_;
+  std::deque<std::uint64_t> reply_order_;
 
   std::unique_ptr<net::Socket> ctl_sock_;
   std::unique_ptr<net::Socket> data_sock_;

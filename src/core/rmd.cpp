@@ -74,6 +74,16 @@ void ResourceMonitor::recruit() {
              static_cast<long long>(pool));
 }
 
+sim::Co<void> ResourceMonitor::force_evict() {
+  held_out_ = true;
+  if (recruited()) co_await evict();
+}
+
+void ResourceMonitor::force_recruit() {
+  held_out_ = false;
+  if (!recruited()) recruit();
+}
+
 sim::Co<void> ResourceMonitor::evict() {
   ++metrics_.evictions;
   notify_cmd(false);
@@ -104,6 +114,7 @@ sim::Co<void> ResourceMonitor::monitor_loop() {
     }
     was_idle_sample = idle_sample;
 
+    if (held_out_) continue;  // parked by force_evict(); injector decides
     if (!idle_sample && recruited()) {
       co_await evict();
     } else if (idle_sample && !recruited() &&

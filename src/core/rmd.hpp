@@ -53,6 +53,17 @@ class ResourceMonitor {
   void start();
   sim::Co<void> stop();
 
+  /// Fault-injection hook: the owner "returns" regardless of what the
+  /// activity source says — evicts the imd (if any) and *holds* the host
+  /// out of service so the monitor loop cannot re-recruit until
+  /// force_recruit() releases it. Deterministic fault windows need the
+  /// hold: a dedicated host would otherwise rejoin at the next sample.
+  sim::Co<void> force_evict();
+
+  /// Fault-injection hook: recruits immediately (epoch bump, fresh imd,
+  /// re-registration with the cmd) and releases the force_evict() hold.
+  void force_recruit();
+
   [[nodiscard]] bool recruited() const { return imd_ != nullptr; }
   [[nodiscard]] IdleMemoryDaemon* imd() { return imd_.get(); }
   [[nodiscard]] const RmdMetrics& metrics() const { return metrics_; }
@@ -78,6 +89,7 @@ class ResourceMonitor {
   std::uint64_t epoch_counter_ = 0;
   bool running_ = false;
   bool stopping_ = false;
+  bool held_out_ = false;  // force_evict() parked the host out of service
   sim::WaitGroup loops_;
   sim::Channel<int> stop_ch_;
 };

@@ -1,14 +1,21 @@
 // Tiny request/reply helper over an ephemeral socket.
 //
 // UDP semantics end-to-end: the request is retransmitted on timeout and the
-// reply is matched by rid. Servers keep a small reply cache keyed by rid so
-// retries of non-idempotent operations (alloc!) return the original answer
-// instead of executing twice.
+// reply is matched by rid. Servers keep a bounded FIFO reply cache keyed by
+// rid so retries of non-idempotent operations (alloc!) return the original
+// answer instead of executing twice.
+//
+// Retransmits back off exponentially with deterministic rid-seeded jitter:
+// when a loss burst or daemon blackout times out many outstanding calls at
+// once, their retry schedules decorrelate instead of re-colliding in
+// synchronized retransmit storms — while the whole schedule stays a pure
+// function of (params, rid), so simulations remain exactly reproducible.
 #pragma once
 
 #include <optional>
 #include <utility>
 
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "core/wire.hpp"
 #include "net/transport.hpp"
@@ -17,9 +24,27 @@
 namespace dodo::core {
 
 struct RpcParams {
-  Duration timeout = millis(200);
-  int retries = 3;  // total attempts = retries + 1
+  Duration timeout = millis(200);  // first-attempt timeout
+  int retries = 3;                 // total attempts = retries + 1
+  double backoff = 2.0;            // per-retry timeout multiplier
+  Duration max_timeout = seconds(2.0);  // backoff ceiling (pre-jitter)
+  double jitter = 0.25;  // max extra fraction of an attempt's timeout
 };
+
+/// Timeout for attempt `attempt` (0-based) of the call identified by `rid`:
+/// min(timeout * backoff^attempt, max_timeout), stretched by a jitter drawn
+/// deterministically from (rid, attempt).
+inline Duration rpc_attempt_timeout(const RpcParams& params, std::uint64_t rid,
+                                    int attempt) {
+  double t = static_cast<double>(params.timeout);
+  for (int i = 0; i < attempt; ++i) t *= params.backoff;
+  const double cap = static_cast<double>(params.max_timeout);
+  if (cap > 0.0 && t > cap) t = cap;
+  SplitMix64 sm(rid ^ (static_cast<std::uint64_t>(attempt + 1) *
+                       0x9e3779b97f4a7c15ULL));
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return static_cast<Duration>(t * (1.0 + params.jitter * u));
+}
 
 inline sim::Co<std::optional<net::Message>> rpc_call(net::Network& net,
                                                      net::NodeId from,
@@ -30,7 +55,8 @@ inline sim::Co<std::optional<net::Message>> rpc_call(net::Network& net,
   auto sock = net.open_ephemeral(from);
   for (int attempt = 0; attempt <= params.retries; ++attempt) {
     sock->send(dst, header);
-    const SimTime deadline = net.simulator().now() + params.timeout;
+    const SimTime deadline =
+        net.simulator().now() + rpc_attempt_timeout(params, rid, attempt);
     while (net.simulator().now() < deadline) {
       auto msg =
           co_await sock->recv_for(deadline - net.simulator().now());

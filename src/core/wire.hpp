@@ -34,10 +34,16 @@ enum class MsgKind : std::uint8_t {
   // imd -> cmd
   kImdRegister = 2,  // pool size + epoch on startup
   // cmd -> imd and replies
-  kAllocReq = 10,
+  kAllocReq = 10,  // body: i64 len, u64 expected epoch (mismatch = reject)
   kAllocRep = 11,
   kFreeReq = 12,
   kFreeRep = 13,
+  // Scrub for a suspect alloc: an alloc RPC the cmd gave up on may have
+  // executed with every reply lost. Body: u64 rid of that alloc. The imd
+  // frees the region it allocated for that rid (if any) and poisons the rid
+  // so an even later retransmit cannot re-execute.
+  kAllocCancel = 14,
+  kAllocCancelRep = 15,
   // client -> cmd and replies
   kMopenReq = 20,
   kMopenRep = 21,

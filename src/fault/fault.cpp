@@ -1,0 +1,275 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "common/log.hpp"
+#include "core/cmd.hpp"
+#include "core/imd.hpp"
+#include "core/rmd.hpp"
+
+namespace dodo::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLossBurstBegin: return "loss-burst-begin";
+    case FaultKind::kLossBurstEnd: return "loss-burst-end";
+    case FaultKind::kPartitionBegin: return "partition-begin";
+    case FaultKind::kPartitionEnd: return "partition-end";
+    case FaultKind::kImdCrash: return "imd-crash";
+    case FaultKind::kImdRestart: return "imd-restart";
+    case FaultKind::kHostEvict: return "host-evict";
+    case FaultKind::kHostRecruit: return "host-recruit";
+    case FaultKind::kCmdBlackoutBegin: return "cmd-blackout-begin";
+    case FaultKind::kCmdBlackoutEnd: return "cmd-blackout-end";
+    case FaultKind::kCmdRestart: return "cmd-restart";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::loss_burst(SimTime at, Duration dur, double rate) {
+  events_.push_back({at, FaultKind::kLossBurstBegin, -1, 0, 0, rate});
+  events_.push_back({at + dur, FaultKind::kLossBurstEnd, -1, 0, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(SimTime at, Duration dur, net::NodeId a,
+                                net::NodeId b) {
+  events_.push_back({at, FaultKind::kPartitionBegin, -1, a, b, 0.0});
+  events_.push_back({at + dur, FaultKind::kPartitionEnd, -1, a, b, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::imd_crash(SimTime at, int host) {
+  events_.push_back({at, FaultKind::kImdCrash, host, 0, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::imd_restart(SimTime at, int host) {
+  events_.push_back({at, FaultKind::kImdRestart, host, 0, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::host_evict(SimTime at, int host) {
+  events_.push_back({at, FaultKind::kHostEvict, host, 0, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::host_recruit(SimTime at, int host) {
+  events_.push_back({at, FaultKind::kHostRecruit, host, 0, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cmd_blackout(SimTime at, Duration dur) {
+  events_.push_back({at, FaultKind::kCmdBlackoutBegin, -1, 0, 0, 0.0});
+  events_.push_back({at + dur, FaultKind::kCmdBlackoutEnd, -1, 0, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cmd_restart(SimTime at) {
+  events_.push_back({at, FaultKind::kCmdRestart, -1, 0, 0, 0.0});
+  return *this;
+}
+
+void FaultLog::record(SimTime t, FaultKind kind, int host,
+                      std::string detail) {
+  records_.push_back({t, kind, host, std::move(detail)});
+}
+
+std::size_t FaultLog::count(FaultKind kind) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string FaultLog::dump() const {
+  std::string out;
+  char line[256];
+  for (const auto& r : records_) {
+    std::snprintf(line, sizeof(line), "t=%.6fs %s host=%d: %s\n",
+                  to_seconds(r.t), to_string(r.kind), r.host,
+                  r.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(cluster::Cluster& cluster, FaultPlan plan)
+    : cluster_(cluster), events_(plan.events()) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  base_loss_rate_ = cluster_.network().params().loss_rate;
+  cluster_.sim().spawn(run());
+}
+
+sim::Co<void> FaultInjector::run() {
+  for (const FaultEvent& ev : events_) {
+    co_await cluster_.sim().sleep_until(ev.at);
+    co_await apply(ev);
+    ++applied_;
+  }
+}
+
+sim::Co<void> FaultInjector::apply(const FaultEvent& ev) {
+  auto& net = cluster_.network();
+  char detail[160];
+  detail[0] = '\0';
+  switch (ev.kind) {
+    case FaultKind::kLossBurstBegin:
+      net.set_loss_rate(ev.rate);
+      std::snprintf(detail, sizeof(detail), "loss_rate=%.3f", ev.rate);
+      break;
+    case FaultKind::kLossBurstEnd:
+      net.set_loss_rate(base_loss_rate_);
+      std::snprintf(detail, sizeof(detail), "loss_rate=%.3f (base)",
+                    base_loss_rate_);
+      break;
+    case FaultKind::kPartitionBegin:
+      net.set_link_cut(ev.a, ev.b, true);
+      std::snprintf(detail, sizeof(detail), "link %u<->%u cut", ev.a, ev.b);
+      break;
+    case FaultKind::kPartitionEnd:
+      net.set_link_cut(ev.a, ev.b, false);
+      std::snprintf(detail, sizeof(detail), "link %u<->%u restored", ev.a,
+                    ev.b);
+      break;
+    case FaultKind::kImdCrash:
+      cluster_.crash_host(ev.host);
+      std::snprintf(detail, sizeof(detail), "node %u down",
+                    cluster_.host_node(ev.host));
+      break;
+    case FaultKind::kImdRestart:
+      co_await cluster_.restart_host(ev.host);
+      std::snprintf(detail, sizeof(detail), "node %u up, epoch=%llu",
+                    cluster_.host_node(ev.host),
+                    static_cast<unsigned long long>(
+                        cluster_.rmd(ev.host).current_epoch()));
+      break;
+    case FaultKind::kHostEvict:
+      co_await cluster_.evict_host(ev.host);
+      std::snprintf(detail, sizeof(detail), "node %u reclaimed by owner",
+                    cluster_.host_node(ev.host));
+      break;
+    case FaultKind::kHostRecruit:
+      cluster_.recruit_host(ev.host);
+      std::snprintf(detail, sizeof(detail), "node %u re-recruited, epoch=%llu",
+                    cluster_.host_node(ev.host),
+                    static_cast<unsigned long long>(
+                        cluster_.rmd(ev.host).current_epoch()));
+      break;
+    case FaultKind::kCmdBlackoutBegin:
+      net.set_node_up(cluster_.cmd_node(), false);
+      std::snprintf(detail, sizeof(detail), "cmd node %u down",
+                    cluster_.cmd_node());
+      break;
+    case FaultKind::kCmdBlackoutEnd:
+      net.set_node_up(cluster_.cmd_node(), true);
+      std::snprintf(detail, sizeof(detail), "cmd node %u up",
+                    cluster_.cmd_node());
+      break;
+    case FaultKind::kCmdRestart:
+      co_await cluster_.restart_cmd();
+      detail[0] = '\0';
+      break;
+  }
+  log_.record(cluster_.sim().now(), ev.kind, ev.host, detail);
+  DODO_DEBUG("fault", "applied %s host=%d (%s)", to_string(ev.kind), ev.host,
+             detail);
+}
+
+std::string leak_report(cluster::Cluster& cluster) {
+  std::string out;
+  char line[256];
+  // Directory entries grouped by (host, epoch, region id) for the reverse
+  // check: a live-epoch directory entry whose region the imd does not hold
+  // is dangling (it would route reads at nonexistent memory).
+  struct RdEntry {
+    Bytes64 len;
+    bool seen_in_imd = false;
+  };
+  std::map<std::pair<net::NodeId, std::uint64_t>,
+           std::map<std::uint64_t, RdEntry>>
+      by_host;
+  for (const auto& [key, loc] : cluster.cmd().rd_snapshot()) {
+    by_host[{loc.host, loc.epoch}][loc.imd_region] = RdEntry{loc.len};
+  }
+
+  for (int h = 0; h < cluster.config().imd_hosts; ++h) {
+    if (!cluster.network().node_up(cluster.host_node(h))) continue;  // crashed
+    auto& rmd = cluster.rmd(h);
+    core::IdleMemoryDaemon* imd = rmd.imd();
+    if (imd == nullptr || !imd->running()) continue;
+    auto* rd_regions =
+        [&]() -> std::map<std::uint64_t, RdEntry>* {
+      auto it = by_host.find({imd->node(), imd->epoch()});
+      return it == by_host.end() ? nullptr : &it->second;
+    }();
+    Bytes64 live_bytes = 0;
+    for (const auto& [id, len] : imd->region_list()) {
+      live_bytes += len;
+      RdEntry* e = nullptr;
+      if (rd_regions != nullptr) {
+        auto it = rd_regions->find(id);
+        if (it != rd_regions->end()) e = &it->second;
+      }
+      if (e == nullptr) {
+        std::snprintf(line, sizeof(line),
+                      "orphan: host %u epoch %llu region %llu (%lld B) not in "
+                      "cmd directory\n",
+                      imd->node(),
+                      static_cast<unsigned long long>(imd->epoch()),
+                      static_cast<unsigned long long>(id),
+                      static_cast<long long>(len));
+        out += line;
+      } else {
+        e->seen_in_imd = true;
+        if (e->len != len) {
+          std::snprintf(line, sizeof(line),
+                        "length mismatch: host %u region %llu imd=%lld "
+                        "rd=%lld\n",
+                        imd->node(), static_cast<unsigned long long>(id),
+                        static_cast<long long>(len),
+                        static_cast<long long>(e->len));
+          out += line;
+        }
+      }
+    }
+    if (rd_regions != nullptr) {
+      for (const auto& [id, e] : *rd_regions) {
+        if (!e.seen_in_imd) {
+          std::snprintf(line, sizeof(line),
+                        "dangling: cmd maps host %u epoch %llu region %llu "
+                        "(%lld B) the imd does not hold\n",
+                        imd->node(),
+                        static_cast<unsigned long long>(imd->epoch()),
+                        static_cast<unsigned long long>(id),
+                        static_cast<long long>(e.len));
+          out += line;
+        }
+      }
+    }
+    if (imd->allocated_bytes() != live_bytes) {
+      std::snprintf(line, sizeof(line),
+                    "pool accounting: host %u allocated %lld B but regions "
+                    "sum to %lld B\n",
+                    imd->node(),
+                    static_cast<long long>(imd->allocated_bytes()),
+                    static_cast<long long>(live_bytes));
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace dodo::fault

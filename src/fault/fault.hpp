@@ -1,0 +1,153 @@
+// Deterministic fault-injection subsystem.
+//
+// Dodo's central guarantee (§3.1, §5) is that remote memory is a *clean
+// cache*: a reclaimed host, crashed daemon, severed link, or blacked-out
+// manager must silently degrade to disk with byte-exact results. The
+// uniform NetParams::loss_rate can only probe IID loss; this library
+// schedules *adversarial* fault sequences against the simulated clock so
+// chaos tests can prove the degradation property under correlated bursts,
+// partitions, kill/restart cycles with epoch bumps, and reclaim storms —
+// reproducibly, from a seed.
+//
+// Usage:
+//   fault::FaultPlan plan;
+//   plan.loss_burst(1_s, 2_s, 0.3).imd_crash(800_ms, 0).imd_restart(3_s, 0);
+//   fault::FaultInjector inj(cluster, plan);
+//   inj.arm();                       // spawns the driver on cluster.sim()
+//   cluster.run_app(...);
+//   EXPECT_EQ(inj.log().size(), plan.size());   // no silent no-ops
+//
+// Every applied fault is appended to a structured FaultLog carrying the sim
+// timestamp, so post-hoc assertions can check that each planned fault
+// actually fired (and when). The injector never consumes simulator RNG:
+// a plan perturbs a run only through the faults themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "net/address.hpp"
+#include "sim/task.hpp"
+
+namespace dodo::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLossBurstBegin,   // raise the uniform datagram loss rate
+  kLossBurstEnd,     // restore the base loss rate
+  kPartitionBegin,   // sever one bidirectional link
+  kPartitionEnd,     // restore it
+  kImdCrash,         // host drops off the network (daemons become zombies)
+  kImdRestart,       // network back + zombie torn down + re-recruit (epoch++)
+  kHostEvict,        // graceful owner-return reclaim; host held out
+  kHostRecruit,      // re-recruit an evicted host (epoch++)
+  kCmdBlackoutBegin, // cmd node unreachable
+  kCmdBlackoutEnd,   // cmd node reachable again
+  kCmdRestart,       // cmd cold stop + warm restart (directories survive)
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scheduled fault. `host` indexes harvested hosts (0..imd_hosts-1) for
+/// imd/host faults; `a`/`b` are raw node ids for partitions; `rate` is the
+/// burst loss probability.
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind{};
+  int host = -1;
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+  double rate = 0.0;
+};
+
+/// Declarative fault schedule. Builder methods append paired begin/end
+/// events for window faults; events may be added in any order (the injector
+/// sorts by time, ties broken by insertion order).
+class FaultPlan {
+ public:
+  FaultPlan& loss_burst(SimTime at, Duration dur, double rate);
+  FaultPlan& partition(SimTime at, Duration dur, net::NodeId a, net::NodeId b);
+  FaultPlan& imd_crash(SimTime at, int host);
+  FaultPlan& imd_restart(SimTime at, int host);
+  FaultPlan& host_evict(SimTime at, int host);
+  FaultPlan& host_recruit(SimTime at, int host);
+  FaultPlan& cmd_blackout(SimTime at, Duration dur);
+  FaultPlan& cmd_restart(SimTime at);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// One applied fault: when it actually fired (>= the planned time; coroutine
+/// faults like a graceful evict complete in-flight transfers first), what it
+/// was, and a human-readable detail line.
+struct FaultRecord {
+  SimTime t = 0;
+  FaultKind kind{};
+  int host = -1;
+  std::string detail;
+};
+
+class FaultLog {
+ public:
+  void record(SimTime t, FaultKind kind, int host, std::string detail);
+
+  [[nodiscard]] const std::vector<FaultRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::size_t count(FaultKind kind) const;
+  /// Multi-line "t=1.000s imd-crash host 2: ..." dump for test diagnostics.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::vector<FaultRecord> records_;
+};
+
+/// Executes a FaultPlan against a live Cluster. arm() spawns the driver
+/// coroutine; it sleeps to each event's time, applies it through the
+/// cluster/network hooks, and appends to the log. The injector must outlive
+/// the simulation run.
+class FaultInjector {
+ public:
+  FaultInjector(cluster::Cluster& cluster, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Spawns the driver. Call once, before (or during) the run.
+  void arm();
+
+  [[nodiscard]] const FaultLog& log() const { return log_; }
+  /// True once every planned event has been applied.
+  [[nodiscard]] bool done() const { return applied_ == events_.size(); }
+
+ private:
+  sim::Co<void> run();
+  sim::Co<void> apply(const FaultEvent& ev);
+
+  cluster::Cluster& cluster_;
+  std::vector<FaultEvent> events_;  // time-sorted
+  FaultLog log_;
+  double base_loss_rate_ = 0.0;
+  std::size_t applied_ = 0;
+  bool armed_ = false;
+};
+
+/// Leak audit: cross-checks every running imd's live regions against the
+/// central manager's region directory. Returns an empty string when
+/// consistent, else a report of every orphaned or dangling region. A pool
+/// block held by an imd that the directory does not map (same host, same
+/// epoch) can never be freed by anyone — that is the leak the reply-cache
+/// bug produced. Hosts currently crashed (node down) are skipped.
+[[nodiscard]] std::string leak_report(cluster::Cluster& cluster);
+
+}  // namespace dodo::fault

@@ -105,6 +105,24 @@ bool Network::node_up(NodeId node) const {
   return node < node_up_.size() && node_up_[node];
 }
 
+namespace {
+std::pair<NodeId, NodeId> normalize_link(NodeId a, NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+}  // namespace
+
+void Network::set_link_cut(NodeId a, NodeId b, bool cut) {
+  if (cut) {
+    cut_links_.insert(normalize_link(a, b));
+  } else {
+    cut_links_.erase(normalize_link(a, b));
+  }
+}
+
+bool Network::link_cut(NodeId a, NodeId b) const {
+  return cut_links_.count(normalize_link(a, b)) != 0;
+}
+
 Duration Network::send_cpu_time(Bytes64 payload) const {
   const Bytes64 frags = params_.fragments_of(payload);
   return params_.per_dgram_send_cpu + frags * params_.per_frag_send_cpu +
@@ -134,6 +152,10 @@ void Network::send(Message msg) {
 
   if (!node_up(msg.src.node) || !node_up(msg.dst.node)) {
     ++metrics_.datagrams_dropped;
+    return;
+  }
+  if (!cut_links_.empty() && link_cut(msg.src.node, msg.dst.node)) {
+    ++metrics_.datagrams_cut;
     return;
   }
   if (params_.loss_rate > 0.0 && loss_rng_.chance(params_.loss_rate)) {

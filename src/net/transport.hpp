@@ -17,8 +17,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -74,6 +76,7 @@ struct NetMetrics {
   std::uint64_t datagrams_delivered = 0;
   std::uint64_t datagrams_lost = 0;      // random loss injection
   std::uint64_t datagrams_dropped = 0;   // closed port / down node
+  std::uint64_t datagrams_cut = 0;       // severed link (fault injection)
   std::uint64_t payload_bytes_sent = 0;
 };
 
@@ -95,6 +98,18 @@ class Network {
   /// Nodes that are "down" silently eat traffic in both directions.
   void set_node_up(NodeId node, bool up);
   [[nodiscard]] bool node_up(NodeId node) const;
+
+  /// Fault-injection hook: changes the uniform per-datagram drop probability
+  /// at runtime (correlated loss bursts raise it for a window, then restore
+  /// the base rate). The loss RNG stream is unaffected, so a run with a
+  /// burst diverges from the fault-free run only inside the burst window.
+  void set_loss_rate(double rate) { params_.loss_rate = rate; }
+
+  /// Fault-injection hook: severs (or restores) the bidirectional link
+  /// between two nodes. Datagrams on a cut link vanish like UDP on a
+  /// partitioned switch; both nodes stay reachable from everyone else.
+  void set_link_cut(NodeId a, NodeId b, bool cut);
+  [[nodiscard]] bool link_cut(NodeId a, NodeId b) const;
 
   [[nodiscard]] const NetParams& params() const { return params_; }
   [[nodiscard]] NetMetrics& metrics() { return metrics_; }
@@ -119,6 +134,7 @@ class Network {
   std::vector<SimTime> tx_free_;
   std::vector<SimTime> rx_free_;
   std::vector<bool> node_up_;
+  std::set<std::pair<NodeId, NodeId>> cut_links_;  // normalized (lo, hi)
   std::vector<Port> next_ephemeral_;
   std::unordered_map<Endpoint, Socket*, EndpointHash> bound_;
 };

@@ -72,10 +72,18 @@ DodoClient::Entry* DodoClient::lookup_active(int rd) {
 
 void DodoClient::drop_node(net::NodeId node) {
   ++metrics_.nodes_dropped;
-  for (auto& [rd, entry] : regions_) {
-    if (entry.active && entry.loc.host == node) {
-      entry.active = false;
+  // Erase, don't just deactivate: a dropped descriptor can never become
+  // active again (re-attach goes through a fresh mopen), so keeping the
+  // entry only grows regions_ without bound under node churn. The cmd's
+  // directory entry is reclaimed separately — by epoch validation when the
+  // host was reclaimed, by key reuse on the next mopen, or by the
+  // keep-alive sweep when this client dies.
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    if (it->second.loc.host == node) {
       ++metrics_.descriptors_dropped;
+      it = regions_.erase(it);
+    } else {
+      ++it;
     }
   }
   DODO_DEBUG("libdodo", "dropped all descriptors on host %u", node);

@@ -1,0 +1,492 @@
+// Chaos suite: adversarial fault schedules driven by fault::FaultInjector
+// against live clusters, proving the paper's central claim end to end —
+// remote memory is a clean cache, so *any* failure must degrade to disk
+// with byte-exact results (§3.1, §5). Every test
+//   1. runs a workload under a named deterministic fault schedule,
+//   2. compares the bytes the application observed against a disk-only
+//      (use_dodo=false) run of the same workload,
+//   3. asserts every planned fault actually fired (no silent no-op
+//      injections) at or after its scheduled sim time, and
+//   4. audits the cluster for leaked pool bytes after quiesce with
+//      fault::leak_report().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/block_io.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "fault/fault.hpp"
+
+namespace dodo {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using sim::Co;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n, std::uint64_t h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+ClusterConfig chaos_config(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.imd_hosts = 4;
+  cfg.imd_pool = 4_MiB;
+  cfg.local_cache = 512_KiB;
+  cfg.page_cache_dodo = 256_KiB;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<std::uint8_t> fill_dataset(Cluster& c, int fd, Bytes64 size) {
+  auto* store = c.fs().store_of_inode(c.fs().inode_of(fd));
+  std::vector<std::uint8_t> expect(static_cast<std::size_t>(size));
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    expect[i] = static_cast<std::uint8_t>((i * 167 + 43) & 0xff);
+  }
+  store->write(0, size, expect.data());
+  return expect;
+}
+
+/// One sequential sweep over the dataset; returns the FNV-1a digest of every
+/// byte the application saw. `compute` models per-block application work and
+/// keeps the run long enough for a fault schedule to play out.
+Co<std::uint64_t> sweep_read(Cluster& c, apps::BlockIo& io, Bytes64 dataset,
+                             Bytes64 block, Duration compute) {
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(block));
+  std::uint64_t h = kFnvOffset;
+  for (Bytes64 off = 0; off < dataset; off += block) {
+    const Bytes64 got = co_await io.read(off, buf.data(), block);
+    EXPECT_EQ(got, block) << "short read at offset " << off;
+    h = fnv1a(buf.data(), static_cast<std::size_t>(block), h);
+    if (compute > 0) co_await c.sim().sleep(compute);
+  }
+  co_return h;
+}
+
+/// The digest a disk-only deployment produces for one sweep — the baseline
+/// every chaos run must match byte for byte.
+std::uint64_t disk_only_digest(Bytes64 dataset, Bytes64 block) {
+  ClusterConfig cfg = chaos_config(1);
+  cfg.use_dodo = false;
+  Cluster c(cfg);
+  const int fd = c.create_dataset("data", dataset);
+  const auto expect = fill_dataset(c, fd, dataset);
+  apps::FsBlockIo io(c.fs(), fd);
+  std::uint64_t d = 0;
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    d = co_await sweep_read(cl, io, dataset, block, 0);
+    co_await io.finish(false);
+  }, 600_s);
+  // Cross-check against a direct digest of the pattern: the disk-only run
+  // itself must not corrupt anything.
+  std::uint64_t direct = kFnvOffset;
+  direct = fnv1a(expect.data(), expect.size(), direct);
+  EXPECT_EQ(d, direct);
+  return d;
+}
+
+/// Scans under faults: keeps sweeping until every planned fault has fired
+/// (at least min_sweeps, at most max_sweeps), then quiesces via
+/// finish(false). Returns one digest per completed sweep.
+std::vector<std::uint64_t> run_scan_under_faults(
+    Cluster& c, fault::FaultInjector& inj, Bytes64 dataset, Bytes64 block,
+    int min_sweeps, int max_sweeps, Duration compute = millis(5)) {
+  const int fd = c.create_dataset("data", dataset);
+  fill_dataset(c, fd, dataset);
+  apps::DodoBlockIo io(*c.manager(), fd, dataset, block);
+  std::vector<std::uint64_t> digests;
+  inj.arm();
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    for (int s = 0; s < max_sweeps && (s < min_sweeps || !inj.done()); ++s) {
+      digests.push_back(co_await sweep_read(cl, io, dataset, block, compute));
+    }
+    co_await io.finish(false);
+  }, 3600_s);
+  return digests;
+}
+
+void expect_digests_match(const std::vector<std::uint64_t>& digests,
+                          std::uint64_t baseline) {
+  ASSERT_FALSE(digests.empty());
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i], baseline) << "sweep " << i << " diverged from the "
+                                    << "disk-only baseline";
+  }
+}
+
+/// No silent no-op injections: one log record per planned event, applied in
+/// time order, each at or after its scheduled sim time.
+void expect_all_faults_fired(const fault::FaultInjector& inj,
+                             const fault::FaultPlan& plan) {
+  ASSERT_EQ(inj.log().size(), plan.size())
+      << "fault(s) never fired; log:\n" << inj.log().dump();
+  std::vector<fault::FaultEvent> sorted = plan.events();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const fault::FaultEvent& x, const fault::FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  const auto& recs = inj.log().records();
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(recs[i].kind), static_cast<int>(sorted[i].kind))
+        << "record " << i << ":\n" << inj.log().dump();
+    EXPECT_GE(recs[i].t, sorted[i].at)
+        << "record " << i << " fired before its scheduled time:\n"
+        << inj.log().dump();
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, LossBurstDuringScan) {
+  // A 30% correlated loss burst — far beyond the IID rates the transport is
+  // tuned for — lands mid-scan. RPC backoff and bulk NACKs absorb what they
+  // can; everything else falls back to disk. Bytes must be exact.
+  const Bytes64 dataset = 2_MiB, block = 32_KiB;
+  const std::uint64_t baseline = disk_only_digest(dataset, block);
+
+  ClusterConfig cfg = chaos_config(21);
+  cfg.client.bulk.max_retries = 50;
+  Cluster c(cfg);
+  fault::FaultPlan plan;
+  plan.loss_burst(500_ms, 2_s, 0.30);
+  fault::FaultInjector inj(c, plan);
+
+  const auto digests = run_scan_under_faults(c, inj, dataset, block, 3, 200);
+  expect_digests_match(digests, baseline);
+  expect_all_faults_fired(inj, plan);
+  EXPECT_GT(c.network().metrics().datagrams_lost, 0u);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, PartitionAppFromHalfTheHosts) {
+  // The app node loses its links to hosts 0 and 1 for 1.5s while keeping
+  // the rest of the cluster. Reads routed at the unreachable hosts time
+  // out, their descriptors are dropped, and the data comes from disk (or
+  // the surviving hosts) until the partition heals.
+  const Bytes64 dataset = 2_MiB, block = 32_KiB;
+  const std::uint64_t baseline = disk_only_digest(dataset, block);
+
+  Cluster c(chaos_config(22));
+  fault::FaultPlan plan;
+  plan.partition(600_ms, 1500_ms, c.app_node(), c.host_node(0))
+      .partition(600_ms, 1500_ms, c.app_node(), c.host_node(1));
+  fault::FaultInjector inj(c, plan);
+
+  const auto digests = run_scan_under_faults(c, inj, dataset, block, 3, 200);
+  expect_digests_match(digests, baseline);
+  expect_all_faults_fired(inj, plan);
+  EXPECT_GT(c.network().metrics().datagrams_cut, 0u);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, ImdCrashMidBulkThenRestartWithEpochBump) {
+  // Host 0 drops off the network at 700ms — most likely mid-transfer with
+  // 128 KiB regions — then comes back at 2.5s under a bumped epoch. Stale
+  // directory entries from the old epoch must never serve a read.
+  const Bytes64 dataset = 2_MiB, block = 128_KiB;
+  const std::uint64_t baseline = disk_only_digest(dataset, block);
+
+  Cluster c(chaos_config(23));
+  fault::FaultPlan plan;
+  plan.imd_crash(700_ms, 0).imd_restart(2500_ms, 0);
+  fault::FaultInjector inj(c, plan);
+
+  const auto digests = run_scan_under_faults(c, inj, dataset, block, 4, 200);
+  expect_digests_match(digests, baseline);
+  expect_all_faults_fired(inj, plan);
+  EXPECT_EQ(inj.log().count(fault::FaultKind::kImdRestart), 1u);
+  EXPECT_GE(c.dodo()->metrics().nodes_dropped, 1u);
+  // The restarted daemon runs under a fresh epoch.
+  EXPECT_GE(c.rmd(0).current_epoch(), 2u);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, FreeReallocChurnWithDelayedRetransmits) {
+  // mopen/push/read/mclose churn over a small set of region keys under a
+  // long 25% loss burst: lost replies force rid retransmits of the
+  // non-idempotent alloc/free RPCs, which the bounded reply caches must
+  // answer from cache. With the old clear-all eviction this schedule
+  // orphans regions (pool bytes with no directory entry) and fails frees
+  // that succeeded; the leak audit catches both.
+  ClusterConfig cfg = chaos_config(24);
+  cfg.client.cmd_rpc.retries = 6;
+  cfg.client.refraction = millis(200);
+  cfg.client.bulk.max_retries = 50;
+  Cluster c(cfg);
+  const Bytes64 rlen = 64_KiB;
+  const int fd = c.create_dataset("churn", 8 * rlen);
+  fill_dataset(c, fd, 8 * rlen);
+
+  fault::FaultPlan plan;
+  plan.loss_burst(200_ms, 4_s, 0.25);
+  fault::FaultInjector inj(c, plan);
+  inj.arm();
+
+  int iters = 0, verified = 0;
+  bool mismatch = false;
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(rlen));
+    std::vector<std::uint8_t> back(static_cast<std::size_t>(rlen));
+    for (int i = 0; (i < 40 || !inj.done()) && i < 2000; ++i) {
+      const Bytes64 foff = static_cast<Bytes64>(i % 8) * rlen;
+      const int rd = co_await cl.dodo()->mopen(rlen, fd, foff);
+      if (rd < 0) {
+        co_await cl.sim().sleep(50_ms);
+        continue;
+      }
+      for (std::size_t j = 0; j < buf.size(); ++j) {
+        buf[j] = static_cast<std::uint8_t>((i * 31 + j * 7 + 5) & 0xff);
+      }
+      const Status st = co_await cl.dodo()->push_remote(rd, 0, buf.data(),
+                                                        rlen);
+      if (st.is_ok()) {
+        const auto rr = co_await cl.dodo()->mread_ex(rd, 0, back.data(), rlen);
+        if (rr.n == rlen && rr.filled) {
+          ++verified;
+          if (back != buf) mismatch = true;
+        }
+      }
+      (void)co_await cl.dodo()->mclose(rd);
+      ++iters;
+    }
+  }, 3600_s);
+
+  EXPECT_GE(iters, 40);
+  EXPECT_GT(verified, 0);
+  EXPECT_FALSE(mismatch) << "remote read returned bytes != pushed bytes";
+  expect_all_faults_fired(inj, plan);
+  EXPECT_GT(c.network().metrics().datagrams_lost, 0u);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, CmdBlackoutDuringMopen) {
+  // The central manager vanishes for 1.2s starting right when the scan's
+  // first wave of mopens is in flight. RPC backoff (first attempt 200ms,
+  // then 400/800/1600ms) spans the blackout, so most calls ride it out on
+  // a retransmit; the rest fail into refraction and the reads come from
+  // disk. Either way: exact bytes.
+  const Bytes64 dataset = 2_MiB, block = 32_KiB;
+  const std::uint64_t baseline = disk_only_digest(dataset, block);
+
+  ClusterConfig cfg = chaos_config(25);
+  cfg.client.refraction = millis(500);
+  Cluster c(cfg);
+  fault::FaultPlan plan;
+  plan.cmd_blackout(400_ms, 1200_ms);
+  fault::FaultInjector inj(c, plan);
+
+  const auto digests = run_scan_under_faults(c, inj, dataset, block, 3, 200);
+  expect_digests_match(digests, baseline);
+  expect_all_faults_fired(inj, plan);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, CmdRestartMidRun) {
+  // Cold stop + warm restart of the manager at 1s. Directory state
+  // survives; client RPCs caught in the gap are answered on retransmit
+  // once the new socket binds.
+  const Bytes64 dataset = 2_MiB, block = 32_KiB;
+  const std::uint64_t baseline = disk_only_digest(dataset, block);
+
+  Cluster c(chaos_config(26));
+  fault::FaultPlan plan;
+  plan.cmd_restart(1_s);
+  fault::FaultInjector inj(c, plan);
+
+  const auto digests = run_scan_under_faults(c, inj, dataset, block, 3, 200);
+  expect_digests_match(digests, baseline);
+  expect_all_faults_fired(inj, plan);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, ReclaimStormBoundsClientDescriptorTable) {
+  // Two full reclaim storms: every owner returns at once, all four hosts
+  // evict, then get re-recruited. Each storm drops every remote descriptor
+  // the client holds; the table must stay bounded by the number of live
+  // regions (the old mark-inactive-forever code grew it every storm).
+  const Bytes64 dataset = 2_MiB, block = 32_KiB;
+  const std::uint64_t baseline = disk_only_digest(dataset, block);
+
+  ClusterConfig cfg = chaos_config(27);
+  cfg.client.refraction = millis(300);
+  Cluster c(cfg);
+  fault::FaultPlan plan;
+  plan.host_evict(1000_ms, 0)
+      .host_evict(1100_ms, 1)
+      .host_evict(1200_ms, 2)
+      .host_evict(1300_ms, 3)
+      .host_recruit(2500_ms, 0)
+      .host_recruit(2500_ms, 1)
+      .host_recruit(2600_ms, 2)
+      .host_recruit(2600_ms, 3)
+      .host_evict(4000_ms, 0)
+      .host_evict(4100_ms, 1)
+      .host_evict(4200_ms, 2)
+      .host_evict(4300_ms, 3)
+      .host_recruit(5500_ms, 0)
+      .host_recruit(5500_ms, 1)
+      .host_recruit(5600_ms, 2)
+      .host_recruit(5600_ms, 3);
+  fault::FaultInjector inj(c, plan);
+
+  const auto digests = run_scan_under_faults(c, inj, dataset, block, 4, 400);
+  expect_digests_match(digests, baseline);
+  expect_all_faults_fired(inj, plan);
+  EXPECT_GE(c.dodo()->metrics().descriptors_dropped, 1u);
+  // drop_node reaps: at most one live descriptor per region of the dataset,
+  // no matter how many storms blew through.
+  EXPECT_LE(c.dodo()->region_table_size(),
+            static_cast<std::size_t>(dataset / block));
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, RollingReclaim) {
+  // Owners return one host at a time, 800ms apart, each coming back before
+  // the next leaves — the steady-state churn of a real workstation pool.
+  const Bytes64 dataset = 2_MiB, block = 32_KiB;
+  const std::uint64_t baseline = disk_only_digest(dataset, block);
+
+  ClusterConfig cfg = chaos_config(28);
+  cfg.client.refraction = millis(300);
+  Cluster c(cfg);
+  fault::FaultPlan plan;
+  for (int h = 0; h < 4; ++h) {
+    const SimTime at = 500_ms + static_cast<SimTime>(h) * 800_ms;
+    plan.host_evict(at, h).host_recruit(at + 600_ms, h);
+  }
+  fault::FaultInjector inj(c, plan);
+
+  const auto digests = run_scan_under_faults(c, inj, dataset, block, 4, 400);
+  expect_digests_match(digests, baseline);
+  expect_all_faults_fired(inj, plan);
+  // Every host ends the run recruited again.
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_TRUE(c.rmd(h).recruited()) << "host " << h;
+  }
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, CrashMidWriteThroughLeavesDiskAuthoritative) {
+  // A write-heavy workload: two overwrite passes plus a read-back, with
+  // host 1 crashing mid-pass and never coming back. Write-through and the
+  // dirty-flush on close must leave the backing file holding exactly the
+  // final pass, identical to what a disk-only deployment writes.
+  const Bytes64 dataset = 2_MiB, block = 64_KiB;
+
+  auto run_writes = [&](Cluster& c, apps::BlockIo& io,
+                        std::vector<std::uint8_t>& shadow,
+                        bool& mismatch) -> Co<void> {
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(block));
+    for (int pass = 0; pass < 2; ++pass) {
+      for (Bytes64 off = 0; off < dataset; off += block) {
+        for (std::size_t j = 0; j < buf.size(); ++j) {
+          buf[j] = static_cast<std::uint8_t>(
+              (pass * 97 + (off / block) * 13 + j * 31 + 7) & 0xff);
+        }
+        co_await io.write(off, buf.data(), block);
+        std::copy(buf.begin(), buf.end(),
+                  shadow.begin() + static_cast<std::ptrdiff_t>(off));
+        co_await c.sim().sleep(millis(5));
+      }
+    }
+    for (Bytes64 off = 0; off < dataset; off += block) {
+      co_await io.read(off, buf.data(), block);
+      if (!std::equal(buf.begin(), buf.end(),
+                      shadow.begin() + static_cast<std::ptrdiff_t>(off))) {
+        mismatch = true;
+      }
+    }
+    co_await io.finish(false);
+  };
+
+  // Disk-only run of the identical request stream.
+  std::vector<std::uint8_t> base_shadow(static_cast<std::size_t>(dataset));
+  std::vector<std::uint8_t> base_disk(static_cast<std::size_t>(dataset));
+  {
+    ClusterConfig cfg = chaos_config(29);
+    cfg.use_dodo = false;
+    Cluster c(cfg);
+    const int fd = c.create_dataset("data", dataset);
+    fill_dataset(c, fd, dataset);
+    apps::FsBlockIo io(c.fs(), fd);
+    bool mismatch = false;
+    c.run_app([&](Cluster& cl) -> Co<void> {
+      co_await run_writes(cl, io, base_shadow, mismatch);
+    }, 3600_s);
+    EXPECT_FALSE(mismatch);
+    c.fs().store_of_inode(c.fs().inode_of(fd))->read(0, dataset,
+                                                     base_disk.data());
+  }
+  EXPECT_EQ(base_disk, base_shadow);
+
+  // Dodo run with the crash.
+  Cluster c(chaos_config(29));
+  const int fd = c.create_dataset("data", dataset);
+  fill_dataset(c, fd, dataset);
+  apps::DodoBlockIo io(*c.manager(), fd, dataset, block);
+  fault::FaultPlan plan;
+  plan.imd_crash(600_ms, 1);
+  fault::FaultInjector inj(c, plan);
+  inj.arm();
+  std::vector<std::uint8_t> shadow(static_cast<std::size_t>(dataset));
+  bool mismatch = false;
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    co_await run_writes(cl, io, shadow, mismatch);
+  }, 3600_s);
+  EXPECT_FALSE(mismatch) << "read-back diverged from written data";
+  expect_all_faults_fired(inj, plan);
+
+  std::vector<std::uint8_t> disk(static_cast<std::size_t>(dataset));
+  c.fs().store_of_inode(c.fs().inode_of(fd))->read(0, dataset, disk.data());
+  EXPECT_EQ(disk, shadow) << "disk is not authoritative after the crash";
+  EXPECT_EQ(disk, base_disk) << "Dodo run diverged from the disk-only run";
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, KitchenSink) {
+  // Everything at once: loss bursts, a crash + epoch-bumped restart, a
+  // partition, a manager blackout and later a manager restart, and a
+  // graceful reclaim — overlapping. The composite must still be
+  // indistinguishable, byte for byte, from running on disk alone.
+  const Bytes64 dataset = 2_MiB, block = 32_KiB;
+  const std::uint64_t baseline = disk_only_digest(dataset, block);
+
+  ClusterConfig cfg = chaos_config(30);
+  cfg.client.refraction = millis(400);
+  cfg.client.bulk.max_retries = 50;
+  Cluster c(cfg);
+  fault::FaultPlan plan;
+  plan.loss_burst(300_ms, 1_s, 0.15)
+      .imd_crash(500_ms, 0)
+      .partition(800_ms, 700_ms, c.app_node(), c.host_node(2))
+      .cmd_blackout(1800_ms, 600_ms)
+      .host_evict(1500_ms, 3)
+      .imd_restart(2500_ms, 0)
+      .host_recruit(3000_ms, 3)
+      .loss_burst(3500_ms, 500_ms, 0.30)
+      .cmd_restart(4200_ms);
+  fault::FaultInjector inj(c, plan);
+
+  const auto digests = run_scan_under_faults(c, inj, dataset, block, 4, 400);
+  expect_digests_match(digests, baseline);
+  expect_all_faults_fired(inj, plan);
+  EXPECT_GT(c.network().metrics().datagrams_lost, 0u);
+  // (Whether the partition window actually intercepts traffic depends on
+  // which hosts the client touches while it is up; PartitionAppFromHalfTheHosts
+  // asserts datagrams_cut on a schedule guaranteed to carry traffic.)
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+}  // namespace
+}  // namespace dodo

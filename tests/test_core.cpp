@@ -146,16 +146,44 @@ struct ImdFixture {
     imd.start();
   }
 
-  Co<std::optional<std::uint64_t>> alloc(Bytes64 len, std::uint64_t rid) {
+  Co<std::optional<std::uint64_t>> alloc(Bytes64 len, std::uint64_t rid,
+                                         std::uint64_t epoch = 7) {
     net::Buf h = make_header(MsgKind::kAllocReq, rid);
     net::Writer w(h);
     w.i64(len);
+    w.u64(epoch);  // imd rejects allocs naming a different epoch
     auto rep = co_await rpc_call(net, 0, net::Endpoint{1, kImdCtlPort},
                                  std::move(h), rid);
     if (!rep) co_return std::nullopt;
     net::Reader r = body_reader(*rep);
     if (r.u8() == 0) co_return std::nullopt;
     co_return r.u64();
+  }
+
+  /// Sends kFreeReq (optionally as a retransmit of an old rid) and returns
+  /// the ok flag, or nullopt on RPC failure.
+  Co<std::optional<bool>> free_region(std::uint64_t id, std::uint64_t rid) {
+    net::Buf h = make_header(MsgKind::kFreeReq, rid);
+    net::Writer w(h);
+    w.u64(id);
+    auto rep = co_await rpc_call(net, 0, net::Endpoint{1, kImdCtlPort},
+                                 std::move(h), rid);
+    if (!rep) co_return std::nullopt;
+    net::Reader r = body_reader(*rep);
+    co_return r.u8() != 0;
+  }
+
+  /// Sends kAllocCancel for an abandoned alloc rid; returns the freed flag.
+  Co<std::optional<bool>> cancel_alloc(std::uint64_t target_rid,
+                                       std::uint64_t rid) {
+    net::Buf h = make_header(MsgKind::kAllocCancel, rid);
+    net::Writer w(h);
+    w.u64(target_rid);
+    auto rep = co_await rpc_call(net, 0, net::Endpoint{1, kImdCtlPort},
+                                 std::move(h), rid);
+    if (!rep) co_return std::nullopt;
+    net::Reader r = body_reader(*rep);
+    co_return r.u8() != 0;
   }
 };
 
@@ -252,6 +280,57 @@ TEST(Imd, AllocRetryWithSameRidIsIdempotent) {
   EXPECT_EQ(fx.imd.region_count(), 1u);
 }
 
+TEST(Imd, AllocNamingWrongEpochIsRejected) {
+  // Regression for the epoch-straddling retransmit orphan: an alloc issued
+  // against one incarnation of the pool retried into the next (the imd
+  // crashed and restarted mid-RPC) must be refused, not allocated — the
+  // caller books the region under the old epoch and could never free it.
+  ImdFixture fx;
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    auto stale = co_await f.alloc(4096, 1, /*epoch=*/6);  // imd is epoch 7
+    EXPECT_FALSE(stale.has_value());
+    auto fresh = co_await f.alloc(4096, 2, /*epoch=*/7);
+    EXPECT_TRUE(fresh.has_value());
+    ok = true;
+  }(fx, done));
+  fx.sim.run(30_s);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fx.imd.metrics().stale_alloc_rejects, 1u);
+  EXPECT_EQ(fx.imd.region_count(), 1u);
+}
+
+TEST(Imd, AllocCancelReleasesRegionAndPoisonsRid) {
+  // An alloc whose every reply was lost leaves a region the cmd cannot
+  // name. kAllocCancel(rid) must release it, return the pool bytes, and
+  // poison the rid so a still-in-flight retransmit of the original alloc
+  // replays a failure instead of re-allocating.
+  ImdFixture fx;
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    auto region = co_await f.alloc(64_KiB, 5);
+    EXPECT_TRUE(region.has_value());
+    if (!region) co_return;
+    auto freed = co_await f.cancel_alloc(/*target_rid=*/5, /*rid=*/6);
+    EXPECT_TRUE(freed.has_value() && *freed);
+    EXPECT_EQ(f.imd.region_count(), 0u);
+    EXPECT_EQ(f.imd.allocated_bytes(), 0);
+    // Cancel is idempotent: a retransmitted cancel finds nothing.
+    auto again = co_await f.cancel_alloc(5, 7);
+    EXPECT_TRUE(again.has_value());
+    EXPECT_FALSE(again.value_or(true));
+    // Late retransmit of the original alloc: poisoned, must not execute.
+    auto late = co_await f.alloc(64_KiB, 5);
+    EXPECT_FALSE(late.has_value());
+    EXPECT_EQ(f.imd.region_count(), 0u);
+    ok = true;
+  }(fx, done));
+  fx.sim.run(30_s);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fx.imd.metrics().allocs_cancelled, 1u);
+  EXPECT_EQ(fx.imd.metrics().allocs, 1u);
+}
+
 TEST(Imd, PoolExhaustionFailsAlloc) {
   ImdParams p;
   p.pool_bytes = 1_MiB;
@@ -295,6 +374,225 @@ TEST(Imd, StopCompletesInFlightTransfer) {
   EXPECT_TRUE(read_ok);
   EXPECT_TRUE(stopped);
   EXPECT_FALSE(fx.imd.running());
+}
+
+TEST(Imd, ReplyCacheOverflowKeepsRecentRetriesIdempotent) {
+  // Regression for the clear-all reply-cache eviction: push the cache past
+  // its capacity right after a free, then replay that free's rid as a stale
+  // retransmit. A wholesale clear() forgets the *recent* reply too, so the
+  // retry re-executes against a nonexistent region and reports a false
+  // failure (ok=0). Bounded FIFO eviction only drops the oldest rids, so
+  // the retransmit must replay the cached ok=1 reply and execute nothing.
+  ImdParams p;
+  p.pool_bytes = 64_MiB;
+  ImdFixture fx(p);
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    std::uint64_t rid = 1;
+    // Warm the cache close to capacity (one entry per alloc reply).
+    const std::size_t warm = f.imd.params().reply_cache_capacity - 6;
+    for (std::size_t i = 0; i < warm; ++i) {
+      if (!co_await f.alloc(1024, rid++)) {
+        ADD_FAILURE() << "warmup alloc failed";
+        co_return;
+      }
+    }
+    // The operation whose retry we care about.
+    auto victim = co_await f.alloc(1024, rid++);
+    EXPECT_TRUE(victim.has_value());
+    if (!victim) co_return;
+    const std::uint64_t free_rid = rid++;
+    auto freed = co_await f.free_region(*victim, free_rid);
+    EXPECT_TRUE(freed.has_value());
+    if (!freed) co_return;
+    EXPECT_TRUE(*freed);
+    EXPECT_EQ(f.imd.metrics().frees, 1u);
+    // Now overflow: >capacity total entries. clear-all would wipe free_rid's
+    // cached reply here; FIFO eviction drops only rids 1..N from the warmup.
+    for (int i = 0; i < 16; ++i) {
+      if (!co_await f.alloc(1024, rid++)) {
+        ADD_FAILURE() << "overflow alloc failed";
+        co_return;
+      }
+    }
+    const std::size_t regions_before = f.imd.region_count();
+    // Stale retransmit of the free. Must be answered from cache: still ok=1,
+    // and no re-execution (frees metric unchanged, no pool double-free).
+    auto replay = co_await f.free_region(*victim, free_rid);
+    EXPECT_TRUE(replay.has_value());
+    if (!replay) co_return;
+    EXPECT_TRUE(*replay) << "retransmitted free re-executed and failed: the "
+                            "reply cache forgot a recent rid";
+    EXPECT_EQ(f.imd.metrics().frees, 1u);
+    EXPECT_EQ(f.imd.region_count(), regions_before);
+    EXPECT_TRUE(f.imd.pool().check_invariants());
+    ok = true;
+  }(fx, done));
+  fx.sim.run(600_s);
+  EXPECT_TRUE(done);
+  // The cache honored its bound the whole time.
+  EXPECT_LE(fx.imd.reply_cache_size(), fx.imd.params().reply_cache_capacity);
+}
+
+TEST(Imd, ReplyCacheOverflowKeepsAllocRetryFromOrphaningARegion) {
+  // Same overflow setup, alloc flavor: re-executing a retried alloc mints a
+  // second region nobody maps — pool bytes leak with no owner. The cached
+  // reply must return the original region id instead.
+  ImdParams p;
+  p.pool_bytes = 64_MiB;
+  ImdFixture fx(p);
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    std::uint64_t rid = 1;
+    const std::size_t warm = f.imd.params().reply_cache_capacity - 4;
+    for (std::size_t i = 0; i < warm; ++i) {
+      if (!co_await f.alloc(1024, rid++)) {
+        ADD_FAILURE() << "warmup alloc failed";
+        co_return;
+      }
+    }
+    const std::uint64_t alloc_rid = rid++;
+    auto first = co_await f.alloc(4096, alloc_rid);
+    EXPECT_TRUE(first.has_value());
+    if (!first) co_return;
+    for (int i = 0; i < 16; ++i) {
+      if (!co_await f.alloc(1024, rid++)) {
+        ADD_FAILURE() << "overflow alloc failed";
+        co_return;
+      }
+    }
+    const std::size_t regions_before = f.imd.region_count();
+    const std::uint64_t allocs_before = f.imd.metrics().allocs;
+    auto retry = co_await f.alloc(4096, alloc_rid);  // stale retransmit
+    EXPECT_TRUE(retry.has_value());
+    if (!retry) co_return;
+    EXPECT_EQ(*retry, *first) << "alloc retry re-executed: orphaned region";
+    EXPECT_EQ(f.imd.region_count(), regions_before);
+    EXPECT_EQ(f.imd.metrics().allocs, allocs_before);
+    ok = true;
+  }(fx, done));
+  fx.sim.run(600_s);
+  EXPECT_TRUE(done);
+}
+
+TEST(Imd, WriteRacingFreeLeavesPoolConsistent) {
+  // A region is freed while its handle_write is suspended in bulk_recv: the
+  // write must complete with kNotFound (not touch recycled pool memory),
+  // and the allocator must account the region as gone.
+  ImdFixture fx;
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    auto region = co_await f.alloc(256_KiB, 1);
+    EXPECT_TRUE(region.has_value());
+    if (!region) co_return;
+    auto sock = f.net.open_ephemeral(0);
+    net::Buf h = make_header(MsgKind::kWriteReq, 2);
+    net::Writer w(h);
+    w.u64(*region);
+    w.u64(7);  // epoch
+    w.i64(0);
+    w.i64(256_KiB);
+    sock->send(net::Endpoint{1, kImdDataPort}, std::move(h));
+    auto go = co_await sock->recv_for(millis(500));
+    EXPECT_TRUE(go.has_value());
+    if (!go) co_return;
+    EXPECT_EQ(peek_envelope(*go)->kind, MsgKind::kWriteGo);
+    // handle_write is now suspended in bulk_recv. Free the region under it.
+    auto freed = co_await f.free_region(*region, 3);
+    EXPECT_TRUE(freed.has_value());
+    if (!freed) co_return;
+    EXPECT_TRUE(*freed);
+    // Deliver the bulk data anyway (a slow/retransmitting client).
+    net::Buf data(256_KiB, 0x5A);
+    const Status st = co_await net::bulk_send(
+        *sock, go->src, 2,
+        net::BodyView{data.data(), static_cast<Bytes64>(data.size())});
+    EXPECT_TRUE(st.is_ok()) << st.to_string();
+    auto rep = co_await sock->recv_for(millis(500));
+    EXPECT_TRUE(rep.has_value());
+    if (!rep) co_return;
+    net::Reader r = body_reader(*rep);
+    EXPECT_EQ(static_cast<Err>(r.u8()), Err::kNotFound);
+    ok = true;
+  }(fx, done));
+  fx.sim.run(60_s);
+  EXPECT_TRUE(done);
+  // The freed region stayed freed; nothing was written into recycled pool
+  // memory and the allocator's books balance.
+  EXPECT_EQ(fx.imd.region_count(), 0u);
+  EXPECT_EQ(fx.imd.pool().allocated_block_count(), 0u);
+  EXPECT_EQ(fx.imd.pool().total_free(), fx.imd.pool().pool_size());
+  EXPECT_TRUE(fx.imd.pool().check_invariants());
+  EXPECT_EQ(fx.imd.metrics().writes_served, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RPC backoff
+// ---------------------------------------------------------------------------
+
+TEST(Rpc, AttemptTimeoutBacksOffExponentiallyWithDeterministicJitter) {
+  RpcParams p;
+  p.timeout = millis(200);
+  p.retries = 5;
+  p.backoff = 2.0;
+  p.max_timeout = seconds(2.0);
+  p.jitter = 0.25;
+  const std::uint64_t rid = 0xDEADBEEF;
+  Duration prev = 0;
+  for (int attempt = 0; attempt <= p.retries; ++attempt) {
+    double base = static_cast<double>(p.timeout);
+    for (int i = 0; i < attempt; ++i) base *= p.backoff;
+    base = std::min(base, static_cast<double>(p.max_timeout));
+    const Duration t = rpc_attempt_timeout(p, rid, attempt);
+    // Within [base, base * (1 + jitter)].
+    EXPECT_GE(t, static_cast<Duration>(base)) << "attempt " << attempt;
+    EXPECT_LE(t, static_cast<Duration>(base * (1.0 + p.jitter)) + 1)
+        << "attempt " << attempt;
+    // Deterministic: same (rid, attempt) always yields the same timeout.
+    EXPECT_EQ(t, rpc_attempt_timeout(p, rid, attempt));
+    EXPECT_GE(t, prev);  // never shrinks below the previous attempt's base
+    prev = static_cast<Duration>(base);
+  }
+  // The cap engages: attempts past the cap stop growing (modulo jitter).
+  const Duration capped = rpc_attempt_timeout(p, rid, 10);
+  EXPECT_LE(capped,
+            static_cast<Duration>(static_cast<double>(p.max_timeout) *
+                                  (1.0 + p.jitter)) + 1);
+  // Different rids de-synchronize: some pair of rids must jitter apart.
+  bool diverged = false;
+  for (std::uint64_t r = 1; r < 16 && !diverged; ++r) {
+    diverged = rpc_attempt_timeout(p, r, 1) != rpc_attempt_timeout(p, r + 1, 1);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rpc, CallAgainstBlackHoleSpendsExactlyTheBackoffSchedule) {
+  // rpc_call to a node with nothing bound: every attempt times out, and the
+  // elapsed sim time is exactly the sum of the per-attempt timeouts — the
+  // deterministic-jitter schedule, not wall-clock noise.
+  ImdFixture fx;
+  bool done = false;
+  fx.sim.spawn([](ImdFixture& f, bool& ok) -> Co<void> {
+    RpcParams p;
+    p.timeout = millis(100);
+    p.retries = 3;
+    const std::uint64_t rid = 77;
+    Duration expected = 0;
+    for (int a = 0; a <= p.retries; ++a) {
+      expected += rpc_attempt_timeout(p, rid, a);
+    }
+    const SimTime t0 = f.sim.now();
+    net::Buf h = make_header(MsgKind::kAllocReq, rid);
+    net::Writer w(h);
+    w.i64(64);
+    auto rep = co_await rpc_call(f.net, 0, net::Endpoint{3, 999},
+                                 std::move(h), rid, p);
+    EXPECT_FALSE(rep.has_value());
+    EXPECT_EQ(f.sim.now() - t0, expected);
+    ok = true;
+  }(fx, done));
+  fx.sim.run(60_s);
+  EXPECT_TRUE(done);
 }
 
 // ---------------------------------------------------------------------------
