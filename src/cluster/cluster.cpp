@@ -37,7 +37,7 @@ Cluster::Cluster(ClusterConfig config)
         activity = default_activity_.back().get();
         rp.start_recruited = true;
       }
-      core::ImdParams ip;
+      core::ImdParams ip = config_.imd;
       ip.pool_bytes = config_.imd_pool;
       ip.materialize = config_.materialize;
       rmds_.push_back(std::make_unique<core::ResourceMonitor>(
@@ -103,6 +103,19 @@ int Cluster::create_dataset(const std::string& name, Bytes64 size,
 SimTime Cluster::run_app(std::function<sim::Co<void>(Cluster&)> app,
                          Duration limit) {
   const SimTime start = sim_.now();
+  if (!try_run_app(std::move(app), limit)) {
+    std::fprintf(stderr,
+                 "dodo::cluster: application did not finish within the "
+                 "simulated time limit (%.1f s)\n",
+                 to_seconds(limit));
+    std::abort();
+  }
+  return sim_.now() - start;
+}
+
+bool Cluster::try_run_app(std::function<sim::Co<void>(Cluster&)> app,
+                          Duration limit) {
+  const SimTime start = sim_.now();
   bool finished = false;
   sim_.spawn([](Cluster& c, std::function<sim::Co<void>(Cluster&)> fn,
                 bool& done) -> sim::Co<void> {
@@ -115,14 +128,7 @@ SimTime Cluster::run_app(std::function<sim::Co<void>(Cluster&)> app,
     c.sim_.request_stop();
   }(*this, std::move(app), finished));
   sim_.run(start + limit);
-  if (!finished) {
-    std::fprintf(stderr,
-                 "dodo::cluster: application did not finish within the "
-                 "simulated time limit (%.1f s)\n",
-                 to_seconds(limit));
-    std::abort();
-  }
-  return sim_.now() - start;
+  return finished;
 }
 
 }  // namespace dodo::cluster

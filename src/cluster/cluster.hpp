@@ -44,6 +44,9 @@ struct ClusterConfig {
   std::vector<const core::ActivitySource*> host_activity;
   core::RmdParams rmd{};
   core::CmdParams cmd{};
+  /// Template for every host's imd; pool_bytes/materialize are overridden
+  /// from imd_pool/materialize above (kept separate for config brevity).
+  core::ImdParams imd{};
   runtime::ClientParams client{};
   manage::ManageParams manage_overrides{};  // cache size/policy set from above
 };
@@ -111,6 +114,13 @@ class Cluster {
   /// this can be called repeatedly (e.g. dmine run 1, run 2).
   SimTime run_app(std::function<sim::Co<void>(Cluster&)> app,
                   Duration limit = 400LL * 3600 * kSecond);
+
+  /// run_app that reports instead of aborting when the app fails to finish
+  /// within the limit (or the simulator's event limit fires). Generative
+  /// (fuzz) harnesses use this: a pathological schedule is a result to
+  /// minimize, not a reason to kill the process.
+  [[nodiscard]] bool try_run_app(std::function<sim::Co<void>(Cluster&)> app,
+                                 Duration limit);
 
   /// Replaces the client+manager with fresh instances (a "new process" for
   /// persistent-data experiments). Same client id: region keys match.

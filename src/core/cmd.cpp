@@ -49,6 +49,14 @@ std::vector<std::pair<RegionKey, RegionLoc>> CentralManager::rd_snapshot()
   return out;
 }
 
+std::vector<std::pair<net::NodeId, std::uint64_t>> CentralManager::iwd_epochs()
+    const {
+  std::vector<std::pair<net::NodeId, std::uint64_t>> out;
+  out.reserve(iwd_.size());
+  for (const auto& [node, info] : iwd_) out.emplace_back(node, info.epoch);
+  return out;
+}
+
 std::size_t CentralManager::idle_host_count() const {
   std::size_t n = 0;
   for (const auto& [node, info] : iwd_) {
@@ -247,11 +255,14 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
                                  net::Endpoint{host, kImdCtlPort},
                                  std::move(req), rid, params_.imd_rpc);
     if (!rep) {
-      // Host gone (shutdown/crash/reclaimed): drop it from the IWD. The
-      // request may still have executed with every reply lost — remember
-      // it so scrub_suspect_allocs can release the unnamed region.
+      // No reply proves only unreachability, not reclamation — marking the
+      // host busy here would make validate_region drop directory entries
+      // for regions the imd still holds, orphaning their pool bytes until
+      // the next epoch. Zero the size hint instead: the host stops being an
+      // allocation candidate, and the hint self-heals from the next
+      // register/alloc/free/cancel ack once the host is reachable again.
       DODO_DEBUG("cmd", "alloc rpc to host %u got no reply", host);
-      iwd_[host].idle = false;
+      iwd_[host].largest_free = 0;
       ++metrics_.alloc_suspects;
       suspect_allocs_.push_back(SuspectAlloc{host, want_epoch, rid});
       continue;

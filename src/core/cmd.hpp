@@ -86,6 +86,17 @@ class CentralManager {
   [[nodiscard]] std::vector<std::pair<RegionKey, RegionLoc>> rd_snapshot()
       const;
 
+  /// Oracle hook: current reply-cache occupancy (bounded by the capacity).
+  [[nodiscard]] std::size_t reply_cache_size() const {
+    return reply_cache_.size();
+  }
+
+  /// Oracle hook: the IWD's per-host epoch view. Epochs only ever move
+  /// forward at the rmd; if the cmd's view ever goes backwards, a stale
+  /// registration overwrote a fresh one and stale regions can serve reads.
+  [[nodiscard]] std::vector<std::pair<net::NodeId, std::uint64_t>>
+  iwd_epochs() const;
+
  private:
   struct HostInfo {
     bool idle = false;

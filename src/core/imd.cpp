@@ -111,21 +111,32 @@ sim::Co<void> IdleMemoryDaemon::control_loop() {
   inflight_.done();
 }
 
-void IdleMemoryDaemon::reply_cached_or(const net::Message& msg,
-                                       std::uint64_t rid, net::Buf reply) {
+void IdleMemoryDaemon::cache_reply(std::uint64_t rid, net::Buf reply) {
   // Bounded FIFO, never clear-all: evicting only the oldest rids preserves
   // the idempotent-retry contract for every recent request. A clear here
   // would let a late kFreeReq/kAllocReq retransmit re-execute — re-running
   // an alloc orphans a region (pool bytes leak with no owner), and
   // re-running a free reports failure for an operation that succeeded.
-  if (reply_cache_.emplace(rid, reply).second) {
-    reply_order_.push_back(rid);
-    while (reply_cache_.size() > params_.reply_cache_capacity &&
-           !reply_order_.empty()) {
-      reply_cache_.erase(reply_order_.front());
-      reply_order_.pop_front();
-    }
+  if (!reply_cache_.emplace(rid, std::move(reply)).second) return;
+  reply_order_.push_back(rid);
+  if (reply_cache_.size() <= params_.reply_cache_capacity) return;
+  if (params_.buggy_clear_all_reply_cache) {
+    // The PR-1 bug, preserved behind a test-only flag for the fuzz harness:
+    // overflow wipes everything, including the reply just cached.
+    reply_cache_.clear();
+    reply_order_.clear();
+    return;
   }
+  while (reply_cache_.size() > params_.reply_cache_capacity &&
+         !reply_order_.empty()) {
+    reply_cache_.erase(reply_order_.front());
+    reply_order_.pop_front();
+  }
+}
+
+void IdleMemoryDaemon::reply_cached_or(const net::Message& msg,
+                                       std::uint64_t rid, net::Buf reply) {
+  cache_reply(rid, reply);
   ctl_sock_->send(msg.src, std::move(reply));
 }
 
@@ -201,13 +212,7 @@ void IdleMemoryDaemon::handle_alloc_cancel(const net::Message& msg,
     if (auto it = reply_cache_.find(target_rid); it != reply_cache_.end()) {
       it->second = std::move(poison);
     } else {
-      reply_cache_.emplace(target_rid, std::move(poison));
-      reply_order_.push_back(target_rid);
-      while (reply_cache_.size() > params_.reply_cache_capacity &&
-             !reply_order_.empty()) {
-        reply_cache_.erase(reply_order_.front());
-        reply_order_.pop_front();
-      }
+      cache_reply(target_rid, std::move(poison));
     }
   }
   net::Buf rep = make_header(MsgKind::kAllocCancelRep, env->rid);

@@ -43,6 +43,11 @@ struct ImdParams {
   /// a free that succeeded). Must exceed the number of alloc/free RPCs that
   /// can be outstanding within one retransmit horizon.
   std::size_t reply_cache_capacity = 4096;
+  /// Test-only: re-introduce the PR-1 clear-all eviction bug — on overflow
+  /// the whole cache is wiped, forgetting recent replies too. Exists so the
+  /// fuzz harness can prove its oracles catch (and its shrinker minimizes)
+  /// exactly this class of bug; never set outside tests.
+  bool buggy_clear_all_reply_cache = false;
 };
 
 struct ImdMetrics {
@@ -128,6 +133,7 @@ class IdleMemoryDaemon {
   void handle_free(const net::Message& msg, net::Reader r);
   void reply_cached_or(const net::Message& msg, std::uint64_t rid,
                        net::Buf reply);
+  void cache_reply(std::uint64_t rid, net::Buf reply);
 
   sim::Simulator& sim_;
   net::Network& net_;

@@ -29,6 +29,24 @@ const char* to_string(FaultKind kind) {
   return "unknown";
 }
 
+bool fault_kind_from_string(const std::string& name, FaultKind& out) {
+  static constexpr FaultKind kAll[] = {
+      FaultKind::kLossBurstBegin, FaultKind::kLossBurstEnd,
+      FaultKind::kPartitionBegin, FaultKind::kPartitionEnd,
+      FaultKind::kImdCrash,       FaultKind::kImdRestart,
+      FaultKind::kHostEvict,      FaultKind::kHostRecruit,
+      FaultKind::kCmdBlackoutBegin, FaultKind::kCmdBlackoutEnd,
+      FaultKind::kCmdRestart,
+  };
+  for (FaultKind k : kAll) {
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 FaultPlan& FaultPlan::loss_burst(SimTime at, Duration dur, double rate) {
   events_.push_back({at, FaultKind::kLossBurstBegin, -1, 0, 0, rate});
   events_.push_back({at + dur, FaultKind::kLossBurstEnd, -1, 0, 0, 0.0});

@@ -51,6 +51,11 @@ enum class FaultKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
+/// Inverse of to_string, for parsing serialized schedules. Returns false on
+/// an unrecognized name (out is left untouched).
+[[nodiscard]] bool fault_kind_from_string(const std::string& name,
+                                          FaultKind& out);
+
 /// One scheduled fault. `host` indexes harvested hosts (0..imd_hosts-1) for
 /// imd/host faults; `a`/`b` are raw node ids for partitions; `rate` is the
 /// burst loss probability.
@@ -76,6 +81,14 @@ class FaultPlan {
   FaultPlan& host_recruit(SimTime at, int host);
   FaultPlan& cmd_blackout(SimTime at, Duration dur);
   FaultPlan& cmd_restart(SimTime at);
+
+  /// Appends a raw event (fuzz schedules rebuild plans event-by-event when
+  /// replaying or shrinking, where the paired builder calls above would
+  /// re-couple begin/end events the shrinker must vary independently).
+  FaultPlan& add(FaultEvent ev) {
+    events_.push_back(ev);
+    return *this;
+  }
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;

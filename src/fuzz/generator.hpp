@@ -1,0 +1,38 @@
+// Randomized schedule generation: expands a single 64-bit seed into a
+// complete Schedule — cluster shape, workload op list, and fault event
+// list — deterministically. Same seed, same schedule, forever; reporting a
+// fuzz failure is reporting its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "fuzz/schedule.hpp"
+
+namespace dodo::fuzz {
+
+struct GenParams {
+  // Workload volume. The default profile is open/close-churn heavy: the
+  // reply-cache class of bug only fires when alloc/free traffic overflows a
+  // small cache within one retransmit horizon.
+  std::size_t min_ops = 40;
+  std::size_t max_ops = 140;
+  std::size_t min_fault_windows = 1;
+  std::size_t max_fault_windows = 6;
+  /// Fault times are drawn in [first_fault, horizon]. The horizon must
+  /// match the sim time the op list actually spans (ops take single-digit
+  /// milliseconds; interleaved sleep ops supply the rest) or faults land on
+  /// an idle cluster and probe nothing.
+  SimTime first_fault = 60 * kMillisecond;
+  SimTime horizon = 2500 * kMillisecond;
+  /// Sustained loss bursts up to this rate — far beyond tuned IID rates,
+  /// which is the point: replies must die often enough to exercise the
+  /// retransmit/reply-cache machinery.
+  double max_loss_rate = 0.40;
+};
+
+/// Pure function of (seed, params).
+[[nodiscard]] Schedule generate_schedule(std::uint64_t seed,
+                                         const GenParams& params = {});
+
+}  // namespace dodo::fuzz

@@ -1,0 +1,90 @@
+#include "fuzz/oracle.hpp"
+
+#include <cstdio>
+
+#include "core/imd.hpp"
+#include "core/rmd.hpp"
+#include "fault/fault.hpp"
+
+namespace dodo::fuzz {
+
+namespace {
+std::string fmt(const char* oracle, const char* format, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), format, args...);
+  return std::string(oracle) + ": " + buf;
+}
+}  // namespace
+
+std::string EpochOracle::check(cluster::Cluster& cluster) {
+  for (int h = 0; h < cluster.config().imd_hosts; ++h) {
+    const net::NodeId node = cluster.host_node(h);
+    const std::uint64_t cur = cluster.rmd(h).current_epoch();
+    auto [it, fresh] = rmd_high_.try_emplace(node, cur);
+    if (!fresh && cur < it->second) {
+      return fmt("epoch-monotonicity",
+                 "rmd on node %u went backwards: %llu -> %llu", node,
+                 static_cast<unsigned long long>(it->second),
+                 static_cast<unsigned long long>(cur));
+    }
+    it->second = cur;
+  }
+  for (const auto& [node, epoch] : cluster.cmd().iwd_epochs()) {
+    auto [it, fresh] = cmd_view_high_.try_emplace(node, epoch);
+    if (!fresh && epoch < it->second) {
+      return fmt("epoch-monotonicity",
+                 "cmd IWD view of node %u went backwards: %llu -> %llu", node,
+                 static_cast<unsigned long long>(it->second),
+                 static_cast<unsigned long long>(epoch));
+    }
+    it->second = epoch;
+    auto rmd_it = rmd_high_.find(node);
+    if (rmd_it != rmd_high_.end() && epoch > rmd_it->second) {
+      return fmt("epoch-monotonicity",
+                 "cmd IWD view of node %u (%llu) ahead of its rmd (%llu)",
+                 node, static_cast<unsigned long long>(epoch),
+                 static_cast<unsigned long long>(rmd_it->second));
+    }
+  }
+  return "";
+}
+
+std::string check_reply_cache_bounds(cluster::Cluster& cluster) {
+  const std::size_t cmd_cap = cluster.config().cmd.reply_cache_capacity;
+  if (cluster.cmd().reply_cache_size() > cmd_cap) {
+    return fmt("reply-cache-bound", "cmd cache holds %zu > capacity %zu",
+               cluster.cmd().reply_cache_size(), cmd_cap);
+  }
+  for (int h = 0; h < cluster.config().imd_hosts; ++h) {
+    core::IdleMemoryDaemon* imd = cluster.rmd(h).imd();
+    if (imd == nullptr) continue;
+    if (imd->reply_cache_size() > imd->params().reply_cache_capacity) {
+      return fmt("reply-cache-bound",
+                 "imd on host %d holds %zu > capacity %zu", h,
+                 imd->reply_cache_size(), imd->params().reply_cache_capacity);
+    }
+  }
+  return "";
+}
+
+std::string check_descriptor_bound(cluster::Cluster& cluster,
+                                   std::size_t max_slots) {
+  // Every workload op addresses one of `max_slots` keys and closes before
+  // reopening, so drop_node reaping must keep the table within the slot
+  // count — unbounded growth was the PR-1 mark-inactive-forever bug.
+  const std::size_t n = cluster.dodo()->region_table_size();
+  if (n > max_slots) {
+    return fmt("descriptor-bound", "client holds %zu descriptors > %zu slots",
+               n, max_slots);
+  }
+  return "";
+}
+
+std::string check_no_leaks(cluster::Cluster& cluster) {
+  std::string report = fault::leak_report(cluster);
+  if (report.empty()) return "";
+  if (report.back() == '\n') report.pop_back();
+  return "region-leak: " + report;
+}
+
+}  // namespace dodo::fuzz

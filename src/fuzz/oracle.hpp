@@ -1,0 +1,44 @@
+// Invariant oracles over a live cluster. Each check returns "" when the
+// invariant holds, else a one-line violation of the form
+// "oracle-name: detail" — the shrinker matches candidate failures by the
+// oracle-name prefix so a minimization never wanders onto a different bug.
+//
+// Cheap checks (epochs, cache occupancy, descriptor bound) run on every
+// message delivery via the network's delivery probe; the expensive ones
+// (leak audit, disk byte-exactness) run at quiesce points.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cluster/cluster.hpp"
+
+namespace dodo::fuzz {
+
+/// Epochs only move forward. Tracks the high-water mark per host for both
+/// the authoritative view (the rmd's counter) and the cmd's IWD view; a
+/// regression in either means stale state overwrote fresh state.
+class EpochOracle {
+ public:
+  /// Returns "" or "epoch-monotonicity: ...".
+  std::string check(cluster::Cluster& cluster);
+
+ private:
+  std::map<net::NodeId, std::uint64_t> rmd_high_;
+  std::map<net::NodeId, std::uint64_t> cmd_view_high_;
+};
+
+/// Reply caches stay within their configured bounds ("" or
+/// "reply-cache-bound: ...").
+[[nodiscard]] std::string check_reply_cache_bounds(cluster::Cluster& cluster);
+
+/// The client's descriptor table never exceeds the number of distinct
+/// region keys the workload can hold open ("" or "descriptor-bound: ...").
+[[nodiscard]] std::string check_descriptor_bound(cluster::Cluster& cluster,
+                                                 std::size_t max_slots);
+
+/// Wraps fault::leak_report as an oracle ("" or "region-leak: ...").
+[[nodiscard]] std::string check_no_leaks(cluster::Cluster& cluster);
+
+}  // namespace dodo::fuzz

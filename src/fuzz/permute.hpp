@@ -1,0 +1,69 @@
+// Seed-driven message-delivery permuter.
+//
+// Given n messages in send order, produces the delivery sequence an
+// adversarial-but-plausible network would hand the receiver: each message
+// may be dropped, duplicated, or displaced from its slot by at most
+// `reorder_window` positions. The plan is a pure function of (n, seed,
+// params), so any failure reproduces from the seed alone.
+//
+// Header-only and dependent only on common/rng.hpp: the transport unit
+// tests (test_rtnet, test_usock) include it directly without linking the
+// fuzz library, and the fuzz generator reuses it for schedule synthesis.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dodo::fuzz {
+
+struct PermuteParams {
+  double drop_rate = 0.0;       // P(message never delivered)
+  double dup_rate = 0.0;        // P(message delivered twice)
+  std::size_t reorder_window = 0;  // max forward displacement per swap pass
+};
+
+/// Returns the delivery sequence as indices into the send order. An index
+/// may appear zero times (dropped), once, or twice (duplicated). With all
+/// params zero this is the identity permutation.
+inline std::vector<std::size_t> permute_deliveries(std::size_t n,
+                                                   std::uint64_t seed,
+                                                   const PermuteParams& p) {
+  Rng rng(seed ^ 0x70657263756d65ULL);  // "permute" salt
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  // Bounded reorder: stable-sort by a jittered key k_i = i + r_i with
+  // r_i uniform in [0, window]. Elements more than `window` apart can
+  // never exchange key order, so every element lands within `window`
+  // positions of where it was sent — the "bounded badness" real networks
+  // exhibit — while nearby pairs invert freely.
+  if (p.reorder_window > 0) {
+    std::vector<std::pair<std::size_t, std::size_t>> keyed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keyed[i] = {i + static_cast<std::size_t>(
+                          rng.below(p.reorder_window + 1)),
+                  i};
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (std::size_t i = 0; i < n; ++i) order[i] = keyed[i].second;
+  }
+
+  std::vector<std::size_t> out;
+  out.reserve(n + n / 4);
+  for (std::size_t idx : order) {
+    if (p.drop_rate > 0.0 && rng.chance(p.drop_rate)) continue;
+    out.push_back(idx);
+    if (p.dup_rate > 0.0 && rng.chance(p.dup_rate)) out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace dodo::fuzz

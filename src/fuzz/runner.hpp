@@ -1,0 +1,46 @@
+// Executes one Schedule on a fresh simulated cluster with every oracle
+// armed. The run is a pure function of (schedule, options): the cluster
+// seed, the workload, and the fault plan are all taken from the schedule,
+// so a violation reproduces exactly — which is what makes shrinking and
+// regression promotion possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "fuzz/schedule.hpp"
+#include "runtime/dodo_client.hpp"
+
+namespace dodo::fuzz {
+
+struct RunOptions {
+  /// Re-introduces the PR-1 imd reply-cache clear-all eviction bug for this
+  /// run only. Deliberately NOT part of the Schedule: a serialized schedule
+  /// must describe a test case, never a code variant.
+  bool buggy_imd_reply_cache = false;
+  /// Simulated-time cap handed to Cluster::try_run_app. A schedule that
+  /// exceeds it is reported (completed=false), not aborted.
+  Duration run_limit = 600 * kSecond;
+  /// Hard cap on simulator events — catches livelocks that a time limit
+  /// alone cannot (retry storms at a frozen sim time). 0 disables.
+  std::uint64_t event_limit = 20'000'000;
+};
+
+struct RunResult {
+  bool completed = false;       // workload + quiesce finished within limits
+  std::string violation;        // first "oracle-name: detail", or empty
+  std::size_t ops_executed = 0;
+  std::size_t faults_applied = 0;
+  std::uint64_t deliveries_probed = 0;
+  /// Final client-side counters — lets callers assert a run actually
+  /// exercised remote memory rather than no-opping through closed slots.
+  runtime::ClientMetrics client_metrics{};
+
+  [[nodiscard]] bool ok() const { return completed && violation.empty(); }
+};
+
+[[nodiscard]] RunResult run_schedule(const Schedule& schedule,
+                                     const RunOptions& options = {});
+
+}  // namespace dodo::fuzz

@@ -1,0 +1,115 @@
+#include "fuzz/shrink.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace dodo::fuzz {
+
+namespace {
+
+/// One ddmin pass over a list: try deleting contiguous chunks, halving the
+/// chunk size until single elements. Accepts any deletion that keeps the
+/// schedule failing. Returns true if anything was removed.
+template <typename T, typename Rebuild>
+bool ddmin_list(std::vector<T>& items, const Rebuild& rebuild,
+                const SchedulePredicate& still_fails, std::size_t& runs,
+                std::size_t max_runs) {
+  bool shrunk_any = false;
+  std::size_t chunk = items.size() / 2;
+  if (chunk == 0 && !items.empty()) chunk = 1;
+  while (chunk >= 1 && !items.empty()) {
+    bool removed_this_granularity = false;
+    for (std::size_t start = 0; start < items.size() && runs < max_runs;) {
+      const std::size_t end = std::min(start + chunk, items.size());
+      std::vector<T> candidate;
+      candidate.reserve(items.size() - (end - start));
+      candidate.insert(candidate.end(), items.begin(),
+                       items.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       items.begin() + static_cast<std::ptrdiff_t>(end),
+                       items.end());
+      ++runs;
+      if (still_fails(rebuild(candidate))) {
+        items = std::move(candidate);
+        shrunk_any = true;
+        removed_this_granularity = true;
+        // Same `start` now points at fresh elements; don't advance.
+      } else {
+        start = end;
+      }
+    }
+    if (runs >= max_runs) break;
+    if (chunk == 1 && !removed_this_granularity) break;
+    chunk = removed_this_granularity ? std::min(chunk, items.size())
+                                     : chunk / 2;
+    if (chunk == 0) chunk = items.empty() ? 0 : 1;
+    if (items.empty()) break;
+  }
+  return shrunk_any;
+}
+
+}  // namespace
+
+ShrinkResult shrink_schedule(const Schedule& failing,
+                             const SchedulePredicate& still_fails,
+                             std::size_t max_runs) {
+  ShrinkResult out;
+  out.initial_size = failing.size();
+  out.minimal = failing;
+  assert(still_fails(failing) && "shrink_schedule needs a failing input");
+  ++out.runs;  // the assertion run above
+
+  Schedule& best = out.minimal;
+  for (;;) {
+    bool progress = false;
+    progress |= ddmin_list(
+        best.ops,
+        [&](const std::vector<WorkOp>& ops) {
+          Schedule cand = best;
+          cand.ops = ops;
+          return cand;
+        },
+        still_fails, out.runs, max_runs);
+    progress |= ddmin_list(
+        best.faults,
+        [&](const std::vector<fault::FaultEvent>& faults) {
+          Schedule cand = best;
+          cand.faults = faults;
+          return cand;
+        },
+        still_fails, out.runs, max_runs);
+    if (!progress || out.runs >= max_runs) break;
+  }
+  return out;
+}
+
+std::string to_regression_test(const Schedule& s, const std::string& test_name,
+                               const std::string& oracle_prefix) {
+  std::string body;
+  body += "TEST(FuzzRegression, " + test_name + ") {\n";
+  body += "  static const char* kSchedule =\n";
+  std::string serialized = s.serialize();
+  std::string line;
+  for (char ch : serialized) {
+    if (ch == '\n') {
+      body += "      \"" + line + "\\n\"\n";
+      line.clear();
+    } else {
+      line += ch;
+    }
+  }
+  if (!line.empty()) body += "      \"" + line + "\"\n";
+  body += "      ;\n";
+  body += "  fuzz::Schedule s;\n";
+  body += "  std::string err;\n";
+  body += "  ASSERT_TRUE(fuzz::Schedule::parse(kSchedule, s, &err)) << err;\n";
+  body += "  const auto r = fuzz::run_schedule(s);\n";
+  body += "  EXPECT_TRUE(r.ok()) << r.violation;\n";
+  if (!oracle_prefix.empty()) {
+    body += "  // Shrunk from a violation of: " + oracle_prefix + "\n";
+  }
+  body += "}\n";
+  return body;
+}
+
+}  // namespace dodo::fuzz

@@ -1,0 +1,41 @@
+// Greedy delta-debugging schedule minimization.
+//
+// Given a failing schedule and a predicate ("does this candidate still
+// fail the same way?"), alternately ddmin-reduces the workload op list and
+// the fault event list until neither shrinks, then emits the minimal
+// schedule. The predicate should match on the oracle-name prefix of the
+// violation so shrinking never wanders from one bug onto another.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "fuzz/schedule.hpp"
+
+namespace dodo::fuzz {
+
+/// Returns true when the candidate still exhibits the failure under
+/// investigation.
+using SchedulePredicate = std::function<bool(const Schedule&)>;
+
+struct ShrinkResult {
+  Schedule minimal;
+  std::size_t initial_size = 0;  // ops + faults before shrinking
+  std::size_t runs = 0;          // predicate evaluations spent
+};
+
+/// `failing` must satisfy the predicate (asserted on entry). `max_runs`
+/// bounds predicate evaluations; the best schedule found so far is returned
+/// when the budget runs out.
+[[nodiscard]] ShrinkResult shrink_schedule(const Schedule& failing,
+                                           const SchedulePredicate& still_fails,
+                                           std::size_t max_runs = 400);
+
+/// Renders a ready-to-paste gtest body replaying `s` and asserting the
+/// violation prefix, for promoting a shrunk schedule into test_chaos.cpp.
+[[nodiscard]] std::string to_regression_test(const Schedule& s,
+                                             const std::string& test_name,
+                                             const std::string& oracle_prefix);
+
+}  // namespace dodo::fuzz

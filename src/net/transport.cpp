@@ -192,6 +192,7 @@ void Network::send(Message msg) {
       return;
     }
     ++metrics_.datagrams_delivered;
+    if (delivery_probe_) delivery_probe_(m);
     it->second->deliver(std::move(m));
   });
 }

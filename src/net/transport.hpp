@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -111,6 +112,15 @@ class Network {
   void set_link_cut(NodeId a, NodeId b, bool cut);
   [[nodiscard]] bool link_cut(NodeId a, NodeId b) const;
 
+  /// Oracle hook: invoked on every datagram actually handed to a bound
+  /// socket (after loss/cut/down filtering), before the socket sees it. The
+  /// fuzz harness evaluates its cheap always-on invariants here. The probe
+  /// must not send, close sockets, or otherwise mutate the network. Pass an
+  /// empty function to uninstall.
+  void set_delivery_probe(std::function<void(const Message&)> probe) {
+    delivery_probe_ = std::move(probe);
+  }
+
   [[nodiscard]] const NetParams& params() const { return params_; }
   [[nodiscard]] NetMetrics& metrics() { return metrics_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
@@ -137,6 +147,7 @@ class Network {
   std::set<std::pair<NodeId, NodeId>> cut_links_;  // normalized (lo, hi)
   std::vector<Port> next_ephemeral_;
   std::unordered_map<Endpoint, Socket*, EndpointHash> bound_;
+  std::function<void(const Message&)> delivery_probe_;
 };
 
 /// An open datagram endpoint. Closing (destroying) the socket unbinds it;

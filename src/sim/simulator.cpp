@@ -66,7 +66,7 @@ void Simulator::reap_finished_tasks() {
 
 SimTime Simulator::run(SimTime limit) {
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
+  while (!queue_.empty() && !stop_requested_ && !event_limit_hit()) {
     // priority_queue::top() is const; the event is copied out so the handler
     // can schedule new events (which may reallocate the heap) safely.
     Event ev = queue_.top();

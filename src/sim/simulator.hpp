@@ -62,6 +62,14 @@ class Simulator {
     return events_processed_;
   }
 
+  /// Hard cap on total events processed; run() returns once it is reached.
+  /// Guards generative (fuzz) runs against schedules that livelock at a
+  /// constant sim time, where a time limit alone would never fire. 0 = off.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+  [[nodiscard]] bool event_limit_hit() const {
+    return event_limit_ != 0 && events_processed_ >= event_limit_;
+  }
+
   /// Destroys all still-suspended detached tasks immediately. Call this
   /// before tearing down objects (networks, filesystems) that suspended
   /// coroutine frames may reference from their local variables; must not be
@@ -96,6 +104,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t event_limit_ = 0;
   bool stop_requested_ = false;
   Rng rng_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
 
 namespace dodo::trace {
 
@@ -227,6 +230,87 @@ Table1Row summarize_class(HostClass cls, int hosts, const TraceConfig& cfg,
     }
   }
   return row;
+}
+
+std::string trace_to_tsv(const HostTrace& trace) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "# dodo trace v1 %d %lld\n",
+                static_cast<int>(trace.cls),
+                static_cast<long long>(trace.total_kb));
+  out += line;
+  for (const Sample& s : trace.samples) {
+    std::snprintf(line, sizeof(line), "%lld\t%lld\t%lld\t%lld\t%d\n",
+                  static_cast<long long>(s.t),
+                  static_cast<long long>(s.kernel_kb),
+                  static_cast<long long>(s.fcache_kb),
+                  static_cast<long long>(s.proc_kb), s.idle ? 1 : 0);
+    out += line;
+  }
+  return out;
+}
+
+bool trace_from_tsv(const std::string& text, HostTrace& out,
+                    std::string* error) {
+  auto fail = [&](int lineno, const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + what;
+    }
+    return false;
+  };
+
+  HostTrace tr;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!saw_header) {
+      // "# dodo trace v1 <cls> <total_kb>"
+      std::istringstream hs(line);
+      std::string hash, name, word, version;
+      int cls = -1;
+      long long total = 0;
+      if (!(hs >> hash >> name >> word >> version >> cls >> total) ||
+          hash != "#" || name != "dodo" || word != "trace") {
+        return fail(lineno, "missing or malformed trace header");
+      }
+      if (version != "v1") return fail(lineno, "unsupported trace version");
+      if (cls < 0 || cls > static_cast<int>(HostClass::k256)) {
+        return fail(lineno, "unknown host class");
+      }
+      if (total <= 0) return fail(lineno, "non-positive total_kb");
+      std::string extra;
+      if (hs >> extra) return fail(lineno, "trailing header tokens");
+      tr.cls = static_cast<HostClass>(cls);
+      tr.total_kb = total;
+      saw_header = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    long long t = 0, kernel = 0, fcache = 0, proc = 0;
+    int idle = 0;
+    if (!(ls >> t >> kernel >> fcache >> proc >> idle)) {
+      return fail(lineno, "malformed sample row");
+    }
+    std::string extra;
+    if (ls >> extra) return fail(lineno, "trailing tokens");
+    if (t < 0) return fail(lineno, "negative timestamp");
+    if (!tr.samples.empty() && t <= tr.samples.back().t) {
+      return fail(lineno, "non-monotonic timestamp");
+    }
+    if (kernel < 0 || fcache < 0 || proc < 0) {
+      return fail(lineno, "negative memory size");
+    }
+    if (idle != 0 && idle != 1) return fail(lineno, "idle must be 0 or 1");
+    tr.samples.push_back(Sample{t, kernel, fcache, proc, idle == 1});
+  }
+  if (!saw_header) return fail(lineno, "missing trace header");
+  out = std::move(tr);
+  return true;
 }
 
 const Sample& TraceActivity::sample_at(SimTime t) const {

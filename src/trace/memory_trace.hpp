@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -95,6 +96,19 @@ struct ClusterSeries {
 ClusterSeries cluster_availability(const std::vector<HostClass>& hosts,
                                    const TraceConfig& cfg,
                                    std::uint64_t seed);
+
+/// Text persistence for synthesized traces: header line
+/// "# dodo trace v1 <class> <total_kb>" then one "t kernel fcache proc idle"
+/// TSV row per sample. Lets an experiment pin the exact trace it ran under
+/// instead of a (seed, config) pair that silently shifts when synthesis
+/// parameters are tuned.
+std::string trace_to_tsv(const HostTrace& trace);
+
+/// Strict parser: rejects missing/garbled headers, non-numeric fields,
+/// negative sizes, non-monotonic timestamps, and trailing tokens. On
+/// failure returns false and (optionally) a "line N: why" message.
+bool trace_from_tsv(const std::string& text, HostTrace& out,
+                    std::string* error = nullptr);
 
 /// Per-component summary over many hosts of one class (regenerates a Table 1
 /// row from synthesized traces).

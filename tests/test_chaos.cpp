@@ -20,6 +20,9 @@
 #include "cluster/cluster.hpp"
 #include "common/units.hpp"
 #include "fault/fault.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/schedule.hpp"
 
 namespace dodo {
 namespace {
@@ -486,6 +489,91 @@ TEST(Chaos, KitchenSink) {
   // which hosts the client touches while it is up; PartitionAppFromHalfTheHosts
   // asserts datagrams_cut on a schedule guaranteed to carry traffic.)
   EXPECT_EQ(fault::leak_report(c), "");
+}
+
+// ---------------------------------------------------------------------------
+// Promoted fuzzer finds (DESIGN.md §8). Each schedule below was discovered
+// by the randomized simulation fuzzer and minimized by its ddmin shrinker;
+// the serialized text is the exact minimal witness. They replay here as
+// ordinary deterministic regressions.
+
+namespace {
+
+fuzz::RunResult replay_schedule(const char* text) {
+  fuzz::Schedule s;
+  std::string err;
+  EXPECT_TRUE(fuzz::Schedule::parse(text, s, &err)) << err;
+  return fuzz::run_schedule(s);
+}
+
+}  // namespace
+
+// Shrunk from `fuzz_repro --seed 5 --buggy-imd-cache --shrink` (73 -> 12
+// events): open/close churn overflowing a 4-entry imd reply cache while an
+// alloc reply is lost in a burst. Green on the fixed insert-only eviction;
+// red if the PR-1 clear-all eviction ever returns.
+TEST(FuzzRegression, ReplyCacheChurnDuringLossBurst) {
+  static const char* kSchedule =
+      "# dodo fuzz schedule v1\n"
+      "hosts 1\n"
+      "pool 524288\n"
+      "region 16384\n"
+      "slots 7\n"
+      "reply_cache 4\n"
+      "seed 5\n"
+      "op open 4 6907524653690575263 0\n"
+      "op open 2 14783476305918772050 0\n"
+      "op push 2 2442479160035398000 0\n"
+      "op open 3 13755501340417774410 0\n"
+      "op push 3 5603684481489659668 0\n"
+      "op open 1 10898729119152301148 0\n"
+      "op sleep 3 18235247125683147568 135474436\n"
+      "op open 5 7043871933787482882 0\n"
+      "fault host-evict 130644511 0 0 0 0.000000\n"
+      "fault host-recruit 475672450 0 0 0 0.000000\n"
+      "fault loss-burst-begin 644091754 -1 0 0 0.167207\n"
+      "fault loss-burst-begin 1102477459 -1 0 0 0.183656\n";
+  const auto r = replay_schedule(kSchedule);
+  EXPECT_TRUE(r.ok()) << r.violation;
+}
+
+// Shrunk from `fuzz_repro --seed 80 --shrink` (106 -> 10 events) — a real
+// bug the fuzzer found in the UNMODIFIED code: an alloc RPC timeout made
+// the cmd mark the host busy, so the next validate_region dropped the
+// directory entries of regions the imd still held, orphaning their pool
+// bytes for the rest of the epoch. Fixed by zeroing the size hint instead
+// of faking reclamation; this witness keeps it fixed.
+TEST(FuzzRegression, CmdAllocTimeoutMustNotInvalidateDirectory) {
+  static const char* kSchedule =
+      "# dodo fuzz schedule v1\n"
+      "hosts 1\n"
+      "pool 524288\n"
+      "region 16384\n"
+      "slots 5\n"
+      "reply_cache 6\n"
+      "seed 80\n"
+      "op sleep 2 9727588479479700280 21062937\n"
+      "op open 2 11124886039648158114 0\n"
+      "op sleep 4 15895962649591103088 58357667\n"
+      "op sleep 1 944674297254817892 94782427\n"
+      "op read 2 14659159103012739270 0\n"
+      "op open 4 14015526909214979791 0\n"
+      "fault loss-burst-begin 219801500 -1 0 0 0.150948\n"
+      "fault cmd-blackout-begin 458860125 -1 0 0 0.000000\n"
+      "fault cmd-blackout-end 737046992 -1 0 0 0.000000\n"
+      "fault cmd-restart 710469779 -1 0 0 0.000000\n";
+  const auto r = replay_schedule(kSchedule);
+  EXPECT_TRUE(r.ok()) << r.violation;
+}
+
+// Full (unshrunk) corpus seeds that historically tripped an oracle, pinned
+// by name so a failure names the scenario rather than a bare seed.
+TEST(FuzzCorpus, HistoricallyInterestingSeedsStayGreen) {
+  for (std::uint64_t seed : {5ULL, 67ULL, 72ULL, 80ULL}) {
+    const auto r = fuzz::run_schedule(fuzz::generate_schedule(seed));
+    EXPECT_TRUE(r.completed) << "seed " << seed;
+    EXPECT_TRUE(r.violation.empty()) << "seed " << seed << ": " << r.violation;
+  }
 }
 
 }  // namespace

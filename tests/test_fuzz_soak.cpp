@@ -1,0 +1,63 @@
+// Opt-in fuzz soak: scans a contiguous seed window with every oracle
+// armed and fails on the first violation. Not part of the tier-1 run —
+// registered under the `fuzz` ctest configuration and label, so it only
+// executes via `ctest -C fuzz -L fuzz` (or tools/fuzz_soak.sh).
+//
+// Environment knobs (all optional):
+//   DODO_FUZZ_SEED_BASE   first seed (default 1)
+//   DODO_FUZZ_SEED_COUNT  seeds to run (default 500)
+//   DODO_FUZZ_BUGGY       1 = re-introduce the PR-1 reply-cache bug; the
+//                         scan then EXPECTS violations (sanity-checks the
+//                         fuzzer's teeth, not the product)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/runner.hpp"
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t base = env_u64("DODO_FUZZ_SEED_BASE", 1);
+  const std::uint64_t count = env_u64("DODO_FUZZ_SEED_COUNT", 500);
+  const bool buggy = env_u64("DODO_FUZZ_BUGGY", 0) != 0;
+
+  dodo::fuzz::RunOptions opt;
+  opt.buggy_imd_reply_cache = buggy;
+
+  std::uint64_t failures = 0;
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    const auto s = dodo::fuzz::generate_schedule(seed);
+    const auto r = dodo::fuzz::run_schedule(s, opt);
+    if (!r.ok()) {
+      ++failures;
+      std::printf("seed=%llu %s%s\n", static_cast<unsigned long long>(seed),
+                  r.completed ? "VIOLATION: " : "DID-NOT-FINISH ",
+                  r.violation.c_str());
+      std::printf("  replay: fuzz_repro --seed %llu%s --shrink\n",
+                  static_cast<unsigned long long>(seed),
+                  buggy ? " --buggy-imd-cache" : "");
+    }
+  }
+  std::printf("fuzz_soak: %llu/%llu seeds %s (base %llu)\n",
+              static_cast<unsigned long long>(count - failures),
+              static_cast<unsigned long long>(count),
+              buggy ? "green under deliberate bug" : "green",
+              static_cast<unsigned long long>(base));
+  if (buggy) {
+    // With the bug planted, a scan this wide MUST catch it; zero failures
+    // means the fuzzer has lost its teeth.
+    return failures > 0 ? 0 : 1;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -3,9 +3,12 @@
 // environment forbids socket creation.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <map>
 #include <thread>
 #include <vector>
 
+#include "fuzz/permute.hpp"
 #include "rtnet/rt_udp.hpp"
 
 namespace dodo::rtnet {
@@ -70,6 +73,56 @@ TEST(RtBulk, SingleChunk) { run_bulk(512, 0.0, 1); }
 TEST(RtBulk, MultiWindowMegabyte) { run_bulk(1024 * 1024, 0.0, 1); }
 
 TEST(RtBulk, SurvivesInjectedLoss) { run_bulk(300000, 0.05, 7); }
+
+// Sweep the retransmit machinery across several loss rates and rng
+// streams; each (rate, seed) pair is an independent adversary, and the
+// payload must come through byte-exact in all of them.
+TEST(RtBulk, SurvivesPermutedLossSweep) {
+  for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    for (double rate : {0.02, 0.10}) {
+      run_bulk(120000, rate, seed);
+      if (::testing::Test::IsSkipped()) return;
+    }
+  }
+}
+
+// Datagram sockets promise nothing about order or multiplicity. Drive a
+// real socket with an adversarial delivery plan from the fuzz permuter —
+// bounded reorder plus duplicates — and check the receiver observes
+// exactly the planned multiset, no more, no fewer.
+TEST(RtUdp, ToleratesReorderedAndDuplicatedDatagrams) {
+  UdpSocket tx = UdpSocket::open_loopback();
+  REQUIRE_SOCKETS(tx);
+  UdpSocket rx = UdpSocket::open_loopback();
+  ASSERT_TRUE(rx.valid());
+
+  constexpr std::size_t kMsgs = 48;
+  const auto plan =
+      fuzz::permute_deliveries(kMsgs, 21, {0.0, 0.25, 4});
+  ASSERT_GT(plan.size(), kMsgs);  // the dup rate must have fired
+
+  std::map<std::uint32_t, int> expected;
+  for (std::size_t idx : plan) {
+    const std::uint32_t tag = static_cast<std::uint32_t>(idx);
+    std::uint8_t wire[4];
+    std::memcpy(wire, &tag, sizeof(tag));
+    ASSERT_TRUE(tx.send_to(rx.port(), wire, sizeof(wire)));
+    ++expected[tag];
+  }
+
+  // Loopback does not lose datagrams, so every planned delivery arrives.
+  std::map<std::uint32_t, int> got;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    auto d = rx.recv(2000);
+    ASSERT_TRUE(d.has_value()) << "datagram " << i << " never arrived";
+    ASSERT_EQ(d->first.size(), 4u);
+    std::uint32_t tag = 0;
+    std::memcpy(&tag, d->first.data(), sizeof(tag));
+    ++got[tag];
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_FALSE(rx.recv(20).has_value());  // and nothing extra
+}
 
 TEST(RtBulk, ReceiverTimesOutWithoutSender) {
   UdpSocket rx = UdpSocket::open_loopback();

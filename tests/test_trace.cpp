@@ -93,6 +93,72 @@ TEST(Trace, ClusterAveragesMatchFigure1) {
   EXPECT_GT(b.mean_idle(), 0.6 * b.mean_all());
 }
 
+TEST(Trace, TsvRoundTripIsExact) {
+  TraceConfig cfg = short_cfg();
+  cfg.duration = 12LL * 3600 * kSecond;  // keep the text small
+  const auto tr = synthesize_host(HostClass::k64, cfg, 31);
+  ASSERT_FALSE(tr.samples.empty());
+
+  HostTrace back;
+  std::string err;
+  ASSERT_TRUE(trace_from_tsv(trace_to_tsv(tr), back, &err)) << err;
+  EXPECT_EQ(back.cls, tr.cls);
+  EXPECT_EQ(back.total_kb, tr.total_kb);
+  ASSERT_EQ(back.samples.size(), tr.samples.size());
+  for (std::size_t i = 0; i < tr.samples.size(); ++i) {
+    EXPECT_EQ(back.samples[i].t, tr.samples[i].t) << i;
+    EXPECT_EQ(back.samples[i].kernel_kb, tr.samples[i].kernel_kb) << i;
+    EXPECT_EQ(back.samples[i].fcache_kb, tr.samples[i].fcache_kb) << i;
+    EXPECT_EQ(back.samples[i].proc_kb, tr.samples[i].proc_kb) << i;
+    EXPECT_EQ(back.samples[i].idle, tr.samples[i].idle) << i;
+  }
+  // Second serialization is byte-identical: the format is canonical.
+  EXPECT_EQ(trace_to_tsv(back), trace_to_tsv(tr));
+}
+
+TEST(Trace, TsvAcceptsCrLfAndBlankLines) {
+  const std::string text =
+      "# dodo trace v1 1 65536\r\n"
+      "\r\n"
+      "0\t100\t200\t300\t1\r\n"
+      "300000000000\t110\t210\t310\t0\r\n";
+  HostTrace tr;
+  std::string err;
+  ASSERT_TRUE(trace_from_tsv(text, tr, &err)) << err;
+  EXPECT_EQ(tr.cls, HostClass::k64);
+  ASSERT_EQ(tr.samples.size(), 2u);
+  EXPECT_TRUE(tr.samples[0].idle);
+  EXPECT_FALSE(tr.samples[1].idle);
+}
+
+TEST(Trace, TsvRejectsMalformedInput) {
+  const struct {
+    const char* text;
+    const char* why;
+  } cases[] = {
+      {"", "empty input"},
+      {"0\t1\t2\t3\t1\n", "missing header"},
+      {"# dodo trace v2 1 65536\n", "unsupported version"},
+      {"# dodo trace v1 9 65536\n", "unknown host class"},
+      {"# dodo trace v1 1 0\n", "non-positive total"},
+      {"# dodo trace v1 1 65536 junk\n", "trailing header tokens"},
+      {"# dodo trace v1 1 65536\n0\t1\t2\n", "short sample row"},
+      {"# dodo trace v1 1 65536\n0\t1\t2\tx\t1\n", "non-numeric field"},
+      {"# dodo trace v1 1 65536\n0\t1\t2\t3\t1\textra\n", "trailing tokens"},
+      {"# dodo trace v1 1 65536\n-5\t1\t2\t3\t1\n", "negative timestamp"},
+      {"# dodo trace v1 1 65536\n0\t-1\t2\t3\t1\n", "negative size"},
+      {"# dodo trace v1 1 65536\n0\t1\t2\t3\t7\n", "bad idle flag"},
+      {"# dodo trace v1 1 65536\n5\t1\t2\t3\t1\n5\t1\t2\t3\t0\n",
+       "non-monotonic timestamps"},
+  };
+  for (const auto& c : cases) {
+    HostTrace tr;
+    std::string err;
+    EXPECT_FALSE(trace_from_tsv(c.text, tr, &err)) << c.why;
+    EXPECT_FALSE(err.empty()) << c.why;
+  }
+}
+
 TEST(Trace, ActivityAdapterTracksTrace) {
   auto tr = synthesize_host(HostClass::k64, short_cfg(), 9);
   const auto samples = tr.samples;  // copy: tr is moved into the adapter

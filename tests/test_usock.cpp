@@ -3,8 +3,10 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/units.hpp"
+#include "fuzz/permute.hpp"
 #include "sim/simulator.hpp"
 #include "usock/usocket.hpp"
 
@@ -106,6 +108,83 @@ TEST(Usock, RecvTimesOut) {
     const SimTime t0 = f.sim.now();
     EXPECT_EQ(co_await f.b.u_recv(srv, buf, sizeof(buf), nullptr, 50), -1);
     EXPECT_EQ(f.sim.now() - t0, 50_ms);
+    ok = true;
+  }(fx, done));
+  fx.sim.run(10_s);
+  EXPECT_TRUE(done);
+}
+
+// The simulated U-Net is FIFO per sender: whatever adversarial order the
+// application *sends* in — here a fuzz-permuter plan with bounded reorder,
+// duplicates, and drops relative to the nominal sequence — the receiver
+// must observe exactly that sequence, element for element. This pins the
+// usocket layer's no-reorder/no-invention guarantee that the RPC reply
+// cache and bulk protocol upstream rely on.
+TEST(Usock, PreservesAdversarialSendSequence) {
+  Fixture fx;
+  bool done = false;
+  fx.sim.spawn([](Fixture& f, bool& ok) -> Co<void> {
+    const int srv = f.b.u_socket(1 << 16, 1 << 16);
+    const macaddr_t self = f.b.local_mac();
+    EXPECT_EQ(f.b.u_bind(srv, &self, 1), 0);
+    const int cli = f.a.u_socket(1 << 16, 1 << 16);
+    EXPECT_EQ(f.a.u_connect(cli, USocketStack::mac_of(2)), 0);
+
+    constexpr std::size_t kMsgs = 40;
+    const auto plan =
+        fuzz::permute_deliveries(kMsgs, 5, {0.15, 0.15, 3});
+    EXPECT_FALSE(plan.empty());
+
+    for (std::size_t idx : plan) {
+      const std::uint32_t tag = static_cast<std::uint32_t>(idx);
+      EXPECT_EQ(f.a.u_send(cli, &tag, sizeof(tag)),
+                static_cast<int>(sizeof(tag)));
+    }
+
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      std::uint32_t tag = 0;
+      macaddr_t from{};
+      const int n =
+          co_await f.b.u_recv(srv, &tag, sizeof(tag), &from, 2000);
+      EXPECT_EQ(n, static_cast<int>(sizeof(tag))) << "frame " << i;
+      if (n != static_cast<int>(sizeof(tag))) co_return;
+      EXPECT_EQ(tag, static_cast<std::uint32_t>(plan[i])) << "frame " << i;
+      EXPECT_EQ(from, USocketStack::mac_of(1));
+    }
+    // A dropped index was never sent, so nothing further may arrive.
+    std::uint32_t extra = 0;
+    EXPECT_EQ(co_await f.b.u_recv(srv, &extra, sizeof(extra), nullptr, 50),
+              -1);
+    ok = true;
+  }(fx, done));
+  fx.sim.run(10_s);
+  EXPECT_TRUE(done);
+}
+
+// Duplicate delivery is legal datagram behavior; the stack must hand both
+// copies up unchanged rather than deduplicating or corrupting.
+TEST(Usock, DeliversDuplicatesVerbatim) {
+  Fixture fx;
+  bool done = false;
+  fx.sim.spawn([](Fixture& f, bool& ok) -> Co<void> {
+    const int srv = f.b.u_socket(0, 0);
+    const macaddr_t self = f.b.local_mac();
+    EXPECT_EQ(f.b.u_bind(srv, &self, 1), 0);
+    const int cli = f.a.u_socket(0, 0);
+    EXPECT_EQ(f.a.u_connect(cli, USocketStack::mac_of(2)), 0);
+
+    const char msg[] = "dup me";
+    EXPECT_EQ(f.a.u_send(cli, msg, sizeof(msg)),
+              static_cast<int>(sizeof(msg)));
+    EXPECT_EQ(f.a.u_send(cli, msg, sizeof(msg)),
+              static_cast<int>(sizeof(msg)));
+    for (int copy = 0; copy < 2; ++copy) {
+      char buf[16] = {};
+      const int n = co_await f.b.u_recv(srv, buf, sizeof(buf), nullptr, 1000);
+      EXPECT_EQ(n, static_cast<int>(sizeof(msg))) << "copy " << copy;
+      if (n != static_cast<int>(sizeof(msg))) co_return;
+      EXPECT_STREQ(buf, "dup me");
+    }
     ok = true;
   }(fx, done));
   fx.sim.run(10_s);

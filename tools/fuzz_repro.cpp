@@ -1,0 +1,129 @@
+// Replay/explore driver for the simulation fuzzer.
+//
+//   fuzz_repro --seed N [--buggy-imd-cache] [--dump]
+//       Generate the schedule for seed N and run it with all oracles.
+//   fuzz_repro --schedule FILE [--buggy-imd-cache]
+//       Replay a serialized .schedule file (e.g. a shrunk failure).
+//   fuzz_repro --scan LO HI [--buggy-imd-cache]
+//       Run every seed in [LO, HI]; print one line per seed, exit nonzero
+//       if any run fails.
+//
+// Exit status: 0 = all runs green, 1 = violation or incomplete run,
+// 2 = usage/parse error. Build it under the fuzz-asan preset to replay a
+// failure under AddressSanitizer+UBSan (see DESIGN.md §8).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/schedule.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_repro (--seed N | --schedule FILE | --scan LO HI)"
+               " [--buggy-imd-cache] [--dump] [--shrink]\n");
+  return 2;
+}
+
+int run_one(const dodo::fuzz::Schedule& s, const dodo::fuzz::RunOptions& opt,
+            bool dump, bool shrink) {
+  if (dump) std::fputs(s.serialize().c_str(), stdout);
+  const auto r = dodo::fuzz::run_schedule(s, opt);
+  const auto& m = r.client_metrics;
+  std::printf(
+      "seed=%llu ops=%zu faults=%zu deliveries=%llu mopens=%llu/%llu "
+      "pushes=%llu reads=%llu writes=%llu drops=%llu %s%s%s\n",
+      static_cast<unsigned long long>(s.seed), r.ops_executed,
+      r.faults_applied, static_cast<unsigned long long>(r.deliveries_probed),
+      static_cast<unsigned long long>(m.mopens - m.mopen_failures),
+      static_cast<unsigned long long>(m.mopens),
+      static_cast<unsigned long long>(m.remote_pushes),
+      static_cast<unsigned long long>(m.remote_reads),
+      static_cast<unsigned long long>(m.remote_writes),
+      static_cast<unsigned long long>(m.descriptors_dropped),
+      r.completed ? "completed" : "DID-NOT-FINISH",
+      r.violation.empty() ? "" : " VIOLATION: ", r.violation.c_str());
+  if (!r.ok() && shrink) {
+    const auto sr = dodo::fuzz::shrink_schedule(s, [&](const auto& cand) {
+      return !dodo::fuzz::run_schedule(cand, opt).ok();
+    });
+    std::printf("# shrunk %zu -> %zu events in %zu runs\n", sr.initial_size,
+                sr.minimal.size(), sr.runs);
+    const auto rm = dodo::fuzz::run_schedule(sr.minimal, opt);
+    std::printf("# minimal violation: %s\n",
+                rm.violation.empty() ? "(did not finish)"
+                                     : rm.violation.c_str());
+    std::fputs(sr.minimal.serialize().c_str(), stdout);
+  }
+  return r.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dodo::fuzz::RunOptions opt;
+  bool dump = false;
+  bool shrink = false;
+  long long seed = -1, scan_lo = -1, scan_hi = -1;
+  std::string schedule_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      seed = std::atoll(argv[++i]);
+    } else if (arg == "--schedule" && i + 1 < argc) {
+      schedule_file = argv[++i];
+    } else if (arg == "--scan" && i + 2 < argc) {
+      scan_lo = std::atoll(argv[++i]);
+      scan_hi = std::atoll(argv[++i]);
+    } else if (arg == "--buggy-imd-cache") {
+      opt.buggy_imd_reply_cache = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--shrink") {
+      shrink = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!schedule_file.empty()) {
+    std::ifstream in(schedule_file);
+    if (!in) {
+      std::fprintf(stderr, "fuzz_repro: cannot open %s\n",
+                   schedule_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    dodo::fuzz::Schedule s;
+    std::string err;
+    if (!dodo::fuzz::Schedule::parse(text.str(), s, &err)) {
+      std::fprintf(stderr, "fuzz_repro: parse error: %s\n", err.c_str());
+      return 2;
+    }
+    return run_one(s, opt, dump, shrink);
+  }
+  if (seed >= 0) {
+    return run_one(dodo::fuzz::generate_schedule(
+                       static_cast<std::uint64_t>(seed)),
+                   opt, dump, shrink);
+  }
+  if (scan_lo >= 0 && scan_hi >= scan_lo) {
+    int rc = 0;
+    for (long long s = scan_lo; s <= scan_hi; ++s) {
+      rc |= run_one(dodo::fuzz::generate_schedule(
+                        static_cast<std::uint64_t>(s)),
+                    opt, dump, shrink);
+    }
+    return rc;
+  }
+  return usage();
+}

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Soak-scale fuzz scan: builds the requested preset and runs the opt-in
+# `fuzz`-labeled ctest configuration (which plain `ctest` never touches).
+#
+# Usage:
+#   tools/fuzz_soak.sh [preset] [seed_base] [seed_count]
+#
+#   preset      "default" (fast) or "fuzz-asan" (ASan+UBSan). Default: default.
+#   seed_base   first seed of the scan window            (default 1)
+#   seed_count  number of consecutive seeds to run       (default 500)
+#
+# Every failing seed is printed with a ready-to-paste reproduction command
+# (see README.md "Reporting fuzz failures"); rerun it with
+#   build/tools/fuzz_repro --seed N --shrink
+# to get the minimal schedule and a regression-test body.
+set -eu
+
+preset="${1:-default}"
+base="${2:-1}"
+count="${3:-500}"
+
+case "$preset" in
+  default)   build_dir="build" ;;
+  fuzz-asan) build_dir="build-fuzz-asan" ;;
+  *) echo "fuzz_soak.sh: unknown preset '$preset' (want default|fuzz-asan)" >&2
+     exit 2 ;;
+esac
+
+cd "$(dirname "$0")/.."
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j"$(nproc)"
+
+DODO_FUZZ_SEED_BASE="$base" DODO_FUZZ_SEED_COUNT="$count" \
+  ctest --test-dir "$build_dir" -C fuzz -L fuzz --output-on-failure
