@@ -12,6 +12,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "core/buddy_allocator.hpp"
@@ -116,6 +117,17 @@ void BM_Fragmentation(benchmark::State& state) {
     r = churn(kPool * pressure_pct / 100, min_sz, max_sz, 60000,
               coalesce_every, 7);
   }
+  {
+    auto& exporter = dodo::bench::json_exporter("ablation_allocator");
+    char key[96];
+    std::snprintf(key, sizeof(key), "allocator.first_fit.%s.c%d.p%d",
+                  region_sized ? "region" : "small", coalesce_every,
+                  pressure_pct);
+    exporter.set_milli(std::string(key) + ".fail_rate", r.failure_rate);
+    exporter.set_milli(std::string(key) + ".fragmentation", r.fragmentation);
+    exporter.set_scalar(std::string(key) + ".free_blocks",
+                        static_cast<std::int64_t>(r.free_blocks));
+  }
   state.counters["fail_rate"] = r.failure_rate;
   state.counters["fragmentation"] = r.fragmentation;
   state.counters["free_blocks"] = static_cast<double>(r.free_blocks);
@@ -155,6 +167,16 @@ void BM_FragmentationBuddy(benchmark::State& state) {
   ChurnResult r{};
   for (auto _ : state) {
     r = churn_buddy(kPool * pressure_pct / 100, min_sz, max_sz, 60000, 7);
+  }
+  {
+    auto& exporter = dodo::bench::json_exporter("ablation_allocator");
+    char key[96];
+    std::snprintf(key, sizeof(key), "allocator.buddy.%s.p%d",
+                  region_sized ? "region" : "small", pressure_pct);
+    exporter.set_milli(std::string(key) + ".fail_rate", r.failure_rate);
+    exporter.set_milli(std::string(key) + ".fragmentation", r.fragmentation);
+    exporter.set_scalar(std::string(key) + ".internal_waste",
+                        static_cast<std::int64_t>(r.internal_waste));
   }
   state.counters["fail_rate"] = r.failure_rate;
   state.counters["fragmentation"] = r.fragmentation;

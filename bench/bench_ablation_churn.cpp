@@ -58,6 +58,7 @@ void BM_Churn(benchmark::State& state) {
     cfg.rmd.start_recruited = false;  // hosts must earn idleness
   }
 
+  auto& exporter = dodo::bench::json_exporter("ablation_churn");
   double total_s = 0, steady_s = 0;
   std::uint64_t evictions = 0, drops = 0, stale = 0;
   for (auto _ : state) {
@@ -88,6 +89,16 @@ void BM_Churn(benchmark::State& state) {
       drops = c.dodo()->metrics().descriptors_dropped;
       stale = c.cmd().metrics().stale_regions_dropped;
     }
+    exporter.absorb(c.metrics_snapshot());
+  }
+  {
+    static const char* mode_keys[] = {"baseline", "churn", "dedicated"};
+    const std::string key =
+        std::string("churn.") + mode_keys[state.range(0)];
+    exporter.set_milli(key + ".total_s", total_s);
+    exporter.set_milli(key + ".steady_s", steady_s);
+    exporter.set_scalar(key + ".evictions",
+                        static_cast<std::int64_t>(evictions));
   }
   state.counters["total_s"] = total_s;
   state.counters["steady_s"] = steady_s;

@@ -40,10 +40,18 @@ void BM_Policy(benchmark::State& state) {
   s.compute_per_req = 2 * kMillisecond;
   s.seed = 77;
 
+  auto& exporter = dodo::bench::json_exporter("ablation_policy");
   dodo::bench::SynthOutcome out;
   for (auto _ : state) {
     out = dodo::bench::run_synthetic_once(s, /*use_dodo=*/true,
-                                          /*unet=*/true, policy);
+                                          /*unet=*/true, policy, &exporter);
+  }
+  {
+    const std::string key = std::string("policy.") +
+                            dodo::bench::pattern_name(pattern) + "." +
+                            policy_name(policy);
+    exporter.set_milli(key + ".total_s", out.total_s);
+    exporter.set_milli(key + ".steady_s", out.steady_s);
   }
   state.counters["total_s"] = out.total_s;
   state.counters["steady_s"] = out.steady_s;

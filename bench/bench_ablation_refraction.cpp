@@ -33,6 +33,7 @@ void BM_Refraction(benchmark::State& state) {
   cfg.client.refraction = refraction;
   cfg.manage_overrides.clone_refraction = refraction;
 
+  auto& exporter = dodo::bench::json_exporter("ablation_refraction");
   double total_s = 0;
   std::uint64_t cmd_mopens = 0;
   std::uint64_t alloc_failures = 0;
@@ -49,6 +50,16 @@ void BM_Refraction(benchmark::State& state) {
     cmd_mopens = c.cmd().metrics().mopens;
     alloc_failures = c.cmd().metrics().alloc_failures;
     refraction_skips = c.dodo()->metrics().refraction_skips;
+    exporter.absorb(c.metrics_snapshot());
+  }
+  {
+    const std::string key =
+        "refraction." + std::to_string(state.range(0)) + "ms";
+    exporter.set_milli(key + ".total_s", total_s);
+    exporter.set_scalar(key + ".cmd_mopens",
+                        static_cast<std::int64_t>(cmd_mopens));
+    exporter.set_scalar(key + ".refraction_skips",
+                        static_cast<std::int64_t>(refraction_skips));
   }
   state.counters["total_s"] = total_s;
   state.counters["cmd_mopens"] = static_cast<double>(cmd_mopens);

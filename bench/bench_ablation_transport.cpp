@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/units.hpp"
 #include "net/bulk.hpp"
 #include "net/transport.hpp"
@@ -19,7 +20,8 @@ namespace {
 using namespace dodo;
 using sim::Co;
 
-SimTime bulk_time(const net::NetParams& params, Bytes64 len) {
+SimTime bulk_time(const net::NetParams& params, Bytes64 len,
+                  net::BulkStats* stats = nullptr) {
   sim::Simulator sim(1);
   net::Network nw(sim, params, 2);
   auto tx = nw.open_ephemeral(0);
@@ -27,26 +29,40 @@ SimTime bulk_time(const net::NetParams& params, Bytes64 len) {
   SimTime done = 0;
   net::BulkRecvResult rr;
   Status st;
+  net::BulkParams bp;
+  bp.stats = stats;
   sim.spawn([](net::Socket& s, net::BulkRecvResult& out, sim::Simulator& sm,
-               SimTime& t) -> Co<void> {
-    out = co_await net::bulk_recv(s, 1);
+               SimTime& t, net::BulkParams p) -> Co<void> {
+    out = co_await net::bulk_recv(s, 1, p);
     t = sm.now();
-  }(*rx, rr, sim, done));
-  sim.spawn([](net::Socket& s, net::Endpoint dst, Bytes64 n,
-               Status& out) -> Co<void> {
-    out = co_await net::bulk_send(s, dst, 1, net::BodyView{nullptr, n});
-  }(*tx, rx->local(), len, st));
+  }(*rx, rr, sim, done, bp));
+  sim.spawn([](net::Socket& s, net::Endpoint dst, Bytes64 n, Status& out,
+               net::BulkParams p) -> Co<void> {
+    out = co_await net::bulk_send(s, dst, 1, net::BodyView{nullptr, n}, p);
+  }(*tx, rx->local(), len, st, bp));
   sim.run(600_s);
   return done;
 }
 
 void BM_Transport(benchmark::State& state) {
   const Bytes64 len = state.range(0);
+  auto& exporter = dodo::bench::json_exporter("ablation_transport");
+  net::BulkStats udp_stats, unet_stats;
   SimTime udp = 0, unet = 0, batched = 0;
   for (auto _ : state) {
-    udp = bulk_time(net::NetParams::udp(), len);
-    unet = bulk_time(net::NetParams::unet(), len);
+    udp = bulk_time(net::NetParams::udp(), len, &udp_stats);
+    unet = bulk_time(net::NetParams::unet(), len, &unet_stats);
     batched = bulk_time(net::NetParams::unet_batched(), len);
+  }
+  {
+    const std::string key = "transport." + std::to_string(len) + "B.";
+    exporter.set_scalar(key + "udp_us", udp / 1000);
+    exporter.set_scalar(key + "unet_us", unet / 1000);
+    exporter.set_scalar(key + "batched_us", batched / 1000);
+    obs::MetricsSnapshot bulk;
+    udp_stats.export_into(bulk, key + "udp.bulk.");
+    unet_stats.export_into(bulk, key + "unet.bulk.");
+    exporter.absorb(bulk);
   }
   auto mbps = [len](SimTime t) {
     return static_cast<double>(len) / to_seconds(t) / 1e6;

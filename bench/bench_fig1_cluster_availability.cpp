@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/units.hpp"
 #include "trace/memory_trace.hpp"
 
@@ -45,6 +46,17 @@ void BM_Fig1(benchmark::State& state) {
     series = trace::cluster_availability(
         is_a ? trace::cluster_a_hosts() : trace::cluster_b_hosts(), cfg,
         is_a ? 11 : 13);
+  }
+  {
+    auto& exporter = dodo::bench::json_exporter("fig1_cluster_availability");
+    const std::string key =
+        std::string("fig1.") + (is_a ? "cluster_a" : "cluster_b");
+    exporter.set_scalar(key + ".mean_all_kb",
+                        static_cast<std::int64_t>(std::llround(
+                            series.mean_all() * 1024.0)));
+    exporter.set_scalar(key + ".mean_idle_kb",
+                        static_cast<std::int64_t>(std::llround(
+                            series.mean_idle() * 1024.0)));
   }
   state.counters["mean_all_mb"] = series.mean_all();
   state.counters["mean_idle_mb"] = series.mean_idle();

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/units.hpp"
+#include "bench_util.hpp"
 #include "trace/memory_trace.hpp"
 
 namespace {
@@ -38,6 +39,17 @@ void BM_Fig2(benchmark::State& state) {
   const int dips = tr.dips_below(0.25);
   const double days = to_seconds(cfg.duration) / 86400.0;
 
+  {
+    auto& exporter = dodo::bench::json_exporter("fig2_host_availability");
+    const std::string key = "fig2." + std::to_string(tr.total_kb / 1024) +
+                            "mb";
+    exporter.set_scalar(key + ".mean_avail_kb",
+                        static_cast<std::int64_t>(std::llround(
+                            tr.mean_available_mb() * 1024.0)));
+    exporter.set_milli(key + ".frac_above_half",
+                       static_cast<double>(high) / n);
+    exporter.set_scalar(key + ".dips", dips);
+  }
   state.counters["mean_avail_mb"] = tr.mean_available_mb();
   state.counters["frac_above_half"] = static_cast<double>(high) / n;
   state.counters["dips_per_day"] = static_cast<double>(dips) / days;

@@ -56,6 +56,7 @@ void print_row(const Fig7Row& r) {
 }
 
 void BM_Fig7_Dmine(benchmark::State& state) {
+  auto& exporter = dodo::bench::json_exporter("fig7_applications");
   const bool unet = state.range(0) != 0;
   const Bytes64 dataset = dodo::bench::scaled(1_GiB);
   const Bytes64 block = 128_KiB;
@@ -99,7 +100,14 @@ void BM_Fig7_Dmine(benchmark::State& state) {
       }
       run1_s = to_seconds(st1.total());
       run2_s = to_seconds(st2.total());
+      exporter.absorb(c.metrics_snapshot());
     }
+  }
+  {
+    const std::string key = std::string("fig7.dmine.") +
+                            (unet ? "unet" : "udp");
+    exporter.set_milli(key + ".speedup", base_s / run2_s);
+    exporter.set_milli(key + ".speedup_run1", base_s / run1_s);
   }
   state.counters["speedup"] = base_s / run2_s;
   state.counters["speedup_run1"] = base_s / run1_s;
@@ -108,6 +116,7 @@ void BM_Fig7_Dmine(benchmark::State& state) {
 }
 
 void BM_Fig7_Lu(benchmark::State& state) {
+  auto& exporter = dodo::bench::json_exporter("fig7_applications");
   const bool unet = state.range(0) != 0;
   const apps::LuConfig lu = scaled_lu();
 
@@ -135,8 +144,12 @@ void BM_Fig7_Lu(benchmark::State& state) {
         co_await apps::run_lu_modeled(cl, io, lu, &st);
       });
       dodo_s = to_seconds(st.total());
+      exporter.absorb(c.metrics_snapshot());
     }
   }
+  exporter.set_milli(std::string("fig7.lu.") + (unet ? "unet" : "udp") +
+                         ".speedup",
+                     base_s / dodo_s);
   state.counters["speedup"] = base_s / dodo_s;
   print_row({"lu", unet ? "U-Net" : "UDP", base_s, 0.0, dodo_s,
              unet ? 1.2 : 1.15});

@@ -64,16 +64,26 @@ void BM_Fig8(benchmark::State& state) {
   const bool unet = state.range(3) != 0;
 
   const SyntheticConfig cfg = make_config(pattern, req_kb, dataset_gb);
+  auto& exporter = dodo::bench::json_exporter("fig8_synthetics");
   dodo::bench::SynthOutcome base, dodo_run;
   for (auto _ : state) {
     base = baseline_for(cfg);
     dodo_run = dodo::bench::run_synthetic_once(
-        cfg, /*use_dodo=*/true, unet, dodo::manage::Policy::kLru);
+        cfg, /*use_dodo=*/true, unet, dodo::manage::Policy::kLru, &exporter);
   }
   const double speedup_total = base.total_s / dodo_run.total_s;
   const double speedup_steady = base.steady_s / dodo_run.steady_s;
   const double speedup_last = base.stats.last_iteration_seconds() /
                               dodo_run.stats.last_iteration_seconds();
+  {
+    char key[96];
+    std::snprintf(key, sizeof(key), "fig8.%s.%lldk.%dgb.%s",
+                  dodo::bench::pattern_name(pattern),
+                  static_cast<long long>(req_kb), dataset_gb,
+                  unet ? "unet" : "udp");
+    exporter.set_milli(std::string(key) + ".speedup_total", speedup_total);
+    exporter.set_milli(std::string(key) + ".speedup_steady", speedup_steady);
+  }
   state.counters["speedup_total"] = speedup_total;
   state.counters["speedup_steady"] = speedup_steady;
   state.counters["speedup_last_iter"] = speedup_last;

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/units.hpp"
 #include "trace/memory_trace.hpp"
 
@@ -21,6 +22,20 @@ void BM_Table1(benchmark::State& state) {
   trace::Table1Row row;
   for (auto _ : state) {
     row = trace::summarize_class(cls, 24, cfg, 2024);
+  }
+  {
+    auto& exporter = dodo::bench::json_exporter("table1_memory_usage");
+    const std::string key =
+        "table1." + std::to_string(paper.total_kb / 1024) + "mb";
+    exporter.set_scalar(key + ".avail_mean_kb",
+                        static_cast<std::int64_t>(std::llround(
+                            row.avail.mean())));
+    exporter.set_scalar(key + ".avail_sd_kb",
+                        static_cast<std::int64_t>(std::llround(
+                            row.avail.stddev())));
+    exporter.set_scalar(key + ".fcache_mean_kb",
+                        static_cast<std::int64_t>(std::llround(
+                            row.fcache.mean())));
   }
   state.counters["avail_mean_kb"] = row.avail.mean();
   state.counters["avail_sd_kb"] = row.avail.stddev();

@@ -10,6 +10,7 @@
 // preserved. Set DODO_BENCH_SCALE=1 to run at exact paper scale.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -21,6 +22,53 @@
 #include "common/units.hpp"
 
 namespace dodo::bench {
+
+/// Deterministic metric export for a bench binary. Every benchmark case
+/// absorbs its cluster's metrics snapshot (counters/histograms merge across
+/// cases) and may record scalar results; at process exit the accumulated
+/// snapshot is written as BENCH_<name>.json into $DODO_BENCH_JSON_DIR
+/// (default: the working directory). All values are integers and the JSON
+/// field order is sorted, so same-seed runs produce byte-identical files.
+class JsonExporter {
+ public:
+  explicit JsonExporter(std::string name) : name_(std::move(name)) {}
+
+  ~JsonExporter() {
+    const char* dir = std::getenv("DODO_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    const std::string json = total_.to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "bench: wrote %s (%zu metrics)\n", path.c_str(),
+                 total_.size());
+  }
+
+  void absorb(const obs::MetricsSnapshot& snap) { total_.merge(snap); }
+
+  /// Records a result scalar. Results are i64 gauges, so merging repeated
+  /// cases keeps the sum — use distinct names per case for per-case values.
+  void set_scalar(const std::string& name, std::int64_t v) {
+    total_.set_gauge(name, v);
+  }
+
+  /// Fixed-point helper for ratios (speedups): stores round(v * 1000).
+  void set_milli(const std::string& name, double v) {
+    total_.set_gauge(name, static_cast<std::int64_t>(std::llround(v * 1e3)));
+  }
+
+ private:
+  std::string name_;
+  obs::MetricsSnapshot total_;
+};
+
+/// The process-wide exporter; the name passed on first use wins.
+inline JsonExporter& json_exporter(const char* name) {
+  static JsonExporter exporter{std::string(name)};
+  return exporter;
+}
 
 inline double scale() {
   static const double s = [] {
@@ -60,10 +108,12 @@ struct SynthOutcome {
   double steady_s = 0.0;  // per-iteration, iterations 2+
 };
 
-/// Runs one synthetic configuration on a fresh cluster.
+/// Runs one synthetic configuration on a fresh cluster. When `exporter` is
+/// given, the cluster's end-of-run metrics snapshot is absorbed into it.
 inline SynthOutcome run_synthetic_once(apps::SyntheticConfig scfg,
                                        bool use_dodo, bool unet,
-                                       manage::Policy policy) {
+                                       manage::Policy policy,
+                                       JsonExporter* exporter = nullptr) {
   cluster::Cluster c(paper_config(use_dodo, unet, policy));
   const int fd = c.create_dataset("data", scfg.dataset);
   std::unique_ptr<apps::BlockIo> io;
@@ -79,6 +129,7 @@ inline SynthOutcome run_synthetic_once(apps::SyntheticConfig scfg,
   });
   out.total_s = to_seconds(out.stats.total());
   out.steady_s = out.stats.steady_seconds();
+  if (exporter != nullptr) exporter->absorb(c.metrics_snapshot());
   return out;
 }
 

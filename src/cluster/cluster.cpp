@@ -11,6 +11,10 @@ namespace dodo::cluster {
 
 Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)), sim_(config_.seed) {
+  if (config_.spans == nullptr && config_.record_spans) {
+    owned_spans_ = std::make_unique<obs::SpanRecorder>(sim_);
+    config_.spans = owned_spans_.get();
+  }
   const auto nodes = static_cast<std::size_t>(config_.imd_hosts) + 2;
   net_ = std::make_unique<net::Network>(sim_, config_.net, nodes);
 
@@ -40,6 +44,7 @@ Cluster::Cluster(ClusterConfig config)
       core::ImdParams ip = config_.imd;
       ip.pool_bytes = config_.imd_pool;
       ip.materialize = config_.materialize;
+      ip.spans = config_.spans;
       rmds_.push_back(std::make_unique<core::ResourceMonitor>(
           sim_, *net_, node, cmd_->endpoint(), *activity, rp, ip));
       rmds_.back()->start();
@@ -75,13 +80,16 @@ void Cluster::restart_client() {
   assert(config_.use_dodo);
   manager_.reset();
   client_.reset();
+  runtime::ClientParams cp = config_.client;
+  cp.spans = config_.spans;
   client_ = std::make_unique<runtime::DodoClient>(
-      sim_, *net_, app_node(), cmd_->endpoint(), *fs_, config_.client);
+      sim_, *net_, app_node(), cmd_->endpoint(), *fs_, cp);
   client_->start();
   manage::ManageParams mp = config_.manage_overrides;
   mp.local_cache_bytes = config_.local_cache;
   mp.materialize = config_.materialize;
   mp.policy = config_.policy;
+  mp.spans = config_.spans;
   manager_ =
       std::make_unique<manage::RegionManager>(sim_, *client_, *fs_, mp);
 }
@@ -111,6 +119,26 @@ SimTime Cluster::run_app(std::function<sim::Co<void>(Cluster&)> app,
     std::abort();
   }
   return sim_.now() - start;
+}
+
+obs::MetricsSnapshot Cluster::metrics_snapshot() const {
+  obs::MetricsSnapshot out;
+  out.merge(cmd_->metrics_snapshot());
+  if (client_) out.merge(client_->metrics_snapshot());
+  if (manager_) out.merge(manager_->metrics_snapshot());
+  for (const auto& rmd : rmds_) {
+    out.merge(rmd->metrics_snapshot());
+    if (rmd->imd() != nullptr) out.merge(rmd->imd()->metrics_snapshot());
+  }
+  const net::NetMetrics& nm =
+      const_cast<net::Network&>(*net_).metrics();
+  out.set_counter("net.datagrams_sent", nm.datagrams_sent);
+  out.set_counter("net.datagrams_delivered", nm.datagrams_delivered);
+  out.set_counter("net.datagrams_lost", nm.datagrams_lost);
+  out.set_counter("net.datagrams_dropped", nm.datagrams_dropped);
+  out.set_counter("net.datagrams_cut", nm.datagrams_cut);
+  out.set_counter("net.payload_bytes_sent", nm.payload_bytes_sent);
+  return out;
 }
 
 bool Cluster::try_run_app(std::function<sim::Co<void>(Cluster&)> app,

@@ -20,6 +20,8 @@
 #include "disk/filesystem.hpp"
 #include "manage/region_manager.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/dodo_client.hpp"
 #include "sim/simulator.hpp"
 
@@ -49,6 +51,13 @@ struct ClusterConfig {
   core::ImdParams imd{};
   runtime::ClientParams client{};
   manage::ManageParams manage_overrides{};  // cache size/policy set from above
+  /// Optional trace-span sink, wired into the client, the region manager,
+  /// and every imd the rmds recruit. Not owned; must outlive the cluster.
+  obs::SpanRecorder* spans = nullptr;
+  /// Convenience for callers that cannot build a SpanRecorder up front (it
+  /// needs the cluster's own simulator): when true and `spans` is null, the
+  /// cluster owns a recorder bound to its clock, reachable via spans().
+  bool record_spans = false;
 };
 
 /// Owns the whole simulated deployment. Destruction tears down suspended
@@ -126,9 +135,23 @@ class Cluster {
   /// persistent-data experiments). Same client id: region keys match.
   void restart_client();
 
+  /// One deterministic in-process snapshot of the whole deployment: cmd,
+  /// client, region manager, every rmd (+ its imd when recruited), and the
+  /// network counters. Per-host metrics aggregate bucket-wise. This is what
+  /// the bench binaries export as JSON; the kStats RPC path serves the same
+  /// shapes over the wire.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// The span sink every component records into: the caller-supplied one,
+  /// the cluster-owned one (config.record_spans), or null.
+  [[nodiscard]] obs::SpanRecorder* spans() { return config_.spans; }
+
  private:
   ClusterConfig config_;
   sim::Simulator sim_;
+  // Destroyed after the daemons below: their ScopedSpan guards close out
+  // spans while suspended coroutine frames unwind during teardown.
+  std::unique_ptr<obs::SpanRecorder> owned_spans_;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<disk::SimFilesystem> fs_;
   std::unique_ptr<core::CentralManager> cmd_;

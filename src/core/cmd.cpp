@@ -117,6 +117,13 @@ sim::Co<void> CentralManager::serve_loop() {
           co_await handle_mfree(std::move(msg));
         }
         break;
+      case MsgKind::kStatsReq: {
+        net::Buf rep = make_header(MsgKind::kStatsRep, env->rid);
+        net::Writer w(rep);
+        w.str(metrics_snapshot().to_json());
+        sock_->send(msg.src, std::move(rep));
+        break;
+      }
       case MsgKind::kDetach: {
         net::Reader r = body_reader(msg);
         const std::uint32_t client = r.u32();
@@ -150,6 +157,7 @@ void CentralManager::handle_imd_register(const net::Message& msg) {
   const Bytes64 largest = r.i64();
   if (!r.ok()) return;
   auto& info = iwd_[node];
+  if (epoch > info.epoch && info.epoch != 0) ++metrics_.epoch_bumps_seen;
   info.idle = true;
   info.epoch = epoch;
   info.pool_total = pool;
@@ -417,6 +425,73 @@ sim::Co<void> CentralManager::reclaim_client(std::uint32_t client) {
   clients_.erase(client);
   DODO_INFO("cmd", "reclaimed %zu regions of dead client %u", victims.size(),
             client);
+}
+
+obs::MetricsSnapshot CentralManager::metrics_snapshot() const {
+  obs::MetricsSnapshot out;
+  out.set_counter("cmd.mopens", metrics_.mopens);
+  out.set_counter("cmd.mopen_reuses", metrics_.mopen_reuses);
+  out.set_counter("cmd.alloc_attempts", metrics_.alloc_attempts);
+  out.set_counter("cmd.alloc_failures", metrics_.alloc_failures);
+  out.set_counter("cmd.alloc_suspects", metrics_.alloc_suspects);
+  out.set_counter("cmd.alloc_cancels_acked", metrics_.alloc_cancels_acked);
+  out.set_counter("cmd.checkallocs", metrics_.checkallocs);
+  out.set_counter("cmd.stale_regions_dropped", metrics_.stale_regions_dropped);
+  out.set_counter("cmd.frees", metrics_.frees);
+  out.set_counter("cmd.pings_sent", metrics_.pings_sent);
+  out.set_counter("cmd.clients_reclaimed", metrics_.clients_reclaimed);
+  out.set_counter("cmd.regions_reclaimed", metrics_.regions_reclaimed);
+  out.set_counter("cmd.epoch_bumps_seen", metrics_.epoch_bumps_seen);
+  out.set_counter("cmd.stats_scrapes", metrics_.stats_scrapes);
+  out.set_counter("cmd.stats_scrape_failures",
+                  metrics_.stats_scrape_failures);
+  out.set_gauge("cmd.directory_size", static_cast<std::int64_t>(rd_.size()));
+  out.set_gauge("cmd.idle_hosts",
+                static_cast<std::int64_t>(idle_host_count()));
+  out.set_gauge("cmd.known_hosts", static_cast<std::int64_t>(iwd_.size()));
+  out.set_gauge("cmd.clients", static_cast<std::int64_t>(clients_.size()));
+  out.set_gauge("cmd.suspect_allocs",
+                static_cast<std::int64_t>(suspect_allocs_.size()));
+  out.set_gauge("cmd.reply_cache_size",
+                static_cast<std::int64_t>(reply_cache_.size()));
+  return out;
+}
+
+sim::Co<std::optional<obs::MetricsSnapshot>> CentralManager::scrape_host(
+    net::NodeId host) {
+  ++metrics_.stats_scrapes;
+  const std::uint64_t rid = rids_.next();
+  auto rep = co_await rpc_call(net_, node_, net::Endpoint{host, kRmdPort},
+                               make_header(MsgKind::kStatsReq, rid), rid,
+                               params_.imd_rpc);
+  if (!rep) {
+    ++metrics_.stats_scrape_failures;
+    co_return std::nullopt;
+  }
+  net::Reader rr = body_reader(*rep);
+  const std::string json = rr.str();
+  obs::MetricsSnapshot snap;
+  if (!rr.ok() || !obs::MetricsSnapshot::from_json(json, snap)) {
+    ++metrics_.stats_scrape_failures;
+    co_return std::nullopt;
+  }
+  co_return snap;
+}
+
+sim::Co<obs::MetricsSnapshot> CentralManager::scrape_cluster() {
+  // Snapshot the host list before awaiting: scrapes yield, and the IWD can
+  // gain or lose hosts mid-sweep.
+  std::vector<net::NodeId> hosts;
+  hosts.reserve(iwd_.size());
+  for (const auto& [node, info] : iwd_) hosts.push_back(node);
+  std::sort(hosts.begin(), hosts.end());
+  obs::MetricsSnapshot total;
+  for (const net::NodeId host : hosts) {
+    auto snap = co_await scrape_host(host);
+    if (snap) total.merge(*snap);
+  }
+  total.merge(metrics_snapshot());  // own view last; names are disjoint
+  co_return total;
 }
 
 sim::Co<void> CentralManager::keepalive_loop() {

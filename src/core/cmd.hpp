@@ -27,6 +27,7 @@
 #include "core/rpc.hpp"
 #include "core/wire.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -58,6 +59,11 @@ struct CmdMetrics {
   std::uint64_t pings_sent = 0;
   std::uint64_t clients_reclaimed = 0;
   std::uint64_t regions_reclaimed = 0;
+  /// Re-registrations observed with a larger epoch than the IWD held — an
+  /// imd restart (owner returned and left again, or a crash) seen from here.
+  std::uint64_t epoch_bumps_seen = 0;
+  std::uint64_t stats_scrapes = 0;        // per-host scrape RPCs issued
+  std::uint64_t stats_scrape_failures = 0;  // no reply / unparsable snapshot
 };
 
 class CentralManager {
@@ -96,6 +102,18 @@ class CentralManager {
   /// registration overwrote a fresh one and stale regions can serve reads.
   [[nodiscard]] std::vector<std::pair<net::NodeId, std::uint64_t>>
   iwd_epochs() const;
+
+  /// The manager's own metrics under "cmd." names (also the kStatsReq reply).
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// Scrapes one host's rmd stats endpoint (kRmdPort) over the wire.
+  /// nullopt when the host never answers or the payload does not parse.
+  sim::Co<std::optional<obs::MetricsSnapshot>> scrape_host(net::NodeId host);
+
+  /// Own snapshot merged with a scrape of every host in the IWD (visited in
+  /// node-id order; unreachable hosts are skipped and counted). Per-host
+  /// rmd/imd counters aggregate bucket-wise into cluster totals.
+  sim::Co<obs::MetricsSnapshot> scrape_cluster();
 
  private:
   struct HostInfo {

@@ -28,7 +28,11 @@ IdleMemoryDaemon::IdleMemoryDaemon(sim::Simulator& sim, net::Network& net,
       params_(params),
       pool_(params.pool_bytes),
       inflight_(sim),
-      stop_ch_(sim) {}
+      stop_ch_(sim) {
+  // The bulk counters live in the daemon, not the params copy, so every
+  // transfer this incarnation serves aggregates into one place.
+  params_.bulk.stats = &bulk_stats_;
+}
 
 IdleMemoryDaemon::~IdleMemoryDaemon() = default;
 
@@ -104,6 +108,9 @@ sim::Co<void> IdleMemoryDaemon::control_loop() {
       case MsgKind::kFreeReq:
         handle_free(msg, body_reader(msg));
         break;
+      case MsgKind::kStatsReq:
+        handle_stats(msg);
+        break;
       default:
         break;
     }
@@ -123,6 +130,7 @@ void IdleMemoryDaemon::cache_reply(std::uint64_t rid, net::Buf reply) {
   if (params_.buggy_clear_all_reply_cache) {
     // The PR-1 bug, preserved behind a test-only flag for the fuzz harness:
     // overflow wipes everything, including the reply just cached.
+    metrics_.reply_cache_evictions += reply_cache_.size();
     reply_cache_.clear();
     reply_order_.clear();
     return;
@@ -131,6 +139,7 @@ void IdleMemoryDaemon::cache_reply(std::uint64_t rid, net::Buf reply) {
          !reply_order_.empty()) {
     reply_cache_.erase(reply_order_.front());
     reply_order_.pop_front();
+    ++metrics_.reply_cache_evictions;
   }
 }
 
@@ -143,6 +152,7 @@ void IdleMemoryDaemon::reply_cached_or(const net::Message& msg,
 void IdleMemoryDaemon::handle_alloc(const net::Message& msg, net::Reader r) {
   const auto env = peek_envelope(msg);
   if (auto it = reply_cache_.find(env->rid); it != reply_cache_.end()) {
+    ++metrics_.reply_cache_hits;
     ctl_sock_->send(msg.src, it->second);  // idempotent retry
     return;
   }
@@ -164,6 +174,7 @@ void IdleMemoryDaemon::handle_alloc(const net::Message& msg, net::Reader r) {
     w.u64(0);
   } else if (auto offset = pool_.alloc(len)) {
     ++metrics_.allocs;
+    pool_used_.add(len);
     const std::uint64_t id = next_region_id_++;
     Region region;
     region.pool_offset = *offset;
@@ -194,6 +205,7 @@ void IdleMemoryDaemon::handle_alloc_cancel(const net::Message& msg,
     for (auto it = regions_.begin(); it != regions_.end(); ++it) {
       if (it->second.alloc_rid == target_rid) {
         pool_.free(it->second.pool_offset);
+        pool_used_.add(-it->second.len);
         regions_.erase(it);
         ++metrics_.allocs_cancelled;
         freed = true;
@@ -226,6 +238,7 @@ void IdleMemoryDaemon::handle_alloc_cancel(const net::Message& msg,
 void IdleMemoryDaemon::handle_free(const net::Message& msg, net::Reader r) {
   const auto env = peek_envelope(msg);
   if (auto it = reply_cache_.find(env->rid); it != reply_cache_.end()) {
+    ++metrics_.reply_cache_hits;
     ctl_sock_->send(msg.src, it->second);
     return;
   }
@@ -236,6 +249,7 @@ void IdleMemoryDaemon::handle_free(const net::Message& msg, net::Reader r) {
     // Memory is marked free and reused, never returned to the OS (§3.1);
     // coalescing happens periodically, not here (§4.2).
     ok = pool_.free(it->second.pool_offset);
+    pool_used_.add(-it->second.len);
     regions_.erase(it);
     ++metrics_.frees;
   }
@@ -271,6 +285,8 @@ sim::Co<void> IdleMemoryDaemon::data_loop() {
 }
 
 sim::Co<void> IdleMemoryDaemon::handle_read(net::Message req) {
+  const SimTime t0 = sim_.now();
+  obs::ScopedSpan span(params_.spans, "imd.read");
   const auto env = peek_envelope(req);
   net::Reader r = body_reader(req);
   const std::uint64_t region_id = r.u64();
@@ -318,11 +334,14 @@ sim::Co<void> IdleMemoryDaemon::handle_read(net::Message req) {
   if (st.is_ok()) {
     ++metrics_.reads_served;
     metrics_.bytes_read += n;
+    flush_latency_.observe(sim_.now() - t0);
   }
   inflight_.done();
 }
 
 sim::Co<void> IdleMemoryDaemon::handle_write(net::Message req) {
+  const SimTime t0 = sim_.now();
+  obs::ScopedSpan span(params_.spans, "imd.write");
   const auto env = peek_envelope(req);
   net::Reader r = body_reader(req);
   const std::uint64_t region_id = r.u64();
@@ -370,6 +389,7 @@ sim::Co<void> IdleMemoryDaemon::handle_write(net::Message req) {
         }
         ++metrics_.writes_served;
         metrics_.bytes_written += n;
+        fill_latency_.observe(sim_.now() - t0);
       }
     }
   }
@@ -379,6 +399,43 @@ sim::Co<void> IdleMemoryDaemon::handle_write(net::Message req) {
   w.i64(code == Err::kOk ? n : 0);
   hsock->send(req.src, std::move(rep));
   inflight_.done();
+}
+
+void IdleMemoryDaemon::handle_stats(const net::Message& msg) {
+  const auto env = peek_envelope(msg);
+  net::Buf rep = make_header(MsgKind::kStatsRep, env->rid);
+  net::Writer w(rep);
+  w.str(metrics_snapshot().to_json());
+  ctl_sock_->send(msg.src, std::move(rep));
+}
+
+obs::MetricsSnapshot IdleMemoryDaemon::metrics_snapshot() const {
+  obs::MetricsSnapshot out;
+  out.set_counter("imd.allocs", metrics_.allocs);
+  out.set_counter("imd.alloc_failures", metrics_.alloc_failures);
+  out.set_counter("imd.stale_alloc_rejects", metrics_.stale_alloc_rejects);
+  out.set_counter("imd.allocs_cancelled", metrics_.allocs_cancelled);
+  out.set_counter("imd.frees", metrics_.frees);
+  out.set_counter("imd.reads_served", metrics_.reads_served);
+  out.set_counter("imd.writes_served", metrics_.writes_served);
+  out.set_counter("imd.bad_region_requests", metrics_.bad_region_requests);
+  out.set_counter("imd.bytes_read",
+                  static_cast<std::uint64_t>(metrics_.bytes_read));
+  out.set_counter("imd.bytes_written",
+                  static_cast<std::uint64_t>(metrics_.bytes_written));
+  out.set_counter("imd.reply_cache_hits", metrics_.reply_cache_hits);
+  out.set_counter("imd.reply_cache_evictions",
+                  metrics_.reply_cache_evictions);
+  out.set_gauge("imd.reply_cache_size",
+                static_cast<std::int64_t>(reply_cache_.size()));
+  out.set_gauge("imd.pool_bytes", pool_.pool_size());
+  out.set_gauge("imd.pool_used_bytes", pool_used_.value());
+  out.set_gauge("imd.regions", static_cast<std::int64_t>(regions_.size()));
+  out.set_gauge("imd.epoch", static_cast<std::int64_t>(epoch_));
+  out.set_histogram("imd.fill_latency", fill_latency_);
+  out.set_histogram("imd.flush_latency", flush_latency_);
+  bulk_stats_.export_into(out, "imd.bulk.");
+  return out;
 }
 
 sim::Co<void> IdleMemoryDaemon::coalesce_loop() {

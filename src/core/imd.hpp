@@ -25,6 +25,8 @@
 #include "core/wire.hpp"
 #include "net/bulk.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -48,6 +50,8 @@ struct ImdParams {
   /// fuzz harness can prove its oracles catch (and its shrinker minimizes)
   /// exactly this class of bug; never set outside tests.
   bool buggy_clear_all_reply_cache = false;
+  /// Optional trace-span sink (not owned). Null disables span recording.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 struct ImdMetrics {
@@ -65,6 +69,10 @@ struct ImdMetrics {
   std::uint64_t bad_region_requests = 0;
   std::int64_t bytes_read = 0;
   std::int64_t bytes_written = 0;
+  /// Alloc/free retransmits answered from the reply cache.
+  std::uint64_t reply_cache_hits = 0;
+  /// Cached replies dropped by the FIFO bound (or the test-only clear-all).
+  std::uint64_t reply_cache_evictions = 0;
 };
 
 class IdleMemoryDaemon {
@@ -107,6 +115,19 @@ class IdleMemoryDaemon {
   [[nodiscard]] std::vector<std::pair<std::uint64_t, Bytes64>> region_list()
       const;
 
+  /// Bulk protocol counters for every transfer this daemon served.
+  [[nodiscard]] const net::BulkStats& bulk_stats() const { return bulk_stats_; }
+
+  /// Incrementally-maintained pool occupancy (bytes backing live regions).
+  /// The fuzz conservation oracle cross-checks this against region_list().
+  [[nodiscard]] std::int64_t pool_used_bytes() const {
+    return pool_used_.value();
+  }
+
+  /// Everything this daemon knows about itself, under "imd." names. This is
+  /// also the kStatsReq reply body (serialized with to_json()).
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
  private:
   struct Region {
     Bytes64 pool_offset = 0;
@@ -134,6 +155,7 @@ class IdleMemoryDaemon {
   void reply_cached_or(const net::Message& msg, std::uint64_t rid,
                        net::Buf reply);
   void cache_reply(std::uint64_t rid, net::Buf reply);
+  void handle_stats(const net::Message& msg);
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -142,6 +164,10 @@ class IdleMemoryDaemon {
   net::Endpoint cmd_;
   ImdParams params_;
   ImdMetrics metrics_;
+  net::BulkStats bulk_stats_;
+  obs::Gauge pool_used_;
+  obs::LatencyHistogram fill_latency_;   // client write -> bytes in the pool
+  obs::LatencyHistogram flush_latency_;  // client read -> bytes on the wire
 
   PoolAllocator pool_;
   std::unordered_map<std::uint64_t, Region> regions_;

@@ -6,6 +6,14 @@
 
 namespace dodo::core {
 
+namespace {
+net::Message make_sentinel() {
+  net::Message m;
+  m.header = make_header(MsgKind::kShutdownSentinel, 0);
+  return m;
+}
+}  // namespace
+
 ResourceMonitor::ResourceMonitor(sim::Simulator& sim, net::Network& net,
                                  net::NodeId node, net::Endpoint cmd,
                                  const ActivitySource& activity,
@@ -27,20 +35,24 @@ void ResourceMonitor::start() {
   running_ = true;
   stopping_ = false;
   sock_ = net_.open_ephemeral(node_);
-  loops_.add(1);
+  stats_sock_ = net_.open(node_, kRmdPort);
+  loops_.add(2);
   sim_.spawn(monitor_loop());
+  sim_.spawn(stats_loop());
 }
 
 sim::Co<void> ResourceMonitor::stop() {
   if (!running_) co_return;
   stopping_ = true;
   stop_ch_.send(1);
+  stats_sock_->inject(make_sentinel());
   co_await loops_.wait();
   if (imd_) {
     co_await imd_->stop();
     imd_.reset();
   }
   sock_.reset();
+  stats_sock_.reset();
   running_ = false;
 }
 
@@ -61,7 +73,10 @@ void ResourceMonitor::recruit() {
                                                 activity_.active_memory(now),
                                                 params_.lotsfree,
                                                 params_.headroom_frac);
-  if (pool < params_.min_pool) return;
+  if (pool < params_.min_pool) {
+    ++metrics_.recruit_skips_small_pool;
+    return;
+  }
   ++metrics_.recruitments;
   notify_cmd(true);
   ImdParams p = imd_template_;
@@ -76,12 +91,18 @@ void ResourceMonitor::recruit() {
 
 sim::Co<void> ResourceMonitor::force_evict() {
   held_out_ = true;
-  if (recruited()) co_await evict();
+  if (recruited()) {
+    ++metrics_.forced_evictions;
+    co_await evict();
+  }
 }
 
 void ResourceMonitor::force_recruit() {
   held_out_ = false;
-  if (!recruited()) recruit();
+  if (!recruited()) {
+    ++metrics_.forced_recruits;
+    recruit();
+  }
 }
 
 sim::Co<void> ResourceMonitor::evict() {
@@ -109,8 +130,12 @@ sim::Co<void> ResourceMonitor::monitor_loop() {
     const bool cpu_quiet = activity_.load(now) < params_.load_threshold;
     const bool idle_sample = console_quiet && cpu_quiet;
 
+    ++metrics_.samples;
     if (idle_sample && !was_idle_sample) {
       idle_since = now;  // quiet streak starts
+      ++metrics_.busy_to_idle;
+    } else if (!idle_sample && was_idle_sample) {
+      ++metrics_.idle_to_busy;
     }
     was_idle_sample = idle_sample;
 
@@ -119,10 +144,45 @@ sim::Co<void> ResourceMonitor::monitor_loop() {
       co_await evict();
     } else if (idle_sample && !recruited() &&
                now - idle_since >= params_.idle_threshold) {
+      ++metrics_.refraction_timeouts;
       recruit();
     }
   }
   loops_.done();
+}
+
+sim::Co<void> ResourceMonitor::stats_loop() {
+  for (;;) {
+    net::Message msg = co_await stats_sock_->recv();
+    auto env = peek_envelope(msg);
+    if (!env) continue;
+    if (env->kind == MsgKind::kShutdownSentinel) break;
+    if (env->kind != MsgKind::kStatsReq) continue;
+    obs::MetricsSnapshot snap = metrics_snapshot();
+    if (imd_) snap.merge(imd_->metrics_snapshot());
+    net::Buf rep = make_header(MsgKind::kStatsRep, env->rid);
+    net::Writer w(rep);
+    w.str(snap.to_json());
+    stats_sock_->send(msg.src, std::move(rep));
+  }
+  loops_.done();
+}
+
+obs::MetricsSnapshot ResourceMonitor::metrics_snapshot() const {
+  obs::MetricsSnapshot out;
+  out.set_counter("rmd.recruitments", metrics_.recruitments);
+  out.set_counter("rmd.evictions", metrics_.evictions);
+  out.set_counter("rmd.samples", metrics_.samples);
+  out.set_counter("rmd.idle_to_busy", metrics_.idle_to_busy);
+  out.set_counter("rmd.busy_to_idle", metrics_.busy_to_idle);
+  out.set_counter("rmd.refraction_timeouts", metrics_.refraction_timeouts);
+  out.set_counter("rmd.recruit_skips_small_pool",
+                  metrics_.recruit_skips_small_pool);
+  out.set_counter("rmd.forced_evictions", metrics_.forced_evictions);
+  out.set_counter("rmd.forced_recruits", metrics_.forced_recruits);
+  out.set_gauge("rmd.epoch", static_cast<std::int64_t>(epoch_counter_));
+  out.set_gauge("rmd.recruited", recruited() ? 1 : 0);
+  return out;
 }
 
 }  // namespace dodo::core

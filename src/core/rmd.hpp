@@ -38,6 +38,19 @@ struct RmdParams {
 struct RmdMetrics {
   std::uint64_t recruitments = 0;
   std::uint64_t evictions = 0;
+  /// Activity samples taken by the monitor loop.
+  std::uint64_t samples = 0;
+  /// Sample-level transitions (console/load state flipping between samples).
+  std::uint64_t idle_to_busy = 0;
+  std::uint64_t busy_to_idle = 0;
+  /// Recruitments triggered by the idle streak outlasting idle_threshold —
+  /// the rmd's refraction period before it trusts a quiet host (§4.1).
+  std::uint64_t refraction_timeouts = 0;
+  /// Recruitments skipped because the computed pool was below min_pool.
+  std::uint64_t recruit_skips_small_pool = 0;
+  /// Fault-injection hook invocations that actually changed state.
+  std::uint64_t forced_evictions = 0;
+  std::uint64_t forced_recruits = 0;
 };
 
 class ResourceMonitor {
@@ -69,8 +82,13 @@ class ResourceMonitor {
   [[nodiscard]] const RmdMetrics& metrics() const { return metrics_; }
   [[nodiscard]] std::uint64_t current_epoch() const { return epoch_counter_; }
 
+  /// The monitor's own metrics under "rmd." names. The kRmdPort stats
+  /// endpoint serves this merged with the imd's snapshot when recruited.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
  private:
   sim::Co<void> monitor_loop();
+  sim::Co<void> stats_loop();
   void notify_cmd(bool idle);
   void recruit();
   sim::Co<void> evict();
@@ -85,6 +103,7 @@ class ResourceMonitor {
   RmdMetrics metrics_;
 
   std::unique_ptr<net::Socket> sock_;
+  std::unique_ptr<net::Socket> stats_sock_;  // kRmdPort scrape endpoint
   std::unique_ptr<IdleMemoryDaemon> imd_;
   std::uint64_t epoch_counter_ = 0;
   bool running_ = false;

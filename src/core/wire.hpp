@@ -26,6 +26,7 @@ namespace dodo::core {
 inline constexpr net::Port kCmdPort = 700;      // central manager daemon
 inline constexpr net::Port kImdCtlPort = 701;   // imd: alloc/free from cmd
 inline constexpr net::Port kImdDataPort = 702;  // imd: read/write from apps
+inline constexpr net::Port kRmdPort = 703;      // rmd: stats scrape endpoint
 inline constexpr net::Port kClientPort = 710;   // runtime lib: keep-alive
 
 enum class MsgKind : std::uint8_t {
@@ -61,6 +62,13 @@ enum class MsgKind : std::uint8_t {
   kWriteReq = 42,
   kWriteGo = 44,  // imd tells the client where to bulk-send the write data
   kWriteRep = 43,
+  // observability scrape: request carries no body; the reply body is the
+  // responder's metrics snapshot serialized as JSON text (obs::MetricsSnapshot
+  // round-trips it). The cmd answers with its own snapshot; an rmd answers
+  // with its snapshot merged with its imd's (when recruited); an imd answers
+  // with just its own.
+  kStatsReq = 50,
+  kStatsRep = 51,
   // never on the wire: injected locally to wake a daemon loop for shutdown
   kShutdownSentinel = 255,
 };

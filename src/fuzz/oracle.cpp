@@ -80,6 +80,30 @@ std::string check_descriptor_bound(cluster::Cluster& cluster,
   return "";
 }
 
+std::string check_conservation(cluster::Cluster& cluster) {
+  const runtime::ClientMetrics& m = cluster.dodo()->metrics();
+  if (m.mreads_total != m.remote_hits + m.disk_fallbacks) {
+    return fmt("metric-conservation",
+               "mreads %llu != remote hits %llu + disk fallbacks %llu",
+               static_cast<unsigned long long>(m.mreads_total),
+               static_cast<unsigned long long>(m.remote_hits),
+               static_cast<unsigned long long>(m.disk_fallbacks));
+  }
+  for (int h = 0; h < cluster.config().imd_hosts; ++h) {
+    core::IdleMemoryDaemon* imd = cluster.rmd(h).imd();
+    if (imd == nullptr) continue;
+    std::int64_t sum = 0;
+    for (const auto& [id, len] : imd->region_list()) sum += len;
+    if (sum != imd->pool_used_bytes()) {
+      return fmt("metric-conservation",
+                 "imd on host %d: pool gauge %lld B but regions sum %lld B", h,
+                 static_cast<long long>(imd->pool_used_bytes()),
+                 static_cast<long long>(sum));
+    }
+  }
+  return "";
+}
+
 std::string check_no_leaks(cluster::Cluster& cluster) {
   std::string report = fault::leak_report(cluster);
   if (report.empty()) return "";

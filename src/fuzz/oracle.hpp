@@ -41,4 +41,11 @@ class EpochOracle {
 /// Wraps fault::leak_report as an oracle ("" or "region-leak: ...").
 [[nodiscard]] std::string check_no_leaks(cluster::Cluster& cluster);
 
+/// Metric conservation, valid only at quiesce (an in-flight mread has been
+/// counted in the total but not yet resolved): every mread the client
+/// admitted landed in exactly one of remote_hits or disk_fallbacks, and each
+/// recruited imd's incrementally-maintained pool-occupancy gauge equals the
+/// sum of its live region lengths ("" or "metric-conservation: ...").
+[[nodiscard]] std::string check_conservation(cluster::Cluster& cluster);
+
 }  // namespace dodo::fuzz

@@ -256,6 +256,7 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
     note(check_reply_cache_bounds(c));
     note(check_descriptor_bound(c, static_cast<std::size_t>(s.slots)));
     note(check_no_leaks(c));
+    note(check_conservation(c));
     std::vector<std::uint8_t> disk(static_cast<std::size_t>(dataset));
     c.fs().store_of_inode(c.fs().inode_of(fd))->read(0, dataset, disk.data());
     if (disk != file_shadow) {

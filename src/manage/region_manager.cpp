@@ -141,12 +141,15 @@ sim::Co<void> RegionManager::drop_local(int cd, Region& r) {
   ++metrics_.evictions;
 }
 
-sim::Co<bool> RegionManager::grim_reaper(int incoming_cd, Bytes64 need) {
+sim::Co<bool> RegionManager::grim_reaper(int incoming_cd, Bytes64 need,
+                                         std::uint64_t parent_span) {
   if (need > params_.local_cache_bytes) co_return false;  // can never fit
+  obs::ScopedSpan span(params_.spans, "manage.grim_reaper", parent_span);
   while (params_.local_cache_bytes - resident_bytes_ < need) {
     const int victim_cd = select_victim(incoming_cd);
     if (victim_cd < 0) co_return false;  // first-in: incoming loses
     Region& victim = regions_.at(victim_cd);
+    ++metrics_.reaper_victims;
     if (victim.dirty) co_await write_to_disk(victim_cd, victim);
     co_await clone_remote(victim_cd, victim);  // best effort migration
     co_await drop_local(victim_cd, victim);
@@ -154,8 +157,10 @@ sim::Co<bool> RegionManager::grim_reaper(int incoming_cd, Bytes64 need) {
   co_return true;
 }
 
-sim::Co<bool> RegionManager::fault_in(int cd, Region& r) {
+sim::Co<bool> RegionManager::fault_in(int cd, Region& r,
+                                      std::uint64_t parent_span) {
   if (r.resident) co_return true;
+  obs::ScopedSpan span(params_.spans, "manage.fault_in", parent_span);
   // Attach to remote memory on a fault with no usable descriptor. If the
   // central manager still has this key cached (persistent datasets across
   // runs), the attach comes back "reused" and the fill below comes from
@@ -164,7 +169,7 @@ sim::Co<bool> RegionManager::fault_in(int cd, Region& r) {
   if (r.rdesc < 0 || !dodo_.active(r.rdesc)) {
     co_await ensure_remote_desc(r);
   }
-  if (!co_await grim_reaper(cd, r.len)) co_return false;
+  if (!co_await grim_reaper(cd, r.len, span.id())) co_return false;
 
   std::uint8_t* dst = nullptr;
   if (params_.materialize) {
@@ -209,9 +214,12 @@ sim::Co<Bytes64> RegionManager::cread(int cd, Bytes64 offset,
     co_return -1;
   }
   const Bytes64 n = std::min(len, r->len - offset);
+  obs::ScopedSpan span(params_.spans, "manage.cread");
+  const auto pol = static_cast<std::size_t>(params_.policy);
+  if (r->resident) ++policy_hits_[pol]; else ++policy_misses_[pol];
   r->last_access = ++access_clock_;
 
-  if (!r->resident && !co_await fault_in(cd, *r)) {
+  if (!r->resident && !co_await fault_in(cd, *r, span.id())) {
     co_await serve_bypass_read(*r, offset, buf, n);
     co_return n;
   }
@@ -292,9 +300,12 @@ sim::Co<Bytes64> RegionManager::cwrite(int cd, Bytes64 offset,
     co_return -1;
   }
   const Bytes64 n = std::min(len, r->len - offset);
+  obs::ScopedSpan span(params_.spans, "manage.cwrite");
+  const auto pol = static_cast<std::size_t>(params_.policy);
+  if (r->resident) ++policy_hits_[pol]; else ++policy_misses_[pol];
   r->last_access = ++access_clock_;
 
-  if (!r->resident && !co_await fault_in(cd, *r)) {
+  if (!r->resident && !co_await fault_in(cd, *r, span.id())) {
     // Bypass: write through to disk and, if a valid remote copy exists,
     // keep it coherent too (libdodo's parallel write-through).
     if (r->rdesc >= 0 && dodo_.active(r->rdesc) && r->remote_valid) {
@@ -399,6 +410,37 @@ sim::Co<void> RegionManager::close_all(bool keep_remote) {
       co_await cclose(cd);
     }
   }
+}
+
+obs::MetricsSnapshot RegionManager::metrics_snapshot() const {
+  obs::MetricsSnapshot out;
+  out.set_counter("manage.local_hits", metrics_.local_hits);
+  out.set_counter("manage.remote_fills", metrics_.remote_fills);
+  out.set_counter("manage.disk_fills", metrics_.disk_fills);
+  out.set_counter("manage.remote_passthrough", metrics_.remote_passthrough);
+  out.set_counter("manage.disk_passthrough", metrics_.disk_passthrough);
+  out.set_counter("manage.evictions", metrics_.evictions);
+  out.set_counter("manage.reaper_victims", metrics_.reaper_victims);
+  out.set_counter("manage.clones", metrics_.clones);
+  out.set_counter("manage.clone_failures", metrics_.clone_failures);
+  out.set_counter("manage.clone_refraction_skips",
+                  metrics_.clone_refraction_skips);
+  out.set_counter("manage.dirty_writebacks", metrics_.dirty_writebacks);
+  out.set_counter("manage.bytes_from_local",
+                  static_cast<std::uint64_t>(metrics_.bytes_from_local));
+  out.set_counter("manage.bytes_from_remote",
+                  static_cast<std::uint64_t>(metrics_.bytes_from_remote));
+  out.set_counter("manage.bytes_from_disk",
+                  static_cast<std::uint64_t>(metrics_.bytes_from_disk));
+  static constexpr const char* kPolicyNames[] = {"lru", "mru", "first_in"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string base = std::string("manage.policy.") + kPolicyNames[i];
+    out.set_counter(base + ".hits", policy_hits_[i]);
+    out.set_counter(base + ".misses", policy_misses_[i]);
+  }
+  out.set_gauge("manage.resident_bytes", resident_bytes_);
+  out.set_gauge("manage.regions", static_cast<std::int64_t>(regions_.size()));
+  return out;
 }
 
 }  // namespace dodo::manage

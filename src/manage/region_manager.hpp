@@ -19,6 +19,7 @@
 //              workloads (dmine, lu).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -27,6 +28,8 @@
 #include "common/units.hpp"
 #include "disk/filesystem.hpp"
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/dodo_client.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -41,6 +44,8 @@ struct ManageParams {
   Duration clone_refraction = seconds(5.0);  // Figure 5's refractionPeriod
   bool materialize = true;
   Policy policy = Policy::kLru;  // "If no policy is specified, LRU"
+  /// Optional trace-span sink (not owned). Null disables span recording.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 struct ManageMetrics {
@@ -57,6 +62,9 @@ struct ManageMetrics {
   std::int64_t bytes_from_local = 0;
   std::int64_t bytes_from_remote = 0;
   std::int64_t bytes_from_disk = 0;
+  /// Residents displaced by the grimReaper (Figure 5 victim count). Differs
+  /// from `evictions`, which also counts drops from cclose/close_all.
+  std::uint64_t reaper_victims = 0;
 };
 
 class RegionManager {
@@ -93,6 +101,19 @@ class RegionManager {
   [[nodiscard]] Bytes64 resident_bytes() const { return resident_bytes_; }
   [[nodiscard]] Policy policy() const { return params_.policy; }
 
+  /// Per-policy cache accounting: every cread/cwrite that reaches the cache
+  /// is a hit (region resident) or a miss, booked under the policy active
+  /// at access time — csetPolicy mid-run splits the counts.
+  [[nodiscard]] std::uint64_t policy_hits(Policy p) const {
+    return policy_hits_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::uint64_t policy_misses(Policy p) const {
+    return policy_misses_[static_cast<std::size_t>(p)];
+  }
+
+  /// Everything the library knows about itself, under "manage." names.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
   /// Test hooks.
   [[nodiscard]] bool resident(int cd) const;
   [[nodiscard]] bool has_remote(int cd) const;
@@ -115,7 +136,8 @@ class RegionManager {
 
   /// Figure 5: frees local space for `incoming` (needs `need` bytes).
   /// Returns true if the incoming region may be admitted.
-  sim::Co<bool> grim_reaper(int incoming_cd, Bytes64 need);
+  sim::Co<bool> grim_reaper(int incoming_cd, Bytes64 need,
+                            std::uint64_t parent_span = 0);
 
   /// Picks the victim per the current policy; -1 = evict nothing (first-in
   /// refuses to displace residents for the incoming region).
@@ -128,7 +150,7 @@ class RegionManager {
   /// the local copy if resident, else from disk. Unlike clone_remote this is
   /// not refraction-gated: it backs the explicit csync/close flush paths.
   sim::Co<bool> flush_to_remote(Region& r);
-  sim::Co<bool> fault_in(int cd, Region& r);
+  sim::Co<bool> fault_in(int cd, Region& r, std::uint64_t parent_span = 0);
   sim::Co<void> drop_local(int cd, Region& r);
 
   /// Releases a region's remote copy after a failed push: a never-filled
@@ -151,6 +173,8 @@ class RegionManager {
   disk::SimFilesystem& fs_;
   ManageParams params_;
   ManageMetrics metrics_;
+  std::array<std::uint64_t, 3> policy_hits_{};    // indexed by Policy
+  std::array<std::uint64_t, 3> policy_misses_{};
 
   std::unordered_map<int, Region> regions_;
   int next_cd_ = 0;

@@ -96,6 +96,28 @@ Bytes64 chunk_capacity(const NetParams& p) {
 
 }  // namespace
 
+void BulkStats::export_into(obs::MetricsSnapshot& out,
+                            const std::string& prefix) const {
+  out.set_counter(prefix + "sends_started", sends_started.value());
+  out.set_counter(prefix + "sends_completed", sends_completed.value());
+  out.set_counter(prefix + "single_packet_sends", single_packet_sends.value());
+  out.set_counter(prefix + "credit_requests", credit_requests.value());
+  out.set_counter(prefix + "credit_renegotiations",
+                  credit_renegotiations.value());
+  out.set_counter(prefix + "rounds", rounds.value());
+  out.set_counter(prefix + "chunks_sent", chunks_sent.value());
+  out.set_counter(prefix + "chunks_retransmitted",
+                  chunks_retransmitted.value());
+  out.set_counter(prefix + "nacks_received", nacks_received.value());
+  out.set_counter(prefix + "acks_received", acks_received.value());
+  out.set_counter(prefix + "bytes_sent", bytes_sent.value());
+  out.set_counter(prefix + "recvs_started", recvs_started.value());
+  out.set_counter(prefix + "recvs_completed", recvs_completed.value());
+  out.set_counter(prefix + "nacks_sent", nacks_sent.value());
+  out.set_counter(prefix + "window_clamps", window_clamps.value());
+  out.set_counter(prefix + "bytes_received", bytes_received.value());
+}
+
 sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
                           BodyView body, BulkParams params) {
   auto& net = sock.network();
@@ -105,7 +127,13 @@ sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
                                     ? 1
                                     : static_cast<std::uint64_t>(
                                           (total + chunk - 1) / chunk);
+  BulkStats* const st = params.stats;
+  if (st != nullptr) {
+    st->sends_started.inc();
+    if (nchunks == 1) st->single_packet_sends.inc();
+  }
 
+  std::vector<bool> sent_once(nchunks, false);
   auto send_data = [&](std::uint64_t seq) {
     const Bytes64 off = static_cast<Bytes64>(seq) * chunk;
     const Bytes64 len = std::min(chunk, total - off);
@@ -120,6 +148,15 @@ sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
     if (body.data != nullptr && len > 0) {
       payload.assign(body.data + off, body.data + off + len);
     }
+    if (st != nullptr) {
+      if (sent_once[seq]) {
+        st->chunks_retransmitted.inc();
+      } else {
+        st->chunks_sent.inc();
+      }
+      st->bytes_sent.inc(static_cast<std::uint64_t>(len > 0 ? len : 0));
+    }
+    sent_once[seq] = true;
     sock.send(dst, std::move(h), std::move(payload), len > 0 ? len : 0);
   };
 
@@ -128,7 +165,12 @@ sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
   Bytes64 window = chunk;
   if (nchunks > 1) {
     int tries = 0;
+    int req_sends = 0;
     for (;;) {
+      if (st != nullptr) {
+        st->credit_requests.inc();
+        if (++req_sends > 1) st->credit_renegotiations.inc();
+      }
       Buf h = encode_common(Kind::kReq, xfer_id);
       Writer w(h);
       w.i64(total);
@@ -164,6 +206,7 @@ sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
   int stalls = 0;
   std::size_t last_missing = missing.size() + 1;
   while (base < nchunks) {
+    if (st != nullptr) st->rounds.inc();
     for (const auto seq : missing) send_data(seq);
     // The whole blast must clear the wire before the receiver can possibly
     // acknowledge; a fixed timeout shorter than that would trigger
@@ -182,6 +225,7 @@ sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
     if (!d.ok || d.xfer != xfer_id) continue;
     switch (d.kind) {
       case Kind::kAck:
+        if (st != nullptr) st->acks_received.inc();
         if (d.next_base > base) {
           base = d.next_base;
           fill_round(base);
@@ -190,6 +234,7 @@ sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
         }
         break;
       case Kind::kNack:
+        if (st != nullptr) st->nacks_received.inc();
         missing = d.missing;
         if (missing.empty()) {
           // Defensive: an empty NACK would livelock the blast loop.
@@ -208,6 +253,7 @@ sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
         break;
     }
   }
+  if (st != nullptr) st->sends_completed.inc();
   co_return Status::ok();
 }
 
@@ -215,7 +261,14 @@ sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
                                   BulkParams params) {
   auto& net = sock.network();
   const Bytes64 chunk = chunk_capacity(net.params());
-  (void)chunk;
+
+  BulkStats* const st = params.stats;
+  if (st != nullptr) {
+    st->recvs_started.inc();
+    // A window smaller than one chunk cannot make progress; the credit
+    // grant below renegotiates it up to a single chunk.
+    if (params.window_bytes < chunk) st->window_clamps.inc();
+  }
 
   BulkRecvResult result;
   Bytes64 total = -1;
@@ -237,6 +290,7 @@ sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
     sock.send(peer, std::move(h));
   };
   auto send_nack = [&] {
+    if (st != nullptr) st->nacks_sent.inc();
     Buf h = encode_common(Kind::kNack, xfer_id);
     Writer w(h);
     std::vector<std::uint64_t> missing;
@@ -307,6 +361,10 @@ sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
         if (d.seq >= round_end) break;  // beyond window; drop
         if (!have[d.seq]) {
           have[d.seq] = true;
+          if (st != nullptr) {
+            st->bytes_received.inc(
+                static_cast<std::uint64_t>(d.chunk_len > 0 ? d.chunk_len : 0));
+          }
           if (msg->phantom_body()) {
             materialized = false;
           } else if (materialized && total > 0) {
@@ -327,6 +385,7 @@ sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
             result.size = total < 0 ? 0 : total;
             if (!materialized) result.data.clear();
             result.status = Status::ok();
+            if (st != nullptr) st->recvs_completed.inc();
             co_return result;
           }
           start_round();

@@ -14,13 +14,43 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/task.hpp"
 
 namespace dodo::net {
+
+/// Protocol-level counters for one endpoint's bulk transfers. Each owning
+/// component (an imd, a client) keeps its own instance and points its
+/// BulkParams at it, so the counters aggregate over every transfer that
+/// endpoint participates in — sends and receives both.
+struct BulkStats {
+  // Sender side.
+  obs::Counter sends_started;
+  obs::Counter sends_completed;
+  obs::Counter single_packet_sends;  // fast path: credit negotiation skipped
+  obs::Counter credit_requests;      // kReq datagrams put on the wire
+  obs::Counter credit_renegotiations;  // kReq re-sent (credit lost/timed out)
+  obs::Counter rounds;               // window blasts issued
+  obs::Counter chunks_sent;          // first transmissions
+  obs::Counter chunks_retransmitted;
+  obs::Counter nacks_received;
+  obs::Counter acks_received;
+  obs::Counter bytes_sent;
+  // Receiver side.
+  obs::Counter recvs_started;
+  obs::Counter recvs_completed;
+  obs::Counter nacks_sent;
+  obs::Counter window_clamps;  // window_bytes < one chunk, renegotiated up
+  obs::Counter bytes_received;
+
+  /// Exports every counter into `out` under `prefix` (e.g. "imd.bulk.").
+  void export_into(obs::MetricsSnapshot& out, const std::string& prefix) const;
+};
 
 struct BulkParams {
   /// Receiver window ("the amount of space available at the receiver").
@@ -31,6 +61,9 @@ struct BulkParams {
   Duration ack_timeout = millis(40);
   /// Rounds without forward progress before the transfer is abandoned.
   int max_retries = 8;
+  /// Optional protocol counters, owned by the endpoint (not by the params
+  /// copy). Null disables accounting.
+  BulkStats* stats = nullptr;
 };
 
 /// A borrowed view of the bytes to send. `data == nullptr` sends a phantom

@@ -162,6 +162,10 @@ void Network::send(Message msg) {
     ++metrics_.datagrams_lost;
     return;
   }
+  if (drop_filter_ && drop_filter_(msg)) {
+    ++metrics_.datagrams_lost;
+    return;
+  }
 
   const SimTime now = sim_.now();
   const SimTime ready = now + send_cpu_time(payload);

@@ -121,6 +121,15 @@ class Network {
     delivery_probe_ = std::move(probe);
   }
 
+  /// Test-only hook: a predicate consulted right before a datagram would be
+  /// delivered; returning true drops it (counted as a loss). Unlike
+  /// loss_rate this is deterministic and content-aware, so a test can
+  /// surgically drop, say, specific bulk DATA sequence numbers to force a
+  /// selective NACK. Pass an empty function to uninstall.
+  void set_drop_filter(std::function<bool(const Message&)> filter) {
+    drop_filter_ = std::move(filter);
+  }
+
   [[nodiscard]] const NetParams& params() const { return params_; }
   [[nodiscard]] NetMetrics& metrics() { return metrics_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
@@ -148,6 +157,7 @@ class Network {
   std::vector<Port> next_ephemeral_;
   std::unordered_map<Endpoint, Socket*, EndpointHash> bound_;
   std::function<void(const Message&)> delivery_probe_;
+  std::function<bool(const Message&)> drop_filter_;
 };
 
 /// An open datagram endpoint. Closing (destroying) the socket unbinds it;

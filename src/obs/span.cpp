@@ -1,0 +1,145 @@
+#include "obs/span.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dodo::obs {
+
+std::uint64_t SpanRecorder::begin(std::string name, std::uint64_t parent) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return 0;
+  }
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.start = sim_.now();
+  // Tabs and newlines would corrupt the TSV rows; names are code-supplied
+  // identifiers, so flatten rather than reject.
+  for (char& c : name) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  rec.name = std::move(name);
+  open_.emplace(rec.id, spans_.size());
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+void SpanRecorder::end(std::uint64_t id) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  spans_[it->second].end = sim_.now();
+  open_.erase(it);
+}
+
+std::string SpanRecorder::to_tsv() const {
+  std::string out = "# dodo spans v1 " + std::to_string(spans_.size()) + "\n";
+  char buf[96];
+  for (const SpanRecord& s : spans_) {
+    std::snprintf(buf, sizeof(buf), "%llu\t%llu\t%lld\t%lld\t",
+                  static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent),
+                  static_cast<long long>(s.start),
+                  static_cast<long long>(s.end));
+    out += buf;
+    out += s.name;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+/// Splits off the next line; returns false at end of input.
+bool next_line(const std::string& text, std::size_t& pos, std::string& line) {
+  if (pos >= text.size()) return false;
+  const std::size_t nl = text.find('\n', pos);
+  if (nl == std::string::npos) {
+    line = text.substr(pos);
+    pos = text.size();
+  } else {
+    line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+  }
+  return true;
+}
+
+bool fail(std::string* error, int line_no, const char* why) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + why;
+  }
+  return false;
+}
+
+bool parse_int(const std::string& s, std::size_t& pos, long long& out) {
+  char* end = nullptr;
+  const char* start = s.c_str() + pos;
+  out = std::strtoll(start, &end, 10);
+  if (end == start) return false;
+  pos += static_cast<std::size_t>(end - start);
+  return true;
+}
+
+bool eat_tab(const std::string& s, std::size_t& pos) {
+  if (pos >= s.size() || s[pos] != '\t') return false;
+  ++pos;
+  return true;
+}
+
+}  // namespace
+
+bool SpanRecorder::from_tsv(const std::string& text,
+                            std::vector<SpanRecord>& out, std::string* error) {
+  out.clear();
+  std::size_t pos = 0;
+  std::string line;
+  int line_no = 1;
+  if (!next_line(text, pos, line)) {
+    return fail(error, 1, "empty input");
+  }
+  long long expected = -1;
+  {
+    constexpr const char* kPrefix = "# dodo spans v1 ";
+    if (line.rfind(kPrefix, 0) != 0) {
+      return fail(error, 1, "missing \"# dodo spans v1\" header");
+    }
+    std::size_t p = std::strlen(kPrefix);
+    if (!parse_int(line, p, expected) || p != line.size() || expected < 0) {
+      return fail(error, 1, "bad span count in header");
+    }
+  }
+  while (next_line(text, pos, line)) {
+    ++line_no;
+    if (line.empty()) {
+      return fail(error, line_no, "empty row");
+    }
+    SpanRecord rec;
+    std::size_t p = 0;
+    long long id = 0;
+    long long parent = 0;
+    long long start = 0;
+    long long end = 0;
+    if (!parse_int(line, p, id) || id <= 0 || !eat_tab(line, p) ||
+        !parse_int(line, p, parent) || parent < 0 || !eat_tab(line, p) ||
+        !parse_int(line, p, start) || !eat_tab(line, p) ||
+        !parse_int(line, p, end) || !eat_tab(line, p)) {
+      return fail(error, line_no, "malformed id/parent/start/end fields");
+    }
+    rec.id = static_cast<std::uint64_t>(id);
+    rec.parent = static_cast<std::uint64_t>(parent);
+    rec.start = start;
+    rec.end = end;
+    rec.name = line.substr(p);
+    if (rec.name.empty()) {
+      return fail(error, line_no, "empty span name");
+    }
+    out.push_back(std::move(rec));
+  }
+  if (expected != static_cast<long long>(out.size())) {
+    return fail(error, line_no, "row count does not match header");
+  }
+  return true;
+}
+
+}  // namespace dodo::obs

@@ -1,0 +1,93 @@
+// Lightweight trace spans over the simulation clock.
+//
+// A span is a named [start, end) interval of sim time with an optional
+// parent, so nested operations (cread -> fault_in -> grim_reaper, or an imd
+// read serving a client mread) reconstruct into a tree offline. Parents are
+// explicit — coroutines interleave at every co_await, so an implicit
+// thread-local "current span" stack would attribute children to whichever
+// coroutine happened to run last. Recording is opt-in per component (a null
+// recorder pointer costs one branch) and bounded: past max_spans, new spans
+// are counted as dropped instead of growing without limit.
+//
+// Serialization follows src/trace's TSV convention: a "# dodo spans v1"
+// header, then one row per span, with the same strict "line N: why" parser
+// discipline as trace_from_tsv.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;      // 1-based, allocation order
+  std::uint64_t parent = 0;  // 0 = root
+  SimTime start = 0;
+  SimTime end = -1;  // -1 while the span is still open
+  std::string name;
+
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
+};
+
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(sim::Simulator& sim, std::size_t max_spans = 1 << 20)
+      : sim_(sim), max_spans_(max_spans) {}
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// Opens a span; returns its id (0 when the recorder is full).
+  std::uint64_t begin(std::string name, std::uint64_t parent = 0);
+
+  /// Closes an open span; ignores id 0 and unknown/already-closed ids.
+  void end(std::uint64_t id);
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// "# dodo spans v1 <count>" then "id\tparent\tstart\tend\tname" rows.
+  [[nodiscard]] std::string to_tsv() const;
+
+  /// Strict parser: rejects garbled headers, non-numeric fields, count
+  /// mismatches, and unterminated rows. On failure returns false and
+  /// (optionally) a "line N: why" message.
+  static bool from_tsv(const std::string& text, std::vector<SpanRecord>& out,
+                       std::string* error = nullptr);
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<SpanRecord> spans_;
+  std::unordered_map<std::uint64_t, std::size_t> open_;  // id -> index
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::size_t max_spans_;
+};
+
+/// RAII span guard, safe to hold across co_await (ends when the owning
+/// coroutine frame is destroyed, even on cancellation paths).
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanRecorder* rec, const char* name, std::uint64_t parent = 0)
+      : rec_(rec), id_(rec != nullptr ? rec->begin(name, parent) : 0) {}
+  ~ScopedSpan() {
+    if (rec_ != nullptr && id_ != 0) rec_->end(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Pass this as `parent` when opening child spans.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  SpanRecorder* rec_;
+  std::uint64_t id_;
+};
+
+}  // namespace dodo::obs

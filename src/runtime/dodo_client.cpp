@@ -18,7 +18,10 @@ DodoClient::DodoClient(sim::Simulator& sim, net::Network& net,
       cmd_(cmd),
       fs_(fs),
       params_(params),
-      loops_(sim) {}
+      loops_(sim) {
+  // Aggregate every bulk transfer this client runs into one counter set.
+  params_.bulk.stats = &bulk_stats_;
+}
 
 DodoClient::~DodoClient() = default;
 
@@ -158,13 +161,19 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
                                                      Bytes64 len) {
   Entry* e = lookup_active(rd);
   if (e == nullptr) {
+    // A real read attempt that degrades to disk: the caller will fall back.
+    ++metrics_.mreads_total;
+    ++metrics_.disk_fallbacks;
     dodo_errno() = kDodoENOMEM;  // §3.2: region not currently active
     co_return ReadResult{};
   }
   if (offset < 0 || offset >= e->len || len < 0) {
-    dodo_errno() = kDodoEINVAL;
+    dodo_errno() = kDodoEINVAL;  // caller bug, not a fallback — uncounted
     co_return ReadResult{};
   }
+  ++metrics_.mreads_total;
+  const SimTime t0 = sim_.now();
+  obs::ScopedSpan span(params_.spans, "client.mread");
   const Bytes64 n = std::min(len, e->len - offset);
 
   auto sock = net_.open_ephemeral(node_);
@@ -179,6 +188,7 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
 
   auto fail = [&]() {
     ++metrics_.access_failures;
+    ++metrics_.disk_fallbacks;
     drop_node(e->loc.host);
     dodo_errno() = kDodoENOMEM;
   };
@@ -204,7 +214,9 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
     std::copy_n(got.data.begin(), static_cast<std::size_t>(avail), buf);
   }
   ++metrics_.remote_reads;
+  ++metrics_.remote_hits;
   metrics_.remote_read_bytes += avail;
+  mread_latency_.observe(sim_.now() - t0);
   co_return ReadResult{avail, filled};
 }
 
@@ -215,6 +227,7 @@ sim::Co<Status> DodoClient::push_remote(int rd, Bytes64 offset,
   if (offset < 0 || offset >= e->len || len < 0) {
     co_return Status(Err::kInval, "bad offset/len");
   }
+  obs::ScopedSpan span(params_.spans, "client.push_remote");
   const Bytes64 n = std::min(len, e->len - offset);
 
   auto sock = net_.open_ephemeral(node_);
@@ -265,6 +278,9 @@ sim::Co<Bytes64> DodoClient::mwrite(int rd, Bytes64 offset,
     dodo_errno() = kDodoEINVAL;
     co_return -1;
   }
+  ++metrics_.mwrites_total;
+  const SimTime t0 = sim_.now();
+  obs::ScopedSpan span(params_.spans, "client.mwrite");
   const Bytes64 n = std::min(len, e->len - offset);
 
   // "Writes to remote memory are propagated to disk in parallel to being
@@ -294,10 +310,12 @@ sim::Co<Bytes64> DodoClient::mwrite(int rd, Bytes64 offset,
     co_return -1;
   }
   if (!remote_result.is_ok()) {
+    ++metrics_.mwrite_remote_failures;
     dodo_errno() = kDodoENOMEM;  // region no longer active
     co_return -1;
   }
   ++metrics_.remote_writes;
+  mwrite_latency_.observe(sim_.now() - t0);
   co_return n;
 }
 
@@ -340,6 +358,37 @@ sim::Co<int> DodoClient::msync(int rd) {
     co_return -1;
   }
   co_return 0;
+}
+
+obs::MetricsSnapshot DodoClient::metrics_snapshot() const {
+  obs::MetricsSnapshot out;
+  out.set_counter("client.mopens", metrics_.mopens);
+  out.set_counter("client.mopen_failures", metrics_.mopen_failures);
+  out.set_counter("client.refraction_skips", metrics_.refraction_skips);
+  out.set_counter("client.remote_reads", metrics_.remote_reads);
+  out.set_counter("client.remote_writes", metrics_.remote_writes);
+  out.set_counter("client.remote_pushes", metrics_.remote_pushes);
+  out.set_counter("client.remote_read_bytes",
+                  static_cast<std::uint64_t>(metrics_.remote_read_bytes));
+  out.set_counter("client.remote_write_bytes",
+                  static_cast<std::uint64_t>(metrics_.remote_write_bytes));
+  out.set_counter("client.access_failures", metrics_.access_failures);
+  out.set_counter("client.nodes_dropped", metrics_.nodes_dropped);
+  out.set_counter("client.descriptors_dropped",
+                  metrics_.descriptors_dropped);
+  out.set_counter("client.pings_answered", metrics_.pings_answered);
+  out.set_counter("client.mreads_total", metrics_.mreads_total);
+  out.set_counter("client.remote_hits", metrics_.remote_hits);
+  out.set_counter("client.disk_fallbacks", metrics_.disk_fallbacks);
+  out.set_counter("client.mwrites_total", metrics_.mwrites_total);
+  out.set_counter("client.mwrite_remote_failures",
+                  metrics_.mwrite_remote_failures);
+  out.set_gauge("client.region_table_size",
+                static_cast<std::int64_t>(regions_.size()));
+  out.set_histogram("client.mread_latency", mread_latency_);
+  out.set_histogram("client.mwrite_latency", mwrite_latency_);
+  bulk_stats_.export_into(out, "client.bulk.");
+  return out;
 }
 
 bool DodoClient::active(int rd) const {

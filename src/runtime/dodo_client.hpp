@@ -29,6 +29,8 @@
 #include "disk/filesystem.hpp"
 #include "net/bulk.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -41,6 +43,8 @@ struct ClientParams {
   Duration data_timeout = millis(500);   // waiting for imd Read/Write replies
   Duration refraction = seconds(5.0);    // §3.1 refraction period
   net::BulkParams bulk{};
+  /// Optional trace-span sink (not owned). Null disables span recording.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 struct ClientMetrics {
@@ -56,6 +60,14 @@ struct ClientMetrics {
   std::uint64_t nodes_dropped = 0;
   std::uint64_t descriptors_dropped = 0;
   std::uint64_t pings_answered = 0;
+  /// Conservation triple: every mread past argument validation lands in
+  /// exactly one of remote_hits or disk_fallbacks, so at quiesce
+  /// remote_hits + disk_fallbacks == mreads_total (fuzz oracle).
+  std::uint64_t mreads_total = 0;
+  std::uint64_t remote_hits = 0;
+  std::uint64_t disk_fallbacks = 0;
+  std::uint64_t mwrites_total = 0;
+  std::uint64_t mwrite_remote_failures = 0;
 };
 
 class DodoClient {
@@ -127,6 +139,11 @@ class DodoClient {
   [[nodiscard]] bool active(int rd) const;
 
   [[nodiscard]] const ClientMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const net::BulkStats& bulk_stats() const {
+    return bulk_stats_;
+  }
+  /// Everything the runtime knows about itself, under "client." names.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
   [[nodiscard]] std::uint32_t client_id() const {
     return params_.client_id;
   }
@@ -158,6 +175,9 @@ class DodoClient {
   disk::SimFilesystem& fs_;
   ClientParams params_;
   ClientMetrics metrics_;
+  net::BulkStats bulk_stats_;
+  obs::LatencyHistogram mread_latency_;   // successful remote reads only
+  obs::LatencyHistogram mwrite_latency_;  // successful parallel writes only
   core::RidSource rids_;
 
   std::unordered_map<int, Entry> regions_;

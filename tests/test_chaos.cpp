@@ -23,6 +23,7 @@
 #include "fuzz/generator.hpp"
 #include "fuzz/runner.hpp"
 #include "fuzz/schedule.hpp"
+#include "obs/metrics.hpp"
 
 namespace dodo {
 namespace {
@@ -149,7 +150,51 @@ void expect_all_faults_fired(const fault::FaultInjector& inj,
   }
 }
 
+/// Metric conservation at quiesce: every mread the client admitted resolved
+/// into exactly one of remote_hits / disk_fallbacks. Valid only after
+/// run_app returns (an in-flight mread is counted in the total first).
+void expect_mread_conservation(const obs::MetricsSnapshot& s) {
+  EXPECT_EQ(s.counter_value("client.mreads_total"),
+            s.counter_value("client.remote_hits") +
+                s.counter_value("client.disk_fallbacks"));
+}
+
 // ---------------------------------------------------------------------------
+
+TEST(Chaos, NoFaultControl) {
+  // Control run: the identical scan with no injector armed. Every
+  // resilience counter must be exactly zero — if one ticks here, the
+  // "chaos is visible in the metrics" assertions in the rest of this suite
+  // would be measuring background noise, not the injected faults.
+  const Bytes64 dataset = 2_MiB, block = 32_KiB;
+  const std::uint64_t baseline = disk_only_digest(dataset, block);
+
+  Cluster c(chaos_config(31));
+  const int fd = c.create_dataset("data", dataset);
+  fill_dataset(c, fd, dataset);
+  apps::DodoBlockIo io(*c.manager(), fd, dataset, block);
+  std::vector<std::uint64_t> digests;
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    for (int s = 0; s < 3; ++s) {
+      digests.push_back(
+          co_await sweep_read(cl, io, dataset, block, millis(5)));
+    }
+    co_await io.finish(false);
+  }, 3600_s);
+  expect_digests_match(digests, baseline);
+
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  EXPECT_EQ(s.counter_value("client.bulk.chunks_retransmitted"), 0u);
+  EXPECT_EQ(s.counter_value("imd.bulk.chunks_retransmitted"), 0u);
+  EXPECT_EQ(s.counter_value("client.bulk.nacks_received"), 0u);
+  EXPECT_EQ(s.counter_value("client.disk_fallbacks"), 0u);
+  EXPECT_EQ(s.counter_value("client.nodes_dropped"), 0u);
+  EXPECT_EQ(s.counter_value("net.datagrams_lost"), 0u);
+  EXPECT_EQ(s.counter_value("cmd.alloc_suspects"), 0u);
+  expect_mread_conservation(s);
+  // And the scan really did run on remote memory, not around it.
+  EXPECT_GT(s.counter_value("client.remote_hits"), 0u);
+}
 
 TEST(Chaos, LossBurstDuringScan) {
   // A 30% correlated loss burst — far beyond the IID rates the transport is
@@ -169,6 +214,19 @@ TEST(Chaos, LossBurstDuringScan) {
   expect_digests_match(digests, baseline);
   expect_all_faults_fired(inj, plan);
   EXPECT_GT(c.network().metrics().datagrams_lost, 0u);
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  // The burst must visibly engage bulk recovery on one side or the other:
+  // a receiver gap-timeout NACK, a chunk retransmission, or a sender
+  // re-requesting lost credit. (Which one fires depends on which datagram
+  // the deterministic schedule drops; NoFaultControl pins them all to zero.)
+  EXPECT_GT(s.counter_value("client.bulk.nacks_sent") +
+                s.counter_value("imd.bulk.nacks_sent") +
+                s.counter_value("client.bulk.chunks_retransmitted") +
+                s.counter_value("imd.bulk.chunks_retransmitted") +
+                s.counter_value("client.bulk.credit_renegotiations") +
+                s.counter_value("imd.bulk.credit_renegotiations"),
+            0u);
+  expect_mread_conservation(s);
   EXPECT_EQ(fault::leak_report(c), "");
 }
 
@@ -190,6 +248,7 @@ TEST(Chaos, PartitionAppFromHalfTheHosts) {
   expect_digests_match(digests, baseline);
   expect_all_faults_fired(inj, plan);
   EXPECT_GT(c.network().metrics().datagrams_cut, 0u);
+  expect_mread_conservation(c.metrics_snapshot());
   EXPECT_EQ(fault::leak_report(c), "");
 }
 
@@ -212,6 +271,12 @@ TEST(Chaos, ImdCrashMidBulkThenRestartWithEpochBump) {
   EXPECT_GE(c.dodo()->metrics().nodes_dropped, 1u);
   // The restarted daemon runs under a fresh epoch.
   EXPECT_GE(c.rmd(0).current_epoch(), 2u);
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  // The crash cut the imd out from under live remote regions, so at least
+  // one mread had to fall back to the disk path — and the fallback is
+  // *visible* in the metrics, not just implied by matching digests.
+  EXPECT_GT(s.counter_value("client.disk_fallbacks"), 0u);
+  expect_mread_conservation(s);
   EXPECT_EQ(fault::leak_report(c), "");
 }
 
@@ -270,6 +335,9 @@ TEST(Chaos, FreeReallocChurnWithDelayedRetransmits) {
   EXPECT_FALSE(mismatch) << "remote read returned bytes != pushed bytes";
   expect_all_faults_fired(inj, plan);
   EXPECT_GT(c.network().metrics().datagrams_lost, 0u);
+  // Lost replies forced rid retransmits of alloc/free, and the imds'
+  // bounded reply caches answered at least some of them from cache.
+  EXPECT_GT(c.metrics_snapshot().counter_value("imd.reply_cache_hits"), 0u);
   EXPECT_EQ(fault::leak_report(c), "");
 }
 
@@ -292,6 +360,7 @@ TEST(Chaos, CmdBlackoutDuringMopen) {
   const auto digests = run_scan_under_faults(c, inj, dataset, block, 3, 200);
   expect_digests_match(digests, baseline);
   expect_all_faults_fired(inj, plan);
+  expect_mread_conservation(c.metrics_snapshot());
   EXPECT_EQ(fault::leak_report(c), "");
 }
 
@@ -310,6 +379,7 @@ TEST(Chaos, CmdRestartMidRun) {
   const auto digests = run_scan_under_faults(c, inj, dataset, block, 3, 200);
   expect_digests_match(digests, baseline);
   expect_all_faults_fired(inj, plan);
+  expect_mread_conservation(c.metrics_snapshot());
   EXPECT_EQ(fault::leak_report(c), "");
 }
 
@@ -351,6 +421,11 @@ TEST(Chaos, ReclaimStormBoundsClientDescriptorTable) {
   // no matter how many storms blew through.
   EXPECT_LE(c.dodo()->region_table_size(),
             static_cast<std::size_t>(dataset / block));
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  // Two four-host storms: every evict/recruit shows up on the rmd side.
+  EXPECT_GE(s.counter_value("rmd.forced_evictions"), 8u);
+  EXPECT_GE(s.counter_value("rmd.forced_recruits"), 8u);
+  expect_mread_conservation(s);
   EXPECT_EQ(fault::leak_report(c), "");
 }
 
@@ -377,6 +452,7 @@ TEST(Chaos, RollingReclaim) {
   for (int h = 0; h < 4; ++h) {
     EXPECT_TRUE(c.rmd(h).recruited()) << "host " << h;
   }
+  expect_mread_conservation(c.metrics_snapshot());
   EXPECT_EQ(fault::leak_report(c), "");
 }
 
@@ -488,6 +564,11 @@ TEST(Chaos, KitchenSink) {
   // (Whether the partition window actually intercepts traffic depends on
   // which hosts the client touches while it is up; PartitionAppFromHalfTheHosts
   // asserts datagrams_cut on a schedule guaranteed to carry traffic.)
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  // The 500ms imd crash cut live remote regions: the degradation the
+  // matching digests prove is also visible as counted disk fallbacks.
+  EXPECT_GT(s.counter_value("client.disk_fallbacks"), 0u);
+  expect_mread_conservation(s);
   EXPECT_EQ(fault::leak_report(c), "");
 }
 

@@ -186,6 +186,106 @@ TEST(Manage, FirstInKeepsResidentsAndMigratesOverflowToRemote) {
   EXPECT_GE(fx.mgr.metrics().remote_passthrough, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// grimReaper policy accounting: one identical access sequence per policy,
+// with per-policy hit/miss counters asserted against hand-computed values
+// and mid-sequence residency checks pinning exactly which victim the reaper
+// chose at each eviction. Cache holds 2 x 128 KiB regions.
+//
+// Sequence: read a, b, a, c, a, b, c.
+
+TEST(Manage, LruAccountsHitsAndVictimOrder) {
+  ManageParams mp;
+  mp.local_cache_bytes = 256_KiB;
+  mp.policy = Policy::kLru;
+  Fixture fx(mp);
+  fx.run([](Fixture& f) -> Co<void> {
+    const int a = f.mgr.copen(128_KiB, f.fd, 0);
+    const int b = f.mgr.copen(128_KiB, f.fd, 128_KiB);
+    const int c = f.mgr.copen(128_KiB, f.fd, 256_KiB);
+    co_await f.mgr.cread(a, 0, nullptr, 64);  // miss -> {a}
+    co_await f.mgr.cread(b, 0, nullptr, 64);  // miss -> {a,b}
+    co_await f.mgr.cread(a, 0, nullptr, 64);  // hit
+    co_await f.mgr.cread(c, 0, nullptr, 64);  // miss, victim = b (coldest)
+    EXPECT_TRUE(f.mgr.resident(a));
+    EXPECT_FALSE(f.mgr.resident(b));
+    co_await f.mgr.cread(a, 0, nullptr, 64);  // hit
+    co_await f.mgr.cread(b, 0, nullptr, 64);  // miss, victim = c
+    EXPECT_FALSE(f.mgr.resident(c));
+    co_await f.mgr.cread(c, 0, nullptr, 64);  // miss, victim = a (coldest)
+    EXPECT_FALSE(f.mgr.resident(a));
+    EXPECT_TRUE(f.mgr.resident(b));
+    EXPECT_TRUE(f.mgr.resident(c));
+  });
+  EXPECT_EQ(fx.mgr.policy_hits(Policy::kLru), 2u);
+  EXPECT_EQ(fx.mgr.policy_misses(Policy::kLru), 5u);
+  // Only the active policy's bucket ever ticks.
+  EXPECT_EQ(fx.mgr.policy_hits(Policy::kMru), 0u);
+  EXPECT_EQ(fx.mgr.policy_misses(Policy::kMru), 0u);
+  EXPECT_EQ(fx.mgr.policy_hits(Policy::kFirstIn), 0u);
+  EXPECT_EQ(fx.mgr.policy_misses(Policy::kFirstIn), 0u);
+  // Three misses-with-full-cache, one 128 KiB victim each.
+  EXPECT_EQ(fx.mgr.metrics().reaper_victims, 3u);
+  const auto s = fx.mgr.metrics_snapshot();
+  EXPECT_EQ(s.counter_value("manage.policy.lru.hits"), 2u);
+  EXPECT_EQ(s.counter_value("manage.policy.lru.misses"), 5u);
+}
+
+TEST(Manage, MruAccountsHitsAndVictimOrder) {
+  ManageParams mp;
+  mp.local_cache_bytes = 256_KiB;
+  mp.policy = Policy::kMru;
+  Fixture fx(mp);
+  fx.run([](Fixture& f) -> Co<void> {
+    const int a = f.mgr.copen(128_KiB, f.fd, 0);
+    const int b = f.mgr.copen(128_KiB, f.fd, 128_KiB);
+    const int c = f.mgr.copen(128_KiB, f.fd, 256_KiB);
+    co_await f.mgr.cread(a, 0, nullptr, 64);  // miss -> {a}
+    co_await f.mgr.cread(b, 0, nullptr, 64);  // miss -> {a,b}
+    co_await f.mgr.cread(a, 0, nullptr, 64);  // hit; a is now hottest
+    co_await f.mgr.cread(c, 0, nullptr, 64);  // miss, victim = a (hottest)
+    EXPECT_FALSE(f.mgr.resident(a));          // opposite of the LRU run
+    EXPECT_TRUE(f.mgr.resident(b));
+    co_await f.mgr.cread(a, 0, nullptr, 64);  // miss, victim = c
+    EXPECT_FALSE(f.mgr.resident(c));
+    co_await f.mgr.cread(b, 0, nullptr, 64);  // hit
+    co_await f.mgr.cread(c, 0, nullptr, 64);  // miss, victim = b (hottest)
+    EXPECT_FALSE(f.mgr.resident(b));
+    EXPECT_TRUE(f.mgr.resident(a));
+    EXPECT_TRUE(f.mgr.resident(c));
+  });
+  EXPECT_EQ(fx.mgr.policy_hits(Policy::kMru), 2u);
+  EXPECT_EQ(fx.mgr.policy_misses(Policy::kMru), 5u);
+  EXPECT_EQ(fx.mgr.policy_hits(Policy::kLru), 0u);
+  EXPECT_EQ(fx.mgr.metrics().reaper_victims, 3u);
+}
+
+TEST(Manage, FirstInAccountsHitsAndNeverReaps) {
+  ManageParams mp;
+  mp.local_cache_bytes = 256_KiB;
+  mp.policy = Policy::kFirstIn;
+  Fixture fx(mp);
+  fx.run([](Fixture& f) -> Co<void> {
+    const int a = f.mgr.copen(128_KiB, f.fd, 0);
+    const int b = f.mgr.copen(128_KiB, f.fd, 128_KiB);
+    const int c = f.mgr.copen(128_KiB, f.fd, 256_KiB);
+    co_await f.mgr.cread(a, 0, nullptr, 64);  // miss -> {a}
+    co_await f.mgr.cread(b, 0, nullptr, 64);  // miss -> {a,b}
+    co_await f.mgr.cread(a, 0, nullptr, 64);  // hit
+    co_await f.mgr.cread(c, 0, nullptr, 64);  // miss; c flows remote, no evict
+    co_await f.mgr.cread(a, 0, nullptr, 64);  // hit (a never displaced)
+    co_await f.mgr.cread(b, 0, nullptr, 64);  // hit
+    co_await f.mgr.cread(c, 0, nullptr, 64);  // miss (c stays non-resident)
+    EXPECT_TRUE(f.mgr.resident(a));
+    EXPECT_TRUE(f.mgr.resident(b));
+    EXPECT_FALSE(f.mgr.resident(c));
+  });
+  EXPECT_EQ(fx.mgr.policy_hits(Policy::kFirstIn), 3u);
+  EXPECT_EQ(fx.mgr.policy_misses(Policy::kFirstIn), 4u);
+  // "Once a region is cached, it is not replaced": the reaper never fires.
+  EXPECT_EQ(fx.mgr.metrics().reaper_victims, 0u);
+}
+
 TEST(Manage, CsyncPushesToRemoteAndDisk) {
   Fixture fx;
   fx.run([](Fixture& f) -> Co<void> {

@@ -4,6 +4,7 @@
 
 #include <numeric>
 #include <optional>
+#include <set>
 
 #include "common/units.hpp"
 #include "net/bulk.hpp"
@@ -335,6 +336,109 @@ TEST(Bulk, ReceiverDeathMidTransferTimesOutSender) {
   sim.schedule(100_ms, [&] { net.set_node_up(1, false); });
   sim.run(300_s);
   EXPECT_EQ(st.code(), Err::kTimeout);
+}
+
+/// run_bulk with separate sender/receiver protocol counters, as the real
+/// endpoints keep them (one BulkStats per imd/client, not per transfer).
+BulkFixtureResult run_bulk_with_stats(Network& net, Simulator& sim,
+                                      std::size_t len, BulkParams bulk,
+                                      BulkStats& tx_stats,
+                                      BulkStats& rx_stats) {
+  auto tx = net.open_ephemeral(0);
+  auto rx = net.open_ephemeral(1);
+  Buf data = make_pattern(len);
+  BulkFixtureResult out;
+  BulkParams rx_bulk = bulk;
+  rx_bulk.stats = &rx_stats;
+  BulkParams tx_bulk = bulk;
+  tx_bulk.stats = &tx_stats;
+  sim.spawn([](Socket& rxs, BulkParams bp, BulkRecvResult& r) -> Co<void> {
+    r = co_await bulk_recv(rxs, 77, bp);
+  }(*rx, rx_bulk, out.recv));
+  sim.spawn([](Socket& txs, Endpoint dst, BodyView body, BulkParams bp,
+               Status& st) -> Co<void> {
+    st = co_await bulk_send(txs, dst, 77, body, bp);
+  }(*tx, rx->local(), BodyView{data.data(), static_cast<Bytes64>(len)},
+    tx_bulk, out.send_status));
+  sim.run(300_s);
+  if (out.recv.status.is_ok()) {
+    EXPECT_EQ(out.recv.data, data);
+  }
+  return out;
+}
+
+TEST(Bulk, SingleChunkSkipsNegotiation) {
+  // A body that fits one datagram takes the fast path: no credit request,
+  // no window rounds — one data packet and one ack.
+  Simulator sim(1);
+  Network net(sim, NetParams::unet(), 2);
+  BulkStats txs, rxs;
+  auto r = run_bulk_with_stats(net, sim, 512, {}, txs, rxs);
+  ASSERT_TRUE(r.send_status.is_ok()) << r.send_status.to_string();
+  ASSERT_TRUE(r.recv.status.is_ok()) << r.recv.status.to_string();
+  EXPECT_EQ(txs.single_packet_sends.value(), 1u);
+  EXPECT_EQ(txs.credit_requests.value(), 0u);
+  EXPECT_EQ(txs.rounds.value(), 1u);  // straight to a one-chunk blast
+  EXPECT_EQ(txs.chunks_sent.value(), 1u);
+  EXPECT_EQ(txs.chunks_retransmitted.value(), 0u);
+  EXPECT_EQ(txs.bytes_sent.value(), 512u);
+  EXPECT_EQ(rxs.recvs_completed.value(), 1u);
+  EXPECT_EQ(rxs.bytes_received.value(), 512u);
+  EXPECT_EQ(rxs.nacks_sent.value(), 0u);
+}
+
+TEST(Bulk, WindowSmallerThanChunkIsClampedUp) {
+  // A receiver advertising less than one chunk of window would deadlock the
+  // blast protocol; it must clamp the grant up to one chunk (counted), and
+  // the transfer then proceeds one chunk per round.
+  Simulator sim(1);
+  Network net(sim, NetParams::unet(), 2);
+  const Bytes64 chunk = NetParams::unet().max_datagram - 49;
+  BulkParams bp;
+  bp.window_bytes = 64;  // far below one chunk
+  BulkStats txs, rxs;
+  const std::size_t len = static_cast<std::size_t>(4 * chunk);
+  auto r = run_bulk_with_stats(net, sim, len, bp, txs, rxs);
+  ASSERT_TRUE(r.send_status.is_ok()) << r.send_status.to_string();
+  ASSERT_TRUE(r.recv.status.is_ok()) << r.recv.status.to_string();
+  EXPECT_EQ(r.recv.size, static_cast<Bytes64>(len));
+  EXPECT_GE(rxs.window_clamps.value(), 1u);
+  EXPECT_EQ(txs.chunks_sent.value(), 4u);
+  // One-chunk window -> one round per chunk.
+  EXPECT_EQ(txs.rounds.value(), 4u);
+  EXPECT_EQ(txs.acks_received.value(), 4u);
+}
+
+TEST(Bulk, SelectiveNackRetransmitsExactlyTheMissing) {
+  // Deterministically drop the first transmission of data seqs 3 and 7 (and
+  // nothing else). The receiver's gap timeout must NACK exactly those two,
+  // and the sender must retransmit exactly two chunks — no spray-and-pray
+  // full-window re-blast.
+  Simulator sim(1);
+  Network net(sim, NetParams::unet(), 2);
+  std::set<std::uint64_t> to_drop = {3, 7};
+  net.set_drop_filter([&to_drop](const Message& m) {
+    Reader rd(m.header);
+    const std::uint8_t kind = rd.u8();  // bulk Kind: 3 == kData
+    const std::uint64_t xfer = rd.u64();
+    const std::uint64_t seq = rd.u64();
+    if (kind != 3 || xfer != 77 || !rd.ok()) return false;
+    return to_drop.erase(seq) > 0;  // first transmission only
+  });
+  BulkStats txs, rxs;
+  const Bytes64 chunk = NetParams::unet().max_datagram - 49;
+  const std::size_t len = static_cast<std::size_t>(12 * chunk);
+  auto r = run_bulk_with_stats(net, sim, len, {}, txs, rxs);
+  ASSERT_TRUE(r.send_status.is_ok()) << r.send_status.to_string();
+  ASSERT_TRUE(r.recv.status.is_ok()) << r.recv.status.to_string();
+  EXPECT_TRUE(to_drop.empty()) << "planned drops never matched a data seq";
+  EXPECT_EQ(txs.chunks_sent.value(), 12u);
+  EXPECT_EQ(txs.chunks_retransmitted.value(), 2u);
+  EXPECT_EQ(txs.nacks_received.value(), rxs.nacks_sent.value());
+  EXPECT_GE(rxs.nacks_sent.value(), 1u);
+  // Every byte arrived exactly once at the payload level.
+  EXPECT_EQ(rxs.bytes_received.value(), static_cast<std::uint64_t>(len));
+  EXPECT_EQ(net.metrics().datagrams_lost, 2u);
 }
 
 TEST(Bulk, UnetFasterThanUdpForLargeTransfer) {

@@ -1,0 +1,378 @@
+// Observability layer tests: metric primitive semantics, histogram bucket
+// boundaries, snapshot merge/prefix algebra, JSON round-trips with a strict
+// parser, span recording + TSV round-trips, deterministic same-seed exports
+// from a full cluster run, and the kStats scrape path under load.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/block_io.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+TEST(Counter, MonotonicIncrements) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndSignedAdd) {
+  obs::Gauge g;
+  g.set(100);
+  g.add(-150);
+  EXPECT_EQ(g.value(), -50);
+  g.add(50);
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  obs::LatencyHistogram h({10, 100, 1000});
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 bounds + overflow
+  h.observe(10);    // exactly at bound 0 -> bucket 0 (inclusive)
+  h.observe(11);    // just past -> bucket 1
+  h.observe(100);   // at bound 1 -> bucket 1
+  h.observe(1000);  // at last bound -> bucket 2
+  h.observe(1001);  // past every bound -> overflow
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 10 + 11 + 100 + 1000 + 1001);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 1001);
+}
+
+TEST(Histogram, EmptyReportsZeroMinMax) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, DefaultBoundsCoverSimLatencies) {
+  obs::LatencyHistogram h;
+  h.observe(1_us);   // fastest bound exactly
+  h.observe(10_s);   // slowest bound exactly
+  h.observe(11_s);   // overflow
+  EXPECT_EQ(h.counts().front(), 1u);
+  EXPECT_EQ(h.counts().back(), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+obs::MetricsSnapshot sample_snapshot() {
+  obs::MetricsSnapshot s;
+  s.set_counter("reads", 7);
+  s.set_gauge("pool", -3);
+  obs::LatencyHistogram h;
+  h.observe(5_us);
+  h.observe(2_ms);
+  s.set_histogram("lat", h);
+  return s;
+}
+
+TEST(Snapshot, MergeAddsCountersGaugesAndBuckets) {
+  obs::MetricsSnapshot a = sample_snapshot();
+  obs::MetricsSnapshot b = sample_snapshot();
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("reads"), 14u);
+  EXPECT_EQ(a.gauge_value("pool"), -6);
+  const obs::MetricValue* lat = a.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 4u);
+  EXPECT_EQ(lat->sum, 2 * (5_us + 2_ms));
+  EXPECT_EQ(lat->min, 5_us);
+  EXPECT_EQ(lat->max, 2_ms);
+}
+
+TEST(Snapshot, MergeIntoEmptyCopiesShape) {
+  obs::MetricsSnapshot a;
+  a.merge(sample_snapshot());
+  EXPECT_EQ(a, sample_snapshot());
+}
+
+TEST(Snapshot, PrefixedNamespacesEveryName) {
+  obs::MetricsSnapshot p = sample_snapshot().prefixed("host3.");
+  EXPECT_EQ(p.counter_value("host3.reads"), 7u);
+  EXPECT_EQ(p.counter_value("reads"), 0u);
+  EXPECT_EQ(p.size(), sample_snapshot().size());
+}
+
+TEST(Snapshot, LookupOfAbsentNameIsZero) {
+  obs::MetricsSnapshot s;
+  EXPECT_EQ(s.counter_value("nope"), 0u);
+  EXPECT_EQ(s.gauge_value("nope"), 0);
+  EXPECT_EQ(s.find("nope"), nullptr);
+}
+
+TEST(Snapshot, JsonRoundTripIsExact) {
+  const obs::MetricsSnapshot s = sample_snapshot();
+  obs::MetricsSnapshot back;
+  std::string err;
+  ASSERT_TRUE(obs::MetricsSnapshot::from_json(s.to_json(), back, &err)) << err;
+  EXPECT_EQ(back, s);
+  // And the re-export is byte-identical, not merely semantically equal.
+  EXPECT_EQ(back.to_json(), s.to_json());
+}
+
+TEST(Snapshot, JsonParserRejectsGarbage) {
+  obs::MetricsSnapshot out;
+  std::string err;
+  EXPECT_FALSE(obs::MetricsSnapshot::from_json("", out, &err));
+  EXPECT_FALSE(obs::MetricsSnapshot::from_json("{", out, &err));
+  EXPECT_FALSE(obs::MetricsSnapshot::from_json("[1,2]", out, &err));
+  EXPECT_FALSE(obs::MetricsSnapshot::from_json(
+      R"({"x":{"type":"sundial","value":1}})", out, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Registry, SnapshotGathersLiveCellsAndAbsorbed) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").inc(3);
+  reg.gauge("g").set(9);
+  reg.histogram("h").observe(1_ms);
+  obs::MetricsSnapshot ext;
+  ext.set_counter("c", 1);  // absorbed snapshots merge with live cells
+  reg.absorb(ext);
+  const obs::MetricsSnapshot s = reg.snapshot();
+  EXPECT_EQ(s.counter_value("c"), 4u);
+  EXPECT_EQ(s.gauge_value("g"), 9);
+  ASSERT_NE(s.find("h"), nullptr);
+  EXPECT_EQ(s.find("h")->count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+TEST(Spans, NestedScopedSpansRecordTreeAndTimes) {
+  sim::Simulator sim(1);
+  obs::SpanRecorder rec(sim);
+  sim.spawn([](sim::Simulator& s, obs::SpanRecorder& r) -> sim::Co<void> {
+    obs::ScopedSpan outer(&r, "outer");
+    co_await s.sleep(5_ms);
+    {
+      obs::ScopedSpan inner(&r, "inner", outer.id());
+      co_await s.sleep(2_ms);
+    }
+    co_await s.sleep(1_ms);
+  }(sim, rec));
+  sim.run();
+  ASSERT_EQ(rec.spans().size(), 2u);
+  const obs::SpanRecord& outer = rec.spans()[0];
+  const obs::SpanRecord& inner = rec.spans()[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.start, 5_ms);
+  EXPECT_EQ(inner.end, 7_ms);
+  EXPECT_EQ(outer.end, 8_ms);
+}
+
+TEST(Spans, NullRecorderIsANoOp) {
+  obs::ScopedSpan s(nullptr, "ghost");
+  EXPECT_EQ(s.id(), 0u);
+}
+
+TEST(Spans, CapCountsDropsInsteadOfGrowing) {
+  sim::Simulator sim(1);
+  obs::SpanRecorder rec(sim, /*max_spans=*/2);
+  EXPECT_NE(rec.begin("a"), 0u);
+  EXPECT_NE(rec.begin("b"), 0u);
+  EXPECT_EQ(rec.begin("c"), 0u);
+  EXPECT_EQ(rec.spans().size(), 2u);
+  EXPECT_EQ(rec.dropped(), 1u);
+}
+
+TEST(Spans, TsvRoundTripAndStrictParser) {
+  sim::Simulator sim(1);
+  obs::SpanRecorder rec(sim);
+  const std::uint64_t a = rec.begin("alpha");
+  rec.begin("beta\twith\ttabs", a);  // flattened, not rejected
+  rec.end(a);
+  std::vector<obs::SpanRecord> back;
+  std::string err;
+  ASSERT_TRUE(obs::SpanRecorder::from_tsv(rec.to_tsv(), back, &err)) << err;
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], rec.spans()[0]);
+  EXPECT_EQ(back[1].name, "beta with tabs");
+
+  EXPECT_FALSE(obs::SpanRecorder::from_tsv("", back, &err));
+  EXPECT_FALSE(obs::SpanRecorder::from_tsv("# wrong header\n", back, &err));
+  EXPECT_FALSE(obs::SpanRecorder::from_tsv(
+      "# dodo spans v1 2\n1\t0\t0\t1\tonly-one\n", back, &err));
+  EXPECT_FALSE(obs::SpanRecorder::from_tsv(
+      "# dodo spans v1 1\n1\t0\tx\t1\tbad-start\n", back, &err));
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level: determinism and the kStats scrape path
+// ---------------------------------------------------------------------------
+
+cluster::ClusterConfig small_config(std::uint64_t seed) {
+  cluster::ClusterConfig cfg;
+  cfg.imd_hosts = 3;
+  cfg.imd_pool = 4_MiB;
+  cfg.local_cache = 256_KiB;
+  cfg.page_cache_dodo = 128_KiB;
+  cfg.seed = seed;
+  return cfg;
+}
+
+constexpr Bytes64 kData = 1_MiB;
+constexpr Bytes64 kBlk = 32_KiB;
+
+sim::Co<void> scan(cluster::Cluster& c, apps::BlockIo& io, int sweeps) {
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(kBlk));
+  for (int s = 0; s < sweeps; ++s) {
+    for (Bytes64 off = 0; off < kData; off += kBlk) {
+      co_await io.read(off, buf.data(), kBlk);
+    }
+  }
+}
+
+std::string run_and_export(std::uint64_t seed) {
+  cluster::Cluster c(small_config(seed));
+  const int fd = c.create_dataset("data", kData);
+  apps::DodoBlockIo io(*c.manager(), fd, kData, kBlk);
+  c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await scan(cl, io, 3);
+    co_await io.finish(false);
+  });
+  return c.metrics_snapshot().to_json();
+}
+
+TEST(ClusterMetrics, SameSeedExportsAreByteIdentical) {
+  const std::string a = run_and_export(7);
+  const std::string b = run_and_export(7);
+  EXPECT_EQ(a, b);
+  // A different seed still produces the same metric *names* (the schema is
+  // workload-independent), even if values differ.
+  obs::MetricsSnapshot sa;
+  obs::MetricsSnapshot sb;
+  ASSERT_TRUE(obs::MetricsSnapshot::from_json(a, sa));
+  ASSERT_TRUE(obs::MetricsSnapshot::from_json(run_and_export(8), sb));
+  ASSERT_EQ(sa.size(), sb.size());
+}
+
+TEST(ClusterMetrics, EveryComponentExportsItsCore) {
+  cluster::Cluster c(small_config(3));
+  const int fd = c.create_dataset("data", kData);
+  apps::DodoBlockIo io(*c.manager(), fd, kData, kBlk);
+  c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await scan(cl, io, 2);
+    co_await io.finish(false);
+  });
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  // The workload moved real bytes, so the core counters are all live.
+  EXPECT_GT(s.counter_value("client.mreads_total"), 0u);
+  EXPECT_GT(s.counter_value("imd.reads_served"), 0u);
+  EXPECT_GT(s.counter_value("cmd.mopens"), 0u);
+  EXPECT_GT(s.counter_value("rmd.recruitments"), 0u);
+  EXPECT_GT(s.counter_value("manage.remote_fills"), 0u);
+  EXPECT_GT(s.counter_value("net.datagrams_delivered"), 0u);
+  EXPECT_GT(s.counter_value("imd.bulk.chunks_sent"), 0u);
+  // Conservation: every admitted mread resolved exactly one way.
+  EXPECT_EQ(s.counter_value("client.mreads_total"),
+            s.counter_value("client.remote_hits") +
+                s.counter_value("client.disk_fallbacks"));
+  // Latency histograms saw every remote fill.
+  const obs::MetricValue* lat = s.find("client.mread_latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, s.counter_value("client.remote_hits"));
+}
+
+sim::Co<void> scrape_loop(cluster::Cluster& cl, const bool& running,
+                          std::vector<obs::MetricsSnapshot>& out,
+                          sim::WaitGroup& wg) {
+  while (running) {
+    co_await cl.sim().sleep(50_ms);
+    out.push_back(co_await cl.cmd().scrape_cluster());
+  }
+  wg.done();
+}
+
+TEST(ClusterMetrics, KStatsScrapeUnderLoadMatchesQuiesce) {
+  cluster::Cluster c(small_config(11));
+  const int fd = c.create_dataset("data", kData);
+  apps::DodoBlockIo io(*c.manager(), fd, kData, kBlk);
+  std::vector<obs::MetricsSnapshot> scrapes;
+  c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+    bool running = true;
+    sim::WaitGroup wg(cl.sim());
+    wg.add(1);
+    cl.sim().spawn(scrape_loop(cl, running, scrapes, wg));
+    co_await scan(cl, io, 3);
+    co_await io.finish(false);
+    running = false;
+    co_await wg.wait();
+    co_await cl.sim().sleep(100_ms);
+    scrapes.push_back(co_await cl.cmd().scrape_cluster());
+  });
+  ASSERT_GE(scrapes.size(), 2u);
+  // Mid-load scrapes are internally consistent (monotonic between scrapes).
+  for (std::size_t i = 1; i < scrapes.size(); ++i) {
+    EXPECT_GE(scrapes[i].counter_value("imd.reads_served"),
+              scrapes[i - 1].counter_value("imd.reads_served"))
+        << "scrape " << i;
+  }
+  // The quiesce scrape (over the wire, via every rmd's kStats endpoint)
+  // agrees exactly with the in-process snapshot on workload counters.
+  const obs::MetricsSnapshot local = c.metrics_snapshot();
+  const obs::MetricsSnapshot& wire = scrapes.back();
+  for (const char* name : {"imd.reads_served", "imd.writes_served",
+                           "imd.allocs", "imd.bytes_read"}) {
+    EXPECT_EQ(wire.counter_value(name), local.counter_value(name)) << name;
+  }
+  EXPECT_GT(wire.counter_value("cmd.stats_scrapes"), 0u);
+  EXPECT_EQ(wire.counter_value("cmd.stats_scrape_failures"), 0u);
+}
+
+TEST(ClusterSpans, WorkloadRecordsConsistentTree) {
+  cluster::ClusterConfig cfg = small_config(5);
+  cfg.record_spans = true;
+  cluster::Cluster c(cfg);
+  const int fd = c.create_dataset("data", kData);
+  apps::DodoBlockIo io(*c.manager(), fd, kData, kBlk);
+  c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await scan(cl, io, 2);
+    co_await io.finish(false);
+  });
+  ASSERT_NE(c.spans(), nullptr);
+  const auto& spans = c.spans()->spans();
+  ASSERT_FALSE(spans.empty());
+  bool saw_child = false;
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_LT(s.parent, s.id);  // parents allocate before their children
+    EXPECT_GE(s.end, s.start);  // every span closed
+    if (s.parent != 0) saw_child = true;
+  }
+  EXPECT_TRUE(saw_child);  // cread -> fault_in nesting actually happened
+  // And the whole tree survives a TSV round-trip.
+  std::vector<obs::SpanRecord> back;
+  std::string err;
+  ASSERT_TRUE(obs::SpanRecorder::from_tsv(c.spans()->to_tsv(), back, &err))
+      << err;
+  EXPECT_EQ(back.size(), spans.size());
+}
+
+}  // namespace
+}  // namespace dodo

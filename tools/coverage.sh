@@ -1,0 +1,73 @@
+#!/bin/sh
+# Line-coverage report for the tier-1 test suite, using the `coverage` CMake
+# preset (gcov instrumentation, -O0). The container ships plain gcov only —
+# no lcov/gcovr — so this aggregates gcov's own per-file summaries into a
+# ranked table plus a total.
+#
+# Usage:
+#   tools/coverage.sh [label]
+#
+#   label   optional ctest -L filter (e.g. "obs" to cover only the
+#           observability suite). Default: run every tier-1 test.
+#
+# Output: per-file "Lines executed" table (sorted, src/ files only) and a
+# repo-wide total, printed to stdout. Raw .gcov files land in
+# build-coverage/coverage-report/ for line-by-line inspection.
+set -eu
+
+label="${1:-}"
+
+cd "$(dirname "$0")/.."
+cmake --preset coverage
+cmake --build --preset coverage -j"$(nproc)"
+
+# Stale counters from a previous run would inflate the numbers.
+find build-coverage -name '*.gcda' -delete
+
+if [ -n "$label" ]; then
+  ctest --test-dir build-coverage -L "$label" --output-on-failure -j"$(nproc)"
+else
+  ctest --test-dir build-coverage --output-on-failure -j"$(nproc)"
+fi
+
+report_dir="build-coverage/coverage-report"
+rm -rf "$report_dir"
+mkdir -p "$report_dir"
+
+# gcov writes .gcov files into cwd; run it from the report dir against every
+# counter file. (CMake compiles with absolute source paths, so gcov's -r
+# filter would drop everything — the awk below filters to src/ instead.)
+find "$(pwd)/build-coverage" -name '*.gcda' | sort > "$report_dir/gcda.txt"
+(
+  cd "$report_dir"
+  while IFS= read -r f; do
+    gcov "$f" >> gcov.log 2>&1 || true
+  done < gcda.txt
+)
+
+# Summarise: each .gcov names its source in line 0 ("Source:<path>"); count
+# executable (non '-') and executed (not '#####'/'=====') lines per file.
+awk -F: '
+  FNR == 1 { src = "" }
+  $2 ~ /^ *0$/ && $3 == "Source" { src = $4; next }
+  src !~ /\/repo\/src\// { next }
+  {
+    gsub(/^ +/, "", $1)
+    if ($1 == "-") next
+    total[src]++
+    if ($1 != "#####" && $1 != "=====") hit[src]++
+  }
+  END {
+    gt = gh = 0
+    for (f in total) {
+      pct = 100.0 * hit[f] / total[f]
+      f2 = f
+      sub(/^.*\/repo\//, "", f2)
+      printf "%6.2f%%  %5d/%-5d  %s\n", pct, hit[f], total[f], f2
+      gt += total[f]; gh += hit[f]
+    }
+    if (gt > 0)
+      printf "%6.2f%%  %5d/%-5d  TOTAL (src/)\n", 100.0 * gh / gt, gh, gt
+  }' "$report_dir"/*.gcov | sort -n
+
+echo "coverage: raw .gcov files in $report_dir/"
