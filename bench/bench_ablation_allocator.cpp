@@ -119,6 +119,7 @@ void BM_Fragmentation(benchmark::State& state) {
   }
   {
     auto& exporter = dodo::bench::json_exporter("ablation_allocator");
+    dodo::bench::record_reference_trace(exporter);
     char key[96];
     std::snprintf(key, sizeof(key), "allocator.first_fit.%s.c%d.p%d",
                   region_sized ? "region" : "small", coalesce_every,

@@ -89,6 +89,7 @@ void BM_Churn(benchmark::State& state) {
       drops = c.dodo()->metrics().descriptors_dropped;
       stale = c.cmd().metrics().stale_regions_dropped;
     }
+    exporter.record_traces(c);
     exporter.absorb(c.metrics_snapshot());
   }
   {

@@ -50,6 +50,7 @@ void BM_Refraction(benchmark::State& state) {
     cmd_mopens = c.cmd().metrics().mopens;
     alloc_failures = c.cmd().metrics().alloc_failures;
     refraction_skips = c.dodo()->metrics().refraction_skips;
+    exporter.record_traces(c);
     exporter.absorb(c.metrics_snapshot());
   }
   {

@@ -47,6 +47,7 @@ SimTime bulk_time(const net::NetParams& params, Bytes64 len,
 void BM_Transport(benchmark::State& state) {
   const Bytes64 len = state.range(0);
   auto& exporter = dodo::bench::json_exporter("ablation_transport");
+  dodo::bench::record_reference_trace(exporter);
   net::BulkStats udp_stats, unet_stats;
   SimTime udp = 0, unet = 0, batched = 0;
   for (auto _ : state) {

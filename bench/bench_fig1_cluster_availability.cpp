@@ -49,6 +49,7 @@ void BM_Fig1(benchmark::State& state) {
   }
   {
     auto& exporter = dodo::bench::json_exporter("fig1_cluster_availability");
+    dodo::bench::record_reference_trace(exporter);
     const std::string key =
         std::string("fig1.") + (is_a ? "cluster_a" : "cluster_b");
     exporter.set_scalar(key + ".mean_all_kb",

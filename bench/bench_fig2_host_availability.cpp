@@ -41,6 +41,7 @@ void BM_Fig2(benchmark::State& state) {
 
   {
     auto& exporter = dodo::bench::json_exporter("fig2_host_availability");
+    dodo::bench::record_reference_trace(exporter);
     const std::string key = "fig2." + std::to_string(tr.total_kb / 1024) +
                             "mb";
     exporter.set_scalar(key + ".mean_avail_kb",

@@ -100,6 +100,7 @@ void BM_Fig7_Dmine(benchmark::State& state) {
       }
       run1_s = to_seconds(st1.total());
       run2_s = to_seconds(st2.total());
+      exporter.record_traces(c);
       exporter.absorb(c.metrics_snapshot());
     }
   }
@@ -144,6 +145,7 @@ void BM_Fig7_Lu(benchmark::State& state) {
         co_await apps::run_lu_modeled(cl, io, lu, &st);
       });
       dodo_s = to_seconds(st.total());
+      exporter.record_traces(c);
       exporter.absorb(c.metrics_snapshot());
     }
   }

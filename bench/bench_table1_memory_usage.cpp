@@ -25,6 +25,7 @@ void BM_Table1(benchmark::State& state) {
   }
   {
     auto& exporter = dodo::bench::json_exporter("table1_memory_usage");
+    dodo::bench::record_reference_trace(exporter);
     const std::string key =
         "table1." + std::to_string(paper.total_kb / 1024) + "mb";
     exporter.set_scalar(key + ".avail_mean_kb",

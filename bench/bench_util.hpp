@@ -20,6 +20,8 @@
 #include "apps/synthetic.hpp"
 #include "cluster/cluster.hpp"
 #include "common/units.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/trace_merge.hpp"
 
 namespace dodo::bench {
 
@@ -35,8 +37,8 @@ class JsonExporter {
 
   ~JsonExporter() {
     const char* dir = std::getenv("DODO_BENCH_JSON_DIR");
-    const std::string path =
-        std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name_ + ".json";
+    const std::string base = std::string(dir != nullptr ? dir : ".");
+    const std::string path = base + "/BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
     const std::string json = total_.to_json();
@@ -44,9 +46,37 @@ class JsonExporter {
     std::fclose(f);
     std::fprintf(stderr, "bench: wrote %s (%zu metrics)\n", path.c_str(),
                  total_.size());
+    if (!chrome_json_.empty()) {
+      const std::string tpath = base + "/TRACE_" + name_ + ".json";
+      std::FILE* tf = std::fopen(tpath.c_str(), "w");
+      if (tf != nullptr) {
+        std::fwrite(chrome_json_.data(), 1, chrome_json_.size(), tf);
+        std::fclose(tf);
+        std::fprintf(stderr, "bench: wrote %s\n", tpath.c_str());
+      }
+    }
   }
 
   void absorb(const obs::MetricsSnapshot& snap) { total_.merge(snap); }
+
+  [[nodiscard]] bool has_traces() const { return traces_recorded_; }
+
+  /// Critical-path attribution for one representative cluster: the first
+  /// Dodo cluster offered wins (repeat calls are no-ops), so every bench
+  /// emits one deterministic `latency_breakdown.*` section plus a
+  /// Perfetto-loadable TRACE_<name>.json at exit.
+  void record_traces(cluster::Cluster& c) {
+    if (traces_recorded_ || c.dodo() == nullptr || c.traces() == nullptr) {
+      return;
+    }
+    traces_recorded_ = true;
+    const std::vector<obs::MergedSpan> spans = c.merged_spans();
+    const std::vector<obs::TraceSummary> traces = obs::analyze_traces(spans);
+    obs::MetricsSnapshot breakdown;
+    obs::export_latency_breakdown(traces, breakdown);
+    total_.merge(breakdown);
+    chrome_json_ = obs::TraceDomain::chrome_json(spans);
+  }
 
   /// Records a result scalar. Results are i64 gauges, so merging repeated
   /// cases keeps the sum — use distinct names per case for per-case values.
@@ -62,6 +92,8 @@ class JsonExporter {
  private:
   std::string name_;
   obs::MetricsSnapshot total_;
+  std::string chrome_json_;
+  bool traces_recorded_ = false;
 };
 
 /// The process-wide exporter; the name passed on first use wins.
@@ -99,6 +131,7 @@ inline cluster::ClusterConfig paper_config(bool use_dodo, bool unet,
   cfg.materialize = false;  // phantom data: timing only
   cfg.policy = policy;
   cfg.seed = seed;
+  cfg.record_spans = true;  // latency_breakdown + TRACE_<name>.json export
   return cfg;
 }
 
@@ -129,8 +162,34 @@ inline SynthOutcome run_synthetic_once(apps::SyntheticConfig scfg,
   });
   out.total_s = to_seconds(out.stats.total());
   out.steady_s = out.stats.steady_seconds();
-  if (exporter != nullptr) exporter->absorb(c.metrics_snapshot());
+  if (exporter != nullptr) {
+    exporter->record_traces(c);
+    exporter->absorb(c.metrics_snapshot());
+  }
   return out;
+}
+
+/// For bench binaries that never build a cluster (trace synthesis, pool
+/// allocator churn): one small canonical mopen/mwrite/mread/mclose run, so
+/// their JSON still carries the latency_breakdown section and a Perfetto
+/// trace under the same transport defaults as the cluster benches.
+inline void record_reference_trace(JsonExporter& exporter) {
+  if (exporter.has_traces()) return;
+  cluster::ClusterConfig cfg =
+      paper_config(/*use_dodo=*/true, /*unet=*/true, manage::Policy::kLru);
+  cfg.imd_hosts = 2;
+  cluster::Cluster c(cfg);
+  const Bytes64 len = 256 * 1024;
+  const int fd = c.create_dataset("ref", len);
+  c.run_app([fd, len](cluster::Cluster& cl) -> sim::Co<void> {
+    auto& d = *cl.dodo();
+    const int rd = co_await d.mopen(len, fd, 0);
+    if (rd < 0) co_return;
+    co_await d.mwrite(rd, 0, nullptr, len);
+    co_await d.mread(rd, 0, nullptr, len);
+    co_await d.mclose(rd);
+  });
+  exporter.record_traces(c);
 }
 
 inline const char* pattern_name(apps::SyntheticConfig::Pattern p) {

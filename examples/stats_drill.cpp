@@ -11,7 +11,14 @@
 //   3. the wire scrape agrees with the in-process snapshot at quiesce,
 //   4. trace spans recorded a consistent tree (parents precede children).
 //
-// Run:  ./examples/stats_drill [seed] [-v]
+// Run:  ./examples/stats_drill [seed] [-v] [--trace-json OUT.json]
+//                              [--trace-tsv OUT.tsv]
+//
+// --trace-json dumps the cluster-merged trace of the whole drill — chaos
+// schedule included — as Chrome trace-event JSON, loadable at
+// https://ui.perfetto.dev (one Perfetto "process" per host, one "thread"
+// per daemon). --trace-tsv writes the same spans as "# dodo trace v1" TSV,
+// the input format of tools/trace_report (critical-path text report).
 #include <cstdio>
 #include <cstdlib>
 #include <cstdint>
@@ -25,6 +32,7 @@
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_merge.hpp"
 
 using namespace dodo;
 
@@ -63,9 +71,15 @@ void print_counter(const obs::MetricsSnapshot& s, const char* name) {
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 1;
+  const char* trace_json_path = nullptr;
+  const char* trace_tsv_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "-v") {
       Logger::instance().set_level(LogLevel::kDebug);
+    } else if (std::string(argv[i]) == "--trace-json" && i + 1 < argc) {
+      trace_json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--trace-tsv" && i + 1 < argc) {
+      trace_tsv_path = argv[++i];
     } else {
       seed = std::strtoull(argv[i], nullptr, 10);
     }
@@ -157,16 +171,42 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 4. Span tree sanity: ids are allocation-ordered, so a parent must have
-  // a smaller id than its children, and every span must have closed.
-  const auto& spans = c.spans()->spans();
+  // 4. Span tree sanity on the cluster-merged trace: ids are
+  // allocation-ordered, so a parent must have a smaller id than its
+  // children, and quiesce must have closed every span.
+  const std::vector<obs::MergedSpan> spans = c.merged_spans();
   bool spans_ok = !spans.empty();
-  for (const obs::SpanRecord& s : spans) {
-    if (s.parent >= s.id || s.end < s.start) spans_ok = false;
+  for (const obs::MergedSpan& m : spans) {
+    if (m.span.parent >= m.span.id || m.span.end < m.span.start) {
+      spans_ok = false;
+    }
   }
-  std::printf("%zu spans recorded (%llu dropped), tree %s\n", spans.size(),
-              static_cast<unsigned long long>(c.spans()->dropped()),
+  std::printf("%zu spans recorded (%llu dropped, %lld open at quiesce), "
+              "tree %s\n",
+              spans.size(),
+              static_cast<unsigned long long>(c.traces()->dropped()),
+              static_cast<long long>(c.spans_open_at_quiesce()),
               spans_ok ? "consistent" : "BROKEN");
+
+  auto dump = [](const char* path, const std::string& text) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+  };
+  if (trace_json_path != nullptr) {
+    if (!dump(trace_json_path, c.trace_chrome_json())) return 1;
+    std::printf("wrote %s (load at https://ui.perfetto.dev)\n",
+                trace_json_path);
+  }
+  if (trace_tsv_path != nullptr) {
+    if (!dump(trace_tsv_path, c.trace_tsv())) return 1;
+    std::printf("wrote %s (feed to tools/trace_report)\n", trace_tsv_path);
+  }
 
   const bool ok = conserved && chaos_seen && wire_agrees && spans_ok;
   std::printf("\n%s\n", ok ? "STATS DRILL PASSED: conservation held, chaos "

@@ -12,8 +12,7 @@ namespace dodo::cluster {
 Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)), sim_(config_.seed) {
   if (config_.spans == nullptr && config_.record_spans) {
-    owned_spans_ = std::make_unique<obs::SpanRecorder>(sim_);
-    config_.spans = owned_spans_.get();
+    traces_ = std::make_unique<obs::TraceDomain>(sim_);
   }
   const auto nodes = static_cast<std::size_t>(config_.imd_hosts) + 2;
   net_ = std::make_unique<net::Network>(sim_, config_.net, nodes);
@@ -23,7 +22,10 @@ Cluster::Cluster(ClusterConfig config)
       config_.use_dodo ? config_.page_cache_dodo : config_.page_cache_baseline;
   fs_ = std::make_unique<disk::SimFilesystem>(sim_, fsp);
 
-  cmd_ = std::make_unique<core::CentralManager>(sim_, *net_, 0, config_.cmd);
+  core::CmdParams cmdp = config_.cmd;
+  if (traces_) cmdp.spans = traces_->recorder(0, "cmd");
+  if (config_.spans != nullptr) cmdp.spans = config_.spans;
+  cmd_ = std::make_unique<core::CentralManager>(sim_, *net_, 0, cmdp);
   cmd_->start();
 
   if (config_.use_dodo) {
@@ -45,6 +47,13 @@ Cluster::Cluster(ClusterConfig config)
       ip.pool_bytes = config_.imd_pool;
       ip.materialize = config_.materialize;
       ip.spans = config_.spans;
+      rp.spans = config_.spans;
+      if (traces_) {
+        // One "thread" per daemon per host: tracks are created here, in host
+        // order, so the Perfetto layout is identical run to run.
+        rp.spans = traces_->recorder(i + 2, "rmd");
+        ip.spans = traces_->recorder(i + 2, "imd");
+      }
       rmds_.push_back(std::make_unique<core::ResourceMonitor>(
           sim_, *net_, node, cmd_->endpoint(), *activity, rp, ip));
       rmds_.back()->start();
@@ -82,6 +91,7 @@ void Cluster::restart_client() {
   client_.reset();
   runtime::ClientParams cp = config_.client;
   cp.spans = config_.spans;
+  if (traces_) cp.spans = traces_->recorder(1, "client");
   client_ = std::make_unique<runtime::DodoClient>(
       sim_, *net_, app_node(), cmd_->endpoint(), *fs_, cp);
   client_->start();
@@ -90,6 +100,7 @@ void Cluster::restart_client() {
   mp.materialize = config_.materialize;
   mp.policy = config_.policy;
   mp.spans = config_.spans;
+  if (traces_) mp.spans = traces_->recorder(1, "manage");
   manager_ =
       std::make_unique<manage::RegionManager>(sim_, *client_, *fs_, mp);
 }
@@ -121,6 +132,34 @@ SimTime Cluster::run_app(std::function<sim::Co<void>(Cluster&)> app,
   return sim_.now() - start;
 }
 
+void Cluster::quiesce_traces() {
+  if (traces_) {
+    spans_open_at_quiesce_ +=
+        static_cast<std::int64_t>(traces_->open_count());
+    traces_->close_open_spans();
+  } else if (config_.spans != nullptr) {
+    spans_open_at_quiesce_ +=
+        static_cast<std::int64_t>(config_.spans->open_count());
+    config_.spans->close_open();
+  }
+}
+
+std::vector<obs::MergedSpan> Cluster::merged_spans() {
+  quiesce_traces();
+  if (!traces_) return {};
+  return traces_->merged();
+}
+
+std::string Cluster::trace_tsv() {
+  quiesce_traces();
+  return traces_ ? traces_->to_tsv() : std::string();
+}
+
+std::string Cluster::trace_chrome_json() {
+  quiesce_traces();
+  return traces_ ? traces_->to_chrome_json() : std::string();
+}
+
 obs::MetricsSnapshot Cluster::metrics_snapshot() const {
   obs::MetricsSnapshot out;
   out.merge(cmd_->metrics_snapshot());
@@ -137,7 +176,22 @@ obs::MetricsSnapshot Cluster::metrics_snapshot() const {
   out.set_counter("net.datagrams_lost", nm.datagrams_lost);
   out.set_counter("net.datagrams_dropped", nm.datagrams_dropped);
   out.set_counter("net.datagrams_cut", nm.datagrams_cut);
+  out.set_counter("net.datagrams_duplicated", nm.datagrams_duplicated);
   out.set_counter("net.payload_bytes_sent", nm.payload_bytes_sent);
+  if (traces_) {
+    out.set_counter("obs.spans_recorded",
+                    static_cast<std::uint64_t>(traces_->total_spans()));
+    out.set_counter("obs.spans_dropped", traces_->dropped());
+    out.set_counter("obs.span_orphans_rejected",
+                    traces_->orphans_rejected());
+  } else if (config_.spans != nullptr) {
+    out.set_counter("obs.spans_recorded",
+                    static_cast<std::uint64_t>(config_.spans->spans().size()));
+    out.set_counter("obs.spans_dropped", config_.spans->dropped());
+    out.set_counter("obs.span_orphans_rejected",
+                    config_.spans->orphans_rejected());
+  }
+  out.set_gauge("obs.spans_open_at_quiesce", spans_open_at_quiesce_);
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_merge.hpp"
 #include "runtime/dodo_client.hpp"
 #include "sim/simulator.hpp"
 
@@ -51,12 +52,13 @@ struct ClusterConfig {
   core::ImdParams imd{};
   runtime::ClientParams client{};
   manage::ManageParams manage_overrides{};  // cache size/policy set from above
-  /// Optional trace-span sink, wired into the client, the region manager,
-  /// and every imd the rmds recruit. Not owned; must outlive the cluster.
+  /// Optional trace-span sink, wired into every daemon as one flat recorder
+  /// (no per-daemon tracks). Not owned; must outlive the cluster.
   obs::SpanRecorder* spans = nullptr;
-  /// Convenience for callers that cannot build a SpanRecorder up front (it
-  /// needs the cluster's own simulator): when true and `spans` is null, the
-  /// cluster owns a recorder bound to its clock, reachable via spans().
+  /// When true and `spans` is null, the cluster owns an obs::TraceDomain:
+  /// one SpanRecorder track per (host, daemon) sharing a cluster-unique id
+  /// space, so cross-process parent links resolve in the merged timeline.
+  /// Reachable via traces(); export with trace_tsv()/trace_chrome_json().
   bool record_spans = false;
 };
 
@@ -142,16 +144,38 @@ class Cluster {
   /// shapes over the wire.
   [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
 
-  /// The span sink every component records into: the caller-supplied one,
-  /// the cluster-owned one (config.record_spans), or null.
+  /// The caller-supplied flat span sink (null in TraceDomain mode — use
+  /// traces() / merged_spans() there).
   [[nodiscard]] obs::SpanRecorder* spans() { return config_.spans; }
+
+  /// The cluster-owned trace domain (config.record_spans), or null.
+  [[nodiscard]] obs::TraceDomain* traces() { return traces_.get(); }
+
+  /// Closes every still-open span across all tracks at the current sim time
+  /// so exports never contain end=-1 rows; the number of spans force-closed
+  /// accumulates into the `obs.spans_open_at_quiesce` gauge. Idempotent:
+  /// calling again only counts spans opened since the previous quiesce.
+  void quiesce_traces();
+
+  /// Cluster-merged span timeline (quiesces first). Empty without traces().
+  [[nodiscard]] std::vector<obs::MergedSpan> merged_spans();
+
+  /// Merged-timeline exports (both quiesce first). Deterministic: identical
+  /// bytes for identical seeds. Empty string without traces().
+  [[nodiscard]] std::string trace_tsv();
+  [[nodiscard]] std::string trace_chrome_json();
+
+  [[nodiscard]] std::int64_t spans_open_at_quiesce() const {
+    return spans_open_at_quiesce_;
+  }
 
  private:
   ClusterConfig config_;
   sim::Simulator sim_;
   // Destroyed after the daemons below: their ScopedSpan guards close out
   // spans while suspended coroutine frames unwind during teardown.
-  std::unique_ptr<obs::SpanRecorder> owned_spans_;
+  std::unique_ptr<obs::TraceDomain> traces_;
+  std::int64_t spans_open_at_quiesce_ = 0;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<disk::SimFilesystem> fs_;
   std::unique_ptr<core::CentralManager> cmd_;

@@ -118,6 +118,7 @@ sim::Co<void> CentralManager::serve_loop() {
         }
         break;
       case MsgKind::kStatsReq: {
+        obs::ScopedSpan span(params_.spans, "cmd.stats", env->trace);
         net::Buf rep = make_header(MsgKind::kStatsRep, env->rid);
         net::Writer w(rep);
         w.str(metrics_snapshot().to_json());
@@ -187,6 +188,9 @@ RegionLoc* CentralManager::validate_region(const RegionKey& key) {
 
 sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
   const auto env = peek_envelope(msg);
+  // Only reached past the replay_if_duplicate guard, so a retried mopen is
+  // traced exactly once.
+  obs::ScopedSpan span(params_.spans, "cmd.mopen", env->trace);
   net::Reader r = body_reader(msg);
   const RegionKey key = get_key(r);
   const Bytes64 len = r.i64();
@@ -223,7 +227,7 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
     }
     // Length changed: the old cache is useless; drop it and allocate fresh.
     const RegionLoc old = *existing;  // validate_region's pointer may dangle
-    const auto freed = co_await rpc_free_region(key, old);
+    const auto freed = co_await rpc_free_region(key, old, span.ctx());
     if (!freed.has_value() && region_may_survive(old)) {
       // Unacknowledged free against a live same-epoch host: forgetting the
       // entry would orphan the old region. Keep it and fail this mopen —
@@ -252,7 +256,7 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
     ++metrics_.alloc_attempts;
     const std::uint64_t rid = rids_.next();
     const std::uint64_t want_epoch = iwd_[host].epoch;
-    net::Buf req = make_header(MsgKind::kAllocReq, rid);
+    net::Buf req = make_header(MsgKind::kAllocReq, rid, span.ctx());
     net::Writer w(req);
     w.i64(len);
     // Epoch guard: a retransmit of this request that straddles an imd
@@ -300,6 +304,7 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
 
 void CentralManager::handle_checkalloc(const net::Message& msg) {
   const auto env = peek_envelope(msg);
+  obs::ScopedSpan span(params_.spans, "cmd.checkalloc", env->trace);
   net::Reader r = body_reader(msg);
   const RegionKey key = get_key(r);
   ++metrics_.checkallocs;
@@ -316,10 +321,10 @@ void CentralManager::handle_checkalloc(const net::Message& msg) {
 }
 
 sim::Co<std::optional<bool>> CentralManager::rpc_free_region(
-    const RegionKey& key, const RegionLoc& loc) {
+    const RegionKey& key, const RegionLoc& loc, obs::TraceContext ctx) {
   (void)key;
   const std::uint64_t rid = rids_.next();
-  net::Buf req = make_header(MsgKind::kFreeReq, rid);
+  net::Buf req = make_header(MsgKind::kFreeReq, rid, ctx);
   net::Writer w(req);
   w.u64(loc.imd_region);
   auto rep = co_await rpc_call(net_, node_,
@@ -345,6 +350,7 @@ bool CentralManager::region_may_survive(const RegionLoc& loc) const {
 
 sim::Co<void> CentralManager::handle_mfree(net::Message msg) {
   const auto env = peek_envelope(msg);
+  obs::ScopedSpan span(params_.spans, "cmd.mfree", env->trace);
   net::Reader r = body_reader(msg);
   const RegionKey key = get_key(r);
   bool ok = false;
@@ -354,7 +360,7 @@ sim::Co<void> CentralManager::handle_mfree(net::Message msg) {
     rd_.erase(it);
     ++metrics_.frees;
     ok = true;
-    const auto freed = co_await rpc_free_region(key, loc);
+    const auto freed = co_await rpc_free_region(key, loc, span.ctx());
     if (!freed.has_value() && region_may_survive(loc)) {
       // No reply from a host still registered under this epoch: the imd may
       // still hold the region. Keep the directory entry so the bytes remain
@@ -382,7 +388,8 @@ sim::Co<void> CentralManager::scrub_suspect_allocs() {
       continue;
     }
     const std::uint64_t rid = rids_.next();
-    net::Buf req = make_header(MsgKind::kAllocCancel, rid);
+    obs::ScopedSpan span(params_.spans, "cmd.scrub_alloc");
+    net::Buf req = make_header(MsgKind::kAllocCancel, rid, span.ctx());
     net::Writer w(req);
     w.u64(s.rid);
     auto rep = co_await rpc_call(net_, node_,
@@ -461,9 +468,10 @@ sim::Co<std::optional<obs::MetricsSnapshot>> CentralManager::scrape_host(
     net::NodeId host) {
   ++metrics_.stats_scrapes;
   const std::uint64_t rid = rids_.next();
+  obs::ScopedSpan span(params_.spans, "cmd.scrape");
   auto rep = co_await rpc_call(net_, node_, net::Endpoint{host, kRmdPort},
-                               make_header(MsgKind::kStatsReq, rid), rid,
-                               params_.imd_rpc);
+                               make_header(MsgKind::kStatsReq, rid, span.ctx()),
+                               rid, params_.imd_rpc);
   if (!rep) {
     ++metrics_.stats_scrape_failures;
     co_return std::nullopt;
@@ -508,9 +516,10 @@ sim::Co<void> CentralManager::keepalive_loop() {
     for (const auto& [id, control] : targets) {
       const std::uint64_t rid = rids_.next();
       ++metrics_.pings_sent;
+      obs::ScopedSpan span(params_.spans, "cmd.ping");
       auto rep = co_await rpc_call(net_, node_, control,
-                                   make_header(MsgKind::kPing, rid), rid,
-                                   params_.ping_rpc);
+                                   make_header(MsgKind::kPing, rid, span.ctx()),
+                                   rid, params_.ping_rpc);
       auto it = clients_.find(id);
       if (it == clients_.end()) continue;
       if (rep) {

@@ -42,6 +42,8 @@ struct CmdParams {
   /// Duplicate-suppression cache bound; FIFO eviction of the oldest entry
   /// (see ImdParams::reply_cache_capacity for why clear-all is wrong).
   std::size_t reply_cache_capacity = 8192;
+  /// Optional trace-span sink (not owned). Null disables span recording.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 struct CmdMetrics {
@@ -145,7 +147,8 @@ class CentralManager {
   /// the caller must not forget the directory entry while the host is alive
   /// under that epoch (see region_may_survive).
   sim::Co<std::optional<bool>> rpc_free_region(const RegionKey& key,
-                                               const RegionLoc& loc);
+                                               const RegionLoc& loc,
+                                               obs::TraceContext ctx = {});
 
   /// True if `loc`'s host is still registered under `loc`'s epoch, i.e. an
   /// unacknowledged free may have left the region allocated in its pool.

@@ -30,8 +30,10 @@ IdleMemoryDaemon::IdleMemoryDaemon(sim::Simulator& sim, net::Network& net,
       inflight_(sim),
       stop_ch_(sim) {
   // The bulk counters live in the daemon, not the params copy, so every
-  // transfer this incarnation serves aggregates into one place.
+  // transfer this incarnation serves aggregates into one place. Same for
+  // the span sink: bulk transfers record under this daemon's recorder.
   params_.bulk.stats = &bulk_stats_;
+  params_.bulk.spans = params_.spans;
 }
 
 IdleMemoryDaemon::~IdleMemoryDaemon() = default;
@@ -62,6 +64,8 @@ sim::Co<void> IdleMemoryDaemon::stop() {
   regions_.clear();
   reply_cache_.clear();
   reply_order_.clear();
+  data_seen_.clear();
+  data_seen_order_.clear();
   running_ = false;
 }
 
@@ -153,9 +157,12 @@ void IdleMemoryDaemon::handle_alloc(const net::Message& msg, net::Reader r) {
   const auto env = peek_envelope(msg);
   if (auto it = reply_cache_.find(env->rid); it != reply_cache_.end()) {
     ++metrics_.reply_cache_hits;
-    ctl_sock_->send(msg.src, it->second);  // idempotent retry
+    ctl_sock_->send(msg.src, it->second);  // idempotent retry; no new span
     return;
   }
+  // Opened after the replay check: a retried alloc executes (and is traced)
+  // exactly once.
+  obs::ScopedSpan span(params_.spans, "imd.alloc", env->trace);
   const Bytes64 len = r.i64();
   const std::uint64_t want_epoch = r.u64();
   net::Buf rep = make_header(MsgKind::kAllocRep, env->rid);
@@ -199,6 +206,7 @@ void IdleMemoryDaemon::handle_alloc(const net::Message& msg, net::Reader r) {
 void IdleMemoryDaemon::handle_alloc_cancel(const net::Message& msg,
                                            net::Reader r) {
   const auto env = peek_envelope(msg);
+  obs::ScopedSpan span(params_.spans, "imd.alloc_cancel", env->trace);
   const std::uint64_t target_rid = r.u64();
   bool freed = false;
   if (r.ok()) {
@@ -239,9 +247,10 @@ void IdleMemoryDaemon::handle_free(const net::Message& msg, net::Reader r) {
   const auto env = peek_envelope(msg);
   if (auto it = reply_cache_.find(env->rid); it != reply_cache_.end()) {
     ++metrics_.reply_cache_hits;
-    ctl_sock_->send(msg.src, it->second);
+    ctl_sock_->send(msg.src, it->second);  // idempotent retry; no new span
     return;
   }
+  obs::ScopedSpan span(params_.spans, "imd.free", env->trace);
   const std::uint64_t id = r.u64();
   bool ok = false;
   auto it = regions_.find(id);
@@ -261,6 +270,22 @@ void IdleMemoryDaemon::handle_free(const net::Message& msg, net::Reader r) {
   reply_cached_or(msg, env->rid, std::move(rep));
 }
 
+bool IdleMemoryDaemon::data_request_is_duplicate(const net::Message& msg,
+                                                 std::uint64_t rid) {
+  const DataKey key{msg.src.node, msg.src.port, rid};
+  if (!data_seen_.insert(key).second) {
+    ++metrics_.dup_requests_dropped;
+    return true;
+  }
+  data_seen_order_.push_back(key);
+  while (data_seen_.size() > params_.data_dedup_capacity &&
+         !data_seen_order_.empty()) {
+    data_seen_.erase(data_seen_order_.front());
+    data_seen_order_.pop_front();
+  }
+  return false;
+}
+
 sim::Co<void> IdleMemoryDaemon::data_loop() {
   for (;;) {
     net::Message msg = co_await data_sock_->recv();
@@ -270,12 +295,18 @@ sim::Co<void> IdleMemoryDaemon::data_loop() {
     if (stopping_) continue;  // no new transfers while draining
     switch (env->kind) {
       case MsgKind::kReadReq:
-        inflight_.add();
-        sim_.spawn(handle_read(std::move(msg)));
-        break;
       case MsgKind::kWriteReq:
+        // A duplicated request datagram must not spawn a second handler:
+        // the first one already owns the bulk exchange with the client's
+        // ephemeral socket, and a twin would double-serve (and double-trace)
+        // the operation.
+        if (data_request_is_duplicate(msg, env->rid)) break;
         inflight_.add();
-        sim_.spawn(handle_write(std::move(msg)));
+        if (env->kind == MsgKind::kReadReq) {
+          sim_.spawn(handle_read(std::move(msg)));
+        } else {
+          sim_.spawn(handle_write(std::move(msg)));
+        }
         break;
       default:
         break;
@@ -286,8 +317,8 @@ sim::Co<void> IdleMemoryDaemon::data_loop() {
 
 sim::Co<void> IdleMemoryDaemon::handle_read(net::Message req) {
   const SimTime t0 = sim_.now();
-  obs::ScopedSpan span(params_.spans, "imd.read");
   const auto env = peek_envelope(req);
+  obs::ScopedSpan span(params_.spans, "imd.read", env->trace);
   net::Reader r = body_reader(req);
   const std::uint64_t region_id = r.u64();
   const std::uint64_t epoch = r.u64();
@@ -329,8 +360,8 @@ sim::Co<void> IdleMemoryDaemon::handle_read(net::Message req) {
                      static_cast<std::ptrdiff_t>(off + n));
     body.data = slice.data();
   }
-  const Status st =
-      co_await net::bulk_send(*hsock, req.src, env->rid, body, params_.bulk);
+  const Status st = co_await net::bulk_send(*hsock, req.src, env->rid, body,
+                                            params_.bulk, span.ctx());
   if (st.is_ok()) {
     ++metrics_.reads_served;
     metrics_.bytes_read += n;
@@ -341,8 +372,8 @@ sim::Co<void> IdleMemoryDaemon::handle_read(net::Message req) {
 
 sim::Co<void> IdleMemoryDaemon::handle_write(net::Message req) {
   const SimTime t0 = sim_.now();
-  obs::ScopedSpan span(params_.spans, "imd.write");
   const auto env = peek_envelope(req);
+  obs::ScopedSpan span(params_.spans, "imd.write", env->trace);
   net::Reader r = body_reader(req);
   const std::uint64_t region_id = r.u64();
   const std::uint64_t epoch = r.u64();
@@ -366,7 +397,8 @@ sim::Co<void> IdleMemoryDaemon::handle_write(net::Message req) {
   const Bytes64 n = std::min(len, it->second.len - off);
   hsock->send(req.src, make_header(MsgKind::kWriteGo, env->rid));
 
-  auto recv = co_await net::bulk_recv(*hsock, env->rid, params_.bulk);
+  auto recv =
+      co_await net::bulk_recv(*hsock, env->rid, params_.bulk, span.ctx());
   Err code = recv.status.code();
   if (recv.status.is_ok()) {
     if (recv.size != n) {
@@ -403,6 +435,7 @@ sim::Co<void> IdleMemoryDaemon::handle_write(net::Message req) {
 
 void IdleMemoryDaemon::handle_stats(const net::Message& msg) {
   const auto env = peek_envelope(msg);
+  obs::ScopedSpan span(params_.spans, "imd.stats", env->trace);
   net::Buf rep = make_header(MsgKind::kStatsRep, env->rid);
   net::Writer w(rep);
   w.str(metrics_snapshot().to_json());
@@ -426,6 +459,7 @@ obs::MetricsSnapshot IdleMemoryDaemon::metrics_snapshot() const {
   out.set_counter("imd.reply_cache_hits", metrics_.reply_cache_hits);
   out.set_counter("imd.reply_cache_evictions",
                   metrics_.reply_cache_evictions);
+  out.set_counter("imd.dup_requests_dropped", metrics_.dup_requests_dropped);
   out.set_gauge("imd.reply_cache_size",
                 static_cast<std::int64_t>(reply_cache_.size()));
   out.set_gauge("imd.pool_bytes", pool_.pool_size());

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +51,12 @@ struct ImdParams {
   /// fuzz harness can prove its oracles catch (and its shrinker minimizes)
   /// exactly this class of bug; never set outside tests.
   bool buggy_clear_all_reply_cache = false;
+  /// Data-plane dedup horizon: how many recent (src, rid) read/write
+  /// requests are remembered so a duplicated datagram does not spawn a
+  /// second handler (and a second span) for the same operation. Clients use
+  /// a fresh ephemeral port + fresh rid per operation, so a repeat of the
+  /// pair can only be the same datagram delivered twice.
+  std::size_t data_dedup_capacity = 1024;
   /// Optional trace-span sink (not owned). Null disables span recording.
   obs::SpanRecorder* spans = nullptr;
 };
@@ -73,6 +80,9 @@ struct ImdMetrics {
   std::uint64_t reply_cache_hits = 0;
   /// Cached replies dropped by the FIFO bound (or the test-only clear-all).
   std::uint64_t reply_cache_evictions = 0;
+  /// Duplicate data-plane requests (same src endpoint + rid) dropped by the
+  /// dedup window instead of spawning a second read/write handler.
+  std::uint64_t dup_requests_dropped = 0;
 };
 
 class IdleMemoryDaemon {
@@ -178,6 +188,18 @@ class IdleMemoryDaemon {
   // reply_order_ tracks insertion order.
   std::unordered_map<std::uint64_t, net::Buf> reply_cache_;
   std::deque<std::uint64_t> reply_order_;
+
+  /// Recently-seen data-plane requests keyed (src node, src port, rid),
+  /// bounded FIFO like the reply cache. See ImdParams::data_dedup_capacity.
+  struct DataKey {
+    net::NodeId node;
+    net::Port port;
+    std::uint64_t rid;
+    friend auto operator<=>(const DataKey&, const DataKey&) = default;
+  };
+  bool data_request_is_duplicate(const net::Message& msg, std::uint64_t rid);
+  std::set<DataKey> data_seen_;
+  std::deque<DataKey> data_seen_order_;
 
   std::unique_ptr<net::Socket> ctl_sock_;
   std::unique_ptr<net::Socket> data_sock_;

@@ -158,6 +158,7 @@ sim::Co<void> ResourceMonitor::stats_loop() {
     if (!env) continue;
     if (env->kind == MsgKind::kShutdownSentinel) break;
     if (env->kind != MsgKind::kStatsReq) continue;
+    obs::ScopedSpan span(params_.spans, "rmd.stats", env->trace);
     obs::MetricsSnapshot snap = metrics_snapshot();
     if (imd_) snap.merge(imd_->metrics_snapshot());
     net::Buf rep = make_header(MsgKind::kStatsRep, env->rid);

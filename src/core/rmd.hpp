@@ -33,6 +33,8 @@ struct RmdParams {
   /// Dedicated-cluster mode: the host counts as having been idle for the
   /// full threshold already at t=0, so recruitment is immediate.
   bool start_recruited = false;
+  /// Optional trace-span sink (not owned). Null disables span recording.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 struct RmdMetrics {

@@ -1,10 +1,13 @@
 // Wire protocol for the Dodo control and data planes.
 //
-// Every control message is an envelope {u8 kind, u64 rid} followed by
-// kind-specific fields. Replies echo the rid of their request. Bulk region
-// payloads never travel in these messages; they move through the §4.4 bulk
-// protocol on per-transfer ephemeral sockets whose endpoints the control
-// messages carry.
+// Every control message is an envelope {u8 kind, u64 rid, u64 trace_id,
+// u64 parent_span} followed by kind-specific fields. Replies echo the rid of
+// their request. The trace pair is the Dapper-style causal context: the
+// recipient opens its handler span as a child of `parent_span` within
+// `trace_id`, so cross-process request trees reconstruct offline (both zero
+// when the sender records no spans). Bulk region payloads never travel in
+// these messages; they move through the §4.4 bulk protocol on per-transfer
+// ephemeral sockets whose endpoints the control messages carry.
 //
 // All imd->cmd replies piggyback the daemon's epoch and largest free block,
 // which is how the central manager's idle-workstation directory stays fresh
@@ -19,6 +22,7 @@
 #include "net/address.hpp"
 #include "net/codec.hpp"
 #include "net/message.hpp"
+#include "obs/span.hpp"
 
 namespace dodo::core {
 
@@ -109,13 +113,17 @@ struct RegionLoc {
 struct Envelope {
   MsgKind kind{};
   std::uint64_t rid = 0;
+  obs::TraceContext trace;  // {0,0} when the sender records no spans
 };
 
-inline net::Buf make_header(MsgKind kind, std::uint64_t rid) {
+inline net::Buf make_header(MsgKind kind, std::uint64_t rid,
+                            obs::TraceContext ctx = {}) {
   net::Buf h;
   net::Writer w(h);
   w.u8(static_cast<std::uint8_t>(kind));
   w.u64(rid);
+  w.u64(ctx.trace_id);
+  w.u64(ctx.parent_span);
   return h;
 }
 
@@ -124,6 +132,8 @@ inline std::optional<Envelope> peek_envelope(const net::Message& m) {
   Envelope e;
   e.kind = static_cast<MsgKind>(r.u8());
   e.rid = r.u64();
+  e.trace.trace_id = r.u64();
+  e.trace.parent_span = r.u64();
   if (!r.ok()) return std::nullopt;
   return e;
 }
@@ -132,7 +142,9 @@ inline std::optional<Envelope> peek_envelope(const net::Message& m) {
 inline net::Reader body_reader(const net::Message& m) {
   net::Reader r(m.header);
   (void)r.u8();
-  (void)r.u64();
+  (void)r.u64();  // rid
+  (void)r.u64();  // trace_id
+  (void)r.u64();  // parent_span
   return r;
 }
 

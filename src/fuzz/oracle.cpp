@@ -104,6 +104,75 @@ std::string check_conservation(cluster::Cluster& cluster) {
   return "";
 }
 
+std::string check_span_tree(cluster::Cluster& cluster) {
+  const std::vector<obs::MergedSpan> all = cluster.merged_spans();
+  std::map<std::uint64_t, const obs::MergedSpan*> by_id;
+  std::uint64_t prev_id = 0;
+  for (const obs::MergedSpan& m : all) {
+    const obs::SpanRecord& s = m.span;
+    if (s.id <= prev_id) {
+      return fmt("span-tree", "span ids not strictly increasing at %llu",
+                 static_cast<unsigned long long>(s.id));
+    }
+    prev_id = s.id;
+    if (s.end < s.start) {
+      return fmt("span-tree", "span %llu (%s) ends before it starts",
+                 static_cast<unsigned long long>(s.id), s.name.c_str());
+    }
+    by_id[s.id] = &m;
+  }
+  for (const obs::MergedSpan& m : all) {
+    const obs::SpanRecord& s = m.span;
+    if (s.parent == 0) continue;
+    const auto it = by_id.find(s.parent);
+    if (it == by_id.end()) {
+      // The parent may have been dropped at recorder capacity; only a
+      // parent id that was never allocated is a propagation bug, and the
+      // recorder already rejects those (counted, not recorded). A recorded
+      // dangling edge therefore always points at a real defect unless
+      // spans were dropped.
+      if (cluster.traces() != nullptr && cluster.traces()->dropped() > 0) {
+        continue;
+      }
+      return fmt("span-tree", "span %llu (%s) has unknown parent %llu",
+                 static_cast<unsigned long long>(s.id), s.name.c_str(),
+                 static_cast<unsigned long long>(s.parent));
+    }
+    const obs::SpanRecord& p = it->second->span;
+    if (s.trace != p.trace) {
+      return fmt("span-tree",
+                 "span %llu trace %llu != parent %llu trace %llu",
+                 static_cast<unsigned long long>(s.id),
+                 static_cast<unsigned long long>(s.trace),
+                 static_cast<unsigned long long>(p.id),
+                 static_cast<unsigned long long>(p.trace));
+    }
+    if (s.start < p.start) {
+      return fmt("span-tree",
+                 "span %llu (%s) starts %lld before parent %llu start %lld",
+                 static_cast<unsigned long long>(s.id), s.name.c_str(),
+                 static_cast<long long>(s.start),
+                 static_cast<unsigned long long>(p.id),
+                 static_cast<long long>(p.start));
+    }
+    // A child on another track got there over the wire: the server side
+    // legitimately drains past the client span that caused it (final ACKs
+    // are still in flight when the client returns, and a client-side
+    // timeout cuts the parent short). Same-track children must nest.
+    const bool cross_track = it->second->host != m.host ||
+                             it->second->daemon != m.daemon;
+    if (!cross_track && s.end > p.end) {
+      return fmt("span-tree",
+                 "span %llu (%s) ends %lld after parent %llu end %lld",
+                 static_cast<unsigned long long>(s.id), s.name.c_str(),
+                 static_cast<long long>(s.end),
+                 static_cast<unsigned long long>(p.id),
+                 static_cast<long long>(p.end));
+    }
+  }
+  return "";
+}
+
 std::string check_no_leaks(cluster::Cluster& cluster) {
   std::string report = fault::leak_report(cluster);
   if (report.empty()) return "";

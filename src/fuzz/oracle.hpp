@@ -48,4 +48,12 @@ class EpochOracle {
 /// sum of its live region lengths ("" or "metric-conservation: ...").
 [[nodiscard]] std::string check_conservation(cluster::Cluster& cluster);
 
+/// Trace-tree well-formedness, valid only after Cluster::quiesce_traces():
+/// span ids are unique and increasing, every non-root span's parent exists
+/// in the merged timeline and shares its trace id, a child never starts
+/// before its parent or before its own end, and a child ends within its
+/// parent unless it is a server/bulk-side span (those legitimately drain
+/// past the client span that caused them). "" or "span-tree: ...".
+[[nodiscard]] std::string check_span_tree(cluster::Cluster& cluster);
+
 }  // namespace dodo::fuzz

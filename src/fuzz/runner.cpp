@@ -55,6 +55,7 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
   cfg.client.bulk.max_retries = 30;
   cfg.imd.reply_cache_capacity = s.imd_reply_cache_capacity;
   cfg.imd.buggy_clear_all_reply_cache = opt.buggy_imd_reply_cache;
+  cfg.record_spans = true;  // the span-tree oracle audits the merged trace
 
   // Everything the probe lambda captures must outlive the Cluster (the
   // network owns the probe and dies with it).
@@ -257,6 +258,7 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
     note(check_descriptor_bound(c, static_cast<std::size_t>(s.slots)));
     note(check_no_leaks(c));
     note(check_conservation(c));
+    note(check_span_tree(c));
     std::vector<std::uint8_t> disk(static_cast<std::size_t>(dataset));
     c.fs().store_of_inode(c.fs().inode_of(fd))->read(0, dataset, disk.data());
     if (disk != file_shadow) {

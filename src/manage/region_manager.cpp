@@ -74,10 +74,12 @@ int RegionManager::select_victim(int incoming_cd) const {
   return -1;
 }
 
-sim::Co<void> RegionManager::write_to_disk(int cd, Region& r) {
+sim::Co<void> RegionManager::write_to_disk(int cd, Region& r,
+                                           obs::TraceContext ctx) {
   (void)cd;
   ++metrics_.dirty_writebacks;
   const std::uint8_t* src = r.local.empty() ? nullptr : r.local.data();
+  obs::ScopedSpan dspan(params_.spans, "disk.write", ctx);
   co_await fs_.pwrite(r.fd, r.file_offset, r.len, src);
   r.dirty = false;
 }
@@ -103,7 +105,8 @@ sim::Co<void> RegionManager::scrap_remote(Region& r) {
   r.remote_valid = false;
 }
 
-sim::Co<bool> RegionManager::clone_remote(int cd, Region& r) {
+sim::Co<bool> RegionManager::clone_remote(int cd, Region& r,
+                                          obs::TraceContext ctx) {
   (void)cd;
   // Refraction: after a failed clone, skip clone attempts for a while
   // (Figure 5's lastFailTime / refractionPeriod logic).
@@ -118,7 +121,7 @@ sim::Co<bool> RegionManager::clone_remote(int cd, Region& r) {
   }
   if (r.remote_valid) co_return true;  // remote copy already current
   const std::uint8_t* src = r.local.empty() ? nullptr : r.local.data();
-  const Status st = co_await dodo_.push_remote(r.rdesc, 0, src, r.len);
+  const Status st = co_await dodo_.push_remote(r.rdesc, 0, src, r.len, ctx);
   if (!st.is_ok()) {
     last_clone_fail_ = sim_.now();
     ++metrics_.clone_failures;
@@ -142,25 +145,26 @@ sim::Co<void> RegionManager::drop_local(int cd, Region& r) {
 }
 
 sim::Co<bool> RegionManager::grim_reaper(int incoming_cd, Bytes64 need,
-                                         std::uint64_t parent_span) {
+                                         obs::TraceContext parent) {
   if (need > params_.local_cache_bytes) co_return false;  // can never fit
-  obs::ScopedSpan span(params_.spans, "manage.grim_reaper", parent_span);
+  obs::ScopedSpan span(params_.spans, "manage.grim_reaper", parent);
   while (params_.local_cache_bytes - resident_bytes_ < need) {
     const int victim_cd = select_victim(incoming_cd);
     if (victim_cd < 0) co_return false;  // first-in: incoming loses
     Region& victim = regions_.at(victim_cd);
     ++metrics_.reaper_victims;
-    if (victim.dirty) co_await write_to_disk(victim_cd, victim);
-    co_await clone_remote(victim_cd, victim);  // best effort migration
+    if (victim.dirty) co_await write_to_disk(victim_cd, victim, span.ctx());
+    // best effort migration
+    co_await clone_remote(victim_cd, victim, span.ctx());
     co_await drop_local(victim_cd, victim);
   }
   co_return true;
 }
 
 sim::Co<bool> RegionManager::fault_in(int cd, Region& r,
-                                      std::uint64_t parent_span) {
+                                      obs::TraceContext parent) {
   if (r.resident) co_return true;
-  obs::ScopedSpan span(params_.spans, "manage.fault_in", parent_span);
+  obs::ScopedSpan span(params_.spans, "manage.fault_in", parent);
   // Attach to remote memory on a fault with no usable descriptor. If the
   // central manager still has this key cached (persistent datasets across
   // runs), the attach comes back "reused" and the fill below comes from
@@ -169,7 +173,7 @@ sim::Co<bool> RegionManager::fault_in(int cd, Region& r,
   if (r.rdesc < 0 || !dodo_.active(r.rdesc)) {
     co_await ensure_remote_desc(r);
   }
-  if (!co_await grim_reaper(cd, r.len, span.id())) co_return false;
+  if (!co_await grim_reaper(cd, r.len, span.ctx())) co_return false;
 
   std::uint8_t* dst = nullptr;
   if (params_.materialize) {
@@ -178,7 +182,8 @@ sim::Co<bool> RegionManager::fault_in(int cd, Region& r,
   }
   bool filled = false;
   if (r.rdesc >= 0 && dodo_.active(r.rdesc) && r.remote_valid) {
-    const auto got = co_await dodo_.mread_ex(r.rdesc, 0, dst, r.len);
+    const auto got = co_await dodo_.mread_ex(r.rdesc, 0, dst, r.len,
+                                             span.ctx());
     if (got.n == r.len && got.filled) {
       filled = true;
       ++metrics_.remote_fills;
@@ -191,6 +196,7 @@ sim::Co<bool> RegionManager::fault_in(int cd, Region& r,
     // On failure libdodo has dropped the node's descriptors; fall to disk.
   }
   if (!filled) {
+    obs::ScopedSpan dspan(params_.spans, "disk.read", span.ctx());
     co_await fs_.pread(r.fd, r.file_offset, r.len, dst);
     ++metrics_.disk_fills;
     metrics_.bytes_from_disk += r.len;
@@ -219,8 +225,8 @@ sim::Co<Bytes64> RegionManager::cread(int cd, Bytes64 offset,
   if (r->resident) ++policy_hits_[pol]; else ++policy_misses_[pol];
   r->last_access = ++access_clock_;
 
-  if (!r->resident && !co_await fault_in(cd, *r, span.id())) {
-    co_await serve_bypass_read(*r, offset, buf, n);
+  if (!r->resident && !co_await fault_in(cd, *r, span.ctx())) {
+    co_await serve_bypass_read(*r, offset, buf, n, span.ctx());
     co_return n;
   }
 
@@ -236,10 +242,11 @@ sim::Co<Bytes64> RegionManager::cread(int cd, Bytes64 offset,
 }
 
 sim::Co<void> RegionManager::serve_bypass_read(Region& r, Bytes64 offset,
-                                               std::uint8_t* buf, Bytes64 n) {
+                                               std::uint8_t* buf, Bytes64 n,
+                                               obs::TraceContext ctx) {
   // Serve without caching locally (the policy refused admission).
   if (r.rdesc >= 0 && dodo_.active(r.rdesc) && r.remote_valid) {
-    const auto got = co_await dodo_.mread_ex(r.rdesc, offset, buf, n);
+    const auto got = co_await dodo_.mread_ex(r.rdesc, offset, buf, n, ctx);
     if (got.n == n && got.filled) {
       ++metrics_.remote_passthrough;
       metrics_.bytes_from_remote += n;
@@ -261,11 +268,14 @@ sim::Co<void> RegionManager::serve_bypass_read(Region& r, Bytes64 offset,
       whole.assign(static_cast<std::size_t>(r.len), 0);
       dst = whole.data();
     }
-    co_await fs_.pread(r.fd, r.file_offset, r.len, dst);
+    {
+      obs::ScopedSpan dspan(params_.spans, "disk.read", ctx);
+      co_await fs_.pread(r.fd, r.file_offset, r.len, dst);
+    }
     ++metrics_.disk_passthrough;
     metrics_.bytes_from_disk += n;
     const Status st = co_await dodo_.push_remote(
-        r.rdesc, 0, dst == nullptr ? nullptr : dst, r.len);
+        r.rdesc, 0, dst == nullptr ? nullptr : dst, r.len, ctx);
     if (st.is_ok()) {
       r.remote_valid = true;
       ++metrics_.clones;
@@ -283,7 +293,10 @@ sim::Co<void> RegionManager::serve_bypass_read(Region& r, Bytes64 offset,
   if (try_migrate) {
     last_clone_fail_ = sim_.now();
   }
-  co_await fs_.pread(r.fd, r.file_offset + offset, n, buf);
+  {
+    obs::ScopedSpan dspan(params_.spans, "disk.read", ctx);
+    co_await fs_.pread(r.fd, r.file_offset + offset, n, buf);
+  }
   ++metrics_.disk_passthrough;
   metrics_.bytes_from_disk += n;
 }
@@ -305,14 +318,16 @@ sim::Co<Bytes64> RegionManager::cwrite(int cd, Bytes64 offset,
   if (r->resident) ++policy_hits_[pol]; else ++policy_misses_[pol];
   r->last_access = ++access_clock_;
 
-  if (!r->resident && !co_await fault_in(cd, *r, span.id())) {
+  if (!r->resident && !co_await fault_in(cd, *r, span.ctx())) {
     // Bypass: write through to disk and, if a valid remote copy exists,
     // keep it coherent too (libdodo's parallel write-through).
     if (r->rdesc >= 0 && dodo_.active(r->rdesc) && r->remote_valid) {
-      const Bytes64 got = co_await dodo_.mwrite(r->rdesc, offset, buf, n);
+      const Bytes64 got =
+          co_await dodo_.mwrite(r->rdesc, offset, buf, n, span.ctx());
       if (got == n) co_return n;
       r->remote_valid = false;
     }
+    obs::ScopedSpan dspan(params_.spans, "disk.write", span.ctx());
     co_await fs_.pwrite(r->fd, r->file_offset + offset, n, buf);
     co_return n;
   }

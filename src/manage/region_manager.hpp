@@ -137,20 +137,20 @@ class RegionManager {
   /// Figure 5: frees local space for `incoming` (needs `need` bytes).
   /// Returns true if the incoming region may be admitted.
   sim::Co<bool> grim_reaper(int incoming_cd, Bytes64 need,
-                            std::uint64_t parent_span = 0);
+                            obs::TraceContext parent = {});
 
   /// Picks the victim per the current policy; -1 = evict nothing (first-in
   /// refuses to displace residents for the incoming region).
   [[nodiscard]] int select_victim(int incoming_cd) const;
 
-  sim::Co<void> write_to_disk(int cd, Region& r);
-  sim::Co<bool> clone_remote(int cd, Region& r);
+  sim::Co<void> write_to_disk(int cd, Region& r, obs::TraceContext ctx = {});
+  sim::Co<bool> clone_remote(int cd, Region& r, obs::TraceContext ctx = {});
 
   /// Makes the remote copy hold the region's current content, sourcing from
   /// the local copy if resident, else from disk. Unlike clone_remote this is
   /// not refraction-gated: it backs the explicit csync/close flush paths.
   sim::Co<bool> flush_to_remote(Region& r);
-  sim::Co<bool> fault_in(int cd, Region& r, std::uint64_t parent_span = 0);
+  sim::Co<bool> fault_in(int cd, Region& r, obs::TraceContext parent = {});
   sim::Co<void> drop_local(int cd, Region& r);
 
   /// Releases a region's remote copy after a failed push: a never-filled
@@ -166,7 +166,8 @@ class RegionManager {
   /// Uncached service of [offset, offset+n) for a region the policy refused
   /// to admit; opportunistically migrates the region into remote memory.
   sim::Co<void> serve_bypass_read(Region& r, Bytes64 offset,
-                                  std::uint8_t* buf, Bytes64 n);
+                                  std::uint8_t* buf, Bytes64 n,
+                                  obs::TraceContext ctx = {});
 
   sim::Simulator& sim_;
   runtime::DodoClient& dodo_;

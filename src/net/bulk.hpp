@@ -20,6 +20,7 @@
 #include "common/units.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/task.hpp"
 
 namespace dodo::net {
@@ -64,6 +65,9 @@ struct BulkParams {
   /// Optional protocol counters, owned by the endpoint (not by the params
   /// copy). Null disables accounting.
   BulkStats* stats = nullptr;
+  /// Optional span recorder: bulk_send opens a "bulk.send" span (child of
+  /// the ctx it is given), bulk_recv a "bulk.recv" span. Null disables.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 /// A borrowed view of the bytes to send. `data == nullptr` sends a phantom
@@ -82,11 +86,18 @@ struct BulkRecvResult {
 
 /// Sends `body` to `dst`. Returns kOk once the receiver has acknowledged
 /// every packet, kTimeout if progress stalls for max_retries rounds.
+/// `ctx` is the causal parent: it rides every datagram of the exchange, so
+/// the receiving side parents its span to this transfer's trace.
 sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
-                          BodyView body, BulkParams params = {});
+                          BodyView body, BulkParams params = {},
+                          obs::TraceContext ctx = {});
 
 /// Receives one bulk transfer on `sock` (from whoever contacts it first).
+/// If `ctx` is untraced, the receiver adopts the context carried by the
+/// first datagram of the exchange (how a write-side imd joins the client's
+/// trace even though the client initiates the bulk push).
 sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
-                                  BulkParams params = {});
+                                  BulkParams params = {},
+                                  obs::TraceContext ctx = {});
 
 }  // namespace dodo::net

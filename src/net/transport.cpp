@@ -183,22 +183,34 @@ void Network::send(Message msg) {
   // Capture by value: the socket may close before delivery, so we re-resolve
   // the destination at delivery time, exactly like a NIC handing a frame to
   // a port nobody listens on.
-  sim_.schedule(deliver_at, [this, m = std::move(msg)]() mutable {
-    if (!node_up(m.dst.node)) {
-      ++metrics_.datagrams_dropped;
-      return;
-    }
-    auto it = bound_.find(m.dst);
-    if (it == bound_.end()) {
-      ++metrics_.datagrams_dropped;
-      DODO_DEBUG("net", "drop to closed port %s",
-                 to_string(m.dst).c_str());
-      return;
-    }
-    ++metrics_.datagrams_delivered;
-    if (delivery_probe_) delivery_probe_(m);
-    it->second->deliver(std::move(m));
-  });
+  auto schedule_delivery = [this](SimTime at, Message m) {
+    sim_.schedule(at, [this, m = std::move(m)]() mutable {
+      if (!node_up(m.dst.node)) {
+        ++metrics_.datagrams_dropped;
+        return;
+      }
+      auto it = bound_.find(m.dst);
+      if (it == bound_.end()) {
+        ++metrics_.datagrams_dropped;
+        DODO_DEBUG("net", "drop to closed port %s",
+                   to_string(m.dst).c_str());
+        return;
+      }
+      ++metrics_.datagrams_delivered;
+      if (delivery_probe_) delivery_probe_(m);
+      it->second->deliver(std::move(m));
+    });
+  };
+
+  if (dup_filter_ && dup_filter_(msg)) {
+    // Deliver an identical copy back-to-back after the original, occupying
+    // its own slot on the receive link like any real duplicate frame.
+    ++metrics_.datagrams_duplicated;
+    const SimTime dup_at = deliver_at + recv_cpu_time(payload);
+    rx_free_[msg.dst.node] = dup_at;
+    schedule_delivery(dup_at, msg);
+  }
+  schedule_delivery(deliver_at, std::move(msg));
 }
 
 void Network::unbind(const Endpoint& ep) { bound_.erase(ep); }

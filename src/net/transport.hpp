@@ -78,6 +78,7 @@ struct NetMetrics {
   std::uint64_t datagrams_lost = 0;      // random loss injection
   std::uint64_t datagrams_dropped = 0;   // closed port / down node
   std::uint64_t datagrams_cut = 0;       // severed link (fault injection)
+  std::uint64_t datagrams_duplicated = 0;  // dup-filter injected copies
   std::uint64_t payload_bytes_sent = 0;
 };
 
@@ -130,6 +131,16 @@ class Network {
     drop_filter_ = std::move(filter);
   }
 
+  /// Test-only hook: a predicate consulted on each datagram that will be
+  /// delivered; returning true delivers a SECOND copy immediately after the
+  /// first (back-to-back on the receive link), modelling UDP duplicate
+  /// delivery. Deterministic and content-aware, like set_drop_filter. Used
+  /// to prove the daemons' dedup/replay paths open no duplicate spans and
+  /// execute no duplicate work. Pass an empty function to uninstall.
+  void set_dup_filter(std::function<bool(const Message&)> filter) {
+    dup_filter_ = std::move(filter);
+  }
+
   [[nodiscard]] const NetParams& params() const { return params_; }
   [[nodiscard]] NetMetrics& metrics() { return metrics_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
@@ -158,6 +169,7 @@ class Network {
   std::unordered_map<Endpoint, Socket*, EndpointHash> bound_;
   std::function<void(const Message&)> delivery_probe_;
   std::function<bool(const Message&)> drop_filter_;
+  std::function<bool(const Message&)> dup_filter_;
 };
 
 /// An open datagram endpoint. Closing (destroying) the socket unbinds it;

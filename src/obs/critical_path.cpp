@@ -1,0 +1,174 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace dodo::obs {
+
+const char* segment_name(Segment s) {
+  switch (s) {
+    case Segment::kClient: return "client";
+    case Segment::kNetwork: return "network";
+    case Segment::kDaemon: return "daemon";
+    case Segment::kBulk: return "bulk";
+    case Segment::kDisk: return "disk";
+    case Segment::kOther: return "other";
+  }
+  return "other";
+}
+
+Segment classify_span(const std::string& name) {
+  auto has = [&](const char* prefix) { return name.rfind(prefix, 0) == 0; };
+  if (has("client.") || has("manage.")) return Segment::kClient;
+  if (has("net.")) return Segment::kNetwork;
+  if (has("imd.") || has("cmd.") || has("rmd.")) return Segment::kDaemon;
+  if (has("bulk.")) return Segment::kBulk;
+  if (has("disk.")) return Segment::kDisk;
+  return Segment::kOther;
+}
+
+namespace {
+
+struct Node {
+  const SpanRecord* span = nullptr;
+  std::vector<std::size_t> children;  // indices into the trace's node table
+  SimTime end_eff = 0;                // max(own end, children's end_eff)
+};
+
+/// Attributes [lo, hi) of wall time: intervals covered by a child belong to
+/// the child (recursively), the rest to `node`'s own segment. The cursor
+/// sweep guarantees the pieces tile [lo, hi) exactly — no gap, no overlap —
+/// which is the sum invariant the tests assert.
+void partition(const std::vector<Node>& nodes, std::size_t idx, SimTime lo,
+               SimTime hi, SegmentBreakdown& out) {
+  const Node& node = nodes[idx];
+  const Segment own = classify_span(node.span->name);
+  SimTime cursor = lo;
+  for (const std::size_t ci : node.children) {
+    const Node& child = nodes[ci];
+    const SimTime cs = std::max(child.span->start, cursor);
+    const SimTime ce = std::min(child.end_eff, hi);
+    if (ce <= cursor) continue;  // fully before the cursor or clipped away
+    if (cs > cursor) out[own] += cs - cursor;
+    partition(nodes, ci, cs, ce, out);
+    cursor = ce;
+  }
+  if (hi > cursor) out[own] += hi - cursor;
+}
+
+}  // namespace
+
+std::vector<TraceSummary> analyze_traces(const std::vector<SpanRecord>& spans) {
+  // Group by trace id; std::map gives ascending-trace-id output order.
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> by_trace;
+  for (const SpanRecord& s : spans) {
+    if (s.trace == 0) continue;
+    by_trace[s.trace].push_back(&s);
+  }
+
+  std::vector<TraceSummary> out;
+  out.reserve(by_trace.size());
+  for (auto& [trace_id, members] : by_trace) {
+    // Node table in ascending-id order. A child always has a larger id than
+    // its parent (it begins later and ids are issued in begin order), which
+    // makes the bottom-up end_eff pass a simple reverse sweep.
+    std::sort(members.begin(), members.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                return a->id < b->id;
+              });
+    std::vector<Node> nodes(members.size());
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    index.reserve(members.size());
+    std::size_t root = members.size();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      nodes[i].span = members[i];
+      nodes[i].end_eff = members[i]->end;
+      index.emplace(members[i]->id, i);
+      if (members[i]->id == trace_id) root = i;
+    }
+    if (root == members.size()) continue;  // root dropped at capacity; skip
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (i == root) continue;
+      const auto it = index.find(nodes[i].span->parent);
+      // A parent outside this trace's recorded set (dropped span) degrades
+      // to a direct child of the root: its time still attributes somewhere.
+      const std::size_t pi = it != index.end() ? it->second : root;
+      nodes[pi == i ? root : pi].children.push_back(i);
+    }
+    for (std::size_t i = nodes.size(); i-- > 0;) {
+      for (const std::size_t ci : nodes[i].children) {
+        nodes[i].end_eff = std::max(nodes[i].end_eff, nodes[ci].end_eff);
+      }
+    }
+    for (Node& n : nodes) {
+      std::sort(n.children.begin(), n.children.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (nodes[a].span->start != nodes[b].span->start) {
+                    return nodes[a].span->start < nodes[b].span->start;
+                  }
+                  return nodes[a].span->id < nodes[b].span->id;
+                });
+    }
+
+    TraceSummary t;
+    t.trace_id = trace_id;
+    t.root_name = nodes[root].span->name;
+    t.start = nodes[root].span->start;
+    // End-to-end includes async drain: a server span that outlives the
+    // client root (final bulk ACK in flight) extends the trace.
+    t.end = std::max(nodes[root].end_eff, t.start);
+    partition(nodes, root, t.start, t.end, t.segments);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<TraceSummary> analyze_traces(const std::vector<MergedSpan>& spans) {
+  std::vector<SpanRecord> flat;
+  flat.reserve(spans.size());
+  for (const MergedSpan& m : spans) flat.push_back(m.span);
+  return analyze_traces(flat);
+}
+
+namespace {
+
+std::int64_t nearest_rank(std::vector<Duration>& values, int pct) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  std::size_t idx =
+      (static_cast<std::size_t>(pct) * n + 99) / 100;  // ceil(pct*n/100)
+  if (idx > 0) --idx;
+  if (idx >= n) idx = n - 1;
+  return values[idx];
+}
+
+}  // namespace
+
+void export_latency_breakdown(const std::vector<TraceSummary>& traces,
+                              MetricsSnapshot& out) {
+  out.set_gauge("latency_breakdown.traces",
+                static_cast<std::int64_t>(traces.size()));
+  std::map<std::string, std::vector<const TraceSummary*>> by_root;
+  for (const TraceSummary& t : traces) by_root[t.root_name].push_back(&t);
+  for (const auto& [root, group] : by_root) {
+    const std::string base = "latency_breakdown." + root + ".";
+    out.set_gauge(base + "count", static_cast<std::int64_t>(group.size()));
+    std::vector<Duration> values;
+    values.reserve(group.size());
+    for (int seg = -1; seg < kSegmentCount; ++seg) {
+      values.clear();
+      for (const TraceSummary* t : group) {
+        values.push_back(seg < 0 ? t->end - t->start
+                                 : t->segments.ns[static_cast<std::size_t>(
+                                       seg)]);
+      }
+      const std::string key =
+          base + (seg < 0 ? "total" : segment_name(static_cast<Segment>(seg)));
+      out.set_gauge(key + ".p50_ns", nearest_rank(values, 50));
+      out.set_gauge(key + ".p99_ns", nearest_rank(values, 99));
+    }
+  }
+}
+
+}  // namespace dodo::obs

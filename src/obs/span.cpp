@@ -6,14 +6,26 @@
 
 namespace dodo::obs {
 
-std::uint64_t SpanRecorder::begin(std::string name, std::uint64_t parent) {
+std::uint64_t SpanRecorder::begin(std::string name, TraceContext parent) {
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return 0;
   }
   SpanRecord rec;
-  rec.id = next_id_++;
-  rec.parent = parent;
+  rec.id = ids_->next();
+  // Orphan rejection: an id the allocator never issued cannot name a real
+  // span (a corrupted wire context, or a caller passing a stale id from a
+  // different deployment). Recording it would put a dangling edge in the
+  // merged tree; record a root instead and count the rejection.
+  const std::uint64_t limit = ids_->issued();
+  if (parent.parent_span >= rec.id ||
+      (parent.parent_span != 0 && parent.parent_span > limit) ||
+      (parent.trace_id != 0 && parent.trace_id > limit)) {
+    ++orphans_rejected_;
+    parent = TraceContext{};
+  }
+  rec.parent = parent.parent_span;
+  rec.trace = parent.trace_id != 0 ? parent.trace_id : rec.id;
   rec.start = sim_.now();
   // Tabs and newlines would corrupt the TSV rows; names are code-supplied
   // identifiers, so flatten rather than reject.
@@ -33,13 +45,23 @@ void SpanRecorder::end(std::uint64_t id) {
   open_.erase(it);
 }
 
+std::uint64_t SpanRecorder::close_open() {
+  const std::uint64_t n = open_.size();
+  for (const auto& [id, index] : open_) {
+    spans_[index].end = sim_.now();
+  }
+  open_.clear();
+  return n;
+}
+
 std::string SpanRecorder::to_tsv() const {
-  std::string out = "# dodo spans v1 " + std::to_string(spans_.size()) + "\n";
-  char buf[96];
+  std::string out = "# dodo spans v2 " + std::to_string(spans_.size()) + "\n";
+  char buf[120];
   for (const SpanRecord& s : spans_) {
-    std::snprintf(buf, sizeof(buf), "%llu\t%llu\t%lld\t%lld\t",
+    std::snprintf(buf, sizeof(buf), "%llu\t%llu\t%llu\t%lld\t%lld\t",
                   static_cast<unsigned long long>(s.id),
                   static_cast<unsigned long long>(s.parent),
+                  static_cast<unsigned long long>(s.trace),
                   static_cast<long long>(s.start),
                   static_cast<long long>(s.end));
     out += buf;
@@ -100,9 +122,9 @@ bool SpanRecorder::from_tsv(const std::string& text,
   }
   long long expected = -1;
   {
-    constexpr const char* kPrefix = "# dodo spans v1 ";
+    constexpr const char* kPrefix = "# dodo spans v2 ";
     if (line.rfind(kPrefix, 0) != 0) {
-      return fail(error, 1, "missing \"# dodo spans v1\" header");
+      return fail(error, 1, "missing \"# dodo spans v2\" header");
     }
     std::size_t p = std::strlen(kPrefix);
     if (!parse_int(line, p, expected) || p != line.size() || expected < 0) {
@@ -118,16 +140,19 @@ bool SpanRecorder::from_tsv(const std::string& text,
     std::size_t p = 0;
     long long id = 0;
     long long parent = 0;
+    long long trace = 0;
     long long start = 0;
     long long end = 0;
     if (!parse_int(line, p, id) || id <= 0 || !eat_tab(line, p) ||
         !parse_int(line, p, parent) || parent < 0 || !eat_tab(line, p) ||
+        !parse_int(line, p, trace) || trace < 0 || !eat_tab(line, p) ||
         !parse_int(line, p, start) || !eat_tab(line, p) ||
         !parse_int(line, p, end) || !eat_tab(line, p)) {
-      return fail(error, line_no, "malformed id/parent/start/end fields");
+      return fail(error, line_no, "malformed id/parent/trace/start/end fields");
     }
     rec.id = static_cast<std::uint64_t>(id);
     rec.parent = static_cast<std::uint64_t>(parent);
+    rec.trace = static_cast<std::uint64_t>(trace);
     rec.start = start;
     rec.end = end;
     rec.name = line.substr(p);

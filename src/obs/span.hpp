@@ -1,15 +1,24 @@
 // Lightweight trace spans over the simulation clock.
 //
 // A span is a named [start, end) interval of sim time with an optional
-// parent, so nested operations (cread -> fault_in -> grim_reaper, or an imd
-// read serving a client mread) reconstruct into a tree offline. Parents are
-// explicit — coroutines interleave at every co_await, so an implicit
-// thread-local "current span" stack would attribute children to whichever
-// coroutine happened to run last. Recording is opt-in per component (a null
-// recorder pointer costs one branch) and bounded: past max_spans, new spans
-// are counted as dropped instead of growing without limit.
+// parent and a trace id, so nested operations (cread -> fault_in ->
+// grim_reaper, or an imd read serving a client mread) reconstruct into a
+// tree offline — across process boundaries. Parents are explicit —
+// coroutines interleave at every co_await, so an implicit thread-local
+// "current span" stack would attribute children to whichever coroutine
+// happened to run last. Recording is opt-in per component (a null recorder
+// pointer costs one branch) and bounded: past max_spans, new spans are
+// counted as dropped instead of growing without limit.
 //
-// Serialization follows src/trace's TSV convention: a "# dodo spans v1"
+// Cross-process causality: a TraceContext {trace_id, parent_span} rides the
+// wire header of every RPC and bulk datagram (src/core/wire.hpp,
+// src/net/bulk.cpp), so a server-side handler opens its span as a child of
+// the originating client span. For that to be meaningful, every recorder in
+// one deployment draws ids from a shared SpanIdAllocator (see TraceDomain in
+// obs/trace_merge.hpp), making span ids unique cluster-wide. A trace id is
+// simply the span id of the trace's root span.
+//
+// Serialization follows src/trace's TSV convention: a "# dodo spans v2"
 // header, then one row per span, with the same strict "line N: why" parser
 // discipline as trace_from_tsv.
 #pragma once
@@ -24,9 +33,36 @@
 
 namespace dodo::obs {
 
+/// The causal context carried on the wire: which trace a request belongs to
+/// and which span caused it. {0, 0} means "untraced" (recording disabled at
+/// the origin); handlers then open root spans of their own.
+struct TraceContext {
+  std::uint64_t trace_id = 0;    // root span id of the trace; 0 = untraced
+  std::uint64_t parent_span = 0;  // 0 = no parent
+
+  [[nodiscard]] bool traced() const { return trace_id != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// Monotonic span-id source. Shared by every SpanRecorder of one deployment
+/// so ids are unique across daemons and wire-propagated parent links resolve
+/// unambiguously in the merged timeline.
+class SpanIdAllocator {
+ public:
+  std::uint64_t next() { return next_id_++; }
+  /// Highest id handed out so far (0 when none). An id above this was never
+  /// allocated anywhere — the orphan-parent check in SpanRecorder::begin.
+  [[nodiscard]] std::uint64_t issued() const { return next_id_ - 1; }
+
+ private:
+  std::uint64_t next_id_ = 1;
+};
+
 struct SpanRecord {
   std::uint64_t id = 0;      // 1-based, allocation order
   std::uint64_t parent = 0;  // 0 = root
+  std::uint64_t trace = 0;   // root span id of the owning trace; 0 = none
   SimTime start = 0;
   SimTime end = -1;  // -1 while the span is still open
   std::string name;
@@ -36,22 +72,39 @@ struct SpanRecord {
 
 class SpanRecorder {
  public:
-  explicit SpanRecorder(sim::Simulator& sim, std::size_t max_spans = 1 << 20)
-      : sim_(sim), max_spans_(max_spans) {}
+  /// `ids` may point at a shared allocator (TraceDomain mode); null gives
+  /// the recorder its own private stream.
+  explicit SpanRecorder(sim::Simulator& sim, std::size_t max_spans = 1 << 20,
+                        SpanIdAllocator* ids = nullptr)
+      : sim_(sim), max_spans_(max_spans),
+        ids_(ids != nullptr ? ids : &own_ids_) {}
 
   SpanRecorder(const SpanRecorder&) = delete;
   SpanRecorder& operator=(const SpanRecorder&) = delete;
 
-  /// Opens a span; returns its id (0 when the recorder is full).
-  std::uint64_t begin(std::string name, std::uint64_t parent = 0);
+  /// Opens a span; returns its id (0 when the recorder is full). A parent
+  /// (or trace) id that was never allocated is rejected — the span is
+  /// recorded as a root instead, and the rejection counted — so the merged
+  /// tree never contains edges to nonexistent spans.
+  std::uint64_t begin(std::string name, TraceContext parent = {});
 
   /// Closes an open span; ignores id 0 and unknown/already-closed ids.
   void end(std::uint64_t id);
 
+  /// Force-closes every still-open span at the current sim time (quiesce).
+  /// Returns how many were open, so exports never contain end=-1 rows.
+  std::uint64_t close_open();
+
+  [[nodiscard]] std::size_t open_count() const { return open_.size(); }
   [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Spans whose parent/trace id had never been allocated (clamped to root).
+  [[nodiscard]] std::uint64_t orphans_rejected() const {
+    return orphans_rejected_;
+  }
+  [[nodiscard]] SpanIdAllocator& ids() { return *ids_; }
 
-  /// "# dodo spans v1 <count>" then "id\tparent\tstart\tend\tname" rows.
+  /// "# dodo spans v2 <count>" then "id\tparent\ttrace\tstart\tend\tname".
   [[nodiscard]] std::string to_tsv() const;
 
   /// Strict parser: rejects garbled headers, non-numeric fields, count
@@ -64,30 +117,42 @@ class SpanRecorder {
   sim::Simulator& sim_;
   std::vector<SpanRecord> spans_;
   std::unordered_map<std::uint64_t, std::size_t> open_;  // id -> index
-  std::uint64_t next_id_ = 1;
+  SpanIdAllocator own_ids_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t orphans_rejected_ = 0;
   std::size_t max_spans_;
+  SpanIdAllocator* ids_;
 };
 
 /// RAII span guard, safe to hold across co_await (ends when the owning
 /// coroutine frame is destroyed, even on cancellation paths).
 class ScopedSpan {
  public:
-  ScopedSpan(SpanRecorder* rec, const char* name, std::uint64_t parent = 0)
-      : rec_(rec), id_(rec != nullptr ? rec->begin(name, parent) : 0) {}
-  ~ScopedSpan() {
-    if (rec_ != nullptr && id_ != 0) rec_->end(id_);
-  }
+  ScopedSpan(SpanRecorder* rec, const char* name, TraceContext parent = {})
+      : rec_(rec), id_(rec != nullptr ? rec->begin(name, parent) : 0),
+        trace_(parent.trace_id != 0 ? parent.trace_id : id_) {}
+  ~ScopedSpan() { end_now(); }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
-  /// Pass this as `parent` when opening child spans.
+  /// Ends the span before scope exit — e.g. a network-wait span closed the
+  /// moment the reply arrives rather than when the enclosing frame unwinds.
+  void end_now() {
+    if (rec_ != nullptr && id_ != 0 && !ended_) rec_->end(id_);
+    ended_ = true;
+  }
+
+  /// Pass this as `parent` when opening child spans (locally or over the
+  /// wire). For a root span the trace id is the span's own id.
+  [[nodiscard]] TraceContext ctx() const { return {trace_, id_}; }
   [[nodiscard]] std::uint64_t id() const { return id_; }
 
  private:
   SpanRecorder* rec_;
   std::uint64_t id_;
+  std::uint64_t trace_;
+  bool ended_ = false;
 };
 
 }  // namespace dodo::obs

@@ -1,0 +1,296 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dodo::obs {
+
+SpanRecorder* TraceDomain::recorder(int host, const std::string& daemon) {
+  for (auto& t : tracks_) {
+    if (t.host == host && t.daemon == daemon) return t.rec.get();
+  }
+  tracks_.push_back(Track{host, daemon,
+                          std::make_unique<SpanRecorder>(sim_, max_spans_,
+                                                         &ids_)});
+  return tracks_.back().rec.get();
+}
+
+std::uint64_t TraceDomain::close_open_spans() {
+  std::uint64_t n = 0;
+  for (auto& t : tracks_) n += t.rec->close_open();
+  return n;
+}
+
+std::vector<MergedSpan> TraceDomain::merged() const {
+  std::vector<MergedSpan> out;
+  std::size_t total = 0;
+  for (const auto& t : tracks_) total += t.rec->spans().size();
+  out.reserve(total);
+  for (const auto& t : tracks_) {
+    for (const SpanRecord& s : t.rec->spans()) {
+      out.push_back(MergedSpan{s, t.host, t.daemon});
+    }
+  }
+  // Ids are unique across tracks (shared allocator) and issued in
+  // begin-time order, so this yields one deterministic global timeline.
+  std::sort(out.begin(), out.end(), [](const MergedSpan& a,
+                                       const MergedSpan& b) {
+    return a.span.id < b.span.id;
+  });
+  return out;
+}
+
+std::uint64_t TraceDomain::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tracks_) n += t.rec->dropped();
+  return n;
+}
+
+std::uint64_t TraceDomain::orphans_rejected() const {
+  std::uint64_t n = 0;
+  for (const auto& t : tracks_) n += t.rec->orphans_rejected();
+  return n;
+}
+
+std::size_t TraceDomain::open_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tracks_) n += t.rec->open_count();
+  return n;
+}
+
+std::size_t TraceDomain::total_spans() const {
+  std::size_t n = 0;
+  for (const auto& t : tracks_) n += t.rec->spans().size();
+  return n;
+}
+
+std::string TraceDomain::to_tsv() const {
+  const std::vector<MergedSpan> all = merged();
+  std::string out = "# dodo trace v1 " + std::to_string(all.size()) + "\n";
+  char buf[160];
+  for (const MergedSpan& m : all) {
+    const SpanRecord& s = m.span;
+    std::snprintf(buf, sizeof(buf), "%llu\t%llu\t%llu\t%lld\t%lld\t%d\t",
+                  static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent),
+                  static_cast<unsigned long long>(s.trace),
+                  static_cast<long long>(s.start),
+                  static_cast<long long>(s.end), m.host);
+    out += buf;
+    out += m.daemon;
+    out.push_back('\t');
+    out += s.name;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+bool next_line(const std::string& text, std::size_t& pos, std::string& line) {
+  if (pos >= text.size()) return false;
+  const std::size_t nl = text.find('\n', pos);
+  if (nl == std::string::npos) {
+    line = text.substr(pos);
+    pos = text.size();
+  } else {
+    line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+  }
+  return true;
+}
+
+bool fail(std::string* error, int line_no, const char* why) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + why;
+  }
+  return false;
+}
+
+bool parse_int(const std::string& s, std::size_t& pos, long long& out) {
+  char* end = nullptr;
+  const char* start = s.c_str() + pos;
+  out = std::strtoll(start, &end, 10);
+  if (end == start) return false;
+  pos += static_cast<std::size_t>(end - start);
+  return true;
+}
+
+bool eat_tab(const std::string& s, std::size_t& pos) {
+  if (pos >= s.size() || s[pos] != '\t') return false;
+  ++pos;
+  return true;
+}
+
+/// Appends `ns` rendered as microseconds with exactly three decimals
+/// ("123.456"), by integer math only: Chrome trace timestamps are in us and
+/// float formatting would invite platform-dependent output.
+void append_us(std::string& out, SimTime ns) {
+  if (ns < 0) ns = 0;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+bool TraceDomain::from_tsv(const std::string& text,
+                           std::vector<MergedSpan>& out, std::string* error) {
+  out.clear();
+  std::size_t pos = 0;
+  std::string line;
+  int line_no = 1;
+  if (!next_line(text, pos, line)) {
+    return fail(error, 1, "empty input");
+  }
+  long long expected = -1;
+  {
+    constexpr const char* kPrefix = "# dodo trace v1 ";
+    if (line.rfind(kPrefix, 0) != 0) {
+      return fail(error, 1, "missing \"# dodo trace v1\" header");
+    }
+    std::size_t p = std::strlen(kPrefix);
+    if (!parse_int(line, p, expected) || p != line.size() || expected < 0) {
+      return fail(error, 1, "bad span count in header");
+    }
+  }
+  while (next_line(text, pos, line)) {
+    ++line_no;
+    if (line.empty()) {
+      return fail(error, line_no, "empty row");
+    }
+    MergedSpan rec;
+    std::size_t p = 0;
+    long long id = 0;
+    long long parent = 0;
+    long long trace = 0;
+    long long start = 0;
+    long long end = 0;
+    long long host = 0;
+    if (!parse_int(line, p, id) || id <= 0 || !eat_tab(line, p) ||
+        !parse_int(line, p, parent) || parent < 0 || !eat_tab(line, p) ||
+        !parse_int(line, p, trace) || trace < 0 || !eat_tab(line, p) ||
+        !parse_int(line, p, start) || !eat_tab(line, p) ||
+        !parse_int(line, p, end) || !eat_tab(line, p) ||
+        !parse_int(line, p, host) || host < 0 || !eat_tab(line, p)) {
+      return fail(error, line_no, "malformed numeric fields");
+    }
+    const std::size_t daemon_end = line.find('\t', p);
+    if (daemon_end == std::string::npos) {
+      return fail(error, line_no, "missing daemon/name fields");
+    }
+    rec.span.id = static_cast<std::uint64_t>(id);
+    rec.span.parent = static_cast<std::uint64_t>(parent);
+    rec.span.trace = static_cast<std::uint64_t>(trace);
+    rec.span.start = start;
+    rec.span.end = end;
+    rec.host = static_cast<int>(host);
+    rec.daemon = line.substr(p, daemon_end - p);
+    rec.span.name = line.substr(daemon_end + 1);
+    if (rec.daemon.empty() || rec.span.name.empty()) {
+      return fail(error, line_no, "empty daemon or span name");
+    }
+    out.push_back(std::move(rec));
+  }
+  if (expected != static_cast<long long>(out.size())) {
+    return fail(error, line_no, "row count does not match header");
+  }
+  return true;
+}
+
+std::string TraceDomain::to_chrome_json() const { return chrome_json(merged()); }
+
+std::string TraceDomain::chrome_json(const std::vector<MergedSpan>& spans) {
+  // Track table in first-appearance order; each (host, daemon) pair becomes
+  // one thread of the host's process. tid must be unique per process only,
+  // but a globally unique tid keeps the file trivially diffable.
+  struct TrackKey {
+    int host;
+    std::string daemon;
+    int tid;
+  };
+  std::vector<TrackKey> tracks;
+  auto tid_of = [&](int host, const std::string& daemon) {
+    for (const auto& t : tracks) {
+      if (t.host == host && t.daemon == daemon) return t.tid;
+    }
+    tracks.push_back(TrackKey{host, daemon,
+                              static_cast<int>(tracks.size()) + 1});
+    return tracks.back().tid;
+  };
+  for (const MergedSpan& m : spans) tid_of(m.host, m.daemon);
+
+  std::string out = "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+
+  std::vector<int> named_hosts;
+  for (const TrackKey& t : tracks) {
+    if (std::find(named_hosts.begin(), named_hosts.end(), t.host) ==
+        named_hosts.end()) {
+      named_hosts.push_back(t.host);
+      comma();
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,"
+                    "\"tid\":0,\"args\":{\"name\":\"host%d\"}}",
+                    t.host, t.host);
+      out += buf;
+    }
+    comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":",
+                  t.host, t.tid);
+    out += buf;
+    append_json_string(out, t.daemon);
+    out += "}}";
+  }
+
+  for (const MergedSpan& m : spans) {
+    const SpanRecord& s = m.span;
+    comma();
+    out += "{\"ph\":\"X\",\"name\":";
+    append_json_string(out, s.name);
+    std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d,\"ts\":", m.host,
+                  tid_of(m.host, m.daemon));
+    out += buf;
+    append_us(out, s.start);
+    out += ",\"dur\":";
+    append_us(out, s.end >= s.start ? s.end - s.start : 0);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"id\":%llu,\"parent\":%llu,\"trace\":%llu}}",
+                  static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent),
+                  static_cast<unsigned long long>(s.trace));
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+}  // namespace dodo::obs

@@ -1,0 +1,95 @@
+// Cluster-wide trace merge (the "collector" half of distributed tracing).
+//
+// A TraceDomain owns one SpanRecorder per (host, daemon) track, all drawing
+// span ids from a single shared allocator, so the per-daemon span trees knit
+// into one cluster-wide timeline: a span recorded by an imd can name a span
+// recorded by the client as its parent (the id arrived in the wire-level
+// TraceContext) and the merged view resolves the edge.
+//
+// Two deterministic exports:
+//   - to_tsv(): "# dodo trace v1" rows with host/daemon columns, the
+//     interchange format consumed by tools/trace_report.
+//   - to_chrome_json(): Chrome trace-event JSON (Perfetto-loadable), one
+//     "process" per host, one "thread" per daemon track, one complete ("X")
+//     event per span. All numbers are formatted by integer math, so two
+//     same-seed runs produce byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo::obs {
+
+/// One span plus the track it was recorded on.
+struct MergedSpan {
+  SpanRecord span;
+  int host = 0;        // "process" in the Chrome export
+  std::string daemon;  // "thread" in the Chrome export
+
+  friend bool operator==(const MergedSpan&, const MergedSpan&) = default;
+};
+
+class TraceDomain {
+ public:
+  explicit TraceDomain(sim::Simulator& sim,
+                       std::size_t max_spans_per_track = 1 << 20)
+      : sim_(sim), max_spans_(max_spans_per_track) {}
+
+  TraceDomain(const TraceDomain&) = delete;
+  TraceDomain& operator=(const TraceDomain&) = delete;
+
+  /// Find-or-create the recorder for one (host, daemon) track. Creation
+  /// order fixes the track order in every export, so callers must create
+  /// tracks deterministically (the cluster harness does).
+  SpanRecorder* recorder(int host, const std::string& daemon);
+
+  [[nodiscard]] SpanIdAllocator& ids() { return ids_; }
+
+  /// Force-closes every open span on every track at the current sim time.
+  /// Returns the total number that were open (the spans_open_at_quiesce
+  /// gauge), so exports never contain end=-1 rows.
+  std::uint64_t close_open_spans();
+
+  /// Every span of every track, sorted by span id (= allocation order,
+  /// which is also start-time order under one simulator).
+  [[nodiscard]] std::vector<MergedSpan> merged() const;
+
+  /// Sum of per-track drop/orphan counters.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t orphans_rejected() const;
+  [[nodiscard]] std::size_t open_count() const;
+  [[nodiscard]] std::size_t total_spans() const;
+
+  /// "# dodo trace v1 <count>" then
+  /// "id\tparent\ttrace\tstart\tend\thost\tdaemon\tname" rows.
+  [[nodiscard]] std::string to_tsv() const;
+
+  /// Strict parser for the to_tsv() format ("line N: why" errors).
+  static bool from_tsv(const std::string& text, std::vector<MergedSpan>& out,
+                       std::string* error = nullptr);
+
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Chrome trace-event JSON for an arbitrary merged span list (the
+  /// trace_report tool renders parsed TSV through this).
+  static std::string chrome_json(const std::vector<MergedSpan>& spans);
+
+ private:
+  struct Track {
+    int host;
+    std::string daemon;
+    std::unique_ptr<SpanRecorder> rec;
+  };
+
+  sim::Simulator& sim_;
+  std::size_t max_spans_;
+  SpanIdAllocator ids_;
+  std::vector<Track> tracks_;  // creation order
+};
+
+}  // namespace dodo::obs

@@ -19,8 +19,10 @@ DodoClient::DodoClient(sim::Simulator& sim, net::Network& net,
       fs_(fs),
       params_(params),
       loops_(sim) {
-  // Aggregate every bulk transfer this client runs into one counter set.
+  // Aggregate every bulk transfer this client runs into one counter set,
+  // and record bulk spans under this client's recorder.
   params_.bulk.stats = &bulk_stats_;
+  params_.bulk.spans = params_.spans;
 }
 
 DodoClient::~DodoClient() = default;
@@ -41,6 +43,7 @@ sim::Co<void> DodoClient::ping_loop() {
     if (env->kind == MsgKind::kShutdownSentinel) break;
     if (env->kind == MsgKind::kPing) {
       ++metrics_.pings_answered;
+      obs::ScopedSpan span(params_.spans, "client.ping", env->trace);
       ctl_sock_->send(msg.src, core::make_header(MsgKind::kPong, env->rid));
     }
   }
@@ -59,7 +62,8 @@ sim::Co<void> DodoClient::halt() {
 
 sim::Co<void> DodoClient::detach() {
   const std::uint64_t rid = rids_.next();
-  net::Buf h = core::make_header(MsgKind::kDetach, rid);
+  obs::ScopedSpan span(params_.spans, "client.detach");
+  net::Buf h = core::make_header(MsgKind::kDetach, rid, span.ctx());
   net::Writer w(h);
   w.u32(params_.client_id);
   co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
@@ -121,7 +125,9 @@ sim::Co<std::pair<int, bool>> DodoClient::mopen_ex(Bytes64 len, int fd,
 
   const core::RegionKey key{fs_.inode_of(fd), offset, params_.client_id};
   const std::uint64_t rid = rids_.next();
-  net::Buf h = core::make_header(MsgKind::kMopenReq, rid);
+  obs::ScopedSpan span(params_.spans, "client.mopen");
+  obs::ScopedSpan wait(params_.spans, "net.mopen", span.ctx());
+  net::Buf h = core::make_header(MsgKind::kMopenReq, rid, wait.ctx());
   net::Writer w(h);
   core::put_key(w, key);
   w.i64(len);
@@ -129,6 +135,7 @@ sim::Co<std::pair<int, bool>> DodoClient::mopen_ex(Bytes64 len, int fd,
   auto rep =
       co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
                               params_.cmd_rpc);
+  wait.end_now();
   bool ok = false;
   bool reused = false;
   core::RegionLoc loc;
@@ -151,14 +158,15 @@ sim::Co<std::pair<int, bool>> DodoClient::mopen_ex(Bytes64 len, int fd,
 }
 
 sim::Co<Bytes64> DodoClient::mread(int rd, Bytes64 offset, std::uint8_t* buf,
-                                   Bytes64 len) {
-  const ReadResult r = co_await mread_ex(rd, offset, buf, len);
+                                   Bytes64 len, obs::TraceContext parent) {
+  const ReadResult r = co_await mread_ex(rd, offset, buf, len, parent);
   co_return r.n;
 }
 
 sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
                                                      std::uint8_t* buf,
-                                                     Bytes64 len) {
+                                                     Bytes64 len,
+                                                     obs::TraceContext parent) {
   Entry* e = lookup_active(rd);
   if (e == nullptr) {
     // A real read attempt that degrades to disk: the caller will fall back.
@@ -173,12 +181,16 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
   }
   ++metrics_.mreads_total;
   const SimTime t0 = sim_.now();
-  obs::ScopedSpan span(params_.spans, "client.mread");
+  obs::ScopedSpan span(params_.spans, "client.mread", parent);
   const Bytes64 n = std::min(len, e->len - offset);
 
   auto sock = net_.open_ephemeral(node_);
   const std::uint64_t rid = rids_.next();
-  net::Buf h = core::make_header(MsgKind::kReadReq, rid);
+  // The network-wait span covers request-on-the-wire through first reply;
+  // the imd's handler span parents to it, so daemon service time nests
+  // inside the wait in the merged timeline.
+  obs::ScopedSpan wait(params_.spans, "net.read", span.ctx());
+  net::Buf h = core::make_header(MsgKind::kReadReq, rid, wait.ctx());
   net::Writer w(h);
   w.u64(e->loc.imd_region);
   w.u64(e->loc.epoch);
@@ -193,6 +205,7 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
     dodo_errno() = kDodoENOMEM;
   };
   auto rep = co_await sock->recv_for(params_.data_timeout);
+  wait.end_now();
   if (!rep) {
     fail();
     co_return ReadResult{};
@@ -205,7 +218,7 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
     fail();
     co_return ReadResult{};
   }
-  auto got = co_await net::bulk_recv(*sock, rid, params_.bulk);
+  auto got = co_await net::bulk_recv(*sock, rid, params_.bulk, span.ctx());
   if (!got.status.is_ok() || got.size != avail) {
     fail();
     co_return ReadResult{};
@@ -221,18 +234,20 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
 }
 
 sim::Co<Status> DodoClient::push_remote(int rd, Bytes64 offset,
-                                        const std::uint8_t* buf, Bytes64 len) {
+                                        const std::uint8_t* buf, Bytes64 len,
+                                        obs::TraceContext parent) {
   Entry* e = lookup_active(rd);
   if (e == nullptr) co_return Status(Err::kNoMem, "region not active");
   if (offset < 0 || offset >= e->len || len < 0) {
     co_return Status(Err::kInval, "bad offset/len");
   }
-  obs::ScopedSpan span(params_.spans, "client.push_remote");
+  obs::ScopedSpan span(params_.spans, "client.push_remote", parent);
   const Bytes64 n = std::min(len, e->len - offset);
 
   auto sock = net_.open_ephemeral(node_);
   const std::uint64_t rid = rids_.next();
-  net::Buf h = core::make_header(MsgKind::kWriteReq, rid);
+  obs::ScopedSpan wait(params_.spans, "net.write", span.ctx());
+  net::Buf h = core::make_header(MsgKind::kWriteReq, rid, wait.ctx());
   net::Writer w(h);
   w.u64(e->loc.imd_region);
   w.u64(e->loc.epoch);
@@ -246,6 +261,7 @@ sim::Co<Status> DodoClient::push_remote(int rd, Bytes64 offset,
     return Status(code, what);
   };
   auto go = co_await sock->recv_for(params_.data_timeout);
+  wait.end_now();
   if (!go) co_return fail(Err::kTimeout, "no WriteGo from imd");
   auto genv = core::peek_envelope(*go);
   if (!genv || genv->kind != MsgKind::kWriteGo) {
@@ -255,9 +271,11 @@ sim::Co<Status> DodoClient::push_remote(int rd, Bytes64 offset,
   }
   const Status st = co_await net::bulk_send(*sock, go->src, rid,
                                             net::BodyView{buf, n},
-                                            params_.bulk);
+                                            params_.bulk, span.ctx());
   if (!st.is_ok()) co_return fail(st.code(), "bulk write failed");
+  obs::ScopedSpan wait_rep(params_.spans, "net.write_rep", span.ctx());
   auto rep = co_await sock->recv_for(params_.data_timeout);
+  wait_rep.end_now();
   if (!rep) co_return fail(Err::kTimeout, "no WriteRep from imd");
   net::Reader r = core::body_reader(*rep);
   const Err code = static_cast<Err>(r.u8());
@@ -268,7 +286,8 @@ sim::Co<Status> DodoClient::push_remote(int rd, Bytes64 offset,
 }
 
 sim::Co<Bytes64> DodoClient::mwrite(int rd, Bytes64 offset,
-                                    const std::uint8_t* buf, Bytes64 len) {
+                                    const std::uint8_t* buf, Bytes64 len,
+                                    obs::TraceContext parent) {
   Entry* e = lookup_active(rd);
   if (e == nullptr) {
     dodo_errno() = kDodoENOMEM;
@@ -280,7 +299,7 @@ sim::Co<Bytes64> DodoClient::mwrite(int rd, Bytes64 offset,
   }
   ++metrics_.mwrites_total;
   const SimTime t0 = sim_.now();
-  obs::ScopedSpan span(params_.spans, "client.mwrite");
+  obs::ScopedSpan span(params_.spans, "client.mwrite", parent);
   const Bytes64 n = std::min(len, e->len - offset);
 
   // "Writes to remote memory are propagated to disk in parallel to being
@@ -293,15 +312,18 @@ sim::Co<Bytes64> DodoClient::mwrite(int rd, Bytes64 offset,
   const Bytes64 file_off = e->file_offset + offset;
 
   sim_.spawn([](DodoClient& c, int f, Bytes64 off, const std::uint8_t* b,
-                Bytes64 nn, Bytes64& out, sim::WaitGroup& g) -> sim::Co<void> {
+                Bytes64 nn, Bytes64& out, sim::WaitGroup& g,
+                obs::TraceContext ctx) -> sim::Co<void> {
+    obs::ScopedSpan dspan(c.params_.spans, "disk.write", ctx);
     out = co_await c.fs_.pwrite(f, off, nn, b);
     g.done();
-  }(*this, fd, file_off, buf, n, disk_result, wg));
+  }(*this, fd, file_off, buf, n, disk_result, wg, span.ctx()));
   sim_.spawn([](DodoClient& c, int rdesc, Bytes64 off, const std::uint8_t* b,
-                Bytes64 nn, Status& out, sim::WaitGroup& g) -> sim::Co<void> {
-    out = co_await c.push_remote(rdesc, off, b, nn);
+                Bytes64 nn, Status& out, sim::WaitGroup& g,
+                obs::TraceContext ctx) -> sim::Co<void> {
+    out = co_await c.push_remote(rdesc, off, b, nn, ctx);
     g.done();
-  }(*this, rd, offset, buf, n, remote_result, wg));
+  }(*this, rd, offset, buf, n, remote_result, wg, span.ctx()));
   co_await wg.wait();
 
   if (disk_result < 0) {
@@ -329,11 +351,14 @@ sim::Co<int> DodoClient::mclose(int rd) {
   regions_.erase(it);
 
   const std::uint64_t rid = rids_.next();
-  net::Buf h = core::make_header(MsgKind::kMfreeReq, rid);
+  obs::ScopedSpan span(params_.spans, "client.mclose");
+  obs::ScopedSpan wait(params_.spans, "net.mfree", span.ctx());
+  net::Buf h = core::make_header(MsgKind::kMfreeReq, rid, wait.ctx());
   net::Writer w(h);
   core::put_key(w, key);
   auto rep = co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
                                      params_.cmd_rpc);
+  wait.end_now();
   if (!rep) {
     dodo_errno() = kDodoEINVAL;  // "not able to contact the central manager"
     co_return -1;

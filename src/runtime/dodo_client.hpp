@@ -105,7 +105,7 @@ class DodoClient {
   /// Returns bytes read, or -1 with dodo_errno set. buf may be nullptr in
   /// phantom (accounting-only) runs.
   sim::Co<Bytes64> mread(int rd, Bytes64 offset, std::uint8_t* buf,
-                         Bytes64 len);
+                         Bytes64 len, obs::TraceContext parent = {});
 
   struct ReadResult {
     Bytes64 n = -1;      // bytes read, or -1
@@ -116,12 +116,12 @@ class DodoClient {
   /// meaningless). The region-management library uses this to decide
   /// whether a remote fill can be trusted over the backing file.
   sim::Co<ReadResult> mread_ex(int rd, Bytes64 offset, std::uint8_t* buf,
-                               Bytes64 len);
+                               Bytes64 len, obs::TraceContext parent = {});
 
   /// Writes to the backing file and the remote region in parallel; returns
   /// bytes written into the region, or -1 with dodo_errno set.
   sim::Co<Bytes64> mwrite(int rd, Bytes64 offset, const std::uint8_t* buf,
-                          Bytes64 len);
+                          Bytes64 len, obs::TraceContext parent = {});
 
   /// Returns 0, or -1 with dodo_errno = EINVAL.
   sim::Co<int> mclose(int rd);
@@ -133,7 +133,7 @@ class DodoClient {
 
   /// Stores bytes into the remote region only (no backing-file write).
   sim::Co<Status> push_remote(int rd, Bytes64 offset, const std::uint8_t* buf,
-                              Bytes64 len);
+                              Bytes64 len, obs::TraceContext parent = {});
 
   /// True if the descriptor exists and has not been dropped.
   [[nodiscard]] bool active(int rd) const;

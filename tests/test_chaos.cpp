@@ -21,8 +21,10 @@
 #include "common/units.hpp"
 #include "fault/fault.hpp"
 #include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
 #include "fuzz/runner.hpp"
 #include "fuzz/schedule.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
 
 namespace dodo {
@@ -277,6 +279,45 @@ TEST(Chaos, ImdCrashMidBulkThenRestartWithEpochBump) {
   // *visible* in the metrics, not just implied by matching digests.
   EXPECT_GT(s.counter_value("client.disk_fallbacks"), 0u);
   expect_mread_conservation(s);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, ImdCrashMidBulkKeepsSpanTreeConsistent) {
+  // Same crash-mid-transfer schedule, run with tracing on: the host that
+  // dies mid-bulk abandons its in-flight server spans, the client's read
+  // times out into the disk path, and the retried/failed RPCs replay from
+  // reply caches. None of that may corrupt the causal tree — every span
+  // quiesce-closed, every recorded parent resolvable and trace-consistent.
+  const Bytes64 dataset = 2_MiB, block = 128_KiB;
+  const std::uint64_t baseline = disk_only_digest(dataset, block);
+
+  ClusterConfig cfg = chaos_config(29);
+  cfg.record_spans = true;
+  Cluster c(cfg);
+  fault::FaultPlan plan;
+  plan.imd_crash(700_ms, 0).imd_restart(2500_ms, 0);
+  fault::FaultInjector inj(c, plan);
+
+  const auto digests = run_scan_under_faults(c, inj, dataset, block, 4, 200);
+  expect_digests_match(digests, baseline);
+  expect_all_faults_fired(inj, plan);
+  EXPECT_GT(c.metrics_snapshot().counter_value("client.disk_fallbacks"), 0u);
+
+  // The span-tree oracle audits the full merged trace: ids strictly
+  // increasing, no end<start rows after quiesce, parents exist, child
+  // traces match, same-track children nest.
+  EXPECT_EQ(fuzz::check_span_tree(c), "");
+  // The crash produced orphaned bulk transfers, yet the disk-fallback
+  // traces still attribute time that tiles the root span exactly.
+  const std::vector<obs::TraceSummary> traces =
+      obs::analyze_traces(c.merged_spans());
+  ASSERT_FALSE(traces.empty());
+  bool saw_disk = false;
+  for (const obs::TraceSummary& t : traces) {
+    EXPECT_EQ(t.segments.total(), t.end - t.start) << t.root_name;
+    if (t.segments[obs::Segment::kDisk] > 0) saw_disk = true;
+  }
+  EXPECT_TRUE(saw_disk);
   EXPECT_EQ(fault::leak_report(c), "");
 }
 

@@ -11,8 +11,10 @@
 #include "apps/block_io.hpp"
 #include "cluster/cluster.hpp"
 #include "common/units.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_merge.hpp"
 #include "sim/simulator.hpp"
 
 namespace dodo {
@@ -170,7 +172,7 @@ TEST(Spans, NestedScopedSpansRecordTreeAndTimes) {
     obs::ScopedSpan outer(&r, "outer");
     co_await s.sleep(5_ms);
     {
-      obs::ScopedSpan inner(&r, "inner", outer.id());
+      obs::ScopedSpan inner(&r, "inner", outer.ctx());
       co_await s.sleep(2_ms);
     }
     co_await s.sleep(1_ms);
@@ -181,7 +183,9 @@ TEST(Spans, NestedScopedSpansRecordTreeAndTimes) {
   const obs::SpanRecord& inner = rec.spans()[1];
   EXPECT_EQ(outer.name, "outer");
   EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(outer.trace, outer.id);  // a root starts its own trace
   EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.trace, outer.id);
   EXPECT_EQ(inner.start, 5_ms);
   EXPECT_EQ(inner.end, 7_ms);
   EXPECT_EQ(outer.end, 8_ms);
@@ -206,21 +210,50 @@ TEST(Spans, TsvRoundTripAndStrictParser) {
   sim::Simulator sim(1);
   obs::SpanRecorder rec(sim);
   const std::uint64_t a = rec.begin("alpha");
-  rec.begin("beta\twith\ttabs", a);  // flattened, not rejected
+  rec.begin("beta\twith\ttabs", {a, a});  // flattened, not rejected
   rec.end(a);
+  rec.close_open();
   std::vector<obs::SpanRecord> back;
   std::string err;
   ASSERT_TRUE(obs::SpanRecorder::from_tsv(rec.to_tsv(), back, &err)) << err;
   ASSERT_EQ(back.size(), 2u);
   EXPECT_EQ(back[0], rec.spans()[0]);
   EXPECT_EQ(back[1].name, "beta with tabs");
+  EXPECT_EQ(back[1].trace, a);
 
   EXPECT_FALSE(obs::SpanRecorder::from_tsv("", back, &err));
   EXPECT_FALSE(obs::SpanRecorder::from_tsv("# wrong header\n", back, &err));
   EXPECT_FALSE(obs::SpanRecorder::from_tsv(
-      "# dodo spans v1 2\n1\t0\t0\t1\tonly-one\n", back, &err));
+      "# dodo spans v2 2\n1\t0\t1\t0\t1\tonly-one\n", back, &err));
   EXPECT_FALSE(obs::SpanRecorder::from_tsv(
-      "# dodo spans v1 1\n1\t0\tx\t1\tbad-start\n", back, &err));
+      "# dodo spans v2 1\n1\t0\t1\tx\t1\tbad-start\n", back, &err));
+}
+
+TEST(Spans, OrphanParentContextIsRejectedAndCounted) {
+  sim::Simulator sim(1);
+  obs::SpanRecorder rec(sim);
+  // A parent id that was never allocated must not produce a dangling edge:
+  // the context is discarded and the span becomes a root.
+  const std::uint64_t id = rec.begin("suspicious", {999, 998});
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(rec.orphans_rejected(), 1u);
+  EXPECT_EQ(rec.spans()[0].parent, 0u);
+  EXPECT_EQ(rec.spans()[0].trace, id);
+}
+
+TEST(Spans, CloseOpenStampsQuiesceTime) {
+  sim::Simulator sim(1);
+  obs::SpanRecorder rec(sim);
+  const std::uint64_t a = rec.begin("left-open");
+  sim.spawn([](sim::Simulator& s) -> sim::Co<void> {
+    co_await s.sleep(3_ms);
+  }(sim));
+  sim.run();
+  EXPECT_EQ(rec.open_count(), 1u);
+  rec.close_open();
+  EXPECT_EQ(rec.open_count(), 0u);
+  EXPECT_EQ(rec.spans()[0].id, a);
+  EXPECT_EQ(rec.spans()[0].end, 3_ms);  // no end=-1 rows after quiesce
 }
 
 // ---------------------------------------------------------------------------
@@ -240,7 +273,7 @@ cluster::ClusterConfig small_config(std::uint64_t seed) {
 constexpr Bytes64 kData = 1_MiB;
 constexpr Bytes64 kBlk = 32_KiB;
 
-sim::Co<void> scan(cluster::Cluster& c, apps::BlockIo& io, int sweeps) {
+sim::Co<void> scan(cluster::Cluster&, apps::BlockIo& io, int sweeps) {
   std::vector<std::uint8_t> buf(static_cast<std::size_t>(kBlk));
   for (int s = 0; s < sweeps; ++s) {
     for (Bytes64 off = 0; off < kData; off += kBlk) {
@@ -346,7 +379,7 @@ TEST(ClusterMetrics, KStatsScrapeUnderLoadMatchesQuiesce) {
   EXPECT_EQ(wire.counter_value("cmd.stats_scrape_failures"), 0u);
 }
 
-TEST(ClusterSpans, WorkloadRecordsConsistentTree) {
+TEST(ClusterSpans, WorkloadRecordsConsistentMergedTree) {
   cluster::ClusterConfig cfg = small_config(5);
   cfg.record_spans = true;
   cluster::Cluster c(cfg);
@@ -356,22 +389,57 @@ TEST(ClusterSpans, WorkloadRecordsConsistentTree) {
     co_await scan(cl, io, 2);
     co_await io.finish(false);
   });
-  ASSERT_NE(c.spans(), nullptr);
-  const auto& spans = c.spans()->spans();
+  ASSERT_NE(c.traces(), nullptr);
+  const std::vector<obs::MergedSpan> spans = c.merged_spans();
   ASSERT_FALSE(spans.empty());
   bool saw_child = false;
-  for (const obs::SpanRecord& s : spans) {
-    EXPECT_LT(s.parent, s.id);  // parents allocate before their children
-    EXPECT_GE(s.end, s.start);  // every span closed
-    if (s.parent != 0) saw_child = true;
+  bool saw_cross_process = false;
+  for (const obs::MergedSpan& m : spans) {
+    EXPECT_LT(m.span.parent, m.span.id);  // parents allocate first
+    EXPECT_GE(m.span.end, m.span.start);  // quiesce closed everything
+    if (m.span.parent != 0) saw_child = true;
   }
-  EXPECT_TRUE(saw_child);  // cread -> fault_in nesting actually happened
-  // And the whole tree survives a TSV round-trip.
-  std::vector<obs::SpanRecord> back;
+  // Cross-process causality: some span's parent lives on another track
+  // (the wire carried the context there).
+  for (const obs::MergedSpan& m : spans) {
+    if (m.span.parent == 0) continue;
+    for (const obs::MergedSpan& p : spans) {
+      if (p.span.id != m.span.parent) continue;
+      if (p.host != m.host || p.daemon != m.daemon) saw_cross_process = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_child);          // cread -> fault_in nesting happened
+  EXPECT_TRUE(saw_cross_process);  // client -> imd propagation happened
+  // And the whole merged tree survives a TSV round-trip.
+  std::vector<obs::MergedSpan> back;
   std::string err;
-  ASSERT_TRUE(obs::SpanRecorder::from_tsv(c.spans()->to_tsv(), back, &err))
-      << err;
+  ASSERT_TRUE(obs::TraceDomain::from_tsv(c.trace_tsv(), back, &err)) << err;
   EXPECT_EQ(back.size(), spans.size());
+  EXPECT_EQ(back, spans);
+}
+
+TEST(ClusterSpans, SegmentAttributionSumsExactlyToEndToEnd) {
+  cluster::ClusterConfig cfg = small_config(6);
+  cfg.record_spans = true;
+  cluster::Cluster c(cfg);
+  const int fd = c.create_dataset("data", kData);
+  apps::DodoBlockIo io(*c.manager(), fd, kData, kBlk);
+  c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await scan(cl, io, 2);
+    co_await io.finish(false);
+  });
+  const std::vector<obs::TraceSummary> traces =
+      obs::analyze_traces(c.merged_spans());
+  ASSERT_FALSE(traces.empty());
+  bool saw_bulk = false;
+  for (const obs::TraceSummary& t : traces) {
+    // The analyzer's core invariant: the per-segment attribution tiles the
+    // root span exactly — no double counting, no leaked time.
+    EXPECT_EQ(t.segments.total(), t.end - t.start) << t.root_name;
+    if (t.segments[obs::Segment::kBulk] > 0) saw_bulk = true;
+  }
+  EXPECT_TRUE(saw_bulk);  // remote fills attribute time to bulk transfer
 }
 
 }  // namespace

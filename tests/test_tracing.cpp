@@ -1,0 +1,234 @@
+// End-to-end causal tracing tests: wire propagation of TraceContext across
+// process boundaries, exactly-one-server-span under duplicate delivery and
+// RPC retry, deterministic Chrome trace-event export, and the
+// latency-breakdown gauges derived from critical-path attribution.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "core/wire.hpp"
+#include "net/transport.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_merge.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo {
+namespace {
+
+cluster::ClusterConfig trace_config(std::uint64_t seed) {
+  cluster::ClusterConfig cfg;
+  cfg.imd_hosts = 2;
+  cfg.imd_pool = 4_MiB;
+  cfg.local_cache = 256_KiB;
+  cfg.page_cache_dodo = 128_KiB;
+  cfg.seed = seed;
+  cfg.record_spans = true;
+  return cfg;
+}
+
+constexpr Bytes64 kLen = 128_KiB;
+
+/// One full round trip through the remote path: allocate, push, pull, free.
+sim::Co<void> one_round_trip(cluster::Cluster& cl, int fd, int reads) {
+  auto& d = *cl.dodo();
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(kLen), 0x5a);
+  const int rd = co_await d.mopen(kLen, fd, 0);
+  if (rd < 0) {
+    ADD_FAILURE() << "mopen failed: " << rd;
+    co_return;
+  }
+  co_await d.mwrite(rd, 0, buf.data(), kLen);
+  for (int i = 0; i < reads; ++i) {
+    co_await d.mread(rd, 0, buf.data(), kLen);
+  }
+  co_await d.mclose(rd);
+}
+
+const obs::MergedSpan* find_by_id(const std::vector<obs::MergedSpan>& spans,
+                                  std::uint64_t id) {
+  for (const obs::MergedSpan& m : spans) {
+    if (m.span.id == id) return &m;
+  }
+  return nullptr;
+}
+
+std::size_t count_named(const std::vector<obs::MergedSpan>& spans,
+                        const std::string& name) {
+  std::size_t n = 0;
+  for (const obs::MergedSpan& m : spans) {
+    if (m.span.name == name) ++n;
+  }
+  return n;
+}
+
+TEST(Tracing, MreadParentsAcrossProcessBoundaries) {
+  cluster::Cluster c(trace_config(21));
+  const int fd = c.create_dataset("data", kLen);
+  c.run_app([fd](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await one_round_trip(cl, fd, 1);
+  });
+  const std::vector<obs::MergedSpan> spans = c.merged_spans();
+  ASSERT_FALSE(spans.empty());
+
+  // Walk up from the imd's server-side read span: it must parent to the
+  // client's wire-wait span, which parents to the client.mread root — the
+  // whole chain stitched across process boundaries by the wire header.
+  const obs::MergedSpan* imd_read = nullptr;
+  for (const obs::MergedSpan& m : spans) {
+    if (m.span.name == "imd.read" && m.daemon == "imd") {
+      imd_read = &m;
+      break;
+    }
+  }
+  ASSERT_NE(imd_read, nullptr) << "no server-side read span recorded";
+
+  const obs::MergedSpan* wait = find_by_id(spans, imd_read->span.parent);
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->span.name, "net.read");
+  EXPECT_EQ(wait->daemon, "client");  // parent lives on the client track
+
+  const obs::MergedSpan* root = find_by_id(spans, wait->span.parent);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->span.name, "client.mread");
+  EXPECT_EQ(root->span.parent, 0u);
+  // The trace id is the root span's own id, shared by the whole tree.
+  EXPECT_EQ(root->span.trace, root->span.id);
+  EXPECT_EQ(imd_read->span.trace, root->span.id);
+
+  // The bulk transfer shows up on both sides of the wire, same trace.
+  bool bulk_send_on_imd = false;
+  bool bulk_recv_on_client = false;
+  for (const obs::MergedSpan& m : spans) {
+    if (m.span.trace != root->span.id) continue;
+    if (m.span.name == "bulk.send" && m.daemon == "imd") bulk_send_on_imd = true;
+    if (m.span.name == "bulk.recv" && m.daemon == "client") {
+      bulk_recv_on_client = true;
+    }
+  }
+  EXPECT_TRUE(bulk_send_on_imd);
+  EXPECT_TRUE(bulk_recv_on_client);
+}
+
+TEST(Tracing, SameSeedChromeJsonIsByteIdentical) {
+  auto run = [](std::uint64_t seed) {
+    cluster::Cluster c(trace_config(seed));
+    const int fd = c.create_dataset("data", kLen);
+    c.run_app([fd](cluster::Cluster& cl) -> sim::Co<void> {
+      co_await one_round_trip(cl, fd, 3);
+    });
+    return c.trace_chrome_json();
+  };
+  const std::string a = run(9);
+  const std::string b = run(9);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.rfind("{\"traceEvents\":[", 0), 0u);  // starts the JSON object
+  EXPECT_NE(a.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(a.find("process_name"), std::string::npos);
+}
+
+TEST(Tracing, DuplicateDataRequestOpensExactlyOneServerSpan) {
+  cluster::Cluster c(trace_config(33));
+  // Deliver every imd read request twice: the imd's data-path dedup must
+  // drop the copy, so no second imd.read span (and no second bulk push).
+  c.network().set_dup_filter([](const net::Message& m) {
+    const auto env = core::peek_envelope(m);
+    return env && env->kind == core::MsgKind::kReadReq;
+  });
+  const int fd = c.create_dataset("data", kLen);
+  c.run_app([fd](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await one_round_trip(cl, fd, 4);
+  });
+  c.network().set_dup_filter(nullptr);
+
+  EXPECT_GT(c.network().metrics().datagrams_duplicated, 0u);
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  EXPECT_GT(s.counter_value("imd.dup_requests_dropped"), 0u);
+  // Exactly one server span per read actually served, duplicates or not.
+  const std::vector<obs::MergedSpan> spans = c.merged_spans();
+  EXPECT_EQ(count_named(spans, "imd.read"),
+            s.counter_value("imd.reads_served"));
+}
+
+TEST(Tracing, LostMopenReplyRetriesButOpensOneCmdSpan) {
+  cluster::Cluster c(trace_config(47));
+  // Drop the first mopen reply: the client retransmits the same rid, the
+  // cmd's reply cache replays the cached answer, and no second handler span
+  // opens — exactly-one-span under retry.
+  bool dropped = false;
+  c.network().set_drop_filter([&dropped](const net::Message& m) {
+    if (dropped) return false;
+    const auto env = core::peek_envelope(m);
+    if (env && env->kind == core::MsgKind::kMopenRep) {
+      dropped = true;
+      return true;
+    }
+    return false;
+  });
+  const int fd = c.create_dataset("data", kLen);
+  c.run_app([fd](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await one_round_trip(cl, fd, 1);
+  });
+  c.network().set_drop_filter(nullptr);
+
+  EXPECT_TRUE(dropped);
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  EXPECT_EQ(s.counter_value("cmd.mopens"), 1u);
+  const std::vector<obs::MergedSpan> spans = c.merged_spans();
+  EXPECT_EQ(count_named(spans, "cmd.mopen"), 1u);
+  // The one cmd span still parents into the client's mopen wait span.
+  for (const obs::MergedSpan& m : spans) {
+    if (m.span.name != "cmd.mopen") continue;
+    const obs::MergedSpan* p = find_by_id(spans, m.span.parent);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->daemon, "client");
+  }
+}
+
+TEST(Tracing, LatencyBreakdownGaugesCoverRootOperations) {
+  cluster::Cluster c(trace_config(5));
+  const int fd = c.create_dataset("data", kLen);
+  c.run_app([fd](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await one_round_trip(cl, fd, 2);
+  });
+  const std::vector<obs::TraceSummary> traces =
+      obs::analyze_traces(c.merged_spans());
+  ASSERT_FALSE(traces.empty());
+  obs::MetricsSnapshot out;
+  obs::export_latency_breakdown(traces, out);
+  EXPECT_GT(out.gauge_value("latency_breakdown.traces"), 0);
+  EXPECT_GT(out.gauge_value("latency_breakdown.client.mread.count"), 0);
+  EXPECT_GT(out.gauge_value("latency_breakdown.client.mread.total.p50_ns"), 0);
+  EXPECT_GT(out.gauge_value("latency_breakdown.client.mread.total.p99_ns"), 0);
+  // A remote fill moves real bytes, so bulk time is attributed.
+  EXPECT_GT(
+      out.gauge_value(std::string("latency_breakdown.client.mread.") +
+                      obs::segment_name(obs::Segment::kBulk) + ".p50_ns"),
+      0);
+}
+
+TEST(Tracing, QuiesceClosesEveryOpenSpanAndCountsThem) {
+  cluster::Cluster c(trace_config(13));
+  const int fd = c.create_dataset("data", kLen);
+  c.run_app([fd](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await one_round_trip(cl, fd, 1);
+  });
+  // Long-lived loop spans (pings, keepalives) are still open when the app
+  // exits; quiesce must stamp them, leaving no end<start rows.
+  const std::vector<obs::MergedSpan> spans = c.merged_spans();
+  for (const obs::MergedSpan& m : spans) {
+    EXPECT_GE(m.span.end, m.span.start) << m.span.name;
+  }
+  EXPECT_GE(c.spans_open_at_quiesce(), 0);
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  EXPECT_EQ(s.gauge_value("obs.spans_open_at_quiesce"),
+            c.spans_open_at_quiesce());
+}
+
+}  // namespace
+}  // namespace dodo

@@ -1,0 +1,143 @@
+// Offline critical-path report over a merged trace TSV.
+//
+//   trace_report FILE.tsv [--chrome OUT.json] [--top N]
+//       Parse a "# dodo trace v1" dump (Cluster::trace_tsv(), or the TSV the
+//       stats_drill example writes), print per-root-operation latency
+//       attribution (count, p50/p99 end-to-end, p50/p99 per segment), and
+//       list the N slowest traces with their segment split. --chrome also
+//       renders the same spans as Chrome trace-event JSON for Perfetto.
+//
+// Exit status: 0 = report printed, 1 = I/O failure, 2 = usage/parse error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.hpp"
+#include "obs/trace_merge.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_report FILE.tsv [--chrome OUT.json] [--top N]\n");
+  return 2;
+}
+
+double ms(dodo::Duration ns) { return static_cast<double>(ns) / 1e6; }
+
+dodo::Duration pct(std::vector<dodo::Duration> v, int p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = (static_cast<std::size_t>(p) * v.size() + 99) / 100;
+  if (idx > 0) --idx;
+  if (idx >= v.size()) idx = v.size() - 1;
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* in_path = nullptr;
+  const char* chrome_path = nullptr;
+  int top = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chrome") == 0 && i + 1 < argc) {
+      chrome_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = std::atoi(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (in_path == nullptr) {
+      in_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (in_path == nullptr) return usage();
+
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", in_path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  std::vector<dodo::obs::MergedSpan> spans;
+  std::string error;
+  if (!dodo::obs::TraceDomain::from_tsv(text.str(), spans, &error)) {
+    std::fprintf(stderr, "trace_report: %s: %s\n", in_path, error.c_str());
+    return 2;
+  }
+
+  const std::vector<dodo::obs::TraceSummary> traces =
+      dodo::obs::analyze_traces(spans);
+  std::printf("%s: %zu spans, %zu traces\n", in_path, spans.size(),
+              traces.size());
+
+  // -- per-operation aggregate ----------------------------------------------
+  std::map<std::string, std::vector<const dodo::obs::TraceSummary*>> by_root;
+  for (const auto& t : traces) by_root[t.root_name].push_back(&t);
+  std::printf("\n%-22s %7s %10s %10s  per-segment p50/p99 (ms)\n", "operation",
+              "count", "p50(ms)", "p99(ms)");
+  for (const auto& [root, list] : by_root) {
+    std::vector<dodo::Duration> totals;
+    totals.reserve(list.size());
+    for (const auto* t : list) totals.push_back(t->end - t->start);
+    std::printf("%-22s %7zu %10.3f %10.3f ", root.c_str(), list.size(),
+                ms(pct(totals, 50)), ms(pct(totals, 99)));
+    for (int s = 0; s < dodo::obs::kSegmentCount; ++s) {
+      const auto seg = static_cast<dodo::obs::Segment>(s);
+      std::vector<dodo::Duration> vals;
+      vals.reserve(list.size());
+      for (const auto* t : list) vals.push_back(t->segments[seg]);
+      if (pct(vals, 99) == 0) continue;  // segment never touched: skip
+      std::printf(" %s=%.3f/%.3f", dodo::obs::segment_name(seg),
+                  ms(pct(vals, 50)), ms(pct(vals, 99)));
+    }
+    std::printf("\n");
+  }
+
+  // -- slowest traces -------------------------------------------------------
+  std::vector<const dodo::obs::TraceSummary*> slow;
+  slow.reserve(traces.size());
+  for (const auto& t : traces) slow.push_back(&t);
+  std::stable_sort(slow.begin(), slow.end(), [](const auto* a, const auto* b) {
+    return (a->end - a->start) > (b->end - b->start);
+  });
+  if (top > 0 && !slow.empty()) {
+    std::printf("\nslowest %d traces (critical path):\n",
+                std::min<int>(top, static_cast<int>(slow.size())));
+    for (int i = 0; i < top && i < static_cast<int>(slow.size()); ++i) {
+      const auto* t = slow[static_cast<std::size_t>(i)];
+      std::printf("  trace %llu %-18s %9.3f ms @t=%.3f ms:",
+                  static_cast<unsigned long long>(t->trace_id),
+                  t->root_name.c_str(), ms(t->end - t->start), ms(t->start));
+      for (int s = 0; s < dodo::obs::kSegmentCount; ++s) {
+        const auto seg = static_cast<dodo::obs::Segment>(s);
+        if (t->segments[seg] == 0) continue;
+        std::printf(" %s=%.3f", dodo::obs::segment_name(seg),
+                    ms(t->segments[seg]));
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (chrome_path != nullptr) {
+    const std::string json = dodo::obs::TraceDomain::chrome_json(spans);
+    std::FILE* f = std::fopen(chrome_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "trace_report: cannot write %s\n", chrome_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s (load at https://ui.perfetto.dev)\n", chrome_path);
+  }
+  return 0;
+}
