@@ -14,6 +14,8 @@
 // examples/).
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "apps/dmine.hpp"
 #include "apps/lu.hpp"
 #include "bench_util.hpp"
@@ -116,6 +118,73 @@ void BM_Fig7_Dmine(benchmark::State& state) {
              unet ? 3.2 : 2.6});
 }
 
+// Stripe-width ablation on dmine's steady-state run: every 128 KiB region is
+// striped across `width` imds (32 KiB min fragment, so width 4 reads four
+// 32 KiB fragments in parallel). Width 1 is the paper's single-imd placement;
+// the ratio reported is run-2 time at width 1 over run-2 time at this width.
+void BM_Fig7_DmineStripe(benchmark::State& state) {
+  auto& exporter = dodo::bench::json_exporter("fig7_applications");
+  const int width = static_cast<int>(state.range(0));
+  const bool unet = state.range(1) != 0;
+  const Bytes64 dataset = dodo::bench::scaled(1_GiB);
+  const Bytes64 block = 128_KiB;
+
+  double run2_s = 0;
+  std::uint64_t fragments = 0;
+  for (auto _ : state) {
+    cluster::ClusterConfig cfg =
+        dodo::bench::paper_config(true, unet, manage::Policy::kFirstIn);
+    cfg.cmd.stripe_width = width;
+    cfg.cmd.stripe_min_fragment = 32_KiB;
+    cluster::Cluster c(cfg);
+    const int fd = c.create_dataset("txns", dataset);
+    apps::RunStats st1, st2;
+    {
+      apps::DodoBlockIo io(*c.manager(), fd, dataset, block);
+      c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+        co_await apps::run_dmine_modeled(cl, io, dataset, block,
+                                         kDminePerBlockCompute, 42, &st1);
+      });
+      c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+        co_await cl.dodo()->detach();
+      });
+    }
+    c.restart_client();
+    {
+      apps::DodoBlockIo io(*c.manager(), fd, dataset, block);
+      c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+        co_await apps::run_dmine_modeled(cl, io, dataset, block,
+                                         kDminePerBlockCompute, 42, &st2);
+      });
+    }
+    run2_s = to_seconds(st2.total());
+    fragments = c.metrics_snapshot().counter_value("cmd.fragments_placed");
+  }
+
+  static std::map<bool, double> width1_s;
+  double speedup_x = 1.0;
+  if (width == 1) {
+    width1_s[unet] = run2_s;
+  } else if (width1_s.count(unet) != 0) {
+    speedup_x = width1_s[unet] / run2_s;
+  }
+
+  const std::string key = std::string("fig7.dmine.stripe.w") +
+                          std::to_string(width) + "." + (unet ? "unet" : "udp");
+  exporter.set_milli(key + ".run2_s", run2_s);
+  exporter.set_milli(key + ".speedup_x", speedup_x);
+  state.counters["run2_s"] = run2_s;
+  state.counters["speedup_x_vs_w1"] = speedup_x;
+  state.counters["fragments"] = static_cast<double>(fragments);
+
+  dodo::bench::print_header_once(
+      "Figure 7: application speedups",
+      "app    net    baseline(s) dodo-run1(s) dodo(s)  speedup  paper");
+  std::printf("dmine stripe w=%d %-5s steady run %8.1f s  %5.2fx vs w1\n",
+              width, unet ? "U-Net" : "UDP", run2_s, speedup_x);
+  std::fflush(stdout);
+}
+
 void BM_Fig7_Lu(benchmark::State& state) {
   auto& exporter = dodo::bench::json_exporter("fig7_applications");
   const bool unet = state.range(0) != 0;
@@ -163,6 +232,10 @@ BENCHMARK(BM_Fig7_Lu)->Arg(0)->Arg(1)->Iterations(1)->Unit(benchmark::kSecond);
 BENCHMARK(BM_Fig7_Dmine)
     ->Arg(0)
     ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+BENCHMARK(BM_Fig7_DmineStripe)
+    ->ArgsProduct({{1, 4}, {0, 1}})
     ->Iterations(1)
     ->Unit(benchmark::kSecond);
 

@@ -16,8 +16,10 @@
 // the paper's "regions are created during the first iteration").
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 #include <tuple>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -102,7 +104,145 @@ void BM_Fig8(benchmark::State& state) {
   std::fflush(stdout);
 }
 
+// --- Stripe-width ablation --------------------------------------------------
+// Sequential remote reads through libdodo with every region striped K-wide
+// across distinct imds (ISSUE: striped multi-imd regions with parallel
+// fan-out reads). Width 1 is the single-imd placement the paper describes;
+// wider stripes stream each region's fragments from K transmit links at
+// once, so the region-sized mread is bounded by one *fragment's* wire time
+// instead of the whole region's. Reported per width: remote read bandwidth,
+// client.mread p50 over the timed sweep, and an FNV digest of every byte
+// read — the digest must be identical across widths for a given seed (the
+// fan-out reassembly may not reorder or corrupt anything).
+
+struct StripeOutcome {
+  double read_s = 0.0;        // timed sweep, populate excluded
+  double mread_p50_ms = 0.0;  // client.mread spans inside the sweep
+  std::uint64_t digest = 0;   // FNV-1a over all bytes read, in read order
+  std::uint64_t remote_hits = 0;
+  std::uint64_t fragments = 0;
+};
+
+constexpr Bytes64 kStripeRegion = 512_KiB;
+constexpr int kStripeRegions = 16;  // 8 MiB swept per run
+
+StripeOutcome run_stripe_sweep(int width, bool unet) {
+  namespace cluster = dodo::cluster;
+  namespace sim = dodo::sim;
+  cluster::ClusterConfig cfg = dodo::bench::paper_config(
+      /*use_dodo=*/true, unet, dodo::manage::Policy::kLru);
+  cfg.materialize = true;  // real bytes: digests must match across widths
+  cfg.cmd.stripe_width = width;
+  cfg.cmd.stripe_min_fragment = 64_KiB;  // 512 KiB regions split K x 128 KiB
+  cluster::Cluster c(cfg);
+  const int fd = c.create_dataset("stripe", kStripeRegions * kStripeRegion);
+
+  StripeOutcome out;
+  dodo::SimTime t0 = 0, t1 = 0;
+  c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+    auto& d = *cl.dodo();
+    const auto rsz = static_cast<std::size_t>(kStripeRegion);
+    std::vector<int> rds(kStripeRegions, -1);
+    std::vector<std::uint8_t> buf(rsz);
+    // Populate: write-through puts the bytes in remote memory (and on disk)
+    // so the timed sweep below measures pure remote reads.
+    for (int r = 0; r < kStripeRegions; ++r) {
+      rds[static_cast<std::size_t>(r)] = co_await d.mopen(
+          kStripeRegion, fd, static_cast<Bytes64>(r) * kStripeRegion);
+      if (rds[static_cast<std::size_t>(r)] < 0) co_return;
+      for (std::size_t j = 0; j < rsz; ++j) {
+        buf[j] = static_cast<std::uint8_t>((r * 131 + j * 31 + 11) & 0xff);
+      }
+      co_await d.mwrite(rds[static_cast<std::size_t>(r)], 0, buf.data(),
+                        kStripeRegion);
+    }
+    t0 = cl.sim().now();
+    std::uint64_t h = 1469598103934665603ull;
+    for (int r = 0; r < kStripeRegions; ++r) {
+      co_await d.mread(rds[static_cast<std::size_t>(r)], 0, buf.data(),
+                       kStripeRegion);
+      for (std::size_t j = 0; j < rsz; ++j) {
+        h = (h ^ buf[j]) * 1099511628211ull;
+      }
+    }
+    t1 = cl.sim().now();
+    out.digest = h;
+    for (int r = 0; r < kStripeRegions; ++r) {
+      (void)co_await d.mclose(rds[static_cast<std::size_t>(r)]);
+    }
+  });
+
+  out.read_s = dodo::to_seconds(t1 - t0);
+  std::vector<double> mread_ms;
+  for (const dodo::obs::MergedSpan& m : c.merged_spans()) {
+    if (m.span.name == "client.mread" && m.span.start >= t0 &&
+        m.span.end >= m.span.start) {
+      mread_ms.push_back(dodo::to_millis(m.span.end - m.span.start));
+    }
+  }
+  std::sort(mread_ms.begin(), mread_ms.end());
+  if (!mread_ms.empty()) out.mread_p50_ms = mread_ms[mread_ms.size() / 2];
+  const dodo::obs::MetricsSnapshot snap = c.metrics_snapshot();
+  out.remote_hits = snap.counter_value("client.remote_hits");
+  out.fragments = snap.counter_value("cmd.fragments_placed");
+  return out;
+}
+
+void BM_Fig8StripeWidth(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const bool unet = state.range(1) != 0;
+  auto& exporter = dodo::bench::json_exporter("fig8_synthetics");
+
+  StripeOutcome out;
+  for (auto _ : state) out = run_stripe_sweep(width, unet);
+
+  const double bytes =
+      static_cast<double>(kStripeRegions) * static_cast<double>(kStripeRegion);
+  const double mbps = bytes / out.read_s / 1e6;
+
+  // Width 1 is the ablation baseline; wider runs report their gain over it.
+  static std::map<bool, StripeOutcome> width1;
+  double bandwidth_x = 1.0;
+  bool bytes_identical = true;
+  if (width == 1) {
+    width1[unet] = out;
+  } else if (width1.count(unet) != 0) {
+    bandwidth_x = width1[unet].read_s / out.read_s;
+    bytes_identical = out.digest == width1[unet].digest;
+  }
+  if (!bytes_identical) {
+    state.SkipWithError("striped sweep bytes differ from width-1 sweep");
+  }
+
+  char key[64];
+  std::snprintf(key, sizeof(key), "fig8.stripe.w%d.%s", width,
+                unet ? "unet" : "udp");
+  exporter.set_milli(std::string(key) + ".read_MBps", mbps);
+  exporter.set_milli(std::string(key) + ".mread_p50_ms", out.mread_p50_ms);
+  exporter.set_milli(std::string(key) + ".bandwidth_x", bandwidth_x);
+  state.counters["read_MBps"] = mbps;
+  state.counters["mread_p50_ms"] = out.mread_p50_ms;
+  state.counters["bandwidth_x_vs_w1"] = bandwidth_x;
+  state.counters["remote_hits"] = static_cast<double>(out.remote_hits);
+
+  dodo::bench::print_header_once(
+      "Figure 8: synthetic benchmark speedups",
+      "benchmark    req   dataset net    base(s)   dodo(s)  speedup  "
+      "steady  last-iter");
+  std::printf("stripe w=%d       %3lldK seq     %-5s %8.0f MB/s  p50 %6.2f ms"
+              "  %5.2fx vs w1  bytes %s\n",
+              width, static_cast<long long>(kStripeRegion / 1_KiB),
+              unet ? "U-Net" : "UDP", mbps, out.mread_p50_ms, bandwidth_x,
+              bytes_identical ? "identical" : "DIFFER");
+  std::fflush(stdout);
+}
+
 }  // namespace
+
+BENCHMARK(BM_Fig8StripeWidth)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_Fig8)
     ->ArgsProduct({{static_cast<long>(Pattern::kSequential),

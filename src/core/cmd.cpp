@@ -45,7 +45,9 @@ std::vector<std::pair<RegionKey, RegionLoc>> CentralManager::rd_snapshot()
     const {
   std::vector<std::pair<RegionKey, RegionLoc>> out;
   out.reserve(rd_.size());
-  for (const auto& [key, loc] : rd_) out.emplace_back(key, loc);
+  for (const auto& [key, map] : rd_) {
+    for (const RegionLoc& f : map.frags) out.emplace_back(key, f);
+  }
   return out;
 }
 
@@ -171,19 +173,33 @@ void CentralManager::handle_imd_register(const net::Message& msg) {
              static_cast<long long>(pool));
 }
 
-RegionLoc* CentralManager::validate_region(const RegionKey& key) {
+StripeMap* CentralManager::validate_region(const RegionKey& key) {
   auto it = rd_.find(key);
   if (it == rd_.end()) return nullptr;
-  auto host = iwd_.find(it->second.host);
-  if (host == iwd_.end() || !host->second.idle ||
-      host->second.epoch != it->second.epoch) {
-    // Stale: the workstation was reclaimed (or re-recruited under a new
-    // epoch) since the region was allocated. Delete, per §4.3 checkAlloc.
-    rd_.erase(it);
-    ++metrics_.stale_regions_dropped;
-    return nullptr;
+  bool stale = false;
+  for (const RegionLoc& f : it->second.frags) {
+    auto host = iwd_.find(f.host);
+    if (host == iwd_.end() || !host->second.idle ||
+        host->second.epoch != f.epoch) {
+      stale = true;
+      break;
+    }
   }
-  return &it->second;
+  if (!stale) return &it->second;
+  // Stale: a fragment's workstation was reclaimed (or re-recruited under a
+  // new epoch) since the region was allocated. Delete, per §4.3 checkAlloc.
+  // Sibling fragments whose own host is still alive under their placement
+  // epoch keep pool bytes allocated; queue them for the keep-alive scrub so
+  // they do not leak for the rest of the epoch.
+  for (const RegionLoc& f : it->second.frags) {
+    if (region_may_survive(f)) {
+      pending_frees_.push_back(f);
+      ++metrics_.fragments_pending_free;
+    }
+  }
+  rd_.erase(it);
+  ++metrics_.stale_regions_dropped;
+  return nullptr;
 }
 
 sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
@@ -203,7 +219,7 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
     net::Writer w(rep);
     w.u8(0);
     w.u8(0);
-    put_loc(w, RegionLoc{});
+    put_stripes(w, StripeMap{});
     reply_cached(msg, env->rid, std::move(rep));
   };
   if (!r.ok() || len <= 0) {
@@ -214,21 +230,20 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
   clients_[key.client] = ClientInfo{client_ctl, 0};
 
   // Persistent-region path: a prior run left this key cached (dmine mode).
-  if (RegionLoc* existing = validate_region(key)) {
+  if (StripeMap* existing = validate_region(key)) {
     if (existing->len == len) {
       ++metrics_.mopen_reuses;
       net::Buf rep = make_header(MsgKind::kMopenRep, env->rid);
       net::Writer w(rep);
       w.u8(1);
       w.u8(1);  // reused: remote copy still holds the previous run's data
-      put_loc(w, *existing);
+      put_stripes(w, *existing);
       reply_cached(msg, env->rid, std::move(rep));
       co_return;
     }
     // Length changed: the old cache is useless; drop it and allocate fresh.
-    const RegionLoc old = *existing;  // validate_region's pointer may dangle
-    const auto freed = co_await rpc_free_region(key, old, span.ctx());
-    if (!freed.has_value() && region_may_survive(old)) {
+    const StripeMap old = *existing;  // validate_region's pointer may dangle
+    if (!co_await free_stripes(key, old, span.ctx())) {
       // Unacknowledged free against a live same-epoch host: forgetting the
       // entry would orphan the old region. Keep it and fail this mopen —
       // the client degrades to disk and may retry later.
@@ -238,68 +253,123 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
     rd_.erase(key);
   }
 
-  // Random host selection among those believed to have room, verifying with
-  // the imd and moving on when the hint was wrong (§4.3 alloc).
-  std::vector<net::NodeId> candidates;
+  // Striping policy: split the region into up to stripe_width fragments so
+  // the runtime can fan reads out across distinct hosts in parallel, but
+  // never below stripe_min_fragment (small regions stay whole).
+  std::size_t hosts_with_room = 0;
   for (const auto& [node, info] : iwd_) {
-    if (info.idle && info.largest_free >= len) candidates.push_back(node);
+    if (info.idle && info.largest_free > 0) ++hosts_with_room;
   }
-  std::sort(candidates.begin(), candidates.end());  // determinism
+  const int width = std::max(
+      1, std::min(params_.stripe_width,
+                  static_cast<int>(std::max<std::size_t>(1, hosts_with_room))));
+  Bytes64 frag_len = (len + width - 1) / width;
+  frag_len = std::max(frag_len, params_.stripe_min_fragment);
+  frag_len = std::min(frag_len, len);
+  const std::size_t nfrags =
+      static_cast<std::size_t>((len + frag_len - 1) / frag_len);
 
-  while (!candidates.empty()) {
-    const std::size_t pick =
-        static_cast<std::size_t>(rng_.below(candidates.size()));
-    const net::NodeId host = candidates[pick];
-    candidates.erase(candidates.begin() +
-                     static_cast<std::ptrdiff_t>(pick));
+  StripeMap map;
+  map.len = len;
+  map.frag_len = frag_len;
+  std::vector<net::NodeId> used;  // hosts already holding a fragment
+  bool failed = false;
 
-    ++metrics_.alloc_attempts;
-    const std::uint64_t rid = rids_.next();
-    const std::uint64_t want_epoch = iwd_[host].epoch;
-    net::Buf req = make_header(MsgKind::kAllocReq, rid, span.ctx());
-    net::Writer w(req);
-    w.i64(len);
-    // Epoch guard: a retransmit of this request that straddles an imd
-    // restart must not allocate under the new epoch — we would book the
-    // region under state the imd no longer has, orphaning it.
-    w.u64(want_epoch);
-    auto rep = co_await rpc_call(net_, node_,
-                                 net::Endpoint{host, kImdCtlPort},
-                                 std::move(req), rid, params_.imd_rpc);
-    if (!rep) {
-      // No reply proves only unreachability, not reclamation — marking the
-      // host busy here would make validate_region drop directory entries
-      // for regions the imd still holds, orphaning their pool bytes until
-      // the next epoch. Zero the size hint instead: the host stops being an
-      // allocation candidate, and the hint self-heals from the next
-      // register/alloc/free/cancel ack once the host is reachable again.
-      DODO_DEBUG("cmd", "alloc rpc to host %u got no reply", host);
-      iwd_[host].largest_free = 0;
-      ++metrics_.alloc_suspects;
-      suspect_allocs_.push_back(SuspectAlloc{host, want_epoch, rid});
-      continue;
+  for (std::size_t i = 0; i < nfrags && !failed; ++i) {
+    const Bytes64 flen = std::min(frag_len, len - map.frag_base(i));
+    // Random host selection among those believed to have room, verifying
+    // with the imd and moving on when the hint was wrong (§4.3 alloc).
+    // Hosts already carrying a fragment of this stripe are preferred-out so
+    // placement lands on distinct hosts; when no unused host has room the
+    // stripe doubles up rather than failing outright.
+    std::vector<net::NodeId> candidates;
+    for (const auto& [node, info] : iwd_) {
+      if (!info.idle || info.largest_free < flen) continue;
+      if (std::find(used.begin(), used.end(), node) != used.end()) continue;
+      candidates.push_back(node);
     }
-    net::Reader rr = body_reader(*rep);
-    const bool ok = rr.u8() != 0;
-    const std::uint64_t region_id = rr.u64();
-    const std::uint64_t epoch = rr.u64();
-    const Bytes64 largest = rr.i64();
-    if (!rr.ok()) continue;
-    iwd_[host].epoch = epoch;
-    iwd_[host].largest_free = largest;  // piggybacked hint refresh
-    if (!ok) continue;
+    if (candidates.empty()) {
+      for (const auto& [node, info] : iwd_) {
+        if (info.idle && info.largest_free >= flen) candidates.push_back(node);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());  // determinism
 
-    const RegionLoc loc{host, epoch, region_id, len};
-    rd_[key] = loc;
-    net::Buf out = make_header(MsgKind::kMopenRep, env->rid);
-    net::Writer ow(out);
-    ow.u8(1);
-    ow.u8(0);  // fresh allocation: contents undefined until written
-    put_loc(ow, loc);
-    reply_cached(msg, env->rid, std::move(out));
+    bool placed = false;
+    while (!candidates.empty()) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng_.below(candidates.size()));
+      const net::NodeId host = candidates[pick];
+      candidates.erase(candidates.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+
+      ++metrics_.alloc_attempts;
+      const std::uint64_t rid = rids_.next();
+      const std::uint64_t want_epoch = iwd_[host].epoch;
+      net::Buf req = make_header(MsgKind::kAllocReq, rid, span.ctx());
+      net::Writer w(req);
+      w.i64(flen);
+      // Epoch guard: a retransmit of this request that straddles an imd
+      // restart must not allocate under the new epoch — we would book the
+      // region under state the imd no longer has, orphaning it.
+      w.u64(want_epoch);
+      auto rep = co_await rpc_call(net_, node_,
+                                   net::Endpoint{host, kImdCtlPort},
+                                   std::move(req), rid, params_.imd_rpc);
+      if (!rep) {
+        // No reply proves only unreachability, not reclamation — marking the
+        // host busy here would make validate_region drop directory entries
+        // for regions the imd still holds, orphaning their pool bytes until
+        // the next epoch. Zero the size hint instead: the host stops being an
+        // allocation candidate, and the hint self-heals from the next
+        // register/alloc/free/cancel ack once the host is reachable again.
+        DODO_DEBUG("cmd", "alloc rpc to host %u got no reply", host);
+        iwd_[host].largest_free = 0;
+        ++metrics_.alloc_suspects;
+        suspect_allocs_.push_back(SuspectAlloc{host, want_epoch, rid});
+        continue;
+      }
+      net::Reader rr = body_reader(*rep);
+      const bool ok = rr.u8() != 0;
+      const std::uint64_t region_id = rr.u64();
+      const std::uint64_t epoch = rr.u64();
+      const Bytes64 largest = rr.i64();
+      if (!rr.ok()) continue;
+      iwd_[host].epoch = epoch;
+      iwd_[host].largest_free = largest;  // piggybacked hint refresh
+      if (!ok) continue;
+
+      map.frags.push_back(RegionLoc{host, epoch, region_id, flen});
+      used.push_back(host);
+      placed = true;
+      break;
+    }
+    if (!placed) failed = true;
+  }
+
+  if (failed) {
+    // Roll back whatever was placed; a fragment whose free goes unacked on
+    // a live same-epoch host is handed to the keep-alive scrub.
+    for (const RegionLoc& f : map.frags) {
+      const auto freed = co_await rpc_free_region(key, f, span.ctx());
+      if (!freed.has_value() && region_may_survive(f)) {
+        pending_frees_.push_back(f);
+        ++metrics_.fragments_pending_free;
+      }
+    }
+    reply_fail();
     co_return;
   }
-  reply_fail();
+
+  metrics_.fragments_placed += map.frags.size();
+  if (map.frags.size() > 1) ++metrics_.striped_regions;
+  rd_[key] = map;
+  net::Buf out = make_header(MsgKind::kMopenRep, env->rid);
+  net::Writer ow(out);
+  ow.u8(1);
+  ow.u8(0);  // fresh allocation: contents undefined until written
+  put_stripes(ow, map);
+  reply_cached(msg, env->rid, std::move(out));
 }
 
 void CentralManager::handle_checkalloc(const net::Message& msg) {
@@ -310,12 +380,12 @@ void CentralManager::handle_checkalloc(const net::Message& msg) {
   ++metrics_.checkallocs;
   net::Buf rep = make_header(MsgKind::kCheckAllocRep, env->rid);
   net::Writer w(rep);
-  if (RegionLoc* loc = r.ok() ? validate_region(key) : nullptr) {
+  if (StripeMap* map = r.ok() ? validate_region(key) : nullptr) {
     w.u8(1);
-    put_loc(w, *loc);
+    put_stripes(w, *map);
   } else {
     w.u8(0);
-    put_loc(w, RegionLoc{});
+    put_stripes(w, StripeMap{});
   }
   reply_cached(msg, env->rid, std::move(rep));
 }
@@ -348,6 +418,31 @@ bool CentralManager::region_may_survive(const RegionLoc& loc) const {
   return it != iwd_.end() && it->second.epoch == loc.epoch;
 }
 
+sim::Co<bool> CentralManager::free_stripes(const RegionKey& key,
+                                           StripeMap map,
+                                           obs::TraceContext ctx) {
+  bool safe = true;
+  for (const RegionLoc& f : map.frags) {
+    const auto freed = co_await rpc_free_region(key, f, ctx);
+    if (!freed.has_value() && region_may_survive(f)) safe = false;
+  }
+  co_return safe;
+}
+
+sim::Co<void> CentralManager::scrub_pending_frees() {
+  std::vector<RegionLoc> pending = std::move(pending_frees_);
+  pending_frees_.clear();
+  std::vector<RegionLoc> keep;
+  for (const RegionLoc& f : pending) {
+    // Epoch moved on: that incarnation's pool is gone, nothing to free.
+    if (!region_may_survive(f)) continue;
+    const auto freed = co_await rpc_free_region(RegionKey{}, f);
+    if (!freed.has_value() && region_may_survive(f)) keep.push_back(f);
+  }
+  // Mopens/validations may have queued more fragments while we awaited.
+  pending_frees_.insert(pending_frees_.end(), keep.begin(), keep.end());
+}
+
 sim::Co<void> CentralManager::handle_mfree(net::Message msg) {
   const auto env = peek_envelope(msg);
   obs::ScopedSpan span(params_.spans, "cmd.mfree", env->trace);
@@ -356,18 +451,18 @@ sim::Co<void> CentralManager::handle_mfree(net::Message msg) {
   bool ok = false;
   auto it = r.ok() ? rd_.find(key) : rd_.end();
   if (it != rd_.end()) {
-    const RegionLoc loc = it->second;
+    const StripeMap map = it->second;
     rd_.erase(it);
     ++metrics_.frees;
     ok = true;
-    const auto freed = co_await rpc_free_region(key, loc, span.ctx());
-    if (!freed.has_value() && region_may_survive(loc)) {
-      // No reply from a host still registered under this epoch: the imd may
-      // still hold the region. Keep the directory entry so the bytes remain
-      // reclaimable (revalidated, reused, or re-freed) instead of stranding
-      // them in the pool for the rest of the epoch. The client still gets
-      // ok=1 — its contract is "this key is gone", which holds either way.
-      rd_.emplace(key, loc);
+    if (!co_await free_stripes(key, map, span.ctx())) {
+      // Some fragment's free went unanswered by a host still registered
+      // under its epoch: the imd may still hold it. Keep the directory
+      // entry so the bytes remain reclaimable (revalidated, reused, or
+      // re-freed) instead of stranding them in the pool for the rest of
+      // the epoch. The client still gets ok=1 — its contract is "this key
+      // is gone", which holds either way.
+      rd_.emplace(key, map);
     }
   }
   net::Buf rep = make_header(MsgKind::kMfreeRep, env->rid);
@@ -416,18 +511,17 @@ sim::Co<void> CentralManager::scrub_suspect_allocs() {
 
 sim::Co<void> CentralManager::reclaim_client(std::uint32_t client) {
   ++metrics_.clients_reclaimed;
-  std::vector<std::pair<RegionKey, RegionLoc>> victims;
-  for (const auto& [key, loc] : rd_) {
-    if (key.client == client) victims.emplace_back(key, loc);
+  std::vector<std::pair<RegionKey, StripeMap>> victims;
+  for (const auto& [key, map] : rd_) {
+    if (key.client == client) victims.emplace_back(key, map);
   }
-  for (const auto& [key, loc] : victims) {
-    const auto freed = co_await rpc_free_region(key, loc);
-    if (freed.has_value() || !region_may_survive(loc)) {
+  for (const auto& [key, map] : victims) {
+    if (co_await free_stripes(key, map)) {
       rd_.erase(key);
       ++metrics_.regions_reclaimed;
     }
-    // else: unacknowledged free against a live same-epoch host — keep the
-    // entry; a later reclaim or epoch bump will release it.
+    // else: some fragment's free went unacknowledged at a live same-epoch
+    // host — keep the entry; a later reclaim or epoch bump will release it.
   }
   clients_.erase(client);
   DODO_INFO("cmd", "reclaimed %zu regions of dead client %u", victims.size(),
@@ -445,6 +539,10 @@ obs::MetricsSnapshot CentralManager::metrics_snapshot() const {
   out.set_counter("cmd.checkallocs", metrics_.checkallocs);
   out.set_counter("cmd.stale_regions_dropped", metrics_.stale_regions_dropped);
   out.set_counter("cmd.frees", metrics_.frees);
+  out.set_counter("cmd.fragments_placed", metrics_.fragments_placed);
+  out.set_counter("cmd.striped_regions", metrics_.striped_regions);
+  out.set_counter("cmd.fragments_pending_free",
+                  metrics_.fragments_pending_free);
   out.set_counter("cmd.pings_sent", metrics_.pings_sent);
   out.set_counter("cmd.clients_reclaimed", metrics_.clients_reclaimed);
   out.set_counter("cmd.regions_reclaimed", metrics_.regions_reclaimed);
@@ -459,6 +557,8 @@ obs::MetricsSnapshot CentralManager::metrics_snapshot() const {
   out.set_gauge("cmd.clients", static_cast<std::int64_t>(clients_.size()));
   out.set_gauge("cmd.suspect_allocs",
                 static_cast<std::int64_t>(suspect_allocs_.size()));
+  out.set_gauge("cmd.pending_frees",
+                static_cast<std::int64_t>(pending_frees_.size()));
   out.set_gauge("cmd.reply_cache_size",
                 static_cast<std::int64_t>(reply_cache_.size()));
   return out;
@@ -507,6 +607,7 @@ sim::Co<void> CentralManager::keepalive_loop() {
     auto stop = co_await stop_ch_.recv_for(params_.keepalive_interval);
     if (stop.has_value() || stopping_) break;
     if (!suspect_allocs_.empty()) co_await scrub_suspect_allocs();
+    if (!pending_frees_.empty()) co_await scrub_pending_frees();
     // Snapshot: reclaim_client mutates clients_.
     std::vector<std::pair<std::uint32_t, net::Endpoint>> targets;
     targets.reserve(clients_.size());

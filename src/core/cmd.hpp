@@ -39,6 +39,13 @@ struct CmdParams {
   int keepalive_miss_limit = 3;
   RpcParams imd_rpc{};   // cmd -> imd alloc/free
   RpcParams ping_rpc{millis(300), 0};
+  /// Striping policy: regions are split into fragments placed on up to
+  /// `stripe_width` distinct idle hosts so the runtime can fan reads out in
+  /// parallel. Width 1 reproduces the paper's whole-region placement.
+  int stripe_width = 1;
+  /// Regions are never split into fragments smaller than this; small
+  /// regions therefore stay whole regardless of the width.
+  Bytes64 stripe_min_fragment = 64_KiB;
   /// Duplicate-suppression cache bound; FIFO eviction of the oldest entry
   /// (see ImdParams::reply_cache_capacity for why clear-all is wrong).
   std::size_t reply_cache_capacity = 8192;
@@ -58,6 +65,12 @@ struct CmdMetrics {
   std::uint64_t checkallocs = 0;
   std::uint64_t stale_regions_dropped = 0;
   std::uint64_t frees = 0;
+  std::uint64_t fragments_placed = 0;   // fragment allocs that succeeded
+  std::uint64_t striped_regions = 0;    // mopens placed with >1 fragment
+  /// Fragments whose region went stale (or whose placement was rolled back)
+  /// while their own host stayed healthy; freed lazily by the keep-alive
+  /// scrub so no pool bytes leak.
+  std::uint64_t fragments_pending_free = 0;
   std::uint64_t pings_sent = 0;
   std::uint64_t clients_reclaimed = 0;
   std::uint64_t regions_reclaimed = 0;
@@ -88,9 +101,10 @@ class CentralManager {
   [[nodiscard]] std::size_t idle_host_count() const;
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
 
-  /// Fault/leak-audit hook: snapshot of the region directory. Every region
-  /// an imd holds must appear here (matching host/epoch/id), or nobody can
-  /// ever free it — the definition of a leaked pool block.
+  /// Fault/leak-audit hook: snapshot of the region directory, flattened to
+  /// one row per fragment. Every region an imd holds must appear here
+  /// (matching host/epoch/id), or nobody can ever free it — the definition
+  /// of a leaked pool block.
   [[nodiscard]] std::vector<std::pair<RegionKey, RegionLoc>> rd_snapshot()
       const;
 
@@ -138,9 +152,21 @@ class CentralManager {
   void handle_host_status(const net::Message& msg);
   void handle_imd_register(const net::Message& msg);
 
-  /// checkAlloc core: validates a RD entry against the IWD epochs; deletes
-  /// and returns nullptr when stale.
-  RegionLoc* validate_region(const RegionKey& key);
+  /// checkAlloc core: validates a RD entry against the IWD epochs; a region
+  /// is stale as soon as ANY fragment's host left the epoch it was placed
+  /// under. Stale entries are deleted (surviving fragments queued for a
+  /// lazy free) and nullptr returned.
+  StripeMap* validate_region(const RegionKey& key);
+
+  /// Frees every fragment of `map` at its imd. Returns true when the entry
+  /// is safe to forget: each fragment either acknowledged the free or
+  /// cannot have survived (host re-registered under a newer epoch). Any
+  /// unacknowledged fragment that may survive is queued on pending_frees_.
+  sim::Co<bool> free_stripes(const RegionKey& key, StripeMap map,
+                             obs::TraceContext ctx = {});
+
+  /// Retries the frees queued by free_stripes/validate_region rollbacks.
+  sim::Co<void> scrub_pending_frees();
 
   /// Frees a region at its imd. Returns the imd's ok flag, or nullopt when
   /// no reply arrived — in which case the imd may still hold the region and
@@ -176,9 +202,13 @@ class CentralManager {
   RidSource rids_;
 
   std::unordered_map<net::NodeId, HostInfo> iwd_;
-  std::unordered_map<RegionKey, RegionLoc, RegionKeyHash> rd_;
+  std::unordered_map<RegionKey, StripeMap, RegionKeyHash> rd_;
   std::unordered_map<std::uint32_t, ClientInfo> clients_;
   std::vector<SuspectAlloc> suspect_allocs_;
+  /// Fragments awaiting a retried free: their directory entry is gone but
+  /// the imd may still hold them (unacked free, or a partially placed
+  /// stripe that was rolled back). Scrubbed from keepalive_loop.
+  std::vector<RegionLoc> pending_frees_;
 
   /// Duplicate-request suppression: a client retransmits an RPC whose reply
   /// was lost; replaying the cached reply keeps non-idempotent operations

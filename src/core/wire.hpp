@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/units.hpp"
 #include "net/address.hpp"
@@ -106,6 +107,20 @@ struct RegionLoc {
   Bytes64 len = 0;
 };
 
+/// A region striped across one or more imds. Fragment i covers bytes
+/// [i*frag_len, i*frag_len + frags[i].len) of the region; every fragment is
+/// exactly frag_len bytes except possibly the last. Width 1 (the paper's
+/// layout) is one fragment holding the whole region.
+struct StripeMap {
+  Bytes64 len = 0;       // total region length
+  Bytes64 frag_len = 0;  // stride between fragment starts
+  std::vector<RegionLoc> frags;
+
+  [[nodiscard]] Bytes64 frag_base(std::size_t i) const {
+    return static_cast<Bytes64>(i) * frag_len;
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Envelope helpers
 // ---------------------------------------------------------------------------
@@ -176,6 +191,24 @@ inline RegionLoc get_loc(net::Reader& r) {
   loc.imd_region = r.u64();
   loc.len = r.i64();
   return loc;
+}
+
+inline void put_stripes(net::Writer& w, const StripeMap& map) {
+  w.i64(map.len);
+  w.i64(map.frag_len);
+  w.u32(static_cast<std::uint32_t>(map.frags.size()));
+  for (const RegionLoc& f : map.frags) put_loc(w, f);
+}
+
+inline StripeMap get_stripes(net::Reader& r) {
+  StripeMap map;
+  map.len = r.i64();
+  map.frag_len = r.i64();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    map.frags.push_back(get_loc(r));
+  }
+  return map;
 }
 
 inline void put_endpoint(net::Writer& w, const net::Endpoint& e) {

@@ -26,6 +26,15 @@ Schedule generate_schedule(std::uint64_t seed, const GenParams& params) {
   // Mostly single-host: every alloc/free then lands in one imd's reply
   // cache, which is what an eviction bug needs to matter.
   s.hosts = cfg_rng.below(10) < 7 ? 1 : 2;
+  // A quarter of schedules instead stripe regions across 3-4 hosts,
+  // exercising the fan-out data path and per-fragment failure handling.
+  // Drawn from a forked stream so the cfg/op/fault draws of non-striped
+  // schedules are unchanged by the stripe dimension.
+  Rng stripe_rng = Rng(seed).fork(0x73747270);  // "strp"
+  if (stripe_rng.below(100) < 25) {
+    s.hosts = 3 + static_cast<int>(stripe_rng.below(2));
+    s.stripe_width = 2 + static_cast<int>(stripe_rng.below(3));
+  }
   s.region = 16_KiB << cfg_rng.below(2);
   s.slots = 4 + static_cast<int>(cfg_rng.below(5));
   s.pool = std::max<Bytes64>(2 * s.slots * s.region, 512_KiB);

@@ -82,11 +82,19 @@ std::string check_descriptor_bound(cluster::Cluster& cluster,
 
 std::string check_conservation(cluster::Cluster& cluster) {
   const runtime::ClientMetrics& m = cluster.dodo()->metrics();
-  if (m.mreads_total != m.remote_hits + m.disk_fallbacks) {
+  if (m.mreads_total != m.remote_hits + m.mreads_degraded) {
     return fmt("metric-conservation",
-               "mreads %llu != remote hits %llu + disk fallbacks %llu",
+               "mreads %llu != remote hits %llu + degraded %llu",
                static_cast<unsigned long long>(m.mreads_total),
                static_cast<unsigned long long>(m.remote_hits),
+               static_cast<unsigned long long>(m.mreads_degraded));
+  }
+  if (m.mreads_degraded > m.disk_fallbacks) {
+    // disk_fallbacks is fragment-granular: every degraded mread took at
+    // least one per-fragment disk tick, possibly several under striping.
+    return fmt("metric-conservation",
+               "degraded mreads %llu exceed fragment disk fallbacks %llu",
+               static_cast<unsigned long long>(m.mreads_degraded),
                static_cast<unsigned long long>(m.disk_fallbacks));
   }
   for (int h = 0; h < cluster.config().imd_hosts; ++h) {

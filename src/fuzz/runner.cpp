@@ -50,6 +50,9 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
   cfg.seed = s.seed;
   cfg.rmd.min_pool = 64_KiB;  // schedules use deliberately tiny pools
   cfg.cmd.keepalive_interval = millis(500);  // fast scrub/reclaim at quiesce
+  cfg.cmd.stripe_width = s.stripe_width;
+  // Small enough that the 16-64 KiB schedule regions actually stripe.
+  cfg.cmd.stripe_min_fragment = 4_KiB;
   cfg.client.cmd_rpc.retries = 5;
   cfg.client.refraction = millis(50);
   cfg.client.bulk.max_retries = 30;
@@ -110,6 +113,14 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
       switch (op.kind) {
         case OpKind::kOpen: {
           if (sl.open) break;
+          if (sl.rd >= 0 && client->known(sl.rd)) {
+            // A close left pending by a lost kMfreeRep holds the slot's
+            // descriptor; it must resolve before the key can reopen, or
+            // the client table would exceed the descriptor bound.
+            (void)co_await client->mclose(sl.rd);
+            if (client->known(sl.rd)) break;  // still unresolved
+            sl.rd = -1;
+          }
           const bool first_ever = !sl.ever_attempted;
           sl.ever_attempted = true;
           const auto [rd, reused] = co_await client->mopen_ex(
@@ -153,7 +164,10 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
                     file_shadow.begin() +
                         static_cast<std::ptrdiff_t>(op.slot) *
                             static_cast<std::ptrdiff_t>(rsz));
-          if (n == s.region) {
+          // A remote-half failure still returns n (disk landed) but drops
+          // the descriptor, so full n no longer implies the remote copy is
+          // current — only a still-active descriptor does.
+          if (n == s.region && client->active(sl.rd)) {
             sl.remote = buf;
             sl.remote_certain = true;
           } else {
@@ -165,23 +179,38 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
           if (!sl.open) break;
           const auto rr =
               co_await client->mread_ex(sl.rd, 0, back.data(), s.region);
-          if (rr.n == s.region && rr.filled && sl.remote_certain &&
-              back != sl.remote) {
-            std::size_t at = 0;
-            while (at < rsz && back[at] == sl.remote[at]) ++at;
-            note("byte-exactness: remote read of slot " +
-                 std::to_string(op.slot) + " diverges at byte " +
-                 std::to_string(at));
+          if (rr.n == s.region && rr.filled && sl.remote_certain) {
+            // Fragments lost mid-read come back from the backing file,
+            // whose bytes are authoritative but may lag a push-only
+            // overwrite; splice the file shadow over those ranges before
+            // comparing against the remote image.
+            std::vector<std::uint8_t> expect = sl.remote;
+            for (const auto& [roff, rlen] : rr.disk_ranges) {
+              std::copy_n(file_shadow.begin() +
+                              static_cast<std::ptrdiff_t>(op.slot) *
+                                  static_cast<std::ptrdiff_t>(rsz) +
+                              static_cast<std::ptrdiff_t>(roff),
+                          static_cast<std::ptrdiff_t>(rlen),
+                          expect.begin() + static_cast<std::ptrdiff_t>(roff));
+            }
+            if (back != expect) {
+              std::size_t at = 0;
+              while (at < rsz && back[at] == expect[at]) ++at;
+              note("byte-exactness: remote read of slot " +
+                   std::to_string(op.slot) + " diverges at byte " +
+                   std::to_string(at));
+            }
           }
           break;
         }
         case OpKind::kClose: {
           if (sl.rd < 0) break;
           (void)co_await client->mclose(sl.rd);
-          // Success or failure, the descriptor is gone client-side. The
-          // remote region may survive an unacked free; remote_certain keeps
+          // A lost kMfreeRep keeps the descriptor client-side (deactivated,
+          // awaiting a retry); only a resolved close forgets it. The remote
+          // region may survive an unacked free; remote_certain keeps
           // describing its bytes for a future reused reattach.
-          sl.rd = -1;
+          if (!client->known(sl.rd)) sl.rd = -1;
           sl.open = false;
           break;
         }
@@ -233,11 +262,15 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
           co_await cl.sim().sleep(millis(80));  // outwait refraction
         }
       }
-      if (sl.rd >= 0) {
+      for (int attempt = 0; attempt < 4 && sl.rd >= 0; ++attempt) {
         (void)co_await client->mclose(sl.rd);
-        sl.rd = -1;
-        sl.open = false;
+        if (!client->known(sl.rd)) {
+          sl.rd = -1;
+          break;
+        }
+        co_await cl.sim().sleep(millis(80));  // pending close; retry
       }
+      sl.open = false;
     }
 
     // 3. Settle: several keep-alive intervals so the cmd's suspect-alloc

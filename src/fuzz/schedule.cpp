@@ -51,6 +51,8 @@ std::string Schedule::serialize() const {
   out += line;
   std::snprintf(line, sizeof(line), "slots %d\n", slots);
   out += line;
+  std::snprintf(line, sizeof(line), "stripe %d\n", stripe_width);
+  out += line;
   std::snprintf(line, sizeof(line), "reply_cache %zu\n",
                 imd_reply_cache_capacity);
   out += line;
@@ -112,6 +114,11 @@ bool Schedule::parse(const std::string& text, Schedule& out,
       s.region = v;
     } else if (key == "slots") {
       if (!(ls >> s.slots) || s.slots < 1) return fail(lineno, "bad slots");
+    } else if (key == "stripe") {
+      // Optional (pre-striping schedules omit it); absent means width 1.
+      if (!(ls >> s.stripe_width) || s.stripe_width < 1) {
+        return fail(lineno, "bad stripe");
+      }
     } else if (key == "reply_cache") {
       long long v = 0;
       if (!(ls >> v) || v < 1) return fail(lineno, "bad reply_cache");

@@ -46,6 +46,7 @@ struct Schedule {
   Bytes64 pool = 1_MiB;            // per-host imd pool
   Bytes64 region = 32_KiB;         // slot/region size
   int slots = 8;
+  int stripe_width = 1;            // cmd K-way striping across idle hosts
   std::size_t imd_reply_cache_capacity = 64;
   std::uint64_t seed = 1;          // simulator/cluster seed
 

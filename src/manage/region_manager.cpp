@@ -186,8 +186,18 @@ sim::Co<bool> RegionManager::fault_in(int cd, Region& r,
                                              span.ctx());
     if (got.n == r.len && got.filled) {
       filled = true;
-      ++metrics_.remote_fills;
-      metrics_.bytes_from_remote += got.n;
+      // A degraded read served some fragments' byte ranges from the
+      // backing file (clean-cache: disk bytes equal remote bytes), so
+      // split the accounting by source.
+      Bytes64 from_disk = 0;
+      for (const auto& [off, rlen] : got.disk_ranges) from_disk += rlen;
+      if (from_disk == 0) {
+        ++metrics_.remote_fills;
+      } else {
+        ++metrics_.mixed_fills;
+        metrics_.bytes_from_disk += from_disk;
+      }
+      metrics_.bytes_from_remote += got.n - from_disk;
     } else if (got.n >= 0) {
       // The remote region exists but was never (fully) written — the
       // "reused" hint from mopen was about the allocation, not the data.
@@ -248,8 +258,11 @@ sim::Co<void> RegionManager::serve_bypass_read(Region& r, Bytes64 offset,
   if (r.rdesc >= 0 && dodo_.active(r.rdesc) && r.remote_valid) {
     const auto got = co_await dodo_.mread_ex(r.rdesc, offset, buf, n, ctx);
     if (got.n == n && got.filled) {
+      Bytes64 from_disk = 0;
+      for (const auto& [off, rlen] : got.disk_ranges) from_disk += rlen;
       ++metrics_.remote_passthrough;
-      metrics_.bytes_from_remote += n;
+      metrics_.bytes_from_remote += n - from_disk;
+      metrics_.bytes_from_disk += from_disk;
       co_return;
     }
     if (got.n >= 0) r.remote_valid = false;  // allocated, never written
@@ -431,6 +444,7 @@ obs::MetricsSnapshot RegionManager::metrics_snapshot() const {
   obs::MetricsSnapshot out;
   out.set_counter("manage.local_hits", metrics_.local_hits);
   out.set_counter("manage.remote_fills", metrics_.remote_fills);
+  out.set_counter("manage.mixed_fills", metrics_.mixed_fills);
   out.set_counter("manage.disk_fills", metrics_.disk_fills);
   out.set_counter("manage.remote_passthrough", metrics_.remote_passthrough);
   out.set_counter("manage.disk_passthrough", metrics_.disk_passthrough);

@@ -50,7 +50,8 @@ struct ManageParams {
 
 struct ManageMetrics {
   std::uint64_t local_hits = 0;
-  std::uint64_t remote_fills = 0;    // whole-region faults from remote
+  std::uint64_t remote_fills = 0;    // whole-region faults, fully remote
+  std::uint64_t mixed_fills = 0;     // faults with lost-fragment disk ranges
   std::uint64_t disk_fills = 0;      // whole-region faults from disk
   std::uint64_t remote_passthrough = 0;  // uncached partial remote reads
   std::uint64_t disk_passthrough = 0;    // uncached partial disk reads

@@ -175,42 +175,55 @@ void Network::send(Message msg) {
   const SimTime arrive = depart + wire_time(payload) + params_.propagation;
   tx_free_[msg.src.node] = depart + wire_time(payload);
 
-  const SimTime rx_start =
-      arrive > rx_free_[msg.dst.node] ? arrive : rx_free_[msg.dst.node];
-  const SimTime deliver_at = rx_start + recv_cpu_time(payload);
-  rx_free_[msg.dst.node] = deliver_at;
-
+  // The receive link is claimed at ARRIVAL time, not send time: with several
+  // senders blasting one node concurrently (striped fan-out reads), frames
+  // interleave on the receiver in arrival order. Reserving rx_free_ here at
+  // send() time would let the first caller's whole blast pre-empt frames of
+  // a concurrent sender that physically land earlier, serializing transfers
+  // that should overlap. So each datagram is scheduled at its wire-arrival
+  // instant, and only then claims the receiver's CPU slot.
+  //
   // Capture by value: the socket may close before delivery, so we re-resolve
   // the destination at delivery time, exactly like a NIC handing a frame to
   // a port nobody listens on.
-  auto schedule_delivery = [this](SimTime at, Message m) {
-    sim_.schedule(at, [this, m = std::move(m)]() mutable {
-      if (!node_up(m.dst.node)) {
-        ++metrics_.datagrams_dropped;
-        return;
-      }
-      auto it = bound_.find(m.dst);
-      if (it == bound_.end()) {
-        ++metrics_.datagrams_dropped;
-        DODO_DEBUG("net", "drop to closed port %s",
-                   to_string(m.dst).c_str());
-        return;
-      }
-      ++metrics_.datagrams_delivered;
-      if (delivery_probe_) delivery_probe_(m);
-      it->second->deliver(std::move(m));
+  auto schedule_arrival = [this, payload](SimTime at, Message m) {
+    sim_.schedule(at, [this, payload, m = std::move(m)]() mutable {
+      const SimTime rx_start = sim_.now() > rx_free_[m.dst.node]
+                                   ? sim_.now()
+                                   : rx_free_[m.dst.node];
+      const SimTime deliver_at = rx_start + recv_cpu_time(payload);
+      rx_free_[m.dst.node] = deliver_at;
+      sim_.schedule(deliver_at, [this, m = std::move(m)]() mutable {
+        if (!node_up(m.dst.node)) {
+          ++metrics_.datagrams_dropped;
+          return;
+        }
+        auto it = bound_.find(m.dst);
+        if (it == bound_.end()) {
+          ++metrics_.datagrams_dropped;
+          DODO_DEBUG("net", "drop to closed port %s",
+                     to_string(m.dst).c_str());
+          return;
+        }
+        ++metrics_.datagrams_delivered;
+        if (delivery_probe_) delivery_probe_(m);
+        it->second->deliver(std::move(m));
+      });
     });
   };
 
   if (dup_filter_ && dup_filter_(msg)) {
     // Deliver an identical copy back-to-back after the original, occupying
-    // its own slot on the receive link like any real duplicate frame.
+    // its own slot on the receive link like any real duplicate frame. The
+    // original is scheduled first at the same arrival instant, so FIFO event
+    // order keeps original-then-duplicate on the receive link.
     ++metrics_.datagrams_duplicated;
-    const SimTime dup_at = deliver_at + recv_cpu_time(payload);
-    rx_free_[msg.dst.node] = dup_at;
-    schedule_delivery(dup_at, msg);
+    Message dup = msg;
+    schedule_arrival(arrive, std::move(msg));
+    schedule_arrival(arrive, std::move(dup));
+    return;
   }
-  schedule_delivery(deliver_at, std::move(msg));
+  schedule_arrival(arrive, std::move(msg));
 }
 
 void Network::unbind(const Endpoint& ep) { bound_.erase(ep); }

@@ -9,6 +9,34 @@ namespace dodo::runtime {
 
 using core::MsgKind;
 
+namespace {
+
+/// The slice of a fanned-out request that one fragment serves: region-
+/// relative [lo, lo+want) against `frag`, with the coroutine's outcome slot.
+struct Piece {
+  Bytes64 lo = 0;    // region-relative start of the slice
+  Bytes64 base = 0;  // region-relative start of the fragment
+  Bytes64 want = 0;
+  core::RegionLoc frag;
+};
+
+/// Splits the region-relative range [offset, offset+n) across the stripe's
+/// fragments. Fragment i covers [i*frag_len, i*frag_len + frags[i].len).
+std::vector<Piece> overlap_pieces(const core::StripeMap& map, Bytes64 offset,
+                                  Bytes64 n) {
+  std::vector<Piece> out;
+  for (std::size_t i = 0; i < map.frags.size(); ++i) {
+    const Bytes64 base = map.frag_base(i);
+    const Bytes64 lo = std::max(offset, base);
+    const Bytes64 hi = std::min(offset + n, base + map.frags[i].len);
+    if (hi <= lo) continue;
+    out.push_back(Piece{lo, base, hi - lo, map.frags[i]});
+  }
+  return out;
+}
+
+}  // namespace
+
 DodoClient::DodoClient(sim::Simulator& sim, net::Network& net,
                        net::NodeId node, net::Endpoint cmd,
                        disk::SimFilesystem& fs, ClientParams params)
@@ -86,7 +114,14 @@ void DodoClient::drop_node(net::NodeId node) {
   // host was reclaimed, by key reuse on the next mopen, or by the
   // keep-alive sweep when this client dies.
   for (auto it = regions_.begin(); it != regions_.end();) {
-    if (it->second.loc.host == node) {
+    bool hosted = false;
+    for (const core::RegionLoc& f : it->second.map.frags) {
+      if (f.host == node) {
+        hosted = true;
+        break;
+      }
+    }
+    if (hosted) {
       ++metrics_.descriptors_dropped;
       it = regions_.erase(it);
     } else {
@@ -138,13 +173,13 @@ sim::Co<std::pair<int, bool>> DodoClient::mopen_ex(Bytes64 len, int fd,
   wait.end_now();
   bool ok = false;
   bool reused = false;
-  core::RegionLoc loc;
+  core::StripeMap map;
   if (rep) {
     net::Reader r = core::body_reader(*rep);
     ok = r.u8() != 0;
     reused = r.u8() != 0;
-    loc = core::get_loc(r);
-    ok = ok && r.ok();
+    map = core::get_stripes(r);
+    ok = ok && r.ok() && !map.frags.empty() && map.len == len;
   }
   if (!ok) {
     last_alloc_fail_ = sim_.now();
@@ -153,7 +188,7 @@ sim::Co<std::pair<int, bool>> DodoClient::mopen_ex(Bytes64 len, int fd,
     co_return std::pair{-1, false};
   }
   const int rd = next_desc_++;
-  regions_[rd] = Entry{key, fd, offset, len, loc, true};
+  regions_[rd] = Entry{key, fd, offset, len, std::move(map), true};
   co_return std::pair{rd, reused};
 }
 
@@ -161,6 +196,48 @@ sim::Co<Bytes64> DodoClient::mread(int rd, Bytes64 offset, std::uint8_t* buf,
                                    Bytes64 len, obs::TraceContext parent) {
   const ReadResult r = co_await mread_ex(rd, offset, buf, len, parent);
   co_return r.n;
+}
+
+sim::Co<void> DodoClient::read_fragment(core::RegionLoc frag, Bytes64 frag_off,
+                                        Bytes64 want, std::uint8_t* dst,
+                                        FragOutcome* out, sim::WaitGroup* wg,
+                                        obs::TraceContext ctx) {
+  auto sock = net_.open_ephemeral(node_);
+  const std::uint64_t rid = rids_.next();
+  // The network-wait span covers request-on-the-wire through first reply;
+  // the imd's handler span parents to it, so daemon service time nests
+  // inside the wait in the merged timeline. Fan-out fragments show up as
+  // sibling net.read spans under the one client.mread.
+  obs::ScopedSpan wait(params_.spans, "net.read", ctx);
+  net::Buf h = core::make_header(MsgKind::kReadReq, rid, wait.ctx());
+  net::Writer w(h);
+  w.u64(frag.imd_region);
+  w.u64(frag.epoch);
+  w.i64(frag_off);
+  w.i64(want);
+  sock->send(net::Endpoint{frag.host, core::kImdDataPort}, std::move(h));
+
+  auto rep = co_await sock->recv_for(params_.data_timeout);
+  wait.end_now();
+  if (rep) {
+    net::Reader r = core::body_reader(*rep);
+    const Err code = static_cast<Err>(r.u8());
+    const Bytes64 avail = r.i64();
+    const bool filled = r.u8() != 0;
+    if (r.ok() && code == Err::kOk && avail == want) {
+      auto got = co_await net::bulk_recv(*sock, rid, params_.bulk, ctx);
+      if (got.status.is_ok() && got.size == want) {
+        if (dst != nullptr && !got.data.empty()) {
+          std::copy_n(got.data.begin(), static_cast<std::size_t>(want), dst);
+        }
+        out->ok = true;
+        out->filled = filled;
+      }
+    } else if (r.ok()) {
+      out->err = code == Err::kOk ? Err::kNotFound : code;
+    }
+  }
+  wg->done();
 }
 
 sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
@@ -171,6 +248,7 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
   if (e == nullptr) {
     // A real read attempt that degrades to disk: the caller will fall back.
     ++metrics_.mreads_total;
+    ++metrics_.mreads_degraded;
     ++metrics_.disk_fallbacks;
     dodo_errno() = kDodoENOMEM;  // §3.2: region not currently active
     co_return ReadResult{};
@@ -179,58 +257,139 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
     dodo_errno() = kDodoEINVAL;  // caller bug, not a fallback — uncounted
     co_return ReadResult{};
   }
+  if (len == 0) {
+    // Satisfied locally: no socket, no remote hit, no conservation entry.
+    ReadResult zero;
+    zero.n = 0;
+    zero.filled = true;
+    co_return zero;
+  }
+  // Copy everything out of the entry before the first suspension: `e`
+  // points into regions_, and a concurrent coroutine's drop_node/mclose can
+  // erase the entry across any co_await below.
+  const int fd = e->fd;
+  const Bytes64 file_base = e->file_offset;
+  const Bytes64 n = std::min(len, e->len - offset);
+  const core::StripeMap map = e->map;
+  e = nullptr;
+
   ++metrics_.mreads_total;
   const SimTime t0 = sim_.now();
   obs::ScopedSpan span(params_.spans, "client.mread", parent);
-  const Bytes64 n = std::min(len, e->len - offset);
 
+  std::vector<Piece> pieces = overlap_pieces(map, offset, n);
+  std::vector<FragOutcome> outcomes(pieces.size());
+  sim::WaitGroup wg(sim_);
+  wg.add(static_cast<int>(pieces.size()));
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const Piece& p = pieces[i];
+    std::uint8_t* dst = buf == nullptr ? nullptr : buf + (p.lo - offset);
+    sim_.spawn(read_fragment(p.frag, p.lo - p.base, p.want, dst,
+                             &outcomes[i], &wg, span.ctx()));
+  }
+  co_await wg.wait();
+
+  bool all_ok = true;
+  bool filled = true;
+  std::vector<net::NodeId> failed_hosts;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (outcomes[i].ok) {
+      filled = filled && outcomes[i].filled;
+      ++metrics_.remote_reads;
+      metrics_.remote_read_bytes += pieces[i].want;
+    } else {
+      all_ok = false;
+      ++metrics_.access_failures;
+      failed_hosts.push_back(pieces[i].frag.host);
+    }
+  }
+  std::sort(failed_hosts.begin(), failed_hosts.end());
+  failed_hosts.erase(std::unique(failed_hosts.begin(), failed_hosts.end()),
+                     failed_hosts.end());
+  for (const net::NodeId h : failed_hosts) drop_node(h);
+
+  // Per-fragment degradation: only the lost fragments' byte ranges come
+  // from the backing file; disk is authoritative (clean-cache invariant).
+  ReadResult res;
+  bool disk_err = false;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (outcomes[i].ok) continue;
+    const Piece& p = pieces[i];
+    ++metrics_.disk_fallbacks;
+    res.disk_ranges.emplace_back(p.lo - offset, p.want);
+    obs::ScopedSpan dspan(params_.spans, "disk.read", span.ctx());
+    std::uint8_t* dst = buf == nullptr ? nullptr : buf + (p.lo - offset);
+    const Bytes64 got = co_await fs_.pread(fd, file_base + p.lo, p.want, dst);
+    if (got != p.want) disk_err = true;
+  }
+  if (disk_err) {
+    ++metrics_.mreads_degraded;
+    dodo_errno() = kDodoEIO;
+    co_return ReadResult{};
+  }
+
+  if (all_ok) {
+    ++metrics_.remote_hits;
+    mread_latency_.observe(sim_.now() - t0);
+  } else {
+    ++metrics_.mreads_degraded;
+  }
+  res.n = n;
+  res.filled = filled;
+  co_return res;
+}
+
+sim::Co<void> DodoClient::write_fragment(core::RegionLoc frag,
+                                         Bytes64 frag_off, Bytes64 want,
+                                         const std::uint8_t* src,
+                                         FragOutcome* out, sim::WaitGroup* wg,
+                                         obs::TraceContext ctx) {
   auto sock = net_.open_ephemeral(node_);
   const std::uint64_t rid = rids_.next();
-  // The network-wait span covers request-on-the-wire through first reply;
-  // the imd's handler span parents to it, so daemon service time nests
-  // inside the wait in the merged timeline.
-  obs::ScopedSpan wait(params_.spans, "net.read", span.ctx());
-  net::Buf h = core::make_header(MsgKind::kReadReq, rid, wait.ctx());
+  obs::ScopedSpan wait(params_.spans, "net.write", ctx);
+  net::Buf h = core::make_header(MsgKind::kWriteReq, rid, wait.ctx());
   net::Writer w(h);
-  w.u64(e->loc.imd_region);
-  w.u64(e->loc.epoch);
-  w.i64(offset);
-  w.i64(n);
-  sock->send(net::Endpoint{e->loc.host, core::kImdDataPort}, std::move(h));
+  w.u64(frag.imd_region);
+  w.u64(frag.epoch);
+  w.i64(frag_off);
+  w.i64(want);
+  sock->send(net::Endpoint{frag.host, core::kImdDataPort}, std::move(h));
 
-  auto fail = [&]() {
-    ++metrics_.access_failures;
-    ++metrics_.disk_fallbacks;
-    drop_node(e->loc.host);
-    dodo_errno() = kDodoENOMEM;
-  };
-  auto rep = co_await sock->recv_for(params_.data_timeout);
+  auto go = co_await sock->recv_for(params_.data_timeout);
   wait.end_now();
-  if (!rep) {
-    fail();
-    co_return ReadResult{};
+  if (!go) {
+    wg->done();
+    co_return;
   }
-  net::Reader r = core::body_reader(*rep);
-  const Err code = static_cast<Err>(r.u8());
-  const Bytes64 avail = r.i64();
-  const bool filled = r.u8() != 0;
-  if (!r.ok() || code != Err::kOk) {
-    fail();
-    co_return ReadResult{};
+  auto genv = core::peek_envelope(*go);
+  if (!genv || genv->kind != MsgKind::kWriteGo) {
+    // The imd refused (stale epoch / unknown region): a WriteRep with an
+    // error code arrives instead of the go-ahead.
+    out->err = Err::kNotFound;
+    wg->done();
+    co_return;
   }
-  auto got = co_await net::bulk_recv(*sock, rid, params_.bulk, span.ctx());
-  if (!got.status.is_ok() || got.size != avail) {
-    fail();
-    co_return ReadResult{};
+  const Status st = co_await net::bulk_send(*sock, go->src, rid,
+                                            net::BodyView{src, want},
+                                            params_.bulk, ctx);
+  if (!st.is_ok()) {
+    out->err = st.code();
+    wg->done();
+    co_return;
   }
-  if (buf != nullptr && !got.data.empty()) {
-    std::copy_n(got.data.begin(), static_cast<std::size_t>(avail), buf);
+  obs::ScopedSpan wait_rep(params_.spans, "net.write_rep", ctx);
+  auto rep = co_await sock->recv_for(params_.data_timeout);
+  wait_rep.end_now();
+  if (rep) {
+    net::Reader r = core::body_reader(*rep);
+    const Err code = static_cast<Err>(r.u8());
+    if (r.ok() && code == Err::kOk) {
+      out->ok = true;
+    } else if (r.ok()) {
+      out->err = code;
+    }
   }
-  ++metrics_.remote_reads;
-  ++metrics_.remote_hits;
-  metrics_.remote_read_bytes += avail;
-  mread_latency_.observe(sim_.now() - t0);
-  co_return ReadResult{avail, filled};
+  wg->done();
 }
 
 sim::Co<Status> DodoClient::push_remote(int rd, Bytes64 offset,
@@ -241,47 +400,44 @@ sim::Co<Status> DodoClient::push_remote(int rd, Bytes64 offset,
   if (offset < 0 || offset >= e->len || len < 0) {
     co_return Status(Err::kInval, "bad offset/len");
   }
-  obs::ScopedSpan span(params_.spans, "client.push_remote", parent);
+  if (len == 0) co_return Status::ok();  // nothing to move, no socket
+  // Copy before the first suspension — see mread_ex.
   const Bytes64 n = std::min(len, e->len - offset);
+  const core::StripeMap map = e->map;
+  e = nullptr;
+  obs::ScopedSpan span(params_.spans, "client.push_remote", parent);
 
-  auto sock = net_.open_ephemeral(node_);
-  const std::uint64_t rid = rids_.next();
-  obs::ScopedSpan wait(params_.spans, "net.write", span.ctx());
-  net::Buf h = core::make_header(MsgKind::kWriteReq, rid, wait.ctx());
-  net::Writer w(h);
-  w.u64(e->loc.imd_region);
-  w.u64(e->loc.epoch);
-  w.i64(offset);
-  w.i64(n);
-  sock->send(net::Endpoint{e->loc.host, core::kImdDataPort}, std::move(h));
-
-  auto fail = [&](Err code, const char* what) {
-    ++metrics_.access_failures;
-    drop_node(e->loc.host);
-    return Status(code, what);
-  };
-  auto go = co_await sock->recv_for(params_.data_timeout);
-  wait.end_now();
-  if (!go) co_return fail(Err::kTimeout, "no WriteGo from imd");
-  auto genv = core::peek_envelope(*go);
-  if (!genv || genv->kind != MsgKind::kWriteGo) {
-    // The imd refused (stale epoch / unknown region): a WriteRep with an
-    // error code arrives instead of the go-ahead.
-    co_return fail(Err::kNotFound, "imd refused write");
+  std::vector<Piece> pieces = overlap_pieces(map, offset, n);
+  std::vector<FragOutcome> outcomes(pieces.size());
+  sim::WaitGroup wg(sim_);
+  wg.add(static_cast<int>(pieces.size()));
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const Piece& p = pieces[i];
+    const std::uint8_t* src =
+        buf == nullptr ? nullptr : buf + (p.lo - offset);
+    sim_.spawn(write_fragment(p.frag, p.lo - p.base, p.want, src,
+                              &outcomes[i], &wg, span.ctx()));
   }
-  const Status st = co_await net::bulk_send(*sock, go->src, rid,
-                                            net::BodyView{buf, n},
-                                            params_.bulk, span.ctx());
-  if (!st.is_ok()) co_return fail(st.code(), "bulk write failed");
-  obs::ScopedSpan wait_rep(params_.spans, "net.write_rep", span.ctx());
-  auto rep = co_await sock->recv_for(params_.data_timeout);
-  wait_rep.end_now();
-  if (!rep) co_return fail(Err::kTimeout, "no WriteRep from imd");
-  net::Reader r = core::body_reader(*rep);
-  const Err code = static_cast<Err>(r.u8());
-  if (!r.ok() || code != Err::kOk) co_return fail(code, "imd write error");
+  co_await wg.wait();
+
+  Status res = Status::ok();
+  std::vector<net::NodeId> failed_hosts;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (outcomes[i].ok) {
+      metrics_.remote_write_bytes += pieces[i].want;
+      continue;
+    }
+    ++metrics_.access_failures;
+    failed_hosts.push_back(pieces[i].frag.host);
+    if (res.is_ok()) res = Status(outcomes[i].err, "fragment write failed");
+  }
+  std::sort(failed_hosts.begin(), failed_hosts.end());
+  failed_hosts.erase(std::unique(failed_hosts.begin(), failed_hosts.end()),
+                     failed_hosts.end());
+  for (const net::NodeId h : failed_hosts) drop_node(h);
+
+  if (!res.is_ok()) co_return res;
   ++metrics_.remote_pushes;
-  metrics_.remote_write_bytes += n;
   co_return Status::ok();
 }
 
@@ -297,6 +453,7 @@ sim::Co<Bytes64> DodoClient::mwrite(int rd, Bytes64 offset,
     dodo_errno() = kDodoEINVAL;
     co_return -1;
   }
+  if (len == 0) co_return 0;  // zero-length: no disk write, no sockets
   ++metrics_.mwrites_total;
   const SimTime t0 = sim_.now();
   obs::ScopedSpan span(params_.spans, "client.mwrite", parent);
@@ -332,9 +489,15 @@ sim::Co<Bytes64> DodoClient::mwrite(int rd, Bytes64 offset,
     co_return -1;
   }
   if (!remote_result.is_ok()) {
+    // Disk took the bytes, so the data is durable — failure degrades to
+    // disk (§3.2), it does not fail the write. Drop the descriptor (the
+    // remote copy is now stale for this range and must never serve a read)
+    // and report success. push_remote's failure path usually already
+    // dropped every descriptor on the lost host; this erase covers the
+    // remaining refusal paths.
     ++metrics_.mwrite_remote_failures;
-    dodo_errno() = kDodoENOMEM;  // region no longer active
-    co_return -1;
+    if (regions_.erase(rd) != 0) ++metrics_.descriptors_dropped;
+    co_return n;
   }
   ++metrics_.remote_writes;
   mwrite_latency_.observe(sim_.now() - t0);
@@ -347,8 +510,13 @@ sim::Co<int> DodoClient::mclose(int rd) {
     dodo_errno() = kDodoEINVAL;
     co_return -1;
   }
+  // Deactivate now — no new access may route at the region — but keep the
+  // entry until the cmd actually answers: erasing first would forget the
+  // key on an RPC timeout, leaving the directory entry stuck until the
+  // keep-alive sweep. A kept (inactive) descriptor lets the caller retry
+  // the mclose with the same rd.
+  it->second.active = false;
   const core::RegionKey key = it->second.key;
-  regions_.erase(it);
 
   const std::uint64_t rid = rids_.next();
   obs::ScopedSpan span(params_.spans, "client.mclose");
@@ -361,8 +529,13 @@ sim::Co<int> DodoClient::mclose(int rd) {
   wait.end_now();
   if (!rep) {
     dodo_errno() = kDodoEINVAL;  // "not able to contact the central manager"
-    co_return -1;
+    co_return -1;  // descriptor kept (inactive) so the free can be retried
   }
+  // Any reply — success or already-reclaimed — resolves the key's fate;
+  // only now is the local descriptor forgotten. Erase by key, not by `it`:
+  // a concurrent drop_node may have invalidated the iterator across the
+  // await.
+  regions_.erase(rd);
   net::Reader r = core::body_reader(*rep);
   if (r.u8() == 0) {
     dodo_errno() = kDodoEINVAL;  // already reclaimed
@@ -404,6 +577,7 @@ obs::MetricsSnapshot DodoClient::metrics_snapshot() const {
   out.set_counter("client.pings_answered", metrics_.pings_answered);
   out.set_counter("client.mreads_total", metrics_.mreads_total);
   out.set_counter("client.remote_hits", metrics_.remote_hits);
+  out.set_counter("client.mreads_degraded", metrics_.mreads_degraded);
   out.set_counter("client.disk_fallbacks", metrics_.disk_fallbacks);
   out.set_counter("client.mwrites_total", metrics_.mwrites_total);
   out.set_counter("client.mwrite_remote_failures",

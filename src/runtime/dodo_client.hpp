@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/status.hpp"
 #include "common/units.hpp"
@@ -61,10 +63,14 @@ struct ClientMetrics {
   std::uint64_t descriptors_dropped = 0;
   std::uint64_t pings_answered = 0;
   /// Conservation triple: every mread past argument validation lands in
-  /// exactly one of remote_hits or disk_fallbacks, so at quiesce
-  /// remote_hits + disk_fallbacks == mreads_total (fuzz oracle).
+  /// exactly one of remote_hits (every byte came from remote memory) or
+  /// mreads_degraded (at least one byte range came from disk), so at
+  /// quiesce remote_hits + mreads_degraded == mreads_total (fuzz oracle).
   std::uint64_t mreads_total = 0;
   std::uint64_t remote_hits = 0;
+  std::uint64_t mreads_degraded = 0;
+  /// Fragment-granular: one tick per lost fragment (or per inactive-
+  /// descriptor read) whose byte range had to come from disk.
   std::uint64_t disk_fallbacks = 0;
   std::uint64_t mwrites_total = 0;
   std::uint64_t mwrite_remote_failures = 0;
@@ -110,6 +116,11 @@ class DodoClient {
   struct ReadResult {
     Bytes64 n = -1;      // bytes read, or -1
     bool filled = false;  // range lies within the region's written prefix
+    /// Request-relative {offset, len} ranges that were served from the
+    /// backing file because their fragment's host was lost mid-read. Empty
+    /// on a fully remote read. Disk bytes are authoritative (clean-cache
+    /// invariant), so they never clear `filled`.
+    std::vector<std::pair<Bytes64, Bytes64>> disk_ranges;
   };
   /// mread plus the imd's "filled" flag: false means the remote region was
   /// allocated but the requested range was never written (its content is
@@ -138,6 +149,12 @@ class DodoClient {
   /// True if the descriptor exists and has not been dropped.
   [[nodiscard]] bool active(int rd) const;
 
+  /// True if the descriptor exists at all — including one deactivated by a
+  /// failed mclose that must be retried before the key can be reopened.
+  [[nodiscard]] bool known(int rd) const {
+    return regions_.find(rd) != regions_.end();
+  }
+
   [[nodiscard]] const ClientMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const net::BulkStats& bulk_stats() const {
     return bulk_stats_;
@@ -157,13 +174,35 @@ class DodoClient {
     int fd = -1;
     Bytes64 file_offset = 0;
     Bytes64 len = 0;
-    core::RegionLoc loc;
+    core::StripeMap map;
     bool active = false;
+  };
+
+  /// Outcome slot one fan-out fragment coroutine reports into.
+  struct FragOutcome {
+    bool ok = false;
+    bool filled = false;
+    Err err = Err::kTimeout;
   };
 
   sim::Co<void> ping_loop();
 
-  /// Marks every descriptor on `node` inactive (§3.1 failure handling).
+  /// One fragment of a fanned-out mread: its own ephemeral socket, rid and
+  /// sibling "net.read" span under the caller's client.mread span.
+  sim::Co<void> read_fragment(core::RegionLoc frag, Bytes64 frag_off,
+                              Bytes64 want, std::uint8_t* dst,
+                              FragOutcome* out, sim::WaitGroup* wg,
+                              obs::TraceContext ctx);
+
+  /// One fragment of a fanned-out push/mwrite (kWriteReq → WriteGo →
+  /// bulk_send → WriteRep against the fragment's owner).
+  sim::Co<void> write_fragment(core::RegionLoc frag, Bytes64 frag_off,
+                               Bytes64 want, const std::uint8_t* src,
+                               FragOutcome* out, sim::WaitGroup* wg,
+                               obs::TraceContext ctx);
+
+  /// Drops every descriptor with a fragment on `node` (§3.1 failure
+  /// handling).
   void drop_node(net::NodeId node);
 
   Entry* lookup_active(int rd);

@@ -153,12 +153,15 @@ void expect_all_faults_fired(const fault::FaultInjector& inj,
 }
 
 /// Metric conservation at quiesce: every mread the client admitted resolved
-/// into exactly one of remote_hits / disk_fallbacks. Valid only after
-/// run_app returns (an in-flight mread is counted in the total first).
+/// into exactly one of remote_hits / mreads_degraded, and every degraded
+/// read took at least one fragment-granular disk_fallbacks tick. Valid only
+/// after run_app returns (an in-flight mread is counted in the total first).
 void expect_mread_conservation(const obs::MetricsSnapshot& s) {
   EXPECT_EQ(s.counter_value("client.mreads_total"),
             s.counter_value("client.remote_hits") +
-                s.counter_value("client.disk_fallbacks"));
+                s.counter_value("client.mreads_degraded"));
+  EXPECT_LE(s.counter_value("client.mreads_degraded"),
+            s.counter_value("client.disk_fallbacks"));
 }
 
 // ---------------------------------------------------------------------------
@@ -335,7 +338,7 @@ TEST(Chaos, FreeReallocChurnWithDelayedRetransmits) {
   Cluster c(cfg);
   const Bytes64 rlen = 64_KiB;
   const int fd = c.create_dataset("churn", 8 * rlen);
-  fill_dataset(c, fd, 8 * rlen);
+  const std::vector<std::uint8_t> file_image = fill_dataset(c, fd, 8 * rlen);
 
   fault::FaultPlan plan;
   plan.loss_burst(200_ms, 4_s, 0.25);
@@ -363,7 +366,17 @@ TEST(Chaos, FreeReallocChurnWithDelayedRetransmits) {
         const auto rr = co_await cl.dodo()->mread_ex(rd, 0, back.data(), rlen);
         if (rr.n == rlen && rr.filled) {
           ++verified;
-          if (back != buf) mismatch = true;
+          // push_remote never touches disk, so ranges a lost fragment sent
+          // back to the backing file legitimately hold the original file
+          // bytes, not the pushed ones; splice them into the expectation.
+          std::vector<std::uint8_t> expect = buf;
+          for (const auto& [roff, rln] : rr.disk_ranges) {
+            std::copy_n(file_image.begin() +
+                            static_cast<std::ptrdiff_t>(foff + roff),
+                        static_cast<std::ptrdiff_t>(rln),
+                        expect.begin() + static_cast<std::ptrdiff_t>(roff));
+          }
+          if (back != expect) mismatch = true;
         }
       }
       (void)co_await cl.dodo()->mclose(rd);
@@ -571,6 +584,177 @@ TEST(Chaos, CrashMidWriteThroughLeavesDiskAuthoritative) {
   c.fs().store_of_inode(c.fs().inode_of(fd))->read(0, dataset, disk.data());
   EXPECT_EQ(disk, shadow) << "disk is not authoritative after the crash";
   EXPECT_EQ(disk, base_disk) << "Dodo run diverged from the disk-only run";
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, StripeOwnerKilledMidReadStaysByteExact) {
+  // Regions striped 4-wide across the harvested hosts, written through so
+  // disk and remote agree, then swept with mreads while one stripe owner is
+  // killed. Per-fragment degradation must refetch only the lost fragments
+  // from disk — every read stays byte-exact, and disk_fallbacks stays well
+  // below "every fragment fell".
+  ClusterConfig cfg = chaos_config(33);
+  cfg.cmd.stripe_width = 4;
+  cfg.cmd.stripe_min_fragment = 4_KiB;  // 64 KiB regions split 4 x 16 KiB
+  cfg.client.refraction = millis(100);
+  Cluster c(cfg);
+  const Bytes64 rlen = 64_KiB;
+  const int nslots = 6;
+  const int fd = c.create_dataset("data", nslots * rlen);
+  fill_dataset(c, fd, nslots * rlen);
+
+  fault::FaultPlan plan;
+  plan.imd_crash(400_ms, 1);  // one stripe owner dies and stays dead
+  fault::FaultInjector inj(c, plan);
+  inj.arm();
+
+  bool mismatch = false;
+  int reads_done = 0;
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    auto* client = cl.dodo();
+    std::vector<int> rds(nslots, -1);
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(rlen));
+    std::vector<std::uint8_t> back(static_cast<std::size_t>(rlen));
+    auto slot_pattern = [&](int s) {
+      for (std::size_t j = 0; j < buf.size(); ++j) {
+        buf[j] = static_cast<std::uint8_t>((s * 59 + j * 13 + 7) & 0xff);
+      }
+    };
+    for (int sweep = 0; sweep < 60 && (sweep < 8 || !inj.done()); ++sweep) {
+      for (int s = 0; s < nslots; ++s) {
+        auto& rd = rds[static_cast<std::size_t>(s)];
+        if (rd >= 0 && !client->active(rd)) rd = -1;
+        if (rd < 0) {
+          rd = co_await client->mopen(rlen, fd,
+                                      static_cast<Bytes64>(s) * rlen);
+          if (rd < 0) {
+            co_await cl.sim().sleep(20_ms);
+            continue;
+          }
+          // Write-through: after this, disk and remote hold the same bytes
+          // for the slot, so even a degraded read must be byte-exact.
+          slot_pattern(s);
+          if (co_await client->mwrite(rd, 0, buf.data(), rlen) != rlen ||
+              !client->active(rd)) {
+            continue;  // remote half died; reopen on the next sweep
+          }
+        }
+        slot_pattern(s);
+        const auto rr = co_await client->mread_ex(rd, 0, back.data(), rlen);
+        if (rr.n != rlen) continue;  // dropped mid-loop; resync next visit
+        ++reads_done;
+        if (back != buf) mismatch = true;
+        co_await cl.sim().sleep(5_ms);
+      }
+    }
+    // Quiesce: give the keep-alive sweep time to learn the host is dead,
+    // then drain every key so the leak audit sees a settled directory.
+    co_await cl.sim().sleep(seconds(2.5));
+    for (int s = 0; s < nslots; ++s) {
+      if (rds[static_cast<std::size_t>(s)] >= 0) {
+        (void)co_await client->mclose(rds[static_cast<std::size_t>(s)]);
+      }
+    }
+    co_await cl.sim().sleep(seconds(2.5));
+  }, 3600_s);
+
+  EXPECT_FALSE(mismatch) << "degraded read diverged from write-through image";
+  EXPECT_GT(reads_done, 20);
+  expect_all_faults_fired(inj, plan);
+
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  // The workload really ran striped, and the crash really degraded reads.
+  EXPECT_GT(s.counter_value("cmd.striped_regions"), 0u);
+  EXPECT_GT(s.counter_value("client.remote_hits"), 0u);
+  const std::uint64_t degraded = s.counter_value("client.mreads_degraded");
+  const std::uint64_t falls = s.counter_value("client.disk_fallbacks");
+  EXPECT_GT(degraded, 0u);
+  // Fragment-granular: each degraded read lost only the dead host's
+  // fragment(s), not the whole stripe set — strictly fewer fallback ticks
+  // than a whole-stripe loss would produce.
+  EXPECT_GE(falls, degraded);
+  EXPECT_LT(falls, 4 * degraded);
+  expect_mread_conservation(s);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, StripedImdCutMidMwriteKeepsDiskAuthoritative) {
+  // The striped variant of CrashMidWriteThroughLeavesDiskAuthoritative: a
+  // stripe owner dies mid write-through. mwrite must still return success
+  // (disk took the bytes), drop the now-stale descriptor, and leave the
+  // backing file byte-identical to a disk-only run of the same stream.
+  const Bytes64 dataset = 2_MiB, block = 64_KiB;
+
+  auto run_writes = [&](Cluster& c, apps::BlockIo& io,
+                        std::vector<std::uint8_t>& shadow,
+                        bool& mismatch) -> Co<void> {
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(block));
+    for (int pass = 0; pass < 2; ++pass) {
+      for (Bytes64 off = 0; off < dataset; off += block) {
+        for (std::size_t j = 0; j < buf.size(); ++j) {
+          buf[j] = static_cast<std::uint8_t>(
+              (pass * 89 + (off / block) * 17 + j * 29 + 11) & 0xff);
+        }
+        co_await io.write(off, buf.data(), block);
+        std::copy(buf.begin(), buf.end(),
+                  shadow.begin() + static_cast<std::ptrdiff_t>(off));
+        co_await c.sim().sleep(millis(5));
+      }
+    }
+    for (Bytes64 off = 0; off < dataset; off += block) {
+      co_await io.read(off, buf.data(), block);
+      if (!std::equal(buf.begin(), buf.end(),
+                      shadow.begin() + static_cast<std::ptrdiff_t>(off))) {
+        mismatch = true;
+      }
+    }
+    co_await io.finish(false);
+  };
+
+  std::vector<std::uint8_t> base_disk(static_cast<std::size_t>(dataset));
+  {
+    ClusterConfig cfg = chaos_config(34);
+    cfg.use_dodo = false;
+    Cluster c(cfg);
+    const int fd = c.create_dataset("data", dataset);
+    fill_dataset(c, fd, dataset);
+    apps::FsBlockIo io(c.fs(), fd);
+    std::vector<std::uint8_t> shadow(static_cast<std::size_t>(dataset));
+    bool mismatch = false;
+    c.run_app([&](Cluster& cl) -> Co<void> {
+      co_await run_writes(cl, io, shadow, mismatch);
+    }, 3600_s);
+    EXPECT_FALSE(mismatch);
+    c.fs().store_of_inode(c.fs().inode_of(fd))->read(0, dataset,
+                                                     base_disk.data());
+  }
+
+  ClusterConfig cfg = chaos_config(34);
+  cfg.cmd.stripe_width = 4;
+  cfg.cmd.stripe_min_fragment = 4_KiB;
+  Cluster c(cfg);
+  const int fd = c.create_dataset("data", dataset);
+  fill_dataset(c, fd, dataset);
+  apps::DodoBlockIo io(*c.manager(), fd, dataset, block);
+  fault::FaultPlan plan;
+  plan.imd_crash(600_ms, 1);
+  fault::FaultInjector inj(c, plan);
+  inj.arm();
+  std::vector<std::uint8_t> shadow(static_cast<std::size_t>(dataset));
+  bool mismatch = false;
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    co_await run_writes(cl, io, shadow, mismatch);
+  }, 3600_s);
+  EXPECT_FALSE(mismatch) << "read-back diverged from written data";
+  expect_all_faults_fired(inj, plan);
+
+  std::vector<std::uint8_t> disk(static_cast<std::size_t>(dataset));
+  c.fs().store_of_inode(c.fs().inode_of(fd))->read(0, dataset, disk.data());
+  EXPECT_EQ(disk, shadow) << "disk is not authoritative after the crash";
+  EXPECT_EQ(disk, base_disk) << "striped run diverged from the disk-only run";
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  EXPECT_GT(s.counter_value("cmd.striped_regions"), 0u);
+  expect_mread_conservation(s);
   EXPECT_EQ(fault::leak_report(c), "");
 }
 

@@ -40,7 +40,8 @@ TEST(Recruitment, PoolFormulaMatchesPaper) {
 
 struct MopenResult {
   bool ok = false;
-  RegionLoc loc;
+  StripeMap map;
+  RegionLoc loc;  // first fragment (the whole region at stripe width 1)
 };
 
 Co<MopenResult> do_mopen(net::Network& net, net::NodeId node,
@@ -57,7 +58,8 @@ Co<MopenResult> do_mopen(net::Network& net, net::NodeId node,
   net::Reader r = body_reader(*rep);
   res.ok = r.u8() != 0;
   (void)r.u8();  // reused flag
-  res.loc = get_loc(r);
+  res.map = get_stripes(r);
+  if (!res.map.frags.empty()) res.loc = res.map.frags.front();
   co_return res;
 }
 

@@ -326,7 +326,7 @@ TEST(ClusterMetrics, EveryComponentExportsItsCore) {
   // Conservation: every admitted mread resolved exactly one way.
   EXPECT_EQ(s.counter_value("client.mreads_total"),
             s.counter_value("client.remote_hits") +
-                s.counter_value("client.disk_fallbacks"));
+                s.counter_value("client.mreads_degraded"));
   // Latency histograms saw every remote fill.
   const obs::MetricValue* lat = s.find("client.mread_latency");
   ASSERT_NE(lat, nullptr);

@@ -191,11 +191,19 @@ TEST(Runtime, HostFailureDropsAllDescriptorsOnThatNode) {
     const int r2 = co_await f.client.mopen(64_KiB, f.fd, 128_KiB);
     EXPECT_GE(r1, 0);
     EXPECT_GE(r2, 0);
-    // The only imd host dies.
+    // The only imd host dies. The read still succeeds — the lost fragment
+    // is refetched from the backing file (failure degrades to disk) — but
+    // the host and every descriptor on it are dropped.
     f.net.set_node_up(2, false);
     net::Buf buf(16, 0);
-    EXPECT_EQ(co_await f.client.mread(r1, 0, buf.data(), 16), -1);
-    EXPECT_EQ(dodo_errno(), kDodoENOMEM);
+    const auto rr = co_await f.client.mread_ex(r1, 0, buf.data(), 16);
+    EXPECT_EQ(rr.n, 16);
+    EXPECT_EQ(rr.disk_ranges.size(), 1u);
+    if (!rr.disk_ranges.empty()) {
+      EXPECT_EQ(rr.disk_ranges[0].first, 0);
+      EXPECT_EQ(rr.disk_ranges[0].second, 16);
+    }
+    EXPECT_FALSE(f.client.active(r1));
     // §3.1: *all* descriptors on that node are dropped, so r2 fails
     // immediately without touching the network.
     EXPECT_FALSE(f.client.active(r2));
@@ -204,6 +212,163 @@ TEST(Runtime, HostFailureDropsAllDescriptorsOnThatNode) {
   }, 120_s);
   EXPECT_EQ(fx.client.metrics().nodes_dropped, 1u);
   EXPECT_EQ(fx.client.metrics().descriptors_dropped, 2u);
+  // One degraded read per dropped-descriptor access plus the lost-fragment
+  // refetch, each with a fragment-granular disk fallback tick.
+  EXPECT_EQ(fx.client.metrics().mreads_degraded, 2u);
+  EXPECT_EQ(fx.client.metrics().disk_fallbacks, 2u);
+  EXPECT_EQ(fx.client.metrics().remote_hits, 0u);
+}
+
+TEST(Runtime, ConcurrentWriteDuringFailingReadIsSafe) {
+  // Regression for a use-after-suspension: mread_ex held an Entry* across
+  // its network waits. A concurrent mwrite on the same descriptor whose
+  // remote half fails erases that entry mid-read (drop_node), so the read's
+  // disk fallback dereferenced freed memory for fd/file_offset. The fixed
+  // path copies the fields by value before the first suspension.
+  Fixture fx(1);
+  fx.run([](Fixture& f) -> Co<void> {
+    const int rd = co_await f.client.mopen(64_KiB, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    net::Buf data = pattern(64_KiB, 9);
+    EXPECT_EQ(co_await f.client.mwrite(rd, 0, data.data(), 64_KiB), 64_KiB);
+    // Kill the imd host: both the read and the write below will lose their
+    // remote halves and race to drop the descriptor.
+    f.net.set_node_up(2, false);
+
+    sim::WaitGroup wg(f.sim);
+    wg.add(2);
+    Bytes64 read_n = -2;
+    net::Buf back(64_KiB, 0);
+    f.sim.spawn([](Fixture& f2, int r, std::uint8_t* out, Bytes64& n,
+                   sim::WaitGroup& g) -> Co<void> {
+      n = co_await f2.client.mread(r, 0, out, 64_KiB);
+      g.done();
+    }(f, rd, back.data(), read_n, wg));
+    Bytes64 write_n = -2;
+    net::Buf more = pattern(4_KiB, 3);
+    f.sim.spawn([](Fixture& f2, int r, const std::uint8_t* b, Bytes64& n,
+                   sim::WaitGroup& g) -> Co<void> {
+      // Non-overlapping range so the read's disk refetch has one answer.
+      n = co_await f2.client.mwrite(r, 32_KiB, b, 4_KiB);
+      g.done();
+    }(f, rd, more.data(), write_n, wg));
+    co_await wg.wait();
+
+    // Both calls degraded to disk and succeeded; the descriptor is gone.
+    EXPECT_EQ(read_n, 64_KiB);
+    EXPECT_EQ(write_n, 4_KiB);
+    EXPECT_FALSE(f.client.active(rd));
+    // The refetched prefix is the write-through image from before the cut.
+    std::size_t diverged = 0;
+    for (std::size_t i = 0; i < 4_KiB; ++i) {
+      if (back[i] != data[i] && diverged == 0) diverged = i + 1;
+    }
+    EXPECT_EQ(diverged, 0u) << "disk refetch diverged at byte "
+                            << diverged - 1;
+  }, 120_s);
+  EXPECT_EQ(fx.client.metrics().mwrite_remote_failures, 1u);
+  EXPECT_EQ(fx.client.metrics().mreads_degraded, 1u);
+}
+
+TEST(Runtime, MwriteRemoteFailureDegradesToDiskAndDropsDescriptor) {
+  // The remote half of an mwrite failing must not fail the call: disk took
+  // the bytes, so the write succeeded in degraded mode. The stale remote
+  // copy must never serve a later read, so the descriptor is dropped.
+  Fixture fx(1);
+  fx.run([](Fixture& f) -> Co<void> {
+    const int rd = co_await f.client.mopen(64_KiB, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    f.net.set_node_up(2, false);
+    net::Buf data = pattern(32_KiB, 5);
+    EXPECT_EQ(co_await f.client.mwrite(rd, 0, data.data(), 32_KiB), 32_KiB);
+    EXPECT_FALSE(f.client.active(rd));
+    // Disk got the bytes even though the remote half died.
+    auto* store = f.fs.store_of_inode(f.fs.inode_of(f.fd));
+    net::Buf disk_bytes(32_KiB, 0);
+    store->read(0, 32_KiB, disk_bytes.data());
+    EXPECT_EQ(disk_bytes, data);
+    // A later write on the dropped descriptor fails fast with ENOMEM.
+    EXPECT_EQ(co_await f.client.mwrite(rd, 0, data.data(), 1), -1);
+    EXPECT_EQ(dodo_errno(), kDodoENOMEM);
+  }, 120_s);
+  EXPECT_EQ(fx.client.metrics().mwrite_remote_failures, 1u);
+  EXPECT_EQ(fx.client.metrics().descriptors_dropped, 1u);
+  EXPECT_EQ(fx.client.metrics().remote_writes, 0u);
+}
+
+TEST(Runtime, McloseKeepsDescriptorUntilFreeResolves) {
+  // An mclose whose kMfreeRep never arrives must not forget the key: the
+  // directory entry would be stuck until the keep-alive sweep and the
+  // caller would have no handle left to retry with. The descriptor stays
+  // (deactivated) until a reply resolves the free.
+  ClientParams cp;
+  cp.cmd_rpc.retries = 2;  // fail fast while the cmd is unreachable
+  Fixture fx(1, 16_MiB, cp);
+  fx.run([](Fixture& f) -> Co<void> {
+    const int rd = co_await f.client.mopen(64_KiB, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    co_await f.sim.sleep(10_ms);
+    EXPECT_EQ(f.cmd.region_count(), 1u);
+
+    f.net.set_node_up(0, false);  // cmd vanishes; the free cannot land
+    EXPECT_EQ(co_await f.client.mclose(rd), -1);
+    EXPECT_EQ(dodo_errno(), kDodoEINVAL);
+    EXPECT_TRUE(f.client.known(rd));    // kept for retry...
+    EXPECT_FALSE(f.client.active(rd));  // ...but no longer readable
+    net::Buf buf(16, 0);
+    EXPECT_EQ(co_await f.client.mread(rd, 0, buf.data(), 16), -1);
+    EXPECT_EQ(dodo_errno(), kDodoENOMEM);
+    EXPECT_EQ(f.cmd.region_count(), 1u);  // free never reached the cmd
+
+    f.net.set_node_up(0, true);  // heal and retry: now the free resolves
+    EXPECT_EQ(co_await f.client.mclose(rd), 0);
+    EXPECT_FALSE(f.client.known(rd));
+    co_await f.sim.sleep(10_ms);
+    EXPECT_EQ(f.cmd.region_count(), 0u);
+    EXPECT_EQ(f.imds[0]->region_count(), 0u);
+  }, 240_s);
+}
+
+TEST(Runtime, ZeroLengthAndExactEndAccesses) {
+  Fixture fx(1);
+  fx.run([](Fixture& f) -> Co<void> {
+    const Bytes64 rlen = 64_KiB;
+    const int rd = co_await f.client.mopen(rlen, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    net::Buf data = pattern(static_cast<std::size_t>(rlen), 2);
+    EXPECT_EQ(co_await f.client.mwrite(rd, 0, data.data(), rlen), rlen);
+
+    // Zero-length accesses are satisfied locally: no socket, no remote hit,
+    // no entry in the mread conservation triple.
+    const auto before = f.client.metrics();
+    const auto sent_before = f.net.metrics().datagrams_sent;
+    net::Buf back(static_cast<std::size_t>(rlen), 0);
+    EXPECT_EQ(co_await f.client.mread(rd, 0, back.data(), 0), 0);
+    EXPECT_EQ(co_await f.client.mread(rd, rlen - 1, back.data(), 0), 0);
+    EXPECT_EQ(co_await f.client.mwrite(rd, 0, data.data(), 0), 0);
+    const Status st = co_await f.client.push_remote(rd, 0, data.data(), 0);
+    EXPECT_TRUE(st.is_ok());
+    EXPECT_EQ(f.net.metrics().datagrams_sent, sent_before);
+    EXPECT_EQ(f.client.metrics().mreads_total, before.mreads_total);
+    EXPECT_EQ(f.client.metrics().remote_hits, before.remote_hits);
+    EXPECT_EQ(f.client.metrics().mwrites_total, before.mwrites_total);
+
+    // Exact-end: the last byte reads back alone, and an over-long read
+    // starting there clips to one byte.
+    EXPECT_EQ(co_await f.client.mread(rd, rlen - 1, back.data(), 1), 1);
+    EXPECT_EQ(back[0], data[static_cast<std::size_t>(rlen) - 1]);
+    EXPECT_EQ(co_await f.client.mread(rd, rlen - 1, back.data(), 100), 1);
+    // A full-region read ending exactly at the boundary stays remote.
+    EXPECT_EQ(co_await f.client.mread(rd, 0, back.data(), rlen), rlen);
+    EXPECT_EQ(back, data);
+    // Writes at the boundary clip the same way.
+    EXPECT_EQ(co_await f.client.mwrite(rd, rlen - 1, data.data(), 100), 1);
+    // Offset == len is past the end even for zero-length accesses.
+    EXPECT_EQ(co_await f.client.mread(rd, rlen, back.data(), 0), -1);
+    EXPECT_EQ(dodo_errno(), kDodoEINVAL);
+  }, 120_s);
+  EXPECT_EQ(fx.client.metrics().disk_fallbacks, 0u);
+  EXPECT_EQ(fx.client.metrics().mreads_degraded, 0u);
 }
 
 TEST(Runtime, CrashedClientIsReclaimedDetachedClientIsNot) {
