@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "runtime/dodo_client.hpp"
+#include "sim/channel.hpp"
 
 namespace {
 
@@ -237,9 +239,157 @@ void BM_Fig8StripeWidth(benchmark::State& state) {
   std::fflush(stdout);
 }
 
+// --- Replica-count hot-spot ablation ----------------------------------------
+// N concurrent readers hammer the same hot region (ISSUE: replicated hot
+// regions with adaptive client-side replica selection). With one copy, every
+// read serializes on the owner's transmit link; with K copies the
+// power-of-two-choices picker spreads the readers across the replica set, so
+// aggregate read bandwidth should rise monotonically with replica_count.
+// Each reader digests its own byte stream (FNV-1a); the XOR of the per-reader
+// digests is interleaving-independent and must be identical across replica
+// counts — replica selection may never change the bytes an application sees.
+
+struct ReplicaOutcome {
+  double read_s = 0.0;         // concurrent hot phase, populate excluded
+  std::uint64_t digest = 0;    // XOR of per-reader FNV-1a digests
+  std::uint64_t replicas = 0;  // cmd.replicas_placed
+  std::uint64_t replica_hits = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t disk_fallbacks = 0;  // any >0 disqualifies the bandwidth claim
+  std::uint64_t remote_read_bytes = 0;
+};
+
+constexpr Bytes64 kHotRegion = 512_KiB;
+constexpr Bytes64 kHotBlock = 64_KiB;  // request size of the hot-spot scan
+constexpr int kHotReaders = 8;
+constexpr int kHotSweeps = 8;  // per reader
+
+ReplicaOutcome run_replica_hotspot(int replica_count, bool unet) {
+  namespace cluster = dodo::cluster;
+  namespace sim = dodo::sim;
+  cluster::ClusterConfig cfg = dodo::bench::paper_config(
+      /*use_dodo=*/true, unet, dodo::manage::Policy::kLru);
+  cfg.materialize = true;  // real bytes: digests must match across counts
+  cfg.cmd.replica_count = replica_count;
+  cluster::Cluster c(cfg);
+  const int fd = c.create_dataset("hot", kHotRegion);
+
+  ReplicaOutcome out;
+  dodo::SimTime t0 = 0, t1 = 0;
+  c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+    auto& d = *cl.dodo();
+    const auto rsz = static_cast<std::size_t>(kHotRegion);
+    const int rd = co_await d.mopen(kHotRegion, fd, 0);
+    if (rd < 0) co_return;
+    {
+      std::vector<std::uint8_t> buf(rsz);
+      for (std::size_t j = 0; j < rsz; ++j) {
+        buf[j] = static_cast<std::uint8_t>((j * 31 + 11) & 0xff);
+      }
+      co_await d.mwrite(rd, 0, buf.data(), kHotRegion);
+    }
+    t0 = cl.sim().now();
+    std::uint64_t combined = 0;
+    sim::WaitGroup wg(cl.sim());
+    wg.add(kHotReaders);
+    for (int i = 0; i < kHotReaders; ++i) {
+      // Block-sized requests, like the paper's synthetic scans: each mread
+      // picks a replica independently, so the load balancer gets a fresh
+      // choice per request instead of one choice per whole-region stream.
+      cl.sim().spawn([](dodo::runtime::DodoClient& cli, int reader_rd,
+                        std::uint64_t& acc,
+                        sim::WaitGroup& g) -> sim::Co<void> {
+        const auto bsz = static_cast<std::size_t>(kHotBlock);
+        std::vector<std::uint8_t> buf(bsz);
+        std::uint64_t h = 1469598103934665603ull;
+        for (int s = 0; s < kHotSweeps; ++s) {
+          for (Bytes64 off = 0; off < kHotRegion; off += kHotBlock) {
+            co_await cli.mread(reader_rd, off, buf.data(), kHotBlock);
+            for (std::size_t j = 0; j < bsz; ++j) {
+              h = (h ^ buf[j]) * 1099511628211ull;
+            }
+          }
+        }
+        acc ^= h;
+        g.done();
+      }(d, rd, combined, wg));
+    }
+    co_await wg.wait();
+    t1 = cl.sim().now();
+    out.digest = combined;
+    (void)co_await d.mclose(rd);
+  });
+
+  out.read_s = dodo::to_seconds(t1 - t0);
+  const dodo::obs::MetricsSnapshot snap = c.metrics_snapshot();
+  out.replicas = snap.counter_value("cmd.replicas_placed");
+  out.replica_hits = snap.counter_value("client.replica_hits");
+  out.failovers = snap.counter_value("client.replica_failovers");
+  out.disk_fallbacks = snap.counter_value("client.disk_fallbacks");
+  out.remote_read_bytes = snap.counter_value("client.remote_read_bytes");
+  return out;
+}
+
+void BM_Fig8ReplicaHotspot(benchmark::State& state) {
+  const int replica_count = static_cast<int>(state.range(0));
+  const bool unet = state.range(1) != 0;
+  auto& exporter = dodo::bench::json_exporter("fig8_synthetics");
+
+  ReplicaOutcome out;
+  for (auto _ : state) out = run_replica_hotspot(replica_count, unet);
+
+  const double bytes = static_cast<double>(kHotReaders) *
+                       static_cast<double>(kHotSweeps) *
+                       static_cast<double>(kHotRegion);
+  const double mbps = bytes / out.read_s / 1e6;
+
+  // Count 1 is the ablation baseline; replicated runs report their gain
+  // over it and must produce byte-identical streams.
+  static std::map<bool, ReplicaOutcome> count1;
+  double bandwidth_x = 1.0;
+  bool bytes_identical = true;
+  if (replica_count == 1) {
+    count1[unet] = out;
+  } else if (count1.count(unet) != 0) {
+    bandwidth_x = count1[unet].read_s / out.read_s;
+    bytes_identical = out.digest == count1[unet].digest;
+  }
+  if (!bytes_identical) {
+    state.SkipWithError("replicated sweep bytes differ from 1-copy sweep");
+  }
+
+  char key[64];
+  std::snprintf(key, sizeof(key), "fig8.replica.rc%d.%s", replica_count,
+                unet ? "unet" : "udp");
+  exporter.set_milli(std::string(key) + ".read_MBps", mbps);
+  exporter.set_milli(std::string(key) + ".bandwidth_x", bandwidth_x);
+  state.counters["read_MBps"] = mbps;
+  state.counters["bandwidth_x_vs_rc1"] = bandwidth_x;
+  state.counters["replica_hits"] = static_cast<double>(out.replica_hits);
+  state.counters["failovers"] = static_cast<double>(out.failovers);
+  state.counters["disk_fallbacks"] = static_cast<double>(out.disk_fallbacks);
+  state.counters["remote_read_MB"] =
+      static_cast<double>(out.remote_read_bytes) / 1e6;
+
+  dodo::bench::print_header_once(
+      "Figure 8: synthetic benchmark speedups",
+      "benchmark    req   dataset net    base(s)   dodo(s)  speedup  "
+      "steady  last-iter");
+  std::printf("replica rc=%d %2d rdrs hot    %-5s %8.0f MB/s  %5.2fx vs rc1"
+              "  bytes %s\n",
+              replica_count, kHotReaders, unet ? "U-Net" : "UDP", mbps,
+              bandwidth_x, bytes_identical ? "identical" : "DIFFER");
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 BENCHMARK(BM_Fig8StripeWidth)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig8ReplicaHotspot)
     ->ArgsProduct({{1, 2, 4}, {0, 1}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <tuple>
 
 #include "common/log.hpp"
+#include "net/bulk.hpp"
 
 namespace dodo::core {
 
@@ -46,7 +48,9 @@ std::vector<std::pair<RegionKey, RegionLoc>> CentralManager::rd_snapshot()
   std::vector<std::pair<RegionKey, RegionLoc>> out;
   out.reserve(rd_.size());
   for (const auto& [key, map] : rd_) {
-    for (const RegionLoc& f : map.frags) out.emplace_back(key, f);
+    for (const ReplicaSet& f : map.frags) {
+      for (const RegionLoc& rep : f.replicas) out.emplace_back(key, rep);
+    }
   }
   return out;
 }
@@ -119,6 +123,11 @@ sim::Co<void> CentralManager::serve_loop() {
           co_await handle_mfree(std::move(msg));
         }
         break;
+      case MsgKind::kDropReplicaReq:
+        if (!replay_if_duplicate(msg, env->rid)) {
+          handle_drop_replica(std::move(msg));
+        }
+        break;
       case MsgKind::kStatsReq: {
         obs::ScopedSpan span(params_.spans, "cmd.stats", env->trace);
         net::Buf rep = make_header(MsgKind::kStatsRep, env->rid);
@@ -130,7 +139,10 @@ sim::Co<void> CentralManager::serve_loop() {
       case MsgKind::kDetach: {
         net::Reader r = body_reader(msg);
         const std::uint32_t client = r.u32();
-        if (r.ok()) clients_.erase(client);
+        if (r.ok()) {
+          clients_.erase(client);
+          client_updates_.erase(client);
+        }
         sock_->send(msg.src, make_header(MsgKind::kDetach, env->rid));
         break;
       }
@@ -176,30 +188,106 @@ void CentralManager::handle_imd_register(const net::Message& msg) {
 StripeMap* CentralManager::validate_region(const RegionKey& key) {
   auto it = rd_.find(key);
   if (it == rd_.end()) return nullptr;
-  bool stale = false;
-  for (const RegionLoc& f : it->second.frags) {
-    auto host = iwd_.find(f.host);
-    if (host == iwd_.end() || !host->second.idle ||
-        host->second.epoch != f.epoch) {
-      stale = true;
-      break;
+  // Per-copy §4.3 checkAlloc: a copy is stale as soon as its host left the
+  // epoch it was placed under, or went busy (eviction destroys the pool).
+  // Stale copies are pruned and the survivors keep serving; the region only
+  // dies with a fragment's last copy.
+  bool dead = false;
+  for (ReplicaSet& f : it->second.frags) {
+    auto live = [&](const RegionLoc& c) {
+      auto host = iwd_.find(c.host);
+      return host != iwd_.end() && host->second.idle &&
+             host->second.epoch == c.epoch;
+    };
+    auto first_stale = std::stable_partition(f.replicas.begin(),
+                                             f.replicas.end(), live);
+    for (auto c = first_stale; c != f.replicas.end(); ++c) {
+      queue_pending_free(*c);
+      ++metrics_.replicas_dropped;
     }
+    f.replicas.erase(first_stale, f.replicas.end());
+    if (f.replicas.empty()) dead = true;
   }
-  if (!stale) return &it->second;
-  // Stale: a fragment's workstation was reclaimed (or re-recruited under a
-  // new epoch) since the region was allocated. Delete, per §4.3 checkAlloc.
-  // Sibling fragments whose own host is still alive under their placement
-  // epoch keep pool bytes allocated; queue them for the keep-alive scrub so
-  // they do not leak for the rest of the epoch.
-  for (const RegionLoc& f : it->second.frags) {
-    if (region_may_survive(f)) {
-      pending_frees_.push_back(f);
-      ++metrics_.fragments_pending_free;
-    }
+  if (!dead) return &it->second;
+  // A fragment lost its last copy: the cached region is gone. Delete, and
+  // queue the surviving siblings for the keep-alive scrub so their pool
+  // bytes do not leak for the rest of the epoch.
+  for (const ReplicaSet& f : it->second.frags) {
+    for (const RegionLoc& c : f.replicas) queue_pending_free(c);
   }
   rd_.erase(it);
   ++metrics_.stale_regions_dropped;
   return nullptr;
+}
+
+sim::Co<std::optional<RegionLoc>> CentralManager::place_copy(
+    Bytes64 flen, const std::vector<net::NodeId>& exclude,
+    const std::vector<net::NodeId>& avoid, obs::TraceContext ctx) {
+  // Random host selection among those believed to have room, verifying with
+  // the imd and moving on when the hint was wrong (§4.3 alloc). `exclude`
+  // hosts are never used; `avoid` hosts only when no other host has room.
+  auto in = [](const std::vector<net::NodeId>& v, net::NodeId n) {
+    return std::find(v.begin(), v.end(), n) != v.end();
+  };
+  std::vector<net::NodeId> candidates;
+  for (const auto& [node, info] : iwd_) {
+    if (!info.idle || info.largest_free < flen) continue;
+    if (in(exclude, node) || in(avoid, node)) continue;
+    candidates.push_back(node);
+  }
+  if (candidates.empty()) {
+    for (const auto& [node, info] : iwd_) {
+      if (info.idle && info.largest_free >= flen && !in(exclude, node)) {
+        candidates.push_back(node);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());  // determinism
+
+  while (!candidates.empty()) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng_.below(candidates.size()));
+    const net::NodeId host = candidates[pick];
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    ++metrics_.alloc_attempts;
+    const std::uint64_t rid = rids_.next();
+    const std::uint64_t want_epoch = iwd_[host].epoch;
+    net::Buf req = make_header(MsgKind::kAllocReq, rid, ctx);
+    net::Writer w(req);
+    w.i64(flen);
+    // Epoch guard: a retransmit of this request that straddles an imd
+    // restart must not allocate under the new epoch — we would book the
+    // region under state the imd no longer has, orphaning it.
+    w.u64(want_epoch);
+    auto rep = co_await rpc_call(net_, node_, net::Endpoint{host, kImdCtlPort},
+                                 std::move(req), rid, params_.imd_rpc);
+    if (!rep) {
+      // No reply proves only unreachability, not reclamation — marking the
+      // host busy here would make validate_region drop directory entries
+      // for regions the imd still holds, orphaning their pool bytes until
+      // the next epoch. Zero the size hint instead: the host stops being an
+      // allocation candidate, and the hint self-heals from the next
+      // register/alloc/free/cancel ack once the host is reachable again.
+      DODO_DEBUG("cmd", "alloc rpc to host %u got no reply", host);
+      iwd_[host].largest_free = 0;
+      ++metrics_.alloc_suspects;
+      suspect_allocs_.push_back(SuspectAlloc{host, want_epoch, rid});
+      continue;
+    }
+    net::Reader rr = body_reader(*rep);
+    const bool ok = rr.u8() != 0;
+    const std::uint64_t region_id = rr.u64();
+    const std::uint64_t epoch = rr.u64();
+    const Bytes64 largest = rr.i64();
+    if (!rr.ok()) continue;
+    iwd_[host].epoch = epoch;
+    iwd_[host].largest_free = largest;  // piggybacked hint refresh
+    if (!ok) continue;
+
+    co_return RegionLoc{host, epoch, region_id, flen};
+  }
+  co_return std::nullopt;
 }
 
 sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
@@ -243,13 +331,7 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
     }
     // Length changed: the old cache is useless; drop it and allocate fresh.
     const StripeMap old = *existing;  // validate_region's pointer may dangle
-    if (!co_await free_stripes(key, old, span.ctx())) {
-      // Unacknowledged free against a live same-epoch host: forgetting the
-      // entry would orphan the old region. Keep it and fail this mopen —
-      // the client degrades to disk and may retry later.
-      reply_fail();
-      co_return;
-    }
+    co_await free_stripes(key, old, span.ctx());
     rd_.erase(key);
   }
 
@@ -272,89 +354,51 @@ sim::Co<void> CentralManager::handle_mopen(net::Message msg) {
   StripeMap map;
   map.len = len;
   map.frag_len = frag_len;
-  std::vector<net::NodeId> used;  // hosts already holding a fragment
+  const int copies = std::max(1, params_.replica_count);
+  std::vector<net::NodeId> used;  // hosts already holding any copy
   bool failed = false;
 
   for (std::size_t i = 0; i < nfrags && !failed; ++i) {
     const Bytes64 flen = std::min(frag_len, len - map.frag_base(i));
-    // Random host selection among those believed to have room, verifying
-    // with the imd and moving on when the hint was wrong (§4.3 alloc).
-    // Hosts already carrying a fragment of this stripe are preferred-out so
-    // placement lands on distinct hosts; when no unused host has room the
-    // stripe doubles up rather than failing outright.
-    std::vector<net::NodeId> candidates;
-    for (const auto& [node, info] : iwd_) {
-      if (!info.idle || info.largest_free < flen) continue;
-      if (std::find(used.begin(), used.end(), node) != used.end()) continue;
-      candidates.push_back(node);
-    }
-    if (candidates.empty()) {
-      for (const auto& [node, info] : iwd_) {
-        if (info.idle && info.largest_free >= flen) candidates.push_back(node);
+    ReplicaSet set;
+    for (int rep = 0; rep < copies; ++rep) {
+      // Copies of one fragment must land on distinct hosts — a second copy
+      // on the same host dies with the first. Hosts carrying *other*
+      // fragments of the stripe are only preferred-out: when no fresh host
+      // has room, the stripe doubles up rather than failing outright
+      // (primary) or placing fewer copies (secondaries).
+      std::vector<net::NodeId> siblings;
+      siblings.reserve(set.replicas.size());
+      for (const RegionLoc& c : set.replicas) siblings.push_back(c.host);
+      auto loc = co_await place_copy(flen, siblings, used, span.ctx());
+      if (!loc) {
+        if (rep == 0) {
+          // The mandatory primary could not be placed anywhere: the whole
+          // mopen fails, all-or-nothing.
+          failed = true;
+        } else {
+          // Secondaries are best-effort — serve with fewer copies. Count
+          // every copy that was requested but not placed, so the gauge
+          // reads as the cluster-wide replication deficit.
+          metrics_.replica_shortfalls +=
+              static_cast<std::uint64_t>(copies - rep);
+        }
+        break;
       }
+      if (rep > 0) ++metrics_.replicas_placed;
+      used.push_back(loc->host);
+      set.replicas.push_back(*loc);
     }
-    std::sort(candidates.begin(), candidates.end());  // determinism
-
-    bool placed = false;
-    while (!candidates.empty()) {
-      const std::size_t pick =
-          static_cast<std::size_t>(rng_.below(candidates.size()));
-      const net::NodeId host = candidates[pick];
-      candidates.erase(candidates.begin() +
-                       static_cast<std::ptrdiff_t>(pick));
-
-      ++metrics_.alloc_attempts;
-      const std::uint64_t rid = rids_.next();
-      const std::uint64_t want_epoch = iwd_[host].epoch;
-      net::Buf req = make_header(MsgKind::kAllocReq, rid, span.ctx());
-      net::Writer w(req);
-      w.i64(flen);
-      // Epoch guard: a retransmit of this request that straddles an imd
-      // restart must not allocate under the new epoch — we would book the
-      // region under state the imd no longer has, orphaning it.
-      w.u64(want_epoch);
-      auto rep = co_await rpc_call(net_, node_,
-                                   net::Endpoint{host, kImdCtlPort},
-                                   std::move(req), rid, params_.imd_rpc);
-      if (!rep) {
-        // No reply proves only unreachability, not reclamation — marking the
-        // host busy here would make validate_region drop directory entries
-        // for regions the imd still holds, orphaning their pool bytes until
-        // the next epoch. Zero the size hint instead: the host stops being an
-        // allocation candidate, and the hint self-heals from the next
-        // register/alloc/free/cancel ack once the host is reachable again.
-        DODO_DEBUG("cmd", "alloc rpc to host %u got no reply", host);
-        iwd_[host].largest_free = 0;
-        ++metrics_.alloc_suspects;
-        suspect_allocs_.push_back(SuspectAlloc{host, want_epoch, rid});
-        continue;
-      }
-      net::Reader rr = body_reader(*rep);
-      const bool ok = rr.u8() != 0;
-      const std::uint64_t region_id = rr.u64();
-      const std::uint64_t epoch = rr.u64();
-      const Bytes64 largest = rr.i64();
-      if (!rr.ok()) continue;
-      iwd_[host].epoch = epoch;
-      iwd_[host].largest_free = largest;  // piggybacked hint refresh
-      if (!ok) continue;
-
-      map.frags.push_back(RegionLoc{host, epoch, region_id, flen});
-      used.push_back(host);
-      placed = true;
-      break;
-    }
-    if (!placed) failed = true;
+    map.frags.push_back(std::move(set));
   }
 
   if (failed) {
-    // Roll back whatever was placed; a fragment whose free goes unacked on
-    // a live same-epoch host is handed to the keep-alive scrub.
-    for (const RegionLoc& f : map.frags) {
-      const auto freed = co_await rpc_free_region(key, f, span.ctx());
-      if (!freed.has_value() && region_may_survive(f)) {
-        pending_frees_.push_back(f);
-        ++metrics_.fragments_pending_free;
+    // Roll back whatever was placed; a copy whose free goes unacked on a
+    // live same-epoch host is handed to the keep-alive scrub.
+    for (const ReplicaSet& f : map.frags) {
+      for (const RegionLoc& c : f.replicas) {
+        const auto freed = co_await rpc_free_region(key, c, span.ctx());
+        if (!freed.has_value()) queue_pending_free(c);
       }
     }
     reply_fail();
@@ -414,30 +458,87 @@ sim::Co<std::optional<bool>> CentralManager::rpc_free_region(
 }
 
 bool CentralManager::region_may_survive(const RegionLoc& loc) const {
+  // A host that re-registered under a newer epoch rebuilt its pool, and a
+  // busy host has none — eviction stops the imd and destroys its pool (see
+  // ResourceMonitor::evict) while leaving the epoch untouched until the
+  // next recruit. Only an idle host still in `loc`'s epoch can be holding
+  // the bytes; without the idle check, a copy on an evicted host would sit
+  // in the retry queue forever — a leaked pending-free slot.
   auto it = iwd_.find(loc.host);
-  return it != iwd_.end() && it->second.epoch == loc.epoch;
+  return it != iwd_.end() && it->second.idle &&
+         it->second.epoch == loc.epoch;
 }
 
-sim::Co<bool> CentralManager::free_stripes(const RegionKey& key,
+void CentralManager::queue_pending_free(const RegionLoc& loc) {
+  if (!region_may_survive(loc)) return;  // pool gone; nothing to free
+  pending_frees_.push_back(loc);
+  ++metrics_.fragments_pending_free;
+  // Eager best-effort free: one unacked datagram, no retries, reply ignored
+  // (it lands in serve_loop's default case). Most queued fragments sit on
+  // reachable hosts, and their pool bytes should come back now, not at the
+  // next keep-alive tick — a workload can finish before one fires. The
+  // scrub stays the reliable path; a lost datagram costs nothing, and the
+  // scrub's follow-up free of an already-freed region resolves cleanly.
+  net::Buf req = make_header(MsgKind::kFreeReq, rids_.next());
+  net::Writer w(req);
+  w.u64(loc.imd_region);
+  sock_->send(net::Endpoint{loc.host, kImdCtlPort}, std::move(req));
+}
+
+sim::Co<void> CentralManager::free_stripes(const RegionKey& key,
                                            StripeMap map,
                                            obs::TraceContext ctx) {
-  bool safe = true;
-  for (const RegionLoc& f : map.frags) {
-    const auto freed = co_await rpc_free_region(key, f, ctx);
-    if (!freed.has_value() && region_may_survive(f)) safe = false;
+  // A copy whose free goes unanswered on a live same-epoch host is handed
+  // to the pending-free retry queue, NOT kept in the directory. Re-emplacing
+  // the map would resurrect entries for sibling copies whose frees DID land
+  // (the imd no longer holds them — a dangling directory entry the leak
+  // audit rightly flags); the retry queue tracks exactly the unresolved
+  // copies and resolves each when its host acks, bumps its epoch, or is
+  // evicted. Region ids are never reused within an epoch, so a retried
+  // free that raced a lost ack cannot free a successor region.
+  for (const ReplicaSet& f : map.frags) {
+    for (const RegionLoc& c : f.replicas) {
+      const auto freed = co_await rpc_free_region(key, c, ctx);
+      if (!freed.has_value()) queue_pending_free(c);
+    }
   }
-  co_return safe;
 }
 
 sim::Co<void> CentralManager::scrub_pending_frees() {
   std::vector<RegionLoc> pending = std::move(pending_frees_);
   pending_frees_.clear();
-  std::vector<RegionLoc> keep;
+  // Epoch moved on, or the host was evicted: that incarnation's pool is
+  // gone, nothing to free — the slot resolves without a wire call.
+  std::vector<RegionLoc> live;
   for (const RegionLoc& f : pending) {
-    // Epoch moved on: that incarnation's pool is gone, nothing to free.
-    if (!region_may_survive(f)) continue;
-    const auto freed = co_await rpc_free_region(RegionKey{}, f);
-    if (!freed.has_value() && region_may_survive(f)) keep.push_back(f);
+    if (region_may_survive(f)) {
+      live.push_back(f);
+    } else {
+      ++metrics_.fragments_pending_free_resolved;
+    }
+  }
+  // Fan the frees out: a serial pass would hold every live host's
+  // reclamation hostage to one unreachable host's full RPC retry ladder,
+  // and a quiescing workload can end before a serial pass drains.
+  std::vector<std::uint8_t> answered(live.size(), 0);
+  sim::WaitGroup wg(sim_);
+  wg.add(static_cast<int>(live.size()));
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    sim_.spawn([](CentralManager& cmd, RegionLoc loc, std::uint8_t& got,
+                  sim::WaitGroup& g) -> sim::Co<void> {
+      const auto freed = co_await cmd.rpc_free_region(RegionKey{}, loc);
+      got = freed.has_value() ? 1 : 0;
+      g.done();
+    }(*this, live[i], answered[i], wg));
+  }
+  co_await wg.wait();
+  std::vector<RegionLoc> keep;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (answered[i] == 0 && region_may_survive(live[i])) {
+      keep.push_back(live[i]);
+    } else {
+      ++metrics_.fragments_pending_free_resolved;
+    }
   }
   // Mopens/validations may have queued more fragments while we awaited.
   pending_frees_.insert(pending_frees_.end(), keep.begin(), keep.end());
@@ -455,20 +556,246 @@ sim::Co<void> CentralManager::handle_mfree(net::Message msg) {
     rd_.erase(it);
     ++metrics_.frees;
     ok = true;
-    if (!co_await free_stripes(key, map, span.ctx())) {
-      // Some fragment's free went unanswered by a host still registered
-      // under its epoch: the imd may still hold it. Keep the directory
-      // entry so the bytes remain reclaimable (revalidated, reused, or
-      // re-freed) instead of stranding them in the pool for the rest of
-      // the epoch. The client still gets ok=1 — its contract is "this key
-      // is gone", which holds either way.
-      rd_.emplace(key, map);
-    }
+    co_await free_stripes(key, map, span.ctx());
   }
   net::Buf rep = make_header(MsgKind::kMfreeRep, env->rid);
   net::Writer w(rep);
   w.u8(ok ? 1 : 0);
   reply_cached(msg, env->rid, std::move(rep));
+}
+
+void CentralManager::handle_drop_replica(net::Message msg) {
+  const auto env = peek_envelope(msg);
+  obs::ScopedSpan span(params_.spans, "cmd.drop_replica", env->trace);
+  net::Reader r = body_reader(msg);
+  const RegionKey key = get_key(r);
+  const RegionLoc loc = get_loc(r);
+  auto same = [&](const RegionLoc& c) {
+    return c.host == loc.host && c.epoch == loc.epoch &&
+           c.imd_region == loc.imd_region;
+  };
+  bool ok = false;
+  if (r.ok()) {
+    // The copy may still be a pending (write-only) clone rather than a
+    // directory entry; in either place, it must never serve a read again.
+    for (auto g = pending_grows_.begin(); g != pending_grows_.end(); ++g) {
+      if (g->key == key && same(g->loc)) {
+        queue_pending_free(g->loc);
+        pending_grows_.erase(g);
+        ++metrics_.invalidations;
+        ok = true;
+        break;
+      }
+    }
+    auto it = ok ? rd_.end() : rd_.find(key);
+    if (it != rd_.end()) {
+      for (ReplicaSet& f : it->second.frags) {
+        auto c = std::find_if(f.replicas.begin(), f.replicas.end(), same);
+        if (c == f.replicas.end()) continue;
+        queue_pending_free(*c);
+        f.replicas.erase(c);
+        ++metrics_.invalidations;
+        ok = true;
+        break;
+      }
+      bool dead = false;
+      for (const ReplicaSet& f : it->second.frags) {
+        if (f.replicas.empty()) dead = true;
+      }
+      if (dead) {
+        // The last copy of a fragment missed a write: part of the cached
+        // region is unreachable, so forget the key — the next mopen
+        // allocates fresh instead of reusing a torn cache.
+        for (const ReplicaSet& f : it->second.frags) {
+          for (const RegionLoc& c : f.replicas) queue_pending_free(c);
+        }
+        rd_.erase(it);
+        ++metrics_.stale_regions_dropped;
+      }
+    }
+  }
+  net::Buf rep = make_header(MsgKind::kDropReplicaRep, env->rid);
+  net::Writer w(rep);
+  w.u8(ok ? 1 : 0);
+  reply_cached(msg, env->rid, std::move(rep));
+}
+
+sim::Co<std::optional<std::uint64_t>> CentralManager::rpc_clone(
+    const RegionLoc& dst, const RegionLoc& src, obs::TraceContext ctx) {
+  const std::uint64_t rid = rids_.next();
+  net::Buf req = make_header(MsgKind::kCloneReq, rid, ctx);
+  net::Writer w(req);
+  w.u64(dst.imd_region);
+  // Same epoch guard as alloc: a retransmit straddling an imd restart must
+  // not touch the rebuilt pool.
+  w.u64(dst.epoch);
+  put_loc(w, src);
+  auto rep = co_await rpc_call(net_, node_, net::Endpoint{dst.host, kImdCtlPort},
+                               std::move(req), rid, params_.imd_rpc);
+  if (!rep) co_return std::nullopt;
+  net::Reader rr = body_reader(*rep);
+  const bool ok = rr.u8() != 0;
+  const std::uint64_t src_gen = rr.u64();
+  const std::uint64_t epoch = rr.u64();
+  const Bytes64 largest = rr.i64();
+  if (!rr.ok()) co_return std::nullopt;
+  iwd_[dst.host].epoch = epoch;
+  iwd_[dst.host].largest_free = largest;
+  if (!ok) co_return std::nullopt;
+  co_return src_gen;
+}
+
+sim::Co<std::optional<std::uint64_t>> CentralManager::probe_write_gen(
+    const RegionLoc& loc) {
+  auto sock = net_.open_ephemeral(node_);
+  const std::uint64_t rid = rids_.next();
+  net::Buf req = make_header(MsgKind::kReadReq, rid);
+  net::Writer w(req);
+  w.u64(loc.imd_region);
+  w.u64(loc.epoch);
+  w.i64(0);  // offset
+  w.i64(0);  // zero-length: pure generation sample, no payload
+  sock->send(net::Endpoint{loc.host, kImdDataPort}, std::move(req));
+  auto rep = co_await sock->recv_for(params_.imd_rpc.timeout);
+  if (!rep) co_return std::nullopt;
+  net::Reader rr = body_reader(*rep);
+  const std::uint8_t code = rr.u8();
+  (void)rr.i64();       // avail
+  (void)rr.u8();        // filled
+  (void)rr.i64();       // written prefix
+  const std::uint64_t gen = rr.u64();
+  if (!rr.ok() || code != 0) co_return std::nullopt;
+  // Drain the imd's (empty) bulk blast so its handler completes cleanly.
+  auto got = co_await net::bulk_recv(*sock, rid, net::BulkParams{}, {});
+  if (!got.status.is_ok()) co_return std::nullopt;
+  co_return gen;
+}
+
+sim::Co<void> CentralManager::grow_region(RegionKey key) {
+  obs::ScopedSpan span(params_.spans, "cmd.replica_grow");
+  const std::size_t nfrags = [&] {
+    auto it = rd_.find(key);
+    return it == rd_.end() ? std::size_t{0} : it->second.frags.size();
+  }();
+  for (std::size_t i = 0; i < nfrags; ++i) {
+    // Re-find each round: every await below can invalidate the entry.
+    auto it = rd_.find(key);
+    if (it == rd_.end() || i >= it->second.frags.size()) co_return;
+    const ReplicaSet& f = it->second.frags[i];
+    if (f.replicas.empty()) continue;
+    std::size_t have = f.replicas.size();
+    std::vector<net::NodeId> exclude;
+    for (const RegionLoc& c : f.replicas) exclude.push_back(c.host);
+    for (const PendingGrow& g : pending_grows_) {
+      if (g.key == key && g.frag == i) {
+        ++have;
+        exclude.push_back(g.loc.host);
+      }
+    }
+    if (have >= static_cast<std::size_t>(std::max(1, params_.replica_max))) {
+      continue;
+    }
+    const RegionLoc src = f.replicas.front();
+    auto loc = co_await place_copy(src.len, exclude, {}, span.ctx());
+    if (!loc) {
+      ++metrics_.replica_shortfalls;
+      continue;
+    }
+    auto src_gen = co_await rpc_clone(*loc, src, span.ctx());
+    if (!src_gen) {
+      ++metrics_.clone_failures;
+      const auto freed = co_await rpc_free_region(key, *loc, span.ctx());
+      if (!freed.has_value()) queue_pending_free(*loc);
+      continue;
+    }
+    pending_grows_.push_back(PendingGrow{key, i, *loc, src, *src_gen, false});
+  }
+}
+
+void CentralManager::shrink_region(const RegionKey& key) {
+  auto it = rd_.find(key);
+  if (it == rd_.end()) return;
+  for (std::size_t i = 0; i < it->second.frags.size(); ++i) {
+    auto& reps = it->second.frags[i].replicas;
+    if (reps.size() <= 1) continue;  // the primary never shrinks away
+    const RegionLoc victim = reps.back();
+    reps.pop_back();
+    queue_pending_free(victim);
+    ++metrics_.replicas_shrunk;
+    // Tell the owner to stop writing the released copy. A client whose ping
+    // misses the drop self-heals: its next write to the freed region fails,
+    // it reports a kDropReplicaReq, and prunes the copy locally.
+    client_updates_[key.client].push_back(ReplicaUpdate{
+        static_cast<std::uint8_t>(ReplicaUpdateOp::kDrop), key,
+        static_cast<std::uint32_t>(i), victim});
+  }
+}
+
+sim::Co<void> CentralManager::adapt_replicas() {
+  if (!params_.replica_adapt) co_return;
+  // Phase 1 — settle pending clones. A clone activates only once (a) the
+  // owning client acked the write-only add, so every write from then on
+  // reaches the copy, and (b) the writes the source saw since the snapshot
+  // all reached the copy too: src_gen_now - src_gen_snapshot must equal the
+  // copy's own write generation. Anything else is (conservatively) dropped —
+  // a copy that might have missed a write is never served.
+  std::vector<PendingGrow> grows = std::move(pending_grows_);
+  pending_grows_.clear();
+  for (PendingGrow& g : grows) {
+    auto entry_live = [&] {
+      auto it = rd_.find(g.key);
+      return it != rd_.end() && g.frag < it->second.frags.size() &&
+             !it->second.frags[g.frag].replicas.empty();
+    };
+    if (!entry_live()) {
+      // The region was freed or died while the clone was pending.
+      const auto freed = co_await rpc_free_region(g.key, g.loc);
+      if (!freed.has_value()) queue_pending_free(g.loc);
+      ++metrics_.clone_failures;
+      continue;
+    }
+    if (!g.acked) {
+      pending_grows_.push_back(g);  // re-offered on the next ping
+      continue;
+    }
+    const auto src_gen = co_await probe_write_gen(g.src);
+    const auto copy_gen = co_await probe_write_gen(g.loc);
+    const bool consistent = src_gen.has_value() && copy_gen.has_value() &&
+                            *src_gen - g.src_gen == *copy_gen;
+    if (consistent && entry_live()) {
+      auto it = rd_.find(g.key);
+      it->second.frags[g.frag].replicas.push_back(g.loc);
+      ++metrics_.replicas_grown;
+      client_updates_[g.key.client].push_back(ReplicaUpdate{
+          static_cast<std::uint8_t>(ReplicaUpdateOp::kActivate), g.key,
+          static_cast<std::uint32_t>(g.frag), g.loc});
+    } else {
+      const auto freed = co_await rpc_free_region(g.key, g.loc);
+      if (!freed.has_value()) queue_pending_free(g.loc);
+      ++metrics_.clone_failures;
+      client_updates_[g.key.client].push_back(ReplicaUpdate{
+          static_cast<std::uint8_t>(ReplicaUpdateOp::kDrop), g.key,
+          static_cast<std::uint32_t>(g.frag), g.loc});
+    }
+  }
+  // Phase 2 — hot/cold decisions from the window's reported read hits,
+  // visited in deterministic key order.
+  std::vector<std::pair<RegionKey, std::uint64_t>> window(hits_.begin(),
+                                                          hits_.end());
+  hits_.clear();
+  std::sort(window.begin(), window.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(a.first.inode, a.first.offset, a.first.client) <
+                     std::tie(b.first.inode, b.first.offset, b.first.client);
+            });
+  for (const auto& [key, hits] : window) {
+    if (rd_.find(key) == rd_.end()) continue;
+    if (hits >= params_.replica_grow_hits) {
+      co_await grow_region(key);
+    } else if (hits <= params_.replica_shrink_hits) {
+      shrink_region(key);
+    }
+  }
 }
 
 sim::Co<void> CentralManager::scrub_suspect_allocs() {
@@ -516,14 +843,12 @@ sim::Co<void> CentralManager::reclaim_client(std::uint32_t client) {
     if (key.client == client) victims.emplace_back(key, map);
   }
   for (const auto& [key, map] : victims) {
-    if (co_await free_stripes(key, map)) {
-      rd_.erase(key);
-      ++metrics_.regions_reclaimed;
-    }
-    // else: some fragment's free went unacknowledged at a live same-epoch
-    // host — keep the entry; a later reclaim or epoch bump will release it.
+    co_await free_stripes(key, map);
+    rd_.erase(key);
+    ++metrics_.regions_reclaimed;
   }
   clients_.erase(client);
+  client_updates_.erase(client);
   DODO_INFO("cmd", "reclaimed %zu regions of dead client %u", victims.size(),
             client);
 }
@@ -543,6 +868,15 @@ obs::MetricsSnapshot CentralManager::metrics_snapshot() const {
   out.set_counter("cmd.striped_regions", metrics_.striped_regions);
   out.set_counter("cmd.fragments_pending_free",
                   metrics_.fragments_pending_free);
+  out.set_counter("cmd.fragments_pending_free_resolved",
+                  metrics_.fragments_pending_free_resolved);
+  out.set_counter("cmd.replicas_placed", metrics_.replicas_placed);
+  out.set_counter("cmd.replica_shortfalls", metrics_.replica_shortfalls);
+  out.set_counter("cmd.replicas_grown", metrics_.replicas_grown);
+  out.set_counter("cmd.replicas_shrunk", metrics_.replicas_shrunk);
+  out.set_counter("cmd.clone_failures", metrics_.clone_failures);
+  out.set_counter("cmd.replicas_dropped", metrics_.replicas_dropped);
+  out.set_counter("cmd.invalidations", metrics_.invalidations);
   out.set_counter("cmd.pings_sent", metrics_.pings_sent);
   out.set_counter("cmd.clients_reclaimed", metrics_.clients_reclaimed);
   out.set_counter("cmd.regions_reclaimed", metrics_.regions_reclaimed);
@@ -559,6 +893,8 @@ obs::MetricsSnapshot CentralManager::metrics_snapshot() const {
                 static_cast<std::int64_t>(suspect_allocs_.size()));
   out.set_gauge("cmd.pending_frees",
                 static_cast<std::int64_t>(pending_frees_.size()));
+  out.set_gauge("cmd.pending_grows",
+                static_cast<std::int64_t>(pending_grows_.size()));
   out.set_gauge("cmd.reply_cache_size",
                 static_cast<std::int64_t>(reply_cache_.size()));
   return out;
@@ -618,17 +954,76 @@ sim::Co<void> CentralManager::keepalive_loop() {
       const std::uint64_t rid = rids_.next();
       ++metrics_.pings_sent;
       obs::ScopedSpan span(params_.spans, "cmd.ping");
-      auto rep = co_await rpc_call(net_, node_, control,
-                                   make_header(MsgKind::kPing, rid, span.ctx()),
-                                   rid, params_.ping_rpc);
+      net::Buf ping = make_header(MsgKind::kPing, rid, span.ctx());
+      // Piggyback replica-set deltas: unacked write-only adds (resent every
+      // tick until the client acks) followed by queued activates/drops.
+      std::vector<ReplicaUpdate> updates;
+      for (const PendingGrow& g : pending_grows_) {
+        if (g.key.client == id && !g.acked) {
+          updates.push_back(ReplicaUpdate{
+              static_cast<std::uint8_t>(ReplicaUpdateOp::kAddWriteOnly),
+              g.key, static_cast<std::uint32_t>(g.frag), g.loc});
+        }
+      }
+      std::size_t requeue_from = updates.size();
+      if (auto qit = client_updates_.find(id); qit != client_updates_.end()) {
+        updates.insert(updates.end(), qit->second.begin(), qit->second.end());
+        client_updates_.erase(qit);
+      }
+      {
+        net::Writer w(ping);
+        w.u32(static_cast<std::uint32_t>(updates.size()));
+        for (const ReplicaUpdate& u : updates) {
+          w.u8(u.op);
+          put_key(w, u.key);
+          w.u32(u.frag);
+          put_loc(w, u.loc);
+        }
+      }
+      auto rep = co_await rpc_call(net_, node_, control, std::move(ping), rid,
+                                   params_.ping_rpc);
       auto it = clients_.find(id);
       if (it == clients_.end()) continue;
       if (rep) {
         it->second.missed = 0;
-      } else if (++it->second.missed > params_.keepalive_miss_limit) {
-        co_await reclaim_client(id);
+        // kPong piggyback: acks for applied write-only adds, then per-region
+        // read-hit deltas feeding the adaptation window.
+        net::Reader r = body_reader(*rep);
+        const std::uint32_t nacks = r.u32();
+        for (std::uint32_t i = 0; i < nacks && r.ok(); ++i) {
+          const RegionKey key = get_key(r);
+          const std::uint32_t frag = r.u32();
+          const RegionLoc loc = get_loc(r);
+          if (!r.ok()) break;
+          for (PendingGrow& g : pending_grows_) {
+            if (g.key == key && g.frag == frag && g.loc.host == loc.host &&
+                g.loc.epoch == loc.epoch &&
+                g.loc.imd_region == loc.imd_region) {
+              g.acked = true;
+            }
+          }
+        }
+        const std::uint32_t nstats = r.u32();
+        for (std::uint32_t i = 0; i < nstats && r.ok(); ++i) {
+          const RegionKey key = get_key(r);
+          const std::uint64_t hits = r.u64();
+          if (r.ok()) hits_[key] += hits;
+        }
+      } else {
+        // Activates/drops the client never saw must not be lost (an unacked
+        // drop would leave it writing a freed copy until self-heal kicks
+        // in); re-queue them for the next tick. The write-only adds re-derive
+        // from pending_grows_ anyway.
+        if (requeue_from < updates.size()) {
+          auto& q = client_updates_[id];
+          q.insert(q.begin(), updates.begin() + requeue_from, updates.end());
+        }
+        if (++it->second.missed > params_.keepalive_miss_limit) {
+          co_await reclaim_client(id);
+        }
       }
     }
+    co_await adapt_replicas();
   }
   loops_.done();
 }

@@ -46,6 +46,21 @@ struct CmdParams {
   /// Regions are never split into fragments smaller than this; small
   /// regions therefore stay whole regardless of the width.
   Bytes64 stripe_min_fragment = 64_KiB;
+  /// Replication policy: each fragment is placed as up to `replica_count`
+  /// copies on distinct idle hosts (composable with striping — width 4 at 2
+  /// replicas occupies 8 placements). The primary copy is mandatory
+  /// (placement fails and rolls back without it); extra copies are
+  /// best-effort when the cluster has no distinct host with room.
+  int replica_count = 1;
+  /// Ditto-style elasticity: when enabled, the keep-alive loop grows a
+  /// fragment's replica set (cloning from a live sibling) once the region's
+  /// per-window read hits reach replica_grow_hits, and shrinks cold regions
+  /// (hits <= replica_shrink_hits) back toward one copy. Replica counts stay
+  /// within [1, replica_max].
+  bool replica_adapt = false;
+  int replica_max = 4;
+  std::uint64_t replica_grow_hits = 64;
+  std::uint64_t replica_shrink_hits = 4;
   /// Duplicate-suppression cache bound; FIFO eviction of the oldest entry
   /// (see ImdParams::reply_cache_capacity for why clear-all is wrong).
   std::size_t reply_cache_capacity = 8192;
@@ -71,6 +86,27 @@ struct CmdMetrics {
   /// while their own host stayed healthy; freed lazily by the keep-alive
   /// scrub so no pool bytes leak.
   std::uint64_t fragments_pending_free = 0;
+  /// Pending frees that left the retry queue: the imd acknowledged the
+  /// free, or the copy provably cannot have survived (host re-registered
+  /// under a newer epoch, or was evicted — a busy host has no pool). The
+  /// retry accounting invariant is
+  ///   fragments_pending_free - fragments_pending_free_resolved
+  ///     == pending_frees_.size().
+  std::uint64_t fragments_pending_free_resolved = 0;
+  /// Secondary copies placed at mopen (beyond each fragment's primary).
+  std::uint64_t replicas_placed = 0;
+  /// Secondary copies wanted but skipped: no distinct idle host had room.
+  std::uint64_t replica_shortfalls = 0;
+  /// Elastic replication (replica_adapt).
+  std::uint64_t replicas_grown = 0;    // clones verified and activated
+  std::uint64_t replicas_shrunk = 0;   // cold copies released
+  std::uint64_t clone_failures = 0;    // clone rejected, lost, or stale
+  /// Copies pruned from a replica set because their host left the epoch it
+  /// was placed under (validate_region) — the read path's failover source.
+  std::uint64_t replicas_dropped = 0;
+  /// kDropReplicaReq honored: a client could not write one copy, so the
+  /// copy left the directory before it could ever serve the stale bytes.
+  std::uint64_t invalidations = 0;
   std::uint64_t pings_sent = 0;
   std::uint64_t clients_reclaimed = 0;
   std::uint64_t regions_reclaimed = 0;
@@ -98,6 +134,12 @@ class CentralManager {
   }
   [[nodiscard]] const CmdMetrics& metrics() const { return metrics_; }
   [[nodiscard]] std::size_t region_count() const { return rd_.size(); }
+  /// Unresolved pending-free retry slots. Tests pin the accounting
+  /// invariant: fragments_pending_free - fragments_pending_free_resolved
+  /// must equal this at quiesce (a leaked slot breaks the equality).
+  [[nodiscard]] std::size_t pending_free_count() const {
+    return pending_frees_.size();
+  }
   [[nodiscard]] std::size_t idle_host_count() const;
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
 
@@ -151,6 +193,10 @@ class CentralManager {
   void handle_checkalloc(const net::Message& msg);
   void handle_host_status(const net::Message& msg);
   void handle_imd_register(const net::Message& msg);
+  /// Invalidate-on-write: drops the named copy from its replica set (the
+  /// client could not write it, so serving it would break the clean-cache
+  /// contract). A fragment losing its last copy kills the whole entry.
+  void handle_drop_replica(net::Message msg);
 
   /// checkAlloc core: validates a RD entry against the IWD epochs; a region
   /// is stale as soon as ANY fragment's host left the epoch it was placed
@@ -158,15 +204,50 @@ class CentralManager {
   /// lazy free) and nullptr returned.
   StripeMap* validate_region(const RegionKey& key);
 
-  /// Frees every fragment of `map` at its imd. Returns true when the entry
-  /// is safe to forget: each fragment either acknowledged the free or
-  /// cannot have survived (host re-registered under a newer epoch). Any
-  /// unacknowledged fragment that may survive is queued on pending_frees_.
-  sim::Co<bool> free_stripes(const RegionKey& key, StripeMap map,
+  /// Frees every copy of every fragment of `map` at its imd. On return the
+  /// entry is always safe to forget: each copy either acknowledged the
+  /// free, cannot have survived (host re-registered under a newer epoch, or
+  /// was evicted), or sits on pending_frees_ for retry. Callers must erase
+  /// the directory entry — keeping it would resurrect copies whose frees
+  /// landed, which the leak audit reports as dangling.
+  sim::Co<void> free_stripes(const RegionKey& key, StripeMap map,
                              obs::TraceContext ctx = {});
 
   /// Retries the frees queued by free_stripes/validate_region rollbacks.
   sim::Co<void> scrub_pending_frees();
+
+  /// Queues `loc` for the keep-alive scrub iff its pool bytes may still be
+  /// allocated; a copy that cannot have survived resolves immediately so
+  /// the pending-free accounting never leaks a slot.
+  void queue_pending_free(const RegionLoc& loc);
+
+  // -- elastic replication (replica_adapt) ----------------------------------
+  /// One keep-alive tick of Ditto-style adaptation: grows hot regions (read
+  /// hits >= replica_grow_hits in the window) by cloning a live copy onto a
+  /// fresh host, shrinks cold ones (hits <= replica_shrink_hits) toward one
+  /// copy, and verifies/activates clones the owning client has acked.
+  sim::Co<void> adapt_replicas();
+  sim::Co<void> grow_region(RegionKey key);
+  void shrink_region(const RegionKey& key);
+
+  /// Allocates one `flen`-byte copy on a random idle host with room,
+  /// verifying with the imd and moving on when the hint was wrong (§4.3
+  /// alloc). `exclude` hosts are never candidates; `avoid` hosts only when
+  /// no other host has room. nullopt when no candidate worked.
+  sim::Co<std::optional<RegionLoc>> place_copy(
+      Bytes64 flen, const std::vector<net::NodeId>& exclude,
+      const std::vector<net::NodeId>& avoid, obs::TraceContext ctx);
+
+  /// Tells dst's imd to fill region `dst.imd_region` with the bytes of the
+  /// live sibling `src` (kCloneReq). Returns the source's write generation
+  /// at the snapshot, or nullopt on failure.
+  sim::Co<std::optional<std::uint64_t>> rpc_clone(const RegionLoc& dst,
+                                                  const RegionLoc& src,
+                                                  obs::TraceContext ctx);
+
+  /// Zero-length data-plane read against `loc`: samples the region's write
+  /// generation (nullopt when the imd does not answer or refuses).
+  sim::Co<std::optional<std::uint64_t>> probe_write_gen(const RegionLoc& loc);
 
   /// Frees a region at its imd. Returns the imd's ok flag, or nullopt when
   /// no reply arrived — in which case the imd may still hold the region and
@@ -209,6 +290,38 @@ class CentralManager {
   /// the imd may still hold them (unacked free, or a partially placed
   /// stripe that was rolled back). Scrubbed from keepalive_loop.
   std::vector<RegionLoc> pending_frees_;
+
+  /// Per-region read hits reported by the owning client's kPong piggyback;
+  /// consumed (and reset) by each adaptation tick.
+  std::unordered_map<RegionKey, std::uint64_t, RegionKeyHash> hits_;
+
+  /// A clone that completed but is not yet proven write-consistent. The
+  /// copy is NOT in rd_ (so it is never served); the owning client learns
+  /// it as a write-only replica via the next kPing, acks on kPong, and only
+  /// when the source's write generation still equals the snapshot's does
+  /// the copy activate into the directory — any write the copy could have
+  /// missed forces a drop instead (never served stale).
+  struct PendingGrow {
+    RegionKey key;
+    std::size_t frag = 0;
+    RegionLoc loc;
+    RegionLoc src;
+    std::uint64_t src_gen = 0;
+    bool acked = false;  // client fans writes out to the copy from now on
+  };
+  std::vector<PendingGrow> pending_grows_;
+
+  /// Directory deltas (activate/drop) to piggyback on the next kPing to
+  /// each client, keyed by client id. Add-write-only deltas are derived
+  /// from pending_grows_ at ping time instead (resent until acked).
+  struct ReplicaUpdate {
+    std::uint8_t op = 0;  // ReplicaUpdateOp
+    RegionKey key;
+    std::uint32_t frag = 0;
+    RegionLoc loc;
+  };
+  std::unordered_map<std::uint32_t, std::vector<ReplicaUpdate>>
+      client_updates_;
 
   /// Duplicate-request suppression: a client retransmits an RPC whose reply
   /// was lost; replaying the cached reply keeps non-idempotent operations

@@ -66,6 +66,7 @@ sim::Co<void> IdleMemoryDaemon::stop() {
   reply_order_.clear();
   data_seen_.clear();
   data_seen_order_.clear();
+  clones_inflight_.clear();
   running_ = false;
 }
 
@@ -111,6 +112,15 @@ sim::Co<void> IdleMemoryDaemon::control_loop() {
         break;
       case MsgKind::kFreeReq:
         handle_free(msg, body_reader(msg));
+        break;
+      case MsgKind::kCloneReq:
+        if (auto it = reply_cache_.find(env->rid); it != reply_cache_.end()) {
+          ++metrics_.reply_cache_hits;
+          ctl_sock_->send(msg.src, it->second);
+        } else if (clones_inflight_.insert(env->rid).second) {
+          inflight_.add();
+          sim_.spawn(handle_clone(std::move(msg)));
+        }
         break;
       case MsgKind::kStatsReq:
         handle_stats(msg);
@@ -346,6 +356,12 @@ sim::Co<void> IdleMemoryDaemon::handle_read(net::Message req) {
   w.u8(static_cast<std::uint8_t>(Err::kOk));
   w.i64(n);
   w.u8(filled ? 1 : 0);
+  // Snapshot trailers for the replica machinery: the written prefix and
+  // write generation as of the same instant the payload slice is taken
+  // below (no suspend between here and the copy), so a clone adopting them
+  // gets a consistent (bytes, prefix, generation) triple.
+  w.i64(it->second.written_prefix);
+  w.u64(it->second.write_gen);
   hsock->send(req.src, std::move(rep));
 
   // Copy the requested slice before suspending: the cmd may free this
@@ -419,6 +435,7 @@ sim::Co<void> IdleMemoryDaemon::handle_write(net::Message req) {
           it2->second.written_prefix =
               std::max(it2->second.written_prefix, off + n);
         }
+        ++it2->second.write_gen;
         ++metrics_.writes_served;
         metrics_.bytes_written += n;
         fill_latency_.observe(sim_.now() - t0);
@@ -430,6 +447,77 @@ sim::Co<void> IdleMemoryDaemon::handle_write(net::Message req) {
   w.u8(static_cast<std::uint8_t>(code));
   w.i64(code == Err::kOk ? n : 0);
   hsock->send(req.src, std::move(rep));
+  inflight_.done();
+}
+
+sim::Co<void> IdleMemoryDaemon::handle_clone(net::Message req) {
+  const auto env = peek_envelope(req);
+  obs::ScopedSpan span(params_.spans, "imd.clone", env->trace);
+  net::Reader r = body_reader(req);
+  const std::uint64_t dst_id = r.u64();
+  const std::uint64_t want_epoch = r.u64();
+  const RegionLoc src = get_loc(r);
+
+  bool ok = false;
+  std::uint64_t src_gen = 0;
+  const bool valid = r.ok() && want_epoch == epoch_ && !stopping_ &&
+                     regions_.find(dst_id) != regions_.end() && src.len > 0;
+  if (valid) {
+    // Read the source replica through the regular data plane, exactly as a
+    // client would: header, then the §4.4 bulk blast. The source snapshots
+    // (bytes, written prefix, write generation) atomically at ReadRep time.
+    auto sock = net_.open_ephemeral(node_);
+    net::Buf h = make_header(MsgKind::kReadReq, env->rid, span.ctx());
+    net::Writer w(h);
+    w.u64(src.imd_region);
+    w.u64(src.epoch);
+    w.i64(0);
+    w.i64(src.len);
+    sock->send(net::Endpoint{src.host, kImdDataPort}, std::move(h));
+    auto rep = co_await sock->recv_for(params_.clone_read_timeout);
+    if (rep) {
+      net::Reader rr = body_reader(*rep);
+      const auto code = static_cast<Err>(rr.u8());
+      const Bytes64 avail = rr.i64();
+      (void)rr.u8();  // filled flag; the prefix below is authoritative
+      const Bytes64 src_prefix = rr.i64();
+      const std::uint64_t gen = rr.u64();
+      if (rr.ok() && code == Err::kOk && avail == src.len) {
+        auto got =
+            co_await net::bulk_recv(*sock, env->rid, params_.bulk, span.ctx());
+        // Re-resolve across the awaits: the cmd may have freed the
+        // destination while the transfer was in flight.
+        auto it = regions_.find(dst_id);
+        if (got.status.is_ok() && got.size == avail && it != regions_.end() &&
+            it->second.len == avail) {
+          if (params_.materialize && !got.data.empty()) {
+            std::copy(got.data.begin(), got.data.end(),
+                      it->second.data.begin());
+          }
+          // Adopt the source's trust boundary; the copy's own generation
+          // restarts at zero so the cmd can count the writes it receives
+          // from the moment the owning client learns of it.
+          it->second.written_prefix = std::min(src_prefix, it->second.len);
+          it->second.write_gen = 0;
+          ok = true;
+          src_gen = gen;
+        }
+      }
+    }
+  }
+  if (ok) {
+    ++metrics_.clones_served;
+  } else {
+    ++metrics_.clone_failures;
+  }
+  net::Buf rep = make_header(MsgKind::kCloneRep, env->rid);
+  net::Writer w(rep);
+  w.u8(ok ? 1 : 0);
+  w.u64(src_gen);
+  w.u64(epoch_);
+  w.i64(pool_.largest_free());
+  clones_inflight_.erase(env->rid);
+  reply_cached_or(req, env->rid, std::move(rep));
   inflight_.done();
 }
 
@@ -460,6 +548,8 @@ obs::MetricsSnapshot IdleMemoryDaemon::metrics_snapshot() const {
   out.set_counter("imd.reply_cache_evictions",
                   metrics_.reply_cache_evictions);
   out.set_counter("imd.dup_requests_dropped", metrics_.dup_requests_dropped);
+  out.set_counter("imd.clones_served", metrics_.clones_served);
+  out.set_counter("imd.clone_failures", metrics_.clone_failures);
   out.set_gauge("imd.reply_cache_size",
                 static_cast<std::int64_t>(reply_cache_.size()));
   out.set_gauge("imd.pool_bytes", pool_.pool_size());

@@ -57,6 +57,10 @@ struct ImdParams {
   /// a fresh ephemeral port + fresh rid per operation, so a repeat of the
   /// pair can only be the same datagram delivered twice.
   std::size_t data_dedup_capacity = 1024;
+  /// How long a kCloneReq handler waits for the source imd's ReadRep before
+  /// reporting failure. No retries here: the cmd owns the retry loop and a
+  /// failed clone is just dropped conservatively.
+  Duration clone_read_timeout = millis(500);
   /// Optional trace-span sink (not owned). Null disables span recording.
   obs::SpanRecorder* spans = nullptr;
 };
@@ -83,6 +87,11 @@ struct ImdMetrics {
   /// Duplicate data-plane requests (same src endpoint + rid) dropped by the
   /// dedup window instead of spawning a second read/write handler.
   std::uint64_t dup_requests_dropped = 0;
+  /// kCloneReq outcomes: regions filled from a live sibling replica vs.
+  /// clones that failed (source unreachable, short transfer, region freed
+  /// mid-clone) and were reported back as such.
+  std::uint64_t clones_served = 0;
+  std::uint64_t clone_failures = 0;
 };
 
 class IdleMemoryDaemon {
@@ -151,6 +160,10 @@ class IdleMemoryDaemon {
     /// Rid of the kAllocReq that created this region, so kAllocCancel can
     /// release a region whose alloc reply never reached the cmd.
     std::uint64_t alloc_rid = 0;
+    /// Completed client writes to this region. Rides every ReadRep: the cmd
+    /// snapshots it when cloning a replica and later compares generations to
+    /// prove the clone missed no write before activating it.
+    std::uint64_t write_gen = 0;
   };
 
   sim::Co<void> control_loop();
@@ -158,6 +171,12 @@ class IdleMemoryDaemon {
   sim::Co<void> coalesce_loop();
   sim::Co<void> handle_read(net::Message req);
   sim::Co<void> handle_write(net::Message req);
+  /// kCloneReq: fills a freshly allocated local region with the bytes of a
+  /// live sibling replica via the data plane (kReadReq + bulk against the
+  /// source imd), adopting the source's written prefix. Async because it
+  /// performs a network transfer; duplicates of an in-flight rid are dropped
+  /// (clones_inflight_) and completed ones replay from the reply cache.
+  sim::Co<void> handle_clone(net::Message req);
 
   void handle_alloc(const net::Message& msg, net::Reader r);
   void handle_alloc_cancel(const net::Message& msg, net::Reader r);
@@ -200,6 +219,10 @@ class IdleMemoryDaemon {
   bool data_request_is_duplicate(const net::Message& msg, std::uint64_t rid);
   std::set<DataKey> data_seen_;
   std::deque<DataKey> data_seen_order_;
+
+  /// Rids of kCloneReq handlers still running, so a retransmit that arrives
+  /// before the clone finishes does not spawn a twin transfer.
+  std::set<std::uint64_t> clones_inflight_;
 
   std::unique_ptr<net::Socket> ctl_sock_;
   std::unique_ptr<net::Socket> data_sock_;

@@ -50,6 +50,13 @@ enum class MsgKind : std::uint8_t {
   // so an even later retransmit cannot re-execute.
   kAllocCancel = 14,
   kAllocCancelRep = 15,
+  // Replica grow: the cmd tells an imd to fill a freshly allocated region
+  // with the bytes of a live sibling replica. The imd acts as a data-plane
+  // reader against the source host (kReadReq + bulk), then adopts the
+  // source's written prefix so the copy is never more trustworthy than the
+  // original. Body: u64 dst region id, RegionLoc of the source replica.
+  kCloneReq = 16,
+  kCloneRep = 17,
   // client -> cmd and replies
   kMopenReq = 20,
   kMopenRep = 21,
@@ -58,7 +65,18 @@ enum class MsgKind : std::uint8_t {
   kMfreeReq = 24,
   kMfreeRep = 25,
   kDetach = 26,  // client exits but leaves its regions cached (dmine mode)
-  // cmd <-> client keep-alive
+  // Invalidate-on-write: a client that could not write one replica of a
+  // fragment reports it so the directory drops that copy — a replica that
+  // misses an invalidation must never be served again (clean-cache
+  // contract). Body: RegionKey + the stale RegionLoc.
+  kDropReplicaReq = 27,
+  kDropReplicaRep = 28,
+  // cmd <-> client keep-alive. kPing piggybacks replica-set deltas for the
+  // client's live descriptors (u32 n, then n x {u8 ReplicaUpdateOp,
+  // RegionKey, u32 fragment index, RegionLoc}); kPong piggybacks the acks
+  // for applied add-write-only deltas (u32 n, n x {RegionKey, u32 fragment
+  // index, RegionLoc}) followed by per-region read-hit deltas (u32 n, n x
+  // {RegionKey, u64 hits}) that drive Ditto-style replica adaptation.
   kPing = 30,
   kPong = 31,
   // client -> imd data plane and replies
@@ -76,6 +94,16 @@ enum class MsgKind : std::uint8_t {
   kStatsRep = 51,
   // never on the wire: injected locally to wake a daemon loop for shutdown
   kShutdownSentinel = 255,
+};
+
+/// Replica-set delta piggybacked on the keep-alive exchange. A grown copy
+/// arrives write-only first (the client fans writes out to it but never
+/// reads it), activates once the cmd proves it missed no write, and drops
+/// when invalidated or shrunk.
+enum class ReplicaUpdateOp : std::uint8_t {
+  kAddWriteOnly = 0,
+  kActivate = 1,
+  kDrop = 2,
 };
 
 /// Region key in the central manager's region directory: (inode of backing
@@ -107,14 +135,31 @@ struct RegionLoc {
   Bytes64 len = 0;
 };
 
-/// A region striped across one or more imds. Fragment i covers bytes
-/// [i*frag_len, i*frag_len + frags[i].len) of the region; every fragment is
-/// exactly frag_len bytes except possibly the last. Width 1 (the paper's
-/// layout) is one fragment holding the whole region.
+/// All copies of one fragment. replicas[0] is the primary (the copy the
+/// placement loop sat down first); every replica holds the same byte range
+/// on a distinct host. A fragment with an empty set no longer exists
+/// remotely. All replicas share the same length.
+struct ReplicaSet {
+  std::vector<RegionLoc> replicas;
+
+  [[nodiscard]] Bytes64 len() const {
+    return replicas.empty() ? 0 : replicas.front().len;
+  }
+  [[nodiscard]] const RegionLoc& primary() const { return replicas.front(); }
+  [[nodiscard]] std::size_t size() const { return replicas.size(); }
+  [[nodiscard]] bool empty() const { return replicas.empty(); }
+};
+
+/// A region striped across one or more imds, each fragment carried by a
+/// ReplicaSet of one or more copies. Fragment i covers bytes
+/// [i*frag_len, i*frag_len + frags[i].len()) of the region; every fragment
+/// is exactly frag_len bytes except possibly the last. Width 1 with a
+/// single replica (the paper's layout) is one fragment holding the whole
+/// region on one host.
 struct StripeMap {
   Bytes64 len = 0;       // total region length
   Bytes64 frag_len = 0;  // stride between fragment starts
-  std::vector<RegionLoc> frags;
+  std::vector<ReplicaSet> frags;
 
   [[nodiscard]] Bytes64 frag_base(std::size_t i) const {
     return static_cast<Bytes64>(i) * frag_len;
@@ -197,7 +242,10 @@ inline void put_stripes(net::Writer& w, const StripeMap& map) {
   w.i64(map.len);
   w.i64(map.frag_len);
   w.u32(static_cast<std::uint32_t>(map.frags.size()));
-  for (const RegionLoc& f : map.frags) put_loc(w, f);
+  for (const ReplicaSet& f : map.frags) {
+    w.u32(static_cast<std::uint32_t>(f.replicas.size()));
+    for (const RegionLoc& rep : f.replicas) put_loc(w, rep);
+  }
 }
 
 inline StripeMap get_stripes(net::Reader& r) {
@@ -206,7 +254,12 @@ inline StripeMap get_stripes(net::Reader& r) {
   map.frag_len = r.i64();
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
-    map.frags.push_back(get_loc(r));
+    ReplicaSet set;
+    const std::uint32_t nreps = r.u32();
+    for (std::uint32_t j = 0; j < nreps && r.ok(); ++j) {
+      set.replicas.push_back(get_loc(r));
+    }
+    map.frags.push_back(std::move(set));
   }
   return map;
 }

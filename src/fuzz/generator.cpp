@@ -35,6 +35,15 @@ Schedule generate_schedule(std::uint64_t seed, const GenParams& params) {
     s.hosts = 3 + static_cast<int>(stripe_rng.below(2));
     s.stripe_width = 2 + static_cast<int>(stripe_rng.below(3));
   }
+  // A forked replica stream mirrors the stripe one: ~25% of schedules place
+  // two copies of every fragment on distinct hosts, exercising the write
+  // fan-out, read failover, and the staleness oracle. Composes with
+  // striping when both streams fire.
+  Rng rep_rng = Rng(seed).fork(0x7265706c);  // "repl"
+  if (rep_rng.below(100) < 25) {
+    s.replica_count = 2;
+    s.hosts = std::max(s.hosts, 3 + static_cast<int>(rep_rng.below(2)));
+  }
   s.region = 16_KiB << cfg_rng.below(2);
   s.slots = 4 + static_cast<int>(cfg_rng.below(5));
   s.pool = std::max<Bytes64>(2 * s.slots * s.region, 512_KiB);

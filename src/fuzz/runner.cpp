@@ -35,6 +35,17 @@ struct SlotState {
   /// fresh path). Reads with filled=true are byte-checked only while true.
   bool remote_certain = false;
   std::vector<std::uint8_t> remote;
+  /// Superseded certain images, newest last (bounded). The staleness oracle
+  /// matches a diverging read against these: a hit means some replica
+  /// missed an invalidation and served bytes older than the last acked
+  /// write — the exact failure invalidate-on-write must prevent.
+  std::vector<std::vector<std::uint8_t>> stale;
+
+  void retire_image() {
+    if (!remote_certain) return;
+    stale.push_back(remote);
+    if (stale.size() > 4) stale.erase(stale.begin());
+  }
 };
 
 }  // namespace
@@ -53,6 +64,7 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
   cfg.cmd.stripe_width = s.stripe_width;
   // Small enough that the 16-64 KiB schedule regions actually stripe.
   cfg.cmd.stripe_min_fragment = 4_KiB;
+  cfg.cmd.replica_count = s.replica_count;
   cfg.client.cmd_rpc.retries = 5;
   cfg.client.refraction = millis(50);
   cfg.client.bulk.max_retries = 30;
@@ -142,6 +154,7 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
           const Status st =
               co_await client->push_remote(sl.rd, 0, buf.data(), s.region);
           if (st.is_ok()) {
+            if (sl.remote != buf) sl.retire_image();
             sl.remote = buf;
             sl.remote_certain = true;
           } else {
@@ -168,6 +181,7 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
           // the descriptor, so full n no longer implies the remote copy is
           // current — only a still-active descriptor does.
           if (n == s.region && client->active(sl.rd)) {
+            if (sl.remote != buf) sl.retire_image();
             sl.remote = buf;
             sl.remote_certain = true;
           } else {
@@ -196,9 +210,22 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
             if (back != expect) {
               std::size_t at = 0;
               while (at < rsz && back[at] == expect[at]) ++at;
-              note("byte-exactness: remote read of slot " +
-                   std::to_string(op.slot) + " diverges at byte " +
-                   std::to_string(at));
+              bool was_stale = false;
+              for (const auto& img : sl.stale) {
+                if (back == img) {
+                  was_stale = true;
+                  break;
+                }
+              }
+              if (was_stale) {
+                note("staleness: mread of slot " + std::to_string(op.slot) +
+                     " returned bytes of a superseded acked write (a replica "
+                     "missed its invalidation)");
+              } else {
+                note("byte-exactness: remote read of slot " +
+                     std::to_string(op.slot) + " diverges at byte " +
+                     std::to_string(at));
+              }
             }
           }
           break;

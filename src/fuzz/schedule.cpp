@@ -53,6 +53,8 @@ std::string Schedule::serialize() const {
   out += line;
   std::snprintf(line, sizeof(line), "stripe %d\n", stripe_width);
   out += line;
+  std::snprintf(line, sizeof(line), "replica %d\n", replica_count);
+  out += line;
   std::snprintf(line, sizeof(line), "reply_cache %zu\n",
                 imd_reply_cache_capacity);
   out += line;
@@ -118,6 +120,11 @@ bool Schedule::parse(const std::string& text, Schedule& out,
       // Optional (pre-striping schedules omit it); absent means width 1.
       if (!(ls >> s.stripe_width) || s.stripe_width < 1) {
         return fail(lineno, "bad stripe");
+      }
+    } else if (key == "replica") {
+      // Optional (pre-replication schedules omit it); absent means 1 copy.
+      if (!(ls >> s.replica_count) || s.replica_count < 1) {
+        return fail(lineno, "bad replica");
       }
     } else if (key == "reply_cache") {
       long long v = 0;

@@ -47,6 +47,9 @@ struct Schedule {
   Bytes64 region = 32_KiB;         // slot/region size
   int slots = 8;
   int stripe_width = 1;            // cmd K-way striping across idle hosts
+  /// Copies of every fragment the cmd places on distinct hosts (static; the
+  /// adaptive grow/shrink loop stays off in fuzz runs for determinism).
+  int replica_count = 1;
   std::size_t imd_reply_cache_capacity = 64;
   std::uint64_t seed = 1;          // simulator/cluster seed
 

@@ -74,6 +74,22 @@ int RegionManager::select_victim(int incoming_cd) const {
   return -1;
 }
 
+int RegionManager::select_safe_victim(int incoming_cd) const {
+  if (params_.policy == Policy::kFirstIn) return -1;  // never displaces
+  int victim = -1;
+  std::uint64_t best = 0;
+  for (const auto& [cd, r] : regions_) {
+    if (!r.resident || cd == incoming_cd) continue;
+    if (r.dirty || !r.remote_valid) continue;
+    if (r.rdesc < 0 || dodo_.replica_depth(r.rdesc) < 2) continue;
+    if (victim < 0 || r.last_access < best) {
+      victim = cd;
+      best = r.last_access;
+    }
+  }
+  return victim;
+}
+
 sim::Co<void> RegionManager::write_to_disk(int cd, Region& r,
                                            obs::TraceContext ctx) {
   (void)cd;
@@ -149,10 +165,16 @@ sim::Co<bool> RegionManager::grim_reaper(int incoming_cd, Bytes64 need,
   if (need > params_.local_cache_bytes) co_return false;  // can never fit
   obs::ScopedSpan span(params_.spans, "manage.grim_reaper", parent);
   while (params_.local_cache_bytes - resident_bytes_ < need) {
-    const int victim_cd = select_victim(incoming_cd);
+    // Replica-aware pre-pass: a clean resident whose remote copy is current
+    // on >= 2 live replicas drops for free, so take it ahead of the policy
+    // victim (which may need a writeback or a clone to leave safely).
+    int victim_cd = select_safe_victim(incoming_cd);
+    const bool safe = victim_cd >= 0;
+    if (!safe) victim_cd = select_victim(incoming_cd);
     if (victim_cd < 0) co_return false;  // first-in: incoming loses
     Region& victim = regions_.at(victim_cd);
     ++metrics_.reaper_victims;
+    if (safe) ++metrics_.replica_safe_evictions;
     if (victim.dirty) co_await write_to_disk(victim_cd, victim, span.ctx());
     // best effort migration
     co_await clone_remote(victim_cd, victim, span.ctx());
@@ -450,6 +472,8 @@ obs::MetricsSnapshot RegionManager::metrics_snapshot() const {
   out.set_counter("manage.disk_passthrough", metrics_.disk_passthrough);
   out.set_counter("manage.evictions", metrics_.evictions);
   out.set_counter("manage.reaper_victims", metrics_.reaper_victims);
+  out.set_counter("manage.replica_safe_evictions",
+                  metrics_.replica_safe_evictions);
   out.set_counter("manage.clones", metrics_.clones);
   out.set_counter("manage.clone_failures", metrics_.clone_failures);
   out.set_counter("manage.clone_refraction_skips",

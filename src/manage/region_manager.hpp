@@ -66,6 +66,10 @@ struct ManageMetrics {
   /// Residents displaced by the grimReaper (Figure 5 victim count). Differs
   /// from `evictions`, which also counts drops from cclose/close_all.
   std::uint64_t reaper_victims = 0;
+  /// Reaper victims chosen by the replica-aware fast path: clean residents
+  /// whose remote copy is current on >= 2 live replicas (free to drop, and
+  /// the fill-back survives any single host loss).
+  std::uint64_t replica_safe_evictions = 0;
 };
 
 class RegionManager {
@@ -143,6 +147,12 @@ class RegionManager {
   /// Picks the victim per the current policy; -1 = evict nothing (first-in
   /// refuses to displace residents for the incoming region).
   [[nodiscard]] int select_victim(int incoming_cd) const;
+
+  /// Replica-aware pre-pass (LRU/MRU only): the LRU resident that is clean
+  /// and whose remote copy is current on >= 2 live replicas. Dropping it
+  /// costs no I/O and the data outlives any single idle-host reclaim; -1
+  /// when no such region exists (fall through to the policy victim).
+  [[nodiscard]] int select_safe_victim(int incoming_cd) const;
 
   sim::Co<void> write_to_disk(int cd, Region& r, obs::TraceContext ctx = {});
   sim::Co<bool> clone_remote(int cd, Region& r, obs::TraceContext ctx = {});

@@ -251,43 +251,64 @@ sim::Co<Status> bulk_send(Socket& sock, Endpoint dst, std::uint64_t xfer_id,
     const Duration blast_time =
         net.wire_time(chunk) * static_cast<Duration>(missing.size()) +
         net.send_cpu_time(chunk) * static_cast<Duration>(missing.size());
-    auto reply = co_await sock.recv_for(params.ack_timeout + blast_time);
-    if (!reply) {
-      if (++stalls > params.max_retries) {
-        co_return Status(Err::kTimeout, "bulk: receiver stopped responding");
+    // A late verdict is not a lost round: with several transfers sharing
+    // this node's transmit link (a replicated mwrite fans a region to every
+    // copy at once), the round drains in a multiple of blast_time. So a
+    // timeout sends a datagram-sized credit probe instead of re-blasting
+    // window bytes — re-blasting into an already-jammed link is how one
+    // slow round turns into congestion collapse. If data really was lost,
+    // the receiver's progress deadline NACKs exactly the missing chunks;
+    // data retransmits happen only on that NACK, never on a bare timeout.
+    bool reblast = false;
+    while (!reblast) {
+      auto reply = co_await sock.recv_for(params.ack_timeout + blast_time);
+      if (!reply) {
+        if (++stalls > params.max_retries) {
+          co_return Status(Err::kTimeout, "bulk: receiver stopped responding");
+        }
+        if (st != nullptr) st->credit_requests.inc();
+        Buf probe = encode_common(Kind::kReq, xfer_id, wire_ctx);
+        Writer w(probe);
+        w.i64(total);
+        sock.send(dst, std::move(probe));
+        continue;
       }
-      continue;  // re-blast the same missing set
-    }
-    const Decoded d = decode(*reply);
-    if (!d.ok || d.xfer != xfer_id) continue;
-    switch (d.kind) {
-      case Kind::kAck:
-        if (st != nullptr) st->acks_received.inc();
-        if (d.next_base > base) {
-          base = d.next_base;
-          fill_round(base);
-          stalls = 0;
-          last_missing = missing.size() + 1;
-        }
-        break;
-      case Kind::kNack:
-        if (st != nullptr) st->nacks_received.inc();
-        missing = d.missing;
-        if (missing.empty()) {
-          // Defensive: an empty NACK would livelock the blast loop.
-          fill_round(base);
-        }
-        if (missing.size() < last_missing) {
-          last_missing = missing.size();
-          stalls = 0;
-        } else if (++stalls > params.max_retries) {
-          co_return Status(Err::kTimeout, "bulk: no forward progress");
-        }
-        break;
-      case Kind::kCredit:
-        break;  // duplicate credit; ignore
-      default:
-        break;
+      const Decoded d = decode(*reply);
+      if (!d.ok || d.xfer != xfer_id) continue;
+      switch (d.kind) {
+        case Kind::kAck:
+          if (st != nullptr) st->acks_received.inc();
+          if (d.next_base > base) {
+            base = d.next_base;
+            fill_round(base);
+            stalls = 0;
+            last_missing = missing.size() + 1;
+            reblast = true;  // the next round's fresh data
+          }
+          break;  // duplicate ack: keep waiting
+        case Kind::kNack:
+          if (st != nullptr) st->nacks_received.inc();
+          missing = d.missing;
+          if (missing.empty()) {
+            // Defensive: an empty NACK would livelock the blast loop.
+            fill_round(base);
+          }
+          if (missing.size() < last_missing) {
+            last_missing = missing.size();
+            stalls = 0;
+          } else if (++stalls > params.max_retries) {
+            co_return Status(Err::kTimeout, "bulk: no forward progress");
+          }
+          reblast = true;
+          break;
+        case Kind::kCredit:
+          // Probe answered: the receiver is alive and still waiting on the
+          // wire to drain. Keep waiting; stalls stays, so patience is
+          // bounded even against a receiver that only ever answers probes.
+          break;
+        default:
+          break;
+      }
     }
   }
   if (st != nullptr) st->sends_completed.inc();
@@ -352,19 +373,49 @@ sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
     return true;
   };
 
+  // The receive-gap timer is a deadline on transfer PROGRESS, re-armed only
+  // by datagrams that advance the transfer: a credit request, a newly
+  // accepted in-window chunk, or a stale chunk that provoked a re-ACK.
+  // Duplicates of chunks already held, frames beyond the window, foreign
+  // transfers, and corrupt datagrams do not move it — a sender re-blasting
+  // bytes we hold is making no progress, and the timely targeted NACK
+  // (listing exactly what is missing) is what stops it from re-blasting the
+  // whole round again on its own coarser timeout. Crucially the deadline is
+  // absolute, not a per-recv timeout: a steady stream of useless datagrams
+  // must not keep resetting the clock.
+  //
+  // The gap deadline backs off exponentially within a round. A quiet gap can
+  // mean loss (the blast arrived with holes — the chunks are gone and only a
+  // NACK revives them) or congestion (the blast is intact but queued behind
+  // sibling transfers sharing the sender's link — a replicated mwrite fans K
+  // copies out at once, so our whole round can sit (K-1) blast-times deep in
+  // the transmit queue). The receiver cannot tell the two apart, so it NACKs
+  // fast the first time — loss recovery stays one gap away — and then waits
+  // twice as long before each repeat NACK for the same round. Without the
+  // backoff every spurious NACK triggers a full re-blast into the very queue
+  // that caused it, and the amplification compounds until the link collapses.
+  // Progress (the round advancing) resets the backoff; probes do not.
+  auto& simclock = net.simulator();
+  constexpr Duration kMaxGapBackoff = 8;  // cap, in multiples of the base gap
   int idle = 0;
+  Duration gap = params.recv_gap_timeout;
+  SimTime armed_at = simclock.now();
   for (;;) {
-    auto msg = co_await sock.recv_for(params.recv_gap_timeout);
-    if (!msg) {
+    const Duration remaining = armed_at + gap - simclock.now();
+    if (remaining <= 0) {
+      // A full gap elapsed with no progress.
       if (++idle > params.max_retries) {
         result.status =
             Status(Err::kTimeout, "bulk: sender stopped transmitting");
         co_return result;
       }
       if (know_peer && nchunks > 0) send_nack();
+      gap = std::min(gap * 2, params.recv_gap_timeout * kMaxGapBackoff);
+      armed_at = simclock.now();
       continue;
     }
-    idle = 0;
+    auto msg = co_await sock.recv_for(remaining);
+    if (!msg) continue;  // deadline reached; handled above
     const Decoded d = decode(*msg);
     if (!d.ok || d.xfer != xfer_id) continue;
     peer = msg->src;
@@ -382,6 +433,8 @@ sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
           have.assign(nchunks, false);
           start_round();
         }
+        idle = 0;
+        armed_at = simclock.now();
         Buf h = encode_common(Kind::kCredit, xfer_id, span.ctx());
         Writer w(h);
         w.i64(static_cast<Bytes64>(win_chunks) * chunk);
@@ -398,12 +451,17 @@ sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
         if (d.seq >= nchunks) break;
         if (d.seq < base) {
           // Stale retransmit from an already-completed round: the sender
-          // missed our ACK. Re-acknowledge so it advances.
+          // missed our ACK. Re-acknowledge so it advances — it is alive and
+          // waiting on us, so the gap timer re-arms too.
+          idle = 0;
+          armed_at = simclock.now();
           send_ack();
           break;
         }
         if (d.seq >= round_end) break;  // beyond window; drop
         if (!have[d.seq]) {
+          idle = 0;
+          armed_at = simclock.now();
           have[d.seq] = true;
           if (st != nullptr) {
             st->bytes_received.inc(
@@ -424,6 +482,7 @@ sim::Co<BulkRecvResult> bulk_recv(Socket& sock, std::uint64_t xfer_id,
         }
         if (round_complete()) {
           base = round_end;
+          gap = params.recv_gap_timeout;  // progress: restore fast NACKs
           send_ack();
           if (base >= nchunks) {
             result.size = total < 0 ? 0 : total;

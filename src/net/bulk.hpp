@@ -58,7 +58,9 @@ struct BulkParams {
   Bytes64 window_bytes = 1024 * 1024;
   /// Receiver: max quiet time within a round before it NACKs.
   Duration recv_gap_timeout = millis(20);
-  /// Sender: max wait for a CREDIT/ACK/NACK before re-blasting.
+  /// Sender: max wait for a CREDIT/ACK/NACK (beyond the round's own wire
+  /// time) before probing the receiver with a credit request. Data is only
+  /// re-sent when the receiver NACKs; a bare timeout never re-blasts.
   Duration ack_timeout = millis(40);
   /// Rounds without forward progress before the transfer is abandoned.
   int max_retries = 8;

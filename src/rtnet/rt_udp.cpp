@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "net/codec.hpp"
@@ -276,10 +277,23 @@ RtBulkResult rt_bulk_recv(UdpSocket& sock, std::uint64_t xfer_id,
     return true;
   };
 
+  // Gap timer is an absolute deadline on transfer progress, re-armed only
+  // by a credit request, a newly accepted chunk, or a stale chunk answered
+  // with a re-ACK — never by duplicates, out-of-window frames, or foreign
+  // traffic. Mirrors the simulated receiver in net/bulk.cpp; see the
+  // comment there.
+  using Clock = std::chrono::steady_clock;
   int idle = 0;
+  Clock::time_point armed_at = Clock::now();
   for (;;) {
-    auto raw = sock.recv(params.recv_gap_timeout_ms);
-    if (!raw) {
+    const auto remaining_ms =
+        static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                             armed_at +
+                             std::chrono::milliseconds(
+                                 params.recv_gap_timeout_ms) -
+                             Clock::now())
+                             .count());
+    if (remaining_ms <= 0) {
       if (++idle > params.max_retries) {
         result.status = Status(Err::kTimeout, "rt bulk: sender silent");
         return result;
@@ -295,9 +309,11 @@ RtBulkResult rt_bulk_recv(UdpSocket& sock, std::uint64_t xfer_id,
         for (const auto s : missing) w.u64(s);
         sock.send_to(peer, msg.data(), msg.size());
       }
+      armed_at = Clock::now();
       continue;
     }
-    idle = 0;
+    auto raw = sock.recv(remaining_ms);
+    if (!raw) continue;  // deadline reached; handled above
     const Decoded d = decode(raw->first);
     if (!d.ok || d.xfer != xfer_id) continue;
     peer = raw->second;
@@ -310,6 +326,8 @@ RtBulkResult rt_bulk_recv(UdpSocket& sock, std::uint64_t xfer_id,
         result.data.assign(static_cast<std::size_t>(total), 0);
         start_round();
       }
+      idle = 0;
+      armed_at = Clock::now();
       net::Buf msg = header(Kind::kCredit, xfer_id);
       net::Writer w(msg);
       w.i64(static_cast<std::int64_t>(win_chunks * chunk));
@@ -324,11 +342,15 @@ RtBulkResult rt_bulk_recv(UdpSocket& sock, std::uint64_t xfer_id,
       }
       if (d.seq >= nchunks) continue;
       if (d.seq < base) {
+        idle = 0;  // sender is alive, just missed our ACK
+        armed_at = Clock::now();
         send_ack();
         continue;
       }
       if (d.seq >= round_end) continue;
       if (!have[d.seq]) {
+        idle = 0;
+        armed_at = Clock::now();
         have[d.seq] = true;
         const std::size_t off = static_cast<std::size_t>(d.seq) * chunk;
         std::copy(d.payload.begin(), d.payload.end(),

@@ -12,27 +12,33 @@ using core::MsgKind;
 namespace {
 
 /// The slice of a fanned-out request that one fragment serves: region-
-/// relative [lo, lo+want) against `frag`, with the coroutine's outcome slot.
+/// relative [lo, lo+want) against the fragment's replica set.
 struct Piece {
   Bytes64 lo = 0;    // region-relative start of the slice
   Bytes64 base = 0;  // region-relative start of the fragment
   Bytes64 want = 0;
-  core::RegionLoc frag;
+  std::size_t frag_index = 0;
+  core::ReplicaSet set;
 };
 
 /// Splits the region-relative range [offset, offset+n) across the stripe's
-/// fragments. Fragment i covers [i*frag_len, i*frag_len + frags[i].len).
+/// fragments. Fragment i covers [i*frag_len, i*frag_len + frags[i].len()).
 std::vector<Piece> overlap_pieces(const core::StripeMap& map, Bytes64 offset,
                                   Bytes64 n) {
   std::vector<Piece> out;
   for (std::size_t i = 0; i < map.frags.size(); ++i) {
     const Bytes64 base = map.frag_base(i);
     const Bytes64 lo = std::max(offset, base);
-    const Bytes64 hi = std::min(offset + n, base + map.frags[i].len);
+    const Bytes64 hi = std::min(offset + n, base + map.frags[i].len());
     if (hi <= lo) continue;
-    out.push_back(Piece{lo, base, hi - lo, map.frags[i]});
+    out.push_back(Piece{lo, base, hi - lo, i, map.frags[i]});
   }
   return out;
+}
+
+bool same_loc(const core::RegionLoc& a, const core::RegionLoc& b) {
+  return a.host == b.host && a.epoch == b.epoch &&
+         a.imd_region == b.imd_region;
 }
 
 }  // namespace
@@ -46,6 +52,7 @@ DodoClient::DodoClient(sim::Simulator& sim, net::Network& net,
       cmd_(cmd),
       fs_(fs),
       params_(params),
+      rng_(sim.rng().fork(0x6c6462u)),  // "ldb"
       loops_(sim) {
   // Aggregate every bulk transfer this client runs into one counter set,
   // and record bulk spans under this client's recorder.
@@ -72,10 +79,136 @@ sim::Co<void> DodoClient::ping_loop() {
     if (env->kind == MsgKind::kPing) {
       ++metrics_.pings_answered;
       obs::ScopedSpan span(params_.spans, "client.ping", env->trace);
-      ctl_sock_->send(msg.src, core::make_header(MsgKind::kPong, env->rid));
+      // Apply the cmd's replica-set deltas, then answer with (a) acks for
+      // every add-write-only delta — from now on writes fan out to the copy,
+      // which is what the cmd's activation proof relies on — and (b) the
+      // per-region read-hit deltas driving replica adaptation.
+      struct Ack {
+        core::RegionKey key;
+        std::uint32_t frag = 0;
+        core::RegionLoc loc;
+      };
+      std::vector<Ack> acks;
+      net::Reader r = core::body_reader(msg);
+      const std::uint32_t nups = r.u32();
+      for (std::uint32_t i = 0; i < nups && r.ok(); ++i) {
+        const std::uint8_t op = r.u8();
+        const core::RegionKey key = core::get_key(r);
+        const std::uint32_t frag = r.u32();
+        const core::RegionLoc loc = core::get_loc(r);
+        if (!r.ok()) break;
+        apply_replica_update(op, key, frag, loc);
+        if (op ==
+            static_cast<std::uint8_t>(core::ReplicaUpdateOp::kAddWriteOnly)) {
+          // Ack even when no descriptor matches (closed meanwhile): with no
+          // descriptor there are no writes for the clone to miss, and the
+          // ack stops the cmd from re-offering forever.
+          acks.push_back(Ack{key, frag, loc});
+        }
+      }
+      net::Buf rep = core::make_header(MsgKind::kPong, env->rid);
+      net::Writer w(rep);
+      w.u32(static_cast<std::uint32_t>(acks.size()));
+      for (const Ack& a : acks) {
+        core::put_key(w, a.key);
+        w.u32(a.frag);
+        core::put_loc(w, a.loc);
+      }
+      // Merge hit deltas across descriptors sharing a key, then reset them.
+      std::vector<std::pair<core::RegionKey, std::uint64_t>> stats;
+      for (auto& [rd, entry] : regions_) {
+        if (entry.hits == 0) continue;
+        bool merged = false;
+        for (auto& [key, hits] : stats) {
+          if (key == entry.key) {
+            hits += entry.hits;
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) stats.emplace_back(entry.key, entry.hits);
+        entry.hits = 0;
+      }
+      w.u32(static_cast<std::uint32_t>(stats.size()));
+      for (const auto& [key, hits] : stats) {
+        core::put_key(w, key);
+        w.u64(hits);
+      }
+      ctl_sock_->send(msg.src, std::move(rep));
     }
   }
   loops_.done();
+}
+
+void DodoClient::apply_replica_update(std::uint8_t op,
+                                      const core::RegionKey& key,
+                                      std::uint32_t frag,
+                                      const core::RegionLoc& loc) {
+  using core::ReplicaUpdateOp;
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    Entry& e = it->second;
+    bool lost = false;
+    if (e.key == key && frag < e.map.frags.size()) {
+      auto& reps = e.map.frags[frag].replicas;
+      auto in_reps = [&] {
+        return std::find_if(reps.begin(), reps.end(), [&](const auto& c) {
+                 return same_loc(c, loc);
+               }) != reps.end();
+      };
+      auto erase_wo = [&] {
+        std::erase_if(e.write_only, [&](const auto& wo) {
+          return wo.first == frag && same_loc(wo.second, loc);
+        });
+      };
+      switch (static_cast<ReplicaUpdateOp>(op)) {
+        case ReplicaUpdateOp::kAddWriteOnly:
+          if (!in_reps()) {
+            erase_wo();  // re-offered delta: keep exactly one entry
+            e.write_only.emplace_back(frag, loc);
+          }
+          ++metrics_.replica_updates_applied;
+          break;
+        case ReplicaUpdateOp::kActivate:
+          erase_wo();
+          if (!in_reps()) reps.push_back(loc);
+          ++metrics_.replica_updates_applied;
+          break;
+        case ReplicaUpdateOp::kDrop:
+          erase_wo();
+          std::erase_if(reps,
+                        [&](const auto& c) { return same_loc(c, loc); });
+          // The cmd never drops a fragment's last copy (shrink keeps the
+          // primary), so an emptied set means state skew — drop the
+          // descriptor rather than serve through a torn map.
+          lost = reps.empty();
+          ++metrics_.replica_updates_applied;
+          break;
+        default:
+          break;
+      }
+    }
+    if (lost) {
+      ++metrics_.descriptors_dropped;
+      it = regions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double DodoClient::host_score(net::NodeId host) const {
+  auto it = host_scores_.find(host);
+  if (it == host_scores_.end()) return 0.0;  // unsampled: optimistic
+  // EWMA latency inflated by in-flight transfers: a host that is slow or
+  // busy scores high and loses the power-of-two-choices coin toss.
+  return it->second.ewma_latency *
+         (1.0 + static_cast<double>(it->second.inflight));
+}
+
+void DodoClient::observe_latency(net::NodeId host, double sample) {
+  auto& s = host_scores_[host];
+  s.ewma_latency =
+      s.ewma_latency == 0.0 ? sample : 0.8 * s.ewma_latency + 0.2 * sample;
 }
 
 sim::Co<void> DodoClient::halt() {
@@ -105,30 +238,71 @@ DodoClient::Entry* DodoClient::lookup_active(int rd) {
   return &it->second;
 }
 
-void DodoClient::drop_node(net::NodeId node) {
+void DodoClient::prune_host(net::NodeId node) {
   ++metrics_.nodes_dropped;
-  // Erase, don't just deactivate: a dropped descriptor can never become
-  // active again (re-attach goes through a fresh mopen), so keeping the
-  // entry only grows regions_ without bound under node churn. The cmd's
-  // directory entry is reclaimed separately — by epoch validation when the
-  // host was reclaimed, by key reuse on the next mopen, or by the
-  // keep-alive sweep when this client dies.
+  // §3.1 failure handling, softened by replication: losing a host only
+  // loses that host's copies. A descriptor dies — erased, not deactivated,
+  // since re-attach goes through a fresh mopen — only when one of its
+  // fragments has no sibling copy left. The cmd's directory entry is
+  // reclaimed separately: by epoch validation when the host was reclaimed,
+  // by key reuse on the next mopen, or by the keep-alive sweep when this
+  // client dies.
   for (auto it = regions_.begin(); it != regions_.end();) {
-    bool hosted = false;
-    for (const core::RegionLoc& f : it->second.map.frags) {
-      if (f.host == node) {
-        hosted = true;
-        break;
-      }
+    bool lost = false;
+    for (core::ReplicaSet& f : it->second.map.frags) {
+      std::erase_if(f.replicas,
+                    [&](const core::RegionLoc& c) { return c.host == node; });
+      if (f.replicas.empty()) lost = true;
     }
-    if (hosted) {
+    std::erase_if(it->second.write_only,
+                  [&](const auto& wo) { return wo.second.host == node; });
+    if (lost) {
       ++metrics_.descriptors_dropped;
       it = regions_.erase(it);
     } else {
       ++it;
     }
   }
-  DODO_DEBUG("libdodo", "dropped all descriptors on host %u", node);
+  host_scores_.erase(node);
+  DODO_DEBUG("libdodo", "pruned all copies on host %u", node);
+}
+
+void DodoClient::prune_copy(const core::RegionKey& key,
+                            const core::RegionLoc& loc) {
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    bool lost = false;
+    if (it->second.key == key) {
+      for (core::ReplicaSet& f : it->second.map.frags) {
+        std::erase_if(f.replicas, [&](const core::RegionLoc& c) {
+          return same_loc(c, loc);
+        });
+        if (f.replicas.empty()) lost = true;
+      }
+      std::erase_if(it->second.write_only, [&](const auto& wo) {
+        return same_loc(wo.second, loc);
+      });
+    }
+    if (lost) {
+      ++metrics_.descriptors_dropped;
+      it = regions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+sim::Co<bool> DodoClient::invalidate_replica(core::RegionKey key,
+                                             core::RegionLoc loc,
+                                             obs::TraceContext ctx) {
+  ++metrics_.invalidations_sent;
+  const std::uint64_t rid = rids_.next();
+  net::Buf h = core::make_header(MsgKind::kDropReplicaReq, rid, ctx);
+  net::Writer w(h);
+  core::put_key(w, key);
+  core::put_loc(w, loc);
+  auto rep = co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
+                                     params_.cmd_rpc);
+  co_return rep.has_value();
 }
 
 sim::Co<int> DodoClient::mopen(Bytes64 len, int fd, Bytes64 offset) {
@@ -198,44 +372,80 @@ sim::Co<Bytes64> DodoClient::mread(int rd, Bytes64 offset, std::uint8_t* buf,
   co_return r.n;
 }
 
-sim::Co<void> DodoClient::read_fragment(core::RegionLoc frag, Bytes64 frag_off,
-                                        Bytes64 want, std::uint8_t* dst,
-                                        FragOutcome* out, sim::WaitGroup* wg,
-                                        obs::TraceContext ctx) {
-  auto sock = net_.open_ephemeral(node_);
-  const std::uint64_t rid = rids_.next();
-  // The network-wait span covers request-on-the-wire through first reply;
-  // the imd's handler span parents to it, so daemon service time nests
-  // inside the wait in the merged timeline. Fan-out fragments show up as
-  // sibling net.read spans under the one client.mread.
-  obs::ScopedSpan wait(params_.spans, "net.read", ctx);
-  net::Buf h = core::make_header(MsgKind::kReadReq, rid, wait.ctx());
-  net::Writer w(h);
-  w.u64(frag.imd_region);
-  w.u64(frag.epoch);
-  w.i64(frag_off);
-  w.i64(want);
-  sock->send(net::Endpoint{frag.host, core::kImdDataPort}, std::move(h));
+sim::Co<void> DodoClient::read_piece(core::ReplicaSet set, Bytes64 frag_off,
+                                     Bytes64 want, std::uint8_t* dst,
+                                     FragOutcome* out, sim::WaitGroup* wg,
+                                     obs::TraceContext ctx) {
+  // Replica selection: power-of-two-choices over host_score() — two random
+  // distinct copies, read from the one whose host looks faster/less loaded.
+  // The losers stay in line: a failed attempt fails over to the remaining
+  // siblings (in score-agnostic order) before the caller touches disk.
+  std::vector<core::RegionLoc> order = std::move(set.replicas);
+  if (order.size() > 1) {
+    const std::size_t a = static_cast<std::size_t>(rng_.below(order.size()));
+    std::size_t b = static_cast<std::size_t>(rng_.below(order.size() - 1));
+    if (b >= a) ++b;
+    const std::size_t best =
+        host_score(order[a].host) <= host_score(order[b].host) ? a : b;
+    std::swap(order[0], order[best]);
+  }
 
-  auto rep = co_await sock->recv_for(params_.data_timeout);
-  wait.end_now();
-  if (rep) {
-    net::Reader r = core::body_reader(*rep);
-    const Err code = static_cast<Err>(r.u8());
-    const Bytes64 avail = r.i64();
-    const bool filled = r.u8() != 0;
-    if (r.ok() && code == Err::kOk && avail == want) {
-      auto got = co_await net::bulk_recv(*sock, rid, params_.bulk, ctx);
-      if (got.status.is_ok() && got.size == want) {
-        if (dst != nullptr && !got.data.empty()) {
-          std::copy_n(got.data.begin(), static_cast<std::size_t>(want), dst);
+  for (std::size_t attempt = 0; attempt < order.size(); ++attempt) {
+    if (attempt > 0) ++metrics_.replica_failovers;
+    const core::RegionLoc frag = order[attempt];
+    ++host_scores_[frag.host].inflight;
+    const SimTime t0 = sim_.now();
+
+    auto sock = net_.open_ephemeral(node_);
+    const std::uint64_t rid = rids_.next();
+    // The network-wait span covers request-on-the-wire through first reply;
+    // the imd's handler span parents to it, so daemon service time nests
+    // inside the wait in the merged timeline. Fan-out pieces show up as
+    // sibling net.read spans under the one client.mread.
+    obs::ScopedSpan wait(params_.spans, "net.read", ctx);
+    net::Buf h = core::make_header(MsgKind::kReadReq, rid, wait.ctx());
+    net::Writer w(h);
+    w.u64(frag.imd_region);
+    w.u64(frag.epoch);
+    w.i64(frag_off);
+    w.i64(want);
+    sock->send(net::Endpoint{frag.host, core::kImdDataPort}, std::move(h));
+
+    bool ok = false;
+    bool filled = false;
+    auto rep = co_await sock->recv_for(params_.data_timeout);
+    wait.end_now();
+    if (rep) {
+      net::Reader r = core::body_reader(*rep);
+      const Err code = static_cast<Err>(r.u8());
+      const Bytes64 avail = r.i64();
+      filled = r.u8() != 0;
+      if (r.ok() && code == Err::kOk && avail == want) {
+        auto got = co_await net::bulk_recv(*sock, rid, params_.bulk, ctx);
+        if (got.status.is_ok() && got.size == want) {
+          if (dst != nullptr && !got.data.empty()) {
+            std::copy_n(got.data.begin(), static_cast<std::size_t>(want),
+                        dst);
+          }
+          ok = true;
         }
-        out->ok = true;
-        out->filled = filled;
+      } else if (r.ok()) {
+        out->err = code == Err::kOk ? Err::kNotFound : code;
       }
-    } else if (r.ok()) {
-      out->err = code == Err::kOk ? Err::kNotFound : code;
     }
+    // Re-find: a concurrent prune_host may have erased the score entry
+    // (and its inflight count with it) across the awaits.
+    if (auto it = host_scores_.find(frag.host); it != host_scores_.end()) {
+      --it->second.inflight;
+    }
+    if (ok) {
+      observe_latency(frag.host, static_cast<double>(sim_.now() - t0));
+      out->ok = true;
+      out->filled = filled;
+      out->replica_hit = order.size() > 1;
+      break;
+    }
+    out->failed_hosts.push_back(frag.host);
   }
   wg->done();
 }
@@ -265,7 +475,7 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
     co_return zero;
   }
   // Copy everything out of the entry before the first suspension: `e`
-  // points into regions_, and a concurrent coroutine's drop_node/mclose can
+  // points into regions_, and a concurrent coroutine's prune_host/mclose can
   // erase the entry across any co_await below.
   const int fd = e->fd;
   const Bytes64 file_base = e->file_offset;
@@ -284,8 +494,8 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
   for (std::size_t i = 0; i < pieces.size(); ++i) {
     const Piece& p = pieces[i];
     std::uint8_t* dst = buf == nullptr ? nullptr : buf + (p.lo - offset);
-    sim_.spawn(read_fragment(p.frag, p.lo - p.base, p.want, dst,
-                             &outcomes[i], &wg, span.ctx()));
+    sim_.spawn(read_piece(p.set, p.lo - p.base, p.want, dst, &outcomes[i],
+                          &wg, span.ctx()));
   }
   co_await wg.wait();
 
@@ -297,16 +507,21 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
       filled = filled && outcomes[i].filled;
       ++metrics_.remote_reads;
       metrics_.remote_read_bytes += pieces[i].want;
+      if (outcomes[i].replica_hit) ++metrics_.replica_hits;
     } else {
       all_ok = false;
-      ++metrics_.access_failures;
-      failed_hosts.push_back(pieces[i].frag.host);
     }
+    // Every host that failed an attempt — the selected copy or a sibling a
+    // failover then also lost — gets pruned, whether or not the piece as a
+    // whole recovered.
+    if (!outcomes[i].failed_hosts.empty()) ++metrics_.access_failures;
+    failed_hosts.insert(failed_hosts.end(), outcomes[i].failed_hosts.begin(),
+                        outcomes[i].failed_hosts.end());
   }
   std::sort(failed_hosts.begin(), failed_hosts.end());
   failed_hosts.erase(std::unique(failed_hosts.begin(), failed_hosts.end()),
                      failed_hosts.end());
-  for (const net::NodeId h : failed_hosts) drop_node(h);
+  for (const net::NodeId h : failed_hosts) prune_host(h);
 
   // Per-fragment degradation: only the lost fragments' byte ranges come
   // from the backing file; disk is authoritative (clean-cache invariant).
@@ -331,6 +546,11 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
   if (all_ok) {
     ++metrics_.remote_hits;
     mread_latency_.observe(sim_.now() - t0);
+    // Adaptation signal: re-find the entry (any await above may have
+    // dropped it) and count the hit for the next kPong report.
+    if (auto it = regions_.find(rd); it != regions_.end()) {
+      ++it->second.hits;
+    }
   } else {
     ++metrics_.mreads_degraded;
   }
@@ -403,40 +623,82 @@ sim::Co<Status> DodoClient::push_remote(int rd, Bytes64 offset,
   if (len == 0) co_return Status::ok();  // nothing to move, no socket
   // Copy before the first suspension — see mread_ex.
   const Bytes64 n = std::min(len, e->len - offset);
+  const core::RegionKey key = e->key;
   const core::StripeMap map = e->map;
+  const auto write_only = e->write_only;
   e = nullptr;
   obs::ScopedSpan span(params_.spans, "client.push_remote", parent);
 
+  // Write-through fan-out: every live replica of every overlapped fragment
+  // gets the bytes, plus the write-only copies of pending clones (so an
+  // activating clone misses nothing). One coroutine per copy.
   std::vector<Piece> pieces = overlap_pieces(map, offset, n);
-  std::vector<FragOutcome> outcomes(pieces.size());
-  sim::WaitGroup wg(sim_);
-  wg.add(static_cast<int>(pieces.size()));
+  struct Target {
+    std::size_t piece = 0;
+    core::RegionLoc loc;
+    bool live = false;  // serving replica (vs. write-only pending clone)
+  };
+  std::vector<Target> targets;
   for (std::size_t i = 0; i < pieces.size(); ++i) {
-    const Piece& p = pieces[i];
+    for (const core::RegionLoc& c : pieces[i].set.replicas) {
+      targets.push_back(Target{i, c, true});
+    }
+    for (const auto& [frag, c] : write_only) {
+      if (frag == pieces[i].frag_index) targets.push_back(Target{i, c, false});
+    }
+  }
+  std::vector<FragOutcome> outcomes(targets.size());
+  sim::WaitGroup wg(sim_);
+  wg.add(static_cast<int>(targets.size()));
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    const Piece& p = pieces[targets[k].piece];
     const std::uint8_t* src =
         buf == nullptr ? nullptr : buf + (p.lo - offset);
-    sim_.spawn(write_fragment(p.frag, p.lo - p.base, p.want, src,
-                              &outcomes[i], &wg, span.ctx()));
+    sim_.spawn(write_fragment(targets[k].loc, p.lo - p.base, p.want, src,
+                              &outcomes[k], &wg, span.ctx()));
   }
   co_await wg.wait();
 
-  Status res = Status::ok();
-  std::vector<net::NodeId> failed_hosts;
-  for (std::size_t i = 0; i < pieces.size(); ++i) {
-    if (outcomes[i].ok) {
-      metrics_.remote_write_bytes += pieces[i].want;
-      continue;
+  // Join with explicit OR of per-copy failure flags: a piece degrades iff
+  // NO live copy took the bytes, and the overall status ORs the per-piece
+  // flags — a fast sibling's success can never overwrite a failure seen
+  // earlier (or later) in the scan.
+  std::vector<bool> piece_has_live_ok(pieces.size(), false);
+  std::vector<bool> piece_has_failure(pieces.size(), false);
+  Err first_err = Err::kOk;
+  std::vector<core::RegionLoc> stale_copies;
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    if (outcomes[k].ok) {
+      metrics_.remote_write_bytes += pieces[targets[k].piece].want;
+      if (targets[k].live) piece_has_live_ok[targets[k].piece] = true;
+    } else {
+      ++metrics_.access_failures;
+      piece_has_failure[targets[k].piece] =
+          piece_has_failure[targets[k].piece] || true;
+      if (first_err == Err::kOk) first_err = outcomes[k].err;
+      stale_copies.push_back(targets[k].loc);
     }
-    ++metrics_.access_failures;
-    failed_hosts.push_back(pieces[i].frag.host);
-    if (res.is_ok()) res = Status(outcomes[i].err, "fragment write failed");
   }
-  std::sort(failed_hosts.begin(), failed_hosts.end());
-  failed_hosts.erase(std::unique(failed_hosts.begin(), failed_hosts.end()),
-                     failed_hosts.end());
-  for (const net::NodeId h : failed_hosts) drop_node(h);
+  bool degraded = false;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    degraded = degraded || !piece_has_live_ok[i];
+  }
 
-  if (!res.is_ok()) co_return res;
+  // Invalidate-on-write: every copy that missed the bytes leaves the local
+  // map AND the cmd directory before it can serve a stale read. An
+  // unanswered invalidation is promoted to full degradation — the caller
+  // drops the descriptor, and the copy dies at the cmd by epoch validation
+  // or key reuse before any read can route to it through a fresh mopen of
+  // this (per-client) key.
+  for (const core::RegionLoc& c : stale_copies) {
+    prune_copy(key, c);
+    if (!co_await invalidate_replica(key, c, span.ctx())) degraded = true;
+  }
+
+  if (degraded) {
+    co_return Status(first_err == Err::kOk ? Err::kTimeout : first_err,
+                     "fragment write failed");
+  }
   ++metrics_.remote_pushes;
   co_return Status::ok();
 }
@@ -533,7 +795,7 @@ sim::Co<int> DodoClient::mclose(int rd) {
   }
   // Any reply — success or already-reclaimed — resolves the key's fate;
   // only now is the local descriptor forgotten. Erase by key, not by `it`:
-  // a concurrent drop_node may have invalidated the iterator across the
+  // a concurrent prune_host may have invalidated the iterator across the
   // await.
   regions_.erase(rd);
   net::Reader r = core::body_reader(*rep);
@@ -582,6 +844,11 @@ obs::MetricsSnapshot DodoClient::metrics_snapshot() const {
   out.set_counter("client.mwrites_total", metrics_.mwrites_total);
   out.set_counter("client.mwrite_remote_failures",
                   metrics_.mwrite_remote_failures);
+  out.set_counter("client.replica_hits", metrics_.replica_hits);
+  out.set_counter("client.replica_failovers", metrics_.replica_failovers);
+  out.set_counter("client.invalidations_sent", metrics_.invalidations_sent);
+  out.set_counter("client.replica_updates_applied",
+                  metrics_.replica_updates_applied);
   out.set_gauge("client.region_table_size",
                 static_cast<std::int64_t>(regions_.size()));
   out.set_histogram("client.mread_latency", mread_latency_);
@@ -593,6 +860,19 @@ obs::MetricsSnapshot DodoClient::metrics_snapshot() const {
 bool DodoClient::active(int rd) const {
   auto it = regions_.find(rd);
   return it != regions_.end() && it->second.active;
+}
+
+std::uint32_t DodoClient::replica_depth(int rd) const {
+  auto it = regions_.find(rd);
+  if (it == regions_.end() || !it->second.active) return 0;
+  std::uint32_t depth = 0;
+  bool first = true;
+  for (const core::ReplicaSet& f : it->second.map.frags) {
+    const auto n = static_cast<std::uint32_t>(f.replicas.size());
+    if (first || n < depth) depth = n;
+    first = false;
+  }
+  return first ? 0 : depth;
 }
 
 }  // namespace dodo::runtime

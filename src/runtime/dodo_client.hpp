@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "core/rpc.hpp"
@@ -74,6 +75,17 @@ struct ClientMetrics {
   std::uint64_t disk_fallbacks = 0;
   std::uint64_t mwrites_total = 0;
   std::uint64_t mwrite_remote_failures = 0;
+  /// Fragment reads served from a replica set holding more than one copy.
+  std::uint64_t replica_hits = 0;
+  /// Read attempts that moved to a sibling replica after the selected copy
+  /// failed — each tick is a disk fallback avoided (when the sibling works).
+  std::uint64_t replica_failovers = 0;
+  /// kDropReplicaReq RPCs issued: copies that missed a write and were
+  /// reported to the cmd so they are never served stale.
+  std::uint64_t invalidations_sent = 0;
+  /// Replica-set deltas (add-write-only / activate / drop) applied from the
+  /// cmd's kPing piggyback.
+  std::uint64_t replica_updates_applied = 0;
 };
 
 class DodoClient {
@@ -168,6 +180,12 @@ class DodoClient {
     return regions_.size();
   }
 
+  /// Weakest-link replica depth of an active descriptor: the minimum number
+  /// of live (readable) copies across its fragments, 0 when the descriptor
+  /// is inactive. libmanage uses this to prefer evicting regions whose
+  /// remote copy survives any single host loss.
+  [[nodiscard]] std::uint32_t replica_depth(int rd) const;
+
  private:
   struct Entry {
     core::RegionKey key;
@@ -176,34 +194,69 @@ class DodoClient {
     Bytes64 len = 0;
     core::StripeMap map;
     bool active = false;
+    /// Write-only copies from the cmd's kAddWriteOnly deltas, keyed by
+    /// fragment index: writes fan out to them so a pending clone misses
+    /// nothing, but reads never touch them until the cmd activates them.
+    std::vector<std::pair<std::uint32_t, core::RegionLoc>> write_only;
+    /// Read hits since the last kPong report (the cmd's adaptation signal).
+    std::uint64_t hits = 0;
   };
 
-  /// Outcome slot one fan-out fragment coroutine reports into.
+  /// Outcome slot one fan-out piece/fragment coroutine reports into.
   struct FragOutcome {
     bool ok = false;
     bool filled = false;
+    bool replica_hit = false;  // served from a multi-copy set
     Err err = Err::kTimeout;
+    /// Hosts whose attempt failed (selected copy and any siblings tried).
+    std::vector<net::NodeId> failed_hosts;
   };
 
+  /// Per-host read-latency state backing replica selection: an EWMA of
+  /// observed mread round-trips, inflated by the number of in-flight
+  /// transfers to that host (bulk-credit backpressure proxy).
+  struct HostScore {
+    double ewma_latency = 0.0;  // 0 = no sample yet (optimistic)
+    int inflight = 0;
+  };
+  [[nodiscard]] double host_score(net::NodeId host) const;
+  void observe_latency(net::NodeId host, double sample);
+
   sim::Co<void> ping_loop();
+  /// Applies one replica-set delta from the cmd's kPing piggyback to every
+  /// descriptor of `key`.
+  void apply_replica_update(std::uint8_t op, const core::RegionKey& key,
+                            std::uint32_t frag, const core::RegionLoc& loc);
 
-  /// One fragment of a fanned-out mread: its own ephemeral socket, rid and
-  /// sibling "net.read" span under the caller's client.mread span.
-  sim::Co<void> read_fragment(core::RegionLoc frag, Bytes64 frag_off,
-                              Bytes64 want, std::uint8_t* dst,
-                              FragOutcome* out, sim::WaitGroup* wg,
-                              obs::TraceContext ctx);
+  /// One piece of a fanned-out mread: selects a replica with
+  /// power-of-two-choices over host_score(), and on failure fails over to
+  /// sibling replicas before reporting failure (the caller's disk path).
+  sim::Co<void> read_piece(core::ReplicaSet set, Bytes64 frag_off,
+                           Bytes64 want, std::uint8_t* dst, FragOutcome* out,
+                           sim::WaitGroup* wg, obs::TraceContext ctx);
 
-  /// One fragment of a fanned-out push/mwrite (kWriteReq → WriteGo →
-  /// bulk_send → WriteRep against the fragment's owner).
+  /// One copy of a fanned-out push/mwrite (kWriteReq → WriteGo →
+  /// bulk_send → WriteRep against the copy's owner).
   sim::Co<void> write_fragment(core::RegionLoc frag, Bytes64 frag_off,
                                Bytes64 want, const std::uint8_t* src,
                                FragOutcome* out, sim::WaitGroup* wg,
                                obs::TraceContext ctx);
 
-  /// Drops every descriptor with a fragment on `node` (§3.1 failure
-  /// handling).
-  void drop_node(net::NodeId node);
+  /// Reports a copy that missed a write to the cmd (kDropReplicaReq) so it
+  /// is dropped from the directory before it can serve stale bytes. True
+  /// when the cmd answered.
+  sim::Co<bool> invalidate_replica(core::RegionKey key, core::RegionLoc loc,
+                                   obs::TraceContext ctx);
+
+  /// Removes one specific copy from every descriptor of `key` (local half
+  /// of invalidate-on-write). A fragment losing its last copy drops the
+  /// descriptor.
+  void prune_copy(const core::RegionKey& key, const core::RegionLoc& loc);
+
+  /// §3.1 failure handling, replica-aware: prunes every copy hosted on
+  /// `node` from every descriptor's replica sets; a descriptor only drops
+  /// when one of its fragments loses its last copy.
+  void prune_host(net::NodeId node);
 
   Entry* lookup_active(int rd);
 
@@ -218,8 +271,10 @@ class DodoClient {
   obs::LatencyHistogram mread_latency_;   // successful remote reads only
   obs::LatencyHistogram mwrite_latency_;  // successful parallel writes only
   core::RidSource rids_;
+  Rng rng_;  // replica selection (power-of-two-choices)
 
   std::unordered_map<int, Entry> regions_;
+  std::unordered_map<net::NodeId, HostScore> host_scores_;
   int next_desc_ = 0;
   SimTime last_alloc_fail_ = -(1LL << 62);
 

@@ -341,7 +341,7 @@ TEST(Chaos, FreeReallocChurnWithDelayedRetransmits) {
   const std::vector<std::uint8_t> file_image = fill_dataset(c, fd, 8 * rlen);
 
   fault::FaultPlan plan;
-  plan.loss_burst(200_ms, 4_s, 0.25);
+  plan.loss_burst(200_ms, 4_s, 0.35);
   fault::FaultInjector inj(c, plan);
   inj.arm();
 
@@ -754,6 +754,168 @@ TEST(Chaos, StripedImdCutMidMwriteKeepsDiskAuthoritative) {
   EXPECT_EQ(disk, base_disk) << "striped run diverged from the disk-only run";
   const obs::MetricsSnapshot s = c.metrics_snapshot();
   EXPECT_GT(s.counter_value("cmd.striped_regions"), 0u);
+  expect_mread_conservation(s);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, ReplicaOwnerKilledMidReadFailsOverToSibling) {
+  // Every region carries two copies on distinct hosts. One copy owner is
+  // killed mid-sweep: the picker must fail over to the live sibling, so —
+  // unlike the striped test above — no read ever touches the backing file.
+  // Byte-exactness still holds, and the leak audit stays clean even though
+  // the cmd never hears the host die (crash cuts the network, not the IWD).
+  ClusterConfig cfg = chaos_config(35);
+  cfg.cmd.replica_count = 2;
+  cfg.client.refraction = millis(100);
+  Cluster c(cfg);
+  const Bytes64 rlen = 64_KiB;
+  const int nslots = 6;
+  const int fd = c.create_dataset("data", nslots * rlen);
+  fill_dataset(c, fd, nslots * rlen);
+
+  fault::FaultPlan plan;
+  plan.imd_crash(400_ms, 1);  // one copy owner dies and stays dead
+  fault::FaultInjector inj(c, plan);
+  inj.arm();
+
+  bool mismatch = false;
+  int reads_done = 0;
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    auto* client = cl.dodo();
+    std::vector<int> rds(nslots, -1);
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(rlen));
+    std::vector<std::uint8_t> back(static_cast<std::size_t>(rlen));
+    auto slot_pattern = [&](int s) {
+      for (std::size_t j = 0; j < buf.size(); ++j) {
+        buf[j] = static_cast<std::uint8_t>((s * 61 + j * 13 + 5) & 0xff);
+      }
+    };
+    for (int sweep = 0; sweep < 60 && (sweep < 8 || !inj.done()); ++sweep) {
+      for (int s = 0; s < nslots; ++s) {
+        auto& rd = rds[static_cast<std::size_t>(s)];
+        if (rd >= 0 && !client->active(rd)) rd = -1;
+        if (rd < 0) {
+          rd = co_await client->mopen(rlen, fd,
+                                      static_cast<Bytes64>(s) * rlen);
+          if (rd < 0) {
+            co_await cl.sim().sleep(20_ms);
+            continue;
+          }
+          slot_pattern(s);
+          if (co_await client->mwrite(rd, 0, buf.data(), rlen) != rlen ||
+              !client->active(rd)) {
+            continue;
+          }
+        }
+        slot_pattern(s);
+        const auto rr = co_await client->mread_ex(rd, 0, back.data(), rlen);
+        if (rr.n != rlen) continue;
+        ++reads_done;
+        if (back != buf) mismatch = true;
+        // With a live sibling for every copy, nothing may fall to disk.
+        EXPECT_TRUE(rr.disk_ranges.empty())
+            << "slot " << s << " read from disk despite a live replica";
+        co_await cl.sim().sleep(5_ms);
+      }
+    }
+    co_await cl.sim().sleep(seconds(2.5));
+    for (int s = 0; s < nslots; ++s) {
+      if (rds[static_cast<std::size_t>(s)] >= 0) {
+        (void)co_await client->mclose(rds[static_cast<std::size_t>(s)]);
+      }
+    }
+    co_await cl.sim().sleep(seconds(2.5));
+  }, 3600_s);
+
+  EXPECT_FALSE(mismatch) << "failover read diverged from write-through image";
+  EXPECT_GT(reads_done, 20);
+  expect_all_faults_fired(inj, plan);
+
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  // Every region really carried a second copy, the dead copy really was
+  // selected at least once, and the sibling absorbed every such read.
+  EXPECT_GT(s.counter_value("cmd.replicas_placed"), 0u);
+  EXPECT_GT(s.counter_value("client.replica_failovers"), 0u);
+  EXPECT_EQ(s.counter_value("client.disk_fallbacks"), 0u);
+  EXPECT_EQ(s.counter_value("client.mreads_degraded"), 0u);
+  expect_mread_conservation(s);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, AllReplicasLostDegradesToDisk) {
+  // The replica set is not a durability promise: when every copy owner is
+  // dead, reads must degrade to the backing file — byte-exact, because
+  // write-through made disk authoritative before the crash.
+  ClusterConfig cfg = chaos_config(36);
+  cfg.imd_hosts = 2;  // rc=2 => every region's copies live on both hosts
+  cfg.cmd.replica_count = 2;
+  cfg.client.refraction = millis(100);
+  Cluster c(cfg);
+  const Bytes64 rlen = 64_KiB;
+  const int nslots = 4;
+  const int fd = c.create_dataset("data", nslots * rlen);
+  fill_dataset(c, fd, nslots * rlen);
+
+  fault::FaultPlan plan;
+  plan.imd_crash(400_ms, 0).imd_crash(450_ms, 1);  // the whole harvest dies
+  fault::FaultInjector inj(c, plan);
+  inj.arm();
+
+  bool mismatch = false;
+  int reads_done = 0;
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    auto* client = cl.dodo();
+    std::vector<int> rds(nslots, -1);
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(rlen));
+    std::vector<std::uint8_t> back(static_cast<std::size_t>(rlen));
+    auto slot_pattern = [&](int s) {
+      for (std::size_t j = 0; j < buf.size(); ++j) {
+        buf[j] = static_cast<std::uint8_t>((s * 67 + j * 13 + 3) & 0xff);
+      }
+    };
+    for (int sweep = 0; sweep < 20 && (sweep < 6 || !inj.done()); ++sweep) {
+      for (int s = 0; s < nslots; ++s) {
+        auto& rd = rds[static_cast<std::size_t>(s)];
+        if (rd >= 0 && !client->active(rd)) rd = -1;
+        if (rd < 0) {
+          rd = co_await client->mopen(rlen, fd,
+                                      static_cast<Bytes64>(s) * rlen);
+          if (rd < 0) {
+            co_await cl.sim().sleep(20_ms);
+            continue;
+          }
+          slot_pattern(s);
+          if (co_await client->mwrite(rd, 0, buf.data(), rlen) != rlen ||
+              !client->active(rd)) {
+            continue;
+          }
+        }
+        slot_pattern(s);
+        const auto rr = co_await client->mread_ex(rd, 0, back.data(), rlen);
+        if (rr.n != rlen) continue;
+        ++reads_done;
+        if (back != buf) mismatch = true;
+        co_await cl.sim().sleep(5_ms);
+      }
+    }
+    co_await cl.sim().sleep(seconds(2.5));
+    for (int s = 0; s < nslots; ++s) {
+      if (rds[static_cast<std::size_t>(s)] >= 0) {
+        (void)co_await client->mclose(rds[static_cast<std::size_t>(s)]);
+      }
+    }
+    co_await cl.sim().sleep(seconds(2.5));
+  }, 3600_s);
+
+  EXPECT_FALSE(mismatch) << "degraded read diverged from write-through image";
+  EXPECT_GT(reads_done, 0);
+  expect_all_faults_fired(inj, plan);
+
+  const obs::MetricsSnapshot s = c.metrics_snapshot();
+  EXPECT_GT(s.counter_value("cmd.replicas_placed"), 0u);
+  // Both copies of at least one region were tried and lost before the read
+  // fell back: the sibling walk precedes disk, it does not replace it.
+  EXPECT_GT(s.counter_value("client.disk_fallbacks"), 0u);
   expect_mread_conservation(s);
   EXPECT_EQ(fault::leak_report(c), "");
 }

@@ -59,7 +59,9 @@ Co<MopenResult> do_mopen(net::Network& net, net::NodeId node,
   res.ok = r.u8() != 0;
   (void)r.u8();  // reused flag
   res.map = get_stripes(r);
-  if (!res.map.frags.empty()) res.loc = res.map.frags.front();
+  if (!res.map.frags.empty() && !res.map.frags.front().empty()) {
+    res.loc = res.map.frags.front().primary();
+  }
   co_return res;
 }
 

@@ -36,8 +36,10 @@ int main() {
   opt.buggy_imd_reply_cache = buggy;
 
   std::uint64_t failures = 0;
+  std::uint64_t replicated = 0;
   for (std::uint64_t seed = base; seed < base + count; ++seed) {
     const auto s = dodo::fuzz::generate_schedule(seed);
+    if (s.replica_count > 1) ++replicated;
     const auto r = dodo::fuzz::run_schedule(s, opt);
     if (!r.ok()) {
       ++failures;
@@ -49,15 +51,22 @@ int main() {
                   buggy ? " --buggy-imd-cache" : "");
     }
   }
-  std::printf("fuzz_soak: %llu/%llu seeds %s (base %llu)\n",
+  std::printf("fuzz_soak: %llu/%llu seeds %s (base %llu, %llu replicated)\n",
               static_cast<unsigned long long>(count - failures),
               static_cast<unsigned long long>(count),
               buggy ? "green under deliberate bug" : "green",
-              static_cast<unsigned long long>(base));
+              static_cast<unsigned long long>(base),
+              static_cast<unsigned long long>(replicated));
   if (buggy) {
     // With the bug planted, a scan this wide MUST catch it; zero failures
     // means the fuzzer has lost its teeth.
     return failures > 0 ? 0 : 1;
+  }
+  // Any non-trivial window must include replica-aware schedules (~25% of
+  // seeds), or the staleness oracle never runs in the soak job at all.
+  if (count >= 20 && replicated == 0) {
+    std::printf("fuzz_soak: no replica-aware schedules in the window\n");
+    return 1;
   }
   return failures == 0 ? 0 : 1;
 }

@@ -441,6 +441,111 @@ TEST(Bulk, SelectiveNackRetransmitsExactlyTheMissing) {
   EXPECT_EQ(net.metrics().datagrams_lost, 2u);
 }
 
+/// Raw kData frame exactly as net/bulk.cpp lays it out: u8 kind(3), u64
+/// xfer, u64 seq, u64 nchunks, i64 offset, i64 chunk_len, i64 total_len;
+/// payload rides the body (kData carries no trace pair). Lets tests drive
+/// the receiver with hand-paced and duplicated chunks.
+void send_raw_chunk(Socket& s, Endpoint dst, std::uint64_t xfer,
+                    std::uint64_t seq, std::uint64_t nchunks, const Buf& data,
+                    Bytes64 piece) {
+  const Bytes64 total = static_cast<Bytes64>(data.size());
+  const Bytes64 off = static_cast<Bytes64>(seq) * piece;
+  const Bytes64 len = std::min(piece, total - off);
+  Buf h;
+  Writer w(h);
+  w.u8(3);  // kData
+  w.u64(xfer);
+  w.u64(seq);
+  w.u64(nchunks);
+  w.i64(off);
+  w.i64(len);
+  w.i64(total);
+  Buf body(data.begin() + static_cast<std::ptrdiff_t>(off),
+           data.begin() + static_cast<std::ptrdiff_t>(off + len));
+  s.send(dst, std::move(h), std::move(body), len);
+}
+
+TEST(Bulk, SlowSenderJustUnderGapDrawsNoNack) {
+  // Receive-gap contract: the 20 ms gap timer re-arms on EVERY in-order
+  // chunk, so a sender pacing chunks just under the gap is never NACKed —
+  // the whole blast lands without a single retransmit request.
+  Simulator sim(1);
+  Network net(sim, NetParams::unet(), 2);
+  auto tx = net.open_ephemeral(0);
+  auto rx = net.open_ephemeral(1);
+  const Buf data = make_pattern(6 * 512);
+  BulkStats rxs;
+  BulkParams rbp;
+  rbp.stats = &rxs;
+  BulkRecvResult rr;
+  sim.spawn([](Socket& s, BulkParams bp, BulkRecvResult& out) -> Co<void> {
+    out = co_await bulk_recv(s, 77, bp);
+  }(*rx, rbp, rr));
+  sim.spawn([](Simulator& sm, Socket& s, Endpoint dst,
+               const Buf& d) -> Co<void> {
+    for (std::uint64_t seq = 0; seq < 6; ++seq) {
+      if (seq > 0) co_await sm.sleep(millis(18));  // just under the 20ms gap
+      send_raw_chunk(s, dst, 77, seq, 6, d, 512);
+    }
+    (void)co_await s.recv_for(millis(200));  // drain the final ack
+  }(sim, *tx, rx->local(), data));
+  sim.run(10_s);
+  ASSERT_TRUE(rr.status.is_ok()) << rr.status.to_string();
+  EXPECT_EQ(rr.data, data);
+  EXPECT_EQ(rxs.nacks_sent.value(), 0u);
+}
+
+TEST(Bulk, DuplicateFloodStillDrawsTargetedNack) {
+  // The flip side of the re-arm rule: duplicates of a chunk the receiver
+  // already holds make no progress and must NOT re-arm the gap timer. A
+  // sender re-blasting chunk 0 every 10 ms while withholding 1..3 gets a
+  // targeted NACK naming exactly the missing chunks — under the old
+  // reset-on-any-datagram behavior the NACK never fired and the transfer
+  // sat behind the sender's own (much coarser) round timeout.
+  Simulator sim(1);
+  Network net(sim, NetParams::unet(), 2);
+  auto tx = net.open_ephemeral(0);
+  auto rx = net.open_ephemeral(1);
+  const Buf data = make_pattern(4 * 512);
+  BulkStats rxs;
+  BulkParams rbp;
+  rbp.stats = &rxs;
+  BulkRecvResult rr;
+  sim.spawn([](Socket& s, BulkParams bp, BulkRecvResult& out) -> Co<void> {
+    out = co_await bulk_recv(s, 88, bp);
+  }(*rx, rbp, rr));
+  std::vector<std::uint64_t> nacked;
+  sim.spawn([](Socket& s, Endpoint dst, const Buf& d,
+               std::vector<std::uint64_t>& nk) -> Co<void> {
+    send_raw_chunk(s, dst, 88, 0, 4, d, 512);
+    for (int i = 0; i < 50 && nk.empty(); ++i) {
+      auto m = co_await s.recv_for(millis(10));
+      if (!m) {
+        send_raw_chunk(s, dst, 88, 0, 4, d, 512);  // duplicate, no progress
+        continue;
+      }
+      Reader r(m->header);
+      if (r.u8() == 5 && r.u64() == 88) {  // kNack
+        (void)r.u64();                     // trace id
+        (void)r.u64();                     // parent span
+        const auto n = r.u32();
+        for (std::uint32_t k = 0; k < n && r.ok(); ++k) {
+          nk.push_back(r.u64());
+        }
+      }
+    }
+    for (std::uint64_t seq = 1; seq < 4; ++seq) {
+      send_raw_chunk(s, dst, 88, seq, 4, d, 512);
+    }
+    (void)co_await s.recv_for(millis(200));  // drain the final ack
+  }(*tx, rx->local(), data, nacked));
+  sim.run(10_s);
+  ASSERT_TRUE(rr.status.is_ok()) << rr.status.to_string();
+  EXPECT_EQ(rr.data, data);
+  EXPECT_GE(rxs.nacks_sent.value(), 1u);
+  EXPECT_EQ(nacked, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
 TEST(Bulk, UnetFasterThanUdpForLargeTransfer) {
   auto time_one = [](NetParams params) {
     Simulator sim;

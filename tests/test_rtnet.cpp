@@ -3,10 +3,13 @@
 // environment forbids socket creation.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <thread>
 #include <vector>
+
+#include "net/codec.hpp"
 
 #include "fuzz/permute.hpp"
 #include "rtnet/rt_udp.hpp"
@@ -122,6 +125,102 @@ TEST(RtUdp, ToleratesReorderedAndDuplicatedDatagrams) {
   }
   EXPECT_EQ(got, expected);
   EXPECT_FALSE(rx.recv(20).has_value());  // and nothing extra
+}
+
+// Raw kData frame as rt_udp.cpp lays it out: u8 kind(3), u64 xfer, u64 seq,
+// u64 nchunks, i64 total_len, u32 payload_len, payload bytes.
+net::Buf raw_chunk(std::uint64_t xfer, std::uint64_t seq,
+                   std::uint64_t nchunks,
+                   const std::vector<std::uint8_t>& data, std::size_t piece) {
+  const std::size_t off = static_cast<std::size_t>(seq) * piece;
+  const std::size_t n = std::min(piece, data.size() - off);
+  net::Buf msg;
+  net::Writer w(msg);
+  w.u8(3);  // kData
+  w.u64(xfer);
+  w.u64(seq);
+  w.u64(nchunks);
+  w.i64(static_cast<std::int64_t>(data.size()));
+  w.u32(static_cast<std::uint32_t>(n));
+  w.bytes(data.data() + off, n);
+  return msg;
+}
+
+TEST(RtBulk, SlowSenderJustUnderGapDrawsNoNack) {
+  // Mirror of the simulated-transport test: the receive-gap timer re-arms
+  // on every in-order chunk, so pacing chunks just under the gap draws no
+  // NACK and the payload lands byte-exact.
+  UdpSocket tx = UdpSocket::open_loopback();
+  REQUIRE_SOCKETS(tx);
+  UdpSocket rx = UdpSocket::open_loopback();
+  ASSERT_TRUE(rx.valid());
+
+  RtBulkParams params;
+  params.chunk = 512;
+  params.recv_gap_timeout_ms = 120;  // generous: scheduler noise can't fire it
+  const auto data = pattern(4 * 512);
+  RtBulkResult result;
+  std::thread receiver([&] { result = rt_bulk_recv(rx, 9, params); });
+
+  int nacks_seen = 0;
+  auto drain = [&](int timeout_ms) {
+    while (auto m = tx.recv(timeout_ms)) {
+      if (!m->first.empty() && m->first[0] == 5) ++nacks_seen;  // kNack
+      if (!m->first.empty() && m->first[0] == 4) return true;   // kAck
+    }
+    return false;
+  };
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    if (seq > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+      drain(0);
+    }
+    const net::Buf msg = raw_chunk(9, seq, 4, data, params.chunk);
+    ASSERT_TRUE(tx.send_to(rx.port(), msg.data(), msg.size()));
+  }
+  drain(2000);  // wait for the final ACK
+  receiver.join();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.data, data);
+  EXPECT_EQ(nacks_seen, 0);
+}
+
+TEST(RtBulk, DuplicateFloodStillDrawsTargetedNack) {
+  // Duplicates make no progress and must not re-arm the gap timer: a sender
+  // re-blasting chunk 0 while withholding the rest gets a NACK promptly.
+  UdpSocket tx = UdpSocket::open_loopback();
+  REQUIRE_SOCKETS(tx);
+  UdpSocket rx = UdpSocket::open_loopback();
+  ASSERT_TRUE(rx.valid());
+
+  RtBulkParams params;
+  params.chunk = 512;
+  params.recv_gap_timeout_ms = 30;
+  const auto data = pattern(4 * 512);
+  RtBulkResult result;
+  std::thread receiver([&] { result = rt_bulk_recv(rx, 9, params); });
+
+  net::Buf first = raw_chunk(9, 0, 4, data, params.chunk);
+  ASSERT_TRUE(tx.send_to(rx.port(), first.data(), first.size()));
+  bool nacked = false;
+  for (int i = 0; i < 200 && !nacked; ++i) {
+    if (auto m = tx.recv(10)) {
+      if (!m->first.empty() && m->first[0] == 5) nacked = true;
+    } else {
+      ASSERT_TRUE(tx.send_to(rx.port(), first.data(), first.size()));
+    }
+  }
+  for (std::uint64_t seq = 1; seq < 4; ++seq) {
+    const net::Buf msg = raw_chunk(9, seq, 4, data, params.chunk);
+    ASSERT_TRUE(tx.send_to(rx.port(), msg.data(), msg.size()));
+  }
+  while (auto m = tx.recv(2000)) {
+    if (!m->first.empty() && m->first[0] == 4) break;  // final ACK
+  }
+  receiver.join();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.data, data);
+  EXPECT_TRUE(nacked);
 }
 
 TEST(RtBulk, ReceiverTimesOutWithoutSender) {
