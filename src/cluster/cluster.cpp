@@ -1,20 +1,27 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "core/wire.hpp"
+#include "sim/channel.hpp"
 
 namespace dodo::cluster {
 
 Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)), sim_(config_.seed) {
+  if (config_.cmd_shards < 1) config_.cmd_shards = 1;
   if (config_.spans == nullptr && config_.record_spans) {
     traces_ = std::make_unique<obs::TraceDomain>(sim_);
   }
-  const auto nodes = static_cast<std::size_t>(config_.imd_hosts) + 2;
+  // Extra cmd shards live on nodes appended after the harvested hosts, so
+  // the paper's node layout (cmd=0, app=1, hosts=2..) never shifts.
+  const auto nodes = static_cast<std::size_t>(config_.imd_hosts) + 2 +
+                     static_cast<std::size_t>(config_.cmd_shards - 1);
   net_ = std::make_unique<net::Network>(sim_, config_.net, nodes);
 
   disk::FsParams fsp;
@@ -22,11 +29,16 @@ Cluster::Cluster(ClusterConfig config)
       config_.use_dodo ? config_.page_cache_dodo : config_.page_cache_baseline;
   fs_ = std::make_unique<disk::SimFilesystem>(sim_, fsp);
 
-  core::CmdParams cmdp = config_.cmd;
-  if (traces_) cmdp.spans = traces_->recorder(0, "cmd");
-  if (config_.spans != nullptr) cmdp.spans = config_.spans;
-  cmd_ = std::make_unique<core::CentralManager>(sim_, *net_, 0, cmdp);
-  cmd_->start();
+  for (int s = 0; s < config_.cmd_shards; ++s) {
+    const net::NodeId node = shard_node(s);
+    core::CmdParams cmdp = config_.cmd;
+    if (traces_) cmdp.spans = traces_->recorder(node, "cmd");
+    if (config_.spans != nullptr) cmdp.spans = config_.spans;
+    shard_params_.push_back(cmdp);
+    cmds_.push_back(
+        std::make_unique<core::CentralManager>(sim_, *net_, node, cmdp));
+    cmds_.back()->start();
+  }
 
   if (config_.use_dodo) {
     for (int i = 0; i < config_.imd_hosts; ++i) {
@@ -55,7 +67,8 @@ Cluster::Cluster(ClusterConfig config)
         ip.spans = traces_->recorder(i + 2, "imd");
       }
       rmds_.push_back(std::make_unique<core::ResourceMonitor>(
-          sim_, *net_, node, cmd_->endpoint(), *activity, rp, ip));
+          sim_, *net_, node, cmds_[static_cast<std::size_t>(shard_of_host(i))]->endpoint(),
+          *activity, rp, ip));
       rmds_.back()->start();
     }
     restart_client();
@@ -81,8 +94,38 @@ sim::Co<void> Cluster::evict_host(int host) {
 }
 
 sim::Co<void> Cluster::restart_cmd() {
-  co_await cmd_->stop();
-  cmd_->start();
+  for (auto& cmd : cmds_) {
+    co_await cmd->stop();
+    cmd->start();
+  }
+}
+
+sim::Co<void> Cluster::restart_cmd_shard(int shard) {
+  const auto s = static_cast<std::size_t>(shard);
+  net_->set_node_up(shard_node(shard), true);
+  // Stop the zombie first: its suspended coroutines reference the object
+  // being replaced and must unwind before it is destroyed.
+  co_await cmds_[s]->stop();
+  cmds_[s] = std::make_unique<core::CentralManager>(
+      sim_, *net_, shard_node(shard), shard_params_[s]);
+  cmds_[s]->start();
+  // The fresh manager's directory is empty but the partition's imds still
+  // hold the pre-crash pool: evict + re-recruit each (epoch bump, fresh
+  // empty pool, immediate re-registration) so directory and pools agree —
+  // and a region freed before the crash has nowhere left to resurrect from.
+  for (int h = 0; h < config_.imd_hosts; ++h) {
+    if (shard_of_host(h) != shard) continue;
+    auto& rmd = *rmds_.at(static_cast<std::size_t>(h));
+    co_await rmd.force_evict();
+    rmd.force_recruit();
+  }
+}
+
+std::vector<net::Endpoint> Cluster::cmd_endpoints() const {
+  std::vector<net::Endpoint> eps;
+  eps.reserve(cmds_.size());
+  for (const auto& cmd : cmds_) eps.push_back(cmd->endpoint());
+  return eps;
 }
 
 void Cluster::restart_client() {
@@ -93,7 +136,7 @@ void Cluster::restart_client() {
   cp.spans = config_.spans;
   if (traces_) cp.spans = traces_->recorder(1, "client");
   client_ = std::make_unique<runtime::DodoClient>(
-      sim_, *net_, app_node(), cmd_->endpoint(), *fs_, cp);
+      sim_, *net_, app_node(), cmd_endpoints(), *fs_, cp);
   client_->start();
   manage::ManageParams mp = config_.manage_overrides;
   mp.local_cache_bytes = config_.local_cache;
@@ -162,7 +205,16 @@ std::string Cluster::trace_chrome_json() {
 
 obs::MetricsSnapshot Cluster::metrics_snapshot() const {
   obs::MetricsSnapshot out;
-  out.merge(cmd_->metrics_snapshot());
+  for (const auto& cmd : cmds_) out.merge(cmd->metrics_snapshot());
+  if (cmds_.size() > 1) {
+    // Sharded runs additionally export each shard's view under a
+    // "shard<i>." prefix (DESIGN §9); the unprefixed "cmd.*" names above
+    // stay the cluster-wide totals. Single-shard output is unchanged.
+    for (std::size_t s = 0; s < cmds_.size(); ++s) {
+      out.merge(cmds_[s]->metrics_snapshot().prefixed(
+          "shard" + std::to_string(s) + "."));
+    }
+  }
   if (client_) out.merge(client_->metrics_snapshot());
   if (manager_) out.merge(manager_->metrics_snapshot());
   for (const auto& rmd : rmds_) {
@@ -193,6 +245,36 @@ obs::MetricsSnapshot Cluster::metrics_snapshot() const {
   }
   out.set_gauge("obs.spans_open_at_quiesce", spans_open_at_quiesce_);
   return out;
+}
+
+sim::Co<obs::MetricsSnapshot> Cluster::scrape_cluster() {
+  // Fan the per-shard scrapes out concurrently: each shard serially visits
+  // only its own partition, so the wall-clock cost is one partition's.
+  std::vector<obs::MetricsSnapshot> parts(cmds_.size());
+  sim::WaitGroup wg(sim_);
+  wg.add(static_cast<int>(cmds_.size()));
+  for (std::size_t s = 0; s < cmds_.size(); ++s) {
+    sim_.spawn([](Cluster& c, std::size_t i,
+                  std::vector<obs::MetricsSnapshot>& out,
+                  sim::WaitGroup& g) -> sim::Co<void> {
+      out[i] = co_await c.cmds_[i]->scrape_cluster();
+      g.done();
+    }(*this, s, parts, wg));
+  }
+  co_await wg.wait();
+  // Scrapes complete in timing order, not shard order; sort the serialized
+  // parts before merging so the merged snapshot is a pure function of their
+  // contents and multi-cmd JSON exports stay byte-identical per seed.
+  std::vector<std::string> jsons;
+  jsons.reserve(parts.size());
+  for (const obs::MetricsSnapshot& p : parts) jsons.push_back(p.to_json());
+  std::sort(jsons.begin(), jsons.end());
+  obs::MetricsSnapshot total;
+  for (const std::string& j : jsons) {
+    obs::MetricsSnapshot part;
+    if (obs::MetricsSnapshot::from_json(j, part)) total.merge(part);
+  }
+  co_return total;
 }
 
 bool Cluster::try_run_app(std::function<sim::Co<void>(Cluster&)> app,

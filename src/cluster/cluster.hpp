@@ -30,6 +30,13 @@ namespace dodo::cluster {
 
 struct ClusterConfig {
   int imd_hosts = 12;
+  /// Directory shards: the number of central manager instances the control
+  /// plane runs. Region keys map to shards by core::shard_of_key; harvested
+  /// host i registers with shard i % cmd_shards, so each shard owns a
+  /// disjoint partition of the imd pool and runs its own keep-alive, scrub,
+  /// and pending-free machinery over it. 1 (default) is the paper's layout
+  /// and takes exactly the single-cmd code path.
+  int cmd_shards = 1;
   Bytes64 imd_pool = 100 * 1024 * 1024;   // 0 = derive from activity
   Bytes64 local_cache = 80 * 1024 * 1024;  // libmanage pool on the app node
   /// Page cache on the application node. With Dodo, the region cache takes
@@ -75,7 +82,15 @@ class Cluster {
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] net::Network& network() { return *net_; }
   [[nodiscard]] disk::SimFilesystem& fs() { return *fs_; }
-  [[nodiscard]] core::CentralManager& cmd() { return *cmd_; }
+  /// Shard 0's manager — the only one in the paper layout, and the legacy
+  /// accessor every single-cmd call site keeps using.
+  [[nodiscard]] core::CentralManager& cmd() { return *cmds_.front(); }
+  [[nodiscard]] core::CentralManager& cmd(int shard) {
+    return *cmds_.at(static_cast<std::size_t>(shard));
+  }
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(cmds_.size());
+  }
   [[nodiscard]] runtime::DodoClient* dodo() { return client_.get(); }
   [[nodiscard]] manage::RegionManager* manager() { return manager_.get(); }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
@@ -86,6 +101,18 @@ class Cluster {
   /// Network node id of harvested host index `host` (0..imd_hosts-1).
   [[nodiscard]] net::NodeId host_node(int host) const {
     return static_cast<net::NodeId>(host + 2);
+  }
+  /// Network node of cmd shard `shard`. Shard 0 keeps the paper's dedicated
+  /// node 0; extra shards run on nodes appended after the harvested hosts,
+  /// so the host/app node ids never move when cmd_shards changes.
+  [[nodiscard]] net::NodeId shard_node(int shard) const {
+    return shard == 0 ? 0
+                      : static_cast<net::NodeId>(config_.imd_hosts + 1 + shard);
+  }
+  /// Shard whose imd-pool partition harvested host `host` belongs to (the
+  /// shard its rmd registers with).
+  [[nodiscard]] int shard_of_host(int host) const {
+    return host % shard_count();
   }
 
   // -- fault-injection hooks (driven by fault::FaultInjector) ---------------
@@ -110,10 +137,25 @@ class Cluster {
   /// Re-recruits an evicted host (epoch bump, fresh registration).
   void recruit_host(int host) { rmds_.at(static_cast<std::size_t>(host))->force_recruit(); }
 
-  /// Cold-stops and immediately restarts the central manager. Directory
-  /// state survives (a warm restart from its in-memory image); in-flight
-  /// client RPCs ride it out via retransmits.
+  /// Cold-stops and immediately restarts every central manager shard.
+  /// Directory state survives (a warm restart from its in-memory image);
+  /// in-flight client RPCs ride it out via retransmits.
   sim::Co<void> restart_cmd();
+
+  /// Crash one cmd shard: its node drops off the network, the daemon keeps
+  /// running as a zombie whose datagrams vanish. Regions mapped to sibling
+  /// shards are untouched; this shard's clients see mopen/mclose timeouts.
+  void crash_cmd_shard(int shard) {
+    net_->set_node_up(shard_node(shard), false);
+  }
+
+  /// Recovery from crash_cmd_shard: network back, the zombie stopped and
+  /// replaced by a fresh manager with an EMPTY directory, and every host in
+  /// the shard's partition evicted + re-recruited (epoch bump, fresh pools)
+  /// so the new directory and its imds agree from the first registration.
+  /// Regions freed before the crash cannot resurrect: nothing survives in
+  /// either the directory or the partition's pools.
+  sim::Co<void> restart_cmd_shard(int shard);
 
   /// Creates the application dataset file on the app node, materialized or
   /// pattern-backed per the config. Returns the (writable) fd.
@@ -143,6 +185,13 @@ class Cluster {
   /// the bench binaries export as JSON; the kStats RPC path serves the same
   /// shapes over the wire.
   [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// Over-the-wire scrape of the whole deployment: every shard's
+  /// scrape_cluster() fans out concurrently, then the per-shard snapshots
+  /// merge in sorted order — the merged snapshot is independent of shard
+  /// completion order, so multi-cmd JSON exports stay byte-identical per
+  /// seed at quiesce.
+  sim::Co<obs::MetricsSnapshot> scrape_cluster();
 
   /// The caller-supplied flat span sink (null in TraceDomain mode — use
   /// traces() / merged_spans() there).
@@ -178,7 +227,9 @@ class Cluster {
   std::int64_t spans_open_at_quiesce_ = 0;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<disk::SimFilesystem> fs_;
-  std::unique_ptr<core::CentralManager> cmd_;
+  std::vector<std::unique_ptr<core::CentralManager>> cmds_;  // one per shard
+  std::vector<core::CmdParams> shard_params_;  // for cold shard restarts
+  [[nodiscard]] std::vector<net::Endpoint> cmd_endpoints() const;
   std::vector<std::unique_ptr<core::AlwaysIdleActivity>> default_activity_;
   std::vector<std::unique_ptr<core::ResourceMonitor>> rmds_;
   std::unique_ptr<runtime::DodoClient> client_;

@@ -126,6 +126,22 @@ struct RegionKeyHash {
   }
 };
 
+/// Directory shard a region key belongs to when the control plane runs
+/// `shard_count` central managers. Pure function of the key, so every
+/// client routes identically with no cross-shard lookup on the hot path.
+/// The table hash above feeds a fmix64-style avalanche so consecutive file
+/// offsets spread across shards instead of striding. shard_count <= 1
+/// always maps to shard 0 (the paper's single-cmd layout).
+inline std::uint32_t shard_of_key(const RegionKey& k,
+                                  std::uint32_t shard_count) {
+  if (shard_count <= 1) return 0;
+  std::uint64_t h = RegionKeyHash{}(k);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::uint32_t>(h % shard_count);
+}
+
 /// Where a region lives: host + the epoch it was allocated under + the
 /// region id within that imd's pool.
 struct RegionLoc {

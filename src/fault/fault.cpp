@@ -25,6 +25,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kCmdBlackoutBegin: return "cmd-blackout-begin";
     case FaultKind::kCmdBlackoutEnd: return "cmd-blackout-end";
     case FaultKind::kCmdRestart: return "cmd-restart";
+    case FaultKind::kCmdShardCrash: return "cmd-shard-crash";
+    case FaultKind::kCmdShardRestart: return "cmd-shard-restart";
   }
   return "unknown";
 }
@@ -36,7 +38,8 @@ bool fault_kind_from_string(const std::string& name, FaultKind& out) {
       FaultKind::kImdCrash,       FaultKind::kImdRestart,
       FaultKind::kHostEvict,      FaultKind::kHostRecruit,
       FaultKind::kCmdBlackoutBegin, FaultKind::kCmdBlackoutEnd,
-      FaultKind::kCmdRestart,
+      FaultKind::kCmdRestart,       FaultKind::kCmdShardCrash,
+      FaultKind::kCmdShardRestart,
   };
   for (FaultKind k : kAll) {
     if (name == to_string(k)) {
@@ -88,6 +91,16 @@ FaultPlan& FaultPlan::cmd_blackout(SimTime at, Duration dur) {
 
 FaultPlan& FaultPlan::cmd_restart(SimTime at) {
   events_.push_back({at, FaultKind::kCmdRestart, -1, 0, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cmd_shard_crash(SimTime at, int shard) {
+  events_.push_back({at, FaultKind::kCmdShardCrash, shard, 0, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cmd_shard_restart(SimTime at, int shard) {
+  events_.push_back({at, FaultKind::kCmdShardRestart, shard, 0, 0, 0.0});
   return *this;
 }
 
@@ -200,6 +213,17 @@ sim::Co<void> FaultInjector::apply(const FaultEvent& ev) {
       co_await cluster_.restart_cmd();
       detail[0] = '\0';
       break;
+    case FaultKind::kCmdShardCrash:
+      cluster_.crash_cmd_shard(ev.host);
+      std::snprintf(detail, sizeof(detail), "cmd shard %d (node %u) down",
+                    ev.host, cluster_.shard_node(ev.host));
+      break;
+    case FaultKind::kCmdShardRestart:
+      co_await cluster_.restart_cmd_shard(ev.host);
+      std::snprintf(detail, sizeof(detail),
+                    "cmd shard %d (node %u) up, partition re-recruited",
+                    ev.host, cluster_.shard_node(ev.host));
+      break;
   }
   log_.record(cluster_.sim().now(), ev.kind, ev.host, detail);
   DODO_DEBUG("fault", "applied %s host=%d (%s)", to_string(ev.kind), ev.host,
@@ -219,8 +243,12 @@ std::string leak_report(cluster::Cluster& cluster) {
   std::map<std::pair<net::NodeId, std::uint64_t>,
            std::map<std::uint64_t, RdEntry>>
       by_host;
-  for (const auto& [key, loc] : cluster.cmd().rd_snapshot()) {
-    by_host[{loc.host, loc.epoch}][loc.imd_region] = RdEntry{loc.len};
+  // Hosts partition across the cmd shards, so the union of the per-shard
+  // directories is still keyed uniquely by (host, epoch, region).
+  for (int s = 0; s < cluster.shard_count(); ++s) {
+    for (const auto& [key, loc] : cluster.cmd(s).rd_snapshot()) {
+      by_host[{loc.host, loc.epoch}][loc.imd_region] = RdEntry{loc.len};
+    }
   }
 
   for (int h = 0; h < cluster.config().imd_hosts; ++h) {

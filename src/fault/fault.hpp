@@ -47,6 +47,8 @@ enum class FaultKind : std::uint8_t {
   kCmdBlackoutBegin, // cmd node unreachable
   kCmdBlackoutEnd,   // cmd node reachable again
   kCmdRestart,       // cmd cold stop + warm restart (directories survive)
+  kCmdShardCrash,    // one cmd shard's node drops (host = shard index)
+  kCmdShardRestart,  // shard back with empty directory; partition re-recruits
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -81,6 +83,8 @@ class FaultPlan {
   FaultPlan& host_recruit(SimTime at, int host);
   FaultPlan& cmd_blackout(SimTime at, Duration dur);
   FaultPlan& cmd_restart(SimTime at);
+  FaultPlan& cmd_shard_crash(SimTime at, int shard);
+  FaultPlan& cmd_shard_restart(SimTime at, int shard);
 
   /// Appends a raw event (fuzz schedules rebuild plans event-by-event when
   /// replaying or shrinking, where the paired builder calls above would

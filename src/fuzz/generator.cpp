@@ -44,6 +44,16 @@ Schedule generate_schedule(std::uint64_t seed, const GenParams& params) {
     s.replica_count = 2;
     s.hosts = std::max(s.hosts, 3 + static_cast<int>(rep_rng.below(2)));
   }
+  // ~25% of schedules shard the cmd directory 2-3 ways (again a fresh
+  // stream, so unsharded schedules keep their exact pre-sharding draws).
+  // Hosts are topped up so every shard owns at least one imd; shard-crash
+  // faults are appended separately below from the same stream.
+  Rng shard_rng = Rng(seed).fork(0x73687264);  // "shrd"
+  const bool sharded = shard_rng.below(100) < 25;
+  if (sharded) {
+    s.shards = 2 + static_cast<int>(shard_rng.below(2));
+    s.hosts = std::max(s.hosts, s.shards + 1);
+  }
   s.region = 16_KiB << cfg_rng.below(2);
   s.slots = 4 + static_cast<int>(cfg_rng.below(5));
   s.pool = std::max<Bytes64>(2 * s.slots * s.region, 512_KiB);
@@ -144,6 +154,25 @@ Schedule generate_schedule(std::uint64_t seed, const GenParams& params) {
   // Loss-burst windows may overlap other categories but never each other;
   // window ends can land past `horizon`, which the runner's quiesce point
   // waits out. Sorting is the injector's job (stable, by time).
+
+  // Sharded schedules usually also lose a cmd shard mid-run: the crash
+  // lands anywhere in the fault horizon (mid-alloc, mid-pending-free-retry —
+  // whatever the ops happen to be doing), and every crash is paired with a
+  // restart before quiesce so the leak audit sees the partition freshly
+  // re-registered rather than a zombie directory.
+  if (sharded && shard_rng.below(100) < 60) {
+    const int target =
+        static_cast<int>(shard_rng.below(static_cast<std::uint64_t>(s.shards)));
+    const SimTime crash_at =
+        params.first_fault +
+        shard_rng.range(0, (params.horizon - params.first_fault) * 7 / 10);
+    const Duration down =
+        shard_rng.range(100 * kMillisecond, 600 * kMillisecond);
+    s.faults.push_back(
+        {crash_at, fault::FaultKind::kCmdShardCrash, target, 0, 0, 0});
+    s.faults.push_back({crash_at + down, fault::FaultKind::kCmdShardRestart,
+                        target, 0, 0, 0});
+  }
   return s;
 }
 

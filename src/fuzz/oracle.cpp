@@ -29,21 +29,31 @@ std::string EpochOracle::check(cluster::Cluster& cluster) {
     }
     it->second = cur;
   }
-  for (const auto& [node, epoch] : cluster.cmd().iwd_epochs()) {
-    auto [it, fresh] = cmd_view_high_.try_emplace(node, epoch);
-    if (!fresh && epoch < it->second) {
-      return fmt("epoch-monotonicity",
-                 "cmd IWD view of node %u went backwards: %llu -> %llu", node,
-                 static_cast<unsigned long long>(it->second),
-                 static_cast<unsigned long long>(epoch));
-    }
-    it->second = epoch;
-    auto rmd_it = rmd_high_.find(node);
-    if (rmd_it != rmd_high_.end() && epoch > rmd_it->second) {
-      return fmt("epoch-monotonicity",
-                 "cmd IWD view of node %u (%llu) ahead of its rmd (%llu)",
-                 node, static_cast<unsigned long long>(epoch),
-                 static_cast<unsigned long long>(rmd_it->second));
+  // Each host registers with exactly one shard, so the union of the
+  // per-shard IWD views still holds one row per node. A cold-restarted
+  // shard re-learns its partition under bumped epochs, which stays monotone
+  // against the high-water marks carried across the restart.
+  for (int sh = 0; sh < cluster.shard_count(); ++sh) {
+    for (const auto& [node, epoch] : cluster.cmd(sh).iwd_epochs()) {
+      // Epoch 0 is the unregistered placeholder a host-status message
+      // default-creates in a cold-restarted shard's empty directory before
+      // the re-registration RPC lands; it carries no ordering claim.
+      if (epoch == 0) continue;
+      auto [it, fresh] = cmd_view_high_.try_emplace(node, epoch);
+      if (!fresh && epoch < it->second) {
+        return fmt("epoch-monotonicity",
+                   "cmd IWD view of node %u went backwards: %llu -> %llu",
+                   node, static_cast<unsigned long long>(it->second),
+                   static_cast<unsigned long long>(epoch));
+      }
+      it->second = epoch;
+      auto rmd_it = rmd_high_.find(node);
+      if (rmd_it != rmd_high_.end() && epoch > rmd_it->second) {
+        return fmt("epoch-monotonicity",
+                   "cmd IWD view of node %u (%llu) ahead of its rmd (%llu)",
+                   node, static_cast<unsigned long long>(epoch),
+                   static_cast<unsigned long long>(rmd_it->second));
+      }
     }
   }
   return "";
@@ -51,9 +61,12 @@ std::string EpochOracle::check(cluster::Cluster& cluster) {
 
 std::string check_reply_cache_bounds(cluster::Cluster& cluster) {
   const std::size_t cmd_cap = cluster.config().cmd.reply_cache_capacity;
-  if (cluster.cmd().reply_cache_size() > cmd_cap) {
-    return fmt("reply-cache-bound", "cmd cache holds %zu > capacity %zu",
-               cluster.cmd().reply_cache_size(), cmd_cap);
+  for (int sh = 0; sh < cluster.shard_count(); ++sh) {
+    if (cluster.cmd(sh).reply_cache_size() > cmd_cap) {
+      return fmt("reply-cache-bound",
+                 "cmd shard %d cache holds %zu > capacity %zu", sh,
+                 cluster.cmd(sh).reply_cache_size(), cmd_cap);
+    }
   }
   for (int h = 0; h < cluster.config().imd_hosts; ++h) {
     core::IdleMemoryDaemon* imd = cluster.rmd(h).imd();

@@ -55,6 +55,7 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
 
   cluster::ClusterConfig cfg;
   cfg.imd_hosts = s.hosts;
+  cfg.cmd_shards = s.shards;
   cfg.imd_pool = s.pool;
   cfg.local_cache = 256_KiB;
   cfg.page_cache_dodo = 128_KiB;

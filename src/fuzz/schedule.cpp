@@ -55,6 +55,8 @@ std::string Schedule::serialize() const {
   out += line;
   std::snprintf(line, sizeof(line), "replica %d\n", replica_count);
   out += line;
+  std::snprintf(line, sizeof(line), "shards %d\n", shards);
+  out += line;
   std::snprintf(line, sizeof(line), "reply_cache %zu\n",
                 imd_reply_cache_capacity);
   out += line;
@@ -126,6 +128,9 @@ bool Schedule::parse(const std::string& text, Schedule& out,
       if (!(ls >> s.replica_count) || s.replica_count < 1) {
         return fail(lineno, "bad replica");
       }
+    } else if (key == "shards") {
+      // Optional (pre-sharding schedules omit it); absent means one cmd.
+      if (!(ls >> s.shards) || s.shards < 1) return fail(lineno, "bad shards");
     } else if (key == "reply_cache") {
       long long v = 0;
       if (!(ls >> v) || v < 1) return fail(lineno, "bad reply_cache");

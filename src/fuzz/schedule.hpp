@@ -50,6 +50,9 @@ struct Schedule {
   /// Copies of every fragment the cmd places on distinct hosts (static; the
   /// adaptive grow/shrink loop stays off in fuzz runs for determinism).
   int replica_count = 1;
+  /// Directory shards (cmd instances); hosts partition round-robin across
+  /// them and region keys route by hash (cluster::ClusterConfig::cmd_shards).
+  int shards = 1;
   std::size_t imd_reply_cache_capacity = 64;
   std::uint64_t seed = 1;          // simulator/cluster seed
 

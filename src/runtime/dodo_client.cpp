@@ -46,14 +46,21 @@ bool same_loc(const core::RegionLoc& a, const core::RegionLoc& b) {
 DodoClient::DodoClient(sim::Simulator& sim, net::Network& net,
                        net::NodeId node, net::Endpoint cmd,
                        disk::SimFilesystem& fs, ClientParams params)
+    : DodoClient(sim, net, node, std::vector<net::Endpoint>{cmd}, fs,
+                 params) {}
+
+DodoClient::DodoClient(sim::Simulator& sim, net::Network& net,
+                       net::NodeId node, std::vector<net::Endpoint> cmds,
+                       disk::SimFilesystem& fs, ClientParams params)
     : sim_(sim),
       net_(net),
       node_(node),
-      cmd_(cmd),
+      cmds_(std::move(cmds)),
       fs_(fs),
       params_(params),
       rng_(sim.rng().fork(0x6c6462u)),  // "ldb"
       loops_(sim) {
+  assert(!cmds_.empty());
   // Aggregate every bulk transfer this client runs into one counter set,
   // and record bulk spans under this client's recorder.
   params_.bulk.stats = &bulk_stats_;
@@ -65,7 +72,7 @@ DodoClient::~DodoClient() = default;
 void DodoClient::start() {
   assert(!running_);
   running_ = true;
-  ctl_sock_ = net_.open(node_, core::kClientPort);
+  ctl_sock_ = net_.open(node_, params_.ctl_port);
   loops_.add(1);
   sim_.spawn(ping_loop());
 }
@@ -115,9 +122,14 @@ sim::Co<void> DodoClient::ping_loop() {
         core::put_loc(w, a.loc);
       }
       // Merge hit deltas across descriptors sharing a key, then reset them.
+      // Only keys owned by the pinging shard are reported (and reset): each
+      // shard's adaptation loop must see exactly its own regions' hits, and
+      // hits for a sibling shard's keys must survive until that shard pings.
+      // With one cmd every key trivially passes the filter.
       std::vector<std::pair<core::RegionKey, std::uint64_t>> stats;
       for (auto& [rd, entry] : regions_) {
         if (entry.hits == 0) continue;
+        if (shard_endpoint(entry.key).node != msg.src.node) continue;
         bool merged = false;
         for (auto& [key, hits] : stats) {
           if (key == entry.key) {
@@ -222,13 +234,17 @@ sim::Co<void> DodoClient::halt() {
 }
 
 sim::Co<void> DodoClient::detach() {
-  const std::uint64_t rid = rids_.next();
+  // Every shard tracks this client independently (it registered with each
+  // shard it ever opened a region through), so the goodbye fans out to all.
   obs::ScopedSpan span(params_.spans, "client.detach");
-  net::Buf h = core::make_header(MsgKind::kDetach, rid, span.ctx());
-  net::Writer w(h);
-  w.u32(params_.client_id);
-  co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
-                          params_.cmd_rpc);
+  for (const net::Endpoint& cmd : cmds_) {
+    const std::uint64_t rid = rids_.next();
+    net::Buf h = core::make_header(MsgKind::kDetach, rid, span.ctx());
+    net::Writer w(h);
+    w.u32(params_.client_id);
+    co_await core::rpc_call(net_, node_, cmd, std::move(h), rid,
+                            params_.cmd_rpc);
+  }
   co_await halt();
 }
 
@@ -300,8 +316,8 @@ sim::Co<bool> DodoClient::invalidate_replica(core::RegionKey key,
   net::Writer w(h);
   core::put_key(w, key);
   core::put_loc(w, loc);
-  auto rep = co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
-                                     params_.cmd_rpc);
+  auto rep = co_await core::rpc_call(net_, node_, shard_endpoint(key),
+                                     std::move(h), rid, params_.cmd_rpc);
   co_return rep.has_value();
 }
 
@@ -340,10 +356,10 @@ sim::Co<std::pair<int, bool>> DodoClient::mopen_ex(Bytes64 len, int fd,
   net::Writer w(h);
   core::put_key(w, key);
   w.i64(len);
-  core::put_endpoint(w, net::Endpoint{node_, core::kClientPort});
+  core::put_endpoint(w, net::Endpoint{node_, params_.ctl_port});
   auto rep =
-      co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
-                              params_.cmd_rpc);
+      co_await core::rpc_call(net_, node_, shard_endpoint(key), std::move(h),
+                              rid, params_.cmd_rpc);
   wait.end_now();
   bool ok = false;
   bool reused = false;
@@ -786,8 +802,8 @@ sim::Co<int> DodoClient::mclose(int rd) {
   net::Buf h = core::make_header(MsgKind::kMfreeReq, rid, wait.ctx());
   net::Writer w(h);
   core::put_key(w, key);
-  auto rep = co_await core::rpc_call(net_, node_, cmd_, std::move(h), rid,
-                                     params_.cmd_rpc);
+  auto rep = co_await core::rpc_call(net_, node_, shard_endpoint(key),
+                                     std::move(h), rid, params_.cmd_rpc);
   wait.end_now();
   if (!rep) {
     dodo_errno() = kDodoEINVAL;  // "not able to contact the central manager"

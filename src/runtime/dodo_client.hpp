@@ -46,6 +46,9 @@ struct ClientParams {
   Duration data_timeout = millis(500);   // waiting for imd Read/Write replies
   Duration refraction = seconds(5.0);    // §3.1 refraction period
   net::BulkParams bulk{};
+  /// Keep-alive control port this client binds. Overridable so many clients
+  /// (the loadgen fleet) can share one simulated node.
+  net::Port ctl_port = core::kClientPort;
   /// Optional trace-span sink (not owned). Null disables span recording.
   obs::SpanRecorder* spans = nullptr;
 };
@@ -92,6 +95,12 @@ class DodoClient {
  public:
   DodoClient(sim::Simulator& sim, net::Network& net, net::NodeId node,
              net::Endpoint cmd, disk::SimFilesystem& fs,
+             ClientParams params = {});
+  /// Sharded control plane: cmds[shard_of_key(key, cmds.size())] serves all
+  /// control RPCs for `key`. A one-element vector is exactly the single-cmd
+  /// constructor above (same code path).
+  DodoClient(sim::Simulator& sim, net::Network& net, net::NodeId node,
+             std::vector<net::Endpoint> cmds, disk::SimFilesystem& fs,
              ClientParams params = {});
   ~DodoClient();
 
@@ -260,10 +269,18 @@ class DodoClient {
 
   Entry* lookup_active(int rd);
 
+  /// Shard endpoint owning `key`'s directory entry (the only cmd any
+  /// control RPC for that key ever talks to).
+  [[nodiscard]] const net::Endpoint& shard_endpoint(
+      const core::RegionKey& key) const {
+    return cmds_[core::shard_of_key(
+        key, static_cast<std::uint32_t>(cmds_.size()))];
+  }
+
   sim::Simulator& sim_;
   net::Network& net_;
   net::NodeId node_;
-  net::Endpoint cmd_;
+  std::vector<net::Endpoint> cmds_;  // one per directory shard
   disk::SimFilesystem& fs_;
   ClientParams params_;
   ClientMetrics metrics_;

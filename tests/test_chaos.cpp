@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "cluster/cluster.hpp"
 #include "common/units.hpp"
 #include "fault/fault.hpp"
+#include "core/wire.hpp"
 #include "fuzz/generator.hpp"
 #include "fuzz/oracle.hpp"
 #include "fuzz/runner.hpp"
@@ -956,6 +958,99 @@ TEST(Chaos, KitchenSink) {
   // matching digests prove is also visible as counted disk fallbacks.
   EXPECT_GT(s.counter_value("client.disk_fallbacks"), 0u);
   expect_mread_conservation(s);
+  EXPECT_EQ(fault::leak_report(c), "");
+}
+
+TEST(Chaos, CmdShardCrashDegradesOnlyThatShard) {
+  // Two directory shards; shard 1's manager node drops off the network with
+  // regions open on both shards. The failure domain must be exactly shard
+  // 1's control plane: sibling-shard regions keep their directory entries
+  // (reused=true on reopen) and their bytes, shard-1 data-plane reads keep
+  // working (imds are untouched), but new shard-1 control RPCs time out.
+  // A cold restart re-registers the shard's partition under bumped epochs
+  // without resurrecting a region freed before the crash, and the whole
+  // exercise leaks nothing.
+  ClusterConfig cfg = chaos_config(31);
+  cfg.cmd_shards = 2;
+  cfg.client.refraction = millis(50);  // a dead shard must not idle siblings
+  Cluster c(cfg);
+  constexpr Bytes64 kRegion = 64_KiB;
+  constexpr int kRegions = 16;
+  const int fd = c.create_dataset("data", kRegions * kRegion);
+  const auto expect = fill_dataset(c, fd, kRegions * kRegion);
+
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    auto& d = *cl.dodo();
+    const std::uint32_t inode = cl.fs().inode_of(fd);
+    const std::uint32_t client = d.client_id();
+    auto shard_of = [&](Bytes64 off) {
+      return core::shard_of_key(core::RegionKey{inode, off, client}, 2);
+    };
+    std::vector<std::pair<int, Bytes64>> shard0, shard1;
+    for (int i = 0; i < kRegions; ++i) {
+      const Bytes64 off = static_cast<Bytes64>(i) * kRegion;
+      const int rd = co_await d.mopen(kRegion, fd, off);
+      EXPECT_GE(rd, 0);
+      if (rd < 0) co_return;
+      // Populate the remote copy so post-crash reads exercise remote paths.
+      EXPECT_TRUE(
+          (co_await d.push_remote(rd, 0, expect.data() + off, kRegion)).ok());
+      (shard_of(off) == 0 ? shard0 : shard1).emplace_back(rd, off);
+    }
+    EXPECT_GE(shard0.size(), 2u);
+    EXPECT_GE(shard1.size(), 2u);
+
+    // Free one shard-1 region before the crash: it must stay dead across
+    // the shard's cold restart.
+    const auto [freed_rd, freed_off] = shard1.back();
+    shard1.pop_back();
+    EXPECT_EQ(co_await d.mclose(freed_rd), 0);
+
+    cl.crash_cmd_shard(1);
+
+    // Sibling shard untouched: its directory still knows every key
+    // (reused=true) and remote bytes come back exact.
+    std::vector<std::uint8_t> buf(kRegion);
+    for (const auto& [rd, off] : shard0) {
+      const auto [rd2, reused] = co_await d.mopen_ex(kRegion, fd, off);
+      EXPECT_GE(rd2, 0);
+      EXPECT_TRUE(reused) << "shard 0 directory lost a region";
+      EXPECT_EQ(co_await d.mread(rd, 0, buf.data(), kRegion), kRegion);
+      EXPECT_EQ(std::memcmp(buf.data(), expect.data() + off, kRegion), 0)
+          << "shard 0 bytes corrupted by a sibling shard's crash";
+      // rd2 stays open: mclose would free the shared region, not just the
+      // duplicate descriptor.
+    }
+    // Shard-1 data plane still serves open descriptors byte-exact...
+    for (const auto& [rd, off] : shard1) {
+      EXPECT_EQ(co_await d.mread(rd, 0, buf.data(), kRegion), kRegion);
+      EXPECT_EQ(std::memcmp(buf.data(), expect.data() + off, kRegion), 0);
+    }
+    // ...but new shard-1 control RPCs die against the crashed manager.
+    const auto [dead_rd, dead_reused] =
+        co_await d.mopen_ex(kRegion, fd, freed_off);
+    EXPECT_LT(dead_rd, 0) << "mopen to a crashed shard should fail";
+    co_await cl.sim().sleep(200 * kMillisecond);  // past refraction
+
+    co_await cl.restart_cmd_shard(1);
+    co_await cl.sim().sleep(500 * kMillisecond);  // partition re-registers
+
+    // The freed region must not resurrect from the rebuilt shard: nothing
+    // survives in the cold directory or the re-recruited pools.
+    const auto [new_rd, resurrected] =
+        co_await d.mopen_ex(kRegion, fd, freed_off);
+    EXPECT_GE(new_rd, 0);
+    EXPECT_FALSE(resurrected) << "freed region resurrected by shard restart";
+    // The fresh allocation holds no data either: a filled read here would
+    // mean the old region's bytes survived the pool rebuild.
+    const auto r = co_await d.mread_ex(new_rd, 0, buf.data(), kRegion);
+    EXPECT_EQ(r.n, kRegion);
+    EXPECT_FALSE(r.filled) << "freed region's bytes survived the restart";
+    co_await cl.sim().sleep(3 * kSecond);  // let keep-alive/scrub settle
+  });
+
+  EXPECT_GT(c.cmd(0).region_count(), 0u) << "sibling directory emptied";
+  expect_mread_conservation(c.metrics_snapshot());
   EXPECT_EQ(fault::leak_report(c), "");
 }
 

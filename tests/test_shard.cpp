@@ -1,0 +1,273 @@
+// Sharded cmd control plane (DESIGN.md §13): deterministic region->shard
+// routing, the shard_count=1 == paper-layout identity, disjoint per-shard
+// imd-pool partitions, per-shard scrub independence, stripe/replica
+// placement staying inside the owning shard's partition, and
+// byte-deterministic cluster-wide metric merges. Labeled `shard`
+// (ctest -L shard / the shard and shard-asan test presets).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "core/cmd.hpp"
+#include "core/wire.hpp"
+#include "runtime/dodo_client.hpp"
+
+namespace dodo {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using core::RegionKey;
+using sim::Co;
+
+ClusterConfig shard_config(int shards, int hosts, std::uint64_t seed = 7) {
+  ClusterConfig cfg;
+  cfg.imd_hosts = hosts;
+  cfg.cmd_shards = shards;
+  cfg.imd_pool = 8_MiB;
+  cfg.local_cache = 1_MiB;
+  cfg.page_cache_dodo = 256_KiB;
+  cfg.materialize = false;  // phantom data: these tests check accounting
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Deterministic mixed workload: open `n` regions at consecutive offsets
+/// (their keys spread across every shard), write and read half, close every
+/// third, reopen it, then sleep past one keep-alive interval.
+Co<void> churn(Cluster& c, int n, Bytes64 region) {
+  auto& d = *c.dodo();
+  const int fd = c.create_dataset("data", static_cast<Bytes64>(n) * region);
+  std::vector<int> rds;
+  for (int i = 0; i < n; ++i) {
+    const int rd =
+        co_await d.mopen(region, fd, static_cast<Bytes64>(i) * region);
+    EXPECT_GE(rd, 0) << "mopen " << i;
+    if (rd < 0) co_return;
+    rds.push_back(rd);
+  }
+  for (int i = 0; i < n; i += 2) {
+    EXPECT_EQ(co_await d.mwrite(rds[i], 0, nullptr, region), region);
+    EXPECT_EQ(co_await d.mread(rds[i], 0, nullptr, region), region);
+  }
+  for (int i = 0; i < n; i += 3) {
+    EXPECT_EQ(co_await d.mclose(rds[i]), 0);
+    const int rd =
+        co_await d.mopen(region, fd, static_cast<Bytes64>(i) * region);
+    EXPECT_GE(rd, 0);
+    rds[i] = rd;
+  }
+  co_await c.sim().sleep(3 * kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// Routing function
+// ---------------------------------------------------------------------------
+
+TEST(ShardMap, GoldenAssignments) {
+  // Pinned values: a change here silently reshards every deployed directory,
+  // so it must be a deliberate, test-breaking decision.
+  const RegionKey a{1, 0, 1};
+  const RegionKey b{1, 65536, 1};
+  const RegionKey c{2, 0, 7};
+  const RegionKey d{3, 123456, 42};
+  EXPECT_EQ(core::shard_of_key(a, 2), 1u);
+  EXPECT_EQ(core::shard_of_key(a, 3), 2u);
+  EXPECT_EQ(core::shard_of_key(a, 4), 1u);
+  EXPECT_EQ(core::shard_of_key(a, 8), 1u);
+  EXPECT_EQ(core::shard_of_key(b, 2), 0u);
+  EXPECT_EQ(core::shard_of_key(b, 4), 2u);
+  EXPECT_EQ(core::shard_of_key(b, 8), 6u);
+  EXPECT_EQ(core::shard_of_key(c, 4), 3u);
+  EXPECT_EQ(core::shard_of_key(d, 8), 5u);
+}
+
+TEST(ShardMap, SingleShardAlwaysZero) {
+  for (std::int64_t off = 0; off < 64; ++off) {
+    const RegionKey k{9, off * 4096, 3};
+    EXPECT_EQ(core::shard_of_key(k, 0), 0u);
+    EXPECT_EQ(core::shard_of_key(k, 1), 0u);
+  }
+}
+
+TEST(ShardMap, SpreadsConsecutiveOffsets) {
+  // The fmix avalanche must keep hash-mod from striding: 4096 consecutive
+  // region offsets over 8 shards land within 2x of a uniform split.
+  std::vector<int> count(8, 0);
+  for (std::int64_t i = 0; i < 4096; ++i) {
+    ++count[core::shard_of_key(RegionKey{1, i * 65536, 1}, 8)];
+  }
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_GT(count[s], 4096 / 16) << "shard " << s << " starved";
+    EXPECT_LT(count[s], 4096 / 4) << "shard " << s << " overloaded";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// shard_count = 1 is the paper layout
+// ---------------------------------------------------------------------------
+
+TEST(ShardCluster, SingleShardIsLegacyLayout) {
+  Cluster c(shard_config(1, 4));
+  EXPECT_EQ(c.shard_count(), 1);
+  EXPECT_EQ(c.shard_node(0), 0u);           // dedicated manager node
+  EXPECT_EQ(&c.cmd(), &c.cmd(0));           // legacy accessor is shard 0
+  for (int h = 0; h < 4; ++h) EXPECT_EQ(c.shard_of_host(h), 0);
+}
+
+TEST(ShardCluster, SingleShardMetricsDeterministic) {
+  // Explicit cmd_shards=1 must take the same code path as the default: two
+  // fresh same-seed clusters produce byte-identical metric exports.
+  std::string json[2];
+  for (int run = 0; run < 2; ++run) {
+    ClusterConfig cfg = shard_config(1, 4);
+    if (run == 1) cfg.cmd_shards = 1;  // explicit vs default
+    Cluster c(cfg);
+    c.run_app([](Cluster& cl) -> Co<void> { co_await churn(cl, 12, 64_KiB); });
+    json[run] = c.metrics_snapshot().to_json();
+  }
+  EXPECT_EQ(json[0], json[1]);
+}
+
+TEST(ShardCluster, MultiShardMetricsDeterministic) {
+  std::string json[2];
+  for (int run = 0; run < 2; ++run) {
+    Cluster c(shard_config(3, 6));
+    c.run_app([](Cluster& cl) -> Co<void> { co_await churn(cl, 18, 64_KiB); });
+    json[run] = c.metrics_snapshot().to_json();
+  }
+  EXPECT_EQ(json[0], json[1]);
+  // Multi-shard snapshots carry per-shard sections alongside the totals.
+  EXPECT_NE(json[0].find("shard0.cmd.mopens"), std::string::npos);
+  EXPECT_NE(json[0].find("shard2.cmd.mopens"), std::string::npos);
+}
+
+TEST(ShardCluster, ScrapeClusterDeterministic) {
+  // The over-the-wire merge fans out to every shard concurrently; sorting
+  // the per-shard parts before merging keeps the result independent of
+  // completion order — two same-seed runs export identical bytes.
+  std::string json[2];
+  for (int run = 0; run < 2; ++run) {
+    Cluster c(shard_config(3, 6));
+    c.run_app([&json, run](Cluster& cl) -> Co<void> {
+      co_await churn(cl, 18, 64_KiB);
+      obs::MetricsSnapshot snap = co_await cl.scrape_cluster();
+      json[run] = snap.to_json();
+    });
+  }
+  EXPECT_EQ(json[0], json[1]);
+  EXPECT_NE(json[0].find("cmd.mopens"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Partition invariants
+// ---------------------------------------------------------------------------
+
+TEST(ShardCluster, ImdPartitionsAreDisjoint) {
+  Cluster c(shard_config(3, 7));
+  c.run_app([](Cluster& cl) -> Co<void> { co_await churn(cl, 21, 64_KiB); });
+
+  std::set<net::NodeId> seen;
+  std::size_t total = 0;
+  for (int s = 0; s < c.shard_count(); ++s) {
+    for (const auto& [node, epoch] : c.cmd(s).iwd_epochs()) {
+      EXPECT_TRUE(seen.insert(node).second)
+          << "node " << node << " registered with more than one shard";
+      const int host = static_cast<int>(node) - 2;
+      EXPECT_EQ(c.shard_of_host(host), s)
+          << "host " << host << " in the wrong shard's directory";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 7u);  // union covers every harvested host exactly once
+}
+
+TEST(ShardCluster, RegionsLiveInOwningShardPartition) {
+  Cluster c(shard_config(3, 7));
+  c.run_app([](Cluster& cl) -> Co<void> { co_await churn(cl, 21, 64_KiB); });
+
+  std::size_t regions = 0;
+  for (int s = 0; s < c.shard_count(); ++s) {
+    for (const auto& [key, loc] : c.cmd(s).rd_snapshot()) {
+      EXPECT_EQ(core::shard_of_key(key, 3), static_cast<std::uint32_t>(s))
+          << "key routed to the wrong shard's directory";
+      const int host = static_cast<int>(loc.host) - 2;
+      EXPECT_EQ(c.shard_of_host(host), s)
+          << "region placed outside the owning shard's partition";
+      ++regions;
+    }
+  }
+  EXPECT_GT(regions, 0u);
+}
+
+TEST(ShardCluster, StripeAndReplicaComposeWithinShard) {
+  ClusterConfig cfg = shard_config(2, 6);
+  cfg.cmd.stripe_width = 2;
+  cfg.cmd.stripe_min_fragment = 64_KiB;
+  cfg.cmd.replica_count = 2;
+  Cluster c(cfg);
+  c.run_app([](Cluster& cl) -> Co<void> {
+    // Large regions so the stripe policy actually splits them.
+    co_await churn(cl, 8, 256_KiB);
+  });
+
+  for (int s = 0; s < c.shard_count(); ++s) {
+    const obs::MetricsSnapshot snap = c.cmd(s).metrics_snapshot();
+    const std::string json = snap.to_json();
+    // Each shard striped and replicated on its own: placement never needed
+    // (or touched) another shard's partition.
+    EXPECT_NE(json.find("\"cmd.striped_regions\""), std::string::npos);
+    for (const auto& [key, loc] : c.cmd(s).rd_snapshot()) {
+      const int host = static_cast<int>(loc.host) - 2;
+      EXPECT_EQ(c.shard_of_host(host), s);
+    }
+  }
+  // Composition happened at all (cluster-wide, the workload is big enough).
+  const std::string all = c.metrics_snapshot().to_json();
+  EXPECT_NE(all.find("cmd.striped_regions"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard machinery independence
+// ---------------------------------------------------------------------------
+
+TEST(ShardCluster, ScrubIndependenceAcrossShards) {
+  // Crashing the only host of shard 0's partition strands that shard's
+  // frees in its pending queue; shard 1's scrub machinery must stay empty.
+  Cluster c(shard_config(2, 2));
+  c.run_app([](Cluster& cl) -> Co<void> {
+    auto& d = *cl.dodo();
+    const int fd = cl.create_dataset("data", 32 * 64_KiB);
+    std::vector<int> shard0_rds;
+    std::vector<int> shard1_rds;
+    const std::uint32_t inode = cl.fs().inode_of(fd);
+    const std::uint32_t client = d.client_id();
+    for (int i = 0; i < 32; ++i) {
+      const Bytes64 off = static_cast<Bytes64>(i) * 64_KiB;
+      const int rd = co_await d.mopen(64_KiB, fd, off);
+      EXPECT_GE(rd, 0);
+      if (rd < 0) co_return;
+      const RegionKey key{inode, off, client};
+      (core::shard_of_key(key, 2) == 0 ? shard0_rds : shard1_rds)
+          .push_back(rd);
+    }
+    EXPECT_FALSE(shard0_rds.empty());
+    EXPECT_FALSE(shard1_rds.empty());
+    cl.crash_host(0);  // shard 0's whole partition (host 0 of 2)
+    for (const int rd : shard0_rds) co_await d.mclose(rd);
+    for (const int rd : shard1_rds) EXPECT_EQ(co_await d.mclose(rd), 0);
+    co_await cl.sim().sleep(3 * kSecond);
+  });
+  EXPECT_GT(c.cmd(0).pending_free_count(), 0u)
+      << "shard 0 should be retrying frees against its crashed partition";
+  EXPECT_EQ(c.cmd(1).pending_free_count(), 0u)
+      << "shard 1's scrub queue polluted by shard 0's failure";
+  EXPECT_EQ(c.cmd(1).region_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dodo
