@@ -93,6 +93,11 @@ sim::Co<void> Cluster::evict_host(int host) {
   co_await rmds_.at(static_cast<std::size_t>(host))->force_evict();
 }
 
+sim::Co<void> Cluster::pressure_host(int host, int level, double keep_frac) {
+  co_await rmds_.at(static_cast<std::size_t>(host))
+      ->force_pressure(static_cast<core::PressureLevel>(level), keep_frac);
+}
+
 sim::Co<void> Cluster::restart_cmd() {
   for (auto& cmd : cmds_) {
     co_await cmd->stop();

@@ -137,6 +137,13 @@ class Cluster {
   /// Re-recruits an evicted host (epoch bump, fresh registration).
   void recruit_host(int host) { rmds_.at(static_cast<std::size_t>(host))->force_recruit(); }
 
+  /// Graded memory pressure on a harvested host (lease_epochs only; no-op
+  /// otherwise — see ResourceMonitor::force_pressure). `level` is a
+  /// core::PressureLevel ordinal; `keep_frac` is the fraction of live pool
+  /// bytes a kRising shrink keeps. kUrgent holds the host out of service
+  /// like evict_host until recruit_host releases it.
+  sim::Co<void> pressure_host(int host, int level, double keep_frac);
+
   /// Cold-stops and immediately restarts every central manager shard.
   /// Directory state survives (a warm restart from its in-memory image);
   /// in-flight client RPCs ride it out via retransmits.

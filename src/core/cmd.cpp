@@ -108,6 +108,12 @@ sim::Co<void> CentralManager::serve_loop() {
       case MsgKind::kImdRegister:
         handle_imd_register(msg);
         break;
+      case MsgKind::kPressureStatus:
+        if (params_.lease_epochs) handle_pressure_status(msg);
+        break;
+      case MsgKind::kLeaseExpiryNotice:
+        if (params_.lease_epochs) handle_lease_expiry_notice(msg);
+        break;
       case MsgKind::kMopenReq:
         if (!replay_if_duplicate(msg, env->rid)) {
           co_await handle_mopen(std::move(msg));
@@ -162,6 +168,35 @@ void CentralManager::handle_host_status(const net::Message& msg) {
   info.idle = idle;
   if (!idle) info.largest_free = 0;
   DODO_DEBUG("cmd", "host %u now %s", node, idle ? "idle" : "busy");
+}
+
+void CentralManager::handle_pressure_status(const net::Message& msg) {
+  net::Reader r = body_reader(msg);
+  const net::NodeId node = r.u32();
+  const std::uint8_t level = r.u8();
+  if (!r.ok() || level > static_cast<std::uint8_t>(PressureLevel::kUrgent)) {
+    return;
+  }
+  iwd_[node].pressure = level;
+  DODO_DEBUG("cmd", "host %u pressure level %u", node, level);
+}
+
+void CentralManager::handle_lease_expiry_notice(const net::Message& msg) {
+  net::Reader r = body_reader(msg);
+  const net::NodeId host = r.u32();
+  const std::uint64_t epoch = r.u64();
+  const std::uint32_t n = r.u32();
+  std::vector<ExpiryNotice> parsed;
+  parsed.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    const std::uint64_t id = r.u64();
+    const Bytes64 len = r.i64();
+    if (r.ok()) parsed.push_back(ExpiryNotice{host, epoch, id, len});
+  }
+  if (!r.ok()) return;  // all-or-nothing: a torn datagram is dropped whole
+  ++metrics_.lease_expiry_notices;
+  pending_expiry_notices_.insert(pending_expiry_notices_.end(),
+                                 parsed.begin(), parsed.end());
 }
 
 void CentralManager::handle_imd_register(const net::Message& msg) {
@@ -232,7 +267,10 @@ sim::Co<std::optional<RegionLoc>> CentralManager::place_copy(
   std::vector<net::NodeId> candidates;
   for (const auto& [node, info] : iwd_) {
     if (!info.idle || info.largest_free < flen) continue;
-    if (in(exclude, node) || in(avoid, node)) continue;
+    // A host under graded pressure (lease_epochs; always 0 otherwise) is
+    // shedding regions already — placing new ones there just reshuffles the
+    // flash crowd, so it joins `avoid`: last resort, never first choice.
+    if (in(exclude, node) || in(avoid, node) || info.pressure != 0) continue;
     candidates.push_back(node);
   }
   if (candidates.empty()) {
@@ -732,7 +770,10 @@ void CentralManager::shrink_region(const RegionKey& key) {
 }
 
 sim::Co<void> CentralManager::adapt_replicas() {
-  if (!params_.replica_adapt) co_return;
+  // The settle phase also runs under lease_epochs alone: proactive re-homes
+  // ride the same PendingGrow lifecycle and must activate (or be dropped)
+  // even when elastic replication is off.
+  if (!params_.replica_adapt && !params_.lease_epochs) co_return;
   // Phase 1 — settle pending clones. A clone activates only once (a) the
   // owning client acked the write-only add, so every write from then on
   // reaches the copy, and (b) the writes the source saw since the snapshot
@@ -778,6 +819,7 @@ sim::Co<void> CentralManager::adapt_replicas() {
           static_cast<std::uint32_t>(g.frag), g.loc});
     }
   }
+  if (!params_.replica_adapt) co_return;  // lease-only: no heat adaptation
   // Phase 2 — hot/cold decisions from the window's reported read hits,
   // visited in deterministic key order.
   std::vector<std::pair<RegionKey, std::uint64_t>> window(hits_.begin(),
@@ -834,6 +876,227 @@ sim::Co<void> CentralManager::scrub_suspect_allocs() {
   }
   // handle_mopen may have appended new suspects while we were awaiting.
   suspect_allocs_.insert(suspect_allocs_.end(), keep.begin(), keep.end());
+}
+
+sim::Co<void> CentralManager::process_expiry_notices() {
+  std::vector<ExpiryNotice> batch = std::move(pending_expiry_notices_);
+  pending_expiry_notices_.clear();
+  // Doom entries of dead incarnations can never match a live replica again.
+  for (auto it = doomed_copies_.begin(); it != doomed_copies_.end();) {
+    auto host = iwd_.find(std::get<0>(*it));
+    if (host == iwd_.end() || host->second.epoch != std::get<1>(*it)) {
+      it = doomed_copies_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (batch.empty()) co_return;
+  // Register the whole batch as doomed before scanning for survivors: a
+  // sibling that is itself dying — named in this batch OR in an earlier one
+  // whose fence has not resolved yet — cannot count as a survivor. Under a
+  // flash crowd every replica of a fragment can be expiring at once,
+  // batches apart.
+  for (const ExpiryNotice& e : batch) {
+    auto host = iwd_.find(e.host);
+    if (host != iwd_.end() && host->second.epoch == e.epoch) {
+      doomed_copies_.insert({e.host, e.epoch, e.id});
+    }
+  }
+  auto expiring = [&](const RegionLoc& c) {
+    return doomed_copies_.count({c.host, c.epoch, c.imd_region}) > 0;
+  };
+  for (const ExpiryNotice& e : batch) {
+    // A notice from a past incarnation is moot: that pool is already gone.
+    auto host = iwd_.find(e.host);
+    if (host == iwd_.end() || host->second.epoch != e.epoch) continue;
+    // Find the directory copy the notice names; re-scanned per notice since
+    // the awaits below can reshape the directory. Ids the cmd never learned
+    // (orphaned allocs) simply age out at the fence.
+    RegionKey key{};
+    std::size_t frag = 0;
+    RegionLoc src{};
+    bool found = false;
+    bool has_survivor = false;
+    for (const auto& [k, map] : rd_) {
+      for (std::size_t i = 0; i < map.frags.size() && !found; ++i) {
+        for (const RegionLoc& c : map.frags[i].replicas) {
+          if (c.host == e.host && c.epoch == e.epoch &&
+              c.imd_region == e.id) {
+            key = k;
+            frag = i;
+            src = c;
+            found = true;
+            for (const RegionLoc& s : map.frags[i].replicas) {
+              if (!(s.host == c.host && s.imd_region == c.imd_region) &&
+                  !expiring(s)) {
+                has_survivor = true;
+              }
+            }
+            break;
+          }
+        }
+      }
+      if (found) break;
+    }
+    // A fragment with a surviving replica needs no re-home — the copy's
+    // expiry just shrinks the set back toward one.
+    if (!found || has_survivor) continue;
+    bool already_rehoming = false;
+    for (const PendingGrow& g : pending_grows_) {
+      if (g.key == key && g.frag == frag) {
+        already_rehoming = true;
+        break;
+      }
+    }
+    if (already_rehoming) continue;
+    std::vector<net::NodeId> exclude;
+    for (const RegionLoc& c : rd_[key].frags[frag].replicas) {
+      exclude.push_back(c.host);
+    }
+    // Same clone lifecycle as elastic growth: the copy stays write-only and
+    // unserved until the owning client acks it and the source's write
+    // generation proves nothing was missed (adapt_replicas phase 1). The
+    // source stays readable through its grace window — the imd does not
+    // reject its renewal until the fence actually drops — which is exactly
+    // the window the handshake needs.
+    obs::ScopedSpan span(params_.spans, "cmd.proactive_copy");
+    auto loc = co_await place_copy(src.len, exclude, {}, span.ctx());
+    if (!loc) {
+      ++metrics_.replica_shortfalls;
+      continue;
+    }
+    auto src_gen = co_await rpc_clone(*loc, src, span.ctx());
+    auto entry_live = [&] {
+      auto it = rd_.find(key);
+      return it != rd_.end() && frag < it->second.frags.size() &&
+             !it->second.frags[frag].replicas.empty();
+    };
+    if (!src_gen || !entry_live()) {
+      if (!src_gen) ++metrics_.clone_failures;
+      const auto freed = co_await rpc_free_region(key, *loc, span.ctx());
+      if (!freed.has_value()) queue_pending_free(*loc);
+      continue;
+    }
+    pending_grows_.push_back(
+        PendingGrow{key, frag, *loc, src, *src_gen, false});
+    ++metrics_.proactive_copies;
+  }
+}
+
+sim::Co<void> CentralManager::renew_leases() {
+  // Hosts visited in node-id order for determinism.
+  std::vector<net::NodeId> hosts;
+  hosts.reserve(iwd_.size());
+  for (const auto& [node, info] : iwd_) {
+    if (info.idle) hosts.push_back(node);
+  }
+  std::sort(hosts.begin(), hosts.end());
+  for (const net::NodeId host : hosts) {
+    auto hit = iwd_.find(host);
+    if (hit == iwd_.end() || !hit->second.idle) continue;  // evicted mid-sweep
+    const std::uint64_t epoch = hit->second.epoch;
+    // Every copy the directory — and the settling-clone queue — books on
+    // this incarnation holds a lease the imd fences unless renewed.
+    std::vector<std::uint64_t> ids;
+    for (const auto& [key, map] : rd_) {
+      for (const ReplicaSet& f : map.frags) {
+        for (const RegionLoc& c : f.replicas) {
+          if (c.host == host && c.epoch == epoch) {
+            ids.push_back(c.imd_region);
+          }
+        }
+      }
+    }
+    for (const PendingGrow& g : pending_grows_) {
+      if (g.loc.host == host && g.loc.epoch == epoch) {
+        ids.push_back(g.loc.imd_region);
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    if (ids.empty()) continue;
+    const std::uint64_t rid = rids_.next();
+    obs::ScopedSpan span(params_.spans, "cmd.lease_renew");
+    net::Buf req = make_header(MsgKind::kLeaseRenewReq, rid, span.ctx());
+    net::Writer w(req);
+    w.u64(epoch);
+    w.u32(static_cast<std::uint32_t>(ids.size()));
+    for (const std::uint64_t id : ids) w.u64(id);
+    auto rep = co_await rpc_call(net_, node_,
+                                 net::Endpoint{host, kImdCtlPort},
+                                 std::move(req), rid, params_.imd_rpc);
+    // No reply: retried next tick — the ttl spans several keepalive
+    // intervals precisely so a lost round costs nothing.
+    if (!rep) continue;
+    net::Reader rr = body_reader(*rep);
+    const bool ok = rr.u8() != 0;
+    (void)rr.u64();  // imd's current epoch
+    const Bytes64 largest = rr.i64();
+    const std::uint32_t n_rejected = rr.u32();
+    std::vector<std::uint64_t> rejected;
+    rejected.reserve(n_rejected);
+    for (std::uint32_t i = 0; i < n_rejected && rr.ok(); ++i) {
+      rejected.push_back(rr.u64());
+    }
+    if (!rr.ok()) continue;
+    iwd_[host].largest_free = largest;
+    if (!ok) {
+      // Epoch mismatch: the imd restarted under us. Nothing was renewed;
+      // the fresh registration and validate_region sort the directory out.
+      continue;
+    }
+    metrics_.lease_renewals +=
+        static_cast<std::uint64_t>(ids.size() - rejected.size());
+    metrics_.lease_renew_rejects +=
+        static_cast<std::uint64_t>(rejected.size());
+    if (!rejected.empty()) prune_rejected_copies(host, epoch, rejected);
+  }
+}
+
+void CentralManager::prune_rejected_copies(
+    net::NodeId host, std::uint64_t epoch,
+    const std::vector<std::uint64_t>& ids) {
+  auto gone = [&](const RegionLoc& c) {
+    return c.host == host && c.epoch == epoch &&
+           std::find(ids.begin(), ids.end(), c.imd_region) != ids.end();
+  };
+  // The fence resolved for these ids; their doom entries are spent.
+  for (const std::uint64_t id : ids) {
+    doomed_copies_.erase({host, epoch, id});
+  }
+  // A settling clone whose copy was fenced dies here without a free — the
+  // imd already reclaimed the bytes; freeing them would double-release.
+  for (auto g = pending_grows_.begin(); g != pending_grows_.end();) {
+    if (gone(g->loc)) {
+      ++metrics_.clone_failures;
+      g = pending_grows_.erase(g);
+    } else {
+      ++g;
+    }
+  }
+  std::vector<RegionKey> dead;
+  for (auto& [key, map] : rd_) {
+    bool empty = false;
+    for (ReplicaSet& f : map.frags) {
+      auto first =
+          std::remove_if(f.replicas.begin(), f.replicas.end(), gone);
+      f.replicas.erase(first, f.replicas.end());
+      if (f.replicas.empty()) empty = true;
+    }
+    if (empty) dead.push_back(key);
+  }
+  for (const RegionKey& key : dead) {
+    auto it = rd_.find(key);
+    if (it == rd_.end()) continue;
+    // A fragment lost its last copy: the cached region is unreachable, so
+    // the entry dies and surviving siblings are freed lazily — exactly the
+    // validate_region path.
+    for (const ReplicaSet& f : it->second.frags) {
+      for (const RegionLoc& c : f.replicas) queue_pending_free(c);
+    }
+    rd_.erase(it);
+    ++metrics_.stale_regions_dropped;
+  }
 }
 
 sim::Co<void> CentralManager::reclaim_client(std::uint32_t client) {
@@ -897,6 +1160,17 @@ obs::MetricsSnapshot CentralManager::metrics_snapshot() const {
                 static_cast<std::int64_t>(pending_grows_.size()));
   out.set_gauge("cmd.reply_cache_size",
                 static_cast<std::int64_t>(reply_cache_.size()));
+  if (params_.lease_epochs) {
+    // Omitted with lease_epochs off so the export stays byte-identical to
+    // the pre-lease layout.
+    out.set_counter("cmd.lease_renewals", metrics_.lease_renewals);
+    out.set_counter("cmd.lease_renew_rejects", metrics_.lease_renew_rejects);
+    out.set_counter("cmd.lease_expiry_notices",
+                    metrics_.lease_expiry_notices);
+    out.set_counter("cmd.proactive_copies", metrics_.proactive_copies);
+    out.set_gauge("cmd.pending_expiry_notices",
+                  static_cast<std::int64_t>(pending_expiry_notices_.size()));
+  }
   return out;
 }
 
@@ -944,6 +1218,12 @@ sim::Co<void> CentralManager::keepalive_loop() {
     if (stop.has_value() || stopping_) break;
     if (!suspect_allocs_.empty()) co_await scrub_suspect_allocs();
     if (!pending_frees_.empty()) co_await scrub_pending_frees();
+    if (params_.lease_epochs) {
+      // Re-home first, renew second: the clone of an expiring sole copy must
+      // start while the copy is still inside its grace window.
+      co_await process_expiry_notices();
+      co_await renew_leases();
+    }
     // Snapshot: reclaim_client mutates clients_.
     std::vector<std::pair<std::uint32_t, net::Endpoint>> targets;
     targets.reserve(clients_.size());

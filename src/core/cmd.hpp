@@ -18,6 +18,8 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <set>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -61,6 +63,14 @@ struct CmdParams {
   int replica_max = 4;
   std::uint64_t replica_grow_hits = 64;
   std::uint64_t replica_shrink_hits = 4;
+  /// Lease harvesting (DESIGN.md §14): when enabled the keep-alive loop
+  /// renews the lease of every directory copy with its imd each tick, and
+  /// near-expiry notices trigger proactive re-replication of sole-copy
+  /// fragments so an owner's return costs a copy, not a disk fallback.
+  /// Must match ImdParams::lease_epochs. Off keeps the cmd byte-identical
+  /// to the pre-lease whole-daemon-kill path: no renew RPCs, no extra
+  /// metrics rows, no placement-policy change (pressure is never nonzero).
+  bool lease_epochs = false;
   /// Duplicate-suppression cache bound; FIFO eviction of the oldest entry
   /// (see ImdParams::reply_cache_capacity for why clear-all is wrong).
   std::size_t reply_cache_capacity = 8192;
@@ -115,6 +125,16 @@ struct CmdMetrics {
   std::uint64_t epoch_bumps_seen = 0;
   std::uint64_t stats_scrapes = 0;        // per-host scrape RPCs issued
   std::uint64_t stats_scrape_failures = 0;  // no reply / unparsable snapshot
+  /// Lease harvesting (lease_epochs on; DESIGN.md §14).
+  std::uint64_t lease_renewals = 0;  // copies confirmed live at renewal
+  /// Copies the imd reported gone (fenced or unknown) at renewal — each is
+  /// pruned from its replica set without a free (the bytes are already
+  /// reclaimed).
+  std::uint64_t lease_renew_rejects = 0;
+  std::uint64_t lease_expiry_notices = 0;  // kLeaseExpiryNotice received
+  /// Proactive re-replications started for sole-copy fragments named in a
+  /// near-expiry notice (clones settling through the PendingGrow path).
+  std::uint64_t proactive_copies = 0;
 };
 
 class CentralManager {
@@ -179,6 +199,9 @@ class CentralManager {
     std::uint64_t epoch = 0;
     Bytes64 largest_free = 0;
     Bytes64 pool_total = 0;
+    /// Graded rmd pressure (PressureLevel; lease_epochs only — stays kIdle
+    /// otherwise). Nonzero makes the host a last-resort placement target.
+    std::uint8_t pressure = 0;
   };
   struct ClientInfo {
     net::Endpoint control;
@@ -193,6 +216,12 @@ class CentralManager {
   void handle_checkalloc(const net::Message& msg);
   void handle_host_status(const net::Message& msg);
   void handle_imd_register(const net::Message& msg);
+  /// kPressureStatus datagram: records the host's graded pressure level.
+  void handle_pressure_status(const net::Message& msg);
+  /// kLeaseExpiryNotice datagram: queues the named regions for the next
+  /// keep-alive tick's proactive re-replication pass (no detached work on
+  /// the serve loop).
+  void handle_lease_expiry_notice(const net::Message& msg);
   /// Invalidate-on-write: drops the named copy from its replica set (the
   /// client could not write it, so serving it would break the clean-cache
   /// contract). A fragment losing its last copy kills the whole entry.
@@ -262,6 +291,21 @@ class CentralManager {
   [[nodiscard]] bool region_may_survive(const RegionLoc& loc) const;
   sim::Co<void> reclaim_client(std::uint32_t client);
 
+  // -- lease harvesting (lease_epochs; DESIGN.md §14) -----------------------
+  /// One keep-alive tick of lease upkeep: first re-homes sole-copy fragments
+  /// named in queued near-expiry notices (clone from the still-live copy
+  /// into a PendingGrow, so the write-consistency handshake is identical to
+  /// elastic growth), then renews the lease of every directory copy with
+  /// its imd, pruning copies the imd reports gone.
+  sim::Co<void> process_expiry_notices();
+  sim::Co<void> renew_leases();
+  /// Drops every copy on `host` under `epoch` whose region id is in `ids`
+  /// from the directory WITHOUT freeing it (the imd already reclaimed the
+  /// bytes). A fragment losing its last copy kills the whole entry, exactly
+  /// like validate_region.
+  void prune_rejected_copies(net::NodeId host, std::uint64_t epoch,
+                             const std::vector<std::uint64_t>& ids);
+
   /// An alloc RPC that exhausted its retries with no reply. If the host was
   /// alive the whole time, it may have allocated a region whose id we never
   /// saw; kAllocCancel releases it once the host answers again. If the host
@@ -310,6 +354,26 @@ class CentralManager {
     bool acked = false;  // client fans writes out to the copy from now on
   };
   std::vector<PendingGrow> pending_grows_;
+
+  /// A region copy an imd announced as near expiry (kLeaseExpiryNotice).
+  /// Drained by process_expiry_notices() at the next keep-alive tick.
+  struct ExpiryNotice {
+    net::NodeId host = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t id = 0;
+    Bytes64 len = 0;
+  };
+  std::vector<ExpiryNotice> pending_expiry_notices_;
+
+  /// (host, epoch, id) of every copy a processed expiry notice named whose
+  /// fence has not resolved yet. A doomed copy must never count as a
+  /// survivor when a sibling's notice arrives in a LATER keep-alive batch:
+  /// under a flash crowd a fragment's replicas can all be dying batches
+  /// apart — e.g. a proactive copy that landed on a host moments before
+  /// that host's own shrink ramp capped it. Entries drop when the fenced id
+  /// is pruned at renewal reject, or when the incarnation dies.
+  std::set<std::tuple<net::NodeId, std::uint64_t, std::uint64_t>>
+      doomed_copies_;
 
   /// Directory deltas (activate/drop) to piggyback on the next kPing to
   /// each client, keyed by client id. Add-write-only deltas are derived

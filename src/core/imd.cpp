@@ -28,7 +28,8 @@ IdleMemoryDaemon::IdleMemoryDaemon(sim::Simulator& sim, net::Network& net,
       params_(params),
       pool_(params.pool_bytes),
       inflight_(sim),
-      stop_ch_(sim) {
+      stop_ch_(sim),
+      lease_stop_ch_(sim) {
   // The bulk counters live in the daemon, not the params copy, so every
   // transfer this incarnation serves aggregates into one place. Same for
   // the span sink: bulk transfers record under this daemon's recorder.
@@ -44,10 +45,14 @@ void IdleMemoryDaemon::start() {
   stopping_ = false;
   ctl_sock_ = net_.open(node_, kImdCtlPort);
   data_sock_ = net_.open(node_, kImdDataPort);
-  inflight_.add(3);  // control loop, data loop, coalesce loop
+  // Control loop, data loop, coalesce loop — plus the lease loop, which
+  // exists only with lease_epochs on so the off path schedules exactly the
+  // events it always did.
+  inflight_.add(params_.lease_epochs ? 4 : 3);
   sim_.spawn(control_loop());
   sim_.spawn(data_loop());
   sim_.spawn(coalesce_loop());
+  if (params_.lease_epochs) sim_.spawn(lease_loop());
 }
 
 sim::Co<void> IdleMemoryDaemon::stop() {
@@ -58,6 +63,7 @@ sim::Co<void> IdleMemoryDaemon::stop() {
   ctl_sock_->inject(make_sentinel());
   data_sock_->inject(make_sentinel());
   stop_ch_.send(1);
+  if (params_.lease_epochs) lease_stop_ch_.send(1);
   co_await inflight_.wait();
   ctl_sock_.reset();
   data_sock_.reset();
@@ -67,6 +73,7 @@ sim::Co<void> IdleMemoryDaemon::stop() {
   data_seen_.clear();
   data_seen_order_.clear();
   clones_inflight_.clear();
+  fenced_.clear();
   running_ = false;
 }
 
@@ -112,6 +119,9 @@ sim::Co<void> IdleMemoryDaemon::control_loop() {
         break;
       case MsgKind::kFreeReq:
         handle_free(msg, body_reader(msg));
+        break;
+      case MsgKind::kLeaseRenewReq:
+        if (params_.lease_epochs) handle_lease_renew(msg, body_reader(msg));
         break;
       case MsgKind::kCloneReq:
         if (auto it = reply_cache_.find(env->rid); it != reply_cache_.end()) {
@@ -200,6 +210,13 @@ void IdleMemoryDaemon::handle_alloc(const net::Message& msg, net::Reader r) {
     if (params_.materialize) {
       region.data.assign(static_cast<std::size_t>(len), 0);
     }
+    if (params_.lease_epochs) {
+      // Lease granted at birth: the region lives lease_ttl without a
+      // renewal. Orphans the cmd never learned about (lost alloc replies,
+      // abandoned grows) age out on their own instead of leaking.
+      region.last_access = sim_.now();
+      region.lease_expiry = sim_.now() + params_.lease_ttl;
+    }
     regions_.emplace(id, std::move(region));
     w.u8(1);
     w.u64(id);
@@ -271,6 +288,11 @@ void IdleMemoryDaemon::handle_free(const net::Message& msg, net::Reader r) {
     pool_used_.add(-it->second.len);
     regions_.erase(it);
     ++metrics_.frees;
+  } else if (r.ok() && fenced_.count(id) != 0) {
+    // The lease fence already reclaimed the bytes; the free is idempotent.
+    // Reporting failure here would strand the cmd's pending-free retry loop
+    // on a region that no longer exists.
+    ok = true;
   }
   net::Buf rep = make_header(MsgKind::kFreeRep, env->rid);
   net::Writer w(rep);
@@ -342,15 +364,24 @@ sim::Co<void> IdleMemoryDaemon::handle_read(net::Message req) {
   net::Buf rep = make_header(MsgKind::kReadRep, env->rid);
   net::Writer w(rep);
   if (!valid) {
+    // Full reply layout even on rejection: a reader that parses the success
+    // shape (code, avail, filled, prefix, gen) must see a well-formed body,
+    // or it cannot tell an authoritative "this region is gone" from line
+    // noise. Under incremental lease reclamation that distinction is what
+    // keeps a client from indicting a live host over one fenced region.
     ++metrics_.bad_region_requests;
     w.u8(static_cast<std::uint8_t>(Err::kNotFound));
-    w.i64(0);
+    w.i64(0);  // avail
+    w.u8(0);   // filled
+    w.i64(0);  // written prefix
+    w.u64(0);  // write generation
     hsock->send(req.src, std::move(rep));
     inflight_.done();
     co_return;
   }
   // "if len bytes are not available at the request offset, read as many
   // bytes as are available" (§3.2)
+  it->second.last_access = sim_.now();  // coldest-first shrink order (§14)
   const Bytes64 n = std::min(len, it->second.len - off);
   const bool filled = off + n <= it->second.written_prefix;
   w.u8(static_cast<std::uint8_t>(Err::kOk));
@@ -410,6 +441,7 @@ sim::Co<void> IdleMemoryDaemon::handle_write(net::Message req) {
     inflight_.done();
     co_return;
   }
+  it->second.last_access = sim_.now();
   const Bytes64 n = std::min(len, it->second.len - off);
   hsock->send(req.src, make_header(MsgKind::kWriteGo, env->rid));
 
@@ -550,6 +582,17 @@ obs::MetricsSnapshot IdleMemoryDaemon::metrics_snapshot() const {
   out.set_counter("imd.dup_requests_dropped", metrics_.dup_requests_dropped);
   out.set_counter("imd.clones_served", metrics_.clones_served);
   out.set_counter("imd.clone_failures", metrics_.clone_failures);
+  if (params_.lease_epochs) {
+    // Omitted entirely with lease_epochs off so the export (and every
+    // BENCH_*.json built from it) stays byte-identical to the pre-lease
+    // layout.
+    out.set_counter("imd.regions_reclaimed", metrics_.regions_reclaimed);
+    out.set_counter("imd.bytes_reclaimed", metrics_.bytes_reclaimed);
+    out.set_counter("imd.leases_renewed", metrics_.leases_renewed);
+    out.set_counter("imd.lease_renew_rejects", metrics_.lease_renew_rejects);
+    out.set_gauge("imd.fenced_regions",
+                  static_cast<std::int64_t>(fenced_.size()));
+  }
   out.set_gauge("imd.reply_cache_size",
                 static_cast<std::int64_t>(reply_cache_.size()));
   out.set_gauge("imd.pool_bytes", pool_.pool_size());
@@ -569,6 +612,129 @@ sim::Co<void> IdleMemoryDaemon::coalesce_loop() {
     pool_.coalesce();
   }
   inflight_.done();
+}
+
+void IdleMemoryDaemon::handle_lease_renew(const net::Message& msg,
+                                          net::Reader r) {
+  const auto env = peek_envelope(msg);
+  obs::ScopedSpan span(params_.spans, "imd.lease_renew", env->trace);
+  const std::uint64_t want_epoch = r.u64();
+  const std::uint32_t n = r.u32();
+  // Renewal is naturally idempotent (expiry := now + ttl), so unlike
+  // alloc/free it needs no reply cache: a retransmit just renews again.
+  const bool ok = r.ok() && want_epoch == epoch_ && !stopping_;
+  const SimTime deadline = sim_.now() + params_.lease_ttl;
+  std::vector<std::uint64_t> rejected;
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    const std::uint64_t id = r.u64();
+    auto it = regions_.find(id);
+    if (ok && it != regions_.end()) {
+      if (!it->second.shrink_victim) {
+        it->second.lease_expiry = deadline;
+        it->second.expiry_noticed = false;
+        ++metrics_.leases_renewed;
+      }
+      // A shrink victim's fate is sealed — its expiry is NOT extended — but
+      // it is still readable until the grace runs out, and the cmd needs it
+      // alive as the clone source for the proactive copy. Rejecting it here
+      // would make the cmd prune the only copy before the re-home settles;
+      // the post-fence renewal attempt rejects it instead.
+    } else {
+      // Fenced, unknown, or stale-epoch: the copy is gone — the cmd must
+      // prune it, not keep renewing it.
+      rejected.push_back(id);
+      ++metrics_.lease_renew_rejects;
+    }
+  }
+  net::Buf rep = make_header(MsgKind::kLeaseRenewRep, env->rid);
+  net::Writer w(rep);
+  w.u8(ok ? 1 : 0);
+  w.u64(epoch_);
+  w.i64(pool_.largest_free());
+  w.u32(static_cast<std::uint32_t>(rejected.size()));
+  for (const std::uint64_t id : rejected) w.u64(id);
+  ctl_sock_->send(msg.src, std::move(rep));
+}
+
+void IdleMemoryDaemon::send_expiry_notice(
+    const std::vector<std::pair<std::uint64_t, Bytes64>>& regions) {
+  net::Buf h = make_header(MsgKind::kLeaseExpiryNotice, epoch_);
+  net::Writer w(h);
+  w.u32(node_);
+  w.u64(epoch_);
+  w.u32(static_cast<std::uint32_t>(regions.size()));
+  for (const auto& [id, len] : regions) {
+    w.u64(id);
+    w.i64(len);
+  }
+  // One-way datagram, best effort: if it is lost the cmd still discovers
+  // the loss at the next renewal (rejected ids) — it just forgoes the
+  // proactive copy for these regions.
+  ctl_sock_->send(cmd_, std::move(h));
+}
+
+sim::Co<void> IdleMemoryDaemon::lease_loop() {
+  for (;;) {
+    auto stop = co_await lease_stop_ch_.recv_for(params_.lease_check_interval);
+    if (stop.has_value() || stopping_) break;
+    const SimTime now = sim_.now();
+    std::vector<std::uint64_t> reclaim;
+    std::vector<std::pair<std::uint64_t, Bytes64>> expiring;
+    for (auto& [id, region] : regions_) {
+      if (now >= region.lease_expiry) {
+        reclaim.push_back(id);
+      } else if (!region.expiry_noticed &&
+                 now + params_.lease_grace >= region.lease_expiry) {
+        region.expiry_noticed = true;
+        expiring.emplace_back(id, region.len);
+      }
+    }
+    // Sorted for determinism: regions_ is an unordered_map and both the
+    // fence order and the notice body are externally visible.
+    std::sort(reclaim.begin(), reclaim.end());
+    std::sort(expiring.begin(), expiring.end());
+    for (const std::uint64_t id : reclaim) {
+      auto it = regions_.find(id);
+      pool_.free(it->second.pool_offset);
+      pool_used_.add(-it->second.len);
+      ++metrics_.regions_reclaimed;
+      metrics_.bytes_reclaimed += static_cast<std::uint64_t>(it->second.len);
+      fenced_.insert(id);
+      regions_.erase(it);
+    }
+    if (!expiring.empty()) send_expiry_notice(expiring);
+  }
+  inflight_.done();
+}
+
+Bytes64 IdleMemoryDaemon::begin_shrink(Bytes64 target_used_bytes) {
+  if (!params_.lease_epochs || !running_ || stopping_) return 0;
+  // Coldest-first: order live non-victim regions by last access (ties by id
+  // so the choice is deterministic) and schedule just enough of them to
+  // bring the pool's surviving bytes under target. Victims keep serving
+  // reads through the grace window but can no longer renew.
+  std::vector<std::pair<SimTime, std::uint64_t>> order;
+  Bytes64 live = 0;
+  for (const auto& [id, region] : regions_) {
+    if (region.shrink_victim) continue;
+    live += region.len;
+    order.emplace_back(region.last_access, id);
+  }
+  std::sort(order.begin(), order.end());
+  const SimTime fence = sim_.now() + params_.lease_grace;
+  std::vector<std::pair<std::uint64_t, Bytes64>> victims;
+  Bytes64 scheduled = 0;
+  for (const auto& [last, id] : order) {
+    if (live - scheduled <= target_used_bytes) break;
+    Region& region = regions_[id];
+    region.shrink_victim = true;
+    region.expiry_noticed = true;
+    region.lease_expiry = std::min(region.lease_expiry, fence);
+    scheduled += region.len;
+    victims.emplace_back(id, region.len);
+  }
+  if (!victims.empty()) send_expiry_notice(victims);
+  return scheduled;
 }
 
 }  // namespace dodo::core

@@ -63,6 +63,21 @@ struct ImdParams {
   Duration clone_read_timeout = millis(500);
   /// Optional trace-span sink (not owned). Null disables span recording.
   obs::SpanRecorder* spans = nullptr;
+  /// Lease harvesting (DESIGN.md §14). Off by default: with lease_epochs
+  /// false there is no lease loop, no renewal handling and no new wire
+  /// traffic — the daemon is byte-identical to the paper's binary
+  /// recruit/evict behaviour.
+  bool lease_epochs = false;
+  /// How long a granted or renewed lease lasts without another renewal.
+  /// Must exceed several cmd keep-alive intervals, or healthy regions
+  /// expire between renewals.
+  Duration lease_ttl = seconds(10.0);
+  /// Grace window between the expiry notice (cmd may still re-replicate /
+  /// the client may still read) and the fence (bytes reclaimed, id fenced).
+  /// Should cover ~3 cmd keep-alive ticks so a proactive copy can settle.
+  Duration lease_grace = seconds(2.0);
+  /// Lease bookkeeping tick: how often expiries are checked and fenced.
+  Duration lease_check_interval = millis(250);
 };
 
 struct ImdMetrics {
@@ -92,6 +107,15 @@ struct ImdMetrics {
   /// mid-clone) and were reported back as such.
   std::uint64_t clones_served = 0;
   std::uint64_t clone_failures = 0;
+  /// Lease harvesting (lease_epochs on): regions reclaimed by the lease
+  /// fence (expired or shrink victims) and the pool bytes they covered.
+  std::uint64_t regions_reclaimed = 0;
+  std::uint64_t bytes_reclaimed = 0;
+  /// kLeaseRenewReq outcomes: leases extended vs. ids rejected because the
+  /// region is fenced or unknown (shrink victims are neither: still live and
+  /// readable, just no longer extended — the post-fence renewal rejects).
+  std::uint64_t leases_renewed = 0;
+  std::uint64_t lease_renew_rejects = 0;
 };
 
 class IdleMemoryDaemon {
@@ -147,6 +171,28 @@ class IdleMemoryDaemon {
   /// also the kStatsReq reply body (serialized with to_json()).
   [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
 
+  /// Lease harvesting (lease_epochs on): schedule just enough of the
+  /// coldest regions for reclamation to bring the pool's live bytes under
+  /// `target_used_bytes`. Victims get their lease capped at now +
+  /// lease_grace, stop being renewable, and are announced to the cmd via
+  /// kLeaseExpiryNotice so sole copies can be re-homed before the fence.
+  /// Returns the bytes scheduled. No-op with lease_epochs off.
+  Bytes64 begin_shrink(Bytes64 target_used_bytes);
+
+  /// Lease test/oracle hooks: whether an id has been reclaimed and fenced,
+  /// the full fenced set (ids never resurrect within an epoch), and a live
+  /// region's current lease expiry (0 if unknown).
+  [[nodiscard]] bool lease_fenced(std::uint64_t region_id) const {
+    return fenced_.count(region_id) != 0;
+  }
+  [[nodiscard]] const std::set<std::uint64_t>& fenced_ids() const {
+    return fenced_;
+  }
+  [[nodiscard]] SimTime region_lease_expiry(std::uint64_t region_id) const {
+    auto it = regions_.find(region_id);
+    return it == regions_.end() ? 0 : it->second.lease_expiry;
+  }
+
  private:
   struct Region {
     Bytes64 pool_offset = 0;
@@ -164,11 +210,22 @@ class IdleMemoryDaemon {
     /// snapshots it when cloning a replica and later compares generations to
     /// prove the clone missed no write before activating it.
     std::uint64_t write_gen = 0;
+    /// Lease harvesting (lease_epochs on). last_access feeds the
+    /// coldest-first shrink order; lease_expiry is the absolute fence time,
+    /// pushed out by every renewal. expiry_noticed dedups the one-shot
+    /// kLeaseExpiryNotice; shrink_victim regions stay readable but are no
+    /// longer extended by renewals, so a keep-alive cannot un-schedule a
+    /// pressure shrink while the cmd clones them away.
+    SimTime last_access = 0;
+    SimTime lease_expiry = 0;
+    bool expiry_noticed = false;
+    bool shrink_victim = false;
   };
 
   sim::Co<void> control_loop();
   sim::Co<void> data_loop();
   sim::Co<void> coalesce_loop();
+  sim::Co<void> lease_loop();
   sim::Co<void> handle_read(net::Message req);
   sim::Co<void> handle_write(net::Message req);
   /// kCloneReq: fills a freshly allocated local region with the bytes of a
@@ -181,6 +238,9 @@ class IdleMemoryDaemon {
   void handle_alloc(const net::Message& msg, net::Reader r);
   void handle_alloc_cancel(const net::Message& msg, net::Reader r);
   void handle_free(const net::Message& msg, net::Reader r);
+  void handle_lease_renew(const net::Message& msg, net::Reader r);
+  void send_expiry_notice(
+      const std::vector<std::pair<std::uint64_t, Bytes64>>& regions);
   void reply_cached_or(const net::Message& msg, std::uint64_t rid,
                        net::Buf reply);
   void cache_reply(std::uint64_t rid, net::Buf reply);
@@ -224,12 +284,20 @@ class IdleMemoryDaemon {
   /// before the clone finishes does not spawn a twin transfer.
   std::set<std::uint64_t> clones_inflight_;
 
+  /// Ids reclaimed by the lease fence. Region ids are never reused within
+  /// an epoch, so membership is the no-resurrection invariant the lease
+  /// oracle checks: a fenced id must never reappear in regions_. A free for
+  /// a fenced id reports success (the bytes are already gone); reads,
+  /// writes and renewals reject it.
+  std::set<std::uint64_t> fenced_;
+
   std::unique_ptr<net::Socket> ctl_sock_;
   std::unique_ptr<net::Socket> data_sock_;
   bool running_ = false;
   bool stopping_ = false;
   sim::WaitGroup inflight_;
-  sim::Channel<int> stop_ch_;  // wakes the coalesce loop on shutdown
+  sim::Channel<int> stop_ch_;        // wakes the coalesce loop on shutdown
+  sim::Channel<int> lease_stop_ch_;  // wakes the lease loop on shutdown
 };
 
 }  // namespace dodo::core

@@ -64,6 +64,19 @@ void ResourceMonitor::notify_cmd(bool idle) {
   sock_->send(cmd_, std::move(h));
 }
 
+void ResourceMonitor::set_pressure(PressureLevel level) {
+  if (!imd_template_.lease_epochs || level == pressure_) return;
+  pressure_ = level;
+  ++metrics_.pressure_signals;
+  // Signalled only on change, and only with lease_epochs on: the binary
+  // kHostStatus stream is untouched either way.
+  net::Buf h = make_header(MsgKind::kPressureStatus, 0);
+  net::Writer w(h);
+  w.u32(node_);
+  w.u8(static_cast<std::uint8_t>(level));
+  sock_->send(cmd_, std::move(h));
+}
+
 void ResourceMonitor::recruit() {
   ++epoch_counter_;
   const SimTime now = sim_.now();
@@ -102,6 +115,33 @@ void ResourceMonitor::force_recruit() {
   if (!recruited()) {
     ++metrics_.forced_recruits;
     recruit();
+  }
+}
+
+sim::Co<void> ResourceMonitor::force_pressure(PressureLevel level,
+                                              double keep_frac) {
+  if (!imd_template_.lease_epochs || !running_) co_return;
+  set_pressure(level);
+  switch (level) {
+    case PressureLevel::kIdle:
+      break;
+    case PressureLevel::kRising:
+      if (recruited()) {
+        const auto used = static_cast<double>(imd_->pool_used_bytes());
+        const auto target = static_cast<Bytes64>(used * keep_frac);
+        if (imd_->begin_shrink(target) > 0) ++metrics_.pressure_shrinks;
+      }
+      break;
+    case PressureLevel::kUrgent:
+      // The owner is back: the paper's binary path, with the same
+      // out-of-service hold as force_evict() so a deterministic fault
+      // window stays in control of re-recruitment.
+      held_out_ = true;
+      if (recruited()) {
+        ++metrics_.forced_evictions;
+        co_await evict();
+      }
+      break;
   }
 }
 
@@ -147,6 +187,27 @@ sim::Co<void> ResourceMonitor::monitor_loop() {
       ++metrics_.refraction_timeouts;
       recruit();
     }
+
+    if (imd_template_.lease_epochs) {
+      // Graded pressure (§14): urgent = the owner is at the console (the
+      // eviction above already fired); rising = still idle, but the owner's
+      // working set has grown past what recruitment left as headroom — the
+      // pool sheds its coldest regions down to the recomputed budget
+      // instead of dying wholesale.
+      PressureLevel level = PressureLevel::kIdle;
+      if (!idle_sample) {
+        level = PressureLevel::kUrgent;
+      } else if (recruited() && imd_template_.pool_bytes == 0) {
+        const Bytes64 desired = recruit_pool_bytes(
+            activity_.total_memory(), activity_.active_memory(now),
+            params_.lotsfree, params_.headroom_frac);
+        if (desired < imd_->params().pool_bytes) {
+          level = PressureLevel::kRising;
+          if (imd_->begin_shrink(desired) > 0) ++metrics_.pressure_shrinks;
+        }
+      }
+      set_pressure(level);
+    }
   }
   loops_.done();
 }
@@ -183,6 +244,13 @@ obs::MetricsSnapshot ResourceMonitor::metrics_snapshot() const {
   out.set_counter("rmd.forced_recruits", metrics_.forced_recruits);
   out.set_gauge("rmd.epoch", static_cast<std::int64_t>(epoch_counter_));
   out.set_gauge("rmd.recruited", recruited() ? 1 : 0);
+  if (imd_template_.lease_epochs) {
+    // Omitted with lease_epochs off so the export stays byte-identical to
+    // the pre-lease layout.
+    out.set_counter("rmd.pressure_signals", metrics_.pressure_signals);
+    out.set_counter("rmd.pressure_shrinks", metrics_.pressure_shrinks);
+    out.set_gauge("rmd.pressure_level", static_cast<std::int64_t>(pressure_));
+  }
   return out;
 }
 

@@ -53,6 +53,11 @@ struct RmdMetrics {
   /// Fault-injection hook invocations that actually changed state.
   std::uint64_t forced_evictions = 0;
   std::uint64_t forced_recruits = 0;
+  /// Lease harvesting (lease_epochs on): pressure-level transitions
+  /// signalled to the cmd, and rising-pressure samples that actually
+  /// scheduled an incremental pool shrink.
+  std::uint64_t pressure_signals = 0;
+  std::uint64_t pressure_shrinks = 0;
 };
 
 class ResourceMonitor {
@@ -79,6 +84,15 @@ class ResourceMonitor {
   /// re-registration with the cmd) and releases the force_evict() hold.
   void force_recruit();
 
+  /// Fault-injection hook for the graded pressure signal (lease harvesting,
+  /// DESIGN.md §14; no-op with lease_epochs off). kIdle clears the signal;
+  /// kRising shrinks the recruited pool to `keep_frac` of its current live
+  /// bytes, coldest regions first; kUrgent is the owner at the console —
+  /// the paper's whole-daemon eviction, plus a force_evict()-style hold.
+  sim::Co<void> force_pressure(PressureLevel level, double keep_frac);
+
+  [[nodiscard]] PressureLevel pressure() const { return pressure_; }
+
   [[nodiscard]] bool recruited() const { return imd_ != nullptr; }
   [[nodiscard]] IdleMemoryDaemon* imd() { return imd_.get(); }
   [[nodiscard]] const RmdMetrics& metrics() const { return metrics_; }
@@ -92,6 +106,7 @@ class ResourceMonitor {
   sim::Co<void> monitor_loop();
   sim::Co<void> stats_loop();
   void notify_cmd(bool idle);
+  void set_pressure(PressureLevel level);
   void recruit();
   sim::Co<void> evict();
 
@@ -111,6 +126,7 @@ class ResourceMonitor {
   bool running_ = false;
   bool stopping_ = false;
   bool held_out_ = false;  // force_evict() parked the host out of service
+  PressureLevel pressure_ = PressureLevel::kIdle;
   sim::WaitGroup loops_;
   sim::Channel<int> stop_ch_;
 };

@@ -39,6 +39,16 @@ enum class MsgKind : std::uint8_t {
   kHostStatus = 1,  // node became idle/busy
   // imd -> cmd
   kImdRegister = 2,  // pool size + epoch on startup
+  // rmd -> cmd (lease harvesting, §14): graded local-pressure signal.
+  // Body: u32 node, u8 PressureLevel. Sent only on level changes and only
+  // with lease_epochs on; the binary kHostStatus keeps flowing unchanged.
+  kPressureStatus = 3,
+  // imd -> cmd (lease harvesting, §14): regions entering their lease grace
+  // window — scheduled for reclamation unless renewed. The cmd reacts by
+  // proactively re-replicating sole copies before the fence falls. One-way
+  // datagram (best effort: renewal rejects are the backstop). Body: u32
+  // node, u64 epoch, u32 n, then n x {u64 region id, i64 len}.
+  kLeaseExpiryNotice = 4,
   // cmd -> imd and replies
   kAllocReq = 10,  // body: i64 len, u64 expected epoch (mismatch = reject)
   kAllocRep = 11,
@@ -57,6 +67,14 @@ enum class MsgKind : std::uint8_t {
   // original. Body: u64 dst region id, RegionLoc of the source replica.
   kCloneReq = 16,
   kCloneRep = 17,
+  // Lease renewal batch (lease harvesting, §14): on every keep-alive tick
+  // the cmd renews the leases of the regions its directory maps on an idle
+  // host. Request body: u64 expected epoch, u32 n, n x u64 region ids.
+  // Reply body: u8 ok (epoch matched), u64 epoch, i64 largest free, u32
+  // n_rejected, n_rejected x u64 region ids — a rejected id is fenced or
+  // unknown on the imd, so the cmd prunes that copy instead of retrying.
+  kLeaseRenewReq = 18,
+  kLeaseRenewRep = 19,
   // client -> cmd and replies
   kMopenReq = 20,
   kMopenRep = 21,
@@ -94,6 +112,18 @@ enum class MsgKind : std::uint8_t {
   kStatsRep = 51,
   // never on the wire: injected locally to wake a daemon loop for shutdown
   kShutdownSentinel = 255,
+};
+
+/// Graded local-pressure signal from the resource monitor (lease
+/// harvesting, DESIGN.md §14). kIdle: harvest freely. kRising: the owner's
+/// working set is growing — the imd pool shrinks incrementally, coldest
+/// regions first, and the cmd avoids placing new copies on the host.
+/// kUrgent: the owner is back at the console — the paper's binary path
+/// (whole-daemon eviction) fires unchanged.
+enum class PressureLevel : std::uint8_t {
+  kIdle = 0,
+  kRising = 1,
+  kUrgent = 2,
 };
 
 /// Replica-set delta piggybacked on the keep-alive exchange. A grown copy

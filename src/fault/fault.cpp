@@ -27,6 +27,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kCmdRestart: return "cmd-restart";
     case FaultKind::kCmdShardCrash: return "cmd-shard-crash";
     case FaultKind::kCmdShardRestart: return "cmd-shard-restart";
+    case FaultKind::kHostPressure: return "host-pressure";
   }
   return "unknown";
 }
@@ -39,7 +40,7 @@ bool fault_kind_from_string(const std::string& name, FaultKind& out) {
       FaultKind::kHostEvict,      FaultKind::kHostRecruit,
       FaultKind::kCmdBlackoutBegin, FaultKind::kCmdBlackoutEnd,
       FaultKind::kCmdRestart,       FaultKind::kCmdShardCrash,
-      FaultKind::kCmdShardRestart,
+      FaultKind::kCmdShardRestart,  FaultKind::kHostPressure,
   };
   for (FaultKind k : kAll) {
     if (name == to_string(k)) {
@@ -101,6 +102,13 @@ FaultPlan& FaultPlan::cmd_shard_crash(SimTime at, int shard) {
 
 FaultPlan& FaultPlan::cmd_shard_restart(SimTime at, int shard) {
   events_.push_back({at, FaultKind::kCmdShardRestart, shard, 0, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::host_pressure(SimTime at, int host, int level,
+                                    double keep_frac) {
+  events_.push_back({at, FaultKind::kHostPressure, host,
+                     static_cast<net::NodeId>(level), 0, keep_frac});
   return *this;
 }
 
@@ -223,6 +231,13 @@ sim::Co<void> FaultInjector::apply(const FaultEvent& ev) {
       std::snprintf(detail, sizeof(detail),
                     "cmd shard %d (node %u) up, partition re-recruited",
                     ev.host, cluster_.shard_node(ev.host));
+      break;
+    case FaultKind::kHostPressure:
+      co_await cluster_.pressure_host(ev.host, static_cast<int>(ev.a),
+                                      ev.rate);
+      std::snprintf(detail, sizeof(detail),
+                    "node %u pressure level %u keep_frac=%.2f",
+                    cluster_.host_node(ev.host), ev.a, ev.rate);
       break;
   }
   log_.record(cluster_.sim().now(), ev.kind, ev.host, detail);

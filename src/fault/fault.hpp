@@ -49,6 +49,11 @@ enum class FaultKind : std::uint8_t {
   kCmdRestart,       // cmd cold stop + warm restart (directories survive)
   kCmdShardCrash,    // one cmd shard's node drops (host = shard index)
   kCmdShardRestart,  // shard back with empty directory; partition re-recruits
+  /// Graded memory pressure on a harvested host (lease_epochs only; a no-op
+  /// otherwise). `a` carries the core::PressureLevel ordinal, `rate` the
+  /// keep fraction for a kRising incremental shrink. Level 2 (urgent) holds
+  /// the host out of service like kHostEvict until kHostRecruit.
+  kHostPressure,
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -85,6 +90,9 @@ class FaultPlan {
   FaultPlan& cmd_restart(SimTime at);
   FaultPlan& cmd_shard_crash(SimTime at, int shard);
   FaultPlan& cmd_shard_restart(SimTime at, int shard);
+  /// level: core::PressureLevel ordinal (0 idle, 1 rising, 2 urgent);
+  /// keep_frac: fraction of live pool bytes a rising shrink keeps.
+  FaultPlan& host_pressure(SimTime at, int host, int level, double keep_frac);
 
   /// Appends a raw event (fuzz schedules rebuild plans event-by-event when
   /// replaying or shrinking, where the paired builder calls above would

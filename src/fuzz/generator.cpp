@@ -54,6 +54,12 @@ Schedule generate_schedule(std::uint64_t seed, const GenParams& params) {
     s.shards = 2 + static_cast<int>(shard_rng.below(2));
     s.hosts = std::max(s.hosts, s.shards + 1);
   }
+  // ~25% of schedules turn on lease-based harvesting (a fresh stream again,
+  // so lease-off schedules keep their exact pre-lease draws). The pressure
+  // ramps it drives are appended after the base fault machinery below;
+  // crashes and evicts of lease-holding hosts come free from that machinery.
+  Rng lease_rng = Rng(seed).fork(0x6c656173);  // "leas"
+  s.lease = lease_rng.below(100) < 25;
   s.region = 16_KiB << cfg_rng.below(2);
   s.slots = 4 + static_cast<int>(cfg_rng.below(5));
   s.pool = std::max<Bytes64>(2 * s.slots * s.region, 512_KiB);
@@ -160,6 +166,37 @@ Schedule generate_schedule(std::uint64_t seed, const GenParams& params) {
   // whatever the ops happen to be doing), and every crash is paired with a
   // restart before quiesce so the leak audit sees the partition freshly
   // re-registered rather than a zombie directory.
+  // Lease schedules drive graded pressure ramps on top of the base faults:
+  // rising pressure sheds the pool incrementally to a keep fraction (then
+  // clears), and urgent pressure is the owner storming back — the paper's
+  // whole-daemon eviction through the new signal path, paired with a recruit
+  // that releases the hold before quiesce. Every hook is a no-op on a host
+  // that happens to be evicted or crashed at fire time, so the ramps compose
+  // with the window faults above without a legality dance.
+  if (s.lease) {
+    const std::size_t ramps = 1 + static_cast<std::size_t>(lease_rng.below(3));
+    SimTime pt = params.first_fault;
+    for (std::size_t i = 0; i < ramps && pt < params.horizon; ++i) {
+      pt += lease_rng.range(50 * kMillisecond, 400 * kMillisecond);
+      if (pt >= params.horizon) break;
+      const int h = static_cast<int>(
+          lease_rng.below(static_cast<std::uint64_t>(s.hosts)));
+      const Duration dur =
+          lease_rng.range(200 * kMillisecond, 600 * kMillisecond);
+      if (lease_rng.below(100) < 70) {
+        const double keep = lease_rng.uniform(0.2, 0.6);
+        s.faults.push_back(
+            {pt, fault::FaultKind::kHostPressure, h, 1, 0, keep});
+        s.faults.push_back(
+            {pt + dur, fault::FaultKind::kHostPressure, h, 0, 0, 0});
+      } else {
+        s.faults.push_back({pt, fault::FaultKind::kHostPressure, h, 2, 0, 0});
+        s.faults.push_back(
+            {pt + dur, fault::FaultKind::kHostRecruit, h, 0, 0, 0});
+      }
+    }
+  }
+
   if (sharded && shard_rng.below(100) < 60) {
     const int target =
         static_cast<int>(shard_rng.below(static_cast<std::uint64_t>(s.shards)));

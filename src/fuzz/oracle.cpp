@@ -125,6 +125,54 @@ std::string check_conservation(cluster::Cluster& cluster) {
   return "";
 }
 
+std::string check_lease_no_resurrection(cluster::Cluster& cluster) {
+  if (!cluster.config().imd.lease_epochs) return "";
+  for (int h = 0; h < cluster.config().imd_hosts; ++h) {
+    core::IdleMemoryDaemon* imd = cluster.rmd(h).imd();
+    if (imd == nullptr || !imd->running()) continue;
+    for (const auto& [id, len] : imd->region_list()) {
+      if (imd->lease_fenced(id)) {
+        return fmt("lease-resurrection",
+                   "imd on host %d holds region %llu live inside its fence "
+                   "(epoch %llu)",
+                   h, static_cast<unsigned long long>(id),
+                   static_cast<unsigned long long>(imd->epoch()));
+      }
+    }
+  }
+  return "";
+}
+
+std::string check_lease_conservation(cluster::Cluster& cluster) {
+  if (!cluster.config().imd.lease_epochs) return "";
+  std::string violation = check_lease_no_resurrection(cluster);
+  if (!violation.empty()) return violation;
+  // No directory shard may still map a region its imd has fenced under the
+  // current incarnation: the renewal reject must have pruned it by quiesce,
+  // or reads would route at reclaimed memory for the rest of the epoch.
+  // (Entries under an older epoch are the ordinary crash/evict stale path,
+  // scrubbed by validate_region; the lease fence only governs its epoch.)
+  for (int h = 0; h < cluster.config().imd_hosts; ++h) {
+    core::IdleMemoryDaemon* imd = cluster.rmd(h).imd();
+    if (imd == nullptr || !imd->running()) continue;
+    const net::NodeId node = imd->node();
+    const std::uint64_t epoch = imd->epoch();
+    for (int sh = 0; sh < cluster.shard_count(); ++sh) {
+      for (const auto& [key, loc] : cluster.cmd(sh).rd_snapshot()) {
+        if (loc.host != node || loc.epoch != epoch) continue;
+        if (imd->lease_fenced(loc.imd_region)) {
+          return fmt("lease-conservation",
+                     "shard %d still maps fenced region %llu on node %u "
+                     "epoch %llu",
+                     sh, static_cast<unsigned long long>(loc.imd_region),
+                     node, static_cast<unsigned long long>(epoch));
+        }
+      }
+    }
+  }
+  return "";
+}
+
 std::string check_span_tree(cluster::Cluster& cluster) {
   const std::vector<obs::MergedSpan> all = cluster.merged_spans();
   std::map<std::uint64_t, const obs::MergedSpan*> by_id;

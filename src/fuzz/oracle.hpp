@@ -48,6 +48,22 @@ class EpochOracle {
 /// sum of its live region lengths ("" or "metric-conservation: ...").
 [[nodiscard]] std::string check_conservation(cluster::Cluster& cluster);
 
+/// Lease fencing, valid at any time (trivially "" with lease_epochs off):
+/// no region an imd holds live is also in its fenced set. Region ids are
+/// never reused within an epoch, so a fenced id coming back live means a
+/// late datagram resurrected reclaimed memory ("" or
+/// "lease-resurrection: ...").
+[[nodiscard]] std::string check_lease_no_resurrection(
+    cluster::Cluster& cluster);
+
+/// Lease conservation, valid only at quiesce (mid-run there is a legal
+/// <=1-keepalive-tick window between an imd fencing a region and the cmd's
+/// renewal reject pruning it): includes the no-resurrection check, and
+/// additionally no cmd directory entry may still map a fenced region of a
+/// live imd incarnation — a surviving entry would route reads at reclaimed
+/// memory for the rest of the epoch ("" or "lease-conservation: ...").
+[[nodiscard]] std::string check_lease_conservation(cluster::Cluster& cluster);
+
 /// Trace-tree well-formedness, valid only after Cluster::quiesce_traces():
 /// span ids are unique and increasing, every non-root span's parent exists
 /// in the merged timeline and shares its trace id, a child never starts

@@ -71,6 +71,13 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
   cfg.client.bulk.max_retries = 30;
   cfg.imd.reply_cache_capacity = s.imd_reply_cache_capacity;
   cfg.imd.buggy_clear_all_reply_cache = opt.buggy_imd_reply_cache;
+  // Lease schedules: grace spans three 500ms keep-alive ticks so a
+  // near-expiry proactive copy can finish its write-only/ack/activate
+  // handshake while the source is still readable.
+  cfg.imd.lease_epochs = s.lease;
+  cfg.cmd.lease_epochs = s.lease;
+  cfg.imd.lease_ttl = seconds(3.0);
+  cfg.imd.lease_grace = seconds(1.5);
   cfg.record_spans = true;  // the span-tree oracle audits the merged trace
 
   // Everything the probe lambda captures must outlive the Cluster (the
@@ -103,6 +110,7 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
     note(epochs.check(c));
     note(check_reply_cache_bounds(c));
     note(check_descriptor_bound(c, static_cast<std::size_t>(s.slots)));
+    note(check_lease_no_resurrection(c));
   });
 
   std::vector<SlotState> slots(static_cast<std::size_t>(s.slots));
@@ -319,6 +327,7 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
     note(check_descriptor_bound(c, static_cast<std::size_t>(s.slots)));
     note(check_no_leaks(c));
     note(check_conservation(c));
+    note(check_lease_conservation(c));
     note(check_span_tree(c));
     std::vector<std::uint8_t> disk(static_cast<std::size_t>(dataset));
     c.fs().store_of_inode(c.fs().inode_of(fd))->read(0, dataset, disk.data());

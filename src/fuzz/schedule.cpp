@@ -57,6 +57,8 @@ std::string Schedule::serialize() const {
   out += line;
   std::snprintf(line, sizeof(line), "shards %d\n", shards);
   out += line;
+  std::snprintf(line, sizeof(line), "lease %d\n", lease ? 1 : 0);
+  out += line;
   std::snprintf(line, sizeof(line), "reply_cache %zu\n",
                 imd_reply_cache_capacity);
   out += line;
@@ -131,6 +133,11 @@ bool Schedule::parse(const std::string& text, Schedule& out,
     } else if (key == "shards") {
       // Optional (pre-sharding schedules omit it); absent means one cmd.
       if (!(ls >> s.shards) || s.shards < 1) return fail(lineno, "bad shards");
+    } else if (key == "lease") {
+      // Optional (pre-lease schedules omit it); absent means leases off.
+      int v = 0;
+      if (!(ls >> v) || v < 0 || v > 1) return fail(lineno, "bad lease");
+      s.lease = v != 0;
     } else if (key == "reply_cache") {
       long long v = 0;
       if (!(ls >> v) || v < 1) return fail(lineno, "bad reply_cache");

@@ -53,6 +53,10 @@ struct Schedule {
   /// Directory shards (cmd instances); hosts partition round-robin across
   /// them and region keys route by hash (cluster::ClusterConfig::cmd_shards).
   int shards = 1;
+  /// Lease-based harvesting (DESIGN.md §14): imds grant/fence per-region
+  /// leases, the cmd renews them each keepalive tick, and kHostPressure
+  /// fault events drive graded incremental reclamation.
+  bool lease = false;
   std::size_t imd_reply_cache_capacity = 64;
   std::uint64_t seed = 1;          // simulator/cluster seed
 

@@ -429,6 +429,7 @@ sim::Co<void> DodoClient::read_piece(core::ReplicaSet set, Bytes64 frag_off,
 
     bool ok = false;
     bool filled = false;
+    bool rejected = false;
     auto rep = co_await sock->recv_for(params_.data_timeout);
     wait.end_now();
     if (rep) {
@@ -447,6 +448,7 @@ sim::Co<void> DodoClient::read_piece(core::ReplicaSet set, Bytes64 frag_off,
         }
       } else if (r.ok()) {
         out->err = code == Err::kOk ? Err::kNotFound : code;
+        rejected = true;  // authoritative answer: this copy is gone
       }
     }
     // Re-find: a concurrent prune_host may have erased the score entry
@@ -461,7 +463,14 @@ sim::Co<void> DodoClient::read_piece(core::ReplicaSet set, Bytes64 frag_off,
       out->replica_hit = order.size() > 1;
       break;
     }
-    out->failed_hosts.push_back(frag.host);
+    // A reject came from a live, answering imd — the copy is dead, the host
+    // is not (under incremental reclamation it still serves what it kept).
+    // Silence indicts the whole host, §3.1 style.
+    if (rejected) {
+      out->failed_copies.push_back(frag);
+    } else {
+      out->failed_hosts.push_back(frag.host);
+    }
   }
   wg->done();
 }
@@ -496,6 +505,7 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
   const int fd = e->fd;
   const Bytes64 file_base = e->file_offset;
   const Bytes64 n = std::min(len, e->len - offset);
+  const core::RegionKey key = e->key;
   const core::StripeMap map = e->map;
   e = nullptr;
 
@@ -527,12 +537,18 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
     } else {
       all_ok = false;
     }
-    // Every host that failed an attempt — the selected copy or a sibling a
-    // failover then also lost — gets pruned, whether or not the piece as a
-    // whole recovered.
-    if (!outcomes[i].failed_hosts.empty()) ++metrics_.access_failures;
+    // Every failed attempt gets pruned, whether or not the piece as a
+    // whole recovered: silent hosts lose all their copies, while copies a
+    // live imd explicitly rejected are dropped one by one.
+    if (!outcomes[i].failed_hosts.empty() ||
+        !outcomes[i].failed_copies.empty()) {
+      ++metrics_.access_failures;
+    }
     failed_hosts.insert(failed_hosts.end(), outcomes[i].failed_hosts.begin(),
                         outcomes[i].failed_hosts.end());
+    for (const core::RegionLoc& c : outcomes[i].failed_copies) {
+      prune_copy(key, c);
+    }
   }
   std::sort(failed_hosts.begin(), failed_hosts.end());
   failed_hosts.erase(std::unique(failed_hosts.begin(), failed_hosts.end()),

@@ -217,8 +217,14 @@ class DodoClient {
     bool filled = false;
     bool replica_hit = false;  // served from a multi-copy set
     Err err = Err::kTimeout;
-    /// Hosts whose attempt failed (selected copy and any siblings tried).
+    /// Hosts that never answered (timeout or failed bulk transfer) — the
+    /// host itself is suspect, so every copy it serves gets pruned.
     std::vector<net::NodeId> failed_hosts;
+    /// Copies an imd explicitly rejected (fenced, unknown, stale epoch).
+    /// The host answered — it is alive, and under incremental lease
+    /// reclamation it still serves its kept regions — so only the one dead
+    /// copy is pruned, never the whole host.
+    std::vector<core::RegionLoc> failed_copies;
   };
 
   /// Per-host read-latency state backing replica selection: an EWMA of

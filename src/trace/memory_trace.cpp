@@ -214,6 +214,73 @@ ClusterSeries cluster_availability(const std::vector<HostClass>& hosts,
   return series;
 }
 
+std::vector<HostTrace> synthesize_flash_crowd(
+    const std::vector<HostClass>& hosts, const FlashCrowdConfig& cfg) {
+  std::vector<HostTrace> traces;
+  traces.reserve(hosts.size());
+  const auto n = static_cast<std::size_t>(cfg.duration / cfg.sample_interval);
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    const HostClassStats st = paper_stats(hosts[h]);
+    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + h + 1);
+
+    // The owner's return lands inside [crowd_at, crowd_at+spread); drawing
+    // it first keeps the arrival independent of the AR(1) draws below.
+    const SimTime back_at =
+        cfg.crowd_at + static_cast<Duration>(rng.uniform(
+                           0.0, static_cast<double>(cfg.arrival_spread)));
+    const SimTime busy_at = back_at + cfg.ramp_len;
+    const SimTime gone_at = busy_at + cfg.busy_len;
+
+    HostTrace trace;
+    trace.cls = hosts[h];
+    trace.total_kb = st.total_kb;
+    trace.samples.reserve(n);
+
+    double kernel = st.kernel_mean;
+    double fcache = st.fcache_mean;
+    double proc = st.proc_mean;
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime t = static_cast<SimTime>(i) * cfg.sample_interval;
+      kernel =
+          ar1_step(kernel, st.kernel_mean, st.kernel_sd, cfg.ar_phi, rng);
+      fcache =
+          ar1_step(fcache, st.fcache_mean, st.fcache_sd, cfg.ar_phi, rng);
+      proc = ar1_step(proc, st.proc_mean, st.proc_sd, cfg.ar_phi, rng);
+
+      const bool crowded = t >= back_at && t < gone_at;
+      Sample s;
+      s.t = t;
+      s.kernel_kb = static_cast<Bytes64>(std::max(0.0, kernel));
+      s.fcache_kb = static_cast<Bytes64>(std::max(0.0, fcache));
+      double p = std::max(0.0, proc);
+      if (crowded) {
+        // The claim ramps linearly over ramp_len, then holds: memory fills
+        // while the console is still quiet, so a monitor watching active
+        // memory sees graded pressure before the binary busy signal.
+        double frac = cfg.claim_frac;
+        if (cfg.ramp_len > 0 && t < busy_at) {
+          frac *= static_cast<double>(t - back_at + cfg.sample_interval) /
+                  static_cast<double>(cfg.ramp_len);
+          if (frac > cfg.claim_frac) frac = cfg.claim_frac;
+        }
+        const double free_kb = std::max(
+            0.0, static_cast<double>(st.total_kb) - kernel - fcache - p);
+        p += frac * free_kb;
+      }
+      s.proc_kb = static_cast<Bytes64>(p);
+      const Bytes64 sum = s.kernel_kb + s.fcache_kb + s.proc_kb;
+      if (sum > st.total_kb) {
+        s.proc_kb -= (sum - st.total_kb);
+        if (s.proc_kb < 0) s.proc_kb = 0;
+      }
+      s.idle = t < busy_at || t >= gone_at;
+      trace.samples.push_back(s);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
 Table1Row summarize_class(HostClass cls, int hosts, const TraceConfig& cfg,
                           std::uint64_t seed) {
   Table1Row row;

@@ -97,6 +97,33 @@ ClusterSeries cluster_availability(const std::vector<HostClass>& hosts,
                                    const TraceConfig& cfg,
                                    std::uint64_t seed);
 
+/// The flash-crowd scenario behind the lease-reclamation chaos battery: the
+/// cluster idles long enough for deep harvesting, then every owner returns
+/// within one short window — the 9am arrival wave — and each claims most of
+/// what was free on their machine. Availability collapses cluster-wide at
+/// nearly the same instant, which is the worst case for a harvester that
+/// must give memory back incrementally rather than die wholesale.
+struct FlashCrowdConfig {
+  Duration sample_interval = seconds(5.0);
+  Duration duration = seconds(3600.0);
+  Duration crowd_at = seconds(1200.0);      // first owner's return
+  Duration arrival_spread = seconds(30.0);  // all owners back within this
+  Duration ramp_len = seconds(60.0);        // memory grows before the console
+  Duration busy_len = seconds(900.0);       // console-busy stretch after ramp
+  double claim_frac = 0.85;  // fraction of free memory an owner claims
+  double ar_phi = 0.98;      // AR(1) persistence of the quiet components
+  std::uint64_t seed = 1;
+};
+
+/// One trace per host, sharing the sample clock. Host h's owner returns at
+/// crowd_at + U[0, arrival_spread) (deterministic in (seed, h)). The return
+/// has two phases: a ramp where the owner's jobs claim memory while the
+/// console is still quiet — the graded-pressure window where a harvester can
+/// shed incrementally — then a console-busy stretch (urgent, wholesale).
+/// Afterwards the host settles back to its quiet Table 1 regime.
+std::vector<HostTrace> synthesize_flash_crowd(
+    const std::vector<HostClass>& hosts, const FlashCrowdConfig& cfg);
+
 /// Text persistence for synthesized traces: header line
 /// "# dodo trace v1 <class> <total_kb>" then one "t kernel fcache proc idle"
 /// TSV row per sample. Lets an experiment pin the exact trace it ran under

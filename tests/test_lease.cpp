@@ -1,0 +1,409 @@
+// Lease-based harvest economics (DESIGN.md §14): every imd-hosted region
+// carries a lease granted at alloc and renewed by the cmd's keep-alive
+// tick; expiry fences the region (bytes reclaimed, id never resurrected
+// within the epoch), pressure shrinks schedule the coldest regions first,
+// and a near-expiry sole copy is proactively re-homed through the clone
+// handshake before its fence. These tests pin the lease state machine at
+// the cmd/imd unit level: grant, renewal, expiry + fencing, renewal
+// rejection of fenced ids, free idempotence across the fence,
+// coldest-first victim selection, the proactive-copy trigger, and the
+// lease_epochs=off quiet path (no lease metrics, no lease state).
+// Labeled `lease` (ctest -L lease / the lease and lease-asan presets).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/cmd.hpp"
+#include "core/imd.hpp"
+#include "disk/filesystem.hpp"
+#include "runtime/dodo_client.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo::runtime {
+namespace {
+
+using sim::Co;
+using sim::Simulator;
+
+// Node 0: cmd. Node 1: application. Nodes 2..1+hosts: imds.
+struct LeaseFixture {
+  Simulator sim{61};
+  net::Network net;
+  core::CentralManager cmd;
+  disk::SimFilesystem fs;
+  std::vector<std::unique_ptr<core::IdleMemoryDaemon>> imds;
+  DodoClient client;
+  int fd = -1;
+
+  LeaseFixture(int hosts, core::CmdParams cp, core::ImdParams ip)
+      : net(sim, net::NetParams::unet(),
+            static_cast<std::size_t>(hosts) + 2),
+        cmd(sim, net, 0, cp),
+        fs(sim),
+        client(sim, net, 1, net::Endpoint{0, core::kCmdPort}, fs, {}) {
+    cmd.start();
+    for (int i = 0; i < hosts; ++i) {
+      imds.push_back(std::make_unique<core::IdleMemoryDaemon>(
+          sim, net, static_cast<net::NodeId>(i + 2), 1,
+          net::Endpoint{0, core::kCmdPort}, ip));
+      imds.back()->start();
+    }
+    fs.create("backing", 8_MiB);
+    fd = fs.open("backing", disk::OpenMode::kReadWrite);
+    client.start();
+  }
+
+  /// Fast ticks so grant->renew->expire->re-home all fits in simulated
+  /// seconds: keep-alive 500ms, ttl 3s (6 ticks), grace 1.5s (3 ticks).
+  static core::CmdParams lease_cmd(bool on = true) {
+    core::CmdParams p;
+    p.lease_epochs = on;
+    p.keepalive_interval = millis(500);
+    return p;
+  }
+  static core::ImdParams lease_imd(bool on = true,
+                                   Duration ttl = seconds(3.0),
+                                   Duration grace = seconds(1.5)) {
+    core::ImdParams p;
+    p.pool_bytes = 16_MiB;
+    p.lease_epochs = on;
+    p.lease_ttl = ttl;
+    p.lease_grace = grace;
+    return p;
+  }
+
+  template <typename F>
+  void run(F&& body, SimTime limit = 300_s) {
+    bool finished = false;
+    sim.spawn([](LeaseFixture& f, F fn, bool& done) -> Co<void> {
+      co_await f.sim.sleep(5_ms);  // let daemons register
+      co_await fn(f);
+      done = true;
+    }(*this, std::forward<F>(body), finished));
+    sim.run(limit);
+    EXPECT_TRUE(finished) << "test body did not complete";
+  }
+
+  /// The single live region id on `imds[i]` (0 when none).
+  [[nodiscard]] std::uint64_t sole_region(std::size_t i = 0) const {
+    const auto list = imds[i]->region_list();
+    return list.size() == 1 ? list.front().first : 0;
+  }
+};
+
+net::Buf pattern(std::size_t n, std::uint8_t salt = 0) {
+  net::Buf b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>((i * 131 + salt) & 0xff);
+  }
+  return b;
+}
+
+TEST(Lease, GrantedOnAllocAndRenewedByKeepalive) {
+  LeaseFixture fx(1, LeaseFixture::lease_cmd(), LeaseFixture::lease_imd());
+  fx.run([](LeaseFixture& f) -> Co<void> {
+    const Bytes64 rlen = 64_KiB;
+    const int rd = co_await f.client.mopen(rlen, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    const std::uint64_t id = f.sole_region();
+    EXPECT_NE(id, 0u);
+    // Granted at alloc: the lease already has an absolute expiry.
+    const SimTime granted = f.imds[0]->region_lease_expiry(id);
+    EXPECT_GT(granted, f.sim.now());
+    net::Buf data = pattern(static_cast<std::size_t>(rlen), 3);
+    EXPECT_EQ(co_await f.client.mwrite(rd, 0, data.data(), rlen), rlen);
+
+    // Three ttls later the region is still alive purely because the cmd's
+    // keep-alive tick kept renewing: the expiry has been pushed out and
+    // nothing was reclaimed.
+    co_await f.sim.sleep(seconds(10.0));
+    EXPECT_EQ(f.imds[0]->region_count(), 1u);
+    EXPECT_GT(f.imds[0]->region_lease_expiry(id), granted);
+    EXPECT_EQ(f.imds[0]->metrics().regions_reclaimed, 0u);
+    EXPECT_GE(f.imds[0]->metrics().leases_renewed, 6u);
+    EXPECT_GE(f.cmd.metrics().lease_renewals, 6u);
+    EXPECT_EQ(f.cmd.metrics().lease_renew_rejects, 0u);
+
+    // And it still serves bytes from remote memory.
+    net::Buf back(static_cast<std::size_t>(rlen), 0);
+    const auto rr = co_await f.client.mread_ex(rd, 0, back.data(), rlen);
+    EXPECT_EQ(rr.n, rlen);
+    EXPECT_TRUE(rr.disk_ranges.empty());
+    EXPECT_EQ(back, data);
+  });
+}
+
+TEST(Lease, ExpiryWithoutRenewalFencesAndReclaims) {
+  // The cmd half is off: nobody renews, so the grant's ttl is the region's
+  // whole life. (A dead or partitioned cmd behaves the same way — expiry
+  // needs no message to arrive.)
+  LeaseFixture fx(1, LeaseFixture::lease_cmd(false), LeaseFixture::lease_imd());
+  fx.run([](LeaseFixture& f) -> Co<void> {
+    const Bytes64 rlen = 64_KiB;
+    const int rd = co_await f.client.mopen(rlen, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    net::Buf data = pattern(static_cast<std::size_t>(rlen), 7);
+    EXPECT_EQ(co_await f.client.mwrite(rd, 0, data.data(), rlen), rlen);
+    const std::uint64_t id = f.sole_region();
+    EXPECT_NE(id, 0u);
+
+    // Past ttl (+ a check tick): fenced and reclaimed, pool bytes back.
+    co_await f.sim.sleep(seconds(4.0));
+    EXPECT_EQ(f.imds[0]->region_count(), 0u);
+    EXPECT_TRUE(f.imds[0]->lease_fenced(id));
+    EXPECT_EQ(f.imds[0]->metrics().regions_reclaimed, 1u);
+    EXPECT_EQ(f.imds[0]->metrics().bytes_reclaimed,
+              static_cast<std::uint64_t>(rlen));
+    EXPECT_EQ(f.imds[0]->allocated_bytes(), 0u);
+
+    // A late read through the stale directory entry cannot resurrect it:
+    // the imd rejects the fenced id and the client degrades to disk, whose
+    // bytes (mwrite is write-through) are still exact.
+    net::Buf back(static_cast<std::size_t>(rlen), 0);
+    const auto rr = co_await f.client.mread_ex(rd, 0, back.data(), rlen);
+    EXPECT_EQ(rr.n, rlen);
+    EXPECT_FALSE(rr.disk_ranges.empty());
+    EXPECT_EQ(back, data);
+    EXPECT_EQ(f.imds[0]->region_count(), 0u);
+    EXPECT_GE(f.imds[0]->metrics().bad_region_requests, 1u);
+    EXPECT_TRUE(f.imds[0]->lease_fenced(id));
+  });
+}
+
+TEST(Lease, RenewalRejectsFencedIdAndStaleEpoch) {
+  LeaseFixture fx(1, LeaseFixture::lease_cmd(false), LeaseFixture::lease_imd());
+  fx.run([](LeaseFixture& f) -> Co<void> {
+    const int rd = co_await f.client.mopen(64_KiB, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    const std::uint64_t fenced_id = f.sole_region();
+    co_await f.sim.sleep(seconds(4.0));  // expire and fence it
+    EXPECT_TRUE(f.imds[0]->lease_fenced(fenced_id));
+
+    // A second region, freshly leased, to prove a stale-epoch renewal
+    // extends nothing.
+    const int rd2 = co_await f.client.mopen(64_KiB, f.fd, 64_KiB);
+    EXPECT_GE(rd2, 0);
+    const std::uint64_t live_id = f.sole_region();
+    EXPECT_NE(live_id, 0u);
+    const SimTime live_expiry = f.imds[0]->region_lease_expiry(live_id);
+
+    // Renewal naming the fenced id under the current epoch: the reply is
+    // ok (epoch matched) but the id comes back rejected — the cmd's cue to
+    // prune the copy rather than keep renewing a ghost.
+    auto sock = f.net.open_ephemeral(1);
+    {
+      net::Buf h = core::make_header(core::MsgKind::kLeaseRenewReq, 990001);
+      net::Writer w(h);
+      w.u64(1);  // imd epoch
+      w.u32(1);
+      w.u64(fenced_id);
+      sock->send(net::Endpoint{f.imds[0]->node(), core::kImdCtlPort},
+                 std::move(h));
+      auto rep = co_await sock->recv_for(seconds(1.0));
+      EXPECT_TRUE(rep.has_value());
+      if (!rep.has_value()) co_return;
+      auto env = core::peek_envelope(*rep);
+      EXPECT_TRUE(env.has_value());
+      if (!env.has_value()) co_return;
+      EXPECT_EQ(env->kind, core::MsgKind::kLeaseRenewRep);
+      net::Reader r = core::body_reader(*rep);
+      EXPECT_EQ(r.u8(), 1);            // epoch matched
+      EXPECT_EQ(r.u64(), 1u);          // current epoch echoed
+      (void)r.i64();                   // largest-free hint
+      EXPECT_EQ(r.u32(), 1u);          // exactly our id rejected
+      EXPECT_EQ(r.u64(), fenced_id);
+      EXPECT_TRUE(r.ok());
+    }
+    EXPECT_GE(f.imds[0]->metrics().lease_renew_rejects, 1u);
+
+    // Renewal of the live id under a stale epoch: not ok, nothing extended.
+    {
+      net::Buf h = core::make_header(core::MsgKind::kLeaseRenewReq, 990002);
+      net::Writer w(h);
+      w.u64(7);  // wrong incarnation
+      w.u32(1);
+      w.u64(live_id);
+      sock->send(net::Endpoint{f.imds[0]->node(), core::kImdCtlPort},
+                 std::move(h));
+      auto rep = co_await sock->recv_for(seconds(1.0));
+      EXPECT_TRUE(rep.has_value());
+      if (!rep.has_value()) co_return;
+      net::Reader r = core::body_reader(*rep);
+      EXPECT_EQ(r.u8(), 0);
+    }
+    EXPECT_EQ(f.imds[0]->region_lease_expiry(live_id), live_expiry);
+
+    // No resurrection: the fenced id is still fenced and no live region
+    // wears it.
+    for (const auto& [id, len] : f.imds[0]->region_list()) {
+      EXPECT_FALSE(f.imds[0]->lease_fenced(id));
+    }
+    EXPECT_TRUE(f.imds[0]->lease_fenced(fenced_id));
+  });
+}
+
+TEST(Lease, FreeOfFencedRegionIsIdempotentSuccess) {
+  LeaseFixture fx(1, LeaseFixture::lease_cmd(false), LeaseFixture::lease_imd());
+  fx.run([](LeaseFixture& f) -> Co<void> {
+    const int rd = co_await f.client.mopen(64_KiB, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    const std::uint64_t id = f.sole_region();
+    co_await f.sim.sleep(seconds(4.0));  // fence it
+    EXPECT_TRUE(f.imds[0]->lease_fenced(id));
+
+    // The client's close frees through the cmd. The bytes are already
+    // gone, but the free must report success — otherwise the fragment
+    // parks on the pending-free retry list forever.
+    EXPECT_EQ(co_await f.client.mclose(rd), 0);
+    co_await f.sim.sleep(millis(50));
+    EXPECT_EQ(f.cmd.region_count(), 0u);
+    EXPECT_EQ(f.cmd.pending_free_count(), 0u);
+  });
+}
+
+TEST(Lease, ShrinkSchedulesColdestRegionsFirst) {
+  // Long ttl so only the shrink (never natural expiry) drives reclamation.
+  LeaseFixture fx(1, LeaseFixture::lease_cmd(false),
+                  LeaseFixture::lease_imd(true, seconds(60.0), seconds(1.0)));
+  fx.run([](LeaseFixture& f) -> Co<void> {
+    const Bytes64 rlen = 64_KiB;
+    std::vector<int> rds;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 3; ++i) {
+      const int rd = co_await f.client.mopen(
+          rlen, f.fd, static_cast<Bytes64>(i) * rlen);
+      EXPECT_GE(rd, 0);
+      net::Buf data = pattern(static_cast<std::size_t>(rlen),
+                              static_cast<std::uint8_t>(11 + i));
+      EXPECT_EQ(co_await f.client.mwrite(rd, 0, data.data(), rlen), rlen);
+      rds.push_back(rd);
+      // The id just added is the one not seen before.
+      for (const auto& [id, len] : f.imds[0]->region_list()) {
+        if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+          ids.push_back(id);
+        }
+      }
+    }
+    EXPECT_EQ(ids.size(), 3u);
+    if (ids.size() != 3u) co_return;
+
+    // Touch regions 1 and 2; region 0 stays cold at its write timestamp.
+    co_await f.sim.sleep(millis(100));
+    net::Buf back(static_cast<std::size_t>(rlen), 0);
+    EXPECT_EQ(co_await f.client.mread(rds[1], 0, back.data(), rlen), rlen);
+    EXPECT_EQ(co_await f.client.mread(rds[2], 0, back.data(), rlen), rlen);
+
+    // Shrink to two regions' worth: exactly the coldest one is scheduled —
+    // its expiry snaps to the grace window while the others keep theirs.
+    const SimTime now = f.sim.now();
+    EXPECT_EQ(f.imds[0]->begin_shrink(2 * rlen), rlen);
+    EXPECT_LE(f.imds[0]->region_lease_expiry(ids[0]), now + seconds(1.0));
+    EXPECT_GT(f.imds[0]->region_lease_expiry(ids[1]), now + seconds(30.0));
+    EXPECT_GT(f.imds[0]->region_lease_expiry(ids[2]), now + seconds(30.0));
+
+    // Only the victim is fenced after the grace runs out.
+    co_await f.sim.sleep(seconds(1.5));
+    EXPECT_EQ(f.imds[0]->region_count(), 2u);
+    EXPECT_TRUE(f.imds[0]->lease_fenced(ids[0]));
+    EXPECT_FALSE(f.imds[0]->lease_fenced(ids[1]));
+    EXPECT_FALSE(f.imds[0]->lease_fenced(ids[2]));
+    EXPECT_EQ(f.imds[0]->metrics().regions_reclaimed, 1u);
+
+    // Shrink-to-zero schedules everything that is left.
+    EXPECT_EQ(f.imds[0]->begin_shrink(0), 2 * rlen);
+  });
+}
+
+TEST(Lease, NearExpiryShrinkTriggersProactiveCopy) {
+  // Two hosts, one copy: the shrink victim is a sole copy, so the cmd must
+  // re-home it through the clone handshake before the fence — the owner's
+  // return costs a copy, not a disk fallback.
+  LeaseFixture fx(2, LeaseFixture::lease_cmd(),
+                  LeaseFixture::lease_imd(true, seconds(4.0), seconds(2.5)));
+  fx.run([](LeaseFixture& f) -> Co<void> {
+    const Bytes64 rlen = 64_KiB;
+    const int rd = co_await f.client.mopen(rlen, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    net::Buf data = pattern(static_cast<std::size_t>(rlen), 23);
+    EXPECT_EQ(co_await f.client.mwrite(rd, 0, data.data(), rlen), rlen);
+
+    const std::size_t src = f.imds[0]->region_count() > 0 ? 0 : 1;
+    const std::size_t dst = 1 - src;
+    const std::uint64_t victim = f.sole_region(src);
+    EXPECT_NE(victim, 0u);
+    EXPECT_EQ(f.imds[dst]->region_count(), 0u);
+
+    // Rising pressure on the holder: the victim's lease is capped at the
+    // grace window and announced; the cmd clones it to the other host and
+    // activates the copy through the write-only/ack/generation handshake.
+    const SimTime now = f.sim.now();
+    EXPECT_EQ(f.imds[src]->begin_shrink(0), rlen);
+    EXPECT_LE(f.imds[src]->region_lease_expiry(victim), now + seconds(2.5));
+
+    co_await f.sim.sleep(seconds(4.0));
+    EXPECT_GE(f.cmd.metrics().proactive_copies, 1u);
+    EXPECT_EQ(f.imds[src]->metrics().regions_reclaimed, 1u);
+    EXPECT_TRUE(f.imds[src]->lease_fenced(victim));
+    EXPECT_EQ(f.imds[dst]->region_count(), 1u);
+
+    // The renewal reject pruned the fenced copy from the directory: one
+    // copy remains, on the surviving host.
+    const auto snap = f.cmd.rd_snapshot();
+    EXPECT_EQ(snap.size(), 1u);
+    if (snap.empty()) co_return;
+    EXPECT_EQ(snap.front().second.host, f.imds[dst]->node());
+    EXPECT_GE(f.cmd.metrics().lease_renew_rejects, 1u);
+
+    // Reads keep landing in remote memory, byte-exact — never disk.
+    net::Buf back(static_cast<std::size_t>(rlen), 0);
+    const auto rr = co_await f.client.mread_ex(rd, 0, back.data(), rlen);
+    EXPECT_EQ(rr.n, rlen);
+    EXPECT_TRUE(rr.disk_ranges.empty());
+    EXPECT_EQ(back, data);
+    EXPECT_TRUE(f.client.active(rd));
+  });
+  EXPECT_EQ(fx.client.metrics().disk_fallbacks, 0u);
+}
+
+TEST(Lease, OffPathGrantsNothingAndExportsNothing) {
+  // lease_epochs off must be byte-identical to the pre-lease daemons: no
+  // lease state on regions, no lease wire traffic, and none of the new
+  // metric names in either snapshot (a scrape diff would flag them).
+  LeaseFixture fx(1, LeaseFixture::lease_cmd(false),
+                  LeaseFixture::lease_imd(false));
+  fx.run([](LeaseFixture& f) -> Co<void> {
+    const Bytes64 rlen = 64_KiB;
+    const int rd = co_await f.client.mopen(rlen, f.fd, 0);
+    EXPECT_GE(rd, 0);
+    net::Buf data = pattern(static_cast<std::size_t>(rlen), 29);
+    EXPECT_EQ(co_await f.client.mwrite(rd, 0, data.data(), rlen), rlen);
+    const std::uint64_t id = f.sole_region();
+
+    // No lease granted, and nothing ever expires.
+    EXPECT_EQ(f.imds[0]->region_lease_expiry(id), 0);
+    co_await f.sim.sleep(seconds(12.0));
+    EXPECT_EQ(f.imds[0]->region_count(), 1u);
+    EXPECT_EQ(f.imds[0]->metrics().regions_reclaimed, 0u);
+    EXPECT_EQ(f.imds[0]->metrics().leases_renewed, 0u);
+    EXPECT_EQ(f.cmd.metrics().lease_renewals, 0u);
+    EXPECT_EQ(f.cmd.metrics().proactive_copies, 0u);
+
+    const auto imd_snap = f.imds[0]->metrics_snapshot();
+    EXPECT_EQ(imd_snap.find("imd.regions_reclaimed"), nullptr);
+    EXPECT_EQ(imd_snap.find("imd.bytes_reclaimed"), nullptr);
+    EXPECT_EQ(imd_snap.find("imd.leases_renewed"), nullptr);
+    EXPECT_EQ(imd_snap.find("imd.fenced_regions"), nullptr);
+    const auto cmd_snap = f.cmd.metrics_snapshot();
+    EXPECT_EQ(cmd_snap.find("cmd.lease_renewals"), nullptr);
+    EXPECT_EQ(cmd_snap.find("cmd.lease_renew_rejects"), nullptr);
+    EXPECT_EQ(cmd_snap.find("cmd.lease_expiry_notices"), nullptr);
+    EXPECT_EQ(cmd_snap.find("cmd.proactive_copies"), nullptr);
+    EXPECT_EQ(cmd_snap.find("cmd.pending_expiry_notices"), nullptr);
+  });
+}
+
+}  // namespace
+}  // namespace dodo::runtime

@@ -174,5 +174,85 @@ TEST(Trace, ActivityAdapterTracksTrace) {
   }
 }
 
+TEST(Trace, FlashCrowdCollapsesAvailabilityInOneWindow) {
+  FlashCrowdConfig cfg;
+  cfg.seed = 7;
+  const auto hosts = std::vector<HostClass>(8, HostClass::k128);
+  const auto traces = synthesize_flash_crowd(hosts, cfg);
+  ASSERT_EQ(traces.size(), hosts.size());
+
+  for (std::size_t h = 0; h < traces.size(); ++h) {
+    const HostTrace& tr = traces[h];
+    ASSERT_FALSE(tr.samples.empty()) << h;
+    // Every sample before the crowd is idle; the first busy sample lands
+    // inside the arrival window (one sample of quantization slack).
+    SimTime first_busy = -1;
+    SimTime last_busy = -1;
+    for (const Sample& s : tr.samples) {
+      if (s.idle) continue;
+      if (first_busy < 0) first_busy = s.t;
+      last_busy = s.t;
+    }
+    ASSERT_GE(first_busy, 0) << "host " << h << " never saw its owner";
+    // The console goes busy only after the memory ramp.
+    EXPECT_GE(first_busy, cfg.crowd_at + cfg.ramp_len) << h;
+    EXPECT_LT(first_busy, cfg.crowd_at + cfg.arrival_spread + cfg.ramp_len +
+                              cfg.sample_interval)
+        << h;
+    // The owner leaves again: busy spans roughly busy_len, then the tail of
+    // the trace is idle once more.
+    EXPECT_LT(last_busy, cfg.crowd_at + cfg.arrival_spread + cfg.ramp_len +
+                             cfg.busy_len + cfg.sample_interval)
+        << h;
+    EXPECT_TRUE(tr.samples.back().idle) << h;
+
+    // Availability economics: the crowd claims most of what was free. Compare
+    // the mean available during the busy window against the pre-crowd mean,
+    // and check the ramp shows graded pressure — at least one sample that is
+    // still console-idle yet has lost a big slice of availability.
+    double before = 0.0, during = 0.0;
+    int nb = 0, nd = 0;
+    bool graded = false;
+    for (const Sample& s : tr.samples) {
+      const auto avail = static_cast<double>(s.available_kb(tr.total_kb));
+      if (s.t < cfg.crowd_at) {
+        before += avail;
+        ++nb;
+      } else if (!s.idle) {
+        during += avail;
+        ++nd;
+      }
+    }
+    ASSERT_GT(nb, 0);
+    ASSERT_GT(nd, 0);
+    before /= nb;
+    during /= nd;
+    EXPECT_LT(during, 0.35 * before)
+        << "host " << h << ": crowd left " << during << " of " << before;
+    for (const Sample& s : tr.samples) {
+      if (s.idle && s.t >= cfg.crowd_at && s.t < first_busy &&
+          static_cast<double>(s.available_kb(tr.total_kb)) < 0.6 * before) {
+        graded = true;
+      }
+    }
+    EXPECT_TRUE(graded) << "host " << h << " jumped straight to busy";
+  }
+
+  // Deterministic in (seed, host); TSV round-trips like any other trace.
+  const auto again = synthesize_flash_crowd(hosts, cfg);
+  ASSERT_EQ(again.size(), traces.size());
+  for (std::size_t h = 0; h < traces.size(); ++h) {
+    ASSERT_EQ(again[h].samples.size(), traces[h].samples.size());
+    for (std::size_t i = 0; i < traces[h].samples.size(); ++i) {
+      EXPECT_EQ(again[h].samples[i].proc_kb, traces[h].samples[i].proc_kb);
+      EXPECT_EQ(again[h].samples[i].idle, traces[h].samples[i].idle);
+    }
+  }
+  HostTrace rt;
+  std::string err;
+  ASSERT_TRUE(trace_from_tsv(trace_to_tsv(traces[0]), rt, &err)) << err;
+  EXPECT_EQ(rt.samples.size(), traces[0].samples.size());
+}
+
 }  // namespace
 }  // namespace dodo::trace

@@ -6,9 +6,14 @@
 #
 # Usage:
 #   tools/coverage.sh [label]
+#   tools/coverage.sh --labels
 #
-#   label   optional ctest -L filter (e.g. "obs" to cover only the
-#           observability suite). Default: run every tier-1 test.
+#   label     optional ctest -L filter (e.g. "obs" to cover only the
+#             observability suite). Default: run every tier-1 test.
+#   --labels  list the labels registered with CTest and exit. Labels are
+#             enumerated from the build itself (`ctest --print-labels`),
+#             never from a hard-coded list, so suites added later show up
+#             here automatically.
 #
 # Output: per-file "Lines executed" table (sorted, src/ files only) and a
 # repo-wide total, printed to stdout. Raw .gcov files land in
@@ -20,6 +25,25 @@ label="${1:-}"
 cd "$(dirname "$0")/.."
 cmake --preset coverage
 cmake --build --preset coverage -j"$(nproc)"
+
+# The authoritative label set comes from CTest, not a list in this script:
+# `ctest --print-labels` prints "All Labels:" followed by one indented label
+# per line.
+known_labels="$(ctest --test-dir build-coverage --print-labels \
+  | awk '/^ /{gsub(/^ +| +$/, ""); print}')"
+
+if [ "$label" = "--labels" ]; then
+  echo "$known_labels"
+  exit 0
+fi
+
+if [ -n "$label" ]; then
+  if ! printf '%s\n' "$known_labels" | grep -qx "$label"; then
+    echo "coverage: unknown label '$label'; available labels:" >&2
+    printf '%s\n' "$known_labels" | sed 's/^/  /' >&2
+    exit 2
+  fi
+fi
 
 # Stale counters from a previous run would inflate the numbers.
 find build-coverage -name '*.gcda' -delete
