@@ -90,6 +90,7 @@ void BM_Churn(benchmark::State& state) {
       stale = c.cmd().metrics().stale_regions_dropped;
     }
     exporter.record_traces(c);
+    exporter.record_timeline(c);
     exporter.absorb(c.metrics_snapshot());
   }
   {

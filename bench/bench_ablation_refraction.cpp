@@ -51,6 +51,7 @@ void BM_Refraction(benchmark::State& state) {
     alloc_failures = c.cmd().metrics().alloc_failures;
     refraction_skips = c.dodo()->metrics().refraction_skips;
     exporter.record_traces(c);
+    exporter.record_timeline(c);
     exporter.absorb(c.metrics_snapshot());
   }
   {

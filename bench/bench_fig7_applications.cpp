@@ -103,6 +103,7 @@ void BM_Fig7_Dmine(benchmark::State& state) {
       run1_s = to_seconds(st1.total());
       run2_s = to_seconds(st2.total());
       exporter.record_traces(c);
+      exporter.record_timeline(c);
       exporter.absorb(c.metrics_snapshot());
     }
   }
@@ -285,6 +286,7 @@ void BM_Fig7_Lu(benchmark::State& state) {
       });
       dodo_s = to_seconds(st.total());
       exporter.record_traces(c);
+      exporter.record_timeline(c);
       exporter.absorb(c.metrics_snapshot());
     }
   }

@@ -136,6 +136,9 @@ void BM_FlashCrowd(benchmark::State& state) {
     proactive = mid.counter_value("cmd.proactive_copies");
     fallbacks = mid.counter_value("client.disk_fallbacks");
     exporter.record_traces(c);
+    // Per-arm timeline: the reclaim window shows up as a curve — disk
+    // fallbacks and lease notices spike between crowd_at and crowd_at+ramp.
+    exporter.record_timeline(c, leases ? "leases" : "wholesale");
     exporter.absorb(c.metrics_snapshot());
   }
 

@@ -43,6 +43,7 @@ dodo::cluster::ClusterConfig cluster_config(int shards) {
   cfg.cmd.keepalive_interval = 30 * kSecond;
   cfg.materialize = false;  // phantom data; loadgen reads with null buffers
   cfg.record_spans = false;
+  cfg.telemetry.sample_interval = dodo::millis(250.0);
   cfg.seed = kSeed;
   return cfg;
 }
@@ -76,6 +77,7 @@ void BM_Loadgen(benchmark::State& state) {
       co_await gen.run(&rep);
     });
     const std::string p = "shards" + std::to_string(shards) + ".";
+    exporter.record_timeline(c, "shards" + std::to_string(shards));
     exporter.absorb(rep.snapshot().prefixed(p));
     exporter.absorb(c.metrics_snapshot().prefixed(p));
     exporter.set_scalar(

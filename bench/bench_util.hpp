@@ -16,11 +16,14 @@
 #include <memory>
 #include <string>
 
+#include <map>
+
 #include "apps/block_io.hpp"
 #include "apps/synthetic.hpp"
 #include "cluster/cluster.hpp"
 #include "common/units.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_merge.hpp"
 
 namespace dodo::bench {
@@ -41,7 +44,12 @@ class JsonExporter {
     const std::string path = base + "/BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
-    const std::string json = total_.to_json();
+    // DODO_BENCH_SUPPRESS_ZEROS=1 drops zero-valued metrics from the BENCH
+    // export only; the default stays byte-identical to previous builds.
+    const char* sz = std::getenv("DODO_BENCH_SUPPRESS_ZEROS");
+    const bool suppress = sz != nullptr && sz[0] == '1' && sz[1] == '\0';
+    const std::string json =
+        suppress ? total_.without_zeros().to_json() : total_.to_json();
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
     std::fprintf(stderr, "bench: wrote %s (%zu metrics)\n", path.c_str(),
@@ -53,6 +61,26 @@ class JsonExporter {
         std::fwrite(chrome_json_.data(), 1, chrome_json_.size(), tf);
         std::fclose(tf);
         std::fprintf(stderr, "bench: wrote %s\n", tpath.c_str());
+      }
+    }
+    if (!timelines_.empty()) {
+      std::map<std::string, const obs::TelemetryTimeline*> views;
+      for (const auto& [label, tl] : timelines_) views[label] = &tl;
+      const std::string tj = obs::TelemetryTimeline::export_json(views);
+      const std::string jpath = base + "/TELEM_" + name_ + ".json";
+      std::FILE* jf = std::fopen(jpath.c_str(), "w");
+      if (jf != nullptr) {
+        std::fwrite(tj.data(), 1, tj.size(), jf);
+        std::fclose(jf);
+        std::fprintf(stderr, "bench: wrote %s\n", jpath.c_str());
+      }
+      const std::string tv = obs::TelemetryTimeline::export_tsv(views);
+      const std::string vpath = base + "/TELEM_" + name_ + ".tsv";
+      std::FILE* vf = std::fopen(vpath.c_str(), "w");
+      if (vf != nullptr) {
+        std::fwrite(tv.data(), 1, tv.size(), vf);
+        std::fclose(vf);
+        std::fprintf(stderr, "bench: wrote %s\n", vpath.c_str());
       }
     }
   }
@@ -78,6 +106,16 @@ class JsonExporter {
     chrome_json_ = obs::TraceDomain::chrome_json(spans);
   }
 
+  /// Phase-resolved telemetry for one representative cluster per label: the
+  /// first cluster offered under a label wins (repeat calls are no-ops), so
+  /// the TELEM_<name>.json/.tsv written at exit is deterministic. Forces one
+  /// final sample so even sub-interval runs produce a non-empty timeline.
+  void record_timeline(cluster::Cluster& c, const std::string& label = "run") {
+    if (c.timeline() == nullptr || timelines_.count(label) != 0) return;
+    c.take_telemetry_sample();
+    timelines_.emplace(label, *c.timeline());
+  }
+
   /// Records a result scalar. Results are i64 gauges, so merging repeated
   /// cases keeps the sum — use distinct names per case for per-case values.
   void set_scalar(const std::string& name, std::int64_t v) {
@@ -93,6 +131,7 @@ class JsonExporter {
   std::string name_;
   obs::MetricsSnapshot total_;
   std::string chrome_json_;
+  std::map<std::string, obs::TelemetryTimeline> timelines_;
   bool traces_recorded_ = false;
 };
 
@@ -132,6 +171,9 @@ inline cluster::ClusterConfig paper_config(bool use_dodo, bool unet,
   cfg.policy = policy;
   cfg.seed = seed;
   cfg.record_spans = true;  // latency_breakdown + TRACE_<name>.json export
+  // Phase-resolved telemetry: the sampler is in-process and integer-only, so
+  // enabling it leaves wire traffic and BENCH/TRACE exports untouched.
+  cfg.telemetry.sample_interval = millis(250.0);
   return cfg;
 }
 
@@ -164,6 +206,7 @@ inline SynthOutcome run_synthetic_once(apps::SyntheticConfig scfg,
   out.steady_s = out.stats.steady_seconds();
   if (exporter != nullptr) {
     exporter->record_traces(c);
+    exporter->record_timeline(c);
     exporter->absorb(c.metrics_snapshot());
   }
   return out;
@@ -190,6 +233,7 @@ inline void record_reference_trace(JsonExporter& exporter) {
     co_await d.mclose(rd);
   });
   exporter.record_traces(c);
+  exporter.record_timeline(c, "ref");
 }
 
 inline const char* pattern_name(apps::SyntheticConfig::Pattern p) {

@@ -18,6 +18,17 @@ Cluster::Cluster(ClusterConfig config)
   if (config_.spans == nullptr && config_.record_spans) {
     traces_ = std::make_unique<obs::TraceDomain>(sim_);
   }
+  if (config_.telemetry.sample_interval > 0) {
+    timeline_ = std::make_unique<obs::TelemetryTimeline>();
+  }
+  if (config_.telemetry.watchdog) {
+    health_ = std::make_unique<obs::HealthMonitor>(config_.telemetry.health);
+  }
+  if (config_.telemetry.flight) {
+    flight_ = std::make_unique<obs::FlightDomain>(
+        sim_, config_.telemetry.flight_capacity);
+    cluster_flight_ = flight_->recorder("cluster");
+  }
   // Extra cmd shards live on nodes appended after the harvested hosts, so
   // the paper's node layout (cmd=0, app=1, hosts=2..) never shifts.
   const auto nodes = static_cast<std::size_t>(config_.imd_hosts) + 2 +
@@ -34,6 +45,7 @@ Cluster::Cluster(ClusterConfig config)
     core::CmdParams cmdp = config_.cmd;
     if (traces_) cmdp.spans = traces_->recorder(node, "cmd");
     if (config_.spans != nullptr) cmdp.spans = config_.spans;
+    if (flight_) cmdp.flight = flight_->recorder("cmd" + std::to_string(s));
     shard_params_.push_back(cmdp);
     cmds_.push_back(
         std::make_unique<core::CentralManager>(sim_, *net_, node, cmdp));
@@ -66,6 +78,10 @@ Cluster::Cluster(ClusterConfig config)
         rp.spans = traces_->recorder(i + 2, "rmd");
         ip.spans = traces_->recorder(i + 2, "imd");
       }
+      if (flight_) {
+        rp.flight = flight_->recorder("host" + std::to_string(i) + ".rmd");
+        ip.flight = flight_->recorder("host" + std::to_string(i) + ".imd");
+      }
       rmds_.push_back(std::make_unique<core::ResourceMonitor>(
           sim_, *net_, node, cmds_[static_cast<std::size_t>(shard_of_host(i))]->endpoint(),
           *activity, rp, ip));
@@ -73,6 +89,7 @@ Cluster::Cluster(ClusterConfig config)
     }
     restart_client();
   }
+  if (timeline_) sim_.spawn(telemetry_loop());
 }
 
 Cluster::~Cluster() {
@@ -83,6 +100,8 @@ Cluster::~Cluster() {
 }
 
 sim::Co<void> Cluster::restart_host(int host) {
+  obs::frecord(cluster_flight_, obs::FlightEventType::kFaultInjected, host, 0,
+               0, "restart_host");
   net_->set_node_up(host_node(host), true);
   auto& rmd = *rmds_.at(static_cast<std::size_t>(host));
   co_await rmd.force_evict();
@@ -90,15 +109,21 @@ sim::Co<void> Cluster::restart_host(int host) {
 }
 
 sim::Co<void> Cluster::evict_host(int host) {
+  obs::frecord(cluster_flight_, obs::FlightEventType::kFaultInjected, host, 0,
+               0, "evict_host");
   co_await rmds_.at(static_cast<std::size_t>(host))->force_evict();
 }
 
 sim::Co<void> Cluster::pressure_host(int host, int level, double keep_frac) {
+  obs::frecord(cluster_flight_, obs::FlightEventType::kFaultInjected, host,
+               level, 0, "pressure_host");
   co_await rmds_.at(static_cast<std::size_t>(host))
       ->force_pressure(static_cast<core::PressureLevel>(level), keep_frac);
 }
 
 sim::Co<void> Cluster::restart_cmd() {
+  obs::frecord(cluster_flight_, obs::FlightEventType::kFaultInjected, 0, 0, 0,
+               "restart_cmd");
   for (auto& cmd : cmds_) {
     co_await cmd->stop();
     cmd->start();
@@ -106,6 +131,8 @@ sim::Co<void> Cluster::restart_cmd() {
 }
 
 sim::Co<void> Cluster::restart_cmd_shard(int shard) {
+  obs::frecord(cluster_flight_, obs::FlightEventType::kFaultInjected, shard,
+               0, 0, "restart_cmd_shard");
   const auto s = static_cast<std::size_t>(shard);
   net_->set_node_up(shard_node(shard), true);
   // Stop the zombie first: its suspended coroutines reference the object
@@ -140,6 +167,7 @@ void Cluster::restart_client() {
   runtime::ClientParams cp = config_.client;
   cp.spans = config_.spans;
   if (traces_) cp.spans = traces_->recorder(1, "client");
+  if (flight_) cp.flight = flight_->recorder("client");
   client_ = std::make_unique<runtime::DodoClient>(
       sim_, *net_, app_node(), cmd_endpoints(), *fs_, cp);
   client_->start();
@@ -249,7 +277,102 @@ obs::MetricsSnapshot Cluster::metrics_snapshot() const {
                     config_.spans->orphans_rejected());
   }
   out.set_gauge("obs.spans_open_at_quiesce", spans_open_at_quiesce_);
+  // Watchdog/flight rows appear only when those subsystems are on, so every
+  // pre-telemetry export stays byte-identical.
+  if (health_) out.merge(health_->health_snapshot());
+  if (flight_) {
+    out.set_counter("flight.events", flight_->total_events());
+    out.set_counter("flight.dropped", flight_->dropped());
+  }
   return out;
+}
+
+sim::Co<void> Cluster::telemetry_loop() {
+  // Lives for the whole deployment like the daemon keep-alive loops;
+  // destroy_detached() reaps the suspended frame at teardown.
+  for (;;) {
+    co_await sim_.sleep(config_.telemetry.sample_interval);
+    take_telemetry_sample();
+  }
+}
+
+void Cluster::take_telemetry_sample() {
+  if (!timeline_) return;
+  if (!timeline_->times().empty() &&
+      sim_.now() <= timeline_->times().back()) {
+    return;  // idempotent per instant (tests may force extra samples)
+  }
+  obs::MetricsSnapshot snap = metrics_snapshot();
+  if (config_.telemetry.watchdog) {
+    // Watchdog-only rows, computed from direct object inspection — the same
+    // ground truth the fuzz conservation oracles use at quiesce. Added only
+    // to the telemetry sample, never to metrics_snapshot(), so BENCH/TRACE
+    // exports are untouched by the watchdog being on.
+    std::int64_t region_bytes = 0;
+    std::int64_t live_fenced = 0;
+    for (const auto& rmd : rmds_) {
+      core::IdleMemoryDaemon* imd = rmd->imd();
+      if (imd == nullptr) continue;
+      for (const auto& [id, len] : imd->region_list()) {
+        region_bytes += len;
+        if (imd->lease_fenced(id)) ++live_fenced;
+      }
+    }
+    snap.set_gauge("imd.pool_region_bytes", region_bytes);
+    snap.set_gauge("imd.lease_live_fenced", live_fenced);
+    if (traces_) {
+      snap.set_gauge("obs.spans_open",
+                     static_cast<std::int64_t>(traces_->open_count()));
+    }
+  }
+  if (telemetry_mutator_) telemetry_mutator_(snap);
+  timeline_->add_sample(sim_.now(), snap);
+  if (health_) {
+    const std::vector<obs::HealthViolation> violations =
+        health_->on_sample(sim_.now(), snap);
+    for (const obs::HealthViolation& v : violations) {
+      obs::frecord(cluster_flight_, obs::FlightEventType::kHealthViolation, 0,
+                   0, 0, v.rule + ": " + v.detail);
+    }
+    if (!violations.empty()) {
+      write_flight_dump("health:" + violations.front().rule);
+    }
+  }
+}
+
+std::string Cluster::flight_dump(const std::string& reason) {
+  if (!flight_) return {};
+  std::string out = flight_->dump(reason);
+  if (traces_) {
+    const std::vector<obs::MergedSpan> spans = merged_spans();
+    const std::size_t tail = std::min<std::size_t>(spans.size(), 40);
+    out += "# trace tail (" + std::to_string(tail) + " of " +
+           std::to_string(spans.size()) + " merged spans)\n";
+    for (std::size_t i = spans.size() - tail; i < spans.size(); ++i) {
+      const obs::MergedSpan& ms = spans[i];
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%lld\t%lld\thost%d\t",
+                    static_cast<long long>(ms.span.start),
+                    static_cast<long long>(ms.span.end), ms.host);
+      out += buf;
+      out += ms.daemon + "\t" + ms.span.name + "\n";
+    }
+  }
+  return out;
+}
+
+void Cluster::write_flight_dump(const std::string& reason) {
+  if (!flight_ || config_.telemetry.dump_name.empty()) return;
+  const char* dir = std::getenv("DODO_FLIGHT_DIR");
+  const std::string path = std::string(dir != nullptr ? dir : ".") +
+                           "/FLIGHT_" + config_.telemetry.dump_name + ".txt";
+  const std::string text = flight_dump(reason);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "dodo: wrote flight dump %s (%s)\n", path.c_str(),
+               reason.c_str());
 }
 
 sim::Co<obs::MetricsSnapshot> Cluster::scrape_cluster() {

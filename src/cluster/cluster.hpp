@@ -20,13 +20,38 @@
 #include "disk/filesystem.hpp"
 #include "manage/region_manager.hpp"
 #include "net/transport.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_merge.hpp"
 #include "runtime/dodo_client.hpp"
 #include "sim/simulator.hpp"
 
 namespace dodo::cluster {
+
+/// Phase-resolved telemetry (DESIGN §15). Everything defaults off, so a
+/// config that doesn't opt in schedules the exact same events and exports
+/// the exact same bytes as before this subsystem existed.
+struct TelemetryOptions {
+  /// Sim-clock sampling cadence for the cluster-owned TelemetryTimeline;
+  /// 0 disables the sampler (no timer events enter the simulation).
+  Duration sample_interval = 0;
+  /// Evaluate the HealthMonitor's invariant/rate rules on every sample and
+  /// fire a flight-recorder dump on violation. Adds watchdog-only rows
+  /// (imd.pool_region_bytes, imd.lease_live_fenced, obs.spans_open) to the
+  /// telemetry samples — never to metrics_snapshot().
+  bool watchdog = false;
+  obs::HealthConfig health{};
+  /// Give every daemon a bounded flight recorder (see obs/flight.hpp).
+  bool flight = false;
+  std::size_t flight_capacity = 256;
+  /// Base name for automatic dump files: FLIGHT_<dump_name>.txt written to
+  /// $DODO_FLIGHT_DIR (default cwd) when the watchdog trips. Empty disables
+  /// file dumps; flight_dump() still renders the text on demand.
+  std::string dump_name;
+};
 
 struct ClusterConfig {
   int imd_hosts = 12;
@@ -67,6 +92,8 @@ struct ClusterConfig {
   /// space, so cross-process parent links resolve in the merged timeline.
   /// Reachable via traces(); export with trace_tsv()/trace_chrome_json().
   bool record_spans = false;
+  /// Sampler + watchdog + flight recorders; see TelemetryOptions.
+  TelemetryOptions telemetry{};
 };
 
 /// Owns the whole simulated deployment. Destruction tears down suspended
@@ -121,6 +148,8 @@ class Cluster {
   /// daemons keep running as zombies whose datagrams all vanish — exactly a
   /// kernel panic as seen from the rest of the cluster.
   void crash_host(int host) {
+    obs::frecord(cluster_flight_, obs::FlightEventType::kFaultInjected, host,
+                 0, 0, "crash_host");
     net_->set_node_up(host_node(host), false);
   }
 
@@ -135,7 +164,11 @@ class Cluster {
   sim::Co<void> evict_host(int host);
 
   /// Re-recruits an evicted host (epoch bump, fresh registration).
-  void recruit_host(int host) { rmds_.at(static_cast<std::size_t>(host))->force_recruit(); }
+  void recruit_host(int host) {
+    obs::frecord(cluster_flight_, obs::FlightEventType::kFaultInjected, host,
+                 0, 0, "recruit_host");
+    rmds_.at(static_cast<std::size_t>(host))->force_recruit();
+  }
 
   /// Graded memory pressure on a harvested host (lease_epochs only; no-op
   /// otherwise — see ResourceMonitor::force_pressure). `level` is a
@@ -153,6 +186,8 @@ class Cluster {
   /// running as a zombie whose datagrams vanish. Regions mapped to sibling
   /// shards are untouched; this shard's clients see mopen/mclose timeouts.
   void crash_cmd_shard(int shard) {
+    obs::frecord(cluster_flight_, obs::FlightEventType::kFaultInjected, shard,
+                 0, 0, "crash_cmd_shard");
     net_->set_node_up(shard_node(shard), false);
   }
 
@@ -225,13 +260,58 @@ class Cluster {
     return spans_open_at_quiesce_;
   }
 
+  // -- phase-resolved telemetry (DESIGN §15) --------------------------------
+
+  /// The cluster-owned sampled timeline (telemetry.sample_interval > 0), or
+  /// null. Fed in-process with the same snapshot shapes the kStats RPC path
+  /// serves, so sampling never perturbs wire traffic or the event schedule.
+  [[nodiscard]] obs::TelemetryTimeline* timeline() { return timeline_.get(); }
+
+  /// The online invariant watchdog (telemetry.watchdog), or null.
+  [[nodiscard]] obs::HealthMonitor* health() { return health_.get(); }
+
+  /// The per-daemon flight-recorder domain (telemetry.flight), or null.
+  [[nodiscard]] obs::FlightDomain* flight() { return flight_.get(); }
+
+  /// Takes one telemetry sample right now: snapshot (+ watchdog-only rows),
+  /// timeline append, health evaluation, dump on violation. The sampler
+  /// loop calls this every sample_interval; tests may call it directly.
+  /// No-op without a timeline or when sim time has not advanced since the
+  /// previous sample.
+  void take_telemetry_sample();
+
+  /// Renders the merged flight dump (plus the tail of the merged trace when
+  /// spans are recorded). Empty string when flight recording is off.
+  [[nodiscard]] std::string flight_dump(const std::string& reason);
+
+  /// flight_dump() to FLIGHT_<telemetry.dump_name>.txt in $DODO_FLIGHT_DIR
+  /// (default cwd). No-op when flight is off or dump_name is empty.
+  void write_flight_dump(const std::string& reason);
+
+  /// Test hook: applied to every telemetry sample before it is recorded and
+  /// judged — how the watchdog tests deliberately break a conservation rule
+  /// without corrupting the cluster itself.
+  void set_telemetry_mutator(
+      std::function<void(obs::MetricsSnapshot&)> mutator) {
+    telemetry_mutator_ = std::move(mutator);
+  }
+
  private:
+  sim::Co<void> telemetry_loop();
+
   ClusterConfig config_;
   sim::Simulator sim_;
   // Destroyed after the daemons below: their ScopedSpan guards close out
   // spans while suspended coroutine frames unwind during teardown.
   std::unique_ptr<obs::TraceDomain> traces_;
   std::int64_t spans_open_at_quiesce_ = 0;
+  // Telemetry lives next to the trace domain, above every daemon, so the
+  // recorders daemons point at outlive their coroutine frames at teardown.
+  std::unique_ptr<obs::TelemetryTimeline> timeline_;
+  std::unique_ptr<obs::HealthMonitor> health_;
+  std::unique_ptr<obs::FlightDomain> flight_;
+  obs::FlightRecorder* cluster_flight_ = nullptr;  // fault-hook recorder
+  std::function<void(obs::MetricsSnapshot&)> telemetry_mutator_;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<disk::SimFilesystem> fs_;
   std::vector<std::unique_ptr<core::CentralManager>> cmds_;  // one per shard

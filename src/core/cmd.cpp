@@ -760,6 +760,9 @@ void CentralManager::shrink_region(const RegionKey& key) {
     reps.pop_back();
     queue_pending_free(victim);
     ++metrics_.replicas_shrunk;
+    obs::frecord(params_.flight, obs::FlightEventType::kReplicaShrink,
+                 static_cast<std::int64_t>(victim.host),
+                 static_cast<std::int64_t>(i), victim.len);
     // Tell the owner to stop writing the released copy. A client whose ping
     // misses the drop self-heals: its next write to the freed region fails,
     // it reports a kDropReplicaReq, and prunes the copy locally.
@@ -807,6 +810,9 @@ sim::Co<void> CentralManager::adapt_replicas() {
       auto it = rd_.find(g.key);
       it->second.frags[g.frag].replicas.push_back(g.loc);
       ++metrics_.replicas_grown;
+      obs::frecord(params_.flight, obs::FlightEventType::kReplicaGrow,
+                   static_cast<std::int64_t>(g.loc.host),
+                   static_cast<std::int64_t>(g.frag), g.loc.len);
       client_updates_[g.key.client].push_back(ReplicaUpdate{
           static_cast<std::uint8_t>(ReplicaUpdateOp::kActivate), g.key,
           static_cast<std::uint32_t>(g.frag), g.loc});
@@ -980,6 +986,9 @@ sim::Co<void> CentralManager::process_expiry_notices() {
     pending_grows_.push_back(
         PendingGrow{key, frag, *loc, src, *src_gen, false});
     ++metrics_.proactive_copies;
+    obs::frecord(params_.flight, obs::FlightEventType::kProactiveCopy,
+                 static_cast<std::int64_t>(loc->host),
+                 static_cast<std::int64_t>(src.host), src.len);
   }
 }
 
@@ -1056,6 +1065,10 @@ sim::Co<void> CentralManager::renew_leases() {
 void CentralManager::prune_rejected_copies(
     net::NodeId host, std::uint64_t epoch,
     const std::vector<std::uint64_t>& ids) {
+  obs::frecord(params_.flight, obs::FlightEventType::kHostPrune,
+               static_cast<std::int64_t>(host),
+               static_cast<std::int64_t>(epoch),
+               static_cast<std::int64_t>(ids.size()));
   auto gone = [&](const RegionLoc& c) {
     return c.host == host && c.epoch == epoch &&
            std::find(ids.begin(), ids.end(), c.imd_region) != ids.end();

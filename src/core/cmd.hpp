@@ -29,6 +29,7 @@
 #include "core/rpc.hpp"
 #include "core/wire.hpp"
 #include "net/transport.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
@@ -76,6 +77,8 @@ struct CmdParams {
   std::size_t reply_cache_capacity = 8192;
   /// Optional trace-span sink (not owned). Null disables span recording.
   obs::SpanRecorder* spans = nullptr;
+  /// Optional flight-recorder ring (not owned). Null disables recording.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct CmdMetrics {

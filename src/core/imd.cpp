@@ -216,6 +216,8 @@ void IdleMemoryDaemon::handle_alloc(const net::Message& msg, net::Reader r) {
       // abandoned grows) age out on their own instead of leaking.
       region.last_access = sim_.now();
       region.lease_expiry = sim_.now() + params_.lease_ttl;
+      obs::frecord(params_.flight, obs::FlightEventType::kLeaseGrant,
+                   static_cast<std::int64_t>(id), len, region.lease_expiry);
     }
     regions_.emplace(id, std::move(region));
     w.u8(1);
@@ -644,6 +646,8 @@ void IdleMemoryDaemon::handle_lease_renew(const net::Message& msg,
       // prune it, not keep renewing it.
       rejected.push_back(id);
       ++metrics_.lease_renew_rejects;
+      obs::frecord(params_.flight, obs::FlightEventType::kLeaseRenewReject,
+                   static_cast<std::int64_t>(id));
     }
   }
   net::Buf rep = make_header(MsgKind::kLeaseRenewRep, env->rid);
@@ -658,6 +662,10 @@ void IdleMemoryDaemon::handle_lease_renew(const net::Message& msg,
 
 void IdleMemoryDaemon::send_expiry_notice(
     const std::vector<std::pair<std::uint64_t, Bytes64>>& regions) {
+  Bytes64 noticed = 0;
+  for (const auto& [id, len] : regions) noticed += len;
+  obs::frecord(params_.flight, obs::FlightEventType::kExpiryNotice,
+               static_cast<std::int64_t>(regions.size()), noticed);
   net::Buf h = make_header(MsgKind::kLeaseExpiryNotice, epoch_);
   net::Writer w(h);
   w.u32(node_);
@@ -699,6 +707,8 @@ sim::Co<void> IdleMemoryDaemon::lease_loop() {
       pool_used_.add(-it->second.len);
       ++metrics_.regions_reclaimed;
       metrics_.bytes_reclaimed += static_cast<std::uint64_t>(it->second.len);
+      obs::frecord(params_.flight, obs::FlightEventType::kLeaseFence,
+                   static_cast<std::int64_t>(id), it->second.len);
       fenced_.insert(id);
       regions_.erase(it);
     }
@@ -730,10 +740,17 @@ Bytes64 IdleMemoryDaemon::begin_shrink(Bytes64 target_used_bytes) {
     region.shrink_victim = true;
     region.expiry_noticed = true;
     region.lease_expiry = std::min(region.lease_expiry, fence);
+    obs::frecord(params_.flight, obs::FlightEventType::kLeaseCap,
+                 static_cast<std::int64_t>(id), region.lease_expiry);
     scheduled += region.len;
     victims.emplace_back(id, region.len);
   }
-  if (!victims.empty()) send_expiry_notice(victims);
+  if (!victims.empty()) {
+    obs::frecord(params_.flight, obs::FlightEventType::kShrinkScheduled,
+                 target_used_bytes, scheduled,
+                 static_cast<std::int64_t>(victims.size()));
+    send_expiry_notice(victims);
+  }
   return scheduled;
 }
 

@@ -26,6 +26,7 @@
 #include "core/wire.hpp"
 #include "net/bulk.hpp"
 #include "net/transport.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "sim/channel.hpp"
@@ -63,6 +64,8 @@ struct ImdParams {
   Duration clone_read_timeout = millis(500);
   /// Optional trace-span sink (not owned). Null disables span recording.
   obs::SpanRecorder* spans = nullptr;
+  /// Optional flight-recorder ring (not owned). Null disables recording.
+  obs::FlightRecorder* flight = nullptr;
   /// Lease harvesting (DESIGN.md §14). Off by default: with lease_epochs
   /// false there is no lease loop, no renewal handling and no new wire
   /// traffic — the daemon is byte-identical to the paper's binary

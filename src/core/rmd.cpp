@@ -66,6 +66,9 @@ void ResourceMonitor::notify_cmd(bool idle) {
 
 void ResourceMonitor::set_pressure(PressureLevel level) {
   if (!imd_template_.lease_epochs || level == pressure_) return;
+  obs::frecord(params_.flight, obs::FlightEventType::kPressureTransition,
+               static_cast<std::int64_t>(pressure_),
+               static_cast<std::int64_t>(level));
   pressure_ = level;
   ++metrics_.pressure_signals;
   // Signalled only on change, and only with lease_epochs on: the binary
@@ -91,6 +94,9 @@ void ResourceMonitor::recruit() {
     return;
   }
   ++metrics_.recruitments;
+  obs::frecord(params_.flight, obs::FlightEventType::kRecruit,
+               static_cast<std::int64_t>(epoch_counter_),
+               static_cast<std::int64_t>(pool));
   notify_cmd(true);
   ImdParams p = imd_template_;
   p.pool_bytes = pool;
@@ -147,6 +153,8 @@ sim::Co<void> ResourceMonitor::force_pressure(PressureLevel level,
 
 sim::Co<void> ResourceMonitor::evict() {
   ++metrics_.evictions;
+  obs::frecord(params_.flight, obs::FlightEventType::kEvict,
+               static_cast<std::int64_t>(epoch_counter_));
   notify_cmd(false);
   if (imd_) {
     co_await imd_->stop();

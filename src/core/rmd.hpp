@@ -35,6 +35,8 @@ struct RmdParams {
   bool start_recruited = false;
   /// Optional trace-span sink (not owned). Null disables span recording.
   obs::SpanRecorder* spans = nullptr;
+  /// Optional flight-recorder ring (not owned). Null disables recording.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct RmdMetrics {

@@ -79,6 +79,10 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
   cfg.imd.lease_ttl = seconds(3.0);
   cfg.imd.lease_grace = seconds(1.5);
   cfg.record_spans = true;  // the span-tree oracle audits the merged trace
+  // Flight recorder: on an oracle violation the run dumps the per-daemon
+  // event rings (faults, lease transitions, pressure, prunes) for triage.
+  cfg.telemetry.flight = true;
+  cfg.telemetry.dump_name = "fuzz";
 
   // Everything the probe lambda captures must outlive the Cluster (the
   // network owns the probe and dies with it).
@@ -339,6 +343,7 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
     }
   }
   result.violation = violation;
+  if (!violation.empty()) c.write_flight_dump("oracle:" + violation);
   return result;
 }
 

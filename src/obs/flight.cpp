@@ -1,0 +1,131 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dodo::obs {
+
+const char* flight_event_name(FlightEventType t) {
+  switch (t) {
+    case FlightEventType::kFaultInjected:
+      return "fault";
+    case FlightEventType::kRecruit:
+      return "recruit";
+    case FlightEventType::kEvict:
+      return "evict";
+    case FlightEventType::kPressureTransition:
+      return "pressure";
+    case FlightEventType::kShrinkScheduled:
+      return "shrink_scheduled";
+    case FlightEventType::kLeaseGrant:
+      return "lease_grant";
+    case FlightEventType::kLeaseCap:
+      return "lease_cap";
+    case FlightEventType::kLeaseFence:
+      return "lease_fence";
+    case FlightEventType::kLeaseRenewReject:
+      return "lease_renew_reject";
+    case FlightEventType::kExpiryNotice:
+      return "expiry_notice";
+    case FlightEventType::kProactiveCopy:
+      return "proactive_copy";
+    case FlightEventType::kReplicaGrow:
+      return "replica_grow";
+    case FlightEventType::kReplicaShrink:
+      return "replica_shrink";
+    case FlightEventType::kHostPrune:
+      return "host_prune";
+    case FlightEventType::kDiskFallback:
+      return "disk_fallback";
+    case FlightEventType::kHealthViolation:
+      return "health_violation";
+  }
+  return "?";
+}
+
+void FlightRecorder::record(FlightEventType type, std::int64_t a,
+                            std::int64_t b, std::int64_t c,
+                            std::string detail) {
+  FlightEvent ev{sim_.now(), type, a, b, c, std::move(detail)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+FlightRecorder* FlightDomain::recorder(const std::string& name) {
+  auto it = recorders_.find(name);
+  if (it == recorders_.end()) {
+    it = recorders_
+             .emplace(name,
+                      std::make_unique<FlightRecorder>(sim_, name, capacity_))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::uint64_t FlightDomain::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, rec] : recorders_) n += rec->total();
+  return n;
+}
+
+std::uint64_t FlightDomain::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, rec] : recorders_) n += rec->dropped();
+  return n;
+}
+
+std::string FlightDomain::dump(const std::string& reason) const {
+  std::string out = "# dodo flight v1 reason=" + reason + "\n";
+  struct Row {
+    SimTime t;
+    const std::string* rec;
+    std::size_t order;  // position within its recorder (ties stay stable)
+    const FlightEvent* ev;
+  };
+  std::vector<std::vector<FlightEvent>> held;
+  held.reserve(recorders_.size());  // rows keep pointers into held
+  std::vector<Row> rows;
+  for (const auto& [name, rec] : recorders_) {
+    out += "# recorder " + name + " total=" + std::to_string(rec->total()) +
+           " dropped=" + std::to_string(rec->dropped()) + "\n";
+    held.push_back(rec->events());
+    const std::vector<FlightEvent>& evs = held.back();
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      rows.push_back(Row{evs[i].t, &name, i, &evs[i]});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& x, const Row& y) {
+    if (x.t != y.t) return x.t < y.t;
+    if (*x.rec != *y.rec) return *x.rec < *y.rec;
+    return x.order < y.order;
+  });
+  for (const Row& row : rows) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%lld\t%s\t%s\t%lld\t%lld\t%lld\t",
+                  static_cast<long long>(row.t), row.rec->c_str(),
+                  flight_event_name(row.ev->type),
+                  static_cast<long long>(row.ev->a),
+                  static_cast<long long>(row.ev->b),
+                  static_cast<long long>(row.ev->c));
+    out += buf;
+    out += row.ev->detail;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dodo::obs

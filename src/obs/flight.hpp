@@ -1,0 +1,129 @@
+// Per-daemon flight recorder: a bounded ring of recent structured events.
+//
+// Metrics say *how much*, traces say *how long*; neither says *what just
+// happened* when a chaos oracle goes red. The flight recorder is the black
+// box: every daemon records its rare-but-decisive events — faults injected,
+// lease grants/caps/fences, pressure transitions, replica grow/shrink, host
+// prunes, disk fallbacks — into a bounded ring (oldest evicted, evictions
+// counted), and when an oracle fails or the health watchdog trips, the
+// merged time-sorted tail is dumped so a red test explains itself instead
+// of demanding a rerun under a debugger.
+//
+// Structure mirrors the span layer: daemons hold a nullable FlightRecorder*
+// in their params (one branch when disabled), FlightDomain owns one
+// recorder per (host, daemon) and produces the merged dump. Events carry a
+// typed tag plus three int64 operands and a short detail string; rendering
+// is one line per event, so dumps diff cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo::obs {
+
+enum class FlightEventType : std::uint8_t {
+  kFaultInjected = 0,     // detail = fault kind; a = host/shard index
+  kRecruit,               // a = epoch
+  kEvict,                 // a = epoch
+  kPressureTransition,    // a = old level, b = new level
+  kShrinkScheduled,       // a = target bytes, b = bytes scheduled
+  kLeaseGrant,            // a = region id, b = len, c = expiry
+  kLeaseCap,              // a = region id, b = capped expiry (shrink victim)
+  kLeaseFence,            // a = region id, b = len
+  kLeaseRenewReject,      // a = region id
+  kExpiryNotice,          // a = regions in the notice, b = bytes
+  kProactiveCopy,         // a = dst host, b = len
+  kReplicaGrow,           // a = host, b = len
+  kReplicaShrink,         // a = host, b = len
+  kHostPrune,             // a = host, b = copies pruned
+  kDiskFallback,          // a = descriptor, b = len
+  kHealthViolation,       // detail = rule: why
+};
+
+/// Stable lowercase tag for dumps ("lease_fence", "pressure", ...).
+const char* flight_event_name(FlightEventType t);
+
+struct FlightEvent {
+  SimTime t = 0;
+  FlightEventType type = FlightEventType::kFaultInjected;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder(sim::Simulator& sim, std::string name,
+                 std::size_t capacity = 256)
+      : sim_(sim), name_(std::move(name)),
+        capacity_(capacity == 0 ? 1 : capacity) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(FlightEventType type, std::int64_t a = 0, std::int64_t b = 0,
+              std::int64_t c = 0, std::string detail = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Events ever recorded (including since-evicted ones).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Events evicted from the ring to make room.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ - static_cast<std::uint64_t>(ring_.size());
+  }
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;  // circular once full; next_ is the head
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Records into `rec` when non-null — the one-branch disabled path every
+/// daemon call site uses.
+inline void frecord(FlightRecorder* rec, FlightEventType type,
+                    std::int64_t a = 0, std::int64_t b = 0,
+                    std::int64_t c = 0, std::string detail = {}) {
+  if (rec != nullptr) rec->record(type, a, b, c, std::move(detail));
+}
+
+/// Owns one FlightRecorder per (host, daemon) of a deployment and renders
+/// the merged dump. Mirrors TraceDomain: recorders are created on demand in
+/// construction order, so the dump layout is identical run to run.
+class FlightDomain {
+ public:
+  explicit FlightDomain(sim::Simulator& sim, std::size_t capacity_per_recorder)
+      : sim_(sim), capacity_(capacity_per_recorder) {}
+
+  FlightDomain(const FlightDomain&) = delete;
+  FlightDomain& operator=(const FlightDomain&) = delete;
+
+  /// Create-or-get the named recorder ("cmd0", "host3.imd", "client", ...).
+  FlightRecorder* recorder(const std::string& name);
+
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// The black-box dump: a header with `reason`, per-recorder totals/drops,
+  /// then every retained event merged and sorted by (time, recorder, order).
+  /// One event per line:  <t_ns>\t<recorder>\t<tag>\t<a>\t<b>\t<c>\t<detail>
+  [[nodiscard]] std::string dump(const std::string& reason) const;
+
+ private:
+  sim::Simulator& sim_;
+  std::size_t capacity_;
+  std::map<std::string, std::unique_ptr<FlightRecorder>> recorders_;
+};
+
+}  // namespace dodo::obs

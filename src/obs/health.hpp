@@ -1,0 +1,91 @@
+// Online invariant watchdog over telemetry samples.
+//
+// PR 2/3 proved the conservation invariants offline: fuzz oracles check
+// them after quiesce, when nothing is in flight. HealthMonitor promotes the
+// subset that holds at *any* instant into live rules evaluated on every
+// telemetry sample, plus rate-anomaly rules over successive samples — so a
+// broken invariant trips within one sample interval of the corruption, in
+// any test or bench that turns the watchdog on, not just under the fuzzer.
+//
+// Live rules (exact statements in DESIGN.md §15):
+//   conservation.mreads    remote_hits + mreads_degraded <= mreads_total
+//                          (in-flight mreads are counted in the total but
+//                          not yet resolved, hence <=, not ==)
+//   conservation.degraded  mreads_degraded <= disk_fallbacks (fallbacks are
+//                          fragment-granular; a degraded mread has >= 1)
+//   conservation.pool      imd.pool_used_bytes == imd.pool_region_bytes
+//                          (the cluster adds the region-sum gauge to the
+//                          watchdog sample from direct imd inspection)
+//   lease.no_resurrection  imd.lease_live_fenced == 0 (no live region id is
+//                          in any imd's fenced set)
+// Rate rules (each disabled by a zero threshold):
+//   rate.disk_fallback_spike    per-sample disk_fallbacks delta > threshold
+//   rate.replica_shortfall      per-sample replica_shortfalls delta > thresh
+//   rate.span_leak              obs.spans_open grew strictly for N samples
+//
+// The monitor is a pure function of the sample stream — no cluster
+// dependency — so it unit-tests on hand-built snapshots. Violations are
+// returned to the caller (the cluster's telemetry loop), which fires the
+// flight-recorder dump; counts export as `health.*` series.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace dodo::obs {
+
+struct HealthConfig {
+  /// Per-sample delta of client.disk_fallbacks above which the storm is an
+  /// anomaly. 0 disables the rule.
+  std::int64_t disk_fallback_spike = 0;
+  /// Per-sample delta of cmd.replica_shortfalls above which placement is
+  /// failing. 0 disables the rule.
+  std::int64_t replica_shortfall_growth = 0;
+  /// Consecutive samples of strictly-growing obs.spans_open that indicate a
+  /// span leak. 0 disables the rule.
+  int span_leak_samples = 0;
+};
+
+struct HealthViolation {
+  std::string rule;    // "conservation.pool", "rate.span_leak", ...
+  std::string detail;  // the numbers that broke it
+
+  friend bool operator==(const HealthViolation&,
+                         const HealthViolation&) = default;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig cfg) : cfg_(cfg) {}
+
+  /// Evaluates every rule against `snap` (and the previous sample for rate
+  /// rules). Returns the violations, rule order fixed; records them in the
+  /// exported counters.
+  std::vector<HealthViolation> on_sample(SimTime t,
+                                         const MetricsSnapshot& snap);
+
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+  [[nodiscard]] bool last_sample_ok() const { return last_ok_; }
+
+  /// `health.samples`, `health.violations`, `health.ok`, plus one
+  /// `health.violations.<rule>` counter per rule that ever fired.
+  [[nodiscard]] MetricsSnapshot health_snapshot() const;
+
+ private:
+  HealthConfig cfg_;
+  MetricsSnapshot prev_;
+  bool have_prev_ = false;
+  bool last_ok_ = true;
+  std::uint64_t samples_ = 0;
+  std::uint64_t violations_ = 0;
+  int span_growth_streak_ = 0;
+  std::map<std::string, std::uint64_t> by_rule_;
+};
+
+}  // namespace dodo::obs

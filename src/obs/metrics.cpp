@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cctype>
 #include <cstdio>
+#include <iterator>
 
 namespace dodo::obs {
 
@@ -12,9 +13,7 @@ namespace dodo::obs {
 // ---------------------------------------------------------------------------
 
 std::vector<Duration> LatencyHistogram::default_bounds() {
-  // 1us .. 10s, one decade apart.
-  return {1'000,         10'000,         100'000,        1'000'000,
-          10'000'000,    100'000'000,    1'000'000'000,  10'000'000'000};
+  return {std::begin(kLatencyBucketBounds), std::end(kLatencyBucketBounds)};
 }
 
 LatencyHistogram::LatencyHistogram(std::vector<Duration> upper_bounds)
@@ -99,6 +98,25 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
 MetricsSnapshot MetricsSnapshot::prefixed(const std::string& prefix) const {
   MetricsSnapshot out;
   for (const auto& [name, v] : values_) out.values_[prefix + name] = v;
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::without_zeros() const {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : values_) {
+    switch (v.type) {
+      case MetricValue::Type::kCounter:
+        if (v.counter == 0) continue;
+        break;
+      case MetricValue::Type::kGauge:
+        if (v.gauge == 0) continue;
+        break;
+      case MetricValue::Type::kHistogram:
+        if (v.count == 0) continue;
+        break;
+    }
+    out.values_[name] = v;
+  }
   return out;
 }
 

@@ -25,6 +25,18 @@
 
 namespace dodo::obs {
 
+/// The one latency-bucket scale every histogram in the tree shares: 1us to
+/// 10s, one decade apart, inclusive upper bounds in sim nanoseconds. Client,
+/// imd, bulk, and loadgen instrumentation all bucket against this array (via
+/// LatencyHistogram's default constructor), which is what makes snapshot
+/// merges across daemons well-defined — merge() requires identical bounds.
+/// Changing a bound is a wire/export format change; tests pin these values.
+inline constexpr Duration kLatencyBucketBounds[] = {
+    1'000,      10'000,      100'000,       1'000'000,
+    10'000'000, 100'000'000, 1'000'000'000, 10'000'000'000};
+inline constexpr std::size_t kLatencyBucketCount =
+    sizeof(kLatencyBucketBounds) / sizeof(kLatencyBucketBounds[0]);
+
 /// Monotonic event counter. inc() only; resets never happen within a
 /// daemon's lifetime (a restarted daemon is a new object, hence zero).
 class Counter {
@@ -54,11 +66,12 @@ class Gauge {
 /// nanoseconds — no doubles anywhere, so exports are byte-stable.
 class LatencyHistogram {
  public:
-  /// Default bounds: 1us..10s, one decade apart — wide enough for every
-  /// simulated path from a local memcpy to a multi-round bulk transfer.
+  /// Default bounds: kLatencyBucketBounds — wide enough for every simulated
+  /// path from a local memcpy to a multi-round bulk transfer.
   LatencyHistogram() : LatencyHistogram(default_bounds()) {}
   explicit LatencyHistogram(std::vector<Duration> upper_bounds);
 
+  /// kLatencyBucketBounds as a vector (the shared constant is the truth).
   static std::vector<Duration> default_bounds();
 
   void observe(Duration d);
@@ -117,6 +130,14 @@ class MetricsSnapshot {
 
   /// Copy with `prefix` prepended to every name (per-host namespacing).
   [[nodiscard]] MetricsSnapshot prefixed(const std::string& prefix) const;
+
+  /// Copy without the all-zero entries: counters at 0, gauges at 0, and
+  /// histograms that never observed a value. Sharded bench exports carry
+  /// hundreds of structurally-present-but-untouched series (e.g. the
+  /// `shardN.*` block for every idle shard); this is the `--suppress-zeros`
+  /// filter applied to them at export time. Never applied by default — the
+  /// full export stays byte-identical.
+  [[nodiscard]] MetricsSnapshot without_zeros() const;
 
   /// Deterministic JSON: one metric per line, names sorted, integers only.
   [[nodiscard]] std::string to_json() const;

@@ -1,0 +1,457 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+
+namespace dodo::obs {
+
+namespace {
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void append_i64_array(std::string& out, const std::vector<std::int64_t>& xs) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    append_i64(out, xs[i]);
+  }
+  out.push_back(']');
+}
+
+bool all_zero(const std::vector<std::int64_t>& xs) {
+  return std::all_of(xs.begin(), xs.end(),
+                     [](std::int64_t v) { return v == 0; });
+}
+
+/// Inclusive-upper-bound quantile over one interval's bucket deltas.
+/// `pct` is the percentile in [1, 100]; negative bucket deltas (a daemon
+/// death shrank the merged histogram) are clamped out of the estimate.
+std::int64_t bucket_quantile(const MetricValue& hist,
+                             const MetricValue* prev, int pct) {
+  std::vector<std::int64_t> delta(hist.counts.size(), 0);
+  std::int64_t total = 0;
+  for (std::size_t j = 0; j < hist.counts.size(); ++j) {
+    std::int64_t d = static_cast<std::int64_t>(hist.counts[j]);
+    if (prev != nullptr && prev->counts.size() == hist.counts.size()) {
+      d -= static_cast<std::int64_t>(prev->counts[j]);
+    }
+    if (d < 0) d = 0;
+    delta[j] = d;
+    total += d;
+  }
+  if (total <= 0 || hist.bounds.empty()) return 0;
+  const std::int64_t rank = (total * pct + 99) / 100;  // ceil(total*pct/100)
+  std::int64_t cum = 0;
+  for (std::size_t j = 0; j < delta.size(); ++j) {
+    cum += delta[j];
+    if (cum >= rank) {
+      // The overflow bucket has no upper bound; report one decade past the
+      // last bound so the estimate stays on the bucket scale.
+      return j < hist.bounds.size() ? hist.bounds[j]
+                                    : hist.bounds.back() * 10;
+    }
+  }
+  return hist.bounds.back() * 10;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+void TelemetryTimeline::add_sample(SimTime t, const MetricsSnapshot& snap) {
+  assert(times_.empty() || t > times_.back());
+  times_.push_back(t);
+  samples_.push_back(snap);
+  if (times_.size() == 2) interval_ = times_[1] - times_[0];
+}
+
+std::vector<std::string> TelemetryTimeline::series_names() const {
+  std::map<std::string, MetricValue::Type> types;
+  for (const MetricsSnapshot& s : samples_) {
+    for (const auto& [name, v] : s.values()) types.emplace(name, v.type);
+  }
+  std::vector<std::string> out;
+  for (const auto& [name, type] : types) {
+    switch (type) {
+      case MetricValue::Type::kCounter:
+        out.push_back(name + ".delta");
+        break;
+      case MetricValue::Type::kGauge:
+        out.push_back(name);
+        break;
+      case MetricValue::Type::kHistogram:
+        out.push_back(name + ".count.delta");
+        out.push_back(name + ".p50");
+        out.push_back(name + ".p99");
+        break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::int64_t TelemetryTimeline::value_at(const std::string& name,
+                                         std::size_t i) const {
+  const MetricsSnapshot& s = samples_[i];
+  const MetricsSnapshot* prev = i > 0 ? &samples_[i - 1] : nullptr;
+  // A gauge exports under its own name; everything else is a derived name.
+  if (const MetricValue* v = s.find(name);
+      v != nullptr && v->type == MetricValue::Type::kGauge) {
+    return v->gauge;
+  }
+  // A gauge that vanished from this sample (daemon death) reads as 0.
+  if (const MetricValue* v = prev != nullptr ? prev->find(name) : nullptr;
+      v != nullptr && v->type == MetricValue::Type::kGauge) {
+    return 0;
+  }
+  auto counter_at = [&](const std::string& base,
+                        const MetricsSnapshot* snap) -> std::int64_t {
+    if (snap == nullptr) return 0;
+    const MetricValue* v = snap->find(base);
+    return v != nullptr && v->type == MetricValue::Type::kCounter
+               ? static_cast<std::int64_t>(v->counter)
+               : 0;
+  };
+  auto hist_at = [&](const std::string& base,
+                     const MetricsSnapshot* snap) -> const MetricValue* {
+    if (snap == nullptr) return nullptr;
+    const MetricValue* v = snap->find(base);
+    return v != nullptr && v->type == MetricValue::Type::kHistogram ? v
+                                                                    : nullptr;
+  };
+  if (ends_with(name, ".count.delta")) {
+    const std::string base = name.substr(0, name.size() - 12);
+    if (const MetricValue* h = hist_at(base, &s)) {
+      const MetricValue* ph = hist_at(base, prev);
+      return static_cast<std::int64_t>(h->count) -
+             (ph != nullptr ? static_cast<std::int64_t>(ph->count) : 0);
+    }
+    if (const MetricValue* ph = hist_at(base, prev)) {
+      return -static_cast<std::int64_t>(ph->count);
+    }
+  }
+  if (ends_with(name, ".delta")) {
+    const std::string base = name.substr(0, name.size() - 6);
+    return counter_at(base, &s) - counter_at(base, prev);
+  }
+  if (ends_with(name, ".p50") || ends_with(name, ".p99")) {
+    const int pct = ends_with(name, ".p50") ? 50 : 99;
+    const std::string base = name.substr(0, name.size() - 4);
+    if (const MetricValue* h = hist_at(base, &s)) {
+      return bucket_quantile(*h, hist_at(base, prev), pct);
+    }
+  }
+  return 0;
+}
+
+std::vector<std::int64_t> TelemetryTimeline::series(
+    const std::string& name) const {
+  std::vector<std::int64_t> out(times_.size(), 0);
+  for (std::size_t i = 0; i < times_.size(); ++i) out[i] = value_at(name, i);
+  return out;
+}
+
+std::int64_t TelemetryTimeline::window_sum(const std::string& name,
+                                           SimTime lo, SimTime hi) const {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] > lo && times_[i] <= hi) sum += value_at(name, i);
+  }
+  return sum;
+}
+
+std::int64_t TelemetryTimeline::window_max(const std::string& name,
+                                           SimTime lo, SimTime hi) const {
+  std::int64_t best = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] > lo && times_[i] <= hi) {
+      const std::int64_t v = value_at(name, i);
+      if (!any || v > best) best = v;
+      any = true;
+    }
+  }
+  return best;
+}
+
+std::string TelemetryTimeline::export_json(
+    const std::map<std::string, const TelemetryTimeline*>& labelled) {
+  std::string out = "{\n\"v\":1,\n\"timelines\":{";
+  std::size_t li = 0;
+  for (const auto& [label, tl] : labelled) {
+    out.push_back('\n');
+    append_escaped(out, label);
+    out += ":{\n\"t\":";
+    std::vector<std::int64_t> ts(tl->times().begin(), tl->times().end());
+    append_i64_array(out, ts);
+    out += ",\n\"series\":{";
+    std::vector<std::pair<std::string, std::vector<std::int64_t>>> kept;
+    for (const std::string& name : tl->series_names()) {
+      std::vector<std::int64_t> vals = tl->series(name);
+      if (!all_zero(vals)) kept.emplace_back(name, std::move(vals));
+    }
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      out.push_back('\n');
+      append_escaped(out, kept[i].first);
+      out.push_back(':');
+      append_i64_array(out, kept[i].second);
+      if (i + 1 < kept.size()) out.push_back(',');
+    }
+    out += kept.empty() ? "}\n}" : "\n}\n}";
+    if (++li < labelled.size()) out.push_back(',');
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+std::string TelemetryTimeline::export_tsv(
+    const std::map<std::string, const TelemetryTimeline*>& labelled) {
+  std::string out;
+  for (const auto& [label, tl] : labelled) {
+    std::vector<std::pair<std::string, std::vector<std::int64_t>>> kept;
+    for (const std::string& name : tl->series_names()) {
+      std::vector<std::int64_t> vals = tl->series(name);
+      if (!all_zero(vals)) kept.emplace_back(name, std::move(vals));
+    }
+    out += "# dodo telemetry v1 label=" + label +
+           " samples=" + std::to_string(tl->sample_count()) + "\n";
+    out += "t_ns";
+    for (const auto& [name, vals] : kept) {
+      out.push_back('\t');
+      out += name;
+    }
+    out.push_back('\n');
+    for (std::size_t i = 0; i < tl->sample_count(); ++i) {
+      append_i64(out, tl->times()[i]);
+      for (const auto& [name, vals] : kept) {
+        out.push_back('\t');
+        append_i64(out, vals[i]);
+      }
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Strict parser for the export_json() subset.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : s_(text) {}
+
+  bool fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  bool string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("dangling escape");
+        const char e = s_[pos_++];
+        if (e == '"' || e == '\\') {
+          c = e;
+        } else {
+          return fail("unsupported escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;
+    return true;
+  }
+
+  bool integer(std::int64_t& out) {
+    skip_ws();
+    bool neg = false;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+    }
+    if (pos_ >= s_.size() ||
+        std::isdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+      return fail("expected integer");
+    }
+    std::uint64_t v = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+      v = v * 10 + static_cast<std::uint64_t>(s_[pos_] - '0');
+      ++pos_;
+    }
+    out = neg ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+    return true;
+  }
+
+  bool int_array(std::vector<std::int64_t>& out) {
+    if (!expect('[')) return false;
+    out.clear();
+    if (peek(']')) return expect(']');
+    for (;;) {
+      std::int64_t v = 0;
+      if (!integer(v)) return false;
+      out.push_back(v);
+      if (peek(']')) return expect(']');
+      if (!expect(',')) return false;
+    }
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool parse_timeline(Reader& r, TelemetryTimeline::Parsed& out) {
+  if (!r.expect('{')) return false;
+  bool have_t = false;
+  bool have_series = false;
+  std::string field;
+  for (;;) {
+    if (!r.string(field) || !r.expect(':')) return false;
+    if (field == "t") {
+      if (!r.int_array(out.t)) return false;
+      have_t = true;
+    } else if (field == "series") {
+      if (!r.expect('{')) return false;
+      if (!r.peek('}')) {
+        for (;;) {
+          std::string name;
+          std::vector<std::int64_t> vals;
+          if (!r.string(name) || !r.expect(':') || !r.int_array(vals)) {
+            return false;
+          }
+          out.series[name] = std::move(vals);
+          if (r.peek('}')) break;
+          if (!r.expect(',')) return false;
+        }
+      }
+      if (!r.expect('}')) return false;
+      have_series = true;
+    } else {
+      return r.fail("unknown timeline field \"" + field + "\"");
+    }
+    if (r.peek('}')) break;
+    if (!r.expect(',')) return false;
+  }
+  if (!r.expect('}')) return false;
+  if (!have_t || !have_series) return r.fail("timeline missing t/series");
+  for (const auto& [name, vals] : out.series) {
+    if (vals.size() != out.t.size()) {
+      return r.fail("series \"" + name + "\" length != t length");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TelemetryTimeline::parse_export(const std::string& text,
+                                     ParsedExport& out, std::string* error) {
+  Reader r(text);
+  out.clear();
+  auto bail = [&] {
+    if (error != nullptr) *error = r.error();
+    return false;
+  };
+  if (!r.expect('{')) return bail();
+  std::string field;
+  if (!r.string(field) || field != "v" || !r.expect(':')) {
+    r.fail("expected \"v\"");
+    return bail();
+  }
+  std::int64_t version = 0;
+  if (!r.integer(version)) return bail();
+  if (version != 1) {
+    r.fail("unsupported telemetry version " + std::to_string(version));
+    return bail();
+  }
+  if (!r.expect(',')) return bail();
+  if (!r.string(field) || field != "timelines" || !r.expect(':')) {
+    r.fail("expected \"timelines\"");
+    return bail();
+  }
+  if (!r.expect('{')) return bail();
+  if (!r.peek('}')) {
+    for (;;) {
+      std::string label;
+      if (!r.string(label) || !r.expect(':')) return bail();
+      Parsed tl;
+      if (!parse_timeline(r, tl)) return bail();
+      out[label] = std::move(tl);
+      if (r.peek('}')) break;
+      if (!r.expect(',')) return bail();
+    }
+  }
+  if (!r.expect('}')) return bail();
+  if (!r.expect('}')) return bail();
+  if (!r.at_end()) {
+    r.fail("trailing input");
+    return bail();
+  }
+  return true;
+}
+
+}  // namespace dodo::obs

@@ -1,0 +1,113 @@
+// Phase-resolved telemetry: a deterministic time series over metric
+// snapshots.
+//
+// The PR-3 observability layer sees endpoints only — one snapshot at
+// quiesce — while Dodo's harvesting economics are temporal: idle windows
+// open and close, pressure grades from idle to urgent, reclaim storms come
+// and go. TelemetryTimeline turns the same MetricsSnapshot the kStats
+// responders serve into a sampled curve: the owner (cluster::Cluster's
+// telemetry loop) feeds it one snapshot per sample_interval of sim time,
+// and the timeline derives per-interval series from successive samples:
+//
+//   counter  c        ->  "c.delta"        signed per-interval delta
+//   gauge    g        ->  "g"              raw sampled level
+//   histogram h       ->  "h.count.delta"  per-interval observation count
+//                         "h.p50", "h.p99" per-interval quantile estimates
+//
+// Counter deltas are *signed* deliberately: a daemon death removes its
+// counters from the merged snapshot, which reads as a negative delta — a
+// visible discontinuity, not silent corruption. Histogram quantiles come
+// from per-interval bucket-count deltas: the estimate is the inclusive
+// upper bound of the bucket where the cumulative interval count crosses the
+// quantile (the overflow bucket reports 10x the last bound). Integer math
+// throughout, so exports are byte-identical per seed.
+//
+// Exports: a versioned JSON document (one series per line, labels and names
+// sorted, all-zero series dropped) plus a TSV block per label for plotting.
+// A strict parser (parse_export) reads the JSON back for tools/bench_diff
+// and round-trip tests, with the same "fail loudly with a why" discipline
+// as MetricsSnapshot::from_json.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace dodo::obs {
+
+class TelemetryTimeline {
+ public:
+  /// Records one sample. `t` must be strictly increasing call to call.
+  void add_sample(SimTime t, const MetricsSnapshot& snap);
+
+  [[nodiscard]] std::size_t sample_count() const { return times_.size(); }
+  [[nodiscard]] const std::vector<SimTime>& times() const { return times_; }
+  [[nodiscard]] Duration interval() const { return interval_; }
+
+  /// All derived series names, sorted, including all-zero ones (exports
+  /// drop those; assertions may still want them).
+  [[nodiscard]] std::vector<std::string> series_names() const;
+
+  /// Derived series values, one per sample (see the header comment for the
+  /// derivation rules). Unknown names yield an all-zero series.
+  [[nodiscard]] std::vector<std::int64_t> series(
+      const std::string& name) const;
+
+  /// Sum of a derived series over samples with lo < t <= hi — the natural
+  /// window for delta series, where sample i covers (t[i-1], t[i]].
+  [[nodiscard]] std::int64_t window_sum(const std::string& name, SimTime lo,
+                                        SimTime hi) const;
+  /// Max of the same window (0 when the window holds no samples).
+  [[nodiscard]] std::int64_t window_max(const std::string& name, SimTime lo,
+                                        SimTime hi) const;
+
+  /// Raw sampled snapshots, oldest first (the watchdog replays these).
+  [[nodiscard]] const std::vector<MetricsSnapshot>& samples() const {
+    return samples_;
+  }
+
+  // -- export ---------------------------------------------------------------
+
+  /// One parsed timeline as exported: explicit times plus derived series.
+  struct Parsed {
+    std::vector<std::int64_t> t;
+    std::map<std::string, std::vector<std::int64_t>> series;
+
+    friend bool operator==(const Parsed&, const Parsed&) = default;
+  };
+  /// Label -> timeline; a bench may record several arms (e.g. flashcrowd's
+  /// "wholesale" and "leases").
+  using ParsedExport = std::map<std::string, Parsed>;
+
+  /// Deterministic JSON for a set of labelled timelines:
+  ///   {"v":1,"timelines":{"<label>":{"t":[...],"series":{"<name>":[...]}}}}
+  /// Labels and series names sort lexicographically; all-zero series are
+  /// dropped (a TELEM file carries signal, not schema).
+  static std::string export_json(
+      const std::map<std::string, const TelemetryTimeline*>& labelled);
+
+  /// TSV for the same set: per label a "# dodo telemetry v1" header line,
+  /// a tab-separated column header (t_ns then series names), one row per
+  /// sample. Columns match the JSON (all-zero series dropped).
+  static std::string export_tsv(
+      const std::map<std::string, const TelemetryTimeline*>& labelled);
+
+  /// Strict parser for exactly the export_json() subset. Returns false and
+  /// (optionally) a "why" on any deviation.
+  static bool parse_export(const std::string& text, ParsedExport& out,
+                           std::string* error = nullptr);
+
+ private:
+  [[nodiscard]] std::int64_t value_at(const std::string& name,
+                                      std::size_t i) const;
+
+  std::vector<SimTime> times_;
+  std::vector<MetricsSnapshot> samples_;
+  Duration interval_ = 0;  // t[1] - t[0] once two samples exist
+};
+
+}  // namespace dodo::obs

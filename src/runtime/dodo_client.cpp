@@ -256,6 +256,8 @@ DodoClient::Entry* DodoClient::lookup_active(int rd) {
 
 void DodoClient::prune_host(net::NodeId node) {
   ++metrics_.nodes_dropped;
+  obs::frecord(params_.flight, obs::FlightEventType::kHostPrune,
+               static_cast<std::int64_t>(node));
   // §3.1 failure handling, softened by replication: losing a host only
   // loses that host's copies. A descriptor dies — erased, not deactivated,
   // since re-attach goes through a fresh mopen — only when one of its
@@ -485,6 +487,8 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
     ++metrics_.mreads_total;
     ++metrics_.mreads_degraded;
     ++metrics_.disk_fallbacks;
+    obs::frecord(params_.flight, obs::FlightEventType::kDiskFallback,
+                 static_cast<std::int64_t>(rd), len);
     dodo_errno() = kDodoENOMEM;  // §3.2: region not currently active
     co_return ReadResult{};
   }
@@ -563,6 +567,8 @@ sim::Co<DodoClient::ReadResult> DodoClient::mread_ex(int rd, Bytes64 offset,
     if (outcomes[i].ok) continue;
     const Piece& p = pieces[i];
     ++metrics_.disk_fallbacks;
+    obs::frecord(params_.flight, obs::FlightEventType::kDiskFallback,
+                 static_cast<std::int64_t>(rd), p.want);
     res.disk_ranges.emplace_back(p.lo - offset, p.want);
     obs::ScopedSpan dspan(params_.spans, "disk.read", span.ctx());
     std::uint8_t* dst = buf == nullptr ? nullptr : buf + (p.lo - offset);

@@ -32,6 +32,7 @@
 #include "disk/filesystem.hpp"
 #include "net/bulk.hpp"
 #include "net/transport.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "sim/channel.hpp"
@@ -51,6 +52,8 @@ struct ClientParams {
   net::Port ctl_port = core::kClientPort;
   /// Optional trace-span sink (not owned). Null disables span recording.
   obs::SpanRecorder* spans = nullptr;
+  /// Optional flight-recorder ring (not owned). Null disables recording.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct ClientMetrics {

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/units.hpp"
 #include "core/cmd.hpp"
 #include "core/imd.hpp"
@@ -403,6 +404,60 @@ TEST(Lease, OffPathGrantsNothingAndExportsNothing) {
     EXPECT_EQ(cmd_snap.find("cmd.proactive_copies"), nullptr);
     EXPECT_EQ(cmd_snap.find("cmd.pending_expiry_notices"), nullptr);
   });
+}
+
+TEST(Lease, KStatsScrapeDuringGradedPressureShrinkWindow) {
+  // A wire scrape racing an incremental shrink must see a consistent story:
+  // the shrink counters appear the moment the pressure bites, the lease
+  // gauges stay present throughout the grace window, and the scrape itself
+  // never wedges on a host that is busy fencing.
+  cluster::ClusterConfig cfg;
+  cfg.imd_hosts = 3;
+  cfg.imd_pool = 4_MiB;
+  cfg.local_cache = 256_KiB;
+  cfg.page_cache_dodo = 128_KiB;
+  cfg.seed = 31;
+  cfg.materialize = false;  // phantom data: the assertions are on counters
+  cfg.imd.lease_epochs = true;
+  cfg.cmd.lease_epochs = true;
+  cfg.cmd.keepalive_interval = millis(500);
+  cfg.imd.lease_ttl = seconds(3.0);
+  cfg.imd.lease_grace = seconds(1.5);
+  cluster::Cluster c(cfg);
+  const Bytes64 len = 1_MiB;
+  const int fd = c.create_dataset("data", len);
+  obs::MetricsSnapshot before, during, after;
+  c.run_app([&](cluster::Cluster& cl) -> Co<void> {
+    auto* d = cl.dodo();
+    const int rd = co_await d->mopen(len, fd, 0);
+    EXPECT_GE(rd, 0);
+    co_await d->mwrite(rd, 0, nullptr, len);
+    before = co_await cl.scrape_cluster();
+    for (int h = 0; h < cfg.imd_hosts; ++h) {
+      co_await cl.pressure_host(h, 1, 0.25);  // kRising, keep 25%
+    }
+    // Inside the grace window: victims are capped but not yet fenced.
+    during = co_await cl.scrape_cluster();
+    co_await cl.sim().sleep(seconds(6.0));  // ttl + grace: fences resolved
+    after = co_await cl.scrape_cluster();
+    co_await d->mread(rd, 0, nullptr, 64_KiB);
+    co_await d->mclose(rd);
+  });
+  EXPECT_EQ(before.counter_value("rmd.pressure_shrinks"), 0u);
+  EXPECT_GT(during.counter_value("rmd.pressure_shrinks"), 0u);
+  EXPECT_GT(during.counter_value("cmd.lease_expiry_notices"), 0u);
+  // The lease gauges survive the whole window (present, not torn down).
+  for (const auto* snap : {&before, &during, &after}) {
+    EXPECT_NE(snap->find("imd.pool_used_bytes"), nullptr);
+    EXPECT_NE(snap->find("imd.fenced_regions"), nullptr);
+  }
+  // Counters only move forward across the window's scrapes.
+  for (const char* name :
+       {"rmd.pressure_shrinks", "cmd.lease_expiry_notices",
+        "imd.regions_reclaimed"}) {
+    EXPECT_GE(during.counter_value(name), before.counter_value(name)) << name;
+    EXPECT_GE(after.counter_value(name), during.counter_value(name)) << name;
+  }
 }
 
 }  // namespace

@@ -76,6 +76,21 @@ TEST(Histogram, DefaultBoundsCoverSimLatencies) {
   EXPECT_EQ(h.count(), 3u);
 }
 
+TEST(Histogram, DefaultBoundsPinnedToSharedConstant) {
+  // kLatencyBucketBounds is the one source of truth for every latency
+  // histogram in the repo: the decade ladder from 1us to 10s. Exported
+  // JSON and the telemetry quantile estimates both depend on these exact
+  // values, so a change here is a format change — update DESIGN.md §9.
+  const std::vector<Duration> expect = {1_us, 10_us, 100_us, 1_ms,
+                                        10_ms, 100_ms, 1_s,   10_s};
+  ASSERT_EQ(obs::kLatencyBucketCount, expect.size());
+  EXPECT_EQ(obs::LatencyHistogram::default_bounds(), expect);
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(obs::kLatencyBucketBounds[i], expect[i]) << "bound " << i;
+  }
+  EXPECT_EQ(obs::LatencyHistogram().counts().size(), expect.size() + 1);
+}
+
 // ---------------------------------------------------------------------------
 // Snapshots
 // ---------------------------------------------------------------------------
@@ -144,6 +159,24 @@ TEST(Snapshot, JsonParserRejectsGarbage) {
   EXPECT_FALSE(obs::MetricsSnapshot::from_json(
       R"({"x":{"type":"sundial","value":1}})", out, &err));
   EXPECT_FALSE(err.empty());
+}
+
+TEST(Snapshot, WithoutZerosDropsOnlyZeroValuedEntries) {
+  obs::MetricsSnapshot s = sample_snapshot();
+  s.set_counter("idle", 0);
+  s.set_gauge("empty", 0);
+  s.set_histogram("quiet", obs::LatencyHistogram{});
+  const obs::MetricsSnapshot trimmed = s.without_zeros();
+  EXPECT_EQ(trimmed.find("idle"), nullptr);
+  EXPECT_EQ(trimmed.find("empty"), nullptr);
+  EXPECT_EQ(trimmed.find("quiet"), nullptr);
+  // Everything nonzero survives untouched — including negative gauges.
+  EXPECT_EQ(trimmed.counter_value("reads"), 7u);
+  EXPECT_EQ(trimmed.gauge_value("pool"), -3);
+  ASSERT_NE(trimmed.find("lat"), nullptr);
+  EXPECT_EQ(trimmed.size(), sample_snapshot().size());
+  // Never applied by default: the plain export still carries the zeros.
+  EXPECT_NE(s.to_json(), trimmed.to_json());
 }
 
 TEST(Registry, SnapshotGathersLiveCellsAndAbsorbed) {
@@ -377,6 +410,31 @@ TEST(ClusterMetrics, KStatsScrapeUnderLoadMatchesQuiesce) {
   }
   EXPECT_GT(wire.counter_value("cmd.stats_scrapes"), 0u);
   EXPECT_EQ(wire.counter_value("cmd.stats_scrape_failures"), 0u);
+}
+
+TEST(ClusterMetrics, KStatsScrapeSurvivesMidShardCrash) {
+  // A scrape racing a cmd-shard crash must not wedge or corrupt: the dead
+  // shard's partition drops out (its scrapes fail), the healthy shard's
+  // rows stay exact, and the failure is counted — not silent.
+  cluster::ClusterConfig cfg = small_config(19);
+  cfg.cmd_shards = 2;
+  cluster::Cluster c(cfg);
+  const int fd = c.create_dataset("data", kData);
+  apps::DodoBlockIo io(*c.manager(), fd, kData, kBlk);
+  obs::MetricsSnapshot during;
+  c.run_app([&](cluster::Cluster& cl) -> sim::Co<void> {
+    co_await scan(cl, io, 2);
+    cl.crash_cmd_shard(1);
+    // The shard is down mid-scrape-window: the fan-out must still return.
+    during = co_await cl.scrape_cluster();
+    co_await io.finish(false);
+  });
+  // The surviving shard still served its partition's stats.
+  EXPECT_GT(during.counter_value("cmd.stats_scrapes"), 0u);
+  EXPECT_GT(during.counter_value("imd.reads_served"), 0u);
+  // The crashed shard's sweep shows up as counted scrape failures on its
+  // own snapshot (served in-process even while its network is cut).
+  EXPECT_GT(during.counter_value("cmd.stats_scrape_failures"), 0u);
 }
 
 TEST(ClusterSpans, WorkloadRecordsConsistentMergedTree) {

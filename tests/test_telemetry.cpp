@@ -1,0 +1,507 @@
+// Phase-resolved telemetry (DESIGN.md §15): the time-series sampler, the
+// per-daemon flight recorder, and the online invariant watchdog.
+//
+// Unit level: TelemetryTimeline's delta/quantile derivations, the window
+// helpers, the JSON/TSV exports and their strict parser, the FlightRecorder
+// ring bounds, and HealthMonitor's conservation/rate rules on hand-built
+// snapshots. Cluster level: the sim-clock sampler produces an evenly spaced
+// timeline; a deliberately broken conservation rule (injected through the
+// telemetry mutator test hook) trips the watchdog within one sample
+// interval and fires a flight dump; an injected fault lands in the flight
+// dump together with the lease/pressure transitions that preceded it; a
+// graded-pressure window resolves as a curve (steady window flat, reclaim
+// window spiking); and same-seed runs export byte-identical TELEM JSON.
+// Labeled `telemetry` (ctest -L telemetry / the telemetry presets).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/block_io.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "sim/simulator.hpp"
+
+namespace dodo {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using obs::FlightEventType;
+using obs::MetricsSnapshot;
+using obs::TelemetryTimeline;
+using sim::Co;
+
+// ---------------------------------------------------------------------------
+// TelemetryTimeline unit tests
+
+TEST(Timeline, CounterDeltaGaugeLevelAndVanishedCounter) {
+  TelemetryTimeline tl;
+  MetricsSnapshot s1;
+  s1.set_counter("c.reads", 10);
+  s1.set_gauge("g.pool", 100);
+  tl.add_sample(1000, s1);
+
+  MetricsSnapshot s2;
+  s2.set_counter("c.reads", 25);
+  s2.set_gauge("g.pool", 70);
+  tl.add_sample(2000, s2);
+
+  // A daemon death removes its counters: the delta goes negative, loudly.
+  MetricsSnapshot s3;
+  s3.set_gauge("g.pool", 0);
+  tl.add_sample(3000, s3);
+
+  EXPECT_EQ(tl.sample_count(), 3u);
+  EXPECT_EQ(tl.interval(), 1000);
+  EXPECT_EQ(tl.series("c.reads.delta"),
+            (std::vector<std::int64_t>{10, 15, -25}));
+  EXPECT_EQ(tl.series("g.pool"), (std::vector<std::int64_t>{100, 70, 0}));
+  // Unknown names read as all-zero, not a crash.
+  EXPECT_EQ(tl.series("nope"), (std::vector<std::int64_t>{0, 0, 0}));
+}
+
+TEST(Timeline, HistogramCountDeltaAndQuantiles) {
+  TelemetryTimeline tl;
+  MetricsSnapshot s1;
+  obs::LatencyHistogram h1;
+  h1.observe(500);     // bucket <= 1us
+  h1.observe(5'000);   // bucket <= 10us
+  s1.set_histogram("lat", h1);
+  tl.add_sample(1000, s1);
+
+  MetricsSnapshot s2;
+  obs::LatencyHistogram h2 = h1;
+  for (int i = 0; i < 98; ++i) h2.observe(5'000);
+  h2.observe(50'000'000'000);  // overflow bucket
+  s2.set_histogram("lat", h2);
+  tl.add_sample(2000, s2);
+
+  EXPECT_EQ(tl.series("lat.count.delta"),
+            (std::vector<std::int64_t>{2, 99}));
+  // Interval 2: 98 observations in the <=10us bucket, one in overflow. The
+  // p50 estimate is the 10us bound; p99 (rank ceil(99*.99)=99 of 99, but
+  // only 98 sit at <=10us) lands in the overflow bucket, reported as 10x
+  // the last bound.
+  const auto p50 = tl.series("lat.p50");
+  const auto p99 = tl.series("lat.p99");
+  EXPECT_EQ(p50[1], 10'000);
+  EXPECT_EQ(p99[1], 100'000'000'000);
+  // Interval 1: two observations, p50 at the 1us bound, p99 at 10us.
+  EXPECT_EQ(p50[0], 1'000);
+  EXPECT_EQ(p99[0], 10'000);
+}
+
+TEST(Timeline, OverflowBucketReportsTenTimesLastBound) {
+  TelemetryTimeline tl;
+  MetricsSnapshot s1;
+  obs::LatencyHistogram h;
+  h.observe(50'000'000'000);  // beyond the 10s last bound
+  s1.set_histogram("lat", h);
+  tl.add_sample(1000, s1);
+  EXPECT_EQ(tl.series("lat.p50")[0], 100'000'000'000);
+}
+
+TEST(Timeline, WindowHelpersUseHalfOpenLoExclusiveWindow) {
+  TelemetryTimeline tl;
+  for (int i = 1; i <= 4; ++i) {
+    MetricsSnapshot s;
+    s.set_counter("c", static_cast<std::uint64_t>(i * 10));
+    tl.add_sample(i * 1000, s);
+  }
+  // Deltas: 10, 10, 10, 10 at t = 1000..4000. Window (1000, 3000].
+  EXPECT_EQ(tl.window_sum("c.delta", 1000, 3000), 20);
+  EXPECT_EQ(tl.window_max("c.delta", 1000, 3000), 10);
+  EXPECT_EQ(tl.window_sum("c.delta", 5000, 9000), 0);
+}
+
+TEST(Timeline, ExportJsonRoundTripsAndDropsAllZeroSeries) {
+  TelemetryTimeline tl;
+  for (int i = 1; i <= 3; ++i) {
+    MetricsSnapshot s;
+    s.set_counter("live", static_cast<std::uint64_t>(i));
+    s.set_counter("dead", 0);  // all-zero delta series: dropped on export
+    s.set_gauge("level", 7 * i);
+    tl.add_sample(i * 500, s);
+  }
+  const std::string json =
+      TelemetryTimeline::export_json({{"run", &tl}});
+  TelemetryTimeline::ParsedExport parsed;
+  std::string err;
+  ASSERT_TRUE(TelemetryTimeline::parse_export(json, parsed, &err)) << err;
+  ASSERT_EQ(parsed.size(), 1u);
+  const auto& run = parsed.at("run");
+  EXPECT_EQ(run.t, (std::vector<std::int64_t>{500, 1000, 1500}));
+  EXPECT_EQ(run.series.at("live.delta"),
+            (std::vector<std::int64_t>{1, 1, 1}));
+  EXPECT_EQ(run.series.at("level"), (std::vector<std::int64_t>{7, 14, 21}));
+  EXPECT_EQ(run.series.count("dead.delta"), 0u);
+
+  // The parser is strict: corrupt documents fail with a why.
+  TelemetryTimeline::ParsedExport junk;
+  EXPECT_FALSE(TelemetryTimeline::parse_export("{\"v\":2}", junk, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(TelemetryTimeline::parse_export(json + "x", junk, &err));
+}
+
+TEST(Timeline, ExportTsvHasHeaderAndOneRowPerSample) {
+  TelemetryTimeline tl;
+  for (int i = 1; i <= 2; ++i) {
+    MetricsSnapshot s;
+    s.set_counter("c", static_cast<std::uint64_t>(i));
+    tl.add_sample(i * 100, s);
+  }
+  const std::string tsv = TelemetryTimeline::export_tsv({{"arm", &tl}});
+  EXPECT_NE(tsv.find("# dodo telemetry v1 label=arm samples=2"),
+            std::string::npos);
+  EXPECT_NE(tsv.find("t_ns\tc.delta"), std::string::npos);
+  EXPECT_NE(tsv.find("100\t1"), std::string::npos);
+  EXPECT_NE(tsv.find("200\t1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder unit tests
+
+TEST(Flight, RingEvictsOldestAndCountsDrops) {
+  sim::Simulator sim{1};
+  obs::FlightRecorder rec(sim, "imd", /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(FlightEventType::kLeaseGrant, i);
+  }
+  EXPECT_EQ(rec.total(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs.front().a, 6);  // oldest retained
+  EXPECT_EQ(evs.back().a, 9);
+}
+
+TEST(Flight, DomainDumpMergesTimeSortedWithTotals) {
+  sim::Simulator sim{1};
+  obs::FlightDomain dom(sim, 8);
+  dom.recorder("cmd0")->record(FlightEventType::kRecruit, 1);
+  dom.recorder("host0.imd")
+      ->record(FlightEventType::kLeaseGrant, 42, 4096, 0, "r42");
+  const std::string dump = dom.dump("test-reason");
+  EXPECT_NE(dump.find("# dodo flight v1 reason=test-reason"),
+            std::string::npos);
+  EXPECT_NE(dump.find("# recorder cmd0 total=1 dropped=0"),
+            std::string::npos);
+  EXPECT_NE(dump.find("recruit"), std::string::npos);
+  EXPECT_NE(dump.find("lease_grant"), std::string::npos);
+  EXPECT_NE(dump.find("r42"), std::string::npos);
+  EXPECT_EQ(dom.total_events(), 2u);
+  EXPECT_EQ(dom.dropped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor unit tests
+
+MetricsSnapshot healthy_sample() {
+  MetricsSnapshot s;
+  s.set_counter("client.mreads_total", 100);
+  s.set_counter("client.remote_hits", 90);
+  s.set_counter("client.mreads_degraded", 5);
+  s.set_counter("client.disk_fallbacks", 5);
+  s.set_counter("cmd.replica_shortfalls", 0);
+  s.set_gauge("imd.pool_used_bytes", 4096);
+  s.set_gauge("imd.pool_region_bytes", 4096);
+  s.set_gauge("imd.lease_live_fenced", 0);
+  s.set_gauge("obs.spans_open", 2);
+  return s;
+}
+
+TEST(Health, CleanSampleProducesNoViolations) {
+  obs::HealthMonitor mon({});
+  const auto v = mon.on_sample(1000, healthy_sample());
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(mon.last_sample_ok());
+  const MetricsSnapshot hs = mon.health_snapshot();
+  EXPECT_EQ(hs.counter_value("health.samples"), 1u);
+  EXPECT_EQ(hs.counter_value("health.violations"), 0u);
+  EXPECT_EQ(hs.gauge_value("health.ok"), 1);
+}
+
+TEST(Health, ConservationRulesTripOnFirstBadSample) {
+  obs::HealthMonitor mon({});
+  MetricsSnapshot bad = healthy_sample();
+  bad.set_counter("client.remote_hits", 200);  // hits > total
+  bad.set_gauge("imd.pool_region_bytes", 1);          // pool mismatch
+  bad.set_gauge("imd.lease_live_fenced", 3);          // resurrection
+  const auto v = mon.on_sample(1000, bad);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].rule, "conservation.mreads");
+  EXPECT_EQ(v[1].rule, "conservation.pool");
+  EXPECT_EQ(v[2].rule, "lease.no_resurrection");
+  EXPECT_FALSE(mon.last_sample_ok());
+  EXPECT_EQ(mon.health_snapshot().gauge_value("health.ok"), 0);
+  EXPECT_EQ(mon.health_snapshot().counter_value(
+                "health.violations.conservation.pool"),
+            1u);
+}
+
+TEST(Health, RateRulesNeedAPreviousSampleAndThresholds) {
+  obs::HealthConfig cfg;
+  cfg.disk_fallback_spike = 10;
+  cfg.span_leak_samples = 2;
+  obs::HealthMonitor mon(cfg);
+
+  // First sample: rate rules have no previous to diff against (the span
+  // streak counts 2 > 0, but stays under the 2-sample threshold).
+  EXPECT_TRUE(mon.on_sample(1000, healthy_sample()).empty());
+
+  MetricsSnapshot s2 = healthy_sample();
+  s2.set_counter("client.disk_fallbacks", 100);  // +95 > 10: spike
+  // mreads conservation must keep up with the edited fallbacks count.
+  s2.set_counter("client.mreads_degraded", 100);
+  s2.set_counter("client.mreads_total", 200);
+  auto v = mon.on_sample(2000, s2);  // spans_open flat: streak resets
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "rate.disk_fallback_spike");
+
+  MetricsSnapshot s3 = s2;
+  s3.set_gauge("obs.spans_open", 3);  // growing, streak 1
+  EXPECT_TRUE(mon.on_sample(3000, s3).empty());
+  MetricsSnapshot s4 = s3;
+  s4.set_gauge("obs.spans_open", 4);  // streak 2: leak rule fires
+  v = mon.on_sample(4000, s4);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "rate.span_leak");
+  // The rule re-arms: a flat sample then two more growth samples refire.
+  EXPECT_TRUE(mon.on_sample(5000, s4).empty());
+  EXPECT_EQ(mon.health_snapshot().counter_value(
+                "health.violations.rate.span_leak"),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster integration
+
+ClusterConfig telemetry_config(std::uint64_t seed, bool leases = false) {
+  ClusterConfig cfg;
+  cfg.imd_hosts = 3;
+  cfg.imd_pool = 4_MiB;
+  cfg.local_cache = 256_KiB;
+  cfg.page_cache_dodo = 128_KiB;
+  cfg.seed = seed;
+  cfg.materialize = false;  // phantom data: these tests assert telemetry
+  cfg.telemetry.sample_interval = millis(100);
+  cfg.telemetry.flight = true;
+  if (leases) {
+    cfg.imd.lease_epochs = true;
+    cfg.cmd.lease_epochs = true;
+    cfg.cmd.keepalive_interval = millis(500);
+    cfg.imd.lease_ttl = seconds(3.0);
+    cfg.imd.lease_grace = seconds(1.5);
+  }
+  return cfg;
+}
+
+/// mopen + write + a paced read loop until `until` sim time.
+Co<void> paced_sweep(Cluster& cl, int fd, Bytes64 len, SimTime until) {
+  auto* d = cl.dodo();
+  const int rd = co_await d->mopen(len, fd, 0);
+  EXPECT_GE(rd, 0);
+  co_await d->mwrite(rd, 0, nullptr, len);
+  const Bytes64 block = 16_KiB;
+  while (cl.sim().now() < until) {
+    for (Bytes64 off = 0; off + block <= len; off += block) {
+      co_await d->mread(rd, off, nullptr, block);
+      co_await cl.sim().sleep(millis(2));
+      if (cl.sim().now() >= until) break;
+    }
+  }
+  co_await d->mclose(rd);
+}
+
+TEST(TelemetryCluster, SamplerProducesEvenlySpacedTimeline) {
+  Cluster c(telemetry_config(7));
+  const Bytes64 len = 512_KiB;
+  const int fd = c.create_dataset("data", len);
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    co_await paced_sweep(cl, fd, len, seconds(1.0));
+  });
+  auto* tl = c.timeline();
+  ASSERT_NE(tl, nullptr);
+  ASSERT_GE(tl->sample_count(), 8u);
+  EXPECT_EQ(tl->interval(), millis(100));
+  const auto& t = tl->times();
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    EXPECT_EQ(t[i] - t[i - 1], millis(100)) << "sample " << i;
+  }
+  // The read workload shows up as a nonzero mread-delta curve.
+  std::int64_t total = 0;
+  for (std::int64_t v : tl->series("client.mreads_total.delta")) total += v;
+  EXPECT_GT(total, 0);
+}
+
+TEST(TelemetryCluster, WatchdogTripsWithinOneSampleAndDumpsFlight) {
+  ClusterConfig cfg = telemetry_config(11);
+  cfg.telemetry.watchdog = true;
+  Cluster c(cfg);
+  const Bytes64 len = 256_KiB;
+  const int fd = c.create_dataset("data", len);
+
+  // Deliberately break mread conservation from a fixed sim time onward: the
+  // mutator edits the *telemetry* sample only, so the cluster itself stays
+  // healthy while the watchdog sees a corrupt invariant.
+  const SimTime break_at = millis(450);
+  c.set_telemetry_mutator([&](MetricsSnapshot& snap) {
+    if (c.sim().now() >= break_at) {
+      snap.set_counter("client.remote_hits",
+                       snap.counter_value("client.mreads_total") + 1000);
+    }
+  });
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    co_await paced_sweep(cl, fd, len, seconds(1.0));
+  });
+
+  auto* mon = c.health();
+  ASSERT_NE(mon, nullptr);
+  ASSERT_GT(mon->violations(), 0u);
+  // Within one sample interval: the first violating sample is the first one
+  // taken at or after break_at.
+  const auto& samples = c.timeline()->samples();
+  const auto& times = c.timeline()->times();
+  std::size_t first_bad = samples.size();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].counter_value("health.violations") > 0) {
+      // health.* rows describe the *previous* sample's evaluation; the
+      // violation itself happened at or before this sample's time.
+      first_bad = i;
+      break;
+    }
+  }
+  // The watchdog fired no later than one interval past break_at.
+  ASSERT_LT(first_bad, samples.size());
+  EXPECT_LE(times[first_bad], break_at + 2 * millis(100));
+
+  // The violation is on the flight record, and the dump names the rule.
+  const std::string dump = c.flight_dump("test");
+  EXPECT_NE(dump.find("health_violation"), std::string::npos);
+  EXPECT_NE(dump.find("conservation.mreads"), std::string::npos);
+}
+
+TEST(TelemetryCluster, InjectedFaultLandsInFlightDumpWithPriorTransitions) {
+  Cluster c(telemetry_config(13, /*leases=*/true));
+  const Bytes64 len = 512_KiB;
+  const int fd = c.create_dataset("data", len);
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    auto* d = cl.dodo();
+    const int rd = co_await d->mopen(len, fd, 0);
+    EXPECT_GE(rd, 0);
+    co_await d->mwrite(rd, 0, nullptr, len);
+    co_await cl.sim().sleep(millis(300));
+    // Graded pressure first, then the crash: the dump must show the
+    // pressure transition and the lease grants that preceded the fault.
+    co_await cl.pressure_host(0, 1, 0.5);  // kRising
+    co_await cl.sim().sleep(millis(200));
+    cl.crash_host(1);
+    co_await cl.sim().sleep(millis(300));
+    co_await d->mread(rd, 0, nullptr, 16_KiB);
+    co_await d->mclose(rd);
+  });
+  const std::string dump = c.flight_dump("injected-fault");
+  const auto fault_at = dump.find("crash_host");
+  ASSERT_NE(fault_at, std::string::npos);
+  // Time-sorted dump: grants and the pressure transition precede the fault.
+  EXPECT_LT(dump.find("lease_grant"), fault_at);
+  EXPECT_LT(dump.find("pressure_host"), fault_at);
+  EXPECT_NE(dump.find("pressure"), std::string::npos);
+}
+
+TEST(TelemetryCluster, GradedPressureResolvesAsReclaimWindowCurve) {
+  Cluster c(telemetry_config(17, /*leases=*/true));
+  const Bytes64 len = 1_MiB;
+  const int fd = c.create_dataset("data", len);
+  const SimTime pressure_at = seconds(1.5);
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    auto* d = cl.dodo();
+    const int rd = co_await d->mopen(len, fd, 0);
+    EXPECT_GE(rd, 0);
+    co_await d->mwrite(rd, 0, nullptr, len);
+    const Bytes64 block = 16_KiB;
+    bool pressed = false;
+    while (cl.sim().now() < seconds(5.0)) {
+      for (Bytes64 off = 0; off + block <= len; off += block) {
+        co_await d->mread(rd, off, nullptr, block);
+        co_await cl.sim().sleep(millis(2));
+        if (!pressed && cl.sim().now() >= pressure_at) {
+          pressed = true;
+          for (int h = 0; h < 3; ++h) {
+            co_await cl.pressure_host(h, 1, 0.25);  // kRising, keep 25%
+          }
+        }
+        if (cl.sim().now() >= seconds(5.0)) break;
+      }
+    }
+    co_await d->mclose(rd);
+  });
+  auto* tl = c.timeline();
+  ASSERT_NE(tl, nullptr);
+  // Steady phase: no expiry notices before the pressure hits. Reclaim
+  // phase: the shrink schedules victims whose notices spike right after.
+  const std::int64_t steady =
+      tl->window_sum("cmd.lease_expiry_notices.delta", 0, pressure_at);
+  const std::int64_t reclaim = tl->window_sum(
+      "cmd.lease_expiry_notices.delta", pressure_at, seconds(5.0));
+  EXPECT_EQ(steady, 0);
+  EXPECT_GT(reclaim, 0);
+  EXPECT_GT(tl->window_max("rmd.pressure_shrinks.delta", pressure_at,
+                           seconds(5.0)),
+            0);
+}
+
+TEST(TelemetryCluster, SameSeedRunsExportByteIdenticalTelemetryJson) {
+  auto one_run = [](std::uint64_t seed) {
+    Cluster c(telemetry_config(seed, /*leases=*/true));
+    const Bytes64 len = 512_KiB;
+    const int fd = c.create_dataset("data", len);
+    c.run_app([&](Cluster& cl) -> Co<void> {
+      co_await paced_sweep(cl, fd, len, seconds(1.5));
+    });
+    c.take_telemetry_sample();
+    return TelemetryTimeline::export_json({{"run", c.timeline()}});
+  };
+  const std::string a = one_run(23);
+  const std::string b = one_run(23);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, one_run(24));  // the export carries signal, not schema
+}
+
+TEST(TelemetryCluster, TelemetryOffKeepsSnapshotIdenticalToBaseline) {
+  // With telemetry fully off the metrics snapshot must not grow new rows:
+  // the health_/flight_ sections only exist when their features are on.
+  ClusterConfig off;
+  off.imd_hosts = 2;
+  off.imd_pool = 2_MiB;
+  off.materialize = false;
+  off.seed = 5;
+  Cluster c(off);
+  const Bytes64 len = 128_KiB;
+  const int fd = c.create_dataset("data", len);
+  c.run_app([&](Cluster& cl) -> Co<void> {
+    auto* d = cl.dodo();
+    const int rd = co_await d->mopen(len, fd, 0);
+    co_await d->mwrite(rd, 0, nullptr, len);
+    co_await d->mread(rd, 0, nullptr, len);
+    co_await d->mclose(rd);
+  });
+  EXPECT_EQ(c.timeline(), nullptr);
+  EXPECT_EQ(c.health(), nullptr);
+  EXPECT_EQ(c.flight(), nullptr);
+  const std::string json = c.metrics_snapshot().to_json();
+  EXPECT_EQ(json.find("health."), std::string::npos);
+  EXPECT_EQ(json.find("flight."), std::string::npos);
+  EXPECT_EQ(json.find("telemetry."), std::string::npos);
+  EXPECT_EQ(c.flight_dump("x"), "");
+}
+
+}  // namespace
+}  // namespace dodo

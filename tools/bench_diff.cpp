@@ -1,0 +1,274 @@
+// Regression diff over two bench/telemetry JSON exports.
+//
+//   bench_diff A.json B.json [--tol FRAC] [--max-report N]
+//       Compare two BENCH_*.json or TELEM_*.json files metric by metric.
+//       Every numeric leaf is flattened to a dotted path (arrays indexed as
+//       [i]); a pair regresses when the relative difference
+//       |a-b| / max(|a|,|b|,1) exceeds --tol (default 0: byte-for-byte
+//       numeric equality). Keys present in only one file always count as a
+//       regression. String leaves must match exactly.
+//
+// Exit status: 0 = within tolerance, 1 = regression found, 2 = usage/IO/
+// parse error. Output is one line per differing leaf (capped by
+// --max-report, default 20) plus a summary, so CI logs stay readable.
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff A.json B.json [--tol FRAC] "
+               "[--max-report N]\n");
+  return 2;
+}
+
+/// A flattened leaf: either a number (all repo exports are integers) or a
+/// string (the "type" tags in BENCH files).
+struct Leaf {
+  bool is_number = true;
+  std::int64_t num = 0;
+  std::string str;
+};
+
+using FlatMap = std::map<std::string, Leaf>;
+
+/// Strict recursive-descent reader of exactly the subset the exporters
+/// emit: objects, arrays, string keys/values, and integer numbers.
+class Flattener {
+ public:
+  Flattener(const std::string& text, FlatMap& out) : s_(text), out_(out) {}
+
+  bool run() {
+    skip_ws();
+    if (!value("")) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value(const std::string& path) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(path);
+    if (c == '[') return array(path);
+    if (c == '"') {
+      std::string v;
+      if (!string_lit(&v)) return false;
+      Leaf leaf;
+      leaf.is_number = false;
+      leaf.str = std::move(v);
+      out_[path] = std::move(leaf);
+      return true;
+    }
+    return number(path);
+  }
+
+  bool object(const std::string& path) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string_lit(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      if (!value(path.empty() ? key : path + "." + key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array(const std::string& path) {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (std::size_t i = 0;; ++i) {
+      char idx[32];
+      std::snprintf(idx, sizeof idx, "[%zu]", i);
+      if (!value(path + idx)) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool number(const std::string& path) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    if (pos_ == start) return false;
+    Leaf leaf;
+    leaf.num = std::strtoll(s_.substr(start, pos_ - start).c_str(),
+                            nullptr, 10);
+    out_[path] = leaf;
+    return true;
+  }
+
+  bool string_lit(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        ++pos_;
+        switch (s_[pos_]) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: out->push_back(s_[pos_]); break;
+        }
+      } else {
+        out->push_back(s_[pos_]);
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  FlatMap& out_;
+  std::size_t pos_ = 0;
+};
+
+bool load(const char* path, FlatMap& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  Flattener fl(text, out);
+  if (!fl.run()) {
+    std::fprintf(stderr, "bench_diff: parse error in %s\n", path);
+    return false;
+  }
+  return true;
+}
+
+double rel_diff(std::int64_t a, std::int64_t b) {
+  const double da = std::abs(static_cast<double>(a));
+  const double db = std::abs(static_cast<double>(b));
+  const double denom = std::max(1.0, std::max(da, db));
+  return std::abs(static_cast<double>(a) - static_cast<double>(b)) / denom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path_a = nullptr;
+  const char* path_b = nullptr;
+  double tol = 0.0;
+  int max_report = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
+      tol = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-report") == 0 && i + 1 < argc) {
+      max_report = std::atoi(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (path_a == nullptr) {
+      path_a = argv[i];
+    } else if (path_b == nullptr) {
+      path_b = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path_a == nullptr || path_b == nullptr || tol < 0.0) return usage();
+
+  FlatMap a, b;
+  if (!load(path_a, a) || !load(path_b, b)) return 2;
+
+  std::uint64_t regressions = 0;
+  int reported = 0;
+  auto report = [&](const char* fmt, const std::string& key, double extra) {
+    ++regressions;
+    if (reported < max_report) {
+      std::fprintf(stderr, fmt, key.c_str(), extra);
+      ++reported;
+    }
+  };
+  for (const auto& [key, la] : a) {
+    auto it = b.find(key);
+    if (it == b.end()) {
+      report("bench_diff: %s only in A%.0s\n", key, 0.0);
+      continue;
+    }
+    const Leaf& lb = it->second;
+    if (la.is_number != lb.is_number ||
+        (!la.is_number && la.str != lb.str)) {
+      report("bench_diff: %s differs in kind or text%.0s\n", key, 0.0);
+      continue;
+    }
+    if (la.is_number && rel_diff(la.num, lb.num) > tol) {
+      ++regressions;
+      if (reported < max_report) {
+        std::fprintf(stderr,
+                     "bench_diff: %s A=%" PRId64 " B=%" PRId64
+                     " rel=%.4f tol=%.4f\n",
+                     key.c_str(), la.num, lb.num, rel_diff(la.num, lb.num),
+                     tol);
+        ++reported;
+      }
+    }
+  }
+  for (const auto& [key, lb] : b) {
+    if (a.find(key) == a.end()) report("bench_diff: %s only in B%.0s\n", key, 0.0);
+  }
+
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_diff: %" PRIu64 " differing leaves (%zu vs %zu "
+                 "total) above tol %.4f\n",
+                 regressions, a.size(), b.size(), tol);
+    return 1;
+  }
+  std::printf("bench_diff: OK — %zu leaves within tol %.4f\n", a.size(), tol);
+  return 0;
+}
