@@ -38,6 +38,13 @@ struct LoadgenConfig {
   Bytes64 read_len = 16_KiB;    // bytes each session mreads
   double zipf_s = 0.99;         // slot popularity skew (0 = uniform)
   std::uint64_t seed = 1;       // arrival/selection stream seed
+  /// Ring mode (DESIGN.md §16): when > 0 each session drives its read phase
+  /// through a DodoRing of this depth, splitting read_len into ring_op-sized
+  /// submissions (which the client coalesces when its window allows). 0
+  /// keeps the classic single-mread session, byte-identical to pre-ring
+  /// builds.
+  int ring_depth = 0;
+  Bytes64 ring_op = 4_KiB;      // per-submission size in ring mode
 };
 
 /// What the run measured. All values are simulation-deterministic.

@@ -60,6 +60,11 @@ Schedule generate_schedule(std::uint64_t seed, const GenParams& params) {
   // crashes and evicts of lease-holding hosts come free from that machinery.
   Rng lease_rng = Rng(seed).fork(0x6c656173);  // "leas"
   s.lease = lease_rng.below(100) < 25;
+  // ~25% of schedules run the batched data path: kRead ops go through a
+  // submission/completion ring against a coalescing client (a fresh stream
+  // again, so unbatched schedules keep their exact pre-batching draws).
+  Rng batch_rng = Rng(seed).fork(0x62746368);  // "btch"
+  s.batch = batch_rng.below(100) < 25;
   s.region = 16_KiB << cfg_rng.below(2);
   s.slots = 4 + static_cast<int>(cfg_rng.below(5));
   s.pool = std::max<Bytes64>(2 * s.slots * s.region, 512_KiB);

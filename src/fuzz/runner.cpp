@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "fault/fault.hpp"
 #include "fuzz/oracle.hpp"
+#include "runtime/ring.hpp"
 
 namespace dodo::fuzz {
 
@@ -70,6 +72,13 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
   cfg.client.refraction = millis(50);
   cfg.client.bulk.max_retries = 30;
   cfg.imd.reply_cache_capacity = s.imd_reply_cache_capacity;
+  if (s.batch) {
+    // Batched data path: a window the size of one region lets the four
+    // quarter-region ring reads below coalesce into a single bulk transfer;
+    // the short timer flushes partial batches that a fault interrupted.
+    cfg.client.coalesce_window_bytes = s.region;
+    cfg.client.coalesce_window = millis(2);
+  }
   cfg.imd.buggy_clear_all_reply_cache = opt.buggy_imd_reply_cache;
   // Lease schedules: grace spans three 500ms keep-alive ticks so a
   // near-expiry proactive copy can finish its write-only/ack/activate
@@ -124,6 +133,10 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
     auto* client = cl.dodo();
     std::vector<std::uint8_t> buf(rsz);
     std::vector<std::uint8_t> back(rsz);
+    // Batched schedules drive every read through one ring for the whole
+    // workload, so submitted/completed conservation spans fault windows.
+    std::optional<runtime::DodoRing> ring;
+    if (s.batch) ring.emplace(cl.sim(), *client, 8);
 
     for (const WorkOp& op : s.ops) {
       ++result.ops_executed;
@@ -204,8 +217,50 @@ RunResult run_schedule(const Schedule& s, const RunOptions& opt) {
         }
         case OpKind::kRead: {
           if (!sl.open) break;
-          const auto rr =
-              co_await client->mread_ex(sl.rd, 0, back.data(), s.region);
+          runtime::DodoClient::ReadResult rr;
+          if (s.batch) {
+            // Four adjacent quarter-region submissions: the coalescing
+            // window (= region) merges them into one bulk transfer, and the
+            // CQEs reassemble the same ReadResult the one-shot path returns.
+            const Bytes64 q = s.region / 4;
+            for (std::uint64_t i = 0; i < 4; ++i) {
+              runtime::Sqe sqe;
+              sqe.op = runtime::RingOp::kRead;
+              sqe.rd = sl.rd;
+              sqe.offset = static_cast<Bytes64>(i) * q;
+              sqe.len = i == 3 ? s.region - 3 * q : q;
+              sqe.buf = back.data() + static_cast<std::ptrdiff_t>(i * q);
+              sqe.user_data = i;
+              co_await ring->submit(sqe);
+            }
+            co_await ring->drain();
+            rr.n = 0;
+            rr.filled = true;
+            for (int i = 0; i < 4; ++i) {
+              const auto cqe = ring->try_reap();
+              if (!cqe.has_value()) {
+                // Always reap all four so a failed op never leaves stale
+                // CQEs for the next kRead to misattribute.
+                note("ring: drained ring yielded fewer completions than "
+                     "submissions");
+                rr.n = -1;
+                continue;
+              }
+              if (cqe->n < 0) {
+                rr.n = -1;
+                continue;
+              }
+              if (rr.n >= 0) rr.n += cqe->n;
+              rr.filled = rr.filled && cqe->filled;
+              const Bytes64 base =
+                  static_cast<Bytes64>(cqe->user_data) * q;
+              for (const auto& [roff, rlen] : cqe->disk_ranges) {
+                rr.disk_ranges.emplace_back(base + roff, rlen);
+              }
+            }
+          } else {
+            rr = co_await client->mread_ex(sl.rd, 0, back.data(), s.region);
+          }
           if (rr.n == s.region && rr.filled && sl.remote_certain) {
             // Fragments lost mid-read come back from the backing file,
             // whose bytes are authoritative but may lag a push-only

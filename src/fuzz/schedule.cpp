@@ -59,6 +59,8 @@ std::string Schedule::serialize() const {
   out += line;
   std::snprintf(line, sizeof(line), "lease %d\n", lease ? 1 : 0);
   out += line;
+  std::snprintf(line, sizeof(line), "batch %d\n", batch ? 1 : 0);
+  out += line;
   std::snprintf(line, sizeof(line), "reply_cache %zu\n",
                 imd_reply_cache_capacity);
   out += line;
@@ -138,6 +140,11 @@ bool Schedule::parse(const std::string& text, Schedule& out,
       int v = 0;
       if (!(ls >> v) || v < 0 || v > 1) return fail(lineno, "bad lease");
       s.lease = v != 0;
+    } else if (key == "batch") {
+      // Optional (pre-batching schedules omit it); absent means unbatched.
+      int v = 0;
+      if (!(ls >> v) || v < 0 || v > 1) return fail(lineno, "bad batch");
+      s.batch = v != 0;
     } else if (key == "reply_cache") {
       long long v = 0;
       if (!(ls >> v) || v < 1) return fail(lineno, "bad reply_cache");

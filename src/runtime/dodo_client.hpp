@@ -18,7 +18,9 @@
 // descriptor hosted on that node (§3.1).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -54,6 +56,16 @@ struct ClientParams {
   obs::SpanRecorder* spans = nullptr;
   /// Optional flight-recorder ring (not owned). Null disables recording.
   obs::FlightRecorder* flight = nullptr;
+  /// Request coalescing (DESIGN.md §16): adjacent mreads against one
+  /// descriptor queue into a per-descriptor batch and flush as a single
+  /// merged fan-out with scatter-gather landing. This is the max merged
+  /// span in bytes; 0 disables coalescing entirely — every mread takes the
+  /// classic one-op path, byte-identical on the wire to pre-batching
+  /// builds.
+  Bytes64 coalesce_window_bytes = 0;
+  /// Max sim-time the first queued op waits for adjacent joiners before the
+  /// batch flushes anyway. Only meaningful when coalesce_window_bytes > 0.
+  Duration coalesce_window = micros(200);
 };
 
 struct ClientMetrics {
@@ -92,6 +104,25 @@ struct ClientMetrics {
   /// Replica-set deltas (add-write-only / activate / drop) applied from the
   /// cmd's kPing piggyback.
   std::uint64_t replica_updates_applied = 0;
+  // -- batched data path (all zero unless coalescing / a ring is in use) ---
+  /// mreads that went through the per-descriptor coalescing queue. Each is
+  /// still one mreads_total tick, so the conservation triple above is
+  /// unchanged; batched_reads ≤ mreads_total always.
+  std::uint64_t batched_reads = 0;
+  /// Batched reads whose flush carried at least one other op — the reads
+  /// that actually shared a bulk transfer. coalesced_mreads ≤ batched_reads.
+  std::uint64_t coalesced_mreads = 0;
+  /// Merged fan-outs issued (≤ batched_reads: every flush carries ≥ 1 op).
+  std::uint64_t batch_flushes = 0;
+  /// Flushes forced by an mwrite/push_remote/mclose barrier: a write must
+  /// never land between queued reads and their flush (staleness contract).
+  std::uint64_t batch_write_barriers = 0;
+  // -- submission/completion ring (counted here so one snapshot covers the
+  // whole runtime; a DodoRing is a separate object wired to this client) --
+  std::uint64_t ring_submitted = 0;
+  std::uint64_t ring_completed = 0;
+  std::uint64_t ring_full_rejects = 0;
+  std::uint64_t ring_peak_depth = 0;  // max sqes in flight at once
 };
 
 class DodoClient {
@@ -153,6 +184,20 @@ class DodoClient {
   sim::Co<ReadResult> mread_ex(int rd, Bytes64 offset, std::uint8_t* buf,
                                Bytes64 len, obs::TraceContext parent = {});
 
+  /// Queues one read into the descriptor's open coalescing batch (opening
+  /// one if needed) without suspending; `on_complete` fires exactly once
+  /// when the flush resolves the op — in submission order within a batch.
+  /// Argument-validation failures complete before this returns. Requires
+  /// coalescing to be enabled (coalesce_window_bytes > 0); DodoRing's
+  /// submission path is built on this.
+  void mread_enqueue(int rd, Bytes64 offset, std::uint8_t* buf, Bytes64 len,
+                     std::function<void(const ReadResult&)> on_complete,
+                     obs::TraceContext parent = {});
+
+  [[nodiscard]] bool coalescing_enabled() const {
+    return params_.coalesce_window_bytes > 0;
+  }
+
   /// Writes to the backing file and the remote region in parallel; returns
   /// bytes written into the region, or -1 with dodo_errno set.
   sim::Co<Bytes64> mwrite(int rd, Bytes64 offset, const std::uint8_t* buf,
@@ -197,6 +242,17 @@ class DodoClient {
   /// is inactive. libmanage uses this to prefer evicting regions whose
   /// remote copy survives any single host loss.
   [[nodiscard]] std::uint32_t replica_depth(int rd) const;
+
+  // -- DodoRing accounting hooks (src/runtime/ring.hpp) --------------------
+  // The ring is a separate object; its counters live in ClientMetrics so a
+  // single snapshot covers the whole runtime, gated on ring_attached.
+  void ring_register() { ring_attached_ = true; }
+  void ring_note_submit(std::uint64_t depth_now) {
+    ++metrics_.ring_submitted;
+    metrics_.ring_peak_depth = std::max(metrics_.ring_peak_depth, depth_now);
+  }
+  void ring_note_complete() { ++metrics_.ring_completed; }
+  void ring_note_reject() { ++metrics_.ring_full_rejects; }
 
  private:
   struct Entry {
@@ -249,9 +305,14 @@ class DodoClient {
   /// One piece of a fanned-out mread: selects a replica with
   /// power-of-two-choices over host_score(), and on failure fails over to
   /// sibling replicas before reporting failure (the caller's disk path).
+  /// With `scatter` null the piece lands in `dst` via the classic
+  /// bulk_recv-then-copy path; non-null, it lands straight in the scatter
+  /// segments (bulk_recv_sg, zero intermediate copy) and `dst` is unused.
   sim::Co<void> read_piece(core::ReplicaSet set, Bytes64 frag_off,
                            Bytes64 want, std::uint8_t* dst, FragOutcome* out,
-                           sim::WaitGroup* wg, obs::TraceContext ctx);
+                           sim::WaitGroup* wg, obs::TraceContext ctx,
+                           const std::vector<net::ScatterSeg>* scatter =
+                               nullptr);
 
   /// One copy of a fanned-out push/mwrite (kWriteReq → WriteGo →
   /// bulk_send → WriteRep against the copy's owner).
@@ -278,6 +339,61 @@ class DodoClient {
 
   Entry* lookup_active(int rd);
 
+  // -- request coalescing (DESIGN.md §16) ----------------------------------
+
+  /// One queued read inside a ReadBatch. `len` is already clamped to the
+  /// region end; `result` is filled by the flush before `on_complete` runs.
+  struct PendingOp {
+    Bytes64 offset = 0;
+    Bytes64 len = 0;
+    std::uint8_t* buf = nullptr;
+    SimTime enqueued = 0;
+    std::uint64_t span = 0;  // per-op client.mread span (0 = untraced)
+    std::function<void(const ReadResult&)> on_complete;
+    ReadResult result;
+  };
+
+  /// The open (or flushing) batch for one descriptor: a contiguous span
+  /// [lo, hi) of queued adjacent reads. Owned by shared_ptr because three
+  /// parties can hold it past suspension points: the pending_batches_ map,
+  /// the expiry timer coroutine, and the flush coroutine.
+  struct ReadBatch {
+    explicit ReadBatch(sim::Simulator& sim) : done(sim) { done.add(1); }
+    int rd = -1;
+    Bytes64 lo = 0;
+    Bytes64 hi = 0;
+    bool flushed = false;  // no more joiners; the flush coroutine owns it
+    std::uint64_t span = 0;       // client.mread_batch span
+    obs::TraceContext span_ctx;   // ...as a parent for per-op spans
+    std::vector<PendingOp> ops;
+    sim::WaitGroup done;  // released once every op completed (barriers wait)
+  };
+
+  /// mread_ex's coalescing route: enqueue and suspend until the flush
+  /// resolves this op.
+  sim::Co<ReadResult> mread_coalesced(int rd, Bytes64 offset,
+                                      std::uint8_t* buf, Bytes64 len,
+                                      obs::TraceContext parent);
+
+  /// Detaches `b` from pending_batches_ (idempotent) and spawns run_flush.
+  void start_flush(const std::shared_ptr<ReadBatch>& b);
+
+  /// Expiry: a batch flushes after coalesce_window even if never filled.
+  sim::Co<void> batch_timer(std::shared_ptr<ReadBatch> b);
+
+  /// The merged fan-out: one overlap_pieces walk over [lo, hi), one
+  /// read_piece per piece landing via scatter-gather, then per-op
+  /// accounting/degradation exactly mirroring mread_ex.
+  sim::Co<void> run_flush(std::shared_ptr<ReadBatch> b);
+
+  /// Closes spans, fires callbacks in submission order, releases `done`.
+  void finish_batch(ReadBatch& b);
+
+  /// Write/close barrier: flushes rd's pending batch (if any) and waits for
+  /// it to complete, so a write can never land between queued reads and
+  /// their flush. No-op when nothing is queued.
+  sim::Co<void> flush_pending_reads(int rd);
+
   /// Shard endpoint owning `key`'s directory entry (the only cmd any
   /// control RPC for that key ever talks to).
   [[nodiscard]] const net::Endpoint& shard_endpoint(
@@ -301,6 +417,9 @@ class DodoClient {
 
   std::unordered_map<int, Entry> regions_;
   std::unordered_map<net::NodeId, HostScore> host_scores_;
+  /// At most one open batch per descriptor; erased when the flush starts.
+  std::unordered_map<int, std::shared_ptr<ReadBatch>> pending_batches_;
+  bool ring_attached_ = false;
   int next_desc_ = 0;
   SimTime last_alloc_fail_ = -(1LL << 62);
 

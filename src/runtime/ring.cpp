@@ -1,0 +1,86 @@
+#include "runtime/ring.hpp"
+
+#include <algorithm>
+
+namespace dodo::runtime {
+
+DodoRing::DodoRing(sim::Simulator& sim, DodoClient& client, std::size_t depth)
+    : sim_(sim),
+      client_(client),
+      depth_(std::max<std::size_t>(1, depth)),
+      cq_(sim),
+      slots_(sim) {
+  client_.ring_register();
+}
+
+bool DodoRing::try_submit(const Sqe& sqe) {
+  if (in_flight_ >= depth_) {
+    client_.ring_note_reject();
+    return false;
+  }
+  ++in_flight_;
+  client_.ring_note_submit(static_cast<std::uint64_t>(in_flight_));
+  if (sqe.op == RingOp::kRead && client_.coalescing_enabled()) {
+    // The batched path: no coroutine per op. The read joins the
+    // descriptor's coalescing queue and this callback fires when the merged
+    // flush resolves it (possibly synchronously, on validation failure).
+    client_.mread_enqueue(
+        sqe.rd, sqe.offset, sqe.buf, sqe.len,
+        [this, ud = sqe.user_data](const DodoClient::ReadResult& r) {
+          complete_read(ud, r);
+        });
+  } else {
+    // Writes, and reads with coalescing off, run the classic one-op path.
+    sim_.spawn(run_op(sqe));
+  }
+  return true;
+}
+
+sim::Co<void> DodoRing::submit(Sqe sqe) {
+  while (!try_submit(sqe)) co_await slots_.recv();
+}
+
+sim::Co<void> DodoRing::run_op(Sqe sqe) {
+  if (sqe.op == RingOp::kRead) {
+    const DodoClient::ReadResult r =
+        co_await client_.mread_ex(sqe.rd, sqe.offset, sqe.buf, sqe.len);
+    complete_read(sqe.user_data, r);
+    co_return;
+  }
+  const Bytes64 n =
+      co_await client_.mwrite(sqe.rd, sqe.offset, sqe.wbuf, sqe.len);
+  Cqe c;
+  c.user_data = sqe.user_data;
+  c.n = n;
+  c.filled = n >= 0;
+  post(std::move(c));
+}
+
+void DodoRing::complete_read(std::uint64_t user_data,
+                             const DodoClient::ReadResult& r) {
+  Cqe c;
+  c.user_data = user_data;
+  c.n = r.n;
+  c.filled = r.filled;
+  c.degraded = r.n < 0 || !r.disk_ranges.empty();
+  c.disk_ranges = r.disk_ranges;
+  post(std::move(c));
+}
+
+void DodoRing::post(Cqe c) {
+  --in_flight_;
+  client_.ring_note_complete();
+  cq_.send(std::move(c));
+  // Wake every backpressured submit()/drain() to re-check its condition.
+  while (slots_.pending_receivers() > 0) slots_.send(0);
+}
+
+sim::Co<Cqe> DodoRing::reap() { co_return co_await cq_.recv(); }
+
+std::optional<Cqe> DodoRing::try_reap() { return cq_.try_recv(); }
+
+sim::Co<void> DodoRing::drain() {
+  while (in_flight_ > 0) co_await slots_.recv();
+}
+
+}  // namespace dodo::runtime
